@@ -1,0 +1,48 @@
+//! Non-criterion bench target that regenerates **every** table and figure
+//! of the paper at the reduced scale in one `cargo bench` invocation.
+//!
+//! (The criterion micro-benchmarks live in `paper.rs`; this target is the
+//! full harness — it prints each artifact's rows and writes the CSVs to
+//! `results/`.)
+
+use hetero_bench::experiments::{ablations, energy, patterns, scalability, tables, traces, vt};
+use hetero_bench::{Opts, Report};
+use std::time::Instant;
+
+fn main() {
+    // `cargo bench` passes `--bench`; ignore criterion-style arguments and
+    // honor only `--full`.
+    let full = std::env::args().any(|a| a == "--full");
+    let opts = Opts {
+        full,
+        out_dir: Some(hetero_bench::harness::default_out_dir()),
+    };
+    let artifacts: Vec<(&str, fn(&Opts) -> Report)> = vec![
+        ("tab01", tables::tab01),
+        ("fig08", vt::fig08),
+        ("fig11", patterns::fig11),
+        ("fig12", traces::fig12),
+        ("fig13", traces::fig13),
+        ("fig14", patterns::fig14),
+        ("fig15", traces::fig15),
+        ("tab03", scalability::tab03),
+        ("tab04", tables::tab04),
+        ("fig16", energy::fig16),
+        ("fig17", energy::fig17),
+        ("fig18", energy::fig18),
+        ("ablations", ablations::ablations),
+    ];
+    let t0 = Instant::now();
+    for (name, f) in artifacts {
+        let t = Instant::now();
+        println!("\n================ {name} ================");
+        f(&opts).finish(&opts);
+        println!("[{name} took {:.1?}]", t.elapsed());
+    }
+    println!(
+        "\nall {} artifacts regenerated in {:.1?} (mode: {})",
+        13,
+        t0.elapsed(),
+        if full { "full/paper" } else { "reduced" }
+    );
+}

@@ -1,0 +1,108 @@
+//! Criterion benchmarks over the paper's experiment kernels.
+//!
+//! Each group first prints the reduced paper artifact once (so
+//! `cargo bench` output doubles as a regeneration log — see
+//! EXPERIMENTS.md), then measures a small representative kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use chiplet_phy::model::{HeteroVt, VtModel};
+use chiplet_synthesis::{report, TechNode};
+use chiplet_topo::{Geometry, NodeId};
+use chiplet_traffic::{SyntheticWorkload, TrafficPattern, Workload};
+use hetero_bench::experiments::{tables, vt};
+use hetero_bench::Opts;
+use hetero_if::presets::NetworkKind;
+use hetero_if::sim::{run, RunSpec};
+use hetero_if::{SchedulingProfile, SimConfig};
+
+fn opts() -> Opts {
+    Opts::default()
+}
+
+/// Fig. 8 kernel: evaluating the analytical V–t model.
+fn bench_fig08(c: &mut Criterion) {
+    vt::fig08(&opts()).finish(&opts());
+    let h = HeteroVt {
+        parallel: VtModel::new(51.2, 3.5),
+        serial: VtModel::new(896.0, 5.5),
+    };
+    c.bench_function("fig08_vt_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += h.volume(i as f64 * 0.25) + h.time_for(i as f64 * 64.0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+/// Table 4 kernel: the full post-synthesis report.
+fn bench_tab04(c: &mut Criterion) {
+    tables::tab04(&opts()).finish(&opts());
+    tables::tab01(&opts()).finish(&opts());
+    let tech = TechNode::n12();
+    c.bench_function("tab04_synthesis_model", |b| {
+        b.iter(|| std::hint::black_box(report::table4(&tech)))
+    });
+}
+
+/// Simulation kernel shared by Figs. 11–18: 500 cycles of a 64-node
+/// hetero-PHY torus under moderate uniform load (per-network-kind group).
+fn bench_sim_kernels(c: &mut Criterion) {
+    let geom = Geometry::new(4, 4, 2, 2);
+    let mut group = c.benchmark_group("sim_500cycles_64nodes");
+    group.sample_size(10);
+    for kind in [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::UniformSerialTorus,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::UniformSerialHypercube,
+        NetworkKind::HeteroChannelFull,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut net =
+                    kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+                let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+                let mut w =
+                    SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.2, 16, 1);
+                let mut buf = Vec::new();
+                for _ in 0..500 {
+                    w.poll(net.now(), &mut buf);
+                    for req in buf.drain(..) {
+                        net.offer(req);
+                    }
+                    net.step();
+                }
+                std::hint::black_box(net.collector().delivered_packets)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end kernel: a complete smoke-scale run (warm-up + measure +
+/// drain) on the hetero-PHY torus — the unit of work behind every sweep
+/// point in Figs. 11/13/14/15.
+fn bench_run_point(c: &mut Criterion) {
+    let geom = Geometry::new(2, 2, 3, 3);
+    let mut group = c.benchmark_group("sweep_point_36nodes");
+    group.sample_size(10);
+    group.bench_function("hetero_phy_smoke_run", |b| {
+        b.iter(|| {
+            let mut net = NetworkKind::HeteroPhyFull.build(
+                geom,
+                SimConfig::default(),
+                SchedulingProfile::balanced(),
+            );
+            let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+            let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.1, 16, 2);
+            std::hint::black_box(run(&mut net, &mut w, RunSpec::smoke()).results.packets)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig08, bench_tab04, bench_sim_kernels, bench_run_point);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Runs the ablation studies (ROB capacity, balanced threshold,
+//! higher-radix crossbar, bypass).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin ablations [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::ablations::ablations;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    ablations(&opts).finish(&opts);
+}

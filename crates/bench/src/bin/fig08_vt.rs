@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig08_vt` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig08_vt [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::vt::fig08;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig08(&opts).finish(&opts);
+}

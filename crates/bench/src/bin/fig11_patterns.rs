@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig11_patterns` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig11_patterns [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::patterns::fig11;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig11(&opts).finish(&opts);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig12_parsec` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig12_parsec [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::traces::fig12;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig12(&opts).finish(&opts);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig13_hpc` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig13_hpc [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::traces::fig13;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig13(&opts).finish(&opts);
+}

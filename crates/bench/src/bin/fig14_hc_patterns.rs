@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig14_hc_patterns` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig14_hc_patterns [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::patterns::fig14;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig14(&opts).finish(&opts);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig15_hc_hpc` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig15_hc_hpc [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::traces::fig15;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig15(&opts).finish(&opts);
+}

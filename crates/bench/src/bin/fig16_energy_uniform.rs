@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig16_energy_uniform` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig16_energy_uniform [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::energy::fig16;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig16(&opts).finish(&opts);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig17_energy_hpc` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig17_energy_hpc [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::energy::fig17;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig17(&opts).finish(&opts);
+}

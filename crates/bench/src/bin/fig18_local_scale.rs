@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `fig18_local_scale` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig18_local_scale [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::energy::fig18;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig18(&opts).finish(&opts);
+}

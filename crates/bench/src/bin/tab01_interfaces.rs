@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `tab01_interfaces` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin tab01_interfaces [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::tables::tab01;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    tab01(&opts).finish(&opts);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `tab03_scalability` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin tab03_scalability [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::scalability::tab03;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    tab03(&opts).finish(&opts);
+}

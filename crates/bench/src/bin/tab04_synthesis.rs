@@ -1,0 +1,11 @@
+//! Regenerates the paper artifact `tab04_synthesis` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin tab04_synthesis [--full] [--out DIR | --no-out]`
+
+use hetero_bench::experiments::tables::tab04;
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    tab04(&opts).finish(&opts);
+}

@@ -1,0 +1,297 @@
+//! Figs. 16–18: energy evaluations (§8.3).
+
+use crate::experiments::run_preset;
+use crate::harness::{Opts, Report};
+use chiplet_topo::{Geometry, NodeId};
+use chiplet_traffic::hpc::{self, HpcApp};
+use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use hetero_if::presets::{hpc_system, wafer_system, NetworkKind};
+use hetero_if::{SchedulingProfile, SimResults};
+
+/// One (network, profile) energy column.
+#[derive(Debug, Clone)]
+struct EnergyRow {
+    label: String,
+    res: SimResults,
+}
+
+fn energy_table(r: &mut Report, rows: &[EnergyRow]) {
+    r.line(format!(
+        "{:<32} {:>10} {:>10} {:>10} {:>10}",
+        "network", "total(pJ)", "on-chip", "parallel", "serial"
+    ));
+    for row in rows {
+        r.line(format!(
+            "{:<32} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            row.label,
+            row.res.avg_energy_pj,
+            row.res.avg_onchip_pj,
+            row.res.avg_parallel_pj,
+            row.res.avg_serial_pj
+        ));
+        r.csv(format!(
+            "{},{:.1},{:.1},{:.1},{:.1}",
+            row.label,
+            row.res.avg_energy_pj,
+            row.res.avg_onchip_pj,
+            row.res.avg_parallel_pj,
+            row.res.avg_serial_pj
+        ));
+    }
+}
+
+fn pct(hetero: f64, base: f64) -> f64 {
+    (1.0 - hetero / base) * 100.0
+}
+
+fn uniform_energy(
+    kind: NetworkKind,
+    geom: Geometry,
+    profile: SchedulingProfile,
+    rate: f64,
+    opts: &Opts,
+    nodes: Option<Vec<NodeId>>,
+) -> SimResults {
+    let nodes = nodes.unwrap_or_else(|| (0..geom.nodes()).map(NodeId).collect());
+    let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, rate, 16, 0xE6E1);
+    run_preset(kind, geom, profile, &mut w, opts.spec())
+}
+
+/// Fig. 16: average per-packet energy under uniform traffic at 0.1
+/// flits/cycle/node — (a) hetero-PHY system, (b) hetero-channel system,
+/// each with balanced and energy-efficient scheduling.
+pub fn fig16(opts: &Opts) -> Report {
+    let mut r = Report::new("fig16_energy_uniform");
+    r.csv("network,total_pj,onchip_pj,parallel_pj,serial_pj");
+    let bal = SchedulingProfile::balanced();
+    let ee = SchedulingProfile::energy_efficient();
+
+    // Energy shapes depend on network diameter, so these experiments keep
+    // the paper's geometry even in reduced mode (`--full` only upgrades the
+    // schedule to the 100k-cycle Table 2 run).
+    let geom_a = hpc_system();
+    r.line(format!(
+        "Fig. 16(a): hetero-PHY system, uniform 0.1 — {} nodes",
+        geom_a.nodes()
+    ));
+    let rows_a = vec![
+        EnergyRow {
+            label: "uni-parallel-mesh".into(),
+            res: uniform_energy(NetworkKind::UniformParallelMesh, geom_a, bal, 0.1, opts, None),
+        },
+        EnergyRow {
+            label: "uni-serial-torus".into(),
+            res: uniform_energy(NetworkKind::UniformSerialTorus, geom_a, bal, 0.1, opts, None),
+        },
+        EnergyRow {
+            label: "hetero-phy (balanced)".into(),
+            res: uniform_energy(NetworkKind::HeteroPhyFull, geom_a, bal, 0.1, opts, None),
+        },
+        EnergyRow {
+            label: "hetero-phy (energy-efficient)".into(),
+            res: uniform_energy(NetworkKind::HeteroPhyFull, geom_a, ee, 0.1, opts, None),
+        },
+    ];
+    energy_table(&mut r, &rows_a);
+    r.line(format!(
+        "hetero-phy balanced vs mesh {:+.0}%, vs torus {:+.0}%; energy-efficient gains {:+.0}% further",
+        pct(rows_a[2].res.avg_energy_pj, rows_a[0].res.avg_energy_pj),
+        pct(rows_a[2].res.avg_energy_pj, rows_a[1].res.avg_energy_pj),
+        pct(rows_a[3].res.avg_energy_pj, rows_a[2].res.avg_energy_pj),
+    ));
+
+    let geom_b = wafer_system();
+    r.line(format!(
+        "Fig. 16(b): hetero-channel system, uniform 0.1 — {} nodes",
+        geom_b.nodes()
+    ));
+    let rows_b = vec![
+        EnergyRow {
+            label: "uni-parallel-mesh".into(),
+            res: uniform_energy(NetworkKind::UniformParallelMesh, geom_b, bal, 0.1, opts, None),
+        },
+        EnergyRow {
+            label: "uni-serial-hypercube".into(),
+            res: uniform_energy(NetworkKind::UniformSerialHypercube, geom_b, bal, 0.1, opts, None),
+        },
+        EnergyRow {
+            label: "hetero-channel (balanced)".into(),
+            res: uniform_energy(NetworkKind::HeteroChannelFull, geom_b, bal, 0.1, opts, None),
+        },
+        EnergyRow {
+            label: "hetero-channel (energy-eff)".into(),
+            res: uniform_energy(NetworkKind::HeteroChannelFull, geom_b, ee, 0.1, opts, None),
+        },
+    ];
+    energy_table(&mut r, &rows_b);
+    r.line(format!(
+        "hetero-channel energy-eff vs mesh {:+.0}% (paper: 31%), vs hypercube {:+.0}% (paper: 13%)",
+        pct(rows_b[3].res.avg_energy_pj, rows_b[0].res.avg_energy_pj),
+        pct(rows_b[3].res.avg_energy_pj, rows_b[1].res.avg_energy_pj),
+    ));
+    r
+}
+
+/// Fig. 17: per-packet energy replaying the MOC trace — (a) hetero-PHY
+/// system, (b) hetero-channel system.
+pub fn fig17(opts: &Opts) -> Report {
+    let mut r = Report::new("fig17_energy_hpc");
+    r.csv("network,total_pj,onchip_pj,parallel_pj,serial_pj");
+    let spec = opts.spec().with_drain_offers();
+    let window = spec.warmup + spec.measure;
+    let iterations = ((window / 2_000) as u32 + 1).max(2);
+    let bal = SchedulingProfile::balanced();
+    let ee = SchedulingProfile::energy_efficient();
+
+    let geom_a = hpc_system();
+    let ranks_a: Vec<NodeId> = (0..1024).map(NodeId).collect();
+    let run_trace = |kind: NetworkKind, geom: Geometry, profile, ranks: &[NodeId]| {
+        let mut trace = hpc::generate(HpcApp::Moc, ranks, iterations, 0xE617);
+        run_preset(kind, geom, profile, &mut trace, spec)
+    };
+
+    r.line(format!(
+        "Fig. 17(a): hetero-PHY system, MOC trace — {} nodes",
+        geom_a.nodes()
+    ));
+    let rows_a = vec![
+        EnergyRow {
+            label: "uni-parallel-mesh".into(),
+            res: run_trace(NetworkKind::UniformParallelMesh, geom_a, bal, &ranks_a),
+        },
+        EnergyRow {
+            label: "uni-serial-torus".into(),
+            res: run_trace(NetworkKind::UniformSerialTorus, geom_a, bal, &ranks_a),
+        },
+        EnergyRow {
+            label: "hetero-phy (balanced)".into(),
+            res: run_trace(NetworkKind::HeteroPhyFull, geom_a, bal, &ranks_a),
+        },
+        EnergyRow {
+            label: "hetero-phy (energy-efficient)".into(),
+            res: run_trace(NetworkKind::HeteroPhyFull, geom_a, ee, &ranks_a),
+        },
+    ];
+    energy_table(&mut r, &rows_a);
+    r.line(format!(
+        "hetero-phy vs mesh {:+.0}% (paper: 9%)",
+        pct(rows_a[3].res.avg_energy_pj, rows_a[0].res.avg_energy_pj),
+    ));
+
+    let geom_b = wafer_system();
+    let mut ranks_b = geom_b.core_nodes();
+    ranks_b.truncate(1024);
+    r.line(format!(
+        "Fig. 17(b): hetero-channel system, MOC trace — {} nodes",
+        geom_b.nodes()
+    ));
+    let rows_b = vec![
+        EnergyRow {
+            label: "uni-parallel-mesh".into(),
+            res: run_trace(NetworkKind::UniformParallelMesh, geom_b, bal, &ranks_b),
+        },
+        EnergyRow {
+            label: "uni-serial-hypercube".into(),
+            res: run_trace(NetworkKind::UniformSerialHypercube, geom_b, bal, &ranks_b),
+        },
+        EnergyRow {
+            label: "hetero-channel (balanced)".into(),
+            res: run_trace(NetworkKind::HeteroChannelFull, geom_b, bal, &ranks_b),
+        },
+        EnergyRow {
+            label: "hetero-channel (energy-eff)".into(),
+            res: run_trace(NetworkKind::HeteroChannelFull, geom_b, ee, &ranks_b),
+        },
+    ];
+    energy_table(&mut r, &rows_b);
+    r.line(format!(
+        "hetero-channel energy-eff vs mesh {:+.0}% (paper: 27%), vs hypercube {:+.0}% (paper: 10%)",
+        pct(rows_b[3].res.avg_energy_pj, rows_b[0].res.avg_energy_pj),
+        pct(rows_b[3].res.avg_energy_pj, rows_b[1].res.avg_energy_pj),
+    ));
+    r
+}
+
+/// Fig. 18: per-packet energy when communication is restricted to local
+/// regions of increasing size (uniform 0.01 flits/cycle/node).
+pub fn fig18(opts: &Opts) -> Report {
+    let mut r = Report::new("fig18_local_scale");
+    r.csv("system,region_chiplets,network,total_pj,onchip_pj,interface_pj");
+    let bal = SchedulingProfile::balanced();
+    let systems: Vec<(&str, Geometry, [NetworkKind; 3])> = vec![
+        (
+            "hetero-phy",
+            hpc_system(),
+            [
+                NetworkKind::UniformParallelMesh,
+                NetworkKind::UniformSerialTorus,
+                NetworkKind::HeteroPhyFull,
+            ],
+        ),
+        (
+            "hetero-channel",
+            wafer_system(),
+            [
+                NetworkKind::UniformParallelMesh,
+                NetworkKind::UniformSerialHypercube,
+                NetworkKind::HeteroChannelFull,
+            ],
+        ),
+    ];
+    for (sys, geom, nets) in systems {
+        r.line(format!(
+            "Fig. 18 [{sys}]: energy vs local-communication scale — {} nodes, uniform 0.01",
+            geom.nodes()
+        ));
+        let mut header = format!("{:>16}", "region");
+        for net in nets {
+            header.push_str(&format!(" {:>22}", net.label()));
+        }
+        r.line(header + "  (avg pJ/packet)");
+        let mut k = 1u16;
+        loop {
+            // Participants: the k×k chiplet region at the origin.
+            let mut region = Vec::new();
+            for cy in 0..k.min(geom.chiplets_y()) {
+                for cx in 0..k {
+                    let c = geom.chiplet_at(cx, cy);
+                    for ly in 0..geom.chip_h() {
+                        for lx in 0..geom.chip_w() {
+                            region.push(geom.node_in_chiplet(c, lx, ly));
+                        }
+                    }
+                }
+            }
+            let mut line = format!("{:>13}x{k:<2}", k);
+            for net in nets {
+                let res =
+                    uniform_energy(net, geom, bal, 0.01, opts, Some(region.clone()));
+                line.push_str(&format!(" {:>22.0}", res.avg_energy_pj));
+                r.csv(format!(
+                    "{sys},{k}x{k},{},{:.1},{:.1},{:.1}",
+                    net.label(),
+                    res.avg_energy_pj,
+                    res.avg_onchip_pj,
+                    res.avg_interface_pj()
+                ));
+            }
+            r.line(line);
+            if k >= geom.chiplets_x() {
+                break;
+            }
+            k = (k * 2).min(geom.chiplets_x());
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_sign_convention() {
+        assert!(pct(70.0, 100.0) > 0.0, "savings are positive");
+        assert!(pct(130.0, 100.0) < 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Table 3: average latency reduction of hetero-IF networks across system
+//! scales (uniform traffic at 0.1 flits/cycle/node).
+
+use crate::experiments::run_preset;
+use crate::harness::{Opts, Report};
+use chiplet_topo::NodeId;
+use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use hetero_if::presets::{paper_scales, NetworkKind};
+use hetero_if::SchedulingProfile;
+
+const RATE: f64 = 0.1;
+
+fn avg_latency(kind: NetworkKind, geom: chiplet_topo::Geometry, opts: &Opts) -> f64 {
+    let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, RATE, 16, 0x7AB3);
+    run_preset(kind, geom, SchedulingProfile::balanced(), &mut w, opts.spec()).avg_latency
+}
+
+fn reduction(hetero: f64, baseline: f64) -> f64 {
+    (1.0 - hetero / baseline) * 100.0
+}
+
+/// Regenerates Table 3.
+pub fn tab03(opts: &Opts) -> Report {
+    let mut r = Report::new("tab03_scalability");
+    r.line("Table 3: avg latency reduction of hetero-IF vs uniform-parallel / uniform-serial");
+    r.line(format!(
+        "{:<10} {:>24} {:>24}",
+        "scale", "Hetero-PHY", "Hetero-Channel"
+    ));
+    r.csv("scale,nodes,phy_vs_parallel_pct,phy_vs_serial_pct,hc_vs_parallel_pct,hc_vs_serial_pct");
+    for (i, scale) in paper_scales().iter().enumerate() {
+        let geom = scale.geometry;
+        let mesh = avg_latency(NetworkKind::UniformParallelMesh, geom, opts);
+        let torus = avg_latency(NetworkKind::UniformSerialTorus, geom, opts);
+        let hphy = avg_latency(NetworkKind::HeteroPhyFull, geom, opts);
+        let phy_cell = format!(
+            "{:>10.1}% / {:>9.1}%",
+            reduction(hphy, mesh),
+            reduction(hphy, torus)
+        );
+        // The paper evaluates hetero-channel only at the three largest
+        // scales (Table 3 shows "/" for the small ones).
+        let (hc_cell, hc_csv) = if i >= 2 {
+            let cube = avg_latency(NetworkKind::UniformSerialHypercube, geom, opts);
+            let hc = avg_latency(NetworkKind::HeteroChannelFull, geom, opts);
+            (
+                format!(
+                    "{:>10.1}% / {:>9.1}%",
+                    reduction(hc, mesh),
+                    reduction(hc, cube)
+                ),
+                format!("{:.1},{:.1}", reduction(hc, mesh), reduction(hc, cube)),
+            )
+        } else {
+            (format!("{:>24}", "/"), ",".to_string())
+        };
+        r.line(format!("{:<10} {:>24} {}", scale.label, phy_cell, hc_cell));
+        r.csv(format!(
+            "{},{},{:.1},{:.1},{}",
+            scale.label,
+            geom.nodes(),
+            reduction(hphy, mesh),
+            reduction(hphy, torus),
+            hc_csv
+        ));
+    }
+    r.line("(positive = hetero-IF is faster; paper reports 9.6%–46.4% reductions)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction(80.0, 100.0) - 20.0).abs() < 1e-9);
+        assert!(reduction(120.0, 100.0) < 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Table 1 (interface specifications) and Table 4 (post-synthesis).
+
+use crate::harness::{Opts, Report};
+use chiplet_synthesis::{report, TechNode};
+use chiplet_phy::spec::TABLE1;
+
+/// Regenerates Table 1.
+pub fn tab01(_opts: &Opts) -> Report {
+    let mut r = Report::new("tab01_interfaces");
+    r.line("Table 1: Specification of typical die-to-die interfaces");
+    r.line(format!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "IF", "rate(Gbps)", "latency(ns)", "pJ/bit", "reach(mm)"
+    ));
+    r.csv("name,family,data_rate_gbps,latency_ns,power_pj_bit,reach_mm");
+    for s in TABLE1 {
+        r.line(format!(
+            "{:<8} {:>12.1} {:>12.1} {:>12.2} {:>10.1}",
+            s.name, s.data_rate_gbps, s.latency_ns, s.power_pj_per_bit, s.reach_mm
+        ));
+        r.csv(format!(
+            "{},{:?},{},{},{},{}",
+            s.name, s.family, s.data_rate_gbps, s.latency_ns, s.power_pj_per_bit, s.reach_mm
+        ));
+    }
+    r
+}
+
+/// Regenerates Table 4.
+pub fn tab04(_opts: &Opts) -> Report {
+    let mut r = Report::new("tab04_synthesis");
+    let tech = TechNode::n12();
+    r.line(format!(
+        "Table 4: Post-synthesis analysis (analytical model, {})",
+        tech.name
+    ));
+    r.line(report::header());
+    r.csv("group,module,area_um2,power_mw,energy_fj_bit,freq_ghz,crit_ns");
+    let rows = report::table4(&tech);
+    for row in &rows {
+        r.line(row.row());
+        let e = &row.estimate;
+        r.csv(format!(
+            "{},{},{:.0},{:.3},{:.2},{:.3},{:.3}",
+            row.group,
+            row.name,
+            e.area_um2,
+            e.power_mw(),
+            e.energy_fj_per_bit(),
+            e.freq_ghz(),
+            e.crit_path_ns
+        ));
+    }
+    let reg = &rows[2].estimate;
+    let het = &rows[3].estimate;
+    r.line(format!(
+        "hetero router overhead: area +{:.0}% (paper: +45%), power +{:.0}% (paper: +33%)",
+        (het.area_um2 / reg.area_um2 - 1.0) * 100.0,
+        (het.power_mw() / reg.power_mw() - 1.0) * 100.0,
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab01_has_four_interfaces() {
+        let r = tab01(&Opts::default());
+        assert_eq!(r.csv_text().lines().count(), 5); // header + 4 rows
+        assert!(r.text().contains("SerDes"));
+        assert!(r.text().contains("UCIe"));
+    }
+
+    #[test]
+    fn tab04_reports_overhead() {
+        let r = tab04(&Opts::default());
+        assert!(r.text().contains("hetero router overhead"));
+        assert_eq!(r.csv_text().lines().count(), 5);
+    }
+}

@@ -1,0 +1,169 @@
+//! Figs. 12, 13, 15: trace-driven evaluations (PARSEC and HPC).
+
+use crate::experiments::{reduced_hpc, reduced_wafer, run_preset};
+use crate::harness::{fmt_latency, Opts, Report};
+use chiplet_topo::{Geometry, NodeId};
+use chiplet_traffic::parsec::{self, ParsecBench};
+use chiplet_traffic::hpc::{self, HpcApp};
+use chiplet_traffic::TraceWorkload;
+use hetero_if::presets::{hpc_system, parsec_system, wafer_system, NetworkKind};
+use hetero_if::SchedulingProfile;
+
+/// Fig. 12: hetero-PHY networks replaying the PARSEC-like traces on the
+/// 64-node system (4×4 chiplets of 2×2).
+pub fn fig12(opts: &Opts) -> Report {
+    let mut r = Report::new("fig12_parsec");
+    let geom = parsec_system();
+    let spec = opts.spec().with_drain_offers();
+    let duration = spec.warmup + spec.measure;
+    let cores: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+    // Memory controllers at the four package corners.
+    let mcs = vec![
+        geom.node_at(0, 0),
+        geom.node_at(geom.width() - 1, 0),
+        geom.node_at(0, geom.height() - 1),
+        geom.node_at(geom.width() - 1, geom.height() - 1),
+    ];
+    r.line(format!(
+        "Fig. 12: hetero-PHY on PARSEC-like traces — {} nodes, {duration} cycles",
+        geom.nodes()
+    ));
+    let nets = NetworkKind::HETERO_PHY_SET;
+    let mut header = format!("{:<14}", "benchmark");
+    for net in nets {
+        header.push_str(&format!(" {:>21}", net.label()));
+    }
+    r.line(header + "   (avg latency ± std)");
+    r.csv("benchmark,network,avg_latency,latency_std,throughput");
+    for bench in ParsecBench::ALL {
+        let mut line = format!("{:<14}", bench.to_string());
+        for net in nets {
+            let mut trace = parsec::generate(bench, &cores, &mcs, duration, 0xF16_12);
+            let res = run_preset(net, geom, SchedulingProfile::balanced(), &mut trace, spec);
+            line.push_str(&format!(
+                " {:>13.1} ±{:>6.1}",
+                res.avg_latency, res.latency_std
+            ));
+            r.csv(format!(
+                "{bench},{},{:.2},{:.2},{:.5}",
+                net.label(),
+                res.avg_latency,
+                res.latency_std,
+                res.throughput
+            ));
+        }
+        r.line(line);
+    }
+    r
+}
+
+fn hpc_figure(
+    name: &str,
+    title: &str,
+    nets: &[NetworkKind],
+    geom: Geometry,
+    ranks: Vec<NodeId>,
+    opts: &Opts,
+) -> Report {
+    let mut r = Report::new(name);
+    let spec = opts.spec().with_drain_offers();
+    let window = spec.warmup + spec.measure;
+    // Injection scale: >1 compresses the trace (more flits/cycle).
+    let scales: &[f64] = if opts.full {
+        &[0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
+    } else {
+        &[0.5, 1.0, 2.0, 3.0]
+    };
+    r.line(format!(
+        "{title} — {} nodes, {} ranks, window {window} cycles",
+        geom.nodes(),
+        ranks.len()
+    ));
+    r.csv("app,network,inj_scale,avg_latency,throughput,saturated");
+    for app in [HpcApp::Cns, HpcApp::Moc] {
+        r.line(format!("== {app} =="));
+        let mut header = format!("{:>6}", "scale");
+        for net in nets {
+            header.push_str(&format!(" {:>22}", net.label()));
+        }
+        r.line(header);
+        for &scale in scales {
+            // Iterations sized so the rescaled trace covers the window.
+            let iterations = ((window as f64 * scale / 2_000.0).ceil() as u32 + 1).max(2);
+            let mut line = format!("{scale:>6.2}");
+            for net in nets {
+                let base = hpc::generate(app, &ranks, iterations, 0xF160_00 + scale as u64);
+                let mut trace: TraceWorkload = base.rescaled(1.0 / scale);
+                let res =
+                    run_preset(*net, geom, SchedulingProfile::balanced(), &mut trace, spec);
+                line.push_str(&format!(
+                    " {:>22}",
+                    fmt_latency(res.avg_latency, res.is_saturated())
+                ));
+                r.csv(format!(
+                    "{app},{},{scale},{:.2},{:.5},{}",
+                    net.label(),
+                    res.avg_latency,
+                    res.throughput,
+                    res.is_saturated()
+                ));
+            }
+            r.line(line);
+        }
+        r.line("  (* = saturated)");
+    }
+    r
+}
+
+/// Fig. 13: hetero-PHY networks under the HPC traces (CNS, MOC).
+pub fn fig13(opts: &Opts) -> Report {
+    let geom = if opts.full { hpc_system() } else { reduced_hpc() };
+    let nranks = if opts.full { 1024 } else { 256 };
+    let ranks: Vec<NodeId> = (0..nranks).map(NodeId).collect();
+    hpc_figure(
+        "fig13_hpc",
+        "Fig. 13: hetero-PHY on HPC traces",
+        &NetworkKind::HETERO_PHY_SET,
+        geom,
+        ranks,
+        opts,
+    )
+}
+
+/// Fig. 15: hetero-channel networks under the HPC traces, ranks mapped to
+/// the chiplets' core nodes (§8.1.2).
+pub fn fig15(opts: &Opts) -> Report {
+    let geom = if opts.full {
+        wafer_system()
+    } else {
+        reduced_wafer()
+    };
+    let mut ranks = geom.core_nodes();
+    if opts.full {
+        ranks.truncate(1024);
+    }
+    hpc_figure(
+        "fig15_hc_hpc",
+        "Fig. 15: hetero-channel on HPC traces (core nodes)",
+        &NetworkKind::HETERO_CHANNEL_SET,
+        geom,
+        ranks,
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_ranks_are_core_nodes() {
+        // The reduced wafer (5×5 chiplets) has 3×3 = 9 core nodes per
+        // chiplet, 16 chiplets.
+        let geom = reduced_wafer();
+        assert_eq!(geom.core_nodes().len(), 9 * 16);
+        for n in geom.core_nodes() {
+            assert!(geom.is_core_node(n));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 8: V–t curves of the bandwidth–latency model (§5.1).
+
+use crate::harness::{Opts, Report};
+use chiplet_phy::model::{HeteroVt, VtModel};
+use chiplet_phy::spec;
+
+/// Regenerates Fig. 8: (a) full-width curves, (b) pin-constrained curves.
+pub fn fig08(_opts: &Opts) -> Report {
+    let mut r = Report::new("fig08_vt");
+    // Aggregate per-interface bandwidth: 8 lanes each, bits/ns.
+    let lanes = 8.0;
+    let serial = VtModel::new(spec::SERDES.data_rate_gbps * lanes, spec::SERDES.latency_ns);
+    let parallel = VtModel::new(spec::AIB.data_rate_gbps * lanes, spec::AIB.latency_ns);
+    let bow = VtModel::new(spec::BOW.data_rate_gbps * lanes, spec::BOW.latency_ns);
+    let hetero = HeteroVt { parallel, serial };
+    // Pin-constrained: hetero-IF halves each member's lanes (Fig. 8b).
+    let hetero_half = HeteroVt {
+        parallel: parallel.scaled(0.5),
+        serial: serial.scaled(0.5),
+    };
+
+    r.line("Fig. 8: V-t curves (volume in bits received by time t)");
+    r.line(format!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "t(ns)", "serial", "parallel", "BoW", "hetero", "hetero-half"
+    ));
+    r.csv("t_ns,serial,parallel,bow,hetero,hetero_half");
+    let ts: Vec<f64> = (0..=40).map(|i| i as f64 * 0.5).collect();
+    for &t in &ts {
+        r.line(format!(
+            "{:>6.1} {:>10.0} {:>10.0} {:>10.0} {:>12.0} {:>12.0}",
+            t,
+            serial.volume(t),
+            parallel.volume(t),
+            bow.volume(t),
+            hetero.volume(t),
+            hetero_half.volume(t)
+        ));
+        r.csv(format!(
+            "{t},{},{},{},{},{}",
+            serial.volume(t),
+            parallel.volume(t),
+            bow.volume(t),
+            hetero.volume(t),
+            hetero_half.volume(t)
+        ));
+    }
+    // The paper's qualitative claims as numbers.
+    for v in [64.0, 512.0, 4096.0] {
+        r.line(format!(
+            "time to deliver {v:>6.0} bits: serial {:>6.2} ns, parallel {:>6.2} ns, hetero {:>6.2} ns",
+            serial.time_for(v),
+            parallel.time_for(v),
+            hetero.time_for(v)
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_series_shape() {
+        let r = fig08(&Opts::default());
+        assert!(r.csv_text().lines().count() > 40);
+        assert!(r.text().contains("time to deliver"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each `fig*`/`tab*` binary reproduces one evaluation artifact of the
+//! MICRO'23 hetero-IF paper, printing the same rows/series the paper
+//! reports and writing a CSV under `results/`. Binaries default to a
+//! *reduced but shape-preserving* configuration (smaller cycle counts
+//! and, for the wafer-scale systems, a smaller chiplet grid) so the whole
+//! suite completes in minutes on one core; pass `--full` for the paper's
+//! exact scales and the Table 2 schedule (hours of wall clock).
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `tab01_interfaces` | Table 1 — interface specifications |
+//! | `fig08_vt` | Fig. 8 — V–t curves |
+//! | `fig11_patterns` | Fig. 11 — hetero-PHY latency vs injection |
+//! | `fig12_parsec` | Fig. 12 — hetero-PHY on PARSEC traces |
+//! | `fig13_hpc` | Fig. 13 — hetero-PHY on HPC traces |
+//! | `fig14_hc_patterns` | Fig. 14 — hetero-channel latency vs injection |
+//! | `fig15_hc_hpc` | Fig. 15 — hetero-channel on HPC traces |
+//! | `tab03_scalability` | Table 3 — latency reduction across scales |
+//! | `tab04_synthesis` | Table 4 — post-synthesis analysis |
+//! | `fig16_energy_uniform` | Fig. 16 — energy under uniform traffic |
+//! | `fig17_energy_hpc` | Fig. 17 — energy under MOC traces |
+//! | `fig18_local_scale` | Fig. 18 — energy vs local-communication scale |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Opts, Report};

@@ -1,0 +1,237 @@
+//! `hetero-sim`: command-line front end for the hetero-IF simulator.
+//!
+//! Examples:
+//!
+//! ```text
+//! hetero-sim --network hetero-phy --chiplets 4x4 --chip 4x4 \
+//!            --pattern uniform --rate 0.1 --cycles 20000
+//! hetero-sim --network hetero-channel --chiplets 8x8 --chip 7x7 \
+//!            --pattern bit-complement --rate 0.05 --policy energy-efficient
+//! hetero-sim --network serial-torus --chiplets 4x4 --chip 2x2 --sweep
+//! ```
+
+use hetero_if::presets::NetworkKind;
+use hetero_if::sim::{run, RunSpec};
+use hetero_if::sweep::preset_sweep;
+use hetero_if::{SchedulingProfile, SimConfig, SimResults};
+use chiplet_topo::{Geometry, NodeId};
+use chiplet_traffic::{SyntheticWorkload, TraceWorkload, TrafficPattern, Workload};
+
+#[derive(Debug)]
+struct Args {
+    network: NetworkKind,
+    chiplets: (u16, u16),
+    chip: (u16, u16),
+    pattern: TrafficPattern,
+    rate: f64,
+    cycles: u64,
+    packet_len: u16,
+    policy: SchedulingProfile,
+    half: bool,
+    seed: u64,
+    sweep: bool,
+    trace: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hetero-sim [options]\n\
+         --network    parallel-mesh | serial-torus | hetero-phy |\n\
+         \u{20}            serial-hypercube | hetero-channel   (default hetero-phy)\n\
+         --chiplets   CxC chiplet grid                     (default 4x4)\n\
+         --chip       WxH nodes per chiplet                (default 4x4)\n\
+         --pattern    uniform | hotspot | bit-shuffle | bit-complement |\n\
+         \u{20}            bit-transpose | bit-reverse           (default uniform)\n\
+         --rate       flits/cycle/node                     (default 0.1)\n\
+         --cycles     measurement cycles                   (default 20000)\n\
+         --packet     flits per packet                     (default 16)\n\
+         --policy     performance-first | balanced | energy-efficient |\n\
+         \u{20}            application-aware                     (default balanced)\n\
+         --half       pin-constrained (halved) hetero interfaces\n\
+         --seed       RNG seed                             (default 1)\n\
+         --sweep      sweep injection rates up to saturation instead of one run\n\
+         --trace FILE replay a CSV trace (cycle,src,dst,len,class,priority)\n\
+         \u{20}            instead of synthetic traffic"
+    );
+    std::process::exit(2);
+}
+
+fn parse_pair(s: &str) -> Option<(u16, u16)> {
+    let (a, b) = s.split_once(['x', 'X'])?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        network: NetworkKind::HeteroPhyFull,
+        chiplets: (4, 4),
+        chip: (4, 4),
+        pattern: TrafficPattern::Uniform,
+        rate: 0.1,
+        cycles: 20_000,
+        packet_len: 16,
+        policy: SchedulingProfile::balanced(),
+        half: false,
+        seed: 1,
+        sweep: false,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--network" => {
+                a.network = match val().as_str() {
+                    "parallel-mesh" => NetworkKind::UniformParallelMesh,
+                    "serial-torus" => NetworkKind::UniformSerialTorus,
+                    "hetero-phy" => NetworkKind::HeteroPhyFull,
+                    "serial-hypercube" => NetworkKind::UniformSerialHypercube,
+                    "hetero-channel" => NetworkKind::HeteroChannelFull,
+                    other => {
+                        eprintln!("unknown network: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--chiplets" => a.chiplets = parse_pair(&val()).unwrap_or_else(|| usage()),
+            "--chip" => a.chip = parse_pair(&val()).unwrap_or_else(|| usage()),
+            "--pattern" => {
+                a.pattern = match val().as_str() {
+                    "uniform" => TrafficPattern::Uniform,
+                    "hotspot" => TrafficPattern::UniformHotspot,
+                    "bit-shuffle" => TrafficPattern::BitShuffle,
+                    "bit-complement" => TrafficPattern::BitComplement,
+                    "bit-transpose" => TrafficPattern::BitTranspose,
+                    "bit-reverse" => TrafficPattern::BitReverse,
+                    other => {
+                        eprintln!("unknown pattern: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--rate" => a.rate = val().parse().unwrap_or_else(|_| usage()),
+            "--cycles" => a.cycles = val().parse().unwrap_or_else(|_| usage()),
+            "--packet" => a.packet_len = val().parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                a.policy = match val().as_str() {
+                    "performance-first" => SchedulingProfile::performance_first(),
+                    "balanced" => SchedulingProfile::balanced(),
+                    "energy-efficient" => SchedulingProfile::energy_efficient(),
+                    "application-aware" => SchedulingProfile::application_aware(),
+                    other => {
+                        eprintln!("unknown policy: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--half" => a.half = true,
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--sweep" => a.sweep = true,
+            "--trace" => a.trace = Some(val()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    if a.half {
+        a.network = match a.network {
+            NetworkKind::HeteroPhyFull => NetworkKind::HeteroPhyHalf,
+            NetworkKind::HeteroChannelFull => NetworkKind::HeteroChannelHalf,
+            other => other,
+        };
+    }
+    a
+}
+
+fn print_results(r: &SimResults) {
+    println!("packets delivered   {}", r.packets);
+    println!("avg latency         {:.2} cycles (σ {:.2}, max {:.0})", r.avg_latency, r.latency_std, r.max_latency);
+    println!("avg network latency {:.2} cycles", r.avg_net_latency);
+    println!("avg hops            {:.2}", r.avg_hops);
+    println!("throughput          {:.4} flits/cycle/node", r.throughput);
+    println!(
+        "energy/packet       {:.0} pJ (on-chip {:.0}, parallel {:.0}, serial {:.0})",
+        r.avg_energy_pj, r.avg_onchip_pj, r.avg_parallel_pj, r.avg_serial_pj
+    );
+    println!("baseline-locked     {:.2}% of packets", r.locked_fraction * 100.0);
+    if r.is_saturated() {
+        println!("NOTE: the network is saturated at this rate (backlog {})", r.backlog);
+    }
+}
+
+fn main() {
+    let args = parse();
+    let geom = Geometry::new(args.chiplets.0, args.chiplets.1, args.chip.0, args.chip.1);
+    let mut config = SimConfig::default().with_seed(args.seed);
+    config.packet_len = args.packet_len;
+    let spec = RunSpec {
+        warmup: (args.cycles / 10).max(100),
+        measure: args.cycles,
+        drain: args.cycles / 2,
+        watchdog: 5_000,
+        drain_offers: false,
+    };
+    println!(
+        "{} — {} chiplets x ({}x{}) = {} nodes, {} traffic at {} flits/cycle/node, {} policy\n",
+        args.network,
+        geom.chiplets(),
+        geom.chip_w(),
+        geom.chip_h(),
+        geom.nodes(),
+        args.pattern,
+        args.rate,
+        args.policy.name,
+    );
+    if args.sweep {
+        let mut rates = Vec::new();
+        let mut r = 0.02f64;
+        while r <= 1.2 {
+            rates.push(r);
+            r *= 1.5;
+        }
+        let points = preset_sweep(
+            args.network,
+            geom,
+            config,
+            args.policy,
+            args.pattern,
+            &rates,
+            spec,
+        );
+        println!("{:>8} {:>12} {:>12} {:>10}", "rate", "latency(cy)", "throughput", "status");
+        for p in &points {
+            println!(
+                "{:>8.3} {:>12.1} {:>12.4} {:>10}",
+                p.rate,
+                p.results.avg_latency,
+                p.results.throughput,
+                if p.results.is_saturated() { "saturated" } else { "ok" }
+            );
+        }
+    } else if let Some(path) = &args.trace {
+        let trace = match TraceWorkload::load(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load trace {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("replaying {} events from {path} (horizon {} cycles)", trace.len(), trace.horizon());
+        let mut net = args.network.build(geom, config, args.policy);
+        let mut w: Box<dyn Workload> = Box::new(trace);
+        let outcome = run(&mut net, w.as_mut(), spec.with_drain_offers());
+        print_results(&outcome.results);
+        if !outcome.drained {
+            println!("NOTE: the trace did not finish within the configured cycles");
+        }
+    } else {
+        let mut net = args.network.build(geom, config, args.policy);
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        let mut w =
+            SyntheticWorkload::new(nodes, args.pattern, args.rate, args.packet_len, args.seed);
+        let outcome = run(&mut net, &mut w, spec);
+        print_results(&outcome.results);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulation configuration (Table 2 of the paper).
+
+use chiplet_phy::{PhyParams, PhyPolicy};
+
+/// Bandwidth/latency of one uniform link class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Flits per cycle.
+    pub bandwidth: u8,
+    /// Propagation delay in cycles (the transmission stage adds one more).
+    pub latency: u32,
+}
+
+/// Whether hetero-IF interfaces run at full width or pin-constrained
+/// halved width (§7.2: "the halved hetero-IF combines two halved standard
+/// interfaces to restrict the total number of I/O pins").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandwidthMode {
+    /// Serial 4 + parallel 2 flits/cycle.
+    Full,
+    /// Serial 2 + parallel 1 flits/cycle.
+    Halved,
+}
+
+impl std::fmt::Display for BandwidthMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BandwidthMode::Full => "full",
+            BandwidthMode::Halved => "half",
+        })
+    }
+}
+
+/// The simulator configuration. Defaults reproduce Table 2.
+///
+/// Buffer sizes are per virtual channel, matching Fig. 9(b)'s "two separate
+/// buffers (virtual channels) at each input port" reading of Table 2's
+/// "input buffer size" rows; interface buffers are deeper to cover the
+/// credit round trip over long links (§7.1's feedback-lag buffer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Virtual channels per link.
+    pub vcs: u8,
+    /// Default packet length in flits (used by synthetic workloads).
+    pub packet_len: u16,
+    /// Input VC buffer depth for on-chip links, flits.
+    pub onchip_vc_depth: u16,
+    /// Input VC buffer depth for interface links, flits.
+    pub iface_vc_depth: u16,
+    /// Injection VC buffer depth, flits.
+    pub inj_vc_depth: u16,
+    /// Injection port bandwidth, flits/cycle.
+    pub inj_bandwidth: u8,
+    /// Ejection port bandwidth, flits/cycle (sized so local delivery never
+    /// bottlenecks a wide interface; the paper leaves this unspecified).
+    pub eject_bandwidth: u8,
+    /// On-chip link parameters.
+    pub onchip: LinkParams,
+    /// Parallel interface parameters.
+    pub parallel: LinkParams,
+    /// Serial interface parameters.
+    pub serial: LinkParams,
+    /// Hetero-IF width mode.
+    pub bandwidth_mode: BandwidthMode,
+    /// Hetero-PHY dispatch policy.
+    pub phy_policy: PhyPolicy,
+    /// Hetero-PHY TX FIFO depth (§8.2 uses 16).
+    pub adapter_fifo: u16,
+    /// §4.1 higher-radix crossbar at interface ports: when `true`
+    /// (default) multiple internal ports can feed one interface
+    /// concurrently up to its full bandwidth; when `false` interface
+    /// ports are fed at on-chip bandwidth like a traditional router
+    /// (ablation knob — shows why the heterogeneous router exists).
+    pub higher_radix_crossbar: bool,
+    /// §4.2 parallel-PHY bypass for high-priority packets (ablation knob).
+    pub adapter_bypass: bool,
+    /// RNG seed for workloads built from this config.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            vcs: 2,
+            packet_len: 16,
+            onchip_vc_depth: 32,
+            iface_vc_depth: 64,
+            inj_vc_depth: 32,
+            inj_bandwidth: 2,
+            eject_bandwidth: 4,
+            onchip: LinkParams {
+                bandwidth: 2,
+                latency: 1,
+            },
+            parallel: LinkParams {
+                bandwidth: 2,
+                latency: 5,
+            },
+            serial: LinkParams {
+                bandwidth: 4,
+                latency: 20,
+            },
+            bandwidth_mode: BandwidthMode::Full,
+            phy_policy: PhyPolicy::Balanced { threshold: 8 },
+            adapter_fifo: 16,
+            higher_radix_crossbar: true,
+            adapter_bypass: true,
+            seed: 0xC41_1BE7,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The halved-bandwidth (pin-constrained) variant of this config.
+    pub fn halved(mut self) -> Self {
+        self.bandwidth_mode = BandwidthMode::Halved;
+        self
+    }
+
+    /// Replaces the hetero-PHY dispatch policy.
+    pub fn with_policy(mut self, policy: PhyPolicy) -> Self {
+        self.phy_policy = policy;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables the §4.1 higher-radix interface crossbar (ablation).
+    pub fn without_higher_radix_crossbar(mut self) -> Self {
+        self.higher_radix_crossbar = false;
+        self
+    }
+
+    /// Disables the §4.2 parallel-PHY bypass (ablation).
+    pub fn without_bypass(mut self) -> Self {
+        self.adapter_bypass = false;
+        self
+    }
+
+    /// The hetero-PHY parameters under the current bandwidth mode.
+    pub fn phy_params(&self) -> PhyParams {
+        match self.bandwidth_mode {
+            BandwidthMode::Full => PhyParams {
+                parallel_bw: self.parallel.bandwidth,
+                parallel_lat: self.parallel.latency,
+                serial_bw: self.serial.bandwidth,
+                serial_lat: self.serial.latency,
+            },
+            BandwidthMode::Halved => PhyParams {
+                parallel_bw: (self.parallel.bandwidth / 2).max(1),
+                parallel_lat: self.parallel.latency,
+                serial_bw: (self.serial.bandwidth / 2).max(1),
+                serial_lat: self.serial.latency,
+            },
+        }
+    }
+
+    /// Serial link parameters under the current bandwidth mode (hetero-IF
+    /// systems also halve their serial-only wraparound links, §8.1.1).
+    pub fn serial_params_scaled(&self) -> LinkParams {
+        match self.bandwidth_mode {
+            BandwidthMode::Full => self.serial,
+            BandwidthMode::Halved => LinkParams {
+                bandwidth: (self.serial.bandwidth / 2).max(1),
+                latency: self.serial.latency,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = SimConfig::default();
+        assert_eq!(c.packet_len, 16);
+        assert_eq!(c.vcs, 2);
+        assert_eq!(c.onchip.bandwidth, 2);
+        assert_eq!(c.onchip.latency, 1);
+        assert_eq!(c.parallel.bandwidth, 2);
+        assert_eq!(c.parallel.latency, 5);
+        assert_eq!(c.serial.bandwidth, 4);
+        assert_eq!(c.serial.latency, 20);
+    }
+
+    #[test]
+    fn halved_mode_halves_interfaces_only() {
+        let c = SimConfig::default().halved();
+        let p = c.phy_params();
+        assert_eq!(p.parallel_bw, 1);
+        assert_eq!(p.serial_bw, 2);
+        assert_eq!(p.parallel_lat, 5);
+        assert_eq!(c.onchip.bandwidth, 2, "on-chip links unaffected");
+        assert_eq!(c.serial_params_scaled().bandwidth, 2);
+    }
+
+    #[test]
+    fn full_mode_passthrough() {
+        let c = SimConfig::default();
+        let p = c.phy_params();
+        assert_eq!(p.total_bw(), 6);
+        assert_eq!(c.serial_params_scaled(), c.serial);
+    }
+}

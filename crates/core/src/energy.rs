@@ -1,0 +1,103 @@
+//! The energy model of §8.3.
+//!
+//! Per-packet energy is the sum over the packet's flit-hops of the energy
+//! of the medium crossed: 1 pJ/bit for parallel interfaces, 2.4 pJ/bit for
+//! serial interfaces (the paper's §8.3 constants) and an on-chip per-hop
+//! cost (0.10 pJ/bit — a typical mesh-NoC link+router figure; the paper
+//! leaves it implicit, see DESIGN.md).
+
+use chiplet_noc::PacketInfo;
+
+/// Energy coefficients in pJ/bit, plus the flit width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// On-chip hop energy, pJ/bit.
+    pub onchip_pj_bit: f64,
+    /// Parallel interface energy, pJ/bit.
+    pub parallel_pj_bit: f64,
+    /// Serial interface energy, pJ/bit.
+    pub serial_pj_bit: f64,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            onchip_pj_bit: 0.10,
+            parallel_pj_bit: 1.0,
+            serial_pj_bit: 2.4,
+            flit_bits: 64,
+        }
+    }
+}
+
+/// Per-packet energy decomposition in pJ.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PacketEnergy {
+    /// Energy spent on on-chip hops.
+    pub onchip_pj: f64,
+    /// Energy spent on parallel interface crossings.
+    pub parallel_pj: f64,
+    /// Energy spent on serial interface crossings.
+    pub serial_pj: f64,
+}
+
+impl PacketEnergy {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.onchip_pj + self.parallel_pj + self.serial_pj
+    }
+
+    /// Interface-only energy (parallel + serial) in pJ.
+    pub fn interface_pj(&self) -> f64 {
+        self.parallel_pj + self.serial_pj
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one delivered packet, from its flit-hop counters.
+    pub fn packet(&self, info: &PacketInfo) -> PacketEnergy {
+        let bits = self.flit_bits as f64;
+        PacketEnergy {
+            onchip_pj: info.onchip_flits as f64 * bits * self.onchip_pj_bit,
+            parallel_pj: info.parallel_flits as f64 * bits * self.parallel_pj_bit,
+            serial_pj: info.serial_flits as f64 * bits * self.serial_pj_bit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_noc::{OrderClass, Priority};
+    use chiplet_topo::NodeId;
+
+    #[test]
+    fn decomposition_matches_counters() {
+        let m = EnergyModel::default();
+        let mut info = PacketInfo::new(
+            NodeId(0),
+            NodeId(1),
+            16,
+            OrderClass::InOrder,
+            Priority::Normal,
+            0,
+        );
+        info.onchip_flits = 10;
+        info.parallel_flits = 16;
+        info.serial_flits = 4;
+        let e = m.packet(&info);
+        assert!((e.onchip_pj - 10.0 * 64.0 * 0.10).abs() < 1e-9);
+        assert!((e.parallel_pj - 16.0 * 64.0).abs() < 1e-9);
+        assert!((e.serial_pj - 4.0 * 64.0 * 2.4).abs() < 1e-9);
+        assert!((e.total_pj() - (e.onchip_pj + e.interface_pj())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_crossing_costs_more_than_parallel() {
+        let m = EnergyModel::default();
+        assert!(m.serial_pj_bit > 2.0 * m.parallel_pj_bit);
+        assert!(m.parallel_pj_bit > m.onchip_pj_bit);
+    }
+}

@@ -1,0 +1,59 @@
+//! Heterogeneous die-to-die interfaces: the core library.
+//!
+//! This crate is the paper's contribution layer: it assembles the
+//! substrates (`chiplet-noc` routers, `chiplet-topo` topologies and
+//! routing, `chiplet-phy` interfaces, `chiplet-traffic` workloads) into
+//! runnable multi-chiplet systems and drives the experiments of the
+//! MICRO'23 paper *"Heterogeneous Die-to-Die Interfaces: Enabling More
+//! Flexible Chiplet Interconnection Systems"*.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hetero_if::{NetworkKind, SchedulingProfile, SimConfig};
+//! use hetero_if::sim::{run, RunSpec};
+//! use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+//! use chiplet_topo::NodeId;
+//!
+//! // A 16-node hetero-PHY torus under light uniform traffic.
+//! let geom = chiplet_topo::Geometry::new(2, 2, 2, 2);
+//! let mut net = NetworkKind::HeteroPhyFull.build(
+//!     geom, SimConfig::default(), SchedulingProfile::balanced());
+//! let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+//! let mut workload =
+//!     SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.05, 16, 1);
+//! let outcome = run(&mut net, &mut workload, RunSpec::smoke());
+//! assert!(outcome.results.packets > 0);
+//! ```
+//!
+//! # Layout
+//!
+//! * [`config`] — Table 2 parameters, full/halved bandwidth modes;
+//! * [`network`] — router/link/NIC assembly and the cycle engine;
+//! * [`scheduler`] — the §5.3 scheduling profiles;
+//! * [`presets`] — the evaluated network kinds and system scales;
+//! * [`sim`] — warm-up/measure/drain driver with a deadlock watchdog;
+//! * [`sweep`] — injection-rate sweeps (latency–throughput curves);
+//! * [`energy`] — the §8.3 energy model;
+//! * [`economy`] — the §10 chiplet-reuse cost model;
+//! * [`results`] — aggregated metrics.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod economy;
+pub mod energy;
+pub mod network;
+pub mod presets;
+pub mod results;
+pub mod scheduler;
+pub mod sim;
+pub mod sweep;
+
+pub use config::{BandwidthMode, SimConfig};
+pub use energy::EnergyModel;
+pub use network::Network;
+pub use presets::NetworkKind;
+pub use results::SimResults;
+pub use scheduler::SchedulingProfile;

@@ -1,0 +1,769 @@
+//! Network assembly and the per-cycle simulation engine.
+//!
+//! A [`Network`] instantiates one router per node of a
+//! [`SystemTopology`], one medium per directed link (a plain
+//! [`DelayLine`] for on-chip/parallel/serial links, a
+//! [`HeteroPhyLink`] for hetero-PHY links), the reverse credit lines, and
+//! per-node NICs (injection queues + ejection accounting). Each cycle:
+//!
+//! 1. credits that completed their return trip are restored;
+//! 2. media deliver arrived flits into input buffers (hetero-PHY adapters
+//!    also run their dispatch/reorder stages);
+//! 3. NICs stream queued packets into injection ports;
+//! 4. every router runs its RC/VA/SA pipeline, transmitting flits into the
+//!    media and returning credits upstream.
+//!
+//! Flit-hop energy counters and packet statistics are recorded at delivery
+//! and ejection respectively.
+
+use crate::config::SimConfig;
+use crate::energy::{EnergyModel, PacketEnergy};
+use chiplet_noc::{
+    CreditLine, DelayLine, Flit, PacketId, PacketInfo, PacketStore, PortCandidate, Router,
+    RouterEnv,
+};
+use chiplet_phy::{HeteroPhyLink, PhyKind};
+use chiplet_topo::routing::{Candidate, Routing};
+use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
+use chiplet_traffic::PacketRequest;
+use simkit::stats::{Histogram, Running};
+use simkit::Cycle;
+use std::collections::VecDeque;
+
+/// One directed link's physical medium.
+#[derive(Debug)]
+enum Medium {
+    Plain { line: DelayLine, class: LinkClass },
+    Hetero(Box<HeteroPhyLink>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InjectState {
+    pid: PacketId,
+    next_seq: u16,
+    vc: u8,
+    len: u16,
+}
+
+#[derive(Debug, Default)]
+struct Nic {
+    queue: VecDeque<PacketId>,
+    cur: Option<InjectState>,
+}
+
+/// Statistics accumulated over delivered packets.
+#[derive(Debug, Default, Clone)]
+pub struct Collector {
+    /// Packets created at or after this cycle contribute to the measured
+    /// statistics (warm-up exclusion).
+    pub measure_from: Cycle,
+    /// Total (creation → delivery) packet latency.
+    pub latency: Running,
+    /// Network (injection → delivery) packet latency.
+    pub net_latency: Running,
+    /// Latency of high-priority packets only (application-aware
+    /// scheduling metrics, §5.3.2).
+    pub latency_high: Running,
+    /// Latency distribution (4-cycle buckets up to 8192, for percentiles).
+    pub latency_hist: Option<Histogram>,
+    /// Head-flit hop counts.
+    pub hops: Running,
+    /// Per-packet total energy, pJ.
+    pub energy: Running,
+    /// Sum of on-chip energy over measured packets, pJ.
+    pub onchip_pj: f64,
+    /// Sum of parallel-interface energy, pJ.
+    pub parallel_pj: f64,
+    /// Sum of serial-interface energy, pJ.
+    pub serial_pj: f64,
+    /// All packets delivered (measured or not).
+    pub delivered_packets: u64,
+    /// All flits delivered.
+    pub delivered_flits: u64,
+    /// Measured packets delivered.
+    pub measured_packets: u64,
+    /// Measured flits delivered.
+    pub measured_flits: u64,
+    /// Measured packets that hit the livelock baseline lock.
+    pub locked_packets: u64,
+}
+
+struct NetEnv<'a> {
+    now: Cycle,
+    node: NodeId,
+    topo: &'a SystemTopology,
+    routing: &'a dyn Routing,
+    store: &'a mut PacketStore,
+    media: &'a mut [Medium],
+    credit_lines: &'a mut [CreditLine],
+    /// out_port (1-based; 0 is ejection) → LinkId, per this node.
+    outport_link: &'a [LinkId],
+    /// in_port (1-based; 0 is injection) → LinkId, per this node.
+    inport_link: &'a [LinkId],
+    vcs: u8,
+    eject_budget: u16,
+    collector: &'a mut Collector,
+    energy_model: &'a EnergyModel,
+    scratch: Vec<Candidate>,
+    activity: &'a mut bool,
+}
+
+impl<'a> RouterEnv for NetEnv<'a> {
+    fn route(&mut self, pid: PacketId, out: &mut Vec<PortCandidate>) {
+        let info = self.store.get(pid);
+        if info.dst == self.node {
+            for vc in 0..self.vcs {
+                out.push(PortCandidate {
+                    out_port: 0,
+                    vc,
+                    baseline: true,
+                    tier: 0,
+                });
+            }
+            return;
+        }
+        self.scratch.clear();
+        self.routing
+            .candidates(self.topo, self.node, info.dst, &info.route, &mut self.scratch);
+        debug_assert!(
+            !self.scratch.is_empty(),
+            "no route from {} to {}",
+            self.node,
+            info.dst
+        );
+        for c in &self.scratch {
+            // Links leaving this node occupy out ports 1.. in adjacency
+            // order; find the port for this link.
+            let port = self
+                .outport_link
+                .iter()
+                .position(|&l| l == c.link)
+                .expect("candidate link leaves this node") as u16
+                + 1;
+            out.push(PortCandidate {
+                out_port: port,
+                vc: c.vc,
+                baseline: c.baseline,
+                tier: c.tier,
+            });
+        }
+    }
+
+    fn out_capacity(&mut self, out_port: u16) -> u16 {
+        if out_port == 0 {
+            return self.eject_budget;
+        }
+        let link = self.outport_link[(out_port - 1) as usize];
+        match &mut self.media[link.index()] {
+            Medium::Plain { line, .. } => line.capacity(self.now) as u16,
+            Medium::Hetero(h) => h.space(),
+        }
+    }
+
+    fn send(&mut self, out_port: u16, flit: Flit) {
+        *self.activity = true;
+        if out_port == 0 {
+            debug_assert!(self.eject_budget > 0);
+            self.eject_budget -= 1;
+            let now = self.now;
+            let info = self.store.get_mut(flit.pid);
+            debug_assert_eq!(info.dst, self.node, "flit ejected at wrong node");
+            debug_assert_eq!(info.ejected, flit.seq, "out-of-order ejection");
+            info.ejected += 1;
+            self.collector.delivered_flits += 1;
+            if flit.last {
+                debug_assert_eq!(info.ejected, info.len, "flit loss detected");
+                self.collector.delivered_packets += 1;
+                if info.created >= self.collector.measure_from {
+                    let e: PacketEnergy = self.energy_model.packet(info);
+                    self.collector.measured_packets += 1;
+                    self.collector.measured_flits += info.len as u64;
+                    self.collector.latency.push((now - info.created) as f64);
+                    self.collector
+                        .latency_hist
+                        .get_or_insert_with(|| Histogram::new(4.0, 2048))
+                        .push((now - info.created) as f64);
+                    if info.priority == chiplet_noc::Priority::High {
+                        self.collector.latency_high.push((now - info.created) as f64);
+                    }
+                    self.collector
+                        .net_latency
+                        .push((now - info.injected) as f64);
+                    self.collector.hops.push(info.hops as f64);
+                    self.collector.energy.push(e.total_pj());
+                    self.collector.onchip_pj += e.onchip_pj;
+                    self.collector.parallel_pj += e.parallel_pj;
+                    self.collector.serial_pj += e.serial_pj;
+                    if info.route.baseline_locked {
+                        self.collector.locked_packets += 1;
+                    }
+                }
+                self.store.free(flit.pid);
+            }
+            return;
+        }
+        let link = self.outport_link[(out_port - 1) as usize];
+        match &mut self.media[link.index()] {
+            Medium::Plain { line, .. } => {
+                let ok = line.try_send(self.now, flit);
+                debug_assert!(ok, "plain link over capacity");
+            }
+            Medium::Hetero(h) => {
+                let info = self.store.get(flit.pid);
+                h.push(self.now, flit, info.class, info.priority);
+            }
+        }
+    }
+
+    fn credit(&mut self, in_port: u16, vc: u8) {
+        if in_port == 0 {
+            return; // injection port: the NIC reads buffer space directly
+        }
+        let link = self.inport_link[(in_port - 1) as usize];
+        self.credit_lines[link.index()].send(self.now, vc);
+    }
+
+    fn note_baseline_lock(&mut self, pid: PacketId) {
+        self.store.get_mut(pid).route.baseline_locked = true;
+    }
+}
+
+/// A fully assembled multi-chiplet network simulation.
+pub struct Network {
+    topo: SystemTopology,
+    routing: Box<dyn Routing>,
+    config: SimConfig,
+    energy_model: EnergyModel,
+    routers: Vec<Router>,
+    media: Vec<Medium>,
+    credit_lines: Vec<CreditLine>,
+    /// LinkId → out port on its source router (1-based).
+    link_out_port: Vec<u16>,
+    /// LinkId → in port on its destination router (1-based).
+    link_in_port: Vec<u16>,
+    /// node → ordered outgoing links (out port k+1 = element k).
+    outport_links: Vec<Vec<LinkId>>,
+    /// node → ordered incoming links (in port k+1 = element k).
+    inport_links: Vec<Vec<LinkId>>,
+    store: PacketStore,
+    nics: Vec<Nic>,
+    /// Flits delivered over each directed link (utilization analysis).
+    link_flits: Vec<u64>,
+    collector: Collector,
+    now: Cycle,
+    last_activity: Cycle,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("kind", &self.topo.kind())
+            .field("nodes", &self.topo.geometry().nodes())
+            .field("now", &self.now)
+            .field("live_packets", &self.store.live())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Assembles a network for `topo` with the given routing algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routing algorithm requires more VCs than the config
+    /// provides.
+    pub fn new(topo: SystemTopology, routing: Box<dyn Routing>, config: SimConfig) -> Self {
+        assert!(
+            config.vcs >= routing.min_vcs(),
+            "{} needs {} VCs, config has {}",
+            routing.name(),
+            routing.min_vcs(),
+            config.vcs
+        );
+        let n = topo.geometry().nodes() as usize;
+        let phy = config.phy_params();
+        let serial = config.serial_params_scaled();
+
+        let mut routers: Vec<Router> = (0..n).map(|_| Router::new(config.vcs)).collect();
+        let mut media = Vec::with_capacity(topo.links().len());
+        let mut credit_lines = Vec::with_capacity(topo.links().len());
+        let mut link_out_port = vec![0u16; topo.links().len()];
+        let mut link_in_port = vec![0u16; topo.links().len()];
+        let mut outport_links: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        let mut inport_links: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+
+        // Port 0 on every router: injection (in) / ejection (out).
+        for r in routers.iter_mut() {
+            r.add_in_port(config.inj_vc_depth);
+            r.add_out_port(config.eject_bandwidth, 0, true);
+        }
+
+        for link in topo.links() {
+            let (bw, lat, in_depth) = match link.class {
+                LinkClass::OnChip => (
+                    config.onchip.bandwidth,
+                    config.onchip.latency,
+                    config.onchip_vc_depth,
+                ),
+                LinkClass::Parallel => (
+                    phy.parallel_bw,
+                    config.parallel.latency,
+                    config.iface_vc_depth,
+                ),
+                LinkClass::Serial => (serial.bandwidth, serial.latency, config.iface_vc_depth),
+                LinkClass::HeteroPhy => (phy.total_bw(), 0, config.iface_vc_depth),
+            };
+            // Input port on the destination router.
+            let in_port = routers[link.dst.index()].add_in_port(in_depth);
+            link_in_port[link.id.index()] = in_port;
+            inport_links[link.dst.index()].push(link.id);
+            debug_assert_eq!(in_port as usize, inport_links[link.dst.index()].len());
+            // Output port on the source router, crediting the destination's
+            // buffer depth. The §4.1 higher-radix crossbar lets interface
+            // ports take `bw` flits/cycle from the internal ports; without
+            // it they are fed at on-chip speed like a traditional router.
+            let port_bw = if config.higher_radix_crossbar || !link.class.is_interface() {
+                bw
+            } else {
+                bw.min(config.onchip.bandwidth)
+            };
+            let out_port = routers[link.src.index()].add_out_port(port_bw, in_depth, false);
+            link_out_port[link.id.index()] = out_port;
+            outport_links[link.src.index()].push(link.id);
+            debug_assert_eq!(out_port as usize, outport_links[link.src.index()].len());
+            // The medium. Plain latencies get +1 for the transmission
+            // stage; the hetero adapter's dispatch cycle plays that role
+            // for hetero-PHY links.
+            let medium = match link.class {
+                LinkClass::HeteroPhy => {
+                    let mut l = HeteroPhyLink::new(phy, config.phy_policy, config.adapter_fifo);
+                    l.set_bypass_enabled(config.adapter_bypass);
+                    Medium::Hetero(Box::new(l))
+                }
+                class => Medium::Plain {
+                    line: DelayLine::new(lat + 1, bw),
+                    class,
+                },
+            };
+            media.push(medium);
+            let credit_lat = match link.class {
+                LinkClass::OnChip => config.onchip.latency,
+                LinkClass::Parallel | LinkClass::HeteroPhy => config.parallel.latency,
+                LinkClass::Serial => serial.latency,
+            };
+            credit_lines.push(CreditLine::new(credit_lat.max(1)));
+        }
+
+        Self {
+            routing,
+            config,
+            energy_model: EnergyModel::default(),
+            routers,
+            media,
+            credit_lines,
+            link_out_port,
+            link_in_port,
+            outport_links,
+            inport_links,
+            store: PacketStore::new(),
+            nics: (0..n).map(|_| Nic::default()).collect(),
+            link_flits: vec![0; topo.links().len()],
+            collector: Collector::default(),
+            now: 0,
+            last_activity: 0,
+            topo,
+        }
+    }
+
+    /// The topology this network was built from.
+    pub fn topology(&self) -> &SystemTopology {
+        &self.topo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replaces the energy model (default: [`EnergyModel::default`]).
+    pub fn set_energy_model(&mut self, m: EnergyModel) {
+        self.energy_model = m;
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The statistics collector.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Flits delivered over each directed link so far (indexed by
+    /// [`LinkId`]); divide by `cycles × bandwidth` for utilization.
+    pub fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
+    /// Starts the measurement window: packets created from now on are
+    /// recorded in the measured statistics.
+    pub fn start_measurement(&mut self) {
+        self.collector.measure_from = self.now;
+    }
+
+    /// Queues a packet for injection at its source NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or a node id is out of range.
+    pub fn offer(&mut self, req: PacketRequest) -> PacketId {
+        assert_ne!(req.src, req.dst, "self-addressed packet");
+        let pid = self.store.alloc(PacketInfo::new(
+            req.src,
+            req.dst,
+            req.len,
+            req.class,
+            req.priority,
+            self.now,
+        ));
+        self.nics[req.src.index()].queue.push_back(pid);
+        pid
+    }
+
+    /// Packets alive anywhere in the system (queued, in flight).
+    pub fn live_packets(&self) -> usize {
+        self.store.live()
+    }
+
+    /// Total packets waiting in source queues (not yet fully injected).
+    pub fn queued_packets(&self) -> usize {
+        self.nics
+            .iter()
+            .map(|nic| nic.queue.len() + usize::from(nic.cur.is_some()))
+            .sum()
+    }
+
+    /// Cycles since anything moved — a growing value with live packets
+    /// indicates deadlock (used by the simulation watchdog).
+    pub fn idle_cycles(&self) -> Cycle {
+        self.now - self.last_activity
+    }
+
+    /// Runs one simulation cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let mut activity = false;
+
+        // 1. Credit returns.
+        for (li, line) in self.credit_lines.iter_mut().enumerate() {
+            if line.in_flight() == 0 {
+                continue;
+            }
+            let link = self.topo.link(LinkId(li as u32));
+            let port = self.link_out_port[li];
+            while let Some(vc) = line.pop_ready(now) {
+                self.routers[link.src.index()].add_credit(port, vc);
+            }
+        }
+
+        // 2. Media deliveries (+ hetero adapter stages).
+        for (li, medium) in self.media.iter_mut().enumerate() {
+            let link = self.topo.link(LinkId(li as u32));
+            let in_port = self.link_in_port[li];
+            let dst = link.dst.index();
+            match medium {
+                Medium::Plain { line, class } => {
+                    if line.in_flight() == 0 {
+                        continue;
+                    }
+                    while let Some(flit) = line.pop_ready(now) {
+                        self.link_flits[li] += 1;
+                        let info = self.store.get_mut(flit.pid);
+                        match class {
+                            LinkClass::OnChip => info.onchip_flits += 1,
+                            LinkClass::Parallel => info.parallel_flits += 1,
+                            LinkClass::Serial => info.serial_flits += 1,
+                            LinkClass::HeteroPhy => unreachable!(),
+                        }
+                        if flit.is_head() {
+                            info.hops += 1;
+                        }
+                        self.routers[dst].receive(in_port, flit);
+                        activity = true;
+                    }
+                }
+                Medium::Hetero(h) => {
+                    h.advance(now);
+                    while let Some((flit, kind)) = h.pop_delivered() {
+                        self.link_flits[li] += 1;
+                        let info = self.store.get_mut(flit.pid);
+                        match kind {
+                            PhyKind::Parallel => info.parallel_flits += 1,
+                            PhyKind::Serial => info.serial_flits += 1,
+                        }
+                        if flit.is_head() {
+                            info.hops += 1;
+                        }
+                        self.routers[dst].receive(in_port, flit);
+                        activity = true;
+                    }
+                }
+            }
+        }
+
+        // 3. NIC injection.
+        for node in 0..self.nics.len() {
+            let nic = &mut self.nics[node];
+            if nic.queue.is_empty() && nic.cur.is_none() {
+                continue;
+            }
+            let router = &mut self.routers[node];
+            let mut budget = self.config.inj_bandwidth;
+            while budget > 0 {
+                if nic.cur.is_none() {
+                    let Some(&pid) = nic.queue.front() else { break };
+                    let Some(vc) =
+                        (0..self.config.vcs).find(|&v| router.in_vc_idle(0, v))
+                    else {
+                        break;
+                    };
+                    nic.queue.pop_front();
+                    nic.cur = Some(InjectState {
+                        pid,
+                        next_seq: 0,
+                        vc,
+                        len: self.store.get(pid).len,
+                    });
+                }
+                let st = nic.cur.as_mut().expect("just set");
+                let mut moved = false;
+                while budget > 0 && st.next_seq < st.len && router.in_space(0, st.vc) > 0 {
+                    if st.next_seq == 0 {
+                        self.store.get_mut(st.pid).injected = now;
+                    }
+                    router.receive(
+                        0,
+                        Flit {
+                            pid: st.pid,
+                            seq: st.next_seq,
+                            vc: st.vc,
+                            last: st.next_seq + 1 == st.len,
+                        },
+                    );
+                    st.next_seq += 1;
+                    budget -= 1;
+                    moved = true;
+                    activity = true;
+                }
+                if st.next_seq == st.len {
+                    nic.cur = None;
+                } else if !moved {
+                    break;
+                }
+            }
+        }
+
+        // 4. Router pipelines.
+        let mut routers = std::mem::take(&mut self.routers);
+        for (node, router) in routers.iter_mut().enumerate() {
+            if router.is_quiescent() {
+                continue;
+            }
+            let mut env = NetEnv {
+                now,
+                node: NodeId(node as u32),
+                topo: &self.topo,
+                routing: self.routing.as_ref(),
+                store: &mut self.store,
+                media: &mut self.media,
+                credit_lines: &mut self.credit_lines,
+                outport_link: &self.outport_links[node],
+                inport_link: &self.inport_links[node],
+                vcs: self.config.vcs,
+                eject_budget: self.config.eject_bandwidth as u16,
+                collector: &mut self.collector,
+                energy_model: &self.energy_model,
+                scratch: Vec::new(),
+                activity: &mut activity,
+            };
+            router.step(now, &mut env);
+        }
+        self.routers = routers;
+
+        if activity {
+            self.last_activity = now;
+        }
+        self.now += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_noc::{OrderClass, Priority};
+    use chiplet_topo::{build, routing, Geometry, SystemKind};
+
+    fn small_net(kind: SystemKind) -> Network {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let topo = match kind {
+            SystemKind::ParallelMesh => build::parallel_mesh(geom),
+            SystemKind::SerialTorus => build::serial_torus(geom),
+            SystemKind::HeteroPhyTorus => build::hetero_phy_torus(geom),
+            SystemKind::SerialHypercube => build::serial_hypercube(geom),
+            SystemKind::HeteroChannel => build::hetero_channel(geom),
+            SystemKind::MultiPackageRow => {
+                build::multi_package(geom.chiplets_x(), 1, geom.chiplets_y(), geom.chip_w(), geom.chip_h())
+            }
+        };
+        let r = routing::for_system(kind, 2);
+        Network::new(topo, r, SimConfig::default())
+    }
+
+    fn run_until_drained(net: &mut Network, max_cycles: u64) {
+        let mut cycles = 0;
+        while net.live_packets() > 0 {
+            net.step();
+            cycles += 1;
+            assert!(
+                cycles < max_cycles,
+                "not drained after {max_cycles} cycles ({} live)",
+                net.live_packets()
+            );
+            assert!(net.idle_cycles() < 2_000, "deadlock suspected");
+        }
+    }
+
+    #[test]
+    fn single_packet_crosses_mesh() {
+        let mut net = small_net(SystemKind::ParallelMesh);
+        let g = *net.topology().geometry();
+        net.offer(PacketRequest::new(g.node_at(0, 0), g.node_at(3, 3), 16));
+        run_until_drained(&mut net, 500);
+        let c = net.collector();
+        assert_eq!(c.delivered_packets, 1);
+        assert_eq!(c.delivered_flits, 16);
+        assert_eq!(c.measured_packets, 1);
+        assert_eq!(c.hops.mean(), 6.0);
+        // Zero-load latency sanity: 6 hops, 2 of them parallel interfaces.
+        let lat = c.latency.mean();
+        assert!(lat > 20.0 && lat < 80.0, "latency {lat}");
+    }
+
+    #[test]
+    fn every_preset_delivers_all_pairs_sample() {
+        use simkit::SimRng;
+        for kind in [
+            SystemKind::ParallelMesh,
+            SystemKind::SerialTorus,
+            SystemKind::HeteroPhyTorus,
+            SystemKind::SerialHypercube,
+            SystemKind::HeteroChannel,
+        ] {
+            let mut net = small_net(kind);
+            let n = net.topology().geometry().nodes() as u64;
+            let mut rng = SimRng::seed(99);
+            for _ in 0..60 {
+                let s = rng.below(n) as u32;
+                let mut d = rng.below(n) as u32;
+                while d == s {
+                    d = rng.below(n) as u32;
+                }
+                net.offer(PacketRequest::new(NodeId(s), NodeId(d), 16));
+            }
+            run_until_drained(&mut net, 20_000);
+            assert_eq!(net.collector().delivered_packets, 60, "{kind}");
+            assert_eq!(net.collector().delivered_flits, 60 * 16, "{kind}");
+        }
+    }
+
+    #[test]
+    fn energy_counters_track_link_classes() {
+        let mut net = small_net(SystemKind::ParallelMesh);
+        let g = *net.topology().geometry();
+        // 1 on-chip hop.
+        net.offer(PacketRequest::new(g.node_at(0, 0), g.node_at(1, 0), 4));
+        // 1 parallel hop (chiplet boundary).
+        net.offer(PacketRequest::new(g.node_at(1, 0), g.node_at(2, 0), 4));
+        run_until_drained(&mut net, 1_000);
+        let c = net.collector();
+        // 4 flits on-chip + 4 flits parallel.
+        let expected_onchip = 4.0 * 64.0 * 0.10;
+        let expected_parallel = 4.0 * 64.0 * 1.0;
+        assert!((c.onchip_pj - expected_onchip).abs() < 1e-9, "{}", c.onchip_pj);
+        assert!(
+            (c.parallel_pj - expected_parallel).abs() < 1e-9,
+            "{}",
+            c.parallel_pj
+        );
+        assert_eq!(c.serial_pj, 0.0);
+    }
+
+    #[test]
+    fn hetero_phy_uses_serial_under_burst() {
+        let mut net = small_net(SystemKind::HeteroPhyTorus);
+        let g = *net.topology().geometry();
+        // Several flows converge on the boundary router at (1,0): the
+        // higher-radix crossbar feeds the interface faster than the
+        // parallel PHY drains, so the balanced policy enables the serial
+        // PHY (a single source can never exceed the parallel bandwidth).
+        for _ in 0..8 {
+            net.offer(PacketRequest::new(g.node_at(1, 0), g.node_at(2, 0), 16));
+            net.offer(PacketRequest::new(g.node_at(0, 0), g.node_at(3, 0), 16));
+            net.offer(PacketRequest::new(g.node_at(1, 1), g.node_at(2, 0), 16));
+        }
+        run_until_drained(&mut net, 5_000);
+        let c = net.collector();
+        assert_eq!(c.delivered_packets, 24);
+        assert!(
+            c.serial_pj > 0.0,
+            "balanced policy should spill to serial under convergent bursts"
+        );
+        assert!(c.parallel_pj > 0.0);
+    }
+
+    #[test]
+    fn measurement_window_excludes_warmup() {
+        let mut net = small_net(SystemKind::ParallelMesh);
+        let g = *net.topology().geometry();
+        net.offer(PacketRequest::new(g.node_at(0, 0), g.node_at(3, 0), 8));
+        for _ in 0..5 {
+            net.step();
+        }
+        net.start_measurement();
+        net.offer(PacketRequest::new(g.node_at(0, 1), g.node_at(3, 1), 8));
+        run_until_drained(&mut net, 2_000);
+        let c = net.collector();
+        assert_eq!(c.delivered_packets, 2);
+        assert_eq!(c.measured_packets, 1);
+    }
+
+    #[test]
+    fn unordered_bulk_delivers_completely() {
+        let mut net = small_net(SystemKind::HeteroPhyTorus);
+        let g = *net.topology().geometry();
+        for i in 0..10 {
+            net.offer(PacketRequest {
+                src: g.node_at(i % 4, 0),
+                dst: g.node_at(3 - i % 4, 3),
+                len: 16,
+                class: OrderClass::Unordered,
+                priority: if i % 3 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                },
+            });
+        }
+        run_until_drained(&mut net, 10_000);
+        assert_eq!(net.collector().delivered_packets, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_addressed_packet_rejected() {
+        let mut net = small_net(SystemKind::ParallelMesh);
+        let g = *net.topology().geometry();
+        net.offer(PacketRequest::new(g.node_at(0, 0), g.node_at(0, 0), 1));
+    }
+}

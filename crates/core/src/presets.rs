@@ -1,0 +1,238 @@
+//! The paper's evaluated network presets and system scales.
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::scheduler::SchedulingProfile;
+use chiplet_topo::routing::{Algorithm1, NegativeFirstMesh, Routing, TorusAdaptive};
+use chiplet_topo::routing::HypercubeRouting;
+use chiplet_topo::{build, Geometry};
+
+/// The networks compared in the evaluation (§8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// Uniform-parallel-IF 2D-mesh (baseline for everything).
+    UniformParallelMesh,
+    /// Uniform-serial-IF 2D-torus (hetero-PHY baseline).
+    UniformSerialTorus,
+    /// Hetero-PHY 2D-torus, full interface bandwidth.
+    HeteroPhyFull,
+    /// Hetero-PHY 2D-torus, halved (pin-constrained) bandwidth.
+    HeteroPhyHalf,
+    /// Uniform-serial-IF chiplet hypercube (hetero-channel baseline).
+    UniformSerialHypercube,
+    /// Hetero-channel mesh + hypercube, full bandwidth.
+    HeteroChannelFull,
+    /// Hetero-channel mesh + hypercube, halved bandwidth.
+    HeteroChannelHalf,
+}
+
+impl NetworkKind {
+    /// The four networks of the hetero-PHY comparison (Figs. 11–13).
+    pub const HETERO_PHY_SET: [NetworkKind; 4] = [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::UniformSerialTorus,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::HeteroPhyHalf,
+    ];
+
+    /// The four networks of the hetero-channel comparison (Figs. 14–15).
+    pub const HETERO_CHANNEL_SET: [NetworkKind; 4] = [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::UniformSerialHypercube,
+        NetworkKind::HeteroChannelFull,
+        NetworkKind::HeteroChannelHalf,
+    ];
+
+    /// Whether this preset uses heterogeneous interfaces.
+    pub fn is_hetero(self) -> bool {
+        matches!(
+            self,
+            NetworkKind::HeteroPhyFull
+                | NetworkKind::HeteroPhyHalf
+                | NetworkKind::HeteroChannelFull
+                | NetworkKind::HeteroChannelHalf
+        )
+    }
+
+    /// Short label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::UniformParallelMesh => "uni-parallel-mesh",
+            NetworkKind::UniformSerialTorus => "uni-serial-torus",
+            NetworkKind::HeteroPhyFull => "hetero-phy-full",
+            NetworkKind::HeteroPhyHalf => "hetero-phy-half",
+            NetworkKind::UniformSerialHypercube => "uni-serial-hypercube",
+            NetworkKind::HeteroChannelFull => "hetero-channel-full",
+            NetworkKind::HeteroChannelHalf => "hetero-channel-half",
+        }
+    }
+
+    /// Builds the network for this preset on `geom` with `config` and the
+    /// given scheduling profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics for hypercube presets when the chiplet count is not a power
+    /// of two.
+    pub fn build(self, geom: Geometry, config: SimConfig, profile: SchedulingProfile) -> Network {
+        let mut config = config.with_policy(profile.phy_policy);
+        if !self.is_hetero() {
+            // Uniform baselines always run full-width interfaces.
+            config.bandwidth_mode = crate::config::BandwidthMode::Full;
+        }
+        match self {
+            NetworkKind::HeteroPhyHalf | NetworkKind::HeteroChannelHalf => {
+                config.bandwidth_mode = crate::config::BandwidthMode::Halved;
+            }
+            NetworkKind::HeteroPhyFull | NetworkKind::HeteroChannelFull => {
+                config.bandwidth_mode = crate::config::BandwidthMode::Full;
+            }
+            _ => {}
+        }
+        let vcs = config.vcs;
+        let (topo, routing): (_, Box<dyn Routing>) = match self {
+            NetworkKind::UniformParallelMesh => (
+                build::parallel_mesh(geom),
+                Box::new(NegativeFirstMesh::new(vcs)),
+            ),
+            NetworkKind::UniformSerialTorus => {
+                (build::serial_torus(geom), Box::new(TorusAdaptive::new(vcs)))
+            }
+            NetworkKind::HeteroPhyFull | NetworkKind::HeteroPhyHalf => (
+                build::hetero_phy_torus(geom),
+                Box::new(TorusAdaptive::new(vcs)),
+            ),
+            NetworkKind::UniformSerialHypercube => (
+                build::serial_hypercube(geom),
+                Box::new(HypercubeRouting::new(vcs)),
+            ),
+            NetworkKind::HeteroChannelFull | NetworkKind::HeteroChannelHalf => (
+                build::hetero_channel(geom),
+                Box::new(Algorithm1::with_serial_weight(
+                    vcs,
+                    profile.serial_selection_weight,
+                )),
+            ),
+        };
+        Network::new(topo, routing, config)
+    }
+}
+
+impl std::fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One of the paper's evaluated system scales (Table 3 notation:
+/// `chiplets × (chip_w × chip_h)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Table 3 label.
+    pub label: &'static str,
+    /// The geometry.
+    pub geometry: Geometry,
+}
+
+/// Every scale of Table 3.
+pub fn paper_scales() -> Vec<Scale> {
+    vec![
+        Scale {
+            label: "4x(2x2)",
+            geometry: Geometry::new(2, 2, 2, 2),
+        },
+        Scale {
+            label: "16x(2x2)",
+            geometry: Geometry::new(4, 4, 2, 2),
+        },
+        Scale {
+            label: "16x(4x4)",
+            geometry: Geometry::new(4, 4, 4, 4),
+        },
+        Scale {
+            label: "16x(6x6)",
+            geometry: Geometry::new(4, 4, 6, 6),
+        },
+        Scale {
+            label: "64x(7x7)",
+            geometry: Geometry::new(8, 8, 7, 7),
+        },
+    ]
+}
+
+/// The medium pattern-evaluation system of §8.1.1: 4×4 chiplets of 4×4
+/// nodes (256 nodes).
+pub fn medium_system() -> Geometry {
+    Geometry::new(4, 4, 4, 4)
+}
+
+/// The PARSEC system of §8.1.1: 4×4 chiplets of 2×2 nodes (64 nodes).
+pub fn parsec_system() -> Geometry {
+    Geometry::new(4, 4, 2, 2)
+}
+
+/// The HPC hetero-PHY system of §8.1.1: 6×6 chiplets of 6×6 nodes (1296).
+pub fn hpc_system() -> Geometry {
+    Geometry::new(6, 6, 6, 6)
+}
+
+/// The wafer-scale hetero-channel system of §8.1.2: 8×8 chiplets of 7×7
+/// nodes (3136).
+pub fn wafer_system() -> Geometry {
+    Geometry::new(8, 8, 7, 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_match_table3() {
+        let s = paper_scales();
+        assert_eq!(s.len(), 5);
+        let nodes: Vec<u32> = s.iter().map(|x| x.geometry.nodes()).collect();
+        assert_eq!(nodes, vec![16, 64, 256, 576, 3136]);
+    }
+
+    #[test]
+    fn builds_every_preset_small() {
+        let geom = Geometry::new(2, 2, 2, 2);
+        for kind in [
+            NetworkKind::UniformParallelMesh,
+            NetworkKind::UniformSerialTorus,
+            NetworkKind::HeteroPhyFull,
+            NetworkKind::HeteroPhyHalf,
+            NetworkKind::UniformSerialHypercube,
+            NetworkKind::HeteroChannelFull,
+            NetworkKind::HeteroChannelHalf,
+        ] {
+            let net = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+            assert_eq!(net.topology().geometry().nodes(), 16, "{kind}");
+        }
+    }
+
+    #[test]
+    fn half_presets_halve_interfaces() {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let net = NetworkKind::HeteroPhyHalf.build(
+            geom,
+            SimConfig::default(),
+            SchedulingProfile::balanced(),
+        );
+        assert_eq!(net.config().phy_params().total_bw(), 3);
+        let full = NetworkKind::HeteroPhyFull.build(
+            geom,
+            SimConfig::default(),
+            SchedulingProfile::balanced(),
+        );
+        assert_eq!(full.config().phy_params().total_bw(), 6);
+    }
+
+    #[test]
+    fn paper_system_sizes() {
+        assert_eq!(medium_system().nodes(), 256);
+        assert_eq!(parsec_system().nodes(), 64);
+        assert_eq!(hpc_system().nodes(), 1296);
+        assert_eq!(wafer_system().nodes(), 3136);
+    }
+}

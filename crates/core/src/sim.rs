@@ -1,0 +1,242 @@
+//! The simulation driver: warm-up, measurement, drain, deadlock watchdog.
+
+use crate::network::Network;
+use crate::results::SimResults;
+use chiplet_traffic::Workload;
+use simkit::Cycle;
+
+/// How long to run each phase of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Warm-up cycles (packets created here are excluded from statistics).
+    pub warmup: Cycle,
+    /// Measurement cycles.
+    pub measure: Cycle,
+    /// Maximum extra cycles spent draining in-flight packets after the
+    /// measurement window (saturated runs won't drain; their backlog is
+    /// reported instead).
+    pub drain: Cycle,
+    /// Cycles of total inactivity with live packets after which the run
+    /// aborts (deadlock watchdog).
+    pub watchdog: Cycle,
+    /// Whether to keep polling the workload during the drain phase. Set
+    /// for trace replays (the trace should finish); open-loop synthetic
+    /// workloads must stop offering at the window edge or they would never
+    /// drain.
+    pub drain_offers: bool,
+}
+
+impl RunSpec {
+    /// The paper's Table 2 schedule: 100 000 cycles with 10 000 warm-up.
+    pub fn paper() -> Self {
+        Self {
+            warmup: 10_000,
+            measure: 90_000,
+            drain: 20_000,
+            watchdog: 5_000,
+            drain_offers: false,
+        }
+    }
+
+    /// A shape-preserving quick schedule for benches and tests.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 1_000,
+            measure: 6_000,
+            drain: 6_000,
+            watchdog: 5_000,
+            drain_offers: false,
+        }
+    }
+
+    /// An even shorter schedule for unit tests.
+    pub fn smoke() -> Self {
+        Self {
+            warmup: 200,
+            measure: 1_500,
+            drain: 3_000,
+            watchdog: 3_000,
+            drain_offers: false,
+        }
+    }
+
+    /// Enables workload polling during the drain phase (trace replays).
+    pub fn with_drain_offers(mut self) -> Self {
+        self.drain_offers = true;
+        self
+    }
+}
+
+/// Outcome of a completed run: the results, plus whether the network
+/// drained completely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Aggregated results over the measurement window.
+    pub results: SimResults,
+    /// Whether every packet was delivered by the end of the drain phase.
+    pub drained: bool,
+}
+
+/// Runs `workload` on `net` according to `spec`.
+///
+/// The workload is polled once per cycle through warm-up and measurement;
+/// during the drain phase it is polled only until it reports
+/// [`Workload::done`] (open-loop synthetic workloads never do, so draining
+/// stops offering new traffic at the window edge).
+///
+/// # Panics
+///
+/// Panics if the deadlock watchdog fires — the routing algorithms in this
+/// workspace are deadlock-free, so this indicates a bug, and the panic
+/// message carries diagnostics.
+pub fn run(net: &mut Network, workload: &mut dyn Workload, spec: RunSpec) -> RunOutcome {
+    let mut buf = Vec::new();
+    let offer_all = |net: &mut Network, buf: &mut Vec<_>| {
+        for req in buf.drain(..) {
+            net.offer(req);
+        }
+    };
+
+    for _ in 0..spec.warmup {
+        workload.poll(net.now(), &mut buf);
+        offer_all(net, &mut buf);
+        net.step();
+        check_watchdog(net, spec.watchdog);
+    }
+    net.start_measurement();
+    let measure_start = net.now();
+    for _ in 0..spec.measure {
+        workload.poll(net.now(), &mut buf);
+        offer_all(net, &mut buf);
+        net.step();
+        check_watchdog(net, spec.watchdog);
+    }
+    let cycles = net.now() - measure_start;
+    // Backlog at the *end of the measurement window* is the saturation
+    // signal: everything offered but not yet delivered.
+    let backlog = net.live_packets() as u64;
+    let mut drained = net.live_packets() == 0;
+    for _ in 0..spec.drain {
+        if net.live_packets() == 0 && (!spec.drain_offers || workload.done()) {
+            drained = true;
+            break;
+        }
+        if spec.drain_offers && !workload.done() {
+            workload.poll(net.now(), &mut buf);
+            offer_all(net, &mut buf);
+        }
+        net.step();
+        check_watchdog(net, spec.watchdog);
+        drained = net.live_packets() == 0;
+    }
+    let results = SimResults::from_collector(
+        net.collector(),
+        net.topology().geometry().nodes(),
+        cycles,
+        backlog,
+    );
+    RunOutcome { results, drained }
+}
+
+fn check_watchdog(net: &Network, threshold: Cycle) {
+    if net.live_packets() > 0 && net.idle_cycles() > threshold {
+        panic!(
+            "deadlock watchdog: no activity for {} cycles at cycle {} with {} live packets \
+             ({} queued) on {}",
+            net.idle_cycles(),
+            net.now(),
+            net.live_packets(),
+            net.queued_packets(),
+            net.topology().kind(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use chiplet_topo::{build, routing, Geometry, SystemKind};
+    use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+
+    fn net(kind: SystemKind, geom: Geometry) -> Network {
+        let topo = match kind {
+            SystemKind::ParallelMesh => build::parallel_mesh(geom),
+            SystemKind::SerialTorus => build::serial_torus(geom),
+            SystemKind::HeteroPhyTorus => build::hetero_phy_torus(geom),
+            SystemKind::SerialHypercube => build::serial_hypercube(geom),
+            SystemKind::HeteroChannel => build::hetero_channel(geom),
+            SystemKind::MultiPackageRow => {
+                build::multi_package(geom.chiplets_x(), 1, geom.chiplets_y(), geom.chip_w(), geom.chip_h())
+            }
+        };
+        Network::new(topo, routing::for_system(kind, 2), SimConfig::default())
+    }
+
+    #[test]
+    fn light_uniform_traffic_runs_and_drains() {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let mut n = net(SystemKind::ParallelMesh, geom);
+        let nodes = (0..geom.nodes()).map(chiplet_topo::NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.05, 16, 7);
+        let out = run(&mut n, &mut w, RunSpec::smoke());
+        assert!(out.drained, "light load must drain");
+        assert!(out.results.packets > 10);
+        assert!(!out.results.is_saturated());
+        assert!(out.results.avg_latency > 10.0);
+        assert!(out.results.throughput > 0.0);
+        // Percentiles populated and ordered.
+        assert!(out.results.p50_latency > 0.0);
+        assert!(out.results.p99_latency >= out.results.p50_latency);
+        assert!(out.results.p99_latency <= out.results.max_latency + 4.0);
+    }
+
+    #[test]
+    fn hetero_phy_torus_beats_serial_torus_at_low_load() {
+        // The paper's core zero-load claim (Fig. 11): serial-IF tori pay
+        // the 20-cycle interface delay; hetero-PHY tori use the parallel
+        // PHY for neighbor hops.
+        let geom = Geometry::new(2, 2, 2, 2);
+        let nodes: Vec<_> = (0..geom.nodes()).map(chiplet_topo::NodeId).collect();
+        let lat = |kind| {
+            let mut n = net(kind, geom);
+            let mut w =
+                SyntheticWorkload::new(nodes.clone(), TrafficPattern::Uniform, 0.02, 16, 7);
+            run(&mut n, &mut w, RunSpec::smoke()).results.avg_latency
+        };
+        let serial = lat(SystemKind::SerialTorus);
+        let hetero = lat(SystemKind::HeteroPhyTorus);
+        assert!(
+            hetero < serial,
+            "hetero-PHY {hetero:.1} should beat uniform-serial {serial:.1}"
+        );
+    }
+
+    #[test]
+    fn saturated_run_reports_backlog_not_hang() {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let mut n = net(SystemKind::ParallelMesh, geom);
+        let nodes = (0..geom.nodes()).map(chiplet_topo::NodeId).collect();
+        // 3 flits/cycle/node exceeds even the injection bandwidth (2).
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::BitComplement, 3.0, 16, 8);
+        let out = run(&mut n, &mut w, RunSpec::smoke());
+        // The backlog at the window edge flags saturation (whether or not
+        // the drain phase later manages to empty the queues).
+        assert!(out.results.is_saturated());
+        assert!(out.results.backlog > out.results.packets);
+    }
+
+    #[test]
+    fn hetero_channel_runs_under_uniform_load() {
+        let geom = Geometry::new(4, 4, 3, 3);
+        let mut n = net(SystemKind::HeteroChannel, geom);
+        let nodes = (0..geom.nodes()).map(chiplet_topo::NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.1, 16, 9);
+        let out = run(&mut n, &mut w, RunSpec::smoke());
+        assert!(out.results.packets > 50);
+        assert!(
+            out.results.avg_serial_pj > 0.0,
+            "distant pairs should use the hypercube"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Injection-rate sweeps: the latency–throughput curves of Figs. 11/13/14.
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::presets::NetworkKind;
+use crate::results::SimResults;
+use crate::scheduler::SchedulingProfile;
+use crate::sim::{run, RunSpec};
+use chiplet_topo::{Geometry, NodeId};
+use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+
+/// One point of a latency–injection curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered injection rate, flits/cycle/node.
+    pub rate: f64,
+    /// Measured results at that rate.
+    pub results: SimResults,
+    /// Whether the run drained completely.
+    pub drained: bool,
+}
+
+/// Sweeps injection rates on fresh networks built by `build`, stopping two
+/// points after saturation (the curves of Fig. 11 end just past the
+/// saturation throughput).
+pub fn latency_sweep(
+    mut build: impl FnMut() -> Network,
+    pattern: TrafficPattern,
+    rates: &[f64],
+    packet_len: u16,
+    spec: RunSpec,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    let mut past_saturation = 0;
+    for &rate in rates {
+        let mut net = build();
+        let nodes: Vec<NodeId> = (0..net.topology().geometry().nodes()).map(NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, pattern, rate, packet_len, seed);
+        let outcome = run(&mut net, &mut w, spec);
+        let saturated = outcome.results.is_saturated();
+        out.push(SweepPoint {
+            rate,
+            results: outcome.results,
+            drained: outcome.drained,
+        });
+        if saturated {
+            past_saturation += 1;
+            if past_saturation >= 2 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: sweeps one paper preset on `geom`.
+pub fn preset_sweep(
+    kind: NetworkKind,
+    geom: Geometry,
+    config: SimConfig,
+    profile: SchedulingProfile,
+    pattern: TrafficPattern,
+    rates: &[f64],
+    spec: RunSpec,
+) -> Vec<SweepPoint> {
+    let packet_len = config.packet_len;
+    let seed = config.seed;
+    latency_sweep(
+        || kind.build(geom, config, profile),
+        pattern,
+        rates,
+        packet_len,
+        spec,
+        seed,
+    )
+}
+
+/// The saturation injection rate: the highest swept rate whose run stayed
+/// unsaturated, or `None` if even the first point saturated.
+pub fn saturation_rate(points: &[SweepPoint]) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| !p.results.is_saturated())
+        .map(|p| p.rate)
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::RunSpec;
+
+    #[test]
+    fn mesh_sweep_shows_latency_growth_and_saturation() {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let rates = [0.02, 0.1, 0.3, 0.6, 1.0, 1.5, 2.0];
+        let points = preset_sweep(
+            NetworkKind::UniformParallelMesh,
+            geom,
+            SimConfig::default(),
+            SchedulingProfile::balanced(),
+            TrafficPattern::Uniform,
+            &rates,
+            RunSpec::smoke(),
+        );
+        assert!(points.len() >= 3);
+        // Latency is (weakly) increasing from the first to the last point.
+        let first = points.first().unwrap().results.avg_latency;
+        let last = points.last().unwrap().results.avg_latency;
+        assert!(last > first, "{first} !< {last}");
+        // The sweep stops early once saturated (7 rates offered).
+        assert!(points.len() < rates.len() || points.last().unwrap().results.is_saturated());
+        let sat = saturation_rate(&points);
+        assert!(sat.is_some());
+        assert!(sat.unwrap() >= 0.02);
+    }
+
+    #[test]
+    fn saturation_rate_of_empty_is_none() {
+        assert_eq!(saturation_rate(&[]), None);
+    }
+}

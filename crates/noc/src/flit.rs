@@ -1,0 +1,84 @@
+//! Flits: the flow-control units packets are segmented into.
+
+use crate::packet::PacketId;
+
+/// Delivery-ordering class of a packet (§4.2).
+///
+/// In-order packets carry sequence tags through hetero-PHY interfaces and
+/// wait in the reorder buffer; unordered packets may use the parallel-PHY
+/// bypass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderClass {
+    /// Must be delivered in per-link order (e.g. coherence traffic).
+    #[default]
+    InOrder,
+    /// May overtake earlier packets at a hetero-PHY receiver (bulk data).
+    Unordered,
+}
+
+/// Scheduling priority of a packet (application-aware scheduling, §5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Default priority.
+    #[default]
+    Normal,
+    /// Latency-critical: preferred onto the parallel PHY and dispatched
+    /// early through the bypass.
+    High,
+}
+
+/// One flit in flight.
+///
+/// Flits carry only their identity; everything else (source, destination,
+/// timestamps, routing state) lives in the packet descriptor, looked up via
+/// [`PacketId`]. The `vc` field names the virtual channel of the link the
+/// flit is *currently* traversing and is rewritten at every hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub pid: PacketId,
+    /// Position within the packet (0 = head).
+    pub seq: u16,
+    /// Virtual channel on the current link.
+    pub vc: u8,
+    /// Whether this is the tail flit.
+    pub last: bool,
+}
+
+impl Flit {
+    /// Whether this is the head flit.
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_and_tail() {
+        let head = Flit {
+            pid: PacketId(0),
+            seq: 0,
+            vc: 0,
+            last: false,
+        };
+        assert!(head.is_head());
+        assert!(!head.last);
+        let single = Flit {
+            pid: PacketId(0),
+            seq: 0,
+            vc: 0,
+            last: true,
+        };
+        assert!(single.is_head() && single.last);
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(OrderClass::default(), OrderClass::InOrder);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::High > Priority::Normal);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cycle-accurate network-on-chip substrate.
+//!
+//! This crate implements the simulator microarchitecture of §7.1 of the
+//! paper:
+//!
+//! * [`flit`]/[`packet`] — flits, packets and the packet descriptor store;
+//! * [`channel`] — behavioral channel models: a [`channel::DelayLine`]
+//!   ("multiple virtual pipeline registers": latency → pipeline stages,
+//!   bandwidth → lanes) and the matching [`channel::CreditLine`] for
+//!   credit-based flow control with realistic feedback lag;
+//! * [`router`] — the canonical virtual-channel router with the classic
+//!   four-stage pipeline (routing computation → VC allocation → switch
+//!   allocation → transmission) and the paper's §4.1 extension: interface
+//!   output ports with a **higher-radix crossbar** (multiple internal ports
+//!   feed one interface concurrently, capacity = interface bandwidth) and
+//!   multi-flit-per-cycle input draining.
+//!
+//! The router is deliberately independent of topology and of the medium
+//! behind each port: the embedding system implements [`router::RouterEnv`]
+//! to supply routing candidates (from `chiplet-topo`) and to accept sent
+//! flits (plain links, hetero-PHY adapters from `chiplet-phy`, or local
+//! ejection).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod flit;
+pub mod packet;
+pub mod router;
+
+pub use channel::{CreditLine, DelayLine};
+pub use flit::{Flit, OrderClass, Priority};
+pub use packet::{PacketId, PacketInfo, PacketStore};
+pub use router::{PortCandidate, Router, RouterEnv};

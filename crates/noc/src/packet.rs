@@ -1,0 +1,234 @@
+//! Packet descriptors and their recycled store.
+//!
+//! Flits carry only a [`PacketId`]; the descriptor holds routing state,
+//! timestamps and the per-class flit-hop counters the energy model (§8.3)
+//! aggregates. Descriptor slots are recycled after the tail flit is
+//! ejected, so long simulations run in bounded memory.
+
+use crate::flit::{Flit, OrderClass, Priority};
+use chiplet_topo::{NodeId, RouteState};
+use simkit::Cycle;
+
+/// Identifier of a live packet; an index into the [`PacketStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Everything the network needs to know about one packet.
+#[derive(Debug, Clone)]
+pub struct PacketInfo {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Length in flits (≥ 1).
+    pub len: u16,
+    /// Ordering class (reorder-buffer vs bypass at hetero-PHY receivers).
+    pub class: OrderClass,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Cycle the workload created the packet (queueing included in latency).
+    pub created: Cycle,
+    /// Cycle the head flit entered the source router.
+    pub injected: Cycle,
+    /// Livelock/deadlock routing state (Algorithm 1's baseline lock).
+    pub route: RouteState,
+    /// Hops taken by the head flit.
+    pub hops: u32,
+    /// Flit-traversals over on-chip links.
+    pub onchip_flits: u32,
+    /// Flit-traversals over parallel interface PHYs.
+    pub parallel_flits: u32,
+    /// Flit-traversals over serial interface PHYs.
+    pub serial_flits: u32,
+    /// Flits ejected at the destination so far.
+    pub ejected: u16,
+}
+
+impl PacketInfo {
+    /// Creates a descriptor for a packet generated at `created`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        len: u16,
+        class: OrderClass,
+        priority: Priority,
+        created: Cycle,
+    ) -> Self {
+        assert!(len >= 1, "packets have at least one flit");
+        Self {
+            src,
+            dst,
+            len,
+            class,
+            priority,
+            created,
+            injected: 0,
+            route: RouteState::default(),
+            hops: 0,
+            onchip_flits: 0,
+            parallel_flits: 0,
+            serial_flits: 0,
+            ejected: 0,
+        }
+    }
+}
+
+/// A slab of packet descriptors with slot recycling.
+///
+/// # Examples
+///
+/// ```
+/// use chiplet_noc::packet::{PacketInfo, PacketStore};
+/// use chiplet_noc::flit::{OrderClass, Priority};
+/// use chiplet_topo::NodeId;
+///
+/// let mut store = PacketStore::new();
+/// let pid = store.alloc(PacketInfo::new(
+///     NodeId(0), NodeId(5), 16, OrderClass::InOrder, Priority::Normal, 0,
+/// ));
+/// assert_eq!(store.get(pid).dst, NodeId(5));
+/// store.free(pid);
+/// assert_eq!(store.live(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct PacketStore {
+    slots: Vec<PacketInfo>,
+    free: Vec<u32>,
+    live: usize,
+    created_total: u64,
+}
+
+impl PacketStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a slot for `info`, recycling a freed one when available.
+    pub fn alloc(&mut self, info: PacketInfo) -> PacketId {
+        self.live += 1;
+        self.created_total += 1;
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = info;
+            PacketId(i)
+        } else {
+            self.slots.push(info);
+            PacketId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// The descriptor of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn get(&self, pid: PacketId) -> &PacketInfo {
+        &self.slots[pid.index()]
+    }
+
+    /// Mutable descriptor of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn get_mut(&mut self, pid: PacketId) -> &mut PacketInfo {
+        &mut self.slots[pid.index()]
+    }
+
+    /// Releases a slot for reuse. The caller must ensure no flits of the
+    /// packet remain in flight.
+    pub fn free(&mut self, pid: PacketId) {
+        debug_assert!(!self.free.contains(&pid.0), "double free of {pid:?}");
+        self.free.push(pid.0);
+        self.live -= 1;
+    }
+
+    /// Packets currently alive (allocated and not freed).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total packets ever allocated.
+    pub fn created_total(&self) -> u64 {
+        self.created_total
+    }
+
+    /// Builds the flit sequence of packet `pid` (used by injection).
+    pub fn flits(&self, pid: PacketId) -> impl Iterator<Item = Flit> + '_ {
+        let len = self.get(pid).len;
+        (0..len).map(move |seq| Flit {
+            pid,
+            seq,
+            vc: 0,
+            last: seq + 1 == len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(len: u16) -> PacketInfo {
+        PacketInfo::new(
+            NodeId(1),
+            NodeId(2),
+            len,
+            OrderClass::InOrder,
+            Priority::Normal,
+            7,
+        )
+    }
+
+    #[test]
+    fn alloc_free_recycles_slots() {
+        let mut s = PacketStore::new();
+        let a = s.alloc(info(4));
+        let b = s.alloc(info(4));
+        assert_ne!(a, b);
+        assert_eq!(s.live(), 2);
+        s.free(a);
+        let c = s.alloc(info(8));
+        assert_eq!(c, a, "slot should be recycled");
+        assert_eq!(s.get(c).len, 8);
+        assert_eq!(s.live(), 2);
+        assert_eq!(s.created_total(), 3);
+    }
+
+    #[test]
+    fn flit_sequence_shape() {
+        let mut s = PacketStore::new();
+        let p = s.alloc(info(3));
+        let flits: Vec<_> = s.flits(p).collect();
+        assert_eq!(flits.len(), 3);
+        assert!(flits[0].is_head());
+        assert!(!flits[0].last && !flits[1].last && flits[2].last);
+        assert_eq!(flits[1].seq, 1);
+    }
+
+    #[test]
+    fn single_flit_packet() {
+        let mut s = PacketStore::new();
+        let p = s.alloc(info(1));
+        let flits: Vec<_> = s.flits(p).collect();
+        assert_eq!(flits.len(), 1);
+        assert!(flits[0].is_head() && flits[0].last);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_rejected() {
+        info(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Die-to-die interface models.
+//!
+//! * [`spec`] — the specification table of typical interfaces (Table 1 of
+//!   the paper: SerDes, AIB, BoW, UCIe) used by documentation, examples and
+//!   the V–t model;
+//! * [`model`] — the bandwidth–latency analytical model of §5.1 (Eq. 2 and
+//!   the V–t curves of Fig. 8);
+//! * [`policy`] — the hetero-PHY scheduling policies of §5.3
+//!   (performance-first, energy-efficient, balanced, application-aware);
+//! * [`adapter`] — the cycle-level hetero-PHY interface of §4.2/§7.3: a
+//!   multi-width transmit FIFO with a dispatch stage feeding two PHY
+//!   pipelines, plus the receive-side reorder buffer (sequence numbers,
+//!   Eq. 1 capacity, parallel-path bypass).
+//!
+//! Uniform (serial-only / parallel-only) interfaces need none of this
+//! machinery — they are plain [`chiplet_noc::DelayLine`]s.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adapter;
+pub mod model;
+pub mod policy;
+pub mod spec;
+
+pub use adapter::{HeteroPhyLink, PhyKind, PhyParams};
+pub use model::VtModel;
+pub use policy::PhyPolicy;
+pub use spec::InterfaceSpec;

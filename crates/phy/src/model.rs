@@ -1,0 +1,195 @@
+//! The bandwidth–latency analytical model of §5.1 (Eq. 2, Fig. 8).
+//!
+//! The data volume received–restored–kept in the receiver adapter buffer is
+//! `V(t) = R(B · (t − D))` with `R(x) = max(x, 0)`, where `B` is the
+//! interface bandwidth and `D` its total delay. Serial interfaces have a
+//! large slope and a large t-intercept; parallel interfaces the opposite.
+//! Adding the curves of two interfaces (a hetero-PHY) yields a piecewise
+//! fold that transmits more data at lower latency than either — and, with
+//! the total I/O pin count held constant (Fig. 8b), lane/channel ratios can
+//! be tuned per requirement.
+
+/// The V–t model of one (possibly heterogeneous) interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VtModel {
+    /// Bandwidth in bits per ns.
+    pub bandwidth: f64,
+    /// Total delay in ns.
+    pub delay: f64,
+}
+
+impl VtModel {
+    /// Creates a model with `bandwidth` (bits/ns) and `delay` (ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth < 0` or `delay < 0`.
+    pub fn new(bandwidth: f64, delay: f64) -> Self {
+        assert!(bandwidth >= 0.0 && delay >= 0.0, "non-negative parameters");
+        Self { bandwidth, delay }
+    }
+
+    /// Eq. 2: volume received by time `t`.
+    pub fn volume(&self, t: f64) -> f64 {
+        (self.bandwidth * (t - self.delay)).max(0.0)
+    }
+
+    /// Time at which `volume` bits have been received (inverse of Eq. 2).
+    ///
+    /// Returns `f64::INFINITY` when the bandwidth is zero and `volume > 0`.
+    pub fn time_for(&self, volume: f64) -> f64 {
+        if volume <= 0.0 {
+            return self.delay;
+        }
+        if self.bandwidth == 0.0 {
+            return f64::INFINITY;
+        }
+        self.delay + volume / self.bandwidth
+    }
+
+    /// Scales the interface's lane count (pin-constrained variants of
+    /// Fig. 8b multiply by 0.5).
+    pub fn scaled(&self, lane_factor: f64) -> VtModel {
+        VtModel {
+            bandwidth: self.bandwidth * lane_factor,
+            delay: self.delay,
+        }
+    }
+}
+
+/// A hetero-PHY: the sum of two V–t curves (Fig. 8a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeteroVt {
+    /// The parallel member.
+    pub parallel: VtModel,
+    /// The serial member.
+    pub serial: VtModel,
+}
+
+impl HeteroVt {
+    /// Combined volume at time `t`: `V_p(t) + V_s(t)`.
+    pub fn volume(&self, t: f64) -> f64 {
+        self.parallel.volume(t) + self.serial.volume(t)
+    }
+
+    /// Time to deliver `volume` bits over the combined interface (bisection
+    /// on the monotone fold).
+    pub fn time_for(&self, volume: f64) -> f64 {
+        if volume <= 0.0 {
+            return self.parallel.delay.min(self.serial.delay);
+        }
+        let mut lo = 0.0f64;
+        let mut hi = self
+            .parallel
+            .time_for(volume)
+            .min(self.serial.time_for(volume));
+        if !hi.is_finite() {
+            return f64::INFINITY;
+        }
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.volume(mid) >= volume {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+/// Samples a V–t curve at the given times (for plotting Fig. 8).
+pub fn sample<F: Fn(f64) -> f64>(volume: F, ts: &[f64]) -> Vec<f64> {
+    ts.iter().map(|&t| volume(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial() -> VtModel {
+        // SerDes-ish: 112 bits/ns aggregate, 5.5 ns delay.
+        VtModel::new(112.0, 5.5)
+    }
+
+    fn parallel() -> VtModel {
+        // AIB-ish: 6.4 bits/ns/lane * 8 lanes, 3.5 ns delay.
+        VtModel::new(51.2, 3.5)
+    }
+
+    #[test]
+    fn volume_is_zero_before_delay() {
+        let m = serial();
+        assert_eq!(m.volume(0.0), 0.0);
+        assert_eq!(m.volume(5.5), 0.0);
+        assert!(m.volume(5.6) > 0.0);
+    }
+
+    #[test]
+    fn slope_matches_bandwidth() {
+        let m = serial();
+        let dv = m.volume(10.0) - m.volume(9.0);
+        assert!((dv - 112.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_for_is_inverse() {
+        let m = parallel();
+        for v in [0.0, 10.0, 1000.0] {
+            let t = m.time_for(v);
+            assert!((m.volume(t) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hetero_dominates_both_members() {
+        let h = HeteroVt {
+            parallel: parallel(),
+            serial: serial(),
+        };
+        for t in [4.0, 6.0, 10.0, 100.0] {
+            assert!(h.volume(t) >= parallel().volume(t));
+            assert!(h.volume(t) >= serial().volume(t));
+        }
+        // Early on, only the parallel member contributes (low t-intercept).
+        assert!(h.volume(4.0) > 0.0);
+        assert_eq!(serial().volume(4.0), 0.0);
+        // Asymptotically the combined slope exceeds either alone.
+        let slope = h.volume(101.0) - h.volume(100.0);
+        assert!((slope - (112.0 + 51.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hetero_time_for_small_and_large_volumes() {
+        let h = HeteroVt {
+            parallel: parallel(),
+            serial: serial(),
+        };
+        // Small volume: parallel wins (latency-bound).
+        let small = h.time_for(16.0);
+        assert!(small < serial().time_for(16.0));
+        // Large volume: faster than either member alone (bandwidth-bound).
+        let big = h.time_for(100_000.0);
+        assert!(big < serial().time_for(100_000.0));
+        assert!(big < parallel().time_for(100_000.0));
+        // And the inverse is consistent.
+        assert!((h.volume(big) - 100_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pin_constrained_scaling_halves_slope_only() {
+        let m = serial().scaled(0.5);
+        assert_eq!(m.delay, 5.5);
+        assert_eq!(m.bandwidth, 56.0);
+    }
+
+    #[test]
+    fn sample_matches_pointwise() {
+        let m = parallel();
+        let ts = [0.0, 5.0, 10.0];
+        let vs = sample(|t| m.volume(t), &ts);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0], 0.0);
+        assert_eq!(vs[2], m.volume(10.0));
+    }
+}

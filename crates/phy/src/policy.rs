@@ -1,0 +1,147 @@
+//! Hetero-PHY scheduling policies (§5.3).
+//!
+//! The dispatch stage of the TX adapter decides, flit by flit, which PHY a
+//! main-queue flit leaves through. Rule-based policies use only adapter
+//! state (queue depth, free lanes); application-aware scheduling
+//! additionally consults packet information (ordering class, priority)
+//! encoded by the packetizer.
+
+use chiplet_noc::{OrderClass, Priority};
+
+/// Which PHY the dispatch stage should try first for a flit, and whether
+/// the other PHY may be used as fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DispatchPlan {
+    pub prefer_serial: bool,
+    pub allow_other: bool,
+}
+
+/// A hetero-PHY dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhyPolicy {
+    /// §5.3.1 *performance-first*: dispatch as long as any PHY has a free
+    /// lane; energy is ignored.
+    PerformanceFirst,
+    /// §5.3.1 *energy-efficient*: always the parallel PHY; the serial PHY
+    /// is left idle (it only carries traffic on serial-only links).
+    EnergyEfficient,
+    /// §5.3.1/§7.3 *balanced*: parallel PHY at higher priority; the serial
+    /// PHY joins in once the transmit FIFO reaches `threshold` flits
+    /// (the RTL uses half the FIFO capacity).
+    Balanced {
+        /// FIFO occupancy at which the serial PHY is enabled.
+        threshold: u16,
+    },
+    /// §5.3.2 *application-aware*: like `Balanced` for ordinary traffic,
+    /// but unordered bulk packets prefer the serial PHY (maximum
+    /// throughput) and high-priority packets the parallel PHY (minimum
+    /// latency), regardless of occupancy.
+    ApplicationAware {
+        /// FIFO occupancy at which the serial PHY is enabled for ordinary
+        /// traffic.
+        threshold: u16,
+    },
+}
+
+impl PhyPolicy {
+    /// The dispatch decision for the flit at the head of the main queue.
+    pub(crate) fn plan(
+        &self,
+        fifo_len: usize,
+        class: OrderClass,
+        priority: Priority,
+    ) -> DispatchPlan {
+        match *self {
+            PhyPolicy::PerformanceFirst => DispatchPlan {
+                prefer_serial: false,
+                allow_other: true,
+            },
+            PhyPolicy::EnergyEfficient => DispatchPlan {
+                prefer_serial: false,
+                allow_other: false,
+            },
+            PhyPolicy::Balanced { threshold } => DispatchPlan {
+                prefer_serial: false,
+                allow_other: fifo_len >= threshold as usize,
+            },
+            PhyPolicy::ApplicationAware { threshold } => {
+                if priority == Priority::High {
+                    DispatchPlan {
+                        prefer_serial: false,
+                        allow_other: false,
+                    }
+                } else if class == OrderClass::Unordered {
+                    DispatchPlan {
+                        prefer_serial: true,
+                        allow_other: true,
+                    }
+                } else {
+                    DispatchPlan {
+                        prefer_serial: false,
+                        allow_other: fifo_len >= threshold as usize,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PhyPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhyPolicy::PerformanceFirst => f.write_str("performance-first"),
+            PhyPolicy::EnergyEfficient => f.write_str("energy-efficient"),
+            PhyPolicy::Balanced { threshold } => write!(f, "balanced(thr={threshold})"),
+            PhyPolicy::ApplicationAware { threshold } => {
+                write!(f, "application-aware(thr={threshold})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_first_uses_everything() {
+        let p = PhyPolicy::PerformanceFirst.plan(0, OrderClass::InOrder, Priority::Normal);
+        assert!(!p.prefer_serial && p.allow_other);
+    }
+
+    #[test]
+    fn energy_efficient_is_parallel_only() {
+        let p = PhyPolicy::EnergyEfficient.plan(100, OrderClass::Unordered, Priority::Normal);
+        assert!(!p.prefer_serial && !p.allow_other);
+    }
+
+    #[test]
+    fn balanced_enables_serial_at_threshold() {
+        let pol = PhyPolicy::Balanced { threshold: 8 };
+        assert!(!pol.plan(7, OrderClass::InOrder, Priority::Normal).allow_other);
+        assert!(pol.plan(8, OrderClass::InOrder, Priority::Normal).allow_other);
+    }
+
+    #[test]
+    fn application_aware_honors_class_and_priority() {
+        let pol = PhyPolicy::ApplicationAware { threshold: 8 };
+        // Bulk prefers serial even when the FIFO is empty.
+        let bulk = pol.plan(0, OrderClass::Unordered, Priority::Normal);
+        assert!(bulk.prefer_serial && bulk.allow_other);
+        // High priority sticks to parallel even when bulk-classed.
+        let hot = pol.plan(100, OrderClass::Unordered, Priority::High);
+        assert!(!hot.prefer_serial && !hot.allow_other);
+        // Ordinary in-order traffic behaves like Balanced.
+        assert!(!pol.plan(3, OrderClass::InOrder, Priority::Normal).allow_other);
+        assert!(pol.plan(9, OrderClass::InOrder, Priority::Normal).allow_other);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PhyPolicy::PerformanceFirst.to_string(), "performance-first");
+        assert_eq!(
+            PhyPolicy::Balanced { threshold: 8 }.to_string(),
+            "balanced(thr=8)"
+        );
+    }
+}

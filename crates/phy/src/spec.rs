@@ -1,0 +1,103 @@
+//! Specifications of typical die-to-die interfaces (Table 1 of the paper).
+
+/// The physical-layer family of an interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhyFamily {
+    /// Serializer/deserializer with CDR, FEC, terminated differential lines.
+    Serial,
+    /// CMOS-style unterminated synchronous I/O (AIB, OpenHBI).
+    Parallel,
+    /// Compromised designs mixing both technology routes (BoW, UCIe).
+    Compromised,
+}
+
+/// One row of Table 1: the headline metrics of a die-to-die interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterfaceSpec {
+    /// Interface name.
+    pub name: &'static str,
+    /// Technology family.
+    pub family: PhyFamily,
+    /// Per-lane data rate in Gbps.
+    pub data_rate_gbps: f64,
+    /// PHY latency in ns (excluding digital latency `L_D` and FEC, which
+    /// the paper lists symbolically).
+    pub latency_ns: f64,
+    /// Energy per bit in pJ.
+    pub power_pj_per_bit: f64,
+    /// Interconnect reach in mm.
+    pub reach_mm: f64,
+}
+
+/// SerDes (112G USR/XSR class): high rate, long reach, high latency/power.
+pub const SERDES: InterfaceSpec = InterfaceSpec {
+    name: "SerDes",
+    family: PhyFamily::Serial,
+    data_rate_gbps: 112.0,
+    latency_ns: 5.5,
+    power_pj_per_bit: 2.0,
+    reach_mm: 50.0,
+};
+
+/// Advanced Interface Bus: low latency/power, short reach, low rate.
+pub const AIB: InterfaceSpec = InterfaceSpec {
+    name: "AIB",
+    family: PhyFamily::Parallel,
+    data_rate_gbps: 6.4,
+    latency_ns: 3.5,
+    power_pj_per_bit: 0.5,
+    reach_mm: 10.0,
+};
+
+/// Bunch of Wires: a parallel/serial compromise.
+pub const BOW: InterfaceSpec = InterfaceSpec {
+    name: "BoW",
+    family: PhyFamily::Compromised,
+    data_rate_gbps: 32.0,
+    latency_ns: 3.0,
+    power_pj_per_bit: 0.7,
+    reach_mm: 50.0,
+};
+
+/// UCIe (advanced-package operating point).
+pub const UCIE: InterfaceSpec = InterfaceSpec {
+    name: "UCIe",
+    family: PhyFamily::Compromised,
+    data_rate_gbps: 32.0,
+    latency_ns: 2.0,
+    power_pj_per_bit: 0.3,
+    reach_mm: 2.0,
+};
+
+/// All Table 1 rows in paper order.
+pub const TABLE1: [InterfaceSpec; 4] = [SERDES, AIB, BOW, UCIE];
+
+impl InterfaceSpec {
+    /// Bits delivered per ns per lane.
+    pub fn bits_per_ns(&self) -> f64 {
+        self.data_rate_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        assert_eq!(TABLE1.len(), 4);
+        // Serial beats parallel on rate and reach, loses on latency/power.
+        assert!(SERDES.data_rate_gbps > AIB.data_rate_gbps);
+        assert!(SERDES.reach_mm > AIB.reach_mm);
+        assert!(SERDES.latency_ns > AIB.latency_ns);
+        assert!(SERDES.power_pj_per_bit > AIB.power_pj_per_bit);
+        // Compromised interfaces sit between on data rate.
+        assert!(BOW.data_rate_gbps < SERDES.data_rate_gbps);
+        assert!(BOW.data_rate_gbps > AIB.data_rate_gbps);
+    }
+
+    #[test]
+    fn bits_per_ns_identity() {
+        assert_eq!(SERDES.bits_per_ns(), 112.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulation substrate for the hetero-chiplet workspace.
+//!
+//! This crate holds the small, dependency-light pieces every other crate in
+//! the workspace builds on:
+//!
+//! * [`Cycle`] — the simulated clock domain (all chiplet interfaces are
+//!   modeled as behavioral digital circuits of one clock domain, per §7.1 of
+//!   the paper).
+//! * [`rng::SimRng`] — a deterministic, seedable random-number generator so
+//!   every experiment is exactly reproducible.
+//! * [`stats`] — streaming statistics (mean/variance/min/max), histograms
+//!   and windowed rate meters used to report latency and throughput.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::stats::Running;
+//!
+//! let mut lat = Running::new();
+//! for x in [10.0, 12.0, 14.0] {
+//!     lat.push(x);
+//! }
+//! assert_eq!(lat.mean(), 12.0);
+//! assert_eq!(lat.count(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod rng;
+pub mod stats;
+
+pub use rng::SimRng;
+pub use stats::{Histogram, Running, Windowed};
+
+/// A simulated clock cycle count.
+///
+/// All latencies and delays in the workspace are expressed in on-chip clock
+/// cycles of the same clock domain, following the paper's simulator
+/// methodology (§7.1).
+pub type Cycle = u64;

@@ -1,0 +1,364 @@
+//! Streaming statistics used to report simulation results.
+//!
+//! The evaluation in the paper reports average packet latency, latency
+//! variance (Fig. 12 discusses it explicitly), throughput and per-packet
+//! energy. [`Running`] accumulates mean/variance/min/max in one pass
+//! (Welford's algorithm); [`Histogram`] buckets samples for distribution
+//! shape; [`Windowed`] tracks a recent-window average used for saturation
+//! detection during injection-rate sweeps.
+
+/// One-pass mean / variance / min / max accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::Running;
+///
+/// let mut s = Running::new();
+/// s.push(1.0);
+/// s.push(3.0);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or +inf if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+/// Fixed-width bucket histogram over `[0, width * buckets)` with an overflow
+/// bucket.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::Histogram;
+///
+/// let mut h = Histogram::new(10.0, 4);
+/// h.push(5.0);
+/// h.push(35.0);
+/// h.push(1000.0); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(3), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or `buckets == 0`.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds a sample (negative samples land in bucket 0).
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        let i = (x.max(0.0) / self.width) as usize;
+        if i < self.counts.len() {
+            self.counts[i] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of buckets (excluding overflow).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate p-th percentile (`0 < p < 100`), using the upper edge of
+    /// the bucket containing the percentile rank; +inf if it falls in the
+    /// overflow bucket or the histogram is empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return f64::INFINITY;
+        }
+        let rank = (p / 100.0 * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (i as f64 + 1.0) * self.width;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Windowed average: keeps a running mean over the most recent `window`
+/// samples (approximated by exponential decay with equivalent horizon).
+///
+/// Used by the sweep driver to detect saturation: when the recent-window
+/// latency keeps growing relative to the long-run mean, the network is past
+/// its saturation injection rate.
+#[derive(Debug, Clone)]
+pub struct Windowed {
+    alpha: f64,
+    value: f64,
+    primed: bool,
+}
+
+impl Windowed {
+    /// Creates a windowed average with horizon `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            alpha: 2.0 / (window as f64 + 1.0),
+            value: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        if self.primed {
+            self.value += self.alpha * (x - self.value);
+        } else {
+            self.value = x;
+            self.primed = true;
+        }
+    }
+
+    /// Current windowed mean (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one sample was pushed.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_naive() {
+        let xs = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0];
+        let mut s = Running::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-9);
+        assert_eq!(s.min(), 4.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn running_empty_is_sane() {
+        let s = Running::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Running::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for &x in &xs[..40] {
+            a.push(x);
+        }
+        for &x in &xs[40..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Running::new();
+        a.push(2.0);
+        let before = a.clone();
+        a.merge(&Running::new());
+        assert_eq!(a, before);
+        let mut e = Running::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentile() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.push(i as f64 + 0.5);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.overflow(), 0);
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 50.0).abs() <= 1.0, "p50 = {p50}");
+        let p99 = h.percentile(99.0);
+        assert!((p99 - 99.0).abs() <= 1.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_overflow_percentile_is_inf() {
+        let mut h = Histogram::new(1.0, 2);
+        h.push(100.0);
+        assert_eq!(h.percentile(50.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn windowed_tracks_level_shift() {
+        let mut w = Windowed::new(10);
+        for _ in 0..100 {
+            w.push(10.0);
+        }
+        assert!((w.mean() - 10.0).abs() < 1e-9);
+        for _ in 0..100 {
+            w.push(50.0);
+        }
+        assert!(w.mean() > 45.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_zero_width_panics() {
+        Histogram::new(0.0, 3);
+    }
+}

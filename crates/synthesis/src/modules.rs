@@ -1,0 +1,321 @@
+//! Structural area/power/timing models of the synthesized modules.
+
+use crate::tech::TechNode;
+
+/// Flop setup + clock margin added on top of the combinational critical
+/// path when deriving a maximum frequency (the paper's Table 4 numbers are
+/// consistent with ≈ 0.18 ns of margin at 12 nm).
+const TIMING_MARGIN_NS: f64 = 0.18;
+
+/// An area/power/timing estimate for one module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisEstimate {
+    /// Cell area, µm².
+    pub area_um2: f64,
+    /// Dynamic (data-movement) power at max frequency, mW.
+    pub dynamic_mw: f64,
+    /// Clock-tree power at max frequency, mW.
+    pub clock_mw: f64,
+    /// Leakage power, mW.
+    pub static_mw: f64,
+    /// Combinational critical path, ns.
+    pub crit_path_ns: f64,
+    /// Payload bits moved per cycle at the modeled activity.
+    pub bits_per_cycle: f64,
+}
+
+impl SynthesisEstimate {
+    /// Total power in mW.
+    pub fn power_mw(&self) -> f64 {
+        self.dynamic_mw + self.clock_mw + self.static_mw
+    }
+
+    /// Maximum clock frequency in GHz (margin included).
+    pub fn freq_ghz(&self) -> f64 {
+        1.0 / (self.crit_path_ns + TIMING_MARGIN_NS)
+    }
+
+    /// Energy per payload bit, fJ/bit.
+    pub fn energy_fj_per_bit(&self) -> f64 {
+        if self.bits_per_cycle == 0.0 {
+            return 0.0;
+        }
+        // mW / (bits/cycle * GHz) = 1e-3 W / (1e9 bit/s) = 1e-12 J = pJ...
+        // power_mw / (bits_per_cycle * freq_ghz) yields fJ/bit * 1e0:
+        // (1e-3 W) / (1e9 bit/s) = 1e-12 J/bit; mW/Gbit = pJ/bit = 1000 fJ.
+        self.power_mw() / (self.bits_per_cycle * self.freq_ghz()) * 1000.0
+    }
+}
+
+fn dyn_mw(bits_per_cycle: f64, freq_ghz: f64, fj_per_bit: f64) -> f64 {
+    bits_per_cycle * freq_ghz * fj_per_bit * 1e-3
+}
+
+/// A flop-based FIFO with optional extra concurrent ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fifo {
+    /// Data width in bits.
+    pub width: u32,
+    /// Depth in entries.
+    pub depth: u32,
+    /// Total concurrent read+write ports (≥ 2).
+    pub ports: u32,
+}
+
+impl Fifo {
+    fn storage_area(&self, t: &TechNode) -> f64 {
+        let extra_ports = self.ports.saturating_sub(2) as f64;
+        (self.width * self.depth) as f64 * t.flop_bit_area * (1.0 + t.port_area_factor * extra_ports)
+    }
+
+    fn flops(&self) -> f64 {
+        (self.width * self.depth) as f64 + 2.0 * (self.depth as f64).log2().ceil()
+    }
+
+    fn crit_ns(&self, t: &TechNode) -> f64 {
+        // Pointer decode + mux tree over depth, widened by port muxing.
+        t.gate_delay_ps * (16.0 + (self.depth as f64).log2() + 0.55 * (self.ports as f64 - 2.0))
+            / 1000.0
+    }
+}
+
+/// The hetero-PHY adapter receive side: the reorder FIFO plus sequence
+/// counting/compare logic (§7.3 item 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdapterRx {
+    /// Flit width in bits.
+    pub width: u32,
+    /// Reorder FIFO depth in flits.
+    pub depth: u32,
+}
+
+impl Default for AdapterRx {
+    fn default() -> Self {
+        Self {
+            width: 64,
+            depth: 16,
+        }
+    }
+}
+
+impl AdapterRx {
+    /// Estimates the module on `t`.
+    pub fn estimate(&self, t: &TechNode) -> SynthesisEstimate {
+        let fifo = Fifo {
+            width: self.width,
+            depth: self.depth,
+            ports: 2,
+        };
+        // SN counters + comparators + forward/hold decision.
+        let ctrl_gates = 14.0 * self.width as f64 + 28.0 * self.depth as f64;
+        let area = fifo.storage_area(t) + ctrl_gates * t.nand2_area;
+        let crit = fifo.crit_ns(t);
+        let freq = 1.0 / (crit + TIMING_MARGIN_NS);
+        // One flit written + one read per cycle, plus SN checks.
+        let bits = 2.0 * self.width as f64;
+        let flops = fifo.flops() + 2.0 * 16.0;
+        SynthesisEstimate {
+            area_um2: area,
+            dynamic_mw: dyn_mw(bits, freq, 2.0 * t.bit_move_fj),
+            clock_mw: flops * freq * 0.20 * 1e-3,
+            static_mw: area * t.static_mw_per_um2,
+            crit_path_ns: crit,
+            bits_per_cycle: bits,
+        }
+    }
+}
+
+/// The hetero-PHY adapter transmit side: the multi-width FIFO with three
+/// concurrent read/write ports plus the balance-scheduling logic (§7.3
+/// item 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdapterTx {
+    /// Flit width in bits.
+    pub width: u32,
+    /// FIFO depth in flits.
+    pub depth: u32,
+}
+
+impl Default for AdapterTx {
+    fn default() -> Self {
+        Self {
+            width: 64,
+            depth: 16,
+        }
+    }
+}
+
+impl AdapterTx {
+    /// Estimates the module on `t`.
+    pub fn estimate(&self, t: &TechNode) -> SynthesisEstimate {
+        let fifo = Fifo {
+            width: self.width,
+            depth: self.depth,
+            ports: 3,
+        };
+        // Occupancy threshold compare + per-PHY dispatch steering.
+        let ctrl_gates = 8.0 * self.width as f64 + 16.0 * self.depth as f64;
+        let area = fifo.storage_area(t) + ctrl_gates * t.nand2_area;
+        let crit = fifo.crit_ns(t);
+        let freq = 1.0 / (crit + TIMING_MARGIN_NS);
+        // Average: one write + ~1.3 reads per cycle (balanced policy).
+        let bits = 2.3 * self.width as f64;
+        let flops = fifo.flops() + 16.0;
+        SynthesisEstimate {
+            area_um2: area,
+            dynamic_mw: dyn_mw(bits, freq, 0.9 * t.bit_move_fj),
+            clock_mw: flops * freq * 0.12 * 1e-3,
+            static_mw: area * t.static_mw_per_um2,
+            crit_path_ns: crit,
+            bits_per_cycle: bits,
+        }
+    }
+}
+
+/// A canonical VC router (§7.3 item 3): input buffers, crossbar,
+/// VC/switch allocators and per-port routing logic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterModel {
+    /// Input (and output) port count.
+    pub ports: u32,
+    /// Virtual channels per port.
+    pub vcs: u32,
+    /// Buffer depth per VC, flits.
+    pub vc_depth: u32,
+    /// Flit width in bits.
+    pub width: u32,
+    /// Fraction of port bandwidth in use (for power).
+    pub activity: f64,
+}
+
+impl RouterModel {
+    /// The regular router of Table 4: 4 mesh ports + local + one interface
+    /// port, 2 VCs.
+    pub fn regular() -> Self {
+        Self {
+            ports: 6,
+            vcs: 2,
+            vc_depth: 6,
+            width: 64,
+            activity: 0.35,
+        }
+    }
+
+    /// The heterogeneous router of Table 4: the parallel interface keeps
+    /// the original port and two extra concurrent ports (with routing
+    /// logic) are added for the serial interface (§7.3).
+    pub fn heterogeneous() -> Self {
+        Self {
+            ports: 8,
+            ..Self::regular()
+        }
+    }
+
+    /// Estimates the module on `t`.
+    pub fn estimate(&self, t: &TechNode) -> SynthesisEstimate {
+        let p = self.ports as f64;
+        let w = self.width as f64;
+        let buf = Fifo {
+            width: self.width,
+            depth: self.vc_depth,
+            ports: 2,
+        };
+        let buffers = p * self.vcs as f64 * buf.storage_area(t);
+        let crossbar = p * p * w * t.xpoint_bit_area;
+        // Allocators: VC + switch arbitration grids, plus routing logic per
+        // port (the "+2 ports including routing computing logic").
+        let alloc_gates = p * p * (self.vcs * self.vcs) as f64 * 10.0 + p * 650.0;
+        let area = buffers + crossbar + alloc_gates * t.nand2_area;
+        // Critical path: allocator arbitration over ports*vcs requestors.
+        let crit =
+            t.gate_delay_ps * (25.4 + 3.0 * (p * self.vcs as f64).log2()) / 1000.0;
+        let freq = 1.0 / (crit + TIMING_MARGIN_NS);
+        let bits = p * w * self.activity;
+        // Each bit is written to a buffer, read, and crosses the crossbar.
+        let flops = p * self.vcs as f64 * buf.flops() + p * 64.0;
+        SynthesisEstimate {
+            area_um2: area,
+            dynamic_mw: dyn_mw(bits, freq, 3.0 * t.bit_move_fj),
+            clock_mw: flops * freq * 0.12 * 1e-3,
+            static_mw: area * t.static_mw_per_um2,
+            crit_path_ns: crit,
+            bits_per_cycle: bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: f64, target: f64, tol: f64) -> bool {
+        (actual - target).abs() <= tol * target
+    }
+
+    #[test]
+    fn rx_adapter_matches_table4() {
+        let e = AdapterRx::default().estimate(&TechNode::n12());
+        assert!(close(e.area_um2, 1389.0, 0.25), "area {:.0}", e.area_um2);
+        assert!(close(e.power_mw(), 1.14, 0.35), "power {:.2}", e.power_mw());
+        assert!(close(e.freq_ghz(), 1.85, 0.15), "freq {:.2}", e.freq_ghz());
+        assert!(close(e.crit_path_ns, 0.36, 0.15), "crit {:.2}", e.crit_path_ns);
+    }
+
+    #[test]
+    fn tx_adapter_matches_table4() {
+        let e = AdapterTx::default().estimate(&TechNode::n12());
+        assert!(close(e.area_um2, 1849.0, 0.25), "area {:.0}", e.area_um2);
+        assert!(close(e.power_mw(), 0.78, 0.40), "power {:.2}", e.power_mw());
+        assert!(close(e.crit_path_ns, 0.37, 0.15), "crit {:.2}", e.crit_path_ns);
+    }
+
+    #[test]
+    fn regular_router_matches_table4() {
+        let e = RouterModel::regular().estimate(&TechNode::n12());
+        assert!(close(e.area_um2, 7007.0, 0.25), "area {:.0}", e.area_um2);
+        assert!(close(e.power_mw(), 2.19, 0.40), "power {:.2}", e.power_mw());
+        assert!(close(e.freq_ghz(), 1.20, 0.15), "freq {:.2}", e.freq_ghz());
+    }
+
+    #[test]
+    fn hetero_router_overheads_match_paper() {
+        let t = TechNode::n12();
+        let reg = RouterModel::regular().estimate(&t);
+        let het = RouterModel::heterogeneous().estimate(&t);
+        let area_ratio = het.area_um2 / reg.area_um2;
+        let power_ratio = het.power_mw() / reg.power_mw();
+        // Paper: +45% area, +33% power, frequency barely affected.
+        assert!(
+            (1.30..1.60).contains(&area_ratio),
+            "area ratio {area_ratio:.2}"
+        );
+        assert!(
+            (1.20..1.50).contains(&power_ratio),
+            "power ratio {power_ratio:.2}"
+        );
+        let freq_drop = reg.freq_ghz() / het.freq_ghz();
+        assert!(
+            (1.0..1.10).contains(&freq_drop),
+            "freq drop {freq_drop:.3}"
+        );
+        // Power/area stay proportional to throughput (§8.2): per-port power
+        // roughly constant.
+        let per_port = (het.power_mw() / 8.0) / (reg.power_mw() / 6.0);
+        assert!((0.8..1.2).contains(&per_port), "per-port ratio {per_port:.2}");
+    }
+
+    #[test]
+    fn adapters_are_much_smaller_than_routers() {
+        let t = TechNode::n12();
+        let rx = AdapterRx::default().estimate(&t);
+        let router = RouterModel::regular().estimate(&t);
+        assert!(rx.area_um2 * 3.0 < router.area_um2);
+    }
+
+    #[test]
+    fn energy_per_bit_is_a_few_fj() {
+        let e = AdapterRx::default().estimate(&TechNode::n12());
+        let fj = e.energy_fj_per_bit();
+        assert!((1.0..10.0).contains(&fj), "fJ/bit {fj:.1}");
+    }
+}

@@ -1,0 +1,165 @@
+//! PHY macro area model: what the heterogeneous interface costs in
+//! silicon (§4.3 "The cost of the PHYs is mainly determined by the number
+//! of I/O pins").
+//!
+//! Serial (SerDes) lanes are large analog macros (CDR, equalization,
+//! terminated drivers); parallel (AIB-style) I/O cells are small CMOS
+//! drivers but need many more pins per bandwidth. This model estimates the
+//! beachfront area of a chiplet's interface ring for uniform-parallel,
+//! uniform-serial and hetero-IF configurations, including the §4.3
+//! pin-constrained variant where the hetero interface halves each member's
+//! lanes to keep the total pin count level.
+
+use crate::tech::TechNode;
+
+/// Per-lane characteristics of the two PHY families at a 12 nm-class node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhyMacros {
+    /// Serial lane macro area, mm² (112G SerDes class).
+    pub serial_lane_mm2: f64,
+    /// Serial lane bandwidth, Gbps.
+    pub serial_lane_gbps: f64,
+    /// Serial pins per lane (differential pair TX + RX).
+    pub serial_pins_per_lane: u32,
+    /// Parallel I/O cell area, mm² per pin (driver + ESD + sync).
+    pub parallel_pin_mm2: f64,
+    /// Parallel per-pin data rate, Gbps.
+    pub parallel_pin_gbps: f64,
+}
+
+impl PhyMacros {
+    /// Published-figure-class constants for a 12 nm node.
+    pub fn n12() -> Self {
+        Self {
+            serial_lane_mm2: 0.23,
+            serial_lane_gbps: 112.0,
+            serial_pins_per_lane: 4,
+            parallel_pin_mm2: 0.0026,
+            parallel_pin_gbps: 6.4,
+        }
+    }
+}
+
+/// Area/pin budget of one interface configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterfaceBudget {
+    /// Total PHY macro area, mm².
+    pub area_mm2: f64,
+    /// Total I/O pins.
+    pub pins: u32,
+    /// Aggregate bandwidth, Gbps.
+    pub bandwidth_gbps: f64,
+}
+
+/// Computes the budget of a **uniform parallel** interface delivering
+/// `gbps` aggregate bandwidth.
+pub fn parallel_interface(m: &PhyMacros, gbps: f64) -> InterfaceBudget {
+    let pins = (gbps / m.parallel_pin_gbps).ceil() as u32;
+    InterfaceBudget {
+        area_mm2: pins as f64 * m.parallel_pin_mm2,
+        pins,
+        bandwidth_gbps: pins as f64 * m.parallel_pin_gbps,
+    }
+}
+
+/// Computes the budget of a **uniform serial** interface delivering `gbps`
+/// aggregate bandwidth.
+pub fn serial_interface(m: &PhyMacros, gbps: f64) -> InterfaceBudget {
+    let lanes = (gbps / m.serial_lane_gbps).ceil() as u32;
+    InterfaceBudget {
+        area_mm2: lanes as f64 * m.serial_lane_mm2,
+        pins: lanes * m.serial_pins_per_lane,
+        bandwidth_gbps: lanes as f64 * m.serial_lane_gbps,
+    }
+}
+
+/// Computes the budget of a **hetero-IF**: a parallel member at
+/// `parallel_gbps` plus a serial member at `serial_gbps`, optionally
+/// scaled by `lane_factor` (0.5 = the paper's pin-constrained halved
+/// variant, Fig. 8b).
+pub fn hetero_interface(
+    m: &PhyMacros,
+    parallel_gbps: f64,
+    serial_gbps: f64,
+    lane_factor: f64,
+) -> InterfaceBudget {
+    let p = parallel_interface(m, parallel_gbps * lane_factor);
+    let s = serial_interface(m, serial_gbps * lane_factor);
+    InterfaceBudget {
+        area_mm2: p.area_mm2 + s.area_mm2,
+        pins: p.pins + s.pins,
+        bandwidth_gbps: p.bandwidth_gbps + s.bandwidth_gbps,
+    }
+}
+
+/// The hetero-IF silicon overhead of a whole chiplet: interface area
+/// (hetero vs the uniform-parallel alternative at the same per-member
+/// bandwidth) plus the heterogeneous-router digital overhead (Table 4),
+/// as a fraction of `die_area_mm2`.
+///
+/// Feeds the §10 economy model: the paper's argument is that this small
+/// fraction buys reuse across markets.
+pub fn hetero_die_overhead(
+    tech: &TechNode,
+    m: &PhyMacros,
+    die_area_mm2: f64,
+    interface_nodes: u32,
+    parallel_gbps_per_if: f64,
+    serial_gbps_per_if: f64,
+) -> f64 {
+    let uni = parallel_interface(m, parallel_gbps_per_if).area_mm2;
+    let het = hetero_interface(m, parallel_gbps_per_if, serial_gbps_per_if, 1.0).area_mm2;
+    let phy_extra = (het - uni) * interface_nodes as f64;
+    let reg = crate::modules::RouterModel::regular().estimate(tech).area_um2;
+    let hetero = crate::modules::RouterModel::heterogeneous()
+        .estimate(tech)
+        .area_um2;
+    let router_extra = (hetero - reg) * 1e-6 * interface_nodes as f64;
+    (phy_extra + router_extra) / die_area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_area_dense_parallel_is_pin_dense() {
+        let m = PhyMacros::n12();
+        let p = parallel_interface(&m, 128.0);
+        let s = serial_interface(&m, 128.0);
+        // Serial: far fewer pins, far more area.
+        assert!(s.pins < p.pins / 2, "{} vs {}", s.pins, p.pins);
+        assert!(s.area_mm2 > p.area_mm2 * 2.0);
+        assert!(p.bandwidth_gbps >= 128.0 && s.bandwidth_gbps >= 128.0);
+    }
+
+    #[test]
+    fn halved_hetero_keeps_pin_count_comparable_to_full_uniform() {
+        // Fig. 8b: the halved hetero-IF restricts the total number of
+        // I/O pins to stay near one full uniform interface.
+        let m = PhyMacros::n12();
+        let uni = parallel_interface(&m, 128.0);
+        let half = hetero_interface(&m, 128.0, 448.0, 0.5);
+        assert!(
+            (half.pins as f64) < 1.2 * uni.pins as f64,
+            "halved hetero pins {} vs uniform {}",
+            half.pins,
+            uni.pins
+        );
+        // ...while still offering more aggregate bandwidth.
+        assert!(half.bandwidth_gbps > uni.bandwidth_gbps);
+    }
+
+    #[test]
+    fn die_overhead_is_a_modest_fraction() {
+        let tech = TechNode::n12();
+        let m = PhyMacros::n12();
+        // A 100 mm² chiplet with 12 interface nodes at Table 2-ish rates
+        // (parallel 128 Gbps/IF, serial 256 Gbps/IF).
+        let f = hetero_die_overhead(&tech, &m, 100.0, 12, 128.0, 256.0);
+        assert!(
+            (0.01..0.25).contains(&f),
+            "overhead fraction {f:.3} out of plausible range"
+        );
+    }
+}

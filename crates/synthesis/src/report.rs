@@ -1,0 +1,90 @@
+//! Table 4 report generation.
+
+use crate::modules::{AdapterRx, AdapterTx, RouterModel, SynthesisEstimate};
+use crate::tech::TechNode;
+
+/// One row of the post-synthesis report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleReport {
+    /// Module group ("Adapter" / "Router").
+    pub group: &'static str,
+    /// Module name.
+    pub name: &'static str,
+    /// The estimate.
+    pub estimate: SynthesisEstimate,
+}
+
+impl ModuleReport {
+    /// Formats the row like Table 4 of the paper.
+    pub fn row(&self) -> String {
+        let e = &self.estimate;
+        format!(
+            "{:<8} {:<8} {:>8.0} {:>8.2} {:>10.1} {:>9.2} {:>9.2}",
+            self.group,
+            self.name,
+            e.area_um2,
+            e.power_mw(),
+            e.energy_fj_per_bit(),
+            e.freq_ghz(),
+            e.crit_path_ns,
+        )
+    }
+}
+
+/// Regenerates Table 4 on technology `t`: the RX/TX adapter and the
+/// regular/heterogeneous router.
+pub fn table4(t: &TechNode) -> Vec<ModuleReport> {
+    vec![
+        ModuleReport {
+            group: "Adapter",
+            name: "RX",
+            estimate: AdapterRx::default().estimate(t),
+        },
+        ModuleReport {
+            group: "Adapter",
+            name: "TX",
+            estimate: AdapterTx::default().estimate(t),
+        },
+        ModuleReport {
+            group: "Router",
+            name: "Regular",
+            estimate: RouterModel::regular().estimate(t),
+        },
+        ModuleReport {
+            group: "Router",
+            name: "Hetero",
+            estimate: RouterModel::heterogeneous().estimate(t),
+        },
+    ]
+}
+
+/// The header matching [`ModuleReport::row`].
+pub fn header() -> String {
+    format!(
+        "{:<8} {:<8} {:>8} {:>8} {:>10} {:>9} {:>9}",
+        "Group", "Module", "um2", "mW", "fJ/bit", "GHz", "crit(ns)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_has_four_rows_in_paper_order() {
+        let rows = table4(&TechNode::n12());
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].name, "RX");
+        assert_eq!(rows[1].name, "TX");
+        assert_eq!(rows[2].name, "Regular");
+        assert_eq!(rows[3].name, "Hetero");
+    }
+
+    #[test]
+    fn rows_render_nonempty() {
+        for r in table4(&TechNode::n12()) {
+            assert!(r.row().contains(r.name));
+        }
+        assert!(header().contains("um2"));
+    }
+}

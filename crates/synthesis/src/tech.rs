@@ -1,0 +1,60 @@
+//! Technology-node constants.
+
+/// Per-structure constants of a logic process, in µm²/fJ/ps units.
+///
+/// The default is a 12 nm-class FinFET node calibrated against the paper's
+/// TSMC-12nm Table 4 results (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Node name (for reports).
+    pub name: &'static str,
+    /// Area of one flop-based storage bit, µm².
+    pub flop_bit_area: f64,
+    /// Extra area per additional read/write port, as a fraction of the
+    /// bitcell per port.
+    pub port_area_factor: f64,
+    /// Area of one crossbar crosspoint per data bit, µm².
+    pub xpoint_bit_area: f64,
+    /// Area of one equivalent NAND2 of random control logic, µm².
+    pub nand2_area: f64,
+    /// FO4-ish gate delay, ps.
+    pub gate_delay_ps: f64,
+    /// Dynamic energy of moving one bit through a storage stage, fJ.
+    pub bit_move_fj: f64,
+    /// Leakage + clock-tree power density, mW per µm².
+    pub static_mw_per_um2: f64,
+}
+
+impl TechNode {
+    /// The calibrated 12 nm-class node used throughout the workspace.
+    pub fn n12() -> Self {
+        TechNode {
+            name: "12nm-class",
+            flop_bit_area: 0.95,
+            port_area_factor: 0.35,
+            xpoint_bit_area: 0.55,
+            nand2_area: 0.25,
+            gate_delay_ps: 18.0,
+            bit_move_fj: 1.6,
+            static_mw_per_um2: 1.0e-4,
+        }
+    }
+}
+
+impl Default for TechNode {
+    fn default() -> Self {
+        Self::n12()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_n12() {
+        let t = TechNode::default();
+        assert_eq!(t.name, "12nm-class");
+        assert!(t.flop_bit_area > 0.0 && t.gate_delay_ps > 0.0);
+    }
+}

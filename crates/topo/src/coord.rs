@@ -1,0 +1,376 @@
+//! Node, chiplet and coordinate arithmetic for chiplet-grid systems.
+//!
+//! A system is a `chiplets_x × chiplets_y` grid of identical chiplets, each
+//! an on-chip `chip_w × chip_h` 2D-mesh. Global node coordinates are the
+//! concatenation of the two grids: a node at local `(lx, ly)` of chiplet
+//! `(cx, cy)` sits at global `(cx·chip_w + lx, cy·chip_h + ly)`.
+//!
+//! Axis convention: `x` grows east, `y` grows north. "Negative" directions
+//! (used by negative-first routing) are west and south.
+
+/// Identifier of a node (router + NIC) in the whole system.
+///
+/// Node ids enumerate the global grid row-major: `id = gy * width + gx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index, usable directly as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a chiplet in the package, row-major over the chiplet grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChipletId(pub u16);
+
+impl ChipletId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ChipletId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A global node coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column (grows east).
+    pub x: u16,
+    /// Row (grows north).
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+/// The shape of a multi-chiplet system: a chiplet grid of on-chip meshes.
+///
+/// # Examples
+///
+/// ```
+/// use chiplet_topo::{Geometry, NodeId};
+///
+/// let g = Geometry::new(4, 4, 2, 2); // the paper's 64-node PARSEC system
+/// assert_eq!(g.nodes(), 64);
+/// assert_eq!(g.chiplets(), 16);
+/// let n = g.node_at(3, 5);
+/// assert_eq!(g.coord(n), chiplet_topo::Coord::new(3, 5));
+/// assert!(g.is_interface_node(n)); // every node of a 2x2 chiplet is on the rim
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    chiplets_x: u16,
+    chiplets_y: u16,
+    chip_w: u16,
+    chip_h: u16,
+}
+
+impl Geometry {
+    /// Creates a geometry of `chiplets_x × chiplets_y` chiplets, each an
+    /// on-chip `chip_w × chip_h` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(chiplets_x: u16, chiplets_y: u16, chip_w: u16, chip_h: u16) -> Self {
+        assert!(
+            chiplets_x > 0 && chiplets_y > 0 && chip_w > 0 && chip_h > 0,
+            "all geometry dimensions must be positive"
+        );
+        Self {
+            chiplets_x,
+            chiplets_y,
+            chip_w,
+            chip_h,
+        }
+    }
+
+    /// Chiplet-grid width.
+    pub fn chiplets_x(&self) -> u16 {
+        self.chiplets_x
+    }
+
+    /// Chiplet-grid height.
+    pub fn chiplets_y(&self) -> u16 {
+        self.chiplets_y
+    }
+
+    /// On-chip mesh width.
+    pub fn chip_w(&self) -> u16 {
+        self.chip_w
+    }
+
+    /// On-chip mesh height.
+    pub fn chip_h(&self) -> u16 {
+        self.chip_h
+    }
+
+    /// Global grid width in nodes.
+    pub fn width(&self) -> u16 {
+        self.chiplets_x * self.chip_w
+    }
+
+    /// Global grid height in nodes.
+    pub fn height(&self) -> u16 {
+        self.chiplets_y * self.chip_h
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        self.width() as u32 * self.height() as u32
+    }
+
+    /// Total chiplet count.
+    pub fn chiplets(&self) -> u16 {
+        self.chiplets_x * self.chiplets_y
+    }
+
+    /// Nodes per chiplet.
+    pub fn nodes_per_chiplet(&self) -> u32 {
+        self.chip_w as u32 * self.chip_h as u32
+    }
+
+    /// The node at global coordinate `(gx, gy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    pub fn node_at(&self, gx: u16, gy: u16) -> NodeId {
+        assert!(gx < self.width() && gy < self.height(), "coordinate out of range");
+        NodeId(gy as u32 * self.width() as u32 + gx as u32)
+    }
+
+    /// Global coordinate of `node`.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        let w = self.width() as u32;
+        Coord::new((node.0 % w) as u16, (node.0 / w) as u16)
+    }
+
+    /// The chiplet containing `node`.
+    pub fn chiplet_of(&self, node: NodeId) -> ChipletId {
+        let c = self.coord(node);
+        let cx = c.x / self.chip_w;
+        let cy = c.y / self.chip_h;
+        ChipletId(cy * self.chiplets_x + cx)
+    }
+
+    /// Chiplet-grid coordinate `(cx, cy)` of a chiplet.
+    pub fn chiplet_coord(&self, chiplet: ChipletId) -> (u16, u16) {
+        (chiplet.0 % self.chiplets_x, chiplet.0 / self.chiplets_x)
+    }
+
+    /// The chiplet at chiplet-grid coordinate `(cx, cy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the chiplet grid.
+    pub fn chiplet_at(&self, cx: u16, cy: u16) -> ChipletId {
+        assert!(cx < self.chiplets_x && cy < self.chiplets_y, "chiplet out of range");
+        ChipletId(cy * self.chiplets_x + cx)
+    }
+
+    /// Local coordinate of `node` within its chiplet.
+    pub fn local_coord(&self, node: NodeId) -> Coord {
+        let c = self.coord(node);
+        Coord::new(c.x % self.chip_w, c.y % self.chip_h)
+    }
+
+    /// The node at local `(lx, ly)` of `chiplet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local coordinate is outside the chiplet.
+    pub fn node_in_chiplet(&self, chiplet: ChipletId, lx: u16, ly: u16) -> NodeId {
+        assert!(lx < self.chip_w && ly < self.chip_h, "local coordinate out of range");
+        let (cx, cy) = self.chiplet_coord(chiplet);
+        self.node_at(cx * self.chip_w + lx, cy * self.chip_h + ly)
+    }
+
+    /// Whether `node` lies on its chiplet's perimeter and therefore carries
+    /// die-to-die interfaces (§6.1: "all edge nodes ... are attached with
+    /// external interfaces").
+    pub fn is_interface_node(&self, node: NodeId) -> bool {
+        let l = self.local_coord(node);
+        l.x == 0 || l.y == 0 || l.x == self.chip_w - 1 || l.y == self.chip_h - 1
+    }
+
+    /// Whether `node` is an internal ("core") node without external channels.
+    pub fn is_core_node(&self, node: NodeId) -> bool {
+        !self.is_interface_node(node)
+    }
+
+    /// All core nodes of the system, in id order.
+    pub fn core_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes())
+            .map(NodeId)
+            .filter(|&n| self.is_core_node(n))
+            .collect()
+    }
+
+    /// The perimeter nodes of `chiplet`, ordered counter-clockwise starting
+    /// at the local origin (south-west corner): south edge west→east, east
+    /// edge south→north, north edge east→west, west edge north→south.
+    ///
+    /// The ordering is stable, so hypercube-dimension assignments derived
+    /// from it (see [`crate::system::build::hetero_channel`]) are identical
+    /// on every chiplet.
+    pub fn perimeter_nodes(&self, chiplet: ChipletId) -> Vec<NodeId> {
+        let w = self.chip_w;
+        let h = self.chip_h;
+        let mut out = Vec::new();
+        if w == 1 && h == 1 {
+            out.push(self.node_in_chiplet(chiplet, 0, 0));
+            return out;
+        }
+        if h == 1 {
+            for lx in 0..w {
+                out.push(self.node_in_chiplet(chiplet, lx, 0));
+            }
+            return out;
+        }
+        if w == 1 {
+            for ly in 0..h {
+                out.push(self.node_in_chiplet(chiplet, 0, ly));
+            }
+            return out;
+        }
+        for lx in 0..w {
+            out.push(self.node_in_chiplet(chiplet, lx, 0));
+        }
+        for ly in 1..h {
+            out.push(self.node_in_chiplet(chiplet, w - 1, ly));
+        }
+        for lx in (0..w - 1).rev() {
+            out.push(self.node_in_chiplet(chiplet, lx, h - 1));
+        }
+        for ly in (1..h - 1).rev() {
+            out.push(self.node_in_chiplet(chiplet, 0, ly));
+        }
+        out
+    }
+
+    /// Chiplet-level Manhattan distance between the chiplets of two nodes.
+    pub fn chiplet_mesh_hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.chiplet_coord(self.chiplet_of(a));
+        let (bx, by) = self.chiplet_coord(self.chiplet_of(b));
+        ax.abs_diff(bx) as u32 + ay.abs_diff(by) as u32
+    }
+
+    /// Hamming distance between the chiplet indices of two nodes (the serial
+    /// hop count `#H_S` of Eq. 5 when chiplets form a hypercube).
+    pub fn chiplet_hamming(&self, a: NodeId, b: NodeId) -> u32 {
+        (self.chiplet_of(a).0 ^ self.chiplet_of(b).0).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Geometry {
+        Geometry::new(4, 4, 4, 4)
+    }
+
+    #[test]
+    fn node_coord_roundtrip() {
+        let g = g();
+        for id in 0..g.nodes() {
+            let n = NodeId(id);
+            let c = g.coord(n);
+            assert_eq!(g.node_at(c.x, c.y), n);
+        }
+    }
+
+    #[test]
+    fn chiplet_of_matches_local() {
+        let g = g();
+        let n = g.node_at(7, 9);
+        assert_eq!(g.chiplet_of(n), g.chiplet_at(1, 2));
+        assert_eq!(g.local_coord(n), Coord::new(3, 1));
+        assert_eq!(g.node_in_chiplet(g.chiplet_at(1, 2), 3, 1), n);
+    }
+
+    #[test]
+    fn interface_vs_core_counts() {
+        let g = g();
+        let core = g.core_nodes().len() as u32;
+        // 4x4 chiplet: 2x2 = 4 core nodes each, 16 chiplets.
+        assert_eq!(core, 4 * 16);
+        let iface = g.nodes() - core;
+        assert_eq!(iface, 12 * 16);
+    }
+
+    #[test]
+    fn perimeter_order_and_coverage() {
+        let g = Geometry::new(1, 1, 4, 3);
+        let p = g.perimeter_nodes(ChipletId(0));
+        // 4x3 chiplet perimeter: 2*(4+3) - 4 = 10 nodes.
+        assert_eq!(p.len(), 10);
+        let mut uniq = p.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10);
+        for &n in &p {
+            assert!(g.is_interface_node(n));
+        }
+        // Starts at the local origin.
+        assert_eq!(p[0], g.node_at(0, 0));
+    }
+
+    #[test]
+    fn perimeter_degenerate_shapes() {
+        let row = Geometry::new(1, 1, 5, 1);
+        assert_eq!(row.perimeter_nodes(ChipletId(0)).len(), 5);
+        let col = Geometry::new(1, 1, 1, 5);
+        assert_eq!(col.perimeter_nodes(ChipletId(0)).len(), 5);
+        let dot = Geometry::new(1, 1, 1, 1);
+        assert_eq!(dot.perimeter_nodes(ChipletId(0)).len(), 1);
+    }
+
+    #[test]
+    fn seven_by_seven_has_24_interface_nodes() {
+        // The paper's wafer-scale chiplet: 7x7 nodes, 24 on the rim.
+        let g = Geometry::new(8, 8, 7, 7);
+        let p = g.perimeter_nodes(ChipletId(0));
+        assert_eq!(p.len(), 24);
+        assert_eq!(g.nodes(), 3136);
+    }
+
+    #[test]
+    fn hamming_and_mesh_hops() {
+        let g = g();
+        let a = g.node_in_chiplet(g.chiplet_at(0, 0), 0, 0);
+        let b = g.node_in_chiplet(g.chiplet_at(3, 2), 0, 0);
+        assert_eq!(g.chiplet_mesh_hops(a, b), 5);
+        // chiplet ids: 0 and 2*4+3 = 11 (0b1011): hamming = 3
+        assert_eq!(g.chiplet_hamming(a, b), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_coordinate_panics() {
+        g().node_at(16, 0);
+    }
+}

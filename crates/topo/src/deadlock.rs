@@ -1,0 +1,268 @@
+//! Channel-dependency-graph (CDG) analysis: a mechanical check of
+//! Theorem 1.
+//!
+//! Lemma 1 (Dally/Duato) reduces deadlock freedom of an adaptive routing
+//! relation to two conditions:
+//!
+//! 1. the *escape* subfunction `R₀` on the channel subset `C₀` is connected
+//!    and its channel-dependency graph is acyclic, and
+//! 2. a packet can always fall back to `R₀` (every candidate set contains a
+//!    baseline candidate).
+//!
+//! [`analyze`] builds the CDG of the baseline candidates over all node
+//! pairs and searches for a cycle; [`escape_always_present`] verifies the
+//! fallback condition. The test-suites of this crate and of `hetero-if` run
+//! both checks on every topology preset.
+
+use crate::coord::NodeId;
+use crate::link::LinkId;
+use crate::routing::{Candidate, RouteState, Routing};
+use crate::system::SystemTopology;
+
+/// One virtual channel: a link plus a VC index on it.
+pub type ChannelId = (LinkId, u8);
+
+/// Result of a CDG analysis.
+#[derive(Debug, Clone)]
+pub struct CdgReport {
+    /// Number of distinct channels that appeared in the relation.
+    pub channels: usize,
+    /// Number of dependency edges.
+    pub edges: usize,
+    /// A dependency cycle, if one exists (deadlock hazard).
+    pub cycle: Option<Vec<ChannelId>>,
+}
+
+impl CdgReport {
+    /// Whether the analyzed relation is deadlock-free (acyclic CDG).
+    pub fn is_acyclic(&self) -> bool {
+        self.cycle.is_none()
+    }
+}
+
+/// Which part of the routing relation to analyze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// Only the baseline (escape) candidates — must be acyclic.
+    Baseline,
+    /// The full relation — usually cyclic for adaptive algorithms; useful
+    /// to demonstrate *why* the escape structure is needed.
+    Full,
+}
+
+fn filter<'a>(
+    cands: &'a [Candidate],
+    relation: Relation,
+) -> impl Iterator<Item = &'a Candidate> + 'a {
+    cands
+        .iter()
+        .filter(move |c| relation == Relation::Full || c.baseline)
+}
+
+/// Builds the channel-dependency graph of `routing` on `topo` over **all**
+/// ordered node pairs and searches it for a cycle.
+///
+/// Quadratic in node count — intended for the small/medium instances used
+/// in tests (it exhaustively certifies the escape structure; the large
+/// systems share it by construction).
+pub fn analyze(topo: &SystemTopology, routing: &dyn Routing, relation: Relation) -> CdgReport {
+    let vcs_max = 16usize;
+    let chan_index = |l: LinkId, vc: u8| l.index() * vcs_max + vc as usize;
+    let nchan = topo.links().len() * vcs_max;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nchan];
+    let mut used = vec![false; nchan];
+    let mut edges = 0usize;
+
+    let n = topo.geometry().nodes();
+    let state = RouteState::default();
+    let mut c1 = Vec::new();
+    let mut c2 = Vec::new();
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let (x, y) = (NodeId(s), NodeId(d));
+            c1.clear();
+            routing.candidates(topo, x, y, &state, &mut c1);
+            for a in filter(&c1, relation) {
+                let ia = chan_index(a.link, a.vc);
+                used[ia] = true;
+                let mid = topo.link(a.link).dst;
+                if mid == y {
+                    continue;
+                }
+                c2.clear();
+                routing.candidates(topo, mid, y, &state, &mut c2);
+                for b in filter(&c2, relation) {
+                    let ib = chan_index(b.link, b.vc);
+                    used[ib] = true;
+                    if !adj[ia].contains(&(ib as u32)) {
+                        adj[ia].push(ib as u32);
+                        edges += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Iterative DFS cycle detection (3-color).
+    let mut color = vec![0u8; nchan]; // 0 white, 1 gray, 2 black
+    let mut parent: Vec<u32> = vec![u32::MAX; nchan];
+    let mut cycle = None;
+    'outer: for start in 0..nchan {
+        if color[start] != 0 || !used[start] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+            if *ei < adj[v].len() {
+                let w = adj[v][*ei] as usize;
+                *ei += 1;
+                match color[w] {
+                    0 => {
+                        color[w] = 1;
+                        parent[w] = v as u32;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // Found a cycle w → ... → v → w.
+                        let mut path = vec![w];
+                        let mut cur = v;
+                        while cur != w {
+                            path.push(cur);
+                            cur = parent[cur] as usize;
+                        }
+                        path.reverse();
+                        let decode = |i: usize| {
+                            (LinkId((i / vcs_max) as u32), (i % vcs_max) as u8)
+                        };
+                        cycle = Some(path.into_iter().map(decode).collect());
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    CdgReport {
+        channels: used.iter().filter(|&&u| u).count(),
+        edges,
+        cycle,
+    }
+}
+
+/// Verifies the Duato fallback condition: for every ordered pair the
+/// candidate set is non-empty and contains a baseline candidate, both in
+/// the unlocked and in the locked state.
+pub fn escape_always_present(topo: &SystemTopology, routing: &dyn Routing) -> bool {
+    let n = topo.geometry().nodes();
+    let mut cands = Vec::new();
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            for locked in [false, true] {
+                cands.clear();
+                let state = RouteState {
+                    baseline_locked: locked,
+                };
+                routing.candidates(topo, NodeId(s), NodeId(d), &state, &mut cands);
+                if !cands.iter().any(|c| c.baseline) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Geometry;
+    use crate::routing;
+    use crate::system::{build, SystemKind};
+
+    fn check(kind: SystemKind, geom: Geometry) {
+        let topo = match kind {
+            SystemKind::ParallelMesh => build::parallel_mesh(geom),
+            SystemKind::SerialTorus => build::serial_torus(geom),
+            SystemKind::HeteroPhyTorus => build::hetero_phy_torus(geom),
+            SystemKind::SerialHypercube => build::serial_hypercube(geom),
+            SystemKind::HeteroChannel => build::hetero_channel(geom),
+            SystemKind::MultiPackageRow => build::multi_package(
+                geom.chiplets_x(),
+                1,
+                geom.chiplets_y(),
+                geom.chip_w(),
+                geom.chip_h(),
+            ),
+        };
+        let r = routing::for_system(kind, 2);
+        let rep = analyze(&topo, r.as_ref(), Relation::Baseline);
+        assert!(
+            rep.is_acyclic(),
+            "{kind}: escape CDG has a cycle: {:?}",
+            rep.cycle
+        );
+        assert!(rep.channels > 0 && rep.edges > 0);
+        assert!(escape_always_present(&topo, r.as_ref()), "{kind}: escape missing");
+    }
+
+    #[test]
+    fn mesh_escape_acyclic() {
+        check(SystemKind::ParallelMesh, Geometry::new(2, 2, 3, 3));
+    }
+
+    #[test]
+    fn serial_torus_escape_acyclic() {
+        check(SystemKind::SerialTorus, Geometry::new(2, 2, 3, 3));
+    }
+
+    #[test]
+    fn hetero_phy_torus_escape_acyclic() {
+        check(SystemKind::HeteroPhyTorus, Geometry::new(2, 2, 3, 3));
+    }
+
+    #[test]
+    fn hypercube_escape_acyclic() {
+        check(SystemKind::SerialHypercube, Geometry::new(2, 2, 3, 3));
+    }
+
+    #[test]
+    fn hypercube_escape_acyclic_16_chiplets() {
+        check(SystemKind::SerialHypercube, Geometry::new(4, 4, 2, 2));
+    }
+
+    #[test]
+    fn algorithm1_escape_acyclic() {
+        check(SystemKind::HeteroChannel, Geometry::new(2, 2, 3, 3));
+    }
+
+    #[test]
+    fn algorithm1_escape_acyclic_16_chiplets() {
+        check(SystemKind::HeteroChannel, Geometry::new(4, 4, 2, 2));
+    }
+
+    #[test]
+    fn multi_package_escape_acyclic() {
+        check(SystemKind::MultiPackageRow, Geometry::new(4, 2, 3, 3));
+    }
+
+    #[test]
+    fn full_relation_of_torus_is_cyclic() {
+        // The adaptive part alone would deadlock — this is exactly why the
+        // escape structure exists. (Wraparound channels close a ring.)
+        let topo = build::serial_torus(Geometry::new(2, 2, 3, 3));
+        let r = routing::for_system(SystemKind::SerialTorus, 2);
+        let rep = analyze(&topo, r.as_ref(), Relation::Full);
+        assert!(!rep.is_acyclic());
+    }
+}

@@ -1,0 +1,168 @@
+//! Directed links between routers and their physical classification.
+
+use crate::coord::NodeId;
+
+/// Identifier of a directed link; indexes [`crate::SystemTopology::links`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Physical class of a link, which determines bandwidth, delay and energy.
+///
+/// The numbers attached to each class live in the simulation configuration
+/// (Table 2 of the paper); the topology layer only records the class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// An on-chip wire between neighboring routers of the same chiplet.
+    OnChip,
+    /// A parallel die-to-die interface (AIB-like: low latency, short reach).
+    Parallel,
+    /// A serial die-to-die interface (SerDes-like: high rate, long reach).
+    Serial,
+    /// A heterogeneous-PHY interface: one adapter over a parallel PHY and a
+    /// serial PHY used concurrently (§3.1).
+    HeteroPhy,
+}
+
+impl LinkClass {
+    /// Whether the link crosses a die boundary.
+    pub fn is_interface(self) -> bool {
+        !matches!(self, LinkClass::OnChip)
+    }
+}
+
+impl std::fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LinkClass::OnChip => "on-chip",
+            LinkClass::Parallel => "parallel",
+            LinkClass::Serial => "serial",
+            LinkClass::HeteroPhy => "hetero-phy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A mesh direction. `x` grows east, `y` grows north; negative-first routing
+/// exhausts west/south moves before turning east/north.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshDir {
+    /// +x
+    East,
+    /// -x
+    West,
+    /// +y
+    North,
+    /// -y
+    South,
+}
+
+impl MeshDir {
+    /// Whether this is a negative direction (west or south).
+    pub fn is_negative(self) -> bool {
+        matches!(self, MeshDir::West | MeshDir::South)
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> MeshDir {
+        match self {
+            MeshDir::East => MeshDir::West,
+            MeshDir::West => MeshDir::East,
+            MeshDir::North => MeshDir::South,
+            MeshDir::South => MeshDir::North,
+        }
+    }
+
+    /// All four directions.
+    pub const ALL: [MeshDir; 4] = [MeshDir::East, MeshDir::West, MeshDir::North, MeshDir::South];
+}
+
+/// Topological role of a link, used by routing functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// A step of one hop in the global mesh (on-chip or between facing
+    /// boundary nodes of adjacent chiplets).
+    Mesh {
+        /// Direction of travel.
+        dir: MeshDir,
+    },
+    /// A torus wraparound link (long-reach, from one grid edge to the other).
+    Wrap {
+        /// Direction of travel *around* the torus: a `West` wrap leaves the
+        /// west edge and arrives at the east edge.
+        dir: MeshDir,
+    },
+    /// A chiplet-hypercube link toggling one address bit (§6.2, Fig. 10a).
+    Hypercube {
+        /// The hypercube dimension this link toggles.
+        dim: u8,
+    },
+    /// A long-reach serial express link spanning a package from edge to
+    /// edge (§3.2, Fig. 6b: "the serial interface connects the more
+    /// distant nodes").
+    Express {
+        /// Direction of travel.
+        dir: MeshDir,
+    },
+}
+
+/// A directed link between two routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// This link's id (its index in the topology's link table).
+    pub id: LinkId,
+    /// Transmitting router.
+    pub src: NodeId,
+    /// Receiving router.
+    pub dst: NodeId,
+    /// Physical class.
+    pub class: LinkClass,
+    /// Topological role.
+    pub kind: LinkKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_directions() {
+        assert!(MeshDir::West.is_negative());
+        assert!(MeshDir::South.is_negative());
+        assert!(!MeshDir::East.is_negative());
+        assert!(!MeshDir::North.is_negative());
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in MeshDir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn interface_classification() {
+        assert!(!LinkClass::OnChip.is_interface());
+        assert!(LinkClass::Parallel.is_interface());
+        assert!(LinkClass::Serial.is_interface());
+        assert!(LinkClass::HeteroPhy.is_interface());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(LinkClass::HeteroPhy.to_string(), "hetero-phy");
+        assert_eq!(LinkId(3).to_string(), "l3");
+    }
+}

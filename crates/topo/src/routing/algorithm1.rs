@@ -1,0 +1,336 @@
+//! **Algorithm 1** of the paper: deadlock-free routing for hetero-channel
+//! multi-chiplet systems (§6.2).
+//!
+//! Channel structure (matching the paper's notation):
+//!
+//! * `C₀ = C_{N,0} ∪ C_{P,0}` — VC 0 of the on-chip channels and of the
+//!   parallel inter-chiplet channels. Together these form the global
+//!   2D-mesh, on which `R₀` is negative-first routing: connected and
+//!   deadlock-free, so by Lemma 1 the whole algorithm is deadlock-free
+//!   (Theorem 1).
+//! * `C_a = C − C₀` — every serial (hypercube) channel on any VC, plus the
+//!   higher VCs of on-chip and parallel channels: fully adaptive whenever
+//!   they lie on an optional path toward the destination.
+//!
+//! The subnetwork-selection function of Eq. 5 orders the adaptive
+//! candidates: the serial hypercube subnetwork is preferred when the
+//! remaining parallel-mesh chiplet hops `#H_P` exceed the remaining
+//! Hamming distance `#H_S`, minimizing total cross-chiplet hops.
+//!
+//! Livelock: serial hops strictly reduce Hamming distance; adaptive
+//! on-chip/parallel moves strictly approach either the destination or the
+//! nearest useful interface port (one mode per chiplet, since Eq. 5's
+//! inputs are constant within a chiplet); a congestion-forced baseline
+//! grant locks the packet onto negative-first paths (§6.2's
+//! channel-switching restriction).
+
+use super::{
+    emit_negative_first, nearest_port, productive_dirs, Candidate, RouteState, Routing,
+};
+use crate::coord::NodeId;
+use crate::system::SystemTopology;
+
+/// Algorithm 1: composite routing over the parallel mesh and the serial
+/// hypercube of a hetero-channel system.
+#[derive(Debug, Clone, Copy)]
+pub struct Algorithm1 {
+    vcs: u8,
+    serial_weight: f64,
+}
+
+impl Algorithm1 {
+    /// Creates the algorithm for links with `vcs` virtual channels, using
+    /// the plain Eq. 5 hop-count selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs < 2`.
+    pub fn new(vcs: u8) -> Self {
+        Self::with_serial_weight(vcs, 1.0)
+    }
+
+    /// Creates the algorithm with a weighted selection function: the
+    /// serial subnetwork is preferred when `#H_P > w · #H_S`. With
+    /// `w = 1` this is exactly Eq. 5; energy-efficient scheduling (§5.3.1,
+    /// Fig. 16b) uses the serial/parallel per-hop energy ratio (≈ 2.4) so
+    /// the hypercube is only taken when it saves energy, not just hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs < 2` or `w <= 0`.
+    pub fn with_serial_weight(vcs: u8, serial_weight: f64) -> Self {
+        assert!(vcs >= 2, "Algorithm 1 needs >= 2 virtual channels");
+        assert!(serial_weight > 0.0, "selection weight must be positive");
+        Self {
+            vcs,
+            serial_weight,
+        }
+    }
+
+    /// The subnetwork-selection function of Eq. 5: `true` when the serial
+    /// hypercube subnetwork yields fewer (weighted) cross-chiplet hops.
+    pub fn prefers_serial(topo: &SystemTopology, cur: NodeId, dst: NodeId) -> bool {
+        Self::new(2).prefers_serial_weighted(topo, cur, dst)
+    }
+
+    fn prefers_serial_weighted(&self, topo: &SystemTopology, cur: NodeId, dst: NodeId) -> bool {
+        let g = topo.geometry();
+        let hp = g.chiplet_mesh_hops(cur, dst);
+        let hs = g.chiplet_hamming(cur, dst);
+        hp as f64 > self.serial_weight * hs as f64
+    }
+
+    /// Emits serial-subnetwork adaptive candidates: the hypercube link at
+    /// `cur` when it fixes a useful dimension (all VCs — serial channels are
+    /// never part of `C₀`), otherwise on-chip/parallel moves on adaptive VCs
+    /// toward the nearest interface port of any useful dimension.
+    fn emit_serial_mode(
+        &self,
+        topo: &SystemTopology,
+        cur: NodeId,
+        diff: u16,
+        out: &mut Vec<Candidate>,
+    ) {
+        let g = topo.geometry();
+        if let Some((link, dim)) = topo.hyper_out(cur) {
+            if diff & (1 << dim) != 0 {
+                for vc in 0..self.vcs {
+                    out.push(Candidate {
+                        link,
+                        vc,
+                        baseline: false,
+                        tier: 0,
+                    });
+                }
+                // At a useful port: take the serial link; approaching other
+                // ports would break the monotone-progress argument.
+                return;
+            }
+        }
+        let chiplet = g.chiplet_of(cur);
+        let mut ports: Vec<NodeId> = Vec::new();
+        for dim in 0..topo.hyper_dims() {
+            if diff & (1 << dim) != 0 {
+                ports.extend_from_slice(topo.hyper_ports(chiplet, dim));
+            }
+        }
+        if let Some(p) = nearest_port(topo, cur, &ports) {
+            let (c, pc) = (g.coord(cur), g.coord(p));
+            for dir in productive_dirs(c, pc) {
+                if let Some(link) = topo.mesh_out(cur, dir) {
+                    for vc in 1..self.vcs {
+                        out.push(Candidate {
+                            link,
+                            vc,
+                            baseline: false,
+                            tier: 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Routing for Algorithm1 {
+    fn name(&self) -> &str {
+        "algorithm1-hetero-channel"
+    }
+
+    fn candidates(
+        &self,
+        topo: &SystemTopology,
+        cur: NodeId,
+        dst: NodeId,
+        state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
+        let g = topo.geometry();
+        let cc = g.chiplet_of(cur);
+        let dc = g.chiplet_of(dst);
+        if !state.baseline_locked {
+            if cc == dc {
+                // Destination chiplet: adaptive minimal on-chip moves.
+                let (c, d) = (g.coord(cur), g.coord(dst));
+                for dir in productive_dirs(c, d) {
+                    if let Some(link) = topo.mesh_out(cur, dir) {
+                        for vc in 1..self.vcs {
+                            out.push(Candidate {
+                                link,
+                                vc,
+                                baseline: false,
+                                tier: 0,
+                            });
+                        }
+                    }
+                }
+            } else {
+                let diff = cc.0 ^ dc.0;
+                let prefer_serial = self.prefers_serial_weighted(topo, cur, dst);
+                if prefer_serial {
+                    // Serial-subnetwork mode: head for (or take) a useful
+                    // hypercube link; tiers 0/1.
+                    self.emit_serial_mode(topo, cur, diff, out);
+                } else {
+                    // Mesh mode: adaptive productive moves on higher VCs of
+                    // the global mesh (on-chip + parallel channels)...
+                    let (c, d) = (g.coord(cur), g.coord(dst));
+                    for dir in productive_dirs(c, d) {
+                        if let Some(link) = topo.mesh_out(cur, dir) {
+                            for vc in 1..self.vcs {
+                                out.push(Candidate {
+                                    link,
+                                    vc,
+                                    baseline: false,
+                                    tier: 0,
+                                });
+                            }
+                        }
+                    }
+                    // ...and, when already standing on a useful hypercube
+                    // port, the serial shortcut as a lower-preference
+                    // adaptive option (it still reduces Hamming distance).
+                    if let Some((link, dim)) = topo.hyper_out(cur) {
+                        if diff & (1 << dim) != 0 {
+                            for vc in 0..self.vcs {
+                                out.push(Candidate {
+                                    link,
+                                    vc,
+                                    baseline: false,
+                                    tier: 1,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Baseline escape: negative-first on the global mesh, VC 0.
+        emit_negative_first(topo, cur, dst, self.vcs, state.baseline_locked, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use crate::coord::Geometry;
+    use crate::link::{LinkClass, LinkKind};
+    use crate::system::build;
+
+    fn bound(g: &Geometry) -> usize {
+        let dims = (g.chiplets() as u32).trailing_zeros() as usize;
+        let per_chip = (g.chip_w() + g.chip_h()) as usize;
+        ((dims + 2) * (per_chip + 1) + (g.width() + g.height()) as usize) * 2
+    }
+
+    #[test]
+    fn eq5_selection_function() {
+        let g = Geometry::new(4, 4, 4, 4);
+        let t = build::hetero_channel(g);
+        // Adjacent chiplets: hp = 1, hs = |0 ^ 1| = 1 → mesh (not >).
+        let a = g.node_in_chiplet(g.chiplet_at(0, 0), 0, 0);
+        let b = g.node_in_chiplet(g.chiplet_at(1, 0), 0, 0);
+        assert!(!Algorithm1::prefers_serial(&t, a, b));
+        // Opposite corners: hp = 6, hs = popcount(0b1111) = 4 → serial.
+        let far = g.node_in_chiplet(g.chiplet_at(3, 3), 0, 0);
+        assert!(Algorithm1::prefers_serial(&t, a, far));
+    }
+
+    #[test]
+    fn connects_all_pairs_small() {
+        let g = Geometry::new(2, 2, 3, 3);
+        let t = build::hetero_channel(g);
+        let r = Algorithm1::new(2);
+        testutil::check_all_pairs(&t, &r, bound(&g));
+    }
+
+    #[test]
+    fn connects_random_pairs_large() {
+        let g = Geometry::new(4, 4, 5, 5);
+        let t = build::hetero_channel(g);
+        let r = Algorithm1::new(2);
+        testutil::check_random_pairs(&t, &r, 500, bound(&g), 41);
+    }
+
+    #[test]
+    fn paper_scale_random_pairs() {
+        // 8x8 chiplets of 7x7 nodes: the 3136-node system of §8.1.2.
+        let g = Geometry::new(8, 8, 7, 7);
+        let t = build::hetero_channel(g);
+        let r = Algorithm1::new(2);
+        testutil::check_random_pairs(&t, &r, 100, bound(&g), 51);
+    }
+
+    #[test]
+    fn baseline_candidates_are_parallel_or_onchip_vc0() {
+        let g = Geometry::new(4, 4, 3, 3);
+        let t = build::hetero_channel(g);
+        let r = Algorithm1::new(2);
+        let mut out = Vec::new();
+        let mut rng = simkit::SimRng::seed(61);
+        for _ in 0..500 {
+            let s = NodeId(rng.below(g.nodes() as u64) as u32);
+            let mut d = NodeId(rng.below(g.nodes() as u64) as u32);
+            while d == s {
+                d = NodeId(rng.below(g.nodes() as u64) as u32);
+            }
+            out.clear();
+            r.candidates(&t, s, d, &RouteState::default(), &mut out);
+            assert!(out.iter().any(|c| c.baseline), "escape missing {s}->{d}");
+            for c in &out {
+                if c.baseline {
+                    assert_eq!(c.vc, 0);
+                    let link = t.link(c.link);
+                    assert!(matches!(link.kind, LinkKind::Mesh { .. }));
+                    assert!(matches!(
+                        link.class,
+                        LinkClass::OnChip | LinkClass::Parallel
+                    ));
+                }
+                if matches!(t.link(c.link).kind, LinkKind::Hypercube { .. }) {
+                    assert!(!c.baseline, "serial channels are never in C0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distant_pairs_get_serial_shortcut_first() {
+        let g = Geometry::new(4, 4, 4, 4);
+        let t = build::hetero_channel(g);
+        let r = Algorithm1::new(2);
+        // Stand on a hypercube port of chiplet 0 whose dim is useful for the
+        // far corner.
+        let dst = g.node_in_chiplet(g.chiplet_at(3, 3), 2, 2);
+        let port = t.hyper_ports(crate::coord::ChipletId(0), 0)[0];
+        let mut out = Vec::new();
+        r.candidates(&t, port, dst, &RouteState::default(), &mut out);
+        let first = out.first().expect("candidates");
+        assert_eq!(first.tier, 0);
+        assert!(matches!(t.link(first.link).kind, LinkKind::Hypercube { .. }));
+    }
+
+    #[test]
+    fn locked_walks_are_mesh_minimal() {
+        let g = Geometry::new(2, 2, 4, 4);
+        let t = build::hetero_channel(g);
+        let r = Algorithm1::new(2);
+        let src = g.node_at(0, 0);
+        let dst = g.node_at(7, 7);
+        let mut cur = src;
+        let state = RouteState {
+            baseline_locked: true,
+        };
+        let mut hops = 0;
+        let mut cands = Vec::new();
+        while cur != dst {
+            cands.clear();
+            r.candidates(&t, cur, dst, &state, &mut cands);
+            cur = t.link(cands[0].link).dst;
+            hops += 1;
+            assert!(hops <= 14);
+        }
+        assert_eq!(hops, 14); // manhattan-minimal
+    }
+}

@@ -1,0 +1,180 @@
+//! Routing for multi-package systems with serial express links (§3.2,
+//! Fig. 6b).
+//!
+//! The global graph is a 2D-mesh (of on-chip, hetero-PHY and inter-package
+//! serial links), so negative-first routing on VC 0 is the connected,
+//! deadlock-free escape. Express links (edge-to-edge within a package) are
+//! purely adaptive shortcuts: one is offered only when its exit does not
+//! overshoot the destination column, so every express hop strictly reduces
+//! the remaining x-distance — livelock-free without needing the lock, and
+//! deadlock-free by Lemma 1 since the escape never uses them.
+
+use super::{emit_negative_first, productive_dirs, Candidate, RouteState, Routing};
+use crate::coord::NodeId;
+use crate::link::MeshDir;
+use crate::system::SystemTopology;
+
+/// Negative-first mesh routing plus adaptive package-express shortcuts.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpressMesh {
+    vcs: u8,
+}
+
+impl ExpressMesh {
+    /// Creates the algorithm for links with `vcs` virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs < 2`.
+    pub fn new(vcs: u8) -> Self {
+        assert!(vcs >= 2, "express-mesh routing needs >= 2 virtual channels");
+        Self { vcs }
+    }
+}
+
+impl Routing for ExpressMesh {
+    fn name(&self) -> &str {
+        "express-mesh"
+    }
+
+    fn candidates(
+        &self,
+        topo: &SystemTopology,
+        cur: NodeId,
+        dst: NodeId,
+        state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
+        let g = topo.geometry();
+        let (c, d) = (g.coord(cur), g.coord(dst));
+        if !state.baseline_locked {
+            // Express shortcut: only when the exit stays on our side of
+            // the destination column and the jump saves enough hops to
+            // amortize the serial delay.
+            for dir in [MeshDir::East, MeshDir::West] {
+                let Some(link) = topo.express_out(cur, dir) else { continue };
+                let exit = g.coord(topo.link(link).dst);
+                let useful = match dir {
+                    MeshDir::East => d.x >= exit.x && exit.x > c.x,
+                    MeshDir::West => d.x <= exit.x && exit.x < c.x,
+                    _ => false,
+                };
+                let saved = c.x.abs_diff(exit.x);
+                if useful && saved >= 4 {
+                    for vc in 0..self.vcs {
+                        out.push(Candidate {
+                            link,
+                            vc,
+                            baseline: false,
+                            tier: 0,
+                        });
+                    }
+                }
+            }
+            // Adaptive minimal mesh moves on the higher VCs.
+            for dir in productive_dirs(c, d) {
+                if let Some(link) = topo.mesh_out(cur, dir) {
+                    for vc in 1..self.vcs {
+                        out.push(Candidate {
+                            link,
+                            vc,
+                            baseline: false,
+                            tier: 1,
+                        });
+                    }
+                }
+            }
+        }
+        emit_negative_first(topo, cur, dst, self.vcs, state.baseline_locked, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use crate::link::LinkKind;
+    use crate::system::build;
+
+    fn topo() -> SystemTopology {
+        // 3 packages of 2x2 chiplets of 3x3 nodes: 18x6 grid, 108 nodes.
+        build::multi_package(3, 2, 2, 3, 3)
+    }
+
+    #[test]
+    fn structure_has_all_three_interface_classes() {
+        use crate::link::LinkClass;
+        let t = topo();
+        let count = |class: LinkClass| t.links().iter().filter(|l| l.class == class).count();
+        assert!(count(LinkClass::OnChip) > 0);
+        assert!(count(LinkClass::HeteroPhy) > 0);
+        assert!(count(LinkClass::Serial) > 0);
+        // 3 packages x 6 rows x 2 dirs express links.
+        let express = t
+            .links()
+            .iter()
+            .filter(|l| matches!(l.kind, LinkKind::Express { .. }))
+            .count();
+        assert_eq!(express, 3 * 6 * 2);
+        // Inter-package serial mesh bridges: 2 boundaries x 6 rows x 2 dirs.
+        let bridges = t
+            .links()
+            .iter()
+            .filter(|l| {
+                l.class == LinkClass::Serial && matches!(l.kind, LinkKind::Mesh { .. })
+            })
+            .count();
+        assert_eq!(bridges, 2 * 6 * 2);
+    }
+
+    #[test]
+    fn connects_all_pairs() {
+        let t = topo();
+        let g = *t.geometry();
+        let r = ExpressMesh::new(2);
+        testutil::check_random_pairs(&t, &r, 500, 3 * (g.width() + g.height()) as usize, 77);
+    }
+
+    #[test]
+    fn long_trips_use_the_express_links() {
+        let t = topo();
+        let g = *t.geometry();
+        let r = ExpressMesh::new(2);
+        let path = testutil::walk(&t, &r, g.node_at(0, 2), g.node_at(17, 2), 40, None);
+        assert!(
+            path.iter()
+                .any(|&l| matches!(t.link(l).kind, LinkKind::Express { .. })),
+            "cross-system trip should ride an express link"
+        );
+        // And reach in far fewer hops than the 17-hop mesh path.
+        assert!(path.len() < 12, "{} hops", path.len());
+    }
+
+    #[test]
+    fn short_trips_ignore_express() {
+        let t = topo();
+        let g = *t.geometry();
+        let r = ExpressMesh::new(2);
+        let mut cands = Vec::new();
+        r.candidates(
+            &t,
+            g.node_at(0, 0),
+            g.node_at(2, 0),
+            &RouteState::default(),
+            &mut cands,
+        );
+        assert!(cands
+            .iter()
+            .all(|c| !matches!(t.link(c.link).kind, LinkKind::Express { .. })));
+    }
+
+    #[test]
+    fn escape_cdg_is_acyclic() {
+        use crate::deadlock::{analyze, escape_always_present, Relation};
+        let t = build::multi_package(2, 2, 1, 3, 3);
+        let r = ExpressMesh::new(2);
+        let rep = analyze(&t, &r, Relation::Baseline);
+        assert!(rep.is_acyclic(), "{:?}", rep.cycle);
+        assert!(escape_always_present(&t, &r));
+    }
+}

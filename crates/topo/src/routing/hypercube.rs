@@ -1,0 +1,259 @@
+//! Minus-first routing for the uniform-serial chiplet-hypercube system
+//! (Fig. 10a) — the "minus-first-based adaptive routing" of §7.2,
+//! reproduced from Feng et al. [30].
+//!
+//! A hypercube hop either clears a chiplet-address bit (a **minus** hop,
+//! strictly decreasing the chiplet id) or sets one (a **plus** hop,
+//! strictly increasing it). Minus-first routing performs all minus hops —
+//! in any, adaptively chosen, order — before any plus hop. The escape
+//! channel structure is:
+//!
+//! * serial hypercube channels, VC 0 — minus channels only ever precede
+//!   channels of larger chiplet id within their phase, so each phase's
+//!   serial CDG is ordered by chiplet id;
+//! * on-chip channels, VC 0 while the packet still has minus hops left
+//!   (*phase 0*) and VC 1 afterwards (*phase 1*), each phase routed
+//!   negative-first toward the chosen interface port — the phase split
+//!   removes the cross-phase sharing of on-chip channels that would
+//!   otherwise close cycles (found mechanically by
+//!   [`crate::deadlock::analyze`]).
+//!
+//! Phase transitions only go 0 → 1, and within each phase the chiplet id is
+//! strictly monotone across serial hops while on-chip segments are
+//! negative-first (acyclic per chiplet), so the escape CDG is acyclic and
+//! the routing function deadlock-free. Adaptive channels are the remaining
+//! serial VCs, restricted to the packet's current phase so even indirect
+//! dependencies respect the escape order. Paths are minimal per segment —
+//! livelock-free by construction.
+
+use super::{nearest_port, negative_first_dirs, Candidate, RouteState, Routing};
+use crate::coord::NodeId;
+use crate::system::SystemTopology;
+
+/// Minus-first adaptive routing on a chiplet hypercube of on-chip meshes.
+#[derive(Debug, Clone, Copy)]
+pub struct HypercubeRouting {
+    vcs: u8,
+}
+
+impl HypercubeRouting {
+    /// Creates the algorithm for links with `vcs` virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs < 2` (the two phases need separate on-chip escape
+    /// VCs).
+    pub fn new(vcs: u8) -> Self {
+        assert!(vcs >= 2, "minus-first hypercube routing needs >= 2 VCs");
+        Self { vcs }
+    }
+
+    /// Bit masks of the remaining minus (1→0) and plus (0→1) dimensions.
+    fn phases(cc: u16, dc: u16) -> (u16, u16) {
+        let diff = cc ^ dc;
+        (cc & diff, dc & diff)
+    }
+}
+
+impl Routing for HypercubeRouting {
+    fn name(&self) -> &str {
+        "minus-first-hypercube"
+    }
+
+    fn candidates(
+        &self,
+        topo: &SystemTopology,
+        cur: NodeId,
+        dst: NodeId,
+        _state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
+        let g = topo.geometry();
+        let cc = g.chiplet_of(cur);
+        let dc = g.chiplet_of(dst);
+        if cc == dc {
+            // Destination chiplet: phase 1, negative-first on VC 1.
+            let (c, d) = (g.coord(cur), g.coord(dst));
+            for dir in negative_first_dirs(c, d) {
+                if let Some(link) = topo.mesh_out(cur, dir) {
+                    out.push(Candidate {
+                        link,
+                        vc: 1,
+                        baseline: true,
+                        tier: 2,
+                    });
+                }
+            }
+            return;
+        }
+        let (minus, plus) = Self::phases(cc.0, dc.0);
+        let (useful, onchip_vc) = if minus != 0 { (minus, 0) } else { (plus, 1) };
+        // Serial link at this node, if it fixes a useful dimension of the
+        // current phase: VC 0 is the escape, higher VCs adaptive.
+        if let Some((link, dim)) = topo.hyper_out(cur) {
+            if useful & (1 << dim) != 0 {
+                for vc in 1..self.vcs {
+                    out.push(Candidate {
+                        link,
+                        vc,
+                        baseline: false,
+                        tier: 0,
+                    });
+                }
+                out.push(Candidate {
+                    link,
+                    vc: 0,
+                    baseline: true,
+                    tier: 2,
+                });
+                return;
+            }
+        }
+        // Otherwise walk negative-first toward the nearest interface port of
+        // any useful dimension, on the phase's escape VC.
+        let mut ports: Vec<NodeId> = Vec::new();
+        for dim in 0..topo.hyper_dims() {
+            if useful & (1 << dim) != 0 {
+                ports.extend_from_slice(topo.hyper_ports(cc, dim));
+            }
+        }
+        let port = nearest_port(topo, cur, &ports)
+            .expect("every chiplet carries every hypercube dimension");
+        let (c, pc) = (g.coord(cur), g.coord(port));
+        for dir in negative_first_dirs(c, pc) {
+            if let Some(link) = topo.mesh_out(cur, dir) {
+                out.push(Candidate {
+                    link,
+                    vc: onchip_vc,
+                    baseline: true,
+                    tier: 2,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use crate::coord::Geometry;
+    use crate::link::LinkKind;
+    use crate::system::build;
+
+    fn bound(g: &Geometry) -> usize {
+        let dims = (g.chiplets() as u32).trailing_zeros() as usize;
+        let per_chip = (g.chip_w() + g.chip_h()) as usize;
+        (dims + 2) * (per_chip + 1) * 2
+    }
+
+    #[test]
+    fn phase_masks() {
+        // cc = 0b1010, dc = 0b0110: minus = bit 3, plus = bit 2.
+        let (minus, plus) = HypercubeRouting::phases(0b1010, 0b0110);
+        assert_eq!(minus, 0b1000);
+        assert_eq!(plus, 0b0100);
+    }
+
+    #[test]
+    fn connects_all_pairs_2x2_chiplets() {
+        let g = Geometry::new(2, 2, 3, 3);
+        let t = build::serial_hypercube(g);
+        let r = HypercubeRouting::new(2);
+        testutil::check_all_pairs(&t, &r, bound(&g));
+    }
+
+    #[test]
+    fn connects_random_pairs_4x4_chiplets() {
+        let g = Geometry::new(4, 4, 4, 4);
+        let t = build::serial_hypercube(g);
+        let r = HypercubeRouting::new(2);
+        testutil::check_random_pairs(&t, &r, 400, bound(&g), 31);
+    }
+
+    #[test]
+    fn minus_hops_precede_plus_hops() {
+        let g = Geometry::new(4, 4, 3, 3);
+        let t = build::serial_hypercube(g);
+        let r = HypercubeRouting::new(2);
+        let mut rng = simkit::SimRng::seed(9);
+        for _ in 0..200 {
+            let s = NodeId(rng.below(g.nodes() as u64) as u32);
+            let mut d = NodeId(rng.below(g.nodes() as u64) as u32);
+            while d == s {
+                d = NodeId(rng.below(g.nodes() as u64) as u32);
+            }
+            let path = testutil::walk(&t, &r, s, d, bound(&g), Some(&mut rng));
+            let mut seen_plus = false;
+            for lid in path {
+                if let LinkKind::Hypercube { .. } = t.link(lid).kind {
+                    let link = t.link(lid);
+                    let a = g.chiplet_of(link.src).0;
+                    let b = g.chiplet_of(link.dst).0;
+                    if b < a {
+                        assert!(!seen_plus, "minus hop after plus hop {s}->{d}");
+                    } else {
+                        seen_plus = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn onchip_escape_vc_matches_phase() {
+        let g = Geometry::new(4, 4, 3, 3);
+        let t = build::serial_hypercube(g);
+        let r = HypercubeRouting::new(2);
+        let mut out = Vec::new();
+        // Phase 0: cc = 15 (0b1111), dc = 0 → all minus; on-chip vc 0.
+        let src = g.node_in_chiplet(crate::coord::ChipletId(15), 1, 1);
+        let dst = g.node_in_chiplet(crate::coord::ChipletId(0), 1, 1);
+        r.candidates(&t, src, dst, &RouteState::default(), &mut out);
+        for c in &out {
+            if matches!(t.link(c.link).kind, LinkKind::Mesh { .. }) {
+                assert_eq!(c.vc, 0);
+            }
+        }
+        // Phase 1: reverse direction → all plus; on-chip vc 1.
+        out.clear();
+        r.candidates(&t, dst, src, &RouteState::default(), &mut out);
+        for c in &out {
+            if matches!(t.link(c.link).kind, LinkKind::Mesh { .. }) {
+                assert_eq!(c.vc, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn within_chiplet_routing_is_on_chip_minimal() {
+        let g = Geometry::new(2, 2, 4, 4);
+        let t = build::serial_hypercube(g);
+        let r = HypercubeRouting::new(2);
+        let src = g.node_in_chiplet(g.chiplet_at(0, 0), 0, 0);
+        let dst = g.node_in_chiplet(g.chiplet_at(0, 0), 3, 3);
+        let path = testutil::walk(&t, &r, src, dst, 6, None);
+        assert_eq!(path.len(), 6);
+        for l in path {
+            assert!(matches!(t.link(l).kind, LinkKind::Mesh { .. }));
+        }
+    }
+
+    #[test]
+    fn serial_escape_is_vc0_and_adaptive_is_higher() {
+        let g = Geometry::new(2, 2, 3, 3);
+        let t = build::serial_hypercube(g);
+        let r = HypercubeRouting::new(3);
+        // Find a node with a hyper link of a useful dim.
+        let dst = g.node_in_chiplet(g.chiplet_at(1, 1), 1, 1);
+        let port = t.hyper_ports(crate::coord::ChipletId(0), 0)[0];
+        let mut out = Vec::new();
+        r.candidates(&t, port, dst, &RouteState::default(), &mut out);
+        let serial: Vec<_> = out
+            .iter()
+            .filter(|c| matches!(t.link(c.link).kind, LinkKind::Hypercube { .. }))
+            .collect();
+        assert!(serial.iter().any(|c| c.vc == 0 && c.baseline));
+        assert!(serial.iter().any(|c| c.vc > 0 && !c.baseline));
+    }
+}

@@ -1,0 +1,142 @@
+//! Negative-first fully-adaptive minimal mesh routing (turn model).
+//!
+//! Used directly for the uniform-parallel global 2D-mesh baseline, and as
+//! the baseline subfunction `R₀` of every other algorithm in this crate.
+
+use super::{negative_first_dirs, Candidate, RouteState, Routing};
+use crate::coord::NodeId;
+use crate::system::SystemTopology;
+
+/// Negative-first adaptive routing on a (global) 2D-mesh.
+///
+/// All virtual channels of every productive link are offered: the
+/// negative-first turn restriction alone makes the routing function
+/// deadlock-free, so every candidate is a baseline candidate and the
+/// livelock lock never engages (paths are minimal).
+#[derive(Debug, Clone, Copy)]
+pub struct NegativeFirstMesh {
+    vcs: u8,
+}
+
+impl NegativeFirstMesh {
+    /// Creates the algorithm for links with `vcs` virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs == 0`.
+    pub fn new(vcs: u8) -> Self {
+        assert!(vcs > 0, "need at least one virtual channel");
+        Self { vcs }
+    }
+}
+
+impl Routing for NegativeFirstMesh {
+    fn name(&self) -> &str {
+        "negative-first"
+    }
+
+    fn min_vcs(&self) -> u8 {
+        1
+    }
+
+    fn candidates(
+        &self,
+        topo: &SystemTopology,
+        cur: NodeId,
+        dst: NodeId,
+        _state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
+        let g = topo.geometry();
+        let (c, d) = (g.coord(cur), g.coord(dst));
+        for dir in negative_first_dirs(c, d) {
+            if let Some(link) = topo.mesh_out(cur, dir) {
+                for vc in 0..self.vcs {
+                    out.push(Candidate {
+                        link,
+                        vc,
+                        baseline: true,
+                        tier: if vc == 0 { 2 } else { 1 },
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use crate::coord::Geometry;
+    use crate::system::build;
+
+    #[test]
+    fn connects_all_pairs_minimally() {
+        let g = testutil::small_geom();
+        let t = build::parallel_mesh(g);
+        let r = NegativeFirstMesh::new(2);
+        // Walks must complete within the manhattan distance.
+        for s in 0..g.nodes() {
+            for d in 0..g.nodes() {
+                if s == d {
+                    continue;
+                }
+                let (sn, dn) = (NodeId(s), NodeId(d));
+                let dist = g.coord(sn).manhattan(g.coord(dn)) as usize;
+                let path = testutil::walk(&t, &r, sn, dn, dist, None);
+                assert_eq!(path.len(), dist, "{sn}->{dn} not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn random_adaptive_walks_are_minimal() {
+        let g = Geometry::new(3, 3, 3, 3);
+        let t = build::parallel_mesh(g);
+        let r = NegativeFirstMesh::new(2);
+        testutil::check_random_pairs(&t, &r, 300, (g.width() + g.height()) as usize, 11);
+    }
+
+    #[test]
+    fn never_turns_positive_to_negative() {
+        // Walk many random pairs and assert the NF invariant on the path.
+        use crate::link::{LinkKind, MeshDir};
+        use simkit::SimRng;
+        let g = Geometry::new(2, 2, 4, 4);
+        let t = build::parallel_mesh(g);
+        let r = NegativeFirstMesh::new(2);
+        let mut rng = SimRng::seed(5);
+        for _ in 0..200 {
+            let s = NodeId(rng.below(g.nodes() as u64) as u32);
+            let mut d = NodeId(rng.below(g.nodes() as u64) as u32);
+            while d == s {
+                d = NodeId(rng.below(g.nodes() as u64) as u32);
+            }
+            let path = testutil::walk(&t, &r, s, d, 64, Some(&mut rng));
+            let mut seen_positive = false;
+            for lid in path {
+                let LinkKind::Mesh { dir } = t.link(lid).kind else {
+                    panic!("non-mesh link on mesh walk")
+                };
+                match dir {
+                    MeshDir::West | MeshDir::South => {
+                        assert!(!seen_positive, "negative move after positive move");
+                    }
+                    MeshDir::East | MeshDir::North => seen_positive = true,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_vcs_offered() {
+        let g = testutil::small_geom();
+        let t = build::parallel_mesh(g);
+        let r = NegativeFirstMesh::new(3);
+        let mut out = Vec::new();
+        r.candidates(&t, g.node_at(0, 0), g.node_at(3, 0), &RouteState::default(), &mut out);
+        assert_eq!(out.len(), 3); // one dir (east), 3 vcs
+        assert!(out.iter().all(|c| c.baseline));
+    }
+}

@@ -1,0 +1,215 @@
+//! Torus routing structured per Lemma 1: negative-first escape on the mesh
+//! subnetwork (VC 0), adaptive higher VCs plus wraparound links.
+//!
+//! This is the "negative-first-based adaptive routing ... for 2D-mesh and
+//! 2D-torus" of §7.2, applied to the uniform-serial torus and the
+//! hetero-PHY torus. The wraparound links never belong to `C₀`, so the
+//! escape subnetwork is a plain mesh on which negative-first routing is
+//! connected and deadlock-free; all wraparound channels and all higher
+//! virtual channels are fully adaptive on torus-minimal moves.
+
+use super::{emit_negative_first, Candidate, RouteState, Routing};
+use crate::coord::NodeId;
+use crate::link::MeshDir;
+use crate::system::SystemTopology;
+
+/// Adaptive torus routing with a negative-first mesh escape subnetwork.
+#[derive(Debug, Clone, Copy)]
+pub struct TorusAdaptive {
+    vcs: u8,
+}
+
+impl TorusAdaptive {
+    /// Creates the algorithm for links with `vcs` virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs < 2` (one escape VC plus at least one adaptive VC).
+    pub fn new(vcs: u8) -> Self {
+        assert!(vcs >= 2, "torus routing needs >= 2 virtual channels");
+        Self { vcs }
+    }
+}
+
+/// Distance from `a` to `b` on a ring of size `m`.
+fn ring_dist(a: u16, b: u16, m: u16) -> u16 {
+    let fwd = (b + m - a) % m;
+    fwd.min(m - fwd)
+}
+
+/// Coordinate after moving one step in `dir` with wrap semantics.
+fn step(x: u16, y: u16, dir: MeshDir, w: u16, h: u16) -> (u16, u16) {
+    match dir {
+        MeshDir::East => ((x + 1) % w, y),
+        MeshDir::West => ((x + w - 1) % w, y),
+        MeshDir::North => (x, (y + 1) % h),
+        MeshDir::South => (x, (y + h - 1) % h),
+    }
+}
+
+impl Routing for TorusAdaptive {
+    fn name(&self) -> &str {
+        "torus-adaptive"
+    }
+
+    fn candidates(
+        &self,
+        topo: &SystemTopology,
+        cur: NodeId,
+        dst: NodeId,
+        state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
+        let g = topo.geometry();
+        let (w, h) = (g.width(), g.height());
+        let (c, d) = (g.coord(cur), g.coord(dst));
+        if !state.baseline_locked {
+            let cur_dist =
+                ring_dist(c.x, d.x, w) as u32 + ring_dist(c.y, d.y, h) as u32;
+            // A serial wraparound hop costs roughly 15 cycles more than a
+            // mesh hop (Table 2), i.e. about four on-chip hops — only
+            // *prefer* the wrap when the torus route saves at least that
+            // much; otherwise demote it behind the adaptive mesh channels
+            // as a congestion-relief option.
+            let mesh_dist = c.manhattan(d);
+            let wrap_tier = if mesh_dist >= cur_dist + 4 { 0 } else { 2 };
+            // A torus-minimal move that *increases* mesh distance is only
+            // useful if the wraparound it is heading for actually exists
+            // (wrap links can be failed, §9) — otherwise offering it would
+            // livelock packets against the grid edge.
+            let wrap_exists = |dir: MeshDir| {
+                let edge = match dir {
+                    MeshDir::East => g.node_at(w - 1, c.y),
+                    MeshDir::West => g.node_at(0, c.y),
+                    MeshDir::North => g.node_at(c.x, h - 1),
+                    MeshDir::South => g.node_at(c.x, 0),
+                };
+                topo.wrap_out(edge, dir).is_some()
+            };
+            let mesh_productive: Vec<MeshDir> = super::productive_dirs(c, d).collect();
+            for dir in MeshDir::ALL {
+                let (nx, ny) = step(c.x, c.y, dir, w, h);
+                let new_dist =
+                    ring_dist(nx, d.x, w) as u32 + ring_dist(ny, d.y, h) as u32;
+                if new_dist >= cur_dist {
+                    continue;
+                }
+                if !mesh_productive.contains(&dir) && !wrap_exists(dir) {
+                    continue;
+                }
+                // Wraparound channels are adaptive on every VC (they are not
+                // part of C₀); mesh channels only on the higher VCs.
+                if let Some(link) = topo.wrap_out(cur, dir) {
+                    for vc in 0..self.vcs {
+                        out.push(Candidate {
+                            link,
+                            vc,
+                            baseline: false,
+                            tier: wrap_tier,
+                        });
+                    }
+                }
+                if let Some(link) = topo.mesh_out(cur, dir) {
+                    for vc in 1..self.vcs {
+                        out.push(Candidate {
+                            link,
+                            vc,
+                            baseline: false,
+                            tier: 1,
+                        });
+                    }
+                }
+            }
+        }
+        emit_negative_first(topo, cur, dst, self.vcs, state.baseline_locked, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use crate::coord::Geometry;
+    use crate::link::LinkKind;
+    use crate::system::build;
+
+    #[test]
+    fn ring_dist_basics() {
+        assert_eq!(ring_dist(0, 7, 8), 1);
+        assert_eq!(ring_dist(7, 0, 8), 1);
+        assert_eq!(ring_dist(2, 6, 8), 4);
+        assert_eq!(ring_dist(3, 3, 8), 0);
+    }
+
+    #[test]
+    fn connects_all_pairs() {
+        let g = testutil::small_geom();
+        let t = build::serial_torus(g);
+        let r = TorusAdaptive::new(2);
+        // First-candidate walks: adaptive moves are torus-minimal, escape is
+        // mesh-minimal; generous bound.
+        testutil::check_all_pairs(&t, &r, (g.width() + g.height()) as usize * 2);
+    }
+
+    #[test]
+    fn random_walks_terminate() {
+        let g = Geometry::new(2, 2, 4, 4);
+        let t = build::hetero_phy_torus(g);
+        let r = TorusAdaptive::new(2);
+        testutil::check_random_pairs(&t, &r, 400, 3 * (g.width() + g.height()) as usize, 21);
+    }
+
+    #[test]
+    fn wraparound_used_for_cross_edge_pairs() {
+        let g = Geometry::new(4, 1, 2, 1); // 8x1 ring
+        let t = build::serial_torus(g);
+        let r = TorusAdaptive::new(2);
+        let path = testutil::walk(&t, &r, g.node_at(0, 0), g.node_at(7, 0), 8, None);
+        // First candidate at the west edge is the wrap link (tier 0).
+        assert_eq!(path.len(), 1);
+        assert!(matches!(t.link(path[0]).kind, LinkKind::Wrap { .. }));
+    }
+
+    #[test]
+    fn locked_packets_follow_negative_first_only() {
+        let g = testutil::small_geom();
+        let t = build::serial_torus(g);
+        let r = TorusAdaptive::new(2);
+        let locked = RouteState {
+            baseline_locked: true,
+        };
+        let mut out = Vec::new();
+        r.candidates(&t, g.node_at(5, 0), g.node_at(0, 0), &locked, &mut out);
+        // Only west mesh moves (vc1 adaptive-of-baseline + vc0 escape).
+        for c in &out {
+            assert!(matches!(t.link(c.link).kind, LinkKind::Mesh { dir: MeshDir::West }));
+        }
+        assert!(out.iter().any(|c| c.baseline && c.vc == 0));
+        assert!(out.iter().any(|c| !c.baseline && c.vc == 1));
+    }
+
+    #[test]
+    fn baseline_vc0_is_mesh_only() {
+        let g = testutil::small_geom();
+        let t = build::serial_torus(g);
+        let r = TorusAdaptive::new(2);
+        let mut out = Vec::new();
+        for s in 0..g.nodes() {
+            for d in 0..g.nodes() {
+                if s == d {
+                    continue;
+                }
+                out.clear();
+                r.candidates(&t, NodeId(s), NodeId(d), &RouteState::default(), &mut out);
+                for c in &out {
+                    if c.baseline {
+                        assert_eq!(c.vc, 0);
+                        assert!(matches!(t.link(c.link).kind, LinkKind::Mesh { .. }));
+                    }
+                }
+                // Escape always present.
+                assert!(out.iter().any(|c| c.baseline));
+            }
+        }
+    }
+}

@@ -1,0 +1,744 @@
+//! System topology: the directed link graph of a multi-chiplet system, plus
+//! builders for every interconnection preset the paper evaluates.
+
+use crate::coord::{ChipletId, Geometry, NodeId};
+use crate::link::{Link, LinkClass, LinkId, LinkKind, MeshDir};
+
+/// Which interconnection preset a topology was built as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Multiple packages in a row: hetero-PHY meshes inside each package,
+    /// serial bridges between packages and serial express links across
+    /// each package (§3.2, Fig. 6b).
+    MultiPackageRow,
+    /// Uniform parallel interface, global 2D-mesh (baseline).
+    ParallelMesh,
+    /// Uniform serial interface, 2D-torus (hetero-PHY baseline, Fig. 6a).
+    SerialTorus,
+    /// Hetero-PHY interfaces: 2D-torus whose neighbor links are hetero-PHY
+    /// and whose wraparound links are serial-only (§8.1.1).
+    HeteroPhyTorus,
+    /// Uniform serial interface, chiplet hypercube (hetero-channel baseline,
+    /// Fig. 10a).
+    SerialHypercube,
+    /// Hetero-channel: parallel 2D-mesh and serial chiplet-hypercube used
+    /// simultaneously (§6).
+    HeteroChannel,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SystemKind::MultiPackageRow => "multi-package hetero row",
+            SystemKind::ParallelMesh => "uniform-parallel 2D-mesh",
+            SystemKind::SerialTorus => "uniform-serial 2D-torus",
+            SystemKind::HeteroPhyTorus => "hetero-PHY 2D-torus",
+            SystemKind::SerialHypercube => "uniform-serial hypercube",
+            SystemKind::HeteroChannel => "hetero-channel mesh+hypercube",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The directed link graph of a multi-chiplet system.
+///
+/// Built by the functions in [`build`]; indexed by [`LinkId`]. Lookup tables
+/// for mesh moves, wraparound moves and hypercube ports are precomputed so
+/// routing functions run in O(1) per candidate.
+#[derive(Debug, Clone)]
+pub struct SystemTopology {
+    geometry: Geometry,
+    kind: SystemKind,
+    links: Vec<Link>,
+    out_adj: Vec<Vec<LinkId>>,
+    /// `[node * 4 + dir]` → mesh link going `dir` from `node`.
+    mesh_out: Vec<Option<LinkId>>,
+    /// `[node * 4 + dir]` → wraparound link leaving `node` around `dir`.
+    wrap_out: Vec<Option<LinkId>>,
+    /// `[node]` → the (unique) hypercube link at `node`, with its dimension.
+    hyper_out: Vec<Option<(LinkId, u8)>>,
+    /// `[node * 4 + dir]` → express link leaving `node` in `dir`.
+    express_out: Vec<Option<LinkId>>,
+    /// `[chiplet][dim]` → interface nodes carrying that hypercube dimension.
+    hyper_ports: Vec<Vec<Vec<NodeId>>>,
+    hyper_dims: u8,
+}
+
+fn dir_slot(dir: MeshDir) -> usize {
+    match dir {
+        MeshDir::East => 0,
+        MeshDir::West => 1,
+        MeshDir::North => 2,
+        MeshDir::South => 3,
+    }
+}
+
+impl SystemTopology {
+    fn new(geometry: Geometry, kind: SystemKind) -> Self {
+        let n = geometry.nodes() as usize;
+        Self {
+            geometry,
+            kind,
+            links: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            mesh_out: vec![None; n * 4],
+            wrap_out: vec![None; n * 4],
+            hyper_out: vec![None; n],
+            express_out: vec![None; n * 4],
+            hyper_ports: Vec::new(),
+            hyper_dims: 0,
+        }
+    }
+
+    fn add_link(&mut self, src: NodeId, dst: NodeId, class: LinkClass, kind: LinkKind) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            src,
+            dst,
+            class,
+            kind,
+        });
+        self.out_adj[src.index()].push(id);
+        match kind {
+            LinkKind::Mesh { dir } => {
+                self.mesh_out[src.index() * 4 + dir_slot(dir)] = Some(id);
+            }
+            LinkKind::Wrap { dir } => {
+                self.wrap_out[src.index() * 4 + dir_slot(dir)] = Some(id);
+            }
+            LinkKind::Hypercube { dim } => {
+                debug_assert!(self.hyper_out[src.index()].is_none());
+                self.hyper_out[src.index()] = Some((id, dim));
+            }
+            LinkKind::Express { dir } => {
+                self.express_out[src.index() * 4 + dir_slot(dir)] = Some(id);
+            }
+        }
+        id
+    }
+
+    /// The system geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Which preset this topology is.
+    pub fn kind(&self) -> SystemKind {
+        self.kind
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Outgoing links of `node`.
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        &self.out_adj[node.index()]
+    }
+
+    /// The mesh link leaving `node` in direction `dir`, if any.
+    pub fn mesh_out(&self, node: NodeId, dir: MeshDir) -> Option<LinkId> {
+        self.mesh_out[node.index() * 4 + dir_slot(dir)]
+    }
+
+    /// The wraparound link leaving `node` around direction `dir`, if any.
+    pub fn wrap_out(&self, node: NodeId, dir: MeshDir) -> Option<LinkId> {
+        self.wrap_out[node.index() * 4 + dir_slot(dir)]
+    }
+
+    /// The hypercube link at `node` with its dimension, if any.
+    pub fn hyper_out(&self, node: NodeId) -> Option<(LinkId, u8)> {
+        self.hyper_out[node.index()]
+    }
+
+    /// The express link leaving `node` in direction `dir`, if any.
+    pub fn express_out(&self, node: NodeId, dir: MeshDir) -> Option<LinkId> {
+        self.express_out[node.index() * 4 + dir_slot(dir)]
+    }
+
+    /// Interface nodes of `chiplet` that carry hypercube dimension `dim`.
+    ///
+    /// Empty when the topology has no hypercube subnetwork.
+    pub fn hyper_ports(&self, chiplet: ChipletId, dim: u8) -> &[NodeId] {
+        static EMPTY: Vec<NodeId> = Vec::new();
+        self.hyper_ports
+            .get(chiplet.index())
+            .and_then(|dims| dims.get(dim as usize))
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Number of hypercube dimensions (0 when no hypercube subnetwork).
+    pub fn hyper_dims(&self) -> u8 {
+        self.hyper_dims
+    }
+
+    /// Whether the topology contains wraparound links.
+    pub fn has_wraparound(&self) -> bool {
+        self.wrap_out.iter().any(Option::is_some)
+    }
+}
+
+/// Builders for the interconnection presets of the paper.
+pub mod build {
+    use super::*;
+
+    fn boundary_class(geometry: &Geometry, a: NodeId, b: NodeId, iface: LinkClass) -> LinkClass {
+        if geometry.chiplet_of(a) == geometry.chiplet_of(b) {
+            LinkClass::OnChip
+        } else {
+            iface
+        }
+    }
+
+    fn add_mesh_links(t: &mut SystemTopology, iface: LinkClass) {
+        let g = t.geometry;
+        for gy in 0..g.height() {
+            for gx in 0..g.width() {
+                let n = g.node_at(gx, gy);
+                if gx + 1 < g.width() {
+                    let e = g.node_at(gx + 1, gy);
+                    let class = boundary_class(&g, n, e, iface);
+                    t.add_link(n, e, class, LinkKind::Mesh { dir: MeshDir::East });
+                    t.add_link(e, n, class, LinkKind::Mesh { dir: MeshDir::West });
+                }
+                if gy + 1 < g.height() {
+                    let nn = g.node_at(gx, gy + 1);
+                    let class = boundary_class(&g, n, nn, iface);
+                    t.add_link(n, nn, class, LinkKind::Mesh { dir: MeshDir::North });
+                    t.add_link(nn, n, class, LinkKind::Mesh { dir: MeshDir::South });
+                }
+            }
+        }
+    }
+
+    fn add_onchip_links(t: &mut SystemTopology) {
+        let g = t.geometry;
+        for gy in 0..g.height() {
+            for gx in 0..g.width() {
+                let n = g.node_at(gx, gy);
+                if gx + 1 < g.width() {
+                    let e = g.node_at(gx + 1, gy);
+                    if g.chiplet_of(n) == g.chiplet_of(e) {
+                        t.add_link(n, e, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::East });
+                        t.add_link(e, n, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::West });
+                    }
+                }
+                if gy + 1 < g.height() {
+                    let nn = g.node_at(gx, gy + 1);
+                    if g.chiplet_of(n) == g.chiplet_of(nn) {
+                        t.add_link(n, nn, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::North });
+                        t.add_link(nn, n, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::South });
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_wrap_links(t: &mut SystemTopology, class: LinkClass) {
+        let g = t.geometry;
+        if g.width() > 1 {
+            for gy in 0..g.height() {
+                let west = g.node_at(0, gy);
+                let east = g.node_at(g.width() - 1, gy);
+                t.add_link(west, east, class, LinkKind::Wrap { dir: MeshDir::West });
+                t.add_link(east, west, class, LinkKind::Wrap { dir: MeshDir::East });
+            }
+        }
+        if g.height() > 1 {
+            for gx in 0..g.width() {
+                let south = g.node_at(gx, 0);
+                let north = g.node_at(gx, g.height() - 1);
+                t.add_link(south, north, class, LinkKind::Wrap { dir: MeshDir::South });
+                t.add_link(north, south, class, LinkKind::Wrap { dir: MeshDir::North });
+            }
+        }
+    }
+
+    /// Deterministic, symmetric fault decision for the bidirectional link
+    /// pair between `(a, b)` tagged `salt`: both directions fail together.
+    fn pair_fails(a: u32, b: u32, salt: u32, fail_permille: u32, seed: u64) -> bool {
+        if fail_permille == 0 {
+            return false;
+        }
+        let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+        let mut h = seed ^ (lo << 40) ^ (hi << 20) ^ salt as u64;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        (h % 1000) < fail_permille as u64
+    }
+
+    /// Adds serial hypercube links over the chiplet grid.
+    ///
+    /// The chiplet count must be a power of two. Dimension `d` of the
+    /// hypercube is carried by the perimeter nodes whose perimeter index `i`
+    /// satisfies `i % dims == d` (so interface load spreads evenly around
+    /// the rim, and both endpoints of a link sit at the same local
+    /// position). This reproduces the interconnection method of Feng et al.
+    /// [30] that §6.2 draws on.
+    fn add_hypercube_links(t: &mut SystemTopology) {
+        add_hypercube_links_with_faults(t, 0, 0);
+    }
+
+    fn add_hypercube_links_with_faults(t: &mut SystemTopology, fail_permille: u32, seed: u64) {
+        let g = t.geometry;
+        let chiplets = g.chiplets() as u32;
+        assert!(
+            chiplets.is_power_of_two() && chiplets >= 2,
+            "hypercube systems need a power-of-two chiplet count >= 2, got {chiplets}"
+        );
+        let dims = chiplets.trailing_zeros() as u8;
+        let perimeter = g.perimeter_nodes(ChipletId(0)).len();
+        assert!(
+            perimeter >= dims as usize,
+            "chiplet perimeter ({perimeter} nodes) too small for {dims} hypercube dimensions"
+        );
+        t.hyper_dims = dims;
+        t.hyper_ports = vec![vec![Vec::new(); dims as usize]; g.chiplets() as usize];
+        for c in 0..g.chiplets() {
+            let chiplet = ChipletId(c);
+            let rim = g.perimeter_nodes(chiplet);
+            for (i, &node) in rim.iter().enumerate() {
+                let dim = (i % dims as usize) as u8;
+                let partner_chiplet = ChipletId(c ^ (1 << dim));
+                if pair_fails(c as u32, partner_chiplet.0 as u32, i as u32, fail_permille, seed)
+                {
+                    continue;
+                }
+                let partner_rim = g.perimeter_nodes(partner_chiplet);
+                let partner = partner_rim[i];
+                t.add_link(node, partner, LinkClass::Serial, LinkKind::Hypercube { dim });
+                t.hyper_ports[chiplet.index()][dim as usize].push(node);
+            }
+        }
+    }
+
+    /// Uniform-parallel-interface global 2D-mesh (the flat baseline).
+    pub fn parallel_mesh(geometry: Geometry) -> SystemTopology {
+        let mut t = SystemTopology::new(geometry, SystemKind::ParallelMesh);
+        add_mesh_links(&mut t, LinkClass::Parallel);
+        t
+    }
+
+    /// Uniform-serial-interface 2D-torus (hetero-PHY baseline).
+    pub fn serial_torus(geometry: Geometry) -> SystemTopology {
+        let mut t = SystemTopology::new(geometry, SystemKind::SerialTorus);
+        add_mesh_links(&mut t, LinkClass::Serial);
+        add_wrap_links(&mut t, LinkClass::Serial);
+        t
+    }
+
+    /// Hetero-PHY 2D-torus: inter-chiplet neighbor links are hetero-PHY
+    /// interfaces, wraparound links are serial-only (§8.1.1, Fig. 6a).
+    pub fn hetero_phy_torus(geometry: Geometry) -> SystemTopology {
+        let mut t = SystemTopology::new(geometry, SystemKind::HeteroPhyTorus);
+        add_mesh_links(&mut t, LinkClass::HeteroPhy);
+        add_wrap_links(&mut t, LinkClass::Serial);
+        t
+    }
+
+    /// Uniform-serial-interface chiplet hypercube (hetero-channel baseline,
+    /// Fig. 10a): on-chip meshes joined only by serial hypercube links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chiplet count is not a power of two (≥ 2), or the
+    /// chiplet perimeter has fewer nodes than hypercube dimensions.
+    pub fn serial_hypercube(geometry: Geometry) -> SystemTopology {
+        let mut t = SystemTopology::new(geometry, SystemKind::SerialHypercube);
+        add_onchip_links(&mut t);
+        add_hypercube_links(&mut t);
+        t
+    }
+
+    /// Hetero-channel system (§6, Fig. 10): a parallel-interface chiplet
+    /// 2D-mesh and a serial-interface chiplet hypercube used simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chiplet count is not a power of two (≥ 2), or the
+    /// chiplet perimeter has fewer nodes than hypercube dimensions.
+    pub fn hetero_channel(geometry: Geometry) -> SystemTopology {
+        let mut t = SystemTopology::new(geometry, SystemKind::HeteroChannel);
+        add_mesh_links(&mut t, LinkClass::Parallel);
+        add_hypercube_links(&mut t);
+        t
+    }
+
+    /// A hetero-channel system with a fraction of its serial hypercube
+    /// links failed (§9, fault tolerance): `fail_permille`/1000 of the
+    /// bidirectional serial link pairs are removed, chosen deterministically
+    /// from `seed`. The parallel-mesh escape subnetwork is untouched, so
+    /// routing stays connected and deadlock-free — the hetero-IF's channel
+    /// diversity degrades gracefully instead of partitioning the system.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`hetero_channel`], plus `fail_permille > 1000`.
+    pub fn hetero_channel_with_failures(
+        geometry: Geometry,
+        fail_permille: u32,
+        seed: u64,
+    ) -> SystemTopology {
+        assert!(fail_permille <= 1000, "fail_permille is out of 1000");
+        let mut t = SystemTopology::new(geometry, SystemKind::HeteroChannel);
+        add_mesh_links(&mut t, LinkClass::Parallel);
+        add_hypercube_links_with_faults(&mut t, fail_permille, seed);
+        t
+    }
+
+    /// A multi-package system (§3.2, Fig. 6b): `packages` packages side by
+    /// side in a row, each a `pkg_cx × pkg_cy` grid of `chip_w × chip_h`
+    /// chiplets. Within a package, chiplets connect through hetero-PHY
+    /// interfaces; between packages the serial interfaces "lead out of the
+    /// package" as dense boundary bridges; and within each package a serial
+    /// express link per row connects its west and east edges ("the serial
+    /// interface connects the more distant nodes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn multi_package(
+        packages: u16,
+        pkg_cx: u16,
+        pkg_cy: u16,
+        chip_w: u16,
+        chip_h: u16,
+    ) -> SystemTopology {
+        assert!(packages > 0 && pkg_cx > 0, "need at least one package");
+        let geometry = Geometry::new(packages * pkg_cx, pkg_cy, chip_w, chip_h);
+        let mut t = SystemTopology::new(geometry, SystemKind::MultiPackageRow);
+        let g = t.geometry;
+        let pkg_w_nodes = pkg_cx * chip_w;
+        // Mesh links: on-chip within chiplets, hetero-PHY between chiplets
+        // of a package, serial across package boundaries.
+        let class_of = |a: NodeId, b: NodeId| {
+            if g.chiplet_of(a) == g.chiplet_of(b) {
+                LinkClass::OnChip
+            } else {
+                let (ca, cb) = (g.coord(a), g.coord(b));
+                if ca.x / pkg_w_nodes != cb.x / pkg_w_nodes {
+                    LinkClass::Serial
+                } else {
+                    LinkClass::HeteroPhy
+                }
+            }
+        };
+        for gy in 0..g.height() {
+            for gx in 0..g.width() {
+                let n = g.node_at(gx, gy);
+                if gx + 1 < g.width() {
+                    let e = g.node_at(gx + 1, gy);
+                    let class = class_of(n, e);
+                    t.add_link(n, e, class, LinkKind::Mesh { dir: MeshDir::East });
+                    t.add_link(e, n, class, LinkKind::Mesh { dir: MeshDir::West });
+                }
+                if gy + 1 < g.height() {
+                    let nn = g.node_at(gx, gy + 1);
+                    let class = class_of(n, nn);
+                    t.add_link(n, nn, class, LinkKind::Mesh { dir: MeshDir::North });
+                    t.add_link(nn, n, class, LinkKind::Mesh { dir: MeshDir::South });
+                }
+            }
+        }
+        // Express links: one per package per row, edge to edge.
+        if pkg_w_nodes >= 2 {
+            for p in 0..packages {
+                let x0 = p * pkg_w_nodes;
+                let x1 = (p + 1) * pkg_w_nodes - 1;
+                for gy in 0..g.height() {
+                    let west = g.node_at(x0, gy);
+                    let east = g.node_at(x1, gy);
+                    t.add_link(west, east, LinkClass::Serial, LinkKind::Express {
+                        dir: MeshDir::East,
+                    });
+                    t.add_link(east, west, LinkClass::Serial, LinkKind::Express {
+                        dir: MeshDir::West,
+                    });
+                }
+            }
+        }
+        t
+    }
+
+    /// A hetero-PHY torus with a fraction of its serial wraparound link
+    /// pairs failed (§9). Wraparound channels are purely adaptive, so the
+    /// negative-first mesh escape keeps the system connected and
+    /// deadlock-free at any fault rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fail_permille > 1000`.
+    pub fn hetero_phy_torus_with_failures(
+        geometry: Geometry,
+        fail_permille: u32,
+        seed: u64,
+    ) -> SystemTopology {
+        assert!(fail_permille <= 1000, "fail_permille is out of 1000");
+        let mut t = SystemTopology::new(geometry, SystemKind::HeteroPhyTorus);
+        add_mesh_links(&mut t, LinkClass::HeteroPhy);
+        let g = t.geometry;
+        if g.width() > 1 {
+            for gy in 0..g.height() {
+                let west = g.node_at(0, gy);
+                let east = g.node_at(g.width() - 1, gy);
+                if !pair_fails(west.0, east.0, 1, fail_permille, seed) {
+                    t.add_link(west, east, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::West });
+                    t.add_link(east, west, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::East });
+                }
+            }
+        }
+        if g.height() > 1 {
+            for gx in 0..g.width() {
+                let south = g.node_at(gx, 0);
+                let north = g.node_at(gx, g.height() - 1);
+                if !pair_fails(south.0, north.0, 2, fail_permille, seed) {
+                    t.add_link(south, north, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::South });
+                    t.add_link(north, south, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::North });
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Coord;
+
+    #[test]
+    fn parallel_mesh_link_counts_and_classes() {
+        let g = Geometry::new(2, 2, 2, 2);
+        let t = build::parallel_mesh(g);
+        // 4x4 global mesh: 2 * (3*4 + 3*4) = 48 directed links.
+        assert_eq!(t.links().len(), 48);
+        let parallel = t
+            .links()
+            .iter()
+            .filter(|l| l.class == LinkClass::Parallel)
+            .count();
+        // Chiplet boundary crossings: vertical cut 4 rows * 2 dirs, horizontal
+        // cut 4 cols * 2 dirs = 16 directed parallel links.
+        assert_eq!(parallel, 16);
+        assert_eq!(t.kind(), SystemKind::ParallelMesh);
+        assert!(!t.has_wraparound());
+    }
+
+    #[test]
+    fn torus_wrap_links() {
+        let g = Geometry::new(2, 2, 2, 2);
+        let t = build::serial_torus(g);
+        let wraps: Vec<_> = t
+            .links()
+            .iter()
+            .filter(|l| matches!(l.kind, LinkKind::Wrap { .. }))
+            .collect();
+        // 4 rows * 2 + 4 cols * 2 = 16 directed wrap links.
+        assert_eq!(wraps.len(), 16);
+        for l in wraps {
+            assert_eq!(l.class, LinkClass::Serial);
+        }
+        assert!(t.has_wraparound());
+        // A west-edge node has a wrap going west.
+        let n = g.node_at(0, 1);
+        let w = t.wrap_out(n, MeshDir::West).expect("west wrap");
+        assert_eq!(t.link(w).dst, g.node_at(3, 1));
+    }
+
+    #[test]
+    fn hetero_phy_torus_classes() {
+        let g = Geometry::new(2, 2, 3, 3);
+        let t = build::hetero_phy_torus(g);
+        for l in t.links() {
+            match l.kind {
+                LinkKind::Wrap { .. } => assert_eq!(l.class, LinkClass::Serial),
+                LinkKind::Mesh { .. } => {
+                    let same = g.chiplet_of(l.src) == g.chiplet_of(l.dst);
+                    if same {
+                        assert_eq!(l.class, LinkClass::OnChip);
+                    } else {
+                        assert_eq!(l.class, LinkClass::HeteroPhy);
+                    }
+                }
+                LinkKind::Hypercube { .. } | LinkKind::Express { .. } => {
+                    panic!("no hypercube/express links in a torus")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_out_lookup_matches_coords() {
+        let g = Geometry::new(2, 2, 2, 2);
+        let t = build::parallel_mesh(g);
+        let n = g.node_at(1, 1);
+        let e = t.mesh_out(n, MeshDir::East).unwrap();
+        assert_eq!(g.coord(t.link(e).dst), Coord::new(2, 1));
+        let s = t.mesh_out(n, MeshDir::South).unwrap();
+        assert_eq!(g.coord(t.link(s).dst), Coord::new(1, 0));
+        // Corner node has no west/south.
+        let c = g.node_at(0, 0);
+        assert!(t.mesh_out(c, MeshDir::West).is_none());
+        assert!(t.mesh_out(c, MeshDir::South).is_none());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        // 16 chiplets (4 dims), 4x4 nodes per chiplet (12-node perimeter).
+        let g = Geometry::new(4, 4, 4, 4);
+        let t = build::serial_hypercube(g);
+        assert_eq!(t.hyper_dims(), 4);
+        let hyper: Vec<_> = t
+            .links()
+            .iter()
+            .filter(|l| matches!(l.kind, LinkKind::Hypercube { .. }))
+            .collect();
+        // 16 chiplets * 12 perimeter nodes, one directed link each.
+        assert_eq!(hyper.len(), 16 * 12);
+        // Links pair up: the reverse of every hypercube link exists.
+        for l in &hyper {
+            assert!(
+                hyper.iter().any(|m| m.src == l.dst && m.dst == l.src),
+                "missing reverse of {:?}",
+                l
+            );
+            assert_eq!(l.class, LinkClass::Serial);
+        }
+        // Ports per dimension: 12 perimeter nodes / 4 dims = 3.
+        for d in 0..4 {
+            assert_eq!(t.hyper_ports(ChipletId(0), d).len(), 3);
+        }
+        // Endpoint chiplets differ in exactly the link's dimension.
+        for l in &hyper {
+            let LinkKind::Hypercube { dim } = l.kind else { unreachable!() };
+            let a = g.chiplet_of(l.src).0;
+            let b = g.chiplet_of(l.dst).0;
+            assert_eq!(a ^ b, 1 << dim);
+            // Same local position on both ends.
+            assert_eq!(g.local_coord(l.src), g.local_coord(l.dst));
+        }
+    }
+
+    #[test]
+    fn serial_hypercube_has_no_interchiplet_mesh_links() {
+        let g = Geometry::new(2, 2, 3, 3);
+        let t = build::serial_hypercube(g);
+        for l in t.links() {
+            if let LinkKind::Mesh { .. } = l.kind {
+                assert_eq!(g.chiplet_of(l.src), g.chiplet_of(l.dst));
+                assert_eq!(l.class, LinkClass::OnChip);
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_channel_has_both_subnetworks() {
+        let g = Geometry::new(4, 4, 2, 2);
+        let t = build::hetero_channel(g);
+        let parallel = t.links().iter().any(|l| l.class == LinkClass::Parallel);
+        let serial = t
+            .links()
+            .iter()
+            .any(|l| matches!(l.kind, LinkKind::Hypercube { .. }));
+        assert!(parallel && serial);
+        // 2x2 chiplets: perimeter 4, dims 4 → one port per dim.
+        assert_eq!(t.hyper_dims(), 4);
+        assert_eq!(t.hyper_ports(ChipletId(0), 0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hypercube_rejects_non_power_of_two() {
+        let g = Geometry::new(3, 2, 3, 3);
+        build::serial_hypercube(g);
+    }
+
+    #[test]
+    fn failed_serial_links_are_symmetric_and_bounded() {
+        let g = Geometry::new(4, 4, 4, 4);
+        let healthy = build::hetero_channel(g);
+        let degraded = build::hetero_channel_with_failures(g, 300, 7);
+        let count = |t: &SystemTopology| {
+            t.links()
+                .iter()
+                .filter(|l| matches!(l.kind, LinkKind::Hypercube { .. }))
+                .count()
+        };
+        let (h, d) = (count(&healthy), count(&degraded));
+        assert!(d < h, "some links must fail at 30%");
+        assert!(d > h / 3, "not all links may fail at 30%");
+        // Every surviving link still has its reverse (failures are
+        // pair-wise).
+        for l in degraded.links() {
+            if matches!(l.kind, LinkKind::Hypercube { .. }) {
+                assert!(
+                    degraded
+                        .links()
+                        .iter()
+                        .any(|m| m.src == l.dst && m.dst == l.src),
+                    "asymmetric failure"
+                );
+            }
+        }
+        // Mesh escape untouched.
+        let mesh = |t: &SystemTopology| {
+            t.links()
+                .iter()
+                .filter(|l| matches!(l.kind, LinkKind::Mesh { .. }))
+                .count()
+        };
+        assert_eq!(mesh(&healthy), mesh(&degraded));
+        // hyper_ports reflects the surviving links only.
+        for c in 0..g.chiplets() {
+            for dim in 0..degraded.hyper_dims() {
+                for &p in degraded.hyper_ports(ChipletId(c), dim) {
+                    assert!(degraded.hyper_out(p).is_some());
+                }
+            }
+        }
+        // Zero fault rate reproduces the healthy system.
+        let same = build::hetero_channel_with_failures(g, 0, 7);
+        assert_eq!(count(&same), h);
+    }
+
+    #[test]
+    fn degraded_torus_keeps_mesh_and_loses_wraps() {
+        let g = Geometry::new(2, 2, 3, 3);
+        let full = build::hetero_phy_torus(g);
+        let degraded = build::hetero_phy_torus_with_failures(g, 500, 3);
+        let wraps = |t: &SystemTopology| {
+            t.links()
+                .iter()
+                .filter(|l| matches!(l.kind, LinkKind::Wrap { .. }))
+                .count()
+        };
+        assert!(wraps(&degraded) < wraps(&full));
+        assert_eq!(
+            full.links().len() - wraps(&full),
+            degraded.links().len() - wraps(&degraded)
+        );
+    }
+
+    #[test]
+    fn out_links_cover_all_links() {
+        let g = Geometry::new(2, 2, 2, 2);
+        let t = build::hetero_channel(g);
+        let total: usize = (0..g.nodes())
+            .map(|i| t.out_links(NodeId(i)).len())
+            .sum();
+        assert_eq!(total, t.links().len());
+    }
+}

@@ -1,0 +1,291 @@
+//! Collective-communication workloads (the paper's Motivation 2 traffic).
+//!
+//! §1 motivates hetero-IF with the coexistence of "frequent on-chip
+//! communications such as the handshake, synchronization, and coherence
+//! protocols" (small, latency-critical) and "heavy network traffic such as
+//! the all-reduce operation of large amounts of data" (bulk,
+//! throughput-critical). This module synthesizes the classic collectives
+//! as schedulable traces so scheduling policies can be evaluated on the
+//! traffic the paper talks about:
+//!
+//! * [`ring_all_reduce`] — the bandwidth-optimal 2(N−1)-step ring
+//!   algorithm: N−1 reduce-scatter steps plus N−1 all-gather steps, each
+//!   rank exchanging `chunk` flits with its ring successor per step;
+//! * [`tree_all_reduce`] — the latency-optimal binomial tree (reduce to
+//!   rank 0, then broadcast), 2·log₂N phases of small messages;
+//! * [`all_to_all`] — the personalized exchange (each rank sends a
+//!   distinct chunk to every other rank), scheduled in N−1 shifted rounds;
+//! * [`barrier`] — a dissemination barrier: log₂N rounds of 1-flit
+//!   high-priority notifications.
+//!
+//! Bulk payloads are [`OrderClass::Unordered`] (eligible for the serial
+//! PHY / bypass); control messages are in-order and high-priority, so
+//! application-aware scheduling (§5.3.2) has something to work with.
+
+use crate::trace::{PacketRequest, TraceWorkload};
+use chiplet_noc::{OrderClass, Priority};
+use chiplet_topo::NodeId;
+use simkit::Cycle;
+
+/// Flits per packet for bulk chunks (Table 2's packet size).
+const BULK_PKT: u16 = 16;
+
+fn bulk(src: NodeId, dst: NodeId, len: u16) -> PacketRequest {
+    PacketRequest {
+        src,
+        dst,
+        len,
+        class: OrderClass::Unordered,
+        priority: Priority::Normal,
+    }
+}
+
+fn control(src: NodeId, dst: NodeId) -> PacketRequest {
+    PacketRequest {
+        src,
+        dst,
+        len: 1,
+        class: OrderClass::InOrder,
+        priority: Priority::High,
+    }
+}
+
+/// Emits a bulk transfer of `flits` flits as 16-flit packets (plus a
+/// remainder packet).
+fn push_bulk(
+    events: &mut Vec<(Cycle, PacketRequest)>,
+    at: Cycle,
+    src: NodeId,
+    dst: NodeId,
+    flits: u32,
+) {
+    let mut left = flits;
+    let mut t = at;
+    while left > 0 {
+        let len = left.min(BULK_PKT as u32) as u16;
+        events.push((t, bulk(src, dst, len)));
+        left -= len as u32;
+        t += 1;
+    }
+}
+
+/// Ring all-reduce over `ranks`: 2(N−1) steps spaced `step_gap` cycles,
+/// each rank sending `chunk_flits` to its ring successor per step.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 ranks or `chunk_flits == 0`.
+pub fn ring_all_reduce(
+    ranks: &[NodeId],
+    chunk_flits: u32,
+    step_gap: Cycle,
+    start: Cycle,
+) -> TraceWorkload {
+    assert!(ranks.len() >= 2, "all-reduce needs at least two ranks");
+    assert!(chunk_flits > 0, "empty chunks");
+    let n = ranks.len();
+    let mut events = Vec::new();
+    for step in 0..(2 * (n - 1)) {
+        let t = start + step as Cycle * step_gap;
+        for (i, &r) in ranks.iter().enumerate() {
+            let succ = ranks[(i + 1) % n];
+            push_bulk(&mut events, t, r, succ, chunk_flits);
+        }
+    }
+    TraceWorkload::new(events)
+}
+
+/// Binomial-tree all-reduce over `ranks`: log₂N reduce rounds toward
+/// rank 0 followed by log₂N broadcast rounds, small `msg_flits` messages.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 ranks or `msg_flits == 0`.
+pub fn tree_all_reduce(
+    ranks: &[NodeId],
+    msg_flits: u16,
+    round_gap: Cycle,
+    start: Cycle,
+) -> TraceWorkload {
+    assert!(ranks.len() >= 2, "all-reduce needs at least two ranks");
+    assert!(msg_flits > 0, "empty messages");
+    let n = ranks.len();
+    let rounds = (usize::BITS - (n - 1).leading_zeros()) as usize; // ceil(log2 n)
+    let mut events = Vec::new();
+    // Reduce: in round k, ranks with bit k set send to rank - 2^k.
+    for k in 0..rounds {
+        let t = start + k as Cycle * round_gap;
+        for i in 0..n {
+            if i & (1 << k) != 0 && i & ((1 << k) - 1) == 0 {
+                let partner = i - (1 << k);
+                events.push((t, bulk(ranks[i], ranks[partner], msg_flits)));
+            }
+        }
+    }
+    // Broadcast: mirror order.
+    for k in (0..rounds).rev() {
+        let t = start + (2 * rounds - 1 - k) as Cycle * round_gap;
+        for i in 0..n {
+            if i & (1 << k) != 0 && i & ((1 << k) - 1) == 0 {
+                let partner = i - (1 << k);
+                if i < n {
+                    events.push((t, bulk(ranks[partner], ranks[i], msg_flits)));
+                }
+            }
+        }
+    }
+    TraceWorkload::new(events)
+}
+
+/// Personalized all-to-all over `ranks` in N−1 shifted rounds: in round
+/// `s`, rank `i` sends `chunk_flits` to rank `i ⊕shift s` (the classic
+/// congestion-avoiding schedule).
+///
+/// # Panics
+///
+/// Panics if fewer than 2 ranks or `chunk_flits == 0`.
+pub fn all_to_all(
+    ranks: &[NodeId],
+    chunk_flits: u32,
+    round_gap: Cycle,
+    start: Cycle,
+) -> TraceWorkload {
+    assert!(ranks.len() >= 2, "all-to-all needs at least two ranks");
+    assert!(chunk_flits > 0, "empty chunks");
+    let n = ranks.len();
+    let mut events = Vec::new();
+    for s in 1..n {
+        let t = start + (s - 1) as Cycle * round_gap;
+        for i in 0..n {
+            let j = (i + s) % n;
+            push_bulk(&mut events, t, ranks[i], ranks[j], chunk_flits);
+        }
+    }
+    TraceWorkload::new(events)
+}
+
+/// Dissemination barrier over `ranks`: ⌈log₂N⌉ rounds; in round `k` rank
+/// `i` notifies rank `(i + 2^k) mod N` with a 1-flit high-priority
+/// message.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 ranks.
+pub fn barrier(ranks: &[NodeId], round_gap: Cycle, start: Cycle) -> TraceWorkload {
+    assert!(ranks.len() >= 2, "a barrier needs at least two ranks");
+    let n = ranks.len();
+    let rounds = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let mut events = Vec::new();
+    for k in 0..rounds {
+        let t = start + k as Cycle * round_gap;
+        for i in 0..n {
+            let j = (i + (1 << k)) % n;
+            events.push((t, control(ranks[i], ranks[j])));
+        }
+    }
+    TraceWorkload::new(events)
+}
+
+/// The paper's Motivation-2 mix: a large ring all-reduce running
+/// concurrently with periodic barriers (synchronization) — bulk
+/// throughput traffic plus latency-critical control traffic on the same
+/// network at the same time.
+pub fn mixed_allreduce_with_barriers(
+    ranks: &[NodeId],
+    chunk_flits: u32,
+    step_gap: Cycle,
+    barrier_period: Cycle,
+    duration: Cycle,
+) -> TraceWorkload {
+    let mut events: Vec<(Cycle, PacketRequest)> = Vec::new();
+    let mut t = 0;
+    while t < duration {
+        events.extend_from_slice(ring_all_reduce(ranks, chunk_flits, step_gap, t).events());
+        t += 2 * (ranks.len() as Cycle - 1) * step_gap + step_gap;
+    }
+    let mut b = 0;
+    while b < duration {
+        events.extend_from_slice(barrier(ranks, 4, b).events());
+        b += barrier_period;
+    }
+    TraceWorkload::new(events.into_iter().filter(|&(at, _)| at < duration).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn ring_all_reduce_volume_is_2n_minus_1_chunks_per_rank() {
+        let n = 8u32;
+        let chunk = 64u32;
+        let t = ring_all_reduce(&ranks(n), chunk, 100, 0);
+        let total_flits: u64 = t.events().iter().map(|&(_, r)| r.len as u64).sum();
+        assert_eq!(total_flits, (2 * (n - 1) * n * chunk) as u64);
+        // Every packet goes to the ring successor.
+        for &(_, r) in t.events() {
+            assert_eq!(r.dst.0, (r.src.0 + 1) % n);
+            assert_eq!(r.class, OrderClass::Unordered);
+        }
+    }
+
+    #[test]
+    fn tree_all_reduce_has_n_minus_1_messages_each_way() {
+        let n = 16u32;
+        let t = tree_all_reduce(&ranks(n), 9, 50, 0);
+        // Binomial tree: n-1 reduce edges + n-1 broadcast edges.
+        assert_eq!(t.len(), 2 * (n as usize - 1));
+        // Reduce messages precede broadcast messages.
+        let mid = t.events()[n as usize - 2].0;
+        let first_bcast = t.events()[n as usize - 1].0;
+        assert!(first_bcast >= mid);
+    }
+
+    #[test]
+    fn all_to_all_covers_every_ordered_pair_once() {
+        let n = 6u32;
+        let t = all_to_all(&ranks(n), 16, 10, 0);
+        let mut pairs = std::collections::HashSet::new();
+        for &(_, r) in t.events() {
+            assert_ne!(r.src, r.dst);
+            assert!(pairs.insert((r.src, r.dst)), "duplicate pair");
+        }
+        assert_eq!(pairs.len(), (n * (n - 1)) as usize);
+    }
+
+    #[test]
+    fn barrier_messages_are_small_and_urgent() {
+        let t = barrier(&ranks(8), 4, 100);
+        assert_eq!(t.len(), 3 * 8); // log2(8) rounds * 8 ranks
+        for &(at, r) in t.events() {
+            assert_eq!(r.len, 1);
+            assert_eq!(r.priority, Priority::High);
+            assert!(at >= 100);
+        }
+    }
+
+    #[test]
+    fn mixed_trace_interleaves_both_kinds() {
+        let t = mixed_allreduce_with_barriers(&ranks(4), 32, 20, 50, 500);
+        let bulk = t.events().iter().filter(|&&(_, r)| r.len > 1).count();
+        let ctrl = t
+            .events()
+            .iter()
+            .filter(|&&(_, r)| r.priority == Priority::High)
+            .count();
+        assert!(bulk > 0 && ctrl > 0);
+        assert!(t.horizon() < 500);
+    }
+
+    #[test]
+    fn large_chunks_split_into_table2_packets() {
+        let t = ring_all_reduce(&ranks(2), 40, 100, 0);
+        let lens: Vec<u16> = t.events().iter().map(|&(_, r)| r.len).collect();
+        assert!(lens.iter().all(|&l| l <= BULK_PKT));
+        assert!(lens.contains(&8)); // 40 = 16 + 16 + 8
+    }
+}

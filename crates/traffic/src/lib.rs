@@ -1,0 +1,37 @@
+//! Workload generators for multi-chiplet network evaluation.
+//!
+//! Three workload families, matching §7.2 of the paper:
+//!
+//! * [`pattern`] + [`synthetic`] — the six classic traffic patterns
+//!   (uniform, uniform-hotspot, bit-shuffle, bit-complement, bit-transpose,
+//!   bit-reverse) under open-loop Bernoulli injection;
+//! * [`parsec`] — synthetic 64-core CMP cache-traffic traces standing in
+//!   for the Netrace PARSEC traces (request/reply, 1-flit and 9-flit
+//!   packets, memory controllers at the corners) — see DESIGN.md for the
+//!   substitution rationale;
+//! * [`collectives`] — ring/tree all-reduce, all-to-all and barrier
+//!   schedules: the Motivation-2 traffic the paper contrasts interfaces
+//!   on;
+//! * [`hpc`] — synthetic HPC traces standing in for the NERSC dumpi traces:
+//!   CNS (compressible Navier-Stokes: 3-D nearest-neighbor halo exchange,
+//!   local-heavy) and MOC (method of characteristics: long-range sweep
+//!   partners, global-heavy) on 1024 ranks.
+//!
+//! All workloads implement [`Workload`]: the simulation driver polls them
+//! once per cycle for newly created packets, which are then queued at their
+//! source NICs (packets are injected according to trace time even if
+//! queueing occurs, per §7.2).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collectives;
+pub mod hpc;
+pub mod parsec;
+pub mod pattern;
+pub mod synthetic;
+pub mod trace;
+
+pub use pattern::TrafficPattern;
+pub use synthetic::SyntheticWorkload;
+pub use trace::{PacketRequest, TraceWorkload, Workload};

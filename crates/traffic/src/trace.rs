@@ -1,0 +1,330 @@
+//! The workload interface and replayable trace container.
+
+use chiplet_noc::{OrderClass, Priority};
+use chiplet_topo::NodeId;
+use simkit::Cycle;
+
+/// A packet the workload wants injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRequest {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Length in flits.
+    pub len: u16,
+    /// Ordering class.
+    pub class: OrderClass,
+    /// Scheduling priority.
+    pub priority: Priority,
+}
+
+impl PacketRequest {
+    /// A normal in-order packet.
+    pub fn new(src: NodeId, dst: NodeId, len: u16) -> Self {
+        Self {
+            src,
+            dst,
+            len,
+            class: OrderClass::InOrder,
+            priority: Priority::Normal,
+        }
+    }
+}
+
+/// A source of traffic, polled once per simulated cycle.
+pub trait Workload: std::fmt::Debug {
+    /// Appends the packets created at cycle `now`. Must be called with
+    /// non-decreasing `now`.
+    fn poll(&mut self, now: Cycle, out: &mut Vec<PacketRequest>);
+
+    /// Whether the workload has no further packets to offer (always `false`
+    /// for open-loop synthetic traffic).
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// A pre-materialized, time-sorted trace.
+///
+/// # Examples
+///
+/// ```
+/// use chiplet_traffic::{PacketRequest, TraceWorkload, Workload};
+/// use chiplet_topo::NodeId;
+///
+/// let mut t = TraceWorkload::new(vec![
+///     (0, PacketRequest::new(NodeId(0), NodeId(1), 1)),
+///     (5, PacketRequest::new(NodeId(1), NodeId(0), 9)),
+/// ]);
+/// let mut out = Vec::new();
+/// t.poll(0, &mut out);
+/// assert_eq!(out.len(), 1);
+/// t.poll(4, &mut out);
+/// assert_eq!(out.len(), 1);
+/// t.poll(5, &mut out);
+/// assert_eq!(out.len(), 2);
+/// assert!(t.done());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    events: Vec<(Cycle, PacketRequest)>,
+    next: usize,
+}
+
+impl TraceWorkload {
+    /// Creates a trace from `(time, packet)` events; sorts them by time.
+    pub fn new(mut events: Vec<(Cycle, PacketRequest)>) -> Self {
+        events.sort_by_key(|&(t, _)| t);
+        Self { events, next: 0 }
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last event, or 0 for an empty trace.
+    pub fn horizon(&self) -> Cycle {
+        self.events.last().map_or(0, |&(t, _)| t)
+    }
+
+    /// Rescales event times by `factor` (e.g. 0.5 halves all gaps — the
+    /// "injection scale" axis of Figs. 13/15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    pub fn rescaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "time scale factor must be positive");
+        for (t, _) in &mut self.events {
+            *t = (*t as f64 * factor).round() as Cycle;
+        }
+        self.events.sort_by_key(|&(t, _)| t);
+        self.next = 0;
+        self
+    }
+
+    /// Iterates over all events (for analysis/tests).
+    pub fn events(&self) -> &[(Cycle, PacketRequest)] {
+        &self.events
+    }
+
+    /// Serializes the trace as CSV (`cycle,src,dst,len,class,priority`) —
+    /// a portable interchange format for captured or synthesized traces.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,src,dst,len,class,priority\n");
+        for &(t, r) in &self.events {
+            out.push_str(&format!(
+                "{t},{},{},{},{},{}\n",
+                r.src.0,
+                r.dst.0,
+                r.len,
+                match r.class {
+                    OrderClass::InOrder => "inorder",
+                    OrderClass::Unordered => "unordered",
+                },
+                match r.priority {
+                    Priority::Normal => "normal",
+                    Priority::High => "high",
+                },
+            ));
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV format of [`TraceWorkload::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] naming the offending line when a row is
+    /// malformed.
+    pub fn from_csv(s: &str) -> Result<Self, ParseTraceError> {
+        let mut events = Vec::new();
+        for (lineno, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.starts_with("cycle")) {
+                continue;
+            }
+            let err = |what: &str| ParseTraceError {
+                line: lineno + 1,
+                reason: what.to_string(),
+            };
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 6 {
+                return Err(err("expected 6 fields"));
+            }
+            let t: Cycle = f[0].parse().map_err(|_| err("bad cycle"))?;
+            let src = NodeId(f[1].parse().map_err(|_| err("bad src"))?);
+            let dst = NodeId(f[2].parse().map_err(|_| err("bad dst"))?);
+            let len: u16 = f[3].parse().map_err(|_| err("bad len"))?;
+            if len == 0 {
+                return Err(err("zero-length packet"));
+            }
+            let class = match f[4] {
+                "inorder" => OrderClass::InOrder,
+                "unordered" => OrderClass::Unordered,
+                _ => return Err(err("bad class")),
+            };
+            let priority = match f[5] {
+                "normal" => Priority::Normal,
+                "high" => Priority::High,
+                _ => return Err(err("bad priority")),
+            };
+            events.push((
+                t,
+                PacketRequest {
+                    src,
+                    dst,
+                    len,
+                    class,
+                    priority,
+                },
+            ));
+        }
+        Ok(Self::new(events))
+    }
+
+    /// Writes the trace to a CSV file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Reads a trace from a CSV file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files and a parse error
+    /// (wrapped as `InvalidData`) for malformed content.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_csv(&s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A malformed trace row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl Workload for TraceWorkload {
+    fn poll(&mut self, now: Cycle, out: &mut Vec<PacketRequest>) {
+        while let Some(&(t, req)) = self.events.get(self.next) {
+            if t > now {
+                break;
+            }
+            out.push(req);
+            self.next += 1;
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.next >= self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsorted_events_get_sorted() {
+        let t = TraceWorkload::new(vec![
+            (9, PacketRequest::new(NodeId(0), NodeId(1), 1)),
+            (3, PacketRequest::new(NodeId(1), NodeId(2), 1)),
+        ]);
+        assert_eq!(t.events()[0].0, 3);
+        assert_eq!(t.horizon(), 9);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rescale_halves_times() {
+        let t = TraceWorkload::new(vec![
+            (10, PacketRequest::new(NodeId(0), NodeId(1), 1)),
+            (20, PacketRequest::new(NodeId(0), NodeId(1), 1)),
+        ])
+        .rescaled(0.5);
+        assert_eq!(t.events()[0].0, 5);
+        assert_eq!(t.events()[1].0, 10);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_everything() {
+        let t = TraceWorkload::new(vec![
+            (
+                3,
+                PacketRequest {
+                    src: NodeId(1),
+                    dst: NodeId(2),
+                    len: 16,
+                    class: OrderClass::Unordered,
+                    priority: Priority::High,
+                },
+            ),
+            (7, PacketRequest::new(NodeId(4), NodeId(5), 1)),
+        ]);
+        let back = TraceWorkload::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(t.events(), back.events());
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        for (bad, reason) in [
+            ("1,2,3", "expected 6 fields"),
+            ("x,1,2,3,inorder,normal", "bad cycle"),
+            ("1,1,2,0,inorder,normal", "zero-length packet"),
+            ("1,1,2,3,sideways,normal", "bad class"),
+            ("1,1,2,3,inorder,urgent", "bad priority"),
+        ] {
+            let e = TraceWorkload::from_csv(bad).unwrap_err();
+            assert!(e.reason.contains(reason), "{bad} -> {e}");
+            assert!(e.to_string().contains("trace line"));
+        }
+    }
+
+    #[test]
+    fn csv_skips_header_and_blank_lines() {
+        let t = TraceWorkload::from_csv(
+            "cycle,src,dst,len,class,priority\n\n5,0,1,2,inorder,normal\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].0, 5);
+    }
+
+    #[test]
+    fn poll_is_cumulative_and_done_flags() {
+        let mut t = TraceWorkload::new(vec![
+            (1, PacketRequest::new(NodeId(0), NodeId(1), 1)),
+            (1, PacketRequest::new(NodeId(2), NodeId(3), 1)),
+        ]);
+        assert!(!t.done());
+        let mut out = Vec::new();
+        t.poll(1, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(t.done());
+    }
+}

@@ -1,0 +1,102 @@
+//! Chiplet reuse across system scales (Motivation 1, Fig. 2 of the paper).
+//!
+//! One chiplet design — a 4x4-node mesh whose rim nodes carry *both* a
+//! parallel and a serial interface (hetero-IF) — is deployed in three very
+//! different products without redesign:
+//!
+//! * an energy-constrained mobile part: 2x2 chiplets, parallel interfaces
+//!   only (*exclusive* hetero-PHY usage, §3.1);
+//! * a cost-constrained substrate-based server part: 4x4 chiplets on a
+//!   cheap organic substrate where only the long-reach serial interface
+//!   can cross between dies (exclusive usage again);
+//! * a performance-oriented HPC part: 4x4 chiplets on an advanced package
+//!   using both interfaces at once (*collaborative* usage).
+//!
+//! Run with `cargo run --release --example chiplet_reuse`.
+
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::sim::{run, RunSpec};
+use hetero_chiplet::heterosys::{SchedulingProfile, SimConfig, SimResults};
+use hetero_chiplet::topo::{Geometry, NodeId};
+use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
+
+fn simulate(kind: NetworkKind, geom: Geometry, rate: f64) -> SimResults {
+    let mut net = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+    let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, rate, 16, 7);
+    run(&mut net, &mut w, RunSpec::quick()).results
+}
+
+fn main() {
+    let chip = "4x4-node chiplet with hetero-IF rim";
+    println!("one chiplet, three systems ({chip})\n");
+    println!(
+        "{:<44} {:>10} {:>12} {:>14}",
+        "system (usage mode)", "nodes", "latency(cy)", "energy(pJ/pkt)"
+    );
+
+    // Mobile: small scale, parallel-exclusive — lowest energy per packet,
+    // and the short-reach limit doesn't matter at 2x2 chiplets.
+    let mobile = simulate(
+        NetworkKind::UniformParallelMesh,
+        Geometry::new(2, 2, 4, 4),
+        0.05,
+    );
+    println!(
+        "{:<44} {:>10} {:>12.1} {:>14.0}",
+        "mobile: parallel-exclusive 2x2 mesh", 64, mobile.avg_latency, mobile.avg_energy_pj
+    );
+
+    // Substrate server: same chiplet, cheap package — only serial links
+    // reach across the substrate, and they also close the torus.
+    let server = simulate(
+        NetworkKind::UniformSerialTorus,
+        Geometry::new(4, 4, 4, 4),
+        0.05,
+    );
+    println!(
+        "{:<44} {:>10} {:>12.1} {:>14.0}",
+        "substrate server: serial-exclusive 4x4 torus",
+        256,
+        server.avg_latency,
+        server.avg_energy_pj
+    );
+
+    // HPC: same chiplet, advanced package — both interfaces collaborate.
+    let hpc = simulate(NetworkKind::HeteroPhyFull, Geometry::new(4, 4, 4, 4), 0.05);
+    println!(
+        "{:<44} {:>10} {:>12.1} {:>14.0}",
+        "HPC: collaborative hetero-PHY 4x4 torus", 256, hpc.avg_latency, hpc.avg_energy_pj
+    );
+
+    println!(
+        "\nno redesign was needed between rows: a uniform-interface chiplet\n\
+         could serve at most one of these scenarios well (§2.2, Table 1 —\n\
+         parallel IFs are short-reach, serial IFs are slow and power-hungry).\n\
+         At the same scale and load, the collaborative system is {:.0}% faster\n\
+         than the serial-exclusive one.",
+        (1.0 - hpc.avg_latency / server.avg_latency) * 100.0
+    );
+
+    // And the economics (§10 "flexibility in economy"): one hetero-IF die
+    // with ~15% area overhead, reused across all three programs, against
+    // three uniform-IF die designs each paying its own NRE.
+    use hetero_chiplet::heterosys::economy::{compare_reuse, CostModel};
+    let model = CostModel::n12();
+    let cmp = compare_reuse(
+        &model,
+        100.0, // mm² base die
+        0.15,  // hetero-IF area overhead
+        &[2_000_000, 300_000, 50_000], // mobile / server / HPC volumes
+        &[4, 16, 64],                  // chiplets per package
+    );
+    println!(
+        "\nprogram cost with one hetero-IF design : ${:>12.0}\n\
+         program cost with three uniform designs: ${:>12.0}\n\
+         reuse saving: {:.1}% (\"flexibility itself is the most significant\n\
+         cost saving\", §4.3)",
+        cmp.hetero_reuse_cost,
+        cmp.uniform_redesign_cost,
+        cmp.saving_fraction * 100.0
+    );
+}

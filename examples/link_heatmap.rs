@@ -1,0 +1,74 @@
+//! Link-utilization analysis: where does the traffic actually flow?
+//!
+//! Runs the same uniform workload on the parallel mesh and on the
+//! hetero-channel system, then breaks flit-hops down by link class and
+//! prints the hottest links. This makes the paper's §9 analysis concrete:
+//! hetero-IF "allows packets to traverse paths with fewer hops ... and
+//! less congestion" — visible here as a much lower peak-link utilization.
+//!
+//! Run with `cargo run --release --example link_heatmap`.
+
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::sim::{run, RunSpec};
+use hetero_chiplet::heterosys::{Network, SchedulingProfile, SimConfig};
+use hetero_chiplet::topo::{Geometry, LinkClass, NodeId};
+use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
+
+fn analyze(kind: NetworkKind, geom: Geometry) {
+    let mut net: Network = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+    let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.15, 16, 21);
+    let spec = RunSpec::quick();
+    run(&mut net, &mut w, spec);
+
+    let cycles = net.now() as f64;
+    let mut class_flits: Vec<(LinkClass, u64, u64)> = Vec::new(); // class, flits, links
+    let mut peak = (0u64, None);
+    for (i, &flits) in net.link_flits().iter().enumerate() {
+        let link = net.topology().link(hetero_chiplet::topo::LinkId(i as u32));
+        match class_flits.iter_mut().find(|(c, _, _)| *c == link.class) {
+            Some(e) => {
+                e.1 += flits;
+                e.2 += 1;
+            }
+            None => class_flits.push((link.class, flits, 1)),
+        }
+        if flits > peak.0 {
+            peak = (flits, Some(*link));
+        }
+    }
+    println!("{} ({} links):", kind.label(), net.topology().links().len());
+    for (class, flits, links) in &class_flits {
+        println!(
+            "  {:<10} {:>10} flits over {:>4} links (avg {:>6.3} flits/cycle/link)",
+            class.to_string(),
+            flits,
+            links,
+            *flits as f64 / (*links as f64 * cycles)
+        );
+    }
+    if let (flits, Some(link)) = peak {
+        println!(
+            "  hottest link: {} -> {} ({}), {:.3} flits/cycle\n",
+            link.src,
+            link.dst,
+            link.class,
+            flits as f64 / cycles
+        );
+    }
+}
+
+fn main() {
+    let geom = Geometry::new(4, 4, 4, 4);
+    println!(
+        "uniform traffic at 0.15 flits/cycle/node on {} nodes\n",
+        geom.nodes()
+    );
+    analyze(NetworkKind::UniformParallelMesh, geom);
+    analyze(NetworkKind::HeteroChannelFull, geom);
+    println!(
+        "the hetero-channel system spreads the same load over its two\n\
+         subnetworks: the hottest mesh link carries much less traffic, which\n\
+         is exactly why its saturation point is higher (Fig. 14)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a hetero-PHY multi-chiplet system, run uniform
+//! traffic, and compare it against the two uniform-interface baselines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::sim::{run, RunSpec};
+use hetero_chiplet::heterosys::{SchedulingProfile, SimConfig};
+use hetero_chiplet::topo::{Geometry, NodeId};
+use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
+
+fn main() {
+    // A 4x4 grid of chiplets, each carrying a 4x4-node mesh NoC: the
+    // paper's 256-node medium system (§8.1.1).
+    let geom = Geometry::new(4, 4, 4, 4);
+    println!(
+        "system: {} chiplets x ({}x{} nodes) = {} nodes\n",
+        geom.chiplets(),
+        geom.chip_w(),
+        geom.chip_h(),
+        geom.nodes()
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>12}",
+        "network", "latency(cy)", "hops", "energy(pJ/pkt)", "throughput"
+    );
+
+    for kind in [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::UniformSerialTorus,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::HeteroPhyHalf,
+    ] {
+        // Build the network: topology + routing + interface models all come
+        // from the preset; Table 2 parameters from the default config.
+        let mut net = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+
+        // Uniform random traffic at 0.1 flits/cycle/node, 16-flit packets.
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        let mut workload = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.1, 16, 42);
+
+        // Warm up, measure, drain.
+        let outcome = run(&mut net, &mut workload, RunSpec::quick());
+        let r = &outcome.results;
+        println!(
+            "{:<22} {:>12.1} {:>12.2} {:>14.0} {:>12.4}",
+            kind.label(),
+            r.avg_latency,
+            r.avg_hops,
+            r.avg_energy_pj,
+            r.throughput
+        );
+    }
+
+    println!(
+        "\nthe hetero-PHY torus combines the parallel interface's low latency\n\
+         with the serial interface's reach: it should beat the uniform-serial\n\
+         torus on latency and the uniform-parallel mesh on hops (Fig. 11)."
+    );
+}

@@ -1,0 +1,34 @@
+//! Facade crate for the hetero-chiplet workspace: a Rust reproduction of
+//! *"Heterogeneous Die-to-Die Interfaces: Enabling More Flexible Chiplet
+//! Interconnection Systems"* (MICRO 2023).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use hetero_chiplet::...`. See the individual
+//! crates for the substance:
+//!
+//! * [`sim`] — deterministic RNG and statistics ([`simkit`]).
+//! * [`noc`] — the cycle-accurate VC-router NoC substrate.
+//! * [`topo`] — topologies and deadlock-free routing (Algorithm 1).
+//! * [`phy`] — interface models and the hetero-PHY adapter.
+//! * [`traffic`] — patterns and synthetic PARSEC/HPC traces.
+//! * [`synthesis`] — the analytical post-synthesis model (Table 4).
+//! * [`heterosys`] — system assembly, simulation driver, experiments
+//!   (`hetero-if`, the paper's core contribution).
+//!
+//! # Examples
+//!
+//! ```
+//! use hetero_chiplet::topo::{build, Geometry};
+//!
+//! let geom = Geometry::new(2, 2, 2, 2);
+//! let topo = build::hetero_phy_torus(geom);
+//! assert_eq!(topo.geometry().nodes(), 16);
+//! ```
+
+pub use chiplet_noc as noc;
+pub use chiplet_phy as phy;
+pub use chiplet_synthesis as synthesis;
+pub use chiplet_topo as topo;
+pub use chiplet_traffic as traffic;
+pub use hetero_if as heterosys;
+pub use simkit as sim;

@@ -1,0 +1,120 @@
+//! Conservation invariants: every offered packet is delivered exactly
+//! once, with every flit, on every network preset.
+//!
+//! These run in debug mode, so the simulator's internal `debug_assert`s
+//! (buffer overflow, out-of-order ejection, flit loss, wrong-node
+//! ejection) are armed throughout.
+
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::{Network, SchedulingProfile, SimConfig};
+use hetero_chiplet::sim::SimRng;
+use hetero_chiplet::topo::{Geometry, NodeId};
+use hetero_chiplet::traffic::PacketRequest;
+
+const ALL_KINDS: [NetworkKind; 7] = [
+    NetworkKind::UniformParallelMesh,
+    NetworkKind::UniformSerialTorus,
+    NetworkKind::HeteroPhyFull,
+    NetworkKind::HeteroPhyHalf,
+    NetworkKind::UniformSerialHypercube,
+    NetworkKind::HeteroChannelFull,
+    NetworkKind::HeteroChannelHalf,
+];
+
+fn drain(net: &mut Network, max_cycles: u64) {
+    let mut cycles = 0u64;
+    while net.live_packets() > 0 {
+        net.step();
+        cycles += 1;
+        assert!(cycles < max_cycles, "drain timeout: {} live", net.live_packets());
+        assert!(net.idle_cycles() < 3_000, "deadlock suspected");
+    }
+}
+
+#[test]
+fn every_preset_conserves_packets_and_flits() {
+    let geom = Geometry::new(2, 2, 3, 3);
+    for kind in ALL_KINDS {
+        let mut net = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+        let mut rng = SimRng::seed(0xC0);
+        let mut offered_flits = 0u64;
+        let n = geom.nodes() as u64;
+        let count = 150;
+        for i in 0..count {
+            let s = rng.below(n) as u32;
+            let mut d = rng.below(n) as u32;
+            while d == s {
+                d = rng.below(n) as u32;
+            }
+            let len = [1u16, 9, 16][i % 3];
+            offered_flits += len as u64;
+            net.offer(PacketRequest::new(NodeId(s), NodeId(d), len));
+            // Interleave injection with simulation.
+            if i % 5 == 0 {
+                net.step();
+            }
+        }
+        drain(&mut net, 60_000);
+        let c = net.collector();
+        assert_eq!(c.delivered_packets, count as u64, "{kind}: packet loss");
+        assert_eq!(c.delivered_flits, offered_flits, "{kind}: flit loss");
+    }
+}
+
+#[test]
+fn mixed_classes_and_priorities_conserve() {
+    use hetero_chiplet::noc::{OrderClass, Priority};
+    let geom = Geometry::new(2, 2, 3, 3);
+    for kind in [NetworkKind::HeteroPhyFull, NetworkKind::HeteroChannelFull] {
+        let mut net =
+            kind.build(geom, SimConfig::default(), SchedulingProfile::application_aware());
+        let mut rng = SimRng::seed(0xC1);
+        let n = geom.nodes() as u64;
+        for i in 0..200u32 {
+            let s = rng.below(n) as u32;
+            let mut d = rng.below(n) as u32;
+            while d == s {
+                d = rng.below(n) as u32;
+            }
+            net.offer(PacketRequest {
+                src: NodeId(s),
+                dst: NodeId(d),
+                len: if i % 4 == 0 { 1 } else { 16 },
+                class: if i % 2 == 0 {
+                    OrderClass::InOrder
+                } else {
+                    OrderClass::Unordered
+                },
+                priority: if i % 8 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                },
+            });
+            if i % 3 == 0 {
+                net.step();
+            }
+        }
+        drain(&mut net, 80_000);
+        assert_eq!(net.collector().delivered_packets, 200, "{kind}");
+    }
+}
+
+#[test]
+fn hop_counts_are_at_least_minimal() {
+    // On the pure mesh, measured hops must equal the manhattan distance +
+    // nothing (minimal routing); latency must exceed hops.
+    let geom = Geometry::new(2, 2, 4, 4);
+    let mut net = NetworkKind::UniformParallelMesh.build(
+        geom,
+        SimConfig::default(),
+        SchedulingProfile::balanced(),
+    );
+    let src = geom.node_at(0, 0);
+    let dst = geom.node_at(7, 7);
+    net.offer(PacketRequest::new(src, dst, 16));
+    drain(&mut net, 10_000);
+    let c = net.collector();
+    assert_eq!(c.hops.mean(), 14.0);
+    assert!(c.latency.mean() > 14.0);
+}

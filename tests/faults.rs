@@ -1,0 +1,69 @@
+//! Fault-injection integration tests (§9): hetero-IF networks keep
+//! delivering when their purely-adaptive channels fail.
+
+use hetero_chiplet::heterosys::network::Network;
+use hetero_chiplet::heterosys::sim::{run, RunSpec};
+use hetero_chiplet::heterosys::SimConfig;
+use hetero_chiplet::topo::deadlock::{analyze, escape_always_present, Relation};
+use hetero_chiplet::topo::routing::{Algorithm1, TorusAdaptive};
+use hetero_chiplet::topo::{build, Geometry, NodeId};
+use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
+
+fn spec() -> RunSpec {
+    RunSpec {
+        warmup: 200,
+        measure: 1_500,
+        drain: 4_000,
+        watchdog: 3_000,
+        drain_offers: false,
+    }
+}
+
+#[test]
+fn degraded_hetero_channel_delivers_at_every_fault_rate() {
+    let geom = Geometry::new(2, 2, 3, 3);
+    let mut latencies = Vec::new();
+    for permille in [0u32, 250, 500, 1000] {
+        let topo = build::hetero_channel_with_failures(geom, permille, 42);
+        let mut net = Network::new(topo, Box::new(Algorithm1::new(2)), SimConfig::default());
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.08, 16, 9);
+        let out = run(&mut net, &mut w, spec());
+        assert!(out.drained, "{permille}‰ faults: did not drain");
+        assert!(out.results.packets > 50, "{permille}‰ faults: no traffic");
+        latencies.push(out.results.avg_latency);
+    }
+    // Fully-failed serial plane ≥ healthy latency (shortcuts lost), but
+    // bounded (still the mesh's performance).
+    assert!(latencies[3] >= latencies[0] * 0.95);
+    assert!(latencies[3] < latencies[0] * 3.0);
+}
+
+#[test]
+fn degraded_torus_delivers_and_stays_deadlock_free() {
+    let geom = Geometry::new(2, 2, 3, 3);
+    for permille in [300u32, 1000] {
+        let topo = build::hetero_phy_torus_with_failures(geom, permille, 7);
+        let routing = TorusAdaptive::new(2);
+        let rep = analyze(&topo, &routing, Relation::Baseline);
+        assert!(rep.is_acyclic(), "{permille}‰: escape CDG cycle");
+        assert!(escape_always_present(&topo, &routing));
+        let mut net = Network::new(topo, Box::new(routing), SimConfig::default());
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::BitReverse, 0.08, 16, 9);
+        let out = run(&mut net, &mut w, spec());
+        assert!(out.drained && out.results.packets > 20, "{permille}‰ faults");
+    }
+}
+
+#[test]
+fn degraded_escape_cdg_stays_acyclic_for_hetero_channel() {
+    let geom = Geometry::new(4, 4, 2, 2);
+    for permille in [100u32, 700] {
+        let topo = build::hetero_channel_with_failures(geom, permille, 3);
+        let routing = Algorithm1::new(2);
+        let rep = analyze(&topo, &routing, Relation::Baseline);
+        assert!(rep.is_acyclic());
+        assert!(escape_always_present(&topo, &routing));
+    }
+}

@@ -1,0 +1,122 @@
+//! Instrumentation invariants: per-link flit counters reconcile exactly
+//! with the per-packet energy counters, and router arbitration serves
+//! competing inputs fairly.
+
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::{Network, SchedulingProfile, SimConfig};
+use hetero_chiplet::sim::SimRng;
+use hetero_chiplet::topo::{Geometry, LinkClass, LinkId, NodeId};
+use hetero_chiplet::traffic::PacketRequest;
+
+fn drain(net: &mut Network) {
+    let mut cycles = 0;
+    while net.live_packets() > 0 {
+        net.step();
+        cycles += 1;
+        assert!(cycles < 60_000, "drain timeout");
+    }
+}
+
+/// Σ link_flits per class == Σ per-packet class counters (the energy model
+/// and the utilization instrumentation must agree flit-for-flit).
+#[test]
+fn link_counters_reconcile_with_packet_counters() {
+    for kind in [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::HeteroChannelFull,
+    ] {
+        let geom = Geometry::new(2, 2, 3, 3);
+        let mut net = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+        let mut rng = SimRng::seed(0x11);
+        for i in 0..120u32 {
+            let s = rng.below(geom.nodes() as u64) as u32;
+            let mut d = rng.below(geom.nodes() as u64) as u32;
+            while d == s {
+                d = (d + 1) % geom.nodes();
+            }
+            net.offer(PacketRequest::new(NodeId(s), NodeId(d), [1, 9, 16][i as usize % 3]));
+            if i % 4 == 0 {
+                net.step();
+            }
+        }
+        drain(&mut net);
+        // Aggregate link counters by class. Hetero-PHY links internally
+        // split into parallel/serial, so compare totals there.
+        let mut by_class = [0u64; 4]; // onchip, parallel, serial, hetero
+        for (i, &flits) in net.link_flits().iter().enumerate() {
+            let class = net.topology().link(LinkId(i as u32)).class;
+            let slot = match class {
+                LinkClass::OnChip => 0,
+                LinkClass::Parallel => 1,
+                LinkClass::Serial => 2,
+                LinkClass::HeteroPhy => 3,
+            };
+            by_class[slot] += flits;
+        }
+        let c = net.collector();
+        let bits = 64.0;
+        let onchip_flits = (c.onchip_pj / (bits * 0.10)).round() as u64;
+        let parallel_flits = (c.parallel_pj / bits).round() as u64;
+        let serial_flits = (c.serial_pj / (bits * 2.4)).round() as u64;
+        assert_eq!(by_class[0], onchip_flits, "{kind}: on-chip mismatch");
+        // Hetero links carry parallel+serial flits; plain classes map 1:1.
+        assert_eq!(
+            by_class[1] + by_class[2] + by_class[3],
+            parallel_flits + serial_flits,
+            "{kind}: interface mismatch"
+        );
+    }
+}
+
+/// Two nodes stream packets through a shared bottleneck column; round-robin
+/// arbitration must not starve either flow (throughput within 2x of each
+/// other).
+#[test]
+fn arbitration_does_not_starve_competing_flows() {
+    let geom = Geometry::new(2, 1, 2, 2); // 4x2 grid
+    let mut net = NetworkKind::UniformParallelMesh.build(
+        geom,
+        SimConfig::default(),
+        SchedulingProfile::balanced(),
+    );
+    // Flows: (0,0)->(3,0) and (0,1)->(3,1), both crossing the same chiplet
+    // boundary; keep both source queues loaded.
+    let mut offered = 0;
+    for _ in 0..2_000 {
+        if offered < 400 && net.queued_packets() < 40 {
+            net.offer(PacketRequest::new(geom.node_at(0, 0), geom.node_at(3, 0), 16));
+            net.offer(PacketRequest::new(geom.node_at(0, 1), geom.node_at(3, 1), 16));
+            offered += 2;
+        }
+        net.step();
+    }
+    drain(&mut net);
+    let c = net.collector();
+    assert_eq!(c.delivered_packets as usize, offered);
+    // Per-flow delivered counts aren't tracked directly; fairness shows up
+    // as both rows' ejection links carrying similar flit counts.
+    let row0: u64 = net
+        .link_flits()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let l = net.topology().link(LinkId(*i as u32));
+            l.dst == geom.node_at(3, 0)
+        })
+        .map(|(_, &f)| f)
+        .sum();
+    let row1: u64 = net
+        .link_flits()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let l = net.topology().link(LinkId(*i as u32));
+            l.dst == geom.node_at(3, 1)
+        })
+        .map(|(_, &f)| f)
+        .sum();
+    assert!(row0 > 0 && row1 > 0);
+    let ratio = row0.max(row1) as f64 / row0.min(row1) as f64;
+    assert!(ratio < 2.0, "starvation suspected: {row0} vs {row1}");
+}
