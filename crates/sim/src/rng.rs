@@ -4,15 +4,15 @@
 //! tie-breaking, trace synthesis) draws from a [`SimRng`], which is always
 //! constructed from an explicit seed. Re-running any experiment with the same
 //! configuration therefore produces bit-identical results.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna) with SplitMix64 seed expansion, so the crate has no
+//! external dependencies and the stream is stable across toolchains.
 
 /// A deterministic, explicitly-seeded random number generator.
 ///
-/// Wraps [`rand::rngs::StdRng`] so the concrete generator can change without
-/// touching call sites, and adds the small set of draw helpers the simulator
-/// needs.
+/// Implements xoshiro256++ behind a small draw-helper API so the concrete
+/// generator can change without touching call sites.
 ///
 /// # Examples
 ///
@@ -25,15 +25,32 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
         }
+        // xoshiro256++ must not start from the all-zero state; SplitMix64
+        // cannot produce four zero words from one seed, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
     }
 
     /// Derives an independent child generator.
@@ -41,8 +58,40 @@ impl SimRng {
     /// Used to give each node / workload component its own stream so that
     /// adding a component does not perturb the draws of the others.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::seed(s)
+    }
+
+    /// Draws the next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Draws the next raw 32-bit value (upper half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// Draws a uniform value in `[0, bound)`.
@@ -52,7 +101,20 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below() requires a positive bound");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift with a rejection step for exact
+        // uniformity at any bound.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Draws a uniform `usize` index in `[0, len)`.
@@ -62,7 +124,7 @@ impl SimRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..len)
+        self.below(len as u64) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -73,12 +135,13 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Draws a uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality mantissa bits → [0, 1) on the standard grid.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Draws a geometrically-distributed count with success probability `p`,
@@ -94,34 +157,16 @@ impl SimRng {
         if p >= 1.0 {
             return 0;
         }
-        let u = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u = self.unit().max(f64::MIN_POSITIVE);
         (u.ln() / (1.0 - p).ln()).floor() as u64
     }
 
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -152,6 +197,25 @@ mod tests {
         let mut r = SimRng::seed(3);
         for _ in 0..1000 {
             assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut r = SimRng::seed(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of [0,5) should occur");
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = SimRng::seed(12);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit() out of range: {u}");
         }
     }
 
@@ -189,6 +253,14 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::seed(9);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 
     #[test]

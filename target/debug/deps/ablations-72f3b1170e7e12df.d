@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-72f3b1170e7e12df.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-72f3b1170e7e12df: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chiplet_noc-01cf329b002270d4.d: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+/root/repo/target/debug/deps/chiplet_noc-01cf329b002270d4: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/channel.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/packet.rs:
+crates/noc/src/router.rs:

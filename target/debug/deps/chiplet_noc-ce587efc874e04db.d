@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chiplet_noc-ce587efc874e04db.d: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+/root/repo/target/debug/deps/libchiplet_noc-ce587efc874e04db.rlib: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+/root/repo/target/debug/deps/libchiplet_noc-ce587efc874e04db.rmeta: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/channel.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/packet.rs:
+crates/noc/src/router.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chiplet_phy-2de59e088b99f957.d: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+/root/repo/target/debug/deps/libchiplet_phy-2de59e088b99f957.rlib: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+/root/repo/target/debug/deps/libchiplet_phy-2de59e088b99f957.rmeta: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/adapter.rs:
+crates/phy/src/model.rs:
+crates/phy/src/policy.rs:
+crates/phy/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chiplet_phy-df913cca865cbe39.d: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+/root/repo/target/debug/deps/chiplet_phy-df913cca865cbe39: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/adapter.rs:
+crates/phy/src/model.rs:
+crates/phy/src/policy.rs:
+crates/phy/src/spec.rs:

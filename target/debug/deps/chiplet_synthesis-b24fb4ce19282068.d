@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chiplet_synthesis-b24fb4ce19282068.d: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+/root/repo/target/debug/deps/libchiplet_synthesis-b24fb4ce19282068.rlib: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+/root/repo/target/debug/deps/libchiplet_synthesis-b24fb4ce19282068.rmeta: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+crates/synthesis/src/lib.rs:
+crates/synthesis/src/modules.rs:
+crates/synthesis/src/phy.rs:
+crates/synthesis/src/report.rs:
+crates/synthesis/src/tech.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chiplet_synthesis-ea18d3388c8f1f5d.d: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+/root/repo/target/debug/deps/chiplet_synthesis-ea18d3388c8f1f5d: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+crates/synthesis/src/lib.rs:
+crates/synthesis/src/modules.rs:
+crates/synthesis/src/phy.rs:
+crates/synthesis/src/report.rs:
+crates/synthesis/src/tech.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/chiplet_topo-1aefc52e9cd07b00.d: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+/root/repo/target/debug/deps/chiplet_topo-1aefc52e9cd07b00: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/coord.rs:
+crates/topo/src/deadlock.rs:
+crates/topo/src/link.rs:
+crates/topo/src/routing/mod.rs:
+crates/topo/src/routing/algorithm1.rs:
+crates/topo/src/routing/express.rs:
+crates/topo/src/routing/hypercube.rs:
+crates/topo/src/routing/negative_first.rs:
+crates/topo/src/routing/torus.rs:
+crates/topo/src/system.rs:
+crates/topo/src/weight.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/chiplet_topo-52f73a070d3325fb.d: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+/root/repo/target/debug/deps/libchiplet_topo-52f73a070d3325fb.rlib: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+/root/repo/target/debug/deps/libchiplet_topo-52f73a070d3325fb.rmeta: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/coord.rs:
+crates/topo/src/deadlock.rs:
+crates/topo/src/link.rs:
+crates/topo/src/routing/mod.rs:
+crates/topo/src/routing/algorithm1.rs:
+crates/topo/src/routing/express.rs:
+crates/topo/src/routing/hypercube.rs:
+crates/topo/src/routing/negative_first.rs:
+crates/topo/src/routing/torus.rs:
+crates/topo/src/system.rs:
+crates/topo/src/weight.rs:

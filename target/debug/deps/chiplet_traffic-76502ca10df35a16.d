@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/chiplet_traffic-76502ca10df35a16.d: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libchiplet_traffic-76502ca10df35a16.rlib: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libchiplet_traffic-76502ca10df35a16.rmeta: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/collectives.rs:
+crates/traffic/src/hpc.rs:
+crates/traffic/src/parsec.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/trace.rs:

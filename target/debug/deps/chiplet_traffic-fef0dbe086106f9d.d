@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chiplet_traffic-fef0dbe086106f9d.d: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/chiplet_traffic-fef0dbe086106f9d: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/collectives.rs:
+crates/traffic/src/hpc.rs:
+crates/traffic/src/parsec.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/trace.rs:

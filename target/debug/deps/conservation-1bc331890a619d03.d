@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-1bc331890a619d03.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-1bc331890a619d03: tests/conservation.rs
+
+tests/conservation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deadlock_freedom-4efeedc346b299e6.d: tests/deadlock_freedom.rs
+
+/root/repo/target/debug/deps/deadlock_freedom-4efeedc346b299e6: tests/deadlock_freedom.rs
+
+tests/deadlock_freedom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-f885f87a03ad3e2b.d: tests/faults.rs
+
+/root/repo/target/debug/deps/faults-f885f87a03ad3e2b: tests/faults.rs
+
+tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_vt-5579f32557dff9c2.d: crates/bench/src/bin/fig08_vt.rs
+
+/root/repo/target/debug/deps/fig08_vt-5579f32557dff9c2: crates/bench/src/bin/fig08_vt.rs
+
+crates/bench/src/bin/fig08_vt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_patterns-f2f4a713946bf8c0.d: crates/bench/src/bin/fig11_patterns.rs
+
+/root/repo/target/debug/deps/fig11_patterns-f2f4a713946bf8c0: crates/bench/src/bin/fig11_patterns.rs
+
+crates/bench/src/bin/fig11_patterns.rs:

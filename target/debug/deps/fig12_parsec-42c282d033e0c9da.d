@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_parsec-42c282d033e0c9da.d: crates/bench/src/bin/fig12_parsec.rs
+
+/root/repo/target/debug/deps/fig12_parsec-42c282d033e0c9da: crates/bench/src/bin/fig12_parsec.rs
+
+crates/bench/src/bin/fig12_parsec.rs:

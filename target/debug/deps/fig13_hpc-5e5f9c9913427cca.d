@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_hpc-5e5f9c9913427cca.d: crates/bench/src/bin/fig13_hpc.rs
+
+/root/repo/target/debug/deps/fig13_hpc-5e5f9c9913427cca: crates/bench/src/bin/fig13_hpc.rs
+
+crates/bench/src/bin/fig13_hpc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hc_patterns-fed10271a4a0425a.d: crates/bench/src/bin/fig14_hc_patterns.rs
+
+/root/repo/target/debug/deps/fig14_hc_patterns-fed10271a4a0425a: crates/bench/src/bin/fig14_hc_patterns.rs
+
+crates/bench/src/bin/fig14_hc_patterns.rs:

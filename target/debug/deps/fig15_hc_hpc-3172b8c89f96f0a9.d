@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_hc_hpc-3172b8c89f96f0a9.d: crates/bench/src/bin/fig15_hc_hpc.rs
+
+/root/repo/target/debug/deps/fig15_hc_hpc-3172b8c89f96f0a9: crates/bench/src/bin/fig15_hc_hpc.rs
+
+crates/bench/src/bin/fig15_hc_hpc.rs:

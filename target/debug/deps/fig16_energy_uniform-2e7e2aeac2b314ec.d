@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_energy_uniform-2e7e2aeac2b314ec.d: crates/bench/src/bin/fig16_energy_uniform.rs
+
+/root/repo/target/debug/deps/fig16_energy_uniform-2e7e2aeac2b314ec: crates/bench/src/bin/fig16_energy_uniform.rs
+
+crates/bench/src/bin/fig16_energy_uniform.rs:

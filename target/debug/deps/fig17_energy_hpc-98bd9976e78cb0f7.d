@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_energy_hpc-98bd9976e78cb0f7.d: crates/bench/src/bin/fig17_energy_hpc.rs
+
+/root/repo/target/debug/deps/fig17_energy_hpc-98bd9976e78cb0f7: crates/bench/src/bin/fig17_energy_hpc.rs
+
+crates/bench/src/bin/fig17_energy_hpc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_local_scale-c153d8d9d2be78aa.d: crates/bench/src/bin/fig18_local_scale.rs
+
+/root/repo/target/debug/deps/fig18_local_scale-c153d8d9d2be78aa: crates/bench/src/bin/fig18_local_scale.rs
+
+crates/bench/src/bin/fig18_local_scale.rs:

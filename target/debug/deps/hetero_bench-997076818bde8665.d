@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hetero_bench-997076818bde8665.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/energy.rs crates/bench/src/experiments/patterns.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/traces.rs crates/bench/src/experiments/vt.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/hetero_bench-997076818bde8665: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/energy.rs crates/bench/src/experiments/patterns.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/tables.rs crates/bench/src/experiments/traces.rs crates/bench/src/experiments/vt.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/energy.rs:
+crates/bench/src/experiments/patterns.rs:
+crates/bench/src/experiments/scalability.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/experiments/traces.rs:
+crates/bench/src/experiments/vt.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

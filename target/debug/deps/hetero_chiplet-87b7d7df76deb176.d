@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_chiplet-87b7d7df76deb176.d: src/lib.rs
+
+/root/repo/target/debug/deps/hetero_chiplet-87b7d7df76deb176: src/lib.rs
+
+src/lib.rs:

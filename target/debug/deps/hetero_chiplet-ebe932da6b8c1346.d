@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetero_chiplet-ebe932da6b8c1346.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhetero_chiplet-ebe932da6b8c1346.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhetero_chiplet-ebe932da6b8c1346.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hetero_if-3aeb084ee7052187.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/economy.rs crates/core/src/energy.rs crates/core/src/network.rs crates/core/src/presets.rs crates/core/src/results.rs crates/core/src/scheduler.rs crates/core/src/sim.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libhetero_if-3aeb084ee7052187.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/economy.rs crates/core/src/energy.rs crates/core/src/network.rs crates/core/src/presets.rs crates/core/src/results.rs crates/core/src/scheduler.rs crates/core/src/sim.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libhetero_if-3aeb084ee7052187.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/economy.rs crates/core/src/energy.rs crates/core/src/network.rs crates/core/src/presets.rs crates/core/src/results.rs crates/core/src/scheduler.rs crates/core/src/sim.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/economy.rs:
+crates/core/src/energy.rs:
+crates/core/src/network.rs:
+crates/core/src/presets.rs:
+crates/core/src/results.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/sim.rs:
+crates/core/src/sweep.rs:

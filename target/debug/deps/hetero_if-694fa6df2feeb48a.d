@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hetero_if-694fa6df2feeb48a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/economy.rs crates/core/src/energy.rs crates/core/src/network.rs crates/core/src/presets.rs crates/core/src/results.rs crates/core/src/scheduler.rs crates/core/src/sim.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/hetero_if-694fa6df2feeb48a: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/economy.rs crates/core/src/energy.rs crates/core/src/network.rs crates/core/src/presets.rs crates/core/src/results.rs crates/core/src/scheduler.rs crates/core/src/sim.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/economy.rs:
+crates/core/src/energy.rs:
+crates/core/src/network.rs:
+crates/core/src/presets.rs:
+crates/core/src/results.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/sim.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_sim-9f0b6431d1d6f6b6.d: crates/core/src/bin/hetero-sim.rs
+
+/root/repo/target/debug/deps/hetero_sim-9f0b6431d1d6f6b6: crates/core/src/bin/hetero-sim.rs
+
+crates/core/src/bin/hetero-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrumentation-76b27162c7216e39.d: tests/instrumentation.rs
+
+/root/repo/target/debug/deps/instrumentation-76b27162c7216e39: tests/instrumentation.rs
+
+tests/instrumentation.rs:

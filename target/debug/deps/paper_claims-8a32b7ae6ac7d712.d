@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-8a32b7ae6ac7d712.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-8a32b7ae6ac7d712: tests/paper_claims.rs
+
+tests/paper_claims.rs:

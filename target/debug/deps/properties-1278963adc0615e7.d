@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1278963adc0615e7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1278963adc0615e7: tests/properties.rs
+
+tests/properties.rs:

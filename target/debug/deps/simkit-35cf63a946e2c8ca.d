@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/simkit-35cf63a946e2c8ca.d: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/simkit-35cf63a946e2c8ca: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simkit-a11274c5d1c5d618.d: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-a11274c5d1c5d618.rlib: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-a11274c5d1c5d618.rmeta: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_interfaces-5631bbfd31c164ab.d: crates/bench/src/bin/tab01_interfaces.rs
+
+/root/repo/target/debug/deps/tab01_interfaces-5631bbfd31c164ab: crates/bench/src/bin/tab01_interfaces.rs
+
+crates/bench/src/bin/tab01_interfaces.rs:

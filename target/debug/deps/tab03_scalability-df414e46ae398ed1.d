@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab03_scalability-df414e46ae398ed1.d: crates/bench/src/bin/tab03_scalability.rs
+
+/root/repo/target/debug/deps/tab03_scalability-df414e46ae398ed1: crates/bench/src/bin/tab03_scalability.rs
+
+crates/bench/src/bin/tab03_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab04_synthesis-7a6830c64279fc20.d: crates/bench/src/bin/tab04_synthesis.rs
+
+/root/repo/target/debug/deps/tab04_synthesis-7a6830c64279fc20: crates/bench/src/bin/tab04_synthesis.rs
+
+crates/bench/src/bin/tab04_synthesis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/allreduce-7caceacf8472ae7f.d: examples/allreduce.rs
+
+/root/repo/target/debug/examples/allreduce-7caceacf8472ae7f: examples/allreduce.rs
+
+examples/allreduce.rs:

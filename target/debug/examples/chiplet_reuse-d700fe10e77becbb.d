@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chiplet_reuse-d700fe10e77becbb.d: examples/chiplet_reuse.rs
+
+/root/repo/target/debug/examples/chiplet_reuse-d700fe10e77becbb: examples/chiplet_reuse.rs
+
+examples/chiplet_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-1011aaab28cd7111.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-1011aaab28cd7111: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_heatmap-c7fbb650a561b242.d: examples/link_heatmap.rs
+
+/root/repo/target/debug/examples/link_heatmap-c7fbb650a561b242: examples/link_heatmap.rs
+
+examples/link_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_traffic-0cea52215b72e8d2.d: examples/mixed_traffic.rs
+
+/root/repo/target/debug/examples/mixed_traffic-0cea52215b72e8d2: examples/mixed_traffic.rs
+
+examples/mixed_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/package_hierarchy-e69de71b6e37ca47.d: examples/package_hierarchy.rs
+
+/root/repo/target/debug/examples/package_hierarchy-e69de71b6e37ca47: examples/package_hierarchy.rs
+
+examples/package_hierarchy.rs:

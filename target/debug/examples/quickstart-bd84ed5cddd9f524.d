@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bd84ed5cddd9f524.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bd84ed5cddd9f524: examples/quickstart.rs
+
+examples/quickstart.rs:

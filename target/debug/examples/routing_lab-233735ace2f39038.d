@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_lab-233735ace2f39038.d: examples/routing_lab.rs
+
+/root/repo/target/debug/examples/routing_lab-233735ace2f39038: examples/routing_lab.rs
+
+examples/routing_lab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-b3f7f7d4d72abb1a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-b3f7f7d4d72abb1a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

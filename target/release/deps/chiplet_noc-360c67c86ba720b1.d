@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/chiplet_noc-360c67c86ba720b1.d: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+/root/repo/target/release/deps/libchiplet_noc-360c67c86ba720b1.rlib: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+/root/repo/target/release/deps/libchiplet_noc-360c67c86ba720b1.rmeta: crates/noc/src/lib.rs crates/noc/src/channel.rs crates/noc/src/flit.rs crates/noc/src/packet.rs crates/noc/src/router.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/channel.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/packet.rs:
+crates/noc/src/router.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/chiplet_phy-0890702af8dfb6c5.d: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+/root/repo/target/release/deps/libchiplet_phy-0890702af8dfb6c5.rlib: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+/root/repo/target/release/deps/libchiplet_phy-0890702af8dfb6c5.rmeta: crates/phy/src/lib.rs crates/phy/src/adapter.rs crates/phy/src/model.rs crates/phy/src/policy.rs crates/phy/src/spec.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/adapter.rs:
+crates/phy/src/model.rs:
+crates/phy/src/policy.rs:
+crates/phy/src/spec.rs:

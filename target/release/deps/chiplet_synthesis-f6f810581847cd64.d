@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/chiplet_synthesis-f6f810581847cd64.d: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+/root/repo/target/release/deps/libchiplet_synthesis-f6f810581847cd64.rlib: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+/root/repo/target/release/deps/libchiplet_synthesis-f6f810581847cd64.rmeta: crates/synthesis/src/lib.rs crates/synthesis/src/modules.rs crates/synthesis/src/phy.rs crates/synthesis/src/report.rs crates/synthesis/src/tech.rs
+
+crates/synthesis/src/lib.rs:
+crates/synthesis/src/modules.rs:
+crates/synthesis/src/phy.rs:
+crates/synthesis/src/report.rs:
+crates/synthesis/src/tech.rs:

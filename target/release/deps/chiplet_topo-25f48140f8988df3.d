@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/chiplet_topo-25f48140f8988df3.d: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+/root/repo/target/release/deps/libchiplet_topo-25f48140f8988df3.rlib: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+/root/repo/target/release/deps/libchiplet_topo-25f48140f8988df3.rmeta: crates/topo/src/lib.rs crates/topo/src/coord.rs crates/topo/src/deadlock.rs crates/topo/src/link.rs crates/topo/src/routing/mod.rs crates/topo/src/routing/algorithm1.rs crates/topo/src/routing/express.rs crates/topo/src/routing/hypercube.rs crates/topo/src/routing/negative_first.rs crates/topo/src/routing/torus.rs crates/topo/src/system.rs crates/topo/src/weight.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/coord.rs:
+crates/topo/src/deadlock.rs:
+crates/topo/src/link.rs:
+crates/topo/src/routing/mod.rs:
+crates/topo/src/routing/algorithm1.rs:
+crates/topo/src/routing/express.rs:
+crates/topo/src/routing/hypercube.rs:
+crates/topo/src/routing/negative_first.rs:
+crates/topo/src/routing/torus.rs:
+crates/topo/src/system.rs:
+crates/topo/src/weight.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/chiplet_traffic-1640fb28ea53eae8.d: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/release/deps/libchiplet_traffic-1640fb28ea53eae8.rlib: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/release/deps/libchiplet_traffic-1640fb28ea53eae8.rmeta: crates/traffic/src/lib.rs crates/traffic/src/collectives.rs crates/traffic/src/hpc.rs crates/traffic/src/parsec.rs crates/traffic/src/pattern.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/collectives.rs:
+crates/traffic/src/hpc.rs:
+crates/traffic/src/parsec.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_vt-333086f61bf17c79.d: crates/bench/src/bin/fig08_vt.rs
+
+/root/repo/target/release/deps/fig08_vt-333086f61bf17c79: crates/bench/src/bin/fig08_vt.rs
+
+crates/bench/src/bin/fig08_vt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_patterns-2ae13fb55d069843.d: crates/bench/src/bin/fig11_patterns.rs
+
+/root/repo/target/release/deps/fig11_patterns-2ae13fb55d069843: crates/bench/src/bin/fig11_patterns.rs
+
+crates/bench/src/bin/fig11_patterns.rs:

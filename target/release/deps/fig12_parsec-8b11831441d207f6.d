@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_parsec-8b11831441d207f6.d: crates/bench/src/bin/fig12_parsec.rs
+
+/root/repo/target/release/deps/fig12_parsec-8b11831441d207f6: crates/bench/src/bin/fig12_parsec.rs
+
+crates/bench/src/bin/fig12_parsec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_hpc-f5df9064d3931309.d: crates/bench/src/bin/fig13_hpc.rs
+
+/root/repo/target/release/deps/fig13_hpc-f5df9064d3931309: crates/bench/src/bin/fig13_hpc.rs
+
+crates/bench/src/bin/fig13_hpc.rs:

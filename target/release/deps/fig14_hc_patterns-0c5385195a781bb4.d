@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_hc_patterns-0c5385195a781bb4.d: crates/bench/src/bin/fig14_hc_patterns.rs
+
+/root/repo/target/release/deps/fig14_hc_patterns-0c5385195a781bb4: crates/bench/src/bin/fig14_hc_patterns.rs
+
+crates/bench/src/bin/fig14_hc_patterns.rs:

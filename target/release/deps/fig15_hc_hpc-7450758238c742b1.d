@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_hc_hpc-7450758238c742b1.d: crates/bench/src/bin/fig15_hc_hpc.rs
+
+/root/repo/target/release/deps/fig15_hc_hpc-7450758238c742b1: crates/bench/src/bin/fig15_hc_hpc.rs
+
+crates/bench/src/bin/fig15_hc_hpc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_energy_uniform-205d2c450c3b6344.d: crates/bench/src/bin/fig16_energy_uniform.rs
+
+/root/repo/target/release/deps/fig16_energy_uniform-205d2c450c3b6344: crates/bench/src/bin/fig16_energy_uniform.rs
+
+crates/bench/src/bin/fig16_energy_uniform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_energy_hpc-7d05a445fbd87259.d: crates/bench/src/bin/fig17_energy_hpc.rs
+
+/root/repo/target/release/deps/fig17_energy_hpc-7d05a445fbd87259: crates/bench/src/bin/fig17_energy_hpc.rs
+
+crates/bench/src/bin/fig17_energy_hpc.rs:

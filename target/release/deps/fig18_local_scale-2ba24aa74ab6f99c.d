@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_local_scale-2ba24aa74ab6f99c.d: crates/bench/src/bin/fig18_local_scale.rs
+
+/root/repo/target/release/deps/fig18_local_scale-2ba24aa74ab6f99c: crates/bench/src/bin/fig18_local_scale.rs
+
+crates/bench/src/bin/fig18_local_scale.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetero_chiplet-00bd5c4b4828d483.d: src/lib.rs
+
+/root/repo/target/release/deps/libhetero_chiplet-00bd5c4b4828d483.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhetero_chiplet-00bd5c4b4828d483.rmeta: src/lib.rs
+
+src/lib.rs:

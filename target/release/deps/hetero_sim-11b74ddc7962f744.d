@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetero_sim-11b74ddc7962f744.d: crates/core/src/bin/hetero-sim.rs
+
+/root/repo/target/release/deps/hetero_sim-11b74ddc7962f744: crates/core/src/bin/hetero-sim.rs
+
+crates/core/src/bin/hetero-sim.rs:

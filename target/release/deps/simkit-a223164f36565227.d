@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/simkit-a223164f36565227.d: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-a223164f36565227.rlib: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-a223164f36565227.rmeta: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_interfaces-ed195b1e4a04d394.d: crates/bench/src/bin/tab01_interfaces.rs
+
+/root/repo/target/release/deps/tab01_interfaces-ed195b1e4a04d394: crates/bench/src/bin/tab01_interfaces.rs
+
+crates/bench/src/bin/tab01_interfaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab03_scalability-78d1e0b269c2dee9.d: crates/bench/src/bin/tab03_scalability.rs
+
+/root/repo/target/release/deps/tab03_scalability-78d1e0b269c2dee9: crates/bench/src/bin/tab03_scalability.rs
+
+crates/bench/src/bin/tab03_scalability.rs:

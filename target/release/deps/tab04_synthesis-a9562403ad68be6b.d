@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab04_synthesis-a9562403ad68be6b.d: crates/bench/src/bin/tab04_synthesis.rs
+
+/root/repo/target/release/deps/tab04_synthesis-a9562403ad68be6b: crates/bench/src/bin/tab04_synthesis.rs
+
+crates/bench/src/bin/tab04_synthesis.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libsimkit.rlib: /root/repo/crates/sim/src/lib.rs /root/repo/crates/sim/src/rng.rs /root/repo/crates/sim/src/stats.rs

@@ -1,6 +1,11 @@
-//! Property-based tests (proptest) over the core data structures and
+//! Randomized property tests over the core data structures and
 //! invariants: geometry arithmetic, routing connectivity, reorder-buffer
 //! ordering, pattern permutations, statistics.
+//!
+//! These were originally proptest strategies; they now draw their cases
+//! from the workspace's own deterministic [`SimRng`] so the test suite
+//! builds with no registry access. Every case is seeded, so a failure
+//! reproduces exactly.
 
 use hetero_chiplet::noc::packet::PacketId;
 use hetero_chiplet::noc::{Flit, OrderClass, Priority};
@@ -10,69 +15,101 @@ use hetero_chiplet::sim::SimRng;
 use hetero_chiplet::topo::routing::for_system;
 use hetero_chiplet::topo::{build, Geometry, NodeId, SystemKind};
 use hetero_chiplet::traffic::TrafficPattern;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn geometry_roundtrip(cx in 1u16..5, cy in 1u16..5, w in 1u16..6, h in 1u16..6,
-                          sel in 0u32..10_000) {
+#[test]
+fn geometry_roundtrip() {
+    let mut rng = SimRng::seed(0x6E0);
+    for _ in 0..CASES {
+        let cx = 1 + rng.below(4) as u16;
+        let cy = 1 + rng.below(4) as u16;
+        let w = 1 + rng.below(5) as u16;
+        let h = 1 + rng.below(5) as u16;
         let g = Geometry::new(cx, cy, w, h);
-        let id = sel % g.nodes();
+        let id = (rng.below(10_000) % g.nodes() as u64) as u32;
         let n = NodeId(id);
         let c = g.coord(n);
-        prop_assert_eq!(g.node_at(c.x, c.y), n);
+        assert_eq!(g.node_at(c.x, c.y), n);
         let chip = g.chiplet_of(n);
         let l = g.local_coord(n);
-        prop_assert_eq!(g.node_in_chiplet(chip, l.x, l.y), n);
+        assert_eq!(g.node_in_chiplet(chip, l.x, l.y), n);
         // Interface/core partition is exact.
-        prop_assert_ne!(g.is_interface_node(n), g.is_core_node(n));
+        assert_ne!(g.is_interface_node(n), g.is_core_node(n));
     }
+}
 
-    #[test]
-    fn perimeter_is_exactly_the_interface_set(w in 1u16..7, h in 1u16..7) {
-        let g = Geometry::new(1, 1, w, h);
-        let rim = g.perimeter_nodes(g.chiplet_of(NodeId(0)));
-        let expected: Vec<NodeId> =
-            (0..g.nodes()).map(NodeId).filter(|&n| g.is_interface_node(n)).collect();
-        let mut sorted = rim.clone();
-        sorted.sort();
-        prop_assert_eq!(sorted, expected);
+#[test]
+fn perimeter_is_exactly_the_interface_set() {
+    for w in 1u16..7 {
+        for h in 1u16..7 {
+            let g = Geometry::new(1, 1, w, h);
+            let rim = g.perimeter_nodes(g.chiplet_of(NodeId(0)));
+            let expected: Vec<NodeId> = (0..g.nodes())
+                .map(NodeId)
+                .filter(|&n| g.is_interface_node(n))
+                .collect();
+            let mut sorted = rim.clone();
+            sorted.sort();
+            assert_eq!(sorted, expected, "{w}x{h}");
+        }
     }
+}
 
-    #[test]
-    fn running_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn running_stats_match_naive() {
+    let mut rng = SimRng::seed(0x57A7);
+    for case in 0..CASES {
+        let len = 1 + rng.below(200) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| (rng.unit() - 0.5) * 2e6).collect();
         let mut s = Running::new();
         for &x in &xs {
             s.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
-        prop_assert_eq!(s.count(), xs.len() as u64);
+        assert!(
+            (s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()),
+            "case {case}: mean {} vs naive {mean}",
+            s.mean()
+        );
+        assert!(
+            (s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()),
+            "case {case}: variance {} vs naive {var}",
+            s.variance()
+        );
+        assert_eq!(s.count(), xs.len() as u64);
     }
+}
 
-    #[test]
-    fn patterns_stay_in_range_and_avoid_self(n in 2u64..4000, seed in 0u64..1000) {
-        let mut rng = SimRng::seed(seed);
+#[test]
+fn patterns_stay_in_range_and_avoid_self() {
+    let mut rng = SimRng::seed(0xA77);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(3998);
+        let seed = rng.below(1000);
+        let mut draw = SimRng::seed(seed);
         for p in TrafficPattern::ALL {
             let src = seed % n;
-            if let Some(d) = p.dest(src, n, &mut rng) {
-                prop_assert!(d < n, "{} out of range for {}", d, p);
-                prop_assert_ne!(d, src);
+            if let Some(d) = p.dest(src, n, &mut draw) {
+                assert!(d < n, "{d} out of range for {p}");
+                assert_ne!(d, src, "{p} self-addressed");
             }
         }
     }
+}
 
-    /// Routing connectivity on randomly-shaped systems: first-candidate
-    /// walks reach the destination within a generous bound.
-    #[test]
-    fn routing_connects_random_pairs(
-        cx in 1u16..4, cy in 1u16..4, w in 2u16..5, h in 2u16..5,
-        seed in 0u64..10_000,
-    ) {
+/// Routing connectivity on randomly-shaped systems: first-candidate
+/// walks reach the destination within a generous bound.
+#[test]
+fn routing_connects_random_pairs() {
+    let mut rng = SimRng::seed(0x20575);
+    for _ in 0..CASES {
+        let cx = 1 + rng.below(3) as u16;
+        let cy = 1 + rng.below(3) as u16;
+        let w = 2 + rng.below(3) as u16;
+        let h = 2 + rng.below(3) as u16;
+        let seed = rng.below(10_000);
         let g = Geometry::new(cx, cy, w, h);
         let kinds: &[SystemKind] = if (g.chiplets() as u32).is_power_of_two()
             && g.chiplets() >= 2
@@ -93,7 +130,7 @@ proptest! {
                 SystemKind::HeteroPhyTorus,
             ]
         };
-        let mut rng = SimRng::seed(seed);
+        let mut pick = SimRng::seed(seed);
         for &kind in kinds {
             let topo = match kind {
                 SystemKind::ParallelMesh => build::parallel_mesh(g),
@@ -101,14 +138,18 @@ proptest! {
                 SystemKind::HeteroPhyTorus => build::hetero_phy_torus(g),
                 SystemKind::SerialHypercube => build::serial_hypercube(g),
                 SystemKind::HeteroChannel => build::hetero_channel(g),
-                SystemKind::MultiPackageRow => {
-                    build::multi_package(g.chiplets_x(), 1, g.chiplets_y(), g.chip_w(), g.chip_h())
-                }
+                SystemKind::MultiPackageRow => build::multi_package(
+                    g.chiplets_x(),
+                    1,
+                    g.chiplets_y(),
+                    g.chip_w(),
+                    g.chip_h(),
+                ),
             };
             let routing = for_system(kind, 2);
             let n = g.nodes() as u64;
-            let s = NodeId(rng.below(n) as u32);
-            let mut d = NodeId(rng.below(n) as u32);
+            let s = NodeId(pick.below(n) as u32);
+            let mut d = NodeId(pick.below(n) as u32);
             if d == s {
                 d = NodeId((d.0 + 1) % g.nodes());
             }
@@ -122,33 +163,34 @@ proptest! {
             while cur != d {
                 cands.clear();
                 routing.candidates(&topo, cur, d, &state, &mut cands);
-                prop_assert!(!cands.is_empty(), "{kind}: stuck at {cur} toward {d}");
+                assert!(!cands.is_empty(), "{kind}: stuck at {cur} toward {d}");
                 let pick = cands[0];
                 if pick.baseline && cands.iter().any(|c| !c.baseline) {
                     state.baseline_locked = true;
                 }
                 cur = topo.link(pick.link).dst;
                 hops += 1;
-                prop_assert!(hops < bound, "{kind}: no progress {s}->{d}");
+                assert!(hops < bound, "{kind}: no progress {s}->{d}");
             }
         }
     }
+}
 
-    /// The hetero-PHY reorder buffer delivers every packet's flits in
-    /// order, for arbitrary interleavings of packets across VCs, classes
-    /// and priorities.
-    #[test]
-    fn rob_preserves_per_packet_order(
-        seed in 0u64..5000,
-        npkts in 1usize..6,
-        policy_ix in 0usize..4,
-    ) {
+/// The hetero-PHY reorder buffer delivers every packet's flits in
+/// order, for arbitrary interleavings of packets across VCs, classes
+/// and priorities.
+#[test]
+fn rob_preserves_per_packet_order() {
+    let mut outer = SimRng::seed(0x0B0B);
+    for case in 0..CASES {
+        let seed = outer.below(5000);
+        let npkts = 1 + outer.below(5) as usize;
         let policy = [
             PhyPolicy::PerformanceFirst,
             PhyPolicy::EnergyEfficient,
             PhyPolicy::Balanced { threshold: 8 },
             PhyPolicy::ApplicationAware { threshold: 8 },
-        ][policy_ix];
+        ][outer.index(4)];
         let mut rng = SimRng::seed(seed);
         let mut link = HeteroPhyLink::new(PhyParams::full(), policy, 64);
         // Packets: random length, class, priority. The upstream router
@@ -164,7 +206,11 @@ proptest! {
                 } else {
                     OrderClass::Unordered
                 };
-                let pri = if rng.chance(0.2) { Priority::High } else { Priority::Normal };
+                let pri = if rng.chance(0.2) {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
                 (i as u32, len, class, pri, 0u16)
             })
             .collect();
@@ -183,7 +229,9 @@ proptest! {
                     break;
                 }
                 let vc = rng.index(vcs as usize);
-                let Some(&i) = vc_queue[vc].get(vc_head[vc]) else { continue };
+                let Some(&i) = vc_queue[vc].get(vc_head[vc]) else {
+                    continue;
+                };
                 let (pid, len, class, pri, ref mut seq) = pkts[i];
                 let flit = Flit {
                     pid: PacketId(pid),
@@ -206,11 +254,11 @@ proptest! {
             if all_pushed && link.in_flight() == 0 {
                 break;
             }
-            prop_assert!(now < 20_000, "link did not drain");
+            assert!(now < 20_000, "case {case}: link did not drain");
         }
         for (i, seqs) in delivered.iter().enumerate() {
             let expect: Vec<u16> = (0..pkts[i].1).collect();
-            prop_assert_eq!(seqs, &expect, "packet {} out of order", i);
+            assert_eq!(seqs, &expect, "case {case}: packet {i} out of order");
         }
     }
 }
