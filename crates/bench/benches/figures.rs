@@ -11,13 +11,22 @@ use std::time::Instant;
 
 fn main() {
     // `cargo bench` passes `--bench`; ignore criterion-style arguments and
-    // honor only `--full`.
+    // honor only `--full` and `--threads N`.
     let full = std::env::args().any(|a| a == "--full");
+    let mut threads = 1;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            threads = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+        }
+    }
     let opts = Opts {
         full,
         out_dir: Some(hetero_bench::harness::default_out_dir()),
+        threads,
     };
-    let artifacts: Vec<(&str, fn(&Opts) -> Report)> = vec![
+    type Artifact = (&'static str, fn(&Opts) -> Report);
+    let artifacts: Vec<Artifact> = vec![
         ("tab01", tables::tab01),
         ("fig08", vt::fig08),
         ("fig11", patterns::fig11),

@@ -4,11 +4,11 @@
 //! `cargo bench` output doubles as a regeneration log — see
 //! EXPERIMENTS.md), then measures a small representative kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use chiplet_phy::model::{HeteroVt, VtModel};
 use chiplet_synthesis::{report, TechNode};
 use chiplet_topo::{Geometry, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TrafficPattern, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
 use hetero_bench::experiments::{tables, vt};
 use hetero_bench::Opts;
 use hetero_if::presets::NetworkKind;
@@ -62,11 +62,9 @@ fn bench_sim_kernels(c: &mut Criterion) {
     ] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
-                let mut net =
-                    kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+                let mut net = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
                 let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
-                let mut w =
-                    SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.2, 16, 1);
+                let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.2, 16, 1);
                 let mut buf = Vec::new();
                 for _ in 0..500 {
                     w.poll(net.now(), &mut buf);
@@ -104,5 +102,11 @@ fn bench_run_point(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig08, bench_tab04, bench_sim_kernels, bench_run_point);
+criterion_group!(
+    benches,
+    bench_fig08,
+    bench_tab04,
+    bench_sim_kernels,
+    bench_run_point
+);
 criterion_main!(benches);

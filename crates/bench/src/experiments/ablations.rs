@@ -28,7 +28,10 @@ fn rob_capacity(r: &mut Report) {
         "[1] ROB capacity (Eq. 1 size = {} flits): saturated link; the\n    deliverable-admission rule keeps throughput at combined bandwidth,\n    and the watermark shows Eq. 1 is the real occupancy bound",
         params.rob_capacity()
     ));
-    r.line(format!("{:>10} {:>14} {:>12}", "capacity", "flits/cycle", "watermark"));
+    r.line(format!(
+        "{:>10} {:>14} {:>12}",
+        "capacity", "flits/cycle", "watermark"
+    ));
     for cap in [4u16, 8, 15, 30, 60, 120] {
         let mut link = HeteroPhyLink::new(params, PhyPolicy::PerformanceFirst, 64);
         link.set_rob_capacity(cap);
@@ -111,7 +114,10 @@ fn crossbar(r: &mut Report, opts: &Opts) {
     let geom = Geometry::new(4, 4, 2, 2);
     for (name, config) in [
         ("higher-radix", SimConfig::default()),
-        ("traditional", SimConfig::default().without_higher_radix_crossbar()),
+        (
+            "traditional",
+            SimConfig::default().without_higher_radix_crossbar(),
+        ),
     ] {
         let mut net =
             NetworkKind::HeteroPhyFull.build(geom, config, SchedulingProfile::performance_first());

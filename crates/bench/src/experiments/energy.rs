@@ -77,11 +77,25 @@ pub fn fig16(opts: &Opts) -> Report {
     let rows_a = vec![
         EnergyRow {
             label: "uni-parallel-mesh".into(),
-            res: uniform_energy(NetworkKind::UniformParallelMesh, geom_a, bal, 0.1, opts, None),
+            res: uniform_energy(
+                NetworkKind::UniformParallelMesh,
+                geom_a,
+                bal,
+                0.1,
+                opts,
+                None,
+            ),
         },
         EnergyRow {
             label: "uni-serial-torus".into(),
-            res: uniform_energy(NetworkKind::UniformSerialTorus, geom_a, bal, 0.1, opts, None),
+            res: uniform_energy(
+                NetworkKind::UniformSerialTorus,
+                geom_a,
+                bal,
+                0.1,
+                opts,
+                None,
+            ),
         },
         EnergyRow {
             label: "hetero-phy (balanced)".into(),
@@ -108,11 +122,25 @@ pub fn fig16(opts: &Opts) -> Report {
     let rows_b = vec![
         EnergyRow {
             label: "uni-parallel-mesh".into(),
-            res: uniform_energy(NetworkKind::UniformParallelMesh, geom_b, bal, 0.1, opts, None),
+            res: uniform_energy(
+                NetworkKind::UniformParallelMesh,
+                geom_b,
+                bal,
+                0.1,
+                opts,
+                None,
+            ),
         },
         EnergyRow {
             label: "uni-serial-hypercube".into(),
-            res: uniform_energy(NetworkKind::UniformSerialHypercube, geom_b, bal, 0.1, opts, None),
+            res: uniform_energy(
+                NetworkKind::UniformSerialHypercube,
+                geom_b,
+                bal,
+                0.1,
+                opts,
+                None,
+            ),
         },
         EnergyRow {
             label: "hetero-channel (balanced)".into(),
@@ -264,8 +292,7 @@ pub fn fig18(opts: &Opts) -> Report {
             }
             let mut line = format!("{:>13}x{k:<2}", k);
             for net in nets {
-                let res =
-                    uniform_energy(net, geom, bal, 0.01, opts, Some(region.clone()));
+                let res = uniform_energy(net, geom, bal, 0.01, opts, Some(region.clone()));
                 line.push_str(&format!(" {:>22.0}", res.avg_energy_pj));
                 r.csv(format!(
                     "{sys},{k}x{k},{},{:.1},{:.1},{:.1}",

@@ -2,7 +2,7 @@
 //! patterns, for hetero-PHY and hetero-channel systems.
 
 use crate::experiments::reduced_wafer;
-use crate::harness::{fmt_latency, Opts, Report};
+use crate::harness::{fmt_latency, parallel_map, Opts, Report};
 use chiplet_topo::Geometry;
 use chiplet_traffic::TrafficPattern;
 use hetero_if::presets::{medium_system, wafer_system, NetworkKind};
@@ -26,6 +26,25 @@ fn pattern_figure(
         geom.nodes()
     ));
     r.csv("pattern,network,rate,avg_latency,throughput,saturated");
+    // Every (pattern, network) curve is an independent sweep; fan them out
+    // over the worker pool and format sequentially afterwards, so the
+    // report is byte-identical for any `--threads` value.
+    let jobs: Vec<(TrafficPattern, NetworkKind)> = TrafficPattern::ALL
+        .iter()
+        .flat_map(|&p| nets.iter().map(move |&n| (p, n)))
+        .collect();
+    let mut sweeps = parallel_map(jobs, opts.threads, |(pattern, net)| {
+        preset_sweep(
+            net,
+            geom,
+            SimConfig::default(),
+            SchedulingProfile::balanced(),
+            pattern,
+            rates,
+            opts.spec(),
+        )
+    })
+    .into_iter();
     for pattern in TrafficPattern::ALL {
         r.line(format!("== {pattern} =="));
         let mut header = format!("{:>6}", "rate");
@@ -35,15 +54,7 @@ fn pattern_figure(
         r.line(header);
         let mut curves = Vec::new();
         for net in nets {
-            let pts = preset_sweep(
-                *net,
-                geom,
-                SimConfig::default(),
-                SchedulingProfile::balanced(),
-                pattern,
-                rates,
-                opts.spec(),
-            );
+            let pts = sweeps.next().expect("one sweep per (pattern, network)");
             for p in &pts {
                 r.csv(format!(
                     "{pattern},{},{},{:.2},{:.5},{}",
@@ -151,5 +162,27 @@ mod tests {
         );
         assert!(r.text().contains("uniform"));
         assert!(r.csv_text().lines().count() >= 2 * 2 * 2);
+    }
+
+    /// The report is byte-identical for any worker-pool size.
+    #[test]
+    fn pattern_figure_is_thread_invariant() {
+        let figure = |threads| {
+            pattern_figure(
+                "smoke",
+                "smoke",
+                &[NetworkKind::UniformParallelMesh, NetworkKind::HeteroPhyFull],
+                Geometry::new(2, 2, 2, 2),
+                &[0.05, 0.3],
+                &Opts {
+                    threads,
+                    ..Opts::default()
+                },
+            )
+        };
+        let sequential = figure(1);
+        let parallel = figure(4);
+        assert_eq!(sequential.text(), parallel.text());
+        assert_eq!(sequential.csv_text(), parallel.csv_text());
     }
 }

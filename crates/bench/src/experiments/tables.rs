@@ -1,8 +1,8 @@
 //! Table 1 (interface specifications) and Table 4 (post-synthesis).
 
 use crate::harness::{Opts, Report};
-use chiplet_synthesis::{report, TechNode};
 use chiplet_phy::spec::TABLE1;
+use chiplet_synthesis::{report, TechNode};
 
 /// Regenerates Table 1.
 pub fn tab01(_opts: &Opts) -> Report {

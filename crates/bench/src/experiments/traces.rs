@@ -3,8 +3,8 @@
 use crate::experiments::{reduced_hpc, reduced_wafer, run_preset};
 use crate::harness::{fmt_latency, Opts, Report};
 use chiplet_topo::{Geometry, NodeId};
-use chiplet_traffic::parsec::{self, ParsecBench};
 use chiplet_traffic::hpc::{self, HpcApp};
+use chiplet_traffic::parsec::{self, ParsecBench};
 use chiplet_traffic::TraceWorkload;
 use hetero_if::presets::{hpc_system, parsec_system, wafer_system, NetworkKind};
 use hetero_if::SchedulingProfile;
@@ -38,7 +38,7 @@ pub fn fig12(opts: &Opts) -> Report {
     for bench in ParsecBench::ALL {
         let mut line = format!("{:<14}", bench.to_string());
         for net in nets {
-            let mut trace = parsec::generate(bench, &cores, &mcs, duration, 0xF16_12);
+            let mut trace = parsec::generate(bench, &cores, &mcs, duration, 0x000F_1612);
             let res = run_preset(net, geom, SchedulingProfile::balanced(), &mut trace, spec);
             line.push_str(&format!(
                 " {:>13.1} ±{:>6.1}",
@@ -92,10 +92,9 @@ fn hpc_figure(
             let iterations = ((window as f64 * scale / 2_000.0).ceil() as u32 + 1).max(2);
             let mut line = format!("{scale:>6.2}");
             for net in nets {
-                let base = hpc::generate(app, &ranks, iterations, 0xF160_00 + scale as u64);
+                let base = hpc::generate(app, &ranks, iterations, 0x00F1_6000 + scale as u64);
                 let mut trace: TraceWorkload = base.rescaled(1.0 / scale);
-                let res =
-                    run_preset(*net, geom, SchedulingProfile::balanced(), &mut trace, spec);
+                let res = run_preset(*net, geom, SchedulingProfile::balanced(), &mut trace, spec);
                 line.push_str(&format!(
                     " {:>22}",
                     fmt_latency(res.avg_latency, res.is_saturated())
@@ -117,7 +116,11 @@ fn hpc_figure(
 
 /// Fig. 13: hetero-PHY networks under the HPC traces (CNS, MOC).
 pub fn fig13(opts: &Opts) -> Report {
-    let geom = if opts.full { hpc_system() } else { reduced_hpc() };
+    let geom = if opts.full {
+        hpc_system()
+    } else {
+        reduced_hpc()
+    };
     let nranks = if opts.full { 1024 } else { 256 };
     let ranks: Vec<NodeId> = (0..nranks).map(NodeId).collect();
     hpc_figure(

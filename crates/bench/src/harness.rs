@@ -12,13 +12,18 @@ pub struct Opts {
     pub full: bool,
     /// Directory for CSV output (`results/` by default; `-` disables).
     pub out_dir: Option<PathBuf>,
+    /// Worker threads for independent simulation jobs (results are
+    /// identical for any value; 1 = fully sequential).
+    pub threads: usize,
 }
 
 impl Opts {
-    /// Parses `--full` / `--out <dir>` / `--no-out` from `std::env::args`.
+    /// Parses `--full` / `--out <dir>` / `--no-out` / `--threads <n>` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let mut full = false;
         let mut out_dir = Some(default_out_dir());
+        let mut threads = 1;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -27,8 +32,18 @@ impl Opts {
                 "--out" => {
                     out_dir = args.next().map(PathBuf::from);
                 }
+                "--threads" => {
+                    threads = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--threads expects a positive integer");
+                            std::process::exit(2);
+                        });
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--full] [--out DIR | --no-out]");
+                    eprintln!("usage: [--full] [--out DIR | --no-out] [--threads N]");
                     std::process::exit(0);
                 }
                 other => {
@@ -37,7 +52,11 @@ impl Opts {
                 }
             }
         }
-        Self { full, out_dir }
+        Self {
+            full,
+            out_dir,
+            threads,
+        }
     }
 
     /// The reduced-by-default run schedule (`--full` → the paper's
@@ -56,8 +75,55 @@ impl Default for Opts {
         Self {
             full: false,
             out_dir: None,
+            threads: 1,
         }
     }
+}
+
+/// Runs `f` over `items` on a pool of `threads` scoped worker threads and
+/// returns the outputs in input order.
+///
+/// Each item is processed independently, so the output is identical to
+/// `items.into_iter().map(f).collect()` for any thread count; experiments
+/// use this to fan simulation jobs out while keeping reports
+/// byte-for-byte reproducible. With `threads <= 1` it degenerates to the
+/// sequential map (no threads are spawned).
+pub fn parallel_map<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<std::sync::Mutex<Option<I>>> = items
+        .into_iter()
+        .map(|i| std::sync::Mutex::new(Some(i)))
+        .collect();
+    let slots: Vec<std::sync::Mutex<Option<O>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job lock")
+                    .take()
+                    .expect("job taken twice");
+                *slots[i].lock().expect("slot lock") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("job not run"))
+        .collect()
 }
 
 /// The default CSV directory: `results/` next to the workspace root
@@ -120,9 +186,9 @@ impl Report {
         println!("{}", self.text());
         if let Some(dir) = &opts.out_dir {
             if !self.csv.is_empty() {
-                if let Err(e) = fs::create_dir_all(dir)
-                    .and_then(|_| fs::write(dir.join(format!("{}.csv", self.name)), self.csv_text()))
-                {
+                if let Err(e) = fs::create_dir_all(dir).and_then(|_| {
+                    fs::write(dir.join(format!("{}.csv", self.name)), self.csv_text())
+                }) {
                     eprintln!("warning: could not write CSV for {}: {e}", self.name);
                 }
             }
@@ -160,6 +226,16 @@ mod tests {
         assert!(!o.full);
         assert!(o.out_dir.is_none());
         assert_eq!(o.spec(), RunSpec::quick());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 5, 64] {
+            let got = parallel_map(items.clone(), threads, |x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
     }
 
     #[test]

@@ -7,15 +7,24 @@
 //!            --pattern uniform --rate 0.1 --cycles 20000
 //! hetero-sim --network hetero-channel --chiplets 8x8 --chip 7x7 \
 //!            --pattern bit-complement --rate 0.05 --policy energy-efficient
-//! hetero-sim --network serial-torus --chiplets 4x4 --chip 2x2 --sweep
+//! hetero-sim --network serial-torus --chiplets 4x4 --chip 2x2 --sweep --threads 8
+//! hetero-sim --network hetero-phy --rate 0.2 --probe links
 //! ```
 
-use hetero_if::presets::NetworkKind;
-use hetero_if::sim::{run, RunSpec};
-use hetero_if::sweep::preset_sweep;
-use hetero_if::{SchedulingProfile, SimConfig, SimResults};
-use chiplet_topo::{Geometry, NodeId};
+use chiplet_topo::{Geometry, LinkId, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TraceWorkload, TrafficPattern, Workload};
+use hetero_if::presets::NetworkKind;
+use hetero_if::sim::{run_probed, RunOutcome, RunSpec};
+use hetero_if::sweep::preset_sweep_parallel;
+use hetero_if::{Network, SchedulingProfile, SimConfig, SimResults};
+use simkit::probe::{LinkUtilProbe, ProgressProbe};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeKind {
+    None,
+    Progress,
+    Links,
+}
 
 #[derive(Debug)]
 struct Args {
@@ -31,6 +40,8 @@ struct Args {
     seed: u64,
     sweep: bool,
     trace: Option<String>,
+    threads: usize,
+    probe: ProbeKind,
 }
 
 fn usage() -> ! {
@@ -50,6 +61,11 @@ fn usage() -> ! {
          --half       pin-constrained (halved) hetero interfaces\n\
          --seed       RNG seed                             (default 1)\n\
          --sweep      sweep injection rates up to saturation instead of one run\n\
+         --threads N  worker threads for --sweep           (default 1;\n\
+         \u{20}            results are bit-identical for any N)\n\
+         --probe      progress | links | none              (default none)\n\
+         \u{20}            progress: periodic live/queued/delivered snapshots\n\
+         \u{20}            links: per-link flit counts and utilization\n\
          --trace FILE replay a CSV trace (cycle,src,dst,len,class,priority)\n\
          \u{20}            instead of synthetic traffic"
     );
@@ -75,6 +91,8 @@ fn parse() -> Args {
         seed: 1,
         sweep: false,
         trace: None,
+        threads: 1,
+        probe: ProbeKind::None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -128,6 +146,24 @@ fn parse() -> Args {
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
             "--sweep" => a.sweep = true,
             "--trace" => a.trace = Some(val()),
+            "--threads" => {
+                a.threads = val().parse().unwrap_or_else(|_| usage());
+                if a.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    usage()
+                }
+            }
+            "--probe" => {
+                a.probe = match val().as_str() {
+                    "none" => ProbeKind::None,
+                    "progress" => ProbeKind::Progress,
+                    "links" => ProbeKind::Links,
+                    other => {
+                        eprintln!("unknown probe: {other}");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -147,7 +183,10 @@ fn parse() -> Args {
 
 fn print_results(r: &SimResults) {
     println!("packets delivered   {}", r.packets);
-    println!("avg latency         {:.2} cycles (σ {:.2}, max {:.0})", r.avg_latency, r.latency_std, r.max_latency);
+    println!(
+        "avg latency         {:.2} cycles (σ {:.2}, max {:.0})",
+        r.avg_latency, r.latency_std, r.max_latency
+    );
     println!("avg network latency {:.2} cycles", r.avg_net_latency);
     println!("avg hops            {:.2}", r.avg_hops);
     println!("throughput          {:.4} flits/cycle/node", r.throughput);
@@ -155,9 +194,71 @@ fn print_results(r: &SimResults) {
         "energy/packet       {:.0} pJ (on-chip {:.0}, parallel {:.0}, serial {:.0})",
         r.avg_energy_pj, r.avg_onchip_pj, r.avg_parallel_pj, r.avg_serial_pj
     );
-    println!("baseline-locked     {:.2}% of packets", r.locked_fraction * 100.0);
+    println!(
+        "baseline-locked     {:.2}% of packets",
+        r.locked_fraction * 100.0
+    );
     if r.is_saturated() {
-        println!("NOTE: the network is saturated at this rate (backlog {})", r.backlog);
+        println!(
+            "NOTE: the network is saturated at this rate (backlog {})",
+            r.backlog
+        );
+    }
+}
+
+fn print_outcome(outcome: &RunOutcome) {
+    print_results(&outcome.results);
+    if outcome.deadlocked {
+        println!(
+            "DEADLOCK: no forward progress with live packets; the run was aborted \
+             and the results cover only the cycles before the stall"
+        );
+    }
+}
+
+/// Runs one simulation with the probe selected by `--probe` attached and
+/// prints the probe's report after the results.
+fn run_with_probes(
+    net: &mut Network,
+    w: &mut dyn Workload,
+    spec: RunSpec,
+    probe: ProbeKind,
+) -> RunOutcome {
+    match probe {
+        ProbeKind::None => run_probed(net, w, spec, &mut []),
+        ProbeKind::Progress => {
+            let total = spec.warmup + spec.measure + spec.drain;
+            let mut progress = ProgressProbe::new((total / 20).max(1));
+            let outcome = run_probed(net, w, spec, &mut [&mut progress]);
+            println!("\nprogress timeline:");
+            for line in progress.report() {
+                println!("  {line}");
+            }
+            outcome
+        }
+        ProbeKind::Links => {
+            let links = net.topology().links().len();
+            let mut util = LinkUtilProbe::new(links, ((spec.warmup + spec.measure) / 64).max(1));
+            let outcome = run_probed(net, w, spec, &mut [&mut util]);
+            let cycles = net.now().max(1);
+            println!("\nbusiest links (of {links}):");
+            println!(
+                "  {:>6} {:>16} {:>10} {:>12}",
+                "link", "route", "flits", "flits/cycle"
+            );
+            for (li, flits) in util.busiest(10) {
+                let l = net.topology().link(LinkId(li));
+                println!(
+                    "  {:>6} {:>7}->{:<7} {:>10} {:>12.4}",
+                    li,
+                    l.src.0,
+                    l.dst.0,
+                    flits,
+                    flits as f64 / cycles as f64
+                );
+            }
+            outcome
+        }
     }
 }
 
@@ -191,7 +292,7 @@ fn main() {
             rates.push(r);
             r *= 1.5;
         }
-        let points = preset_sweep(
+        let points = preset_sweep_parallel(
             args.network,
             geom,
             config,
@@ -199,15 +300,23 @@ fn main() {
             args.pattern,
             &rates,
             spec,
+            args.threads,
         );
-        println!("{:>8} {:>12} {:>12} {:>10}", "rate", "latency(cy)", "throughput", "status");
+        println!(
+            "{:>8} {:>12} {:>12} {:>10}",
+            "rate", "latency(cy)", "throughput", "status"
+        );
         for p in &points {
             println!(
                 "{:>8.3} {:>12.1} {:>12.4} {:>10}",
                 p.rate,
                 p.results.avg_latency,
                 p.results.throughput,
-                if p.results.is_saturated() { "saturated" } else { "ok" }
+                if p.results.is_saturated() {
+                    "saturated"
+                } else {
+                    "ok"
+                }
             );
         }
     } else if let Some(path) = &args.trace {
@@ -218,12 +327,16 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        println!("replaying {} events from {path} (horizon {} cycles)", trace.len(), trace.horizon());
+        println!(
+            "replaying {} events from {path} (horizon {} cycles)",
+            trace.len(),
+            trace.horizon()
+        );
         let mut net = args.network.build(geom, config, args.policy);
         let mut w: Box<dyn Workload> = Box::new(trace);
-        let outcome = run(&mut net, w.as_mut(), spec.with_drain_offers());
-        print_results(&outcome.results);
-        if !outcome.drained {
+        let outcome = run_with_probes(&mut net, w.as_mut(), spec.with_drain_offers(), args.probe);
+        print_outcome(&outcome);
+        if !outcome.drained && !outcome.deadlocked {
             println!("NOTE: the trace did not finish within the configured cycles");
         }
     } else {
@@ -231,7 +344,7 @@ fn main() {
         let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
         let mut w =
             SyntheticWorkload::new(nodes, args.pattern, args.rate, args.packet_len, args.seed);
-        let outcome = run(&mut net, &mut w, spec);
-        print_results(&outcome.results);
+        let outcome = run_with_probes(&mut net, &mut w, spec, args.probe);
+        print_outcome(&outcome);
     }
 }

@@ -169,17 +169,8 @@ mod tests {
         // volumes: paying one NRE beats three, despite ~15% die overhead
         // for the second interface.
         let m = CostModel::n12();
-        let cmp = compare_reuse(
-            &m,
-            100.0,
-            0.15,
-            &[2_000_000, 300_000, 50_000],
-            &[4, 16, 64],
-        );
-        assert!(
-            cmp.saving_fraction > 0.0,
-            "reuse should save: {cmp:?}"
-        );
+        let cmp = compare_reuse(&m, 100.0, 0.15, &[2_000_000, 300_000, 50_000], &[4, 16, 64]);
+        assert!(cmp.saving_fraction > 0.0, "reuse should save: {cmp:?}");
         assert!(cmp.hetero_reuse_cost < cmp.uniform_redesign_cost);
     }
 

@@ -1,0 +1,571 @@
+//! The staged per-cycle simulation engine.
+//!
+//! [`Engine`] owns every mutable piece of a running simulation — routers,
+//! media, credit lines, NICs, the packet store, the statistics collector —
+//! and advances them one cycle at a time through four named stages:
+//!
+//! 1. [`Engine::stage_credits`] — credits that completed their return trip
+//!    are restored to the transmitting router;
+//! 2. [`Engine::stage_media`] — media deliver arrived flits into input
+//!    buffers (hetero-PHY adapters also run their dispatch/reorder
+//!    stages), notifying flit-hop probes;
+//! 3. [`Engine::stage_inject`] — NICs stream queued packets into injection
+//!    ports;
+//! 4. [`Engine::stage_route`] — every active router runs its RC/VA/SA
+//!    pipeline, transmitting flits into the media and returning credits
+//!    upstream; ejected packets are reported to the collector and probes.
+//!
+//! Each component class sits behind an [`ActiveSet`]: a router, medium,
+//! credit line or NIC is stepped only while it has work, and events that
+//! give an idle component work (a send, a credit, a delivery, an offer)
+//! re-activate it. Sets iterate in ascending index order — the same order
+//! as the polling loops they replaced — so skipping idle components is
+//! results-invisible: a run produces bit-identical statistics with the
+//! scheduler on a fully-loaded or a nearly-idle network.
+//!
+//! The immutable description of the system (topology, routing, port maps,
+//! configuration) stays in [`crate::network::Network`] and is passed into
+//! each stage as an [`EngineCtx`].
+
+use crate::config::SimConfig;
+use crate::energy::{EnergyModel, PacketEnergy};
+use crate::network::Collector;
+use chiplet_noc::{
+    CreditLine, DelayLine, Flit, PacketId, PacketInfo, PacketStore, PortCandidate, Router,
+    RouterEnv,
+};
+use chiplet_phy::{HeteroPhyLink, PhyKind};
+use chiplet_topo::routing::{Candidate, Routing};
+use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
+use chiplet_traffic::PacketRequest;
+use simkit::probe::{DeliveryEvent, Probe};
+use simkit::{ActiveSet, Cycle};
+use std::collections::VecDeque;
+
+/// One directed link's physical medium.
+#[derive(Debug)]
+pub(crate) enum Medium {
+    /// A plain fixed-latency pipeline (on-chip, parallel or serial link).
+    Plain {
+        /// The flit pipeline.
+        line: DelayLine,
+        /// The link class (for per-class energy accounting).
+        class: LinkClass,
+    },
+    /// A hetero-PHY adapter (parallel + serial PHYs with scheduling).
+    Hetero(Box<HeteroPhyLink>),
+}
+
+impl Medium {
+    fn in_flight(&self) -> usize {
+        match self {
+            Medium::Plain { line, .. } => line.in_flight(),
+            Medium::Hetero(h) => h.in_flight(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InjectState {
+    pid: PacketId,
+    next_seq: u16,
+    vc: u8,
+    len: u16,
+}
+
+#[derive(Debug, Default)]
+struct Nic {
+    queue: VecDeque<PacketId>,
+    cur: Option<InjectState>,
+}
+
+impl Nic {
+    fn has_work(&self) -> bool {
+        !self.queue.is_empty() || self.cur.is_some()
+    }
+}
+
+/// The immutable system description a stage executes against, borrowed
+/// from the owning [`crate::network::Network`].
+pub(crate) struct EngineCtx<'a> {
+    /// The system topology.
+    pub topo: &'a SystemTopology,
+    /// The routing algorithm.
+    pub routing: &'a dyn Routing,
+    /// The simulation configuration.
+    pub config: &'a SimConfig,
+    /// The energy model applied at packet ejection.
+    pub energy_model: &'a EnergyModel,
+    /// LinkId → out port on its source router (1-based).
+    pub link_out_port: &'a [u16],
+    /// LinkId → in port on its destination router (1-based).
+    pub link_in_port: &'a [u16],
+    /// node → ordered outgoing links (out port k+1 = element k).
+    pub outport_links: &'a [Vec<LinkId>],
+    /// node → ordered incoming links (in port k+1 = element k).
+    pub inport_links: &'a [Vec<LinkId>],
+}
+
+/// The router's window onto the rest of the system during
+/// [`Engine::stage_route`].
+struct NetEnv<'a, 'p> {
+    now: Cycle,
+    node: NodeId,
+    topo: &'a SystemTopology,
+    routing: &'a dyn Routing,
+    store: &'a mut PacketStore,
+    media: &'a mut [Medium],
+    credit_lines: &'a mut [CreditLine],
+    /// out_port (1-based; 0 is ejection) → LinkId, per this node.
+    outport_link: &'a [LinkId],
+    /// in_port (1-based; 0 is injection) → LinkId, per this node.
+    inport_link: &'a [LinkId],
+    vcs: u8,
+    eject_budget: u16,
+    collector: &'a mut Collector,
+    energy_model: &'a EnergyModel,
+    measure_from: Cycle,
+    scratch: &'a mut Vec<Candidate>,
+    activity: &'a mut bool,
+    active_media: &'a mut ActiveSet,
+    active_credits: &'a mut ActiveSet,
+    probes: &'a mut [&'p mut dyn Probe],
+}
+
+impl<'a, 'p> RouterEnv for NetEnv<'a, 'p> {
+    fn route(&mut self, pid: PacketId, out: &mut Vec<PortCandidate>) {
+        let info = self.store.get(pid);
+        if info.dst == self.node {
+            for vc in 0..self.vcs {
+                out.push(PortCandidate {
+                    out_port: 0,
+                    vc,
+                    baseline: true,
+                    tier: 0,
+                });
+            }
+            return;
+        }
+        self.scratch.clear();
+        self.routing
+            .candidates(self.topo, self.node, info.dst, &info.route, self.scratch);
+        debug_assert!(
+            !self.scratch.is_empty(),
+            "no route from {} to {}",
+            self.node,
+            info.dst
+        );
+        for c in self.scratch.iter() {
+            // Links leaving this node occupy out ports 1.. in adjacency
+            // order; find the port for this link.
+            let port = self
+                .outport_link
+                .iter()
+                .position(|&l| l == c.link)
+                .expect("candidate link leaves this node") as u16
+                + 1;
+            out.push(PortCandidate {
+                out_port: port,
+                vc: c.vc,
+                baseline: c.baseline,
+                tier: c.tier,
+            });
+        }
+    }
+
+    fn out_capacity(&mut self, out_port: u16) -> u16 {
+        if out_port == 0 {
+            return self.eject_budget;
+        }
+        let link = self.outport_link[(out_port - 1) as usize];
+        match &mut self.media[link.index()] {
+            Medium::Plain { line, .. } => line.capacity(self.now) as u16,
+            Medium::Hetero(h) => h.space(),
+        }
+    }
+
+    fn send(&mut self, out_port: u16, flit: Flit) {
+        *self.activity = true;
+        if out_port == 0 {
+            debug_assert!(self.eject_budget > 0);
+            self.eject_budget -= 1;
+            let now = self.now;
+            let info = self.store.get_mut(flit.pid);
+            debug_assert_eq!(info.dst, self.node, "flit ejected at wrong node");
+            debug_assert_eq!(info.ejected, flit.seq, "out-of-order ejection");
+            info.ejected += 1;
+            if flit.last {
+                debug_assert_eq!(info.ejected, info.len, "flit loss detected");
+                let ev = delivery_event(now, info, self.energy_model, self.measure_from);
+                self.collector.on_packet_delivered(&ev);
+                for p in self.probes.iter_mut() {
+                    p.on_packet_delivered(&ev);
+                }
+                self.store.free(flit.pid);
+            }
+            return;
+        }
+        let link = self.outport_link[(out_port - 1) as usize];
+        self.active_media.insert(link.index());
+        match &mut self.media[link.index()] {
+            Medium::Plain { line, .. } => {
+                let ok = line.try_send(self.now, flit);
+                debug_assert!(ok, "plain link over capacity");
+            }
+            Medium::Hetero(h) => {
+                let info = self.store.get(flit.pid);
+                h.push(self.now, flit, info.class, info.priority);
+            }
+        }
+    }
+
+    fn credit(&mut self, in_port: u16, vc: u8) {
+        if in_port == 0 {
+            return; // injection port: the NIC reads buffer space directly
+        }
+        let link = self.inport_link[(in_port - 1) as usize];
+        self.credit_lines[link.index()].send(self.now, vc);
+        self.active_credits.insert(link.index());
+    }
+
+    fn note_baseline_lock(&mut self, pid: PacketId) {
+        self.store.get_mut(pid).route.baseline_locked = true;
+    }
+}
+
+/// Builds the probe-facing summary of a packet at tail ejection.
+fn delivery_event(
+    now: Cycle,
+    info: &PacketInfo,
+    energy_model: &EnergyModel,
+    measure_from: Cycle,
+) -> DeliveryEvent {
+    let e: PacketEnergy = energy_model.packet(info);
+    DeliveryEvent {
+        now,
+        created: info.created,
+        injected: info.injected,
+        hops: info.hops,
+        len: info.len,
+        high_priority: info.priority == chiplet_noc::Priority::High,
+        baseline_locked: info.route.baseline_locked,
+        measured: info.created >= measure_from,
+        onchip_pj: e.onchip_pj,
+        parallel_pj: e.parallel_pj,
+        serial_pj: e.serial_pj,
+    }
+}
+
+/// All mutable simulation state, advanced in four stages per cycle.
+pub(crate) struct Engine {
+    routers: Vec<Router>,
+    media: Vec<Medium>,
+    credit_lines: Vec<CreditLine>,
+    store: PacketStore,
+    nics: Vec<Nic>,
+    /// Flits delivered over each directed link (utilization analysis).
+    link_flits: Vec<u64>,
+    collector: Collector,
+    now: Cycle,
+    last_activity: Cycle,
+    /// Packets created at or after this cycle count toward the measured
+    /// statistics (warm-up exclusion).
+    measure_from: Cycle,
+    activity: bool,
+    active_routers: ActiveSet,
+    active_media: ActiveSet,
+    active_credits: ActiveSet,
+    active_nics: ActiveSet,
+    /// Reused drain buffer for the active sets.
+    ids: Vec<usize>,
+    /// Reused routing-candidate buffer.
+    route_scratch: Vec<Candidate>,
+}
+
+impl Engine {
+    pub fn new(
+        routers: Vec<Router>,
+        media: Vec<Medium>,
+        credit_lines: Vec<CreditLine>,
+        nodes: usize,
+    ) -> Self {
+        let links = media.len();
+        Self {
+            routers,
+            media,
+            credit_lines,
+            store: PacketStore::new(),
+            nics: (0..nodes).map(|_| Nic::default()).collect(),
+            link_flits: vec![0; links],
+            collector: Collector::default(),
+            now: 0,
+            last_activity: 0,
+            measure_from: 0,
+            activity: false,
+            active_routers: ActiveSet::new(nodes),
+            active_media: ActiveSet::new(links),
+            active_credits: ActiveSet::new(links),
+            active_nics: ActiveSet::new(nodes),
+            ids: Vec::new(),
+            route_scratch: Vec::new(),
+        }
+    }
+
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    pub fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
+    pub fn start_measurement(&mut self) {
+        self.measure_from = self.now;
+    }
+
+    pub fn live_packets(&self) -> usize {
+        self.store.live()
+    }
+
+    pub fn queued_packets(&self) -> usize {
+        self.nics
+            .iter()
+            .map(|nic| nic.queue.len() + usize::from(nic.cur.is_some()))
+            .sum()
+    }
+
+    pub fn idle_cycles(&self) -> Cycle {
+        self.now - self.last_activity
+    }
+
+    pub fn offer(&mut self, req: PacketRequest) -> PacketId {
+        assert_ne!(req.src, req.dst, "self-addressed packet");
+        let pid = self.store.alloc(PacketInfo::new(
+            req.src,
+            req.dst,
+            req.len,
+            req.class,
+            req.priority,
+            self.now,
+        ));
+        self.nics[req.src.index()].queue.push_back(pid);
+        self.active_nics.insert(req.src.index());
+        pid
+    }
+
+    /// Runs one simulation cycle: credits → media → inject → route.
+    pub fn step(&mut self, ctx: &EngineCtx<'_>, probes: &mut [&mut dyn Probe]) {
+        let now = self.now;
+        self.activity = false;
+        self.stage_credits(ctx, now);
+        self.stage_media(ctx, now, probes);
+        self.stage_inject(ctx, now);
+        self.stage_route(ctx, now, probes);
+        if self.activity {
+            self.last_activity = now;
+        }
+        self.now += 1;
+    }
+
+    /// Stage 1: completed credit returns are restored to the transmitting
+    /// router.
+    fn stage_credits(&mut self, ctx: &EngineCtx<'_>, now: Cycle) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_credits.drain_into(&mut ids);
+        for &li in &ids {
+            let line = &mut self.credit_lines[li];
+            let link = ctx.topo.link(LinkId(li as u32));
+            let port = ctx.link_out_port[li];
+            while let Some(vc) = line.pop_ready(now) {
+                // Credits top up counters only; they cannot give a
+                // quiescent router work, so no router activation here.
+                self.routers[link.src.index()].add_credit(port, vc);
+            }
+            if line.in_flight() > 0 {
+                self.active_credits.insert(li);
+            }
+        }
+        self.ids = ids;
+    }
+
+    /// Stage 2: media deliver arrived flits into input buffers; hetero-PHY
+    /// adapters additionally run their dispatch/serialization/reorder
+    /// stages. Every delivery is reported to the flit-hop probes.
+    fn stage_media(&mut self, ctx: &EngineCtx<'_>, now: Cycle, probes: &mut [&mut dyn Probe]) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_media.drain_into(&mut ids);
+        let Engine {
+            routers,
+            media,
+            store,
+            link_flits,
+            active_routers,
+            active_media,
+            activity,
+            ..
+        } = self;
+        for &li in &ids {
+            let link = ctx.topo.link(LinkId(li as u32));
+            let in_port = ctx.link_in_port[li];
+            let dst = link.dst.index();
+            match &mut media[li] {
+                Medium::Plain { line, class } => {
+                    line.drain_ready(now, |flit| {
+                        link_flits[li] += 1;
+                        let info = store.get_mut(flit.pid);
+                        match class {
+                            LinkClass::OnChip => info.onchip_flits += 1,
+                            LinkClass::Parallel => info.parallel_flits += 1,
+                            LinkClass::Serial => info.serial_flits += 1,
+                            LinkClass::HeteroPhy => unreachable!(),
+                        }
+                        if flit.is_head() {
+                            info.hops += 1;
+                        }
+                        for p in probes.iter_mut() {
+                            p.on_flit_hop(now, li as u32, flit.is_head());
+                        }
+                        routers[dst].receive(in_port, flit);
+                        active_routers.insert(dst);
+                        *activity = true;
+                    });
+                }
+                Medium::Hetero(h) => {
+                    h.advance(now);
+                    while let Some((flit, kind)) = h.pop_delivered() {
+                        link_flits[li] += 1;
+                        let info = store.get_mut(flit.pid);
+                        match kind {
+                            PhyKind::Parallel => info.parallel_flits += 1,
+                            PhyKind::Serial => info.serial_flits += 1,
+                        }
+                        if flit.is_head() {
+                            info.hops += 1;
+                        }
+                        for p in probes.iter_mut() {
+                            p.on_flit_hop(now, li as u32, flit.is_head());
+                        }
+                        routers[dst].receive(in_port, flit);
+                        active_routers.insert(dst);
+                        *activity = true;
+                    }
+                }
+            }
+            if media[li].in_flight() > 0 {
+                active_media.insert(li);
+            }
+        }
+        self.ids = ids;
+    }
+
+    /// Stage 3: NICs stream queued packets into injection ports.
+    fn stage_inject(&mut self, ctx: &EngineCtx<'_>, now: Cycle) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_nics.drain_into(&mut ids);
+        for &node in &ids {
+            let nic = &mut self.nics[node];
+            let router = &mut self.routers[node];
+            let mut budget = ctx.config.inj_bandwidth;
+            while budget > 0 {
+                if nic.cur.is_none() {
+                    let Some(&pid) = nic.queue.front() else { break };
+                    let Some(vc) = (0..ctx.config.vcs).find(|&v| router.in_vc_idle(0, v)) else {
+                        break;
+                    };
+                    nic.queue.pop_front();
+                    nic.cur = Some(InjectState {
+                        pid,
+                        next_seq: 0,
+                        vc,
+                        len: self.store.get(pid).len,
+                    });
+                }
+                let st = nic.cur.as_mut().expect("just set");
+                let mut moved = false;
+                while budget > 0 && st.next_seq < st.len && router.in_space(0, st.vc) > 0 {
+                    if st.next_seq == 0 {
+                        self.store.get_mut(st.pid).injected = now;
+                    }
+                    router.receive(
+                        0,
+                        Flit {
+                            pid: st.pid,
+                            seq: st.next_seq,
+                            vc: st.vc,
+                            last: st.next_seq + 1 == st.len,
+                        },
+                    );
+                    self.active_routers.insert(node);
+                    st.next_seq += 1;
+                    budget -= 1;
+                    moved = true;
+                    self.activity = true;
+                }
+                if st.next_seq == st.len {
+                    nic.cur = None;
+                } else if !moved {
+                    break;
+                }
+            }
+            if nic.has_work() {
+                self.active_nics.insert(node);
+            }
+        }
+        self.ids = ids;
+    }
+
+    /// Stage 4: every active router runs its RC/VA/SA pipeline.
+    fn stage_route(&mut self, ctx: &EngineCtx<'_>, now: Cycle, probes: &mut [&mut dyn Probe]) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_routers.drain_into(&mut ids);
+        let mut routers = std::mem::take(&mut self.routers);
+        for &node in &ids {
+            let router = &mut routers[node];
+            if router.is_quiescent() {
+                continue;
+            }
+            let mut env = NetEnv {
+                now,
+                node: NodeId(node as u32),
+                topo: ctx.topo,
+                routing: ctx.routing,
+                store: &mut self.store,
+                media: &mut self.media,
+                credit_lines: &mut self.credit_lines,
+                outport_link: &ctx.outport_links[node],
+                inport_link: &ctx.inport_links[node],
+                vcs: ctx.config.vcs,
+                eject_budget: ctx.config.eject_bandwidth as u16,
+                collector: &mut self.collector,
+                energy_model: ctx.energy_model,
+                measure_from: self.measure_from,
+                scratch: &mut self.route_scratch,
+                activity: &mut self.activity,
+                active_media: &mut self.active_media,
+                active_credits: &mut self.active_credits,
+                probes,
+            };
+            router.step(now, &mut env);
+            if !router.is_quiescent() {
+                self.active_routers.insert(node);
+            }
+        }
+        self.routers = routers;
+        self.ids = ids;
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("live_packets", &self.store.live())
+            .field("active_routers", &self.active_routers.len())
+            .field("active_media", &self.active_media.len())
+            .finish()
+    }
+}

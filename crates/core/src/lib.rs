@@ -29,11 +29,16 @@
 //! # Layout
 //!
 //! * [`config`] — Table 2 parameters, full/halved bandwidth modes;
-//! * [`network`] — router/link/NIC assembly and the cycle engine;
+//! * [`network`] — router/link/NIC assembly and the statistics collector;
+//! * `engine` (internal) — the staged per-cycle engine: credits → media →
+//!   inject → route, with active-set scheduling that skips idle
+//!   components;
 //! * [`scheduler`] — the §5.3 scheduling profiles;
 //! * [`presets`] — the evaluated network kinds and system scales;
-//! * [`sim`] — warm-up/measure/drain driver with a deadlock watchdog;
-//! * [`sweep`] — injection-rate sweeps (latency–throughput curves);
+//! * [`sim`] — warm-up/measure/drain driver with a deadlock watchdog and
+//!   probe attachment ([`sim::run_probed`]);
+//! * [`sweep`] — injection-rate sweeps (latency–throughput curves),
+//!   sequential or multi-threaded ([`sweep::latency_sweep_parallel`]);
 //! * [`energy`] — the §8.3 energy model;
 //! * [`economy`] — the §10 chiplet-reuse cost model;
 //! * [`results`] — aggregated metrics.
@@ -44,6 +49,7 @@
 pub mod config;
 pub mod economy;
 pub mod energy;
+mod engine;
 pub mod network;
 pub mod presets;
 pub mod results;

@@ -3,8 +3,8 @@
 use crate::config::SimConfig;
 use crate::network::Network;
 use crate::scheduler::SchedulingProfile;
-use chiplet_topo::routing::{Algorithm1, NegativeFirstMesh, Routing, TorusAdaptive};
 use chiplet_topo::routing::HypercubeRouting;
+use chiplet_topo::routing::{Algorithm1, NegativeFirstMesh, Routing, TorusAdaptive};
 use chiplet_topo::{build, Geometry};
 
 /// The networks compared in the evaluation (§8.1).

@@ -64,14 +64,8 @@ impl SimResults {
             } else {
                 0.0
             },
-            p50_latency: c
-                .latency_hist
-                .as_ref()
-                .map_or(0.0, |h| h.percentile(50.0)),
-            p99_latency: c
-                .latency_hist
-                .as_ref()
-                .map_or(0.0, |h| h.percentile(99.0)),
+            p50_latency: c.latency_hist.as_ref().map_or(0.0, |h| h.percentile(50.0)),
+            p99_latency: c.latency_hist.as_ref().map_or(0.0, |h| h.percentile(99.0)),
             avg_net_latency: c.net_latency.mean(),
             avg_high_latency: c.latency_high.mean(),
             max_high_latency: if c.latency_high.count() > 0 {

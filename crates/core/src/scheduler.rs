@@ -90,7 +90,10 @@ mod tests {
         assert_ne!(p.phy_policy, e.phy_policy);
         assert_ne!(b.phy_policy, e.phy_policy);
         assert!(e.serial_selection_weight > b.serial_selection_weight);
-        assert_eq!(p.cost_weights.gamma, 0.0, "performance-first ignores energy");
+        assert_eq!(
+            p.cost_weights.gamma, 0.0,
+            "performance-first ignores energy"
+        );
         assert!(e.cost_weights.gamma > 0.0);
     }
 

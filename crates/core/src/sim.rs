@@ -3,6 +3,7 @@
 use crate::network::Network;
 use crate::results::SimResults;
 use chiplet_traffic::Workload;
+use simkit::probe::{CycleStats, Phase, Probe};
 use simkit::Cycle;
 
 /// How long to run each phase of a simulation.
@@ -67,14 +68,19 @@ impl RunSpec {
     }
 }
 
-/// Outcome of a completed run: the results, plus whether the network
-/// drained completely.
+/// Outcome of a completed run: the results, plus how the run ended.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// Aggregated results over the measurement window.
     pub results: SimResults,
     /// Whether every packet was delivered by the end of the drain phase.
     pub drained: bool,
+    /// Whether the inactivity watchdog aborted the run: live packets made
+    /// no progress for [`RunSpec::watchdog`] consecutive cycles. The
+    /// routing algorithms in this workspace are deadlock-free, so a set
+    /// flag indicates a configuration or simulator bug; results cover
+    /// only the cycles before the abort.
+    pub deadlocked: bool,
 }
 
 /// Runs `workload` on `net` according to `spec`.
@@ -84,50 +90,99 @@ pub struct RunOutcome {
 /// [`Workload::done`] (open-loop synthetic workloads never do, so draining
 /// stops offering new traffic at the window edge).
 ///
-/// # Panics
-///
-/// Panics if the deadlock watchdog fires — the routing algorithms in this
-/// workspace are deadlock-free, so this indicates a bug, and the panic
-/// message carries diagnostics.
+/// If the deadlock watchdog fires, the run stops early with
+/// [`RunOutcome::deadlocked`] set instead of running out the clock.
 pub fn run(net: &mut Network, workload: &mut dyn Workload, spec: RunSpec) -> RunOutcome {
-    let mut buf = Vec::new();
-    let offer_all = |net: &mut Network, buf: &mut Vec<_>| {
-        for req in buf.drain(..) {
-            net.offer(req);
-        }
-    };
+    run_probed(net, workload, spec, &mut [])
+}
 
+/// Like [`run`], with observability probes attached.
+///
+/// Probes receive phase transitions, a per-cycle [`CycleStats`] snapshot,
+/// every packet delivery and every flit hop. They are passive: for any
+/// fixed network, workload and spec, the returned [`RunOutcome`] is
+/// bit-identical whatever probes are attached.
+pub fn run_probed(
+    net: &mut Network,
+    workload: &mut dyn Workload,
+    spec: RunSpec,
+    probes: &mut [&mut dyn Probe],
+) -> RunOutcome {
+    let mut buf = Vec::new();
+    let mut deadlocked = false;
+
+    macro_rules! phase_change {
+        ($phase:expr) => {
+            for p in probes.iter_mut() {
+                p.on_phase_change(net.now(), $phase);
+            }
+        };
+    }
+    // One cycle: poll (optionally), step with probes, sample, watchdog.
+    macro_rules! cycle {
+        ($poll:expr) => {{
+            if $poll {
+                workload.poll(net.now(), &mut buf);
+                for req in buf.drain(..) {
+                    net.offer(req);
+                }
+            }
+            net.step_probed(probes);
+            if !probes.is_empty() {
+                let stats = CycleStats {
+                    live_packets: net.live_packets() as u64,
+                    queued_packets: net.queued_packets() as u64,
+                    delivered_packets: net.collector().delivered_packets,
+                    delivered_flits: net.collector().delivered_flits,
+                };
+                for p in probes.iter_mut() {
+                    p.on_cycle(net.now() - 1, &stats);
+                }
+            }
+            if watchdog_fired(net, spec.watchdog) {
+                deadlocked = true;
+            }
+            !deadlocked
+        }};
+    }
+
+    phase_change!(Phase::Warmup);
     for _ in 0..spec.warmup {
-        workload.poll(net.now(), &mut buf);
-        offer_all(net, &mut buf);
-        net.step();
-        check_watchdog(net, spec.watchdog);
+        if !cycle!(true) {
+            break;
+        }
     }
     net.start_measurement();
+    phase_change!(Phase::Measure);
     let measure_start = net.now();
-    for _ in 0..spec.measure {
-        workload.poll(net.now(), &mut buf);
-        offer_all(net, &mut buf);
-        net.step();
-        check_watchdog(net, spec.watchdog);
+    if !deadlocked {
+        for _ in 0..spec.measure {
+            if !cycle!(true) {
+                break;
+            }
+        }
     }
     let cycles = net.now() - measure_start;
     // Backlog at the *end of the measurement window* is the saturation
     // signal: everything offered but not yet delivered.
     let backlog = net.live_packets() as u64;
     let mut drained = net.live_packets() == 0;
-    for _ in 0..spec.drain {
-        if net.live_packets() == 0 && (!spec.drain_offers || workload.done()) {
-            drained = true;
-            break;
+    phase_change!(Phase::Drain);
+    if !deadlocked {
+        for _ in 0..spec.drain {
+            if net.live_packets() == 0 && (!spec.drain_offers || workload.done()) {
+                drained = true;
+                break;
+            }
+            let poll = spec.drain_offers && !workload.done();
+            if !cycle!(poll) {
+                break;
+            }
+            drained = net.live_packets() == 0;
         }
-        if spec.drain_offers && !workload.done() {
-            workload.poll(net.now(), &mut buf);
-            offer_all(net, &mut buf);
-        }
-        net.step();
-        check_watchdog(net, spec.watchdog);
-        drained = net.live_packets() == 0;
+    }
+    if deadlocked {
+        drained = false;
     }
     let results = SimResults::from_collector(
         net.collector(),
@@ -135,21 +190,15 @@ pub fn run(net: &mut Network, workload: &mut dyn Workload, spec: RunSpec) -> Run
         cycles,
         backlog,
     );
-    RunOutcome { results, drained }
+    RunOutcome {
+        results,
+        drained,
+        deadlocked,
+    }
 }
 
-fn check_watchdog(net: &Network, threshold: Cycle) {
-    if net.live_packets() > 0 && net.idle_cycles() > threshold {
-        panic!(
-            "deadlock watchdog: no activity for {} cycles at cycle {} with {} live packets \
-             ({} queued) on {}",
-            net.idle_cycles(),
-            net.now(),
-            net.live_packets(),
-            net.queued_packets(),
-            net.topology().kind(),
-        );
-    }
+fn watchdog_fired(net: &Network, threshold: Cycle) -> bool {
+    net.live_packets() > 0 && net.idle_cycles() > threshold
 }
 
 #[cfg(test)]
@@ -166,9 +215,13 @@ mod tests {
             SystemKind::HeteroPhyTorus => build::hetero_phy_torus(geom),
             SystemKind::SerialHypercube => build::serial_hypercube(geom),
             SystemKind::HeteroChannel => build::hetero_channel(geom),
-            SystemKind::MultiPackageRow => {
-                build::multi_package(geom.chiplets_x(), 1, geom.chiplets_y(), geom.chip_w(), geom.chip_h())
-            }
+            SystemKind::MultiPackageRow => build::multi_package(
+                geom.chiplets_x(),
+                1,
+                geom.chiplets_y(),
+                geom.chip_w(),
+                geom.chip_h(),
+            ),
         };
         Network::new(topo, routing::for_system(kind, 2), SimConfig::default())
     }
@@ -181,6 +234,7 @@ mod tests {
         let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.05, 16, 7);
         let out = run(&mut n, &mut w, RunSpec::smoke());
         assert!(out.drained, "light load must drain");
+        assert!(!out.deadlocked);
         assert!(out.results.packets > 10);
         assert!(!out.results.is_saturated());
         assert!(out.results.avg_latency > 10.0);
@@ -200,8 +254,7 @@ mod tests {
         let nodes: Vec<_> = (0..geom.nodes()).map(chiplet_topo::NodeId).collect();
         let lat = |kind| {
             let mut n = net(kind, geom);
-            let mut w =
-                SyntheticWorkload::new(nodes.clone(), TrafficPattern::Uniform, 0.02, 16, 7);
+            let mut w = SyntheticWorkload::new(nodes.clone(), TrafficPattern::Uniform, 0.02, 16, 7);
             run(&mut n, &mut w, RunSpec::smoke()).results.avg_latency
         };
         let serial = lat(SystemKind::SerialTorus);
@@ -224,6 +277,7 @@ mod tests {
         // the drain phase later manages to empty the queues).
         assert!(out.results.is_saturated());
         assert!(out.results.backlog > out.results.packets);
+        assert!(!out.deadlocked, "congestion is not deadlock");
     }
 
     #[test]
@@ -238,5 +292,67 @@ mod tests {
             out.results.avg_serial_pj > 0.0,
             "distant pairs should use the hypercube"
         );
+    }
+
+    #[test]
+    fn over_tight_watchdog_flags_deadlock_instead_of_panicking() {
+        // A serial-torus hop keeps a flit in its 20-cycle delay line with
+        // no other activity, so a 3-cycle watchdog must fire — exercising
+        // the deadlocked outcome without needing a genuinely broken
+        // network.
+        let geom = Geometry::new(2, 2, 2, 2);
+        let nodes: Vec<_> = (0..geom.nodes()).map(chiplet_topo::NodeId).collect();
+        let mut spec = RunSpec::smoke();
+        spec.watchdog = 3;
+        let mut n = net(SystemKind::SerialTorus, geom);
+        let mut w = SyntheticWorkload::new(nodes.clone(), TrafficPattern::Uniform, 0.02, 16, 7);
+        let out = run(&mut n, &mut w, spec);
+        assert!(out.deadlocked);
+        assert!(!out.drained);
+        // The same run under a sane watchdog completes.
+        let mut n = net(SystemKind::SerialTorus, geom);
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.02, 16, 7);
+        let out = run(&mut n, &mut w, RunSpec::smoke());
+        assert!(!out.deadlocked);
+        assert!(out.drained);
+    }
+
+    #[test]
+    fn probes_receive_phases_cycles_and_deliveries() {
+        #[derive(Default)]
+        struct Recorder {
+            phases: Vec<Phase>,
+            cycles: u64,
+            deliveries: u64,
+            flit_hops: u64,
+        }
+        impl Probe for Recorder {
+            fn on_phase_change(&mut self, _now: Cycle, phase: Phase) {
+                self.phases.push(phase);
+            }
+            fn on_cycle(&mut self, _now: Cycle, _stats: &CycleStats) {
+                self.cycles += 1;
+            }
+            fn on_packet_delivered(&mut self, _ev: &simkit::probe::DeliveryEvent) {
+                self.deliveries += 1;
+            }
+            fn on_flit_hop(&mut self, _now: Cycle, _link: u32, _is_head: bool) {
+                self.flit_hops += 1;
+            }
+        }
+        let geom = Geometry::new(2, 2, 2, 2);
+        let mut n = net(SystemKind::ParallelMesh, geom);
+        let nodes = (0..geom.nodes()).map(chiplet_topo::NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.05, 16, 7);
+        let mut rec = Recorder::default();
+        let out = run_probed(&mut n, &mut w, RunSpec::smoke(), &mut [&mut rec]);
+        assert_eq!(
+            rec.phases,
+            vec![Phase::Warmup, Phase::Measure, Phase::Drain]
+        );
+        assert!(rec.cycles >= RunSpec::smoke().warmup + RunSpec::smoke().measure);
+        assert_eq!(rec.deliveries, n.collector().delivered_packets);
+        assert_eq!(rec.flit_hops, n.link_flits().iter().sum::<u64>());
+        assert!(out.drained);
     }
 }

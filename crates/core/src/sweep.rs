@@ -1,4 +1,16 @@
 //! Injection-rate sweeps: the latency–throughput curves of Figs. 11/13/14.
+//!
+//! Sweeps come in two flavors with identical results:
+//!
+//! * [`latency_sweep`] runs the points one after another, stopping two
+//!   points past saturation;
+//! * [`latency_sweep_parallel`] distributes the points over a worker pool
+//!   ([`std::thread::scope`], no external dependencies). Every point is
+//!   an independent simulation on a fresh network with the same seed, so
+//!   parallel execution is bit-identical to sequential — a post-pass
+//!   re-applies the sequential early-exit rule, and workers skip points
+//!   only when enough earlier points are already known saturated that the
+//!   sequential sweep provably never reaches them.
 
 use crate::config::SimConfig;
 use crate::network::Network;
@@ -8,6 +20,8 @@ use crate::scheduler::SchedulingProfile;
 use crate::sim::{run, RunSpec};
 use chiplet_topo::{Geometry, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One point of a latency–injection curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +32,24 @@ pub struct SweepPoint {
     pub results: SimResults,
     /// Whether the run drained completely.
     pub drained: bool,
+}
+
+fn run_point(
+    net: &mut Network,
+    pattern: TrafficPattern,
+    rate: f64,
+    packet_len: u16,
+    spec: RunSpec,
+    seed: u64,
+) -> SweepPoint {
+    let nodes: Vec<NodeId> = (0..net.topology().geometry().nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, pattern, rate, packet_len, seed);
+    let outcome = run(net, &mut w, spec);
+    SweepPoint {
+        rate,
+        results: outcome.results,
+        drained: outcome.drained,
+    }
 }
 
 /// Sweeps injection rates on fresh networks built by `build`, stopping two
@@ -35,15 +67,79 @@ pub fn latency_sweep(
     let mut past_saturation = 0;
     for &rate in rates {
         let mut net = build();
-        let nodes: Vec<NodeId> = (0..net.topology().geometry().nodes()).map(NodeId).collect();
-        let mut w = SyntheticWorkload::new(nodes, pattern, rate, packet_len, seed);
-        let outcome = run(&mut net, &mut w, spec);
-        let saturated = outcome.results.is_saturated();
-        out.push(SweepPoint {
-            rate,
-            results: outcome.results,
-            drained: outcome.drained,
-        });
+        let point = run_point(&mut net, pattern, rate, packet_len, spec, seed);
+        let saturated = point.results.is_saturated();
+        out.push(point);
+        if saturated {
+            past_saturation += 1;
+            if past_saturation >= 2 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// [`latency_sweep`] over a worker pool of `threads` threads.
+///
+/// Returns exactly the same points as the sequential sweep, in the same
+/// order: each point is an independent run (fresh network, same workload
+/// seed), and the sequential "stop two points past saturation" rule is
+/// re-applied over the completed points. A worker skips a point only when
+/// two already-finished points at lower rates saturated — in which case
+/// the sequential sweep would have stopped before it — so no point the
+/// sequential sweep reports is ever missing.
+pub fn latency_sweep_parallel(
+    build: impl Fn() -> Network + Sync,
+    pattern: TrafficPattern,
+    rates: &[f64],
+    packet_len: u16,
+    spec: RunSpec,
+    seed: u64,
+    threads: usize,
+) -> Vec<SweepPoint> {
+    let threads = threads.clamp(1, rates.len().max(1));
+    if threads <= 1 {
+        return latency_sweep(build, pattern, rates, packet_len, spec, seed);
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepPoint>>> = rates.iter().map(|_| Mutex::new(None)).collect();
+    let saturated_idx: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= rates.len() {
+                    break;
+                }
+                // Early exit: with two known-saturated points below i, the
+                // sequential sweep stops before reaching i.
+                {
+                    let sat = saturated_idx.lock().expect("sweep lock");
+                    if sat.iter().filter(|&&s| s < i).count() >= 2 {
+                        continue;
+                    }
+                }
+                let mut net = build();
+                let point = run_point(&mut net, pattern, rates[i], packet_len, spec, seed);
+                let is_sat = point.results.is_saturated();
+                *slots[i].lock().expect("sweep slot") = Some(point);
+                if is_sat {
+                    saturated_idx.lock().expect("sweep lock").push(i);
+                }
+            });
+        }
+    });
+    // Post-pass: replay the sequential truncation over the computed
+    // points so the output is indistinguishable from `latency_sweep`.
+    let mut out = Vec::new();
+    let mut past_saturation = 0;
+    for slot in &slots {
+        let Some(point) = slot.lock().expect("sweep slot").take() else {
+            break; // skipped ⇒ the sequential sweep stopped earlier
+        };
+        let saturated = point.results.is_saturated();
+        out.push(point);
         if saturated {
             past_saturation += 1;
             if past_saturation >= 2 {
@@ -64,15 +160,31 @@ pub fn preset_sweep(
     rates: &[f64],
     spec: RunSpec,
 ) -> Vec<SweepPoint> {
+    preset_sweep_parallel(kind, geom, config, profile, pattern, rates, spec, 1)
+}
+
+/// [`preset_sweep`] over `threads` worker threads (1 = sequential).
+#[allow(clippy::too_many_arguments)]
+pub fn preset_sweep_parallel(
+    kind: NetworkKind,
+    geom: Geometry,
+    config: SimConfig,
+    profile: SchedulingProfile,
+    pattern: TrafficPattern,
+    rates: &[f64],
+    spec: RunSpec,
+    threads: usize,
+) -> Vec<SweepPoint> {
     let packet_len = config.packet_len;
     let seed = config.seed;
-    latency_sweep(
+    latency_sweep_parallel(
         || kind.build(geom, config, profile),
         pattern,
         rates,
         packet_len,
         spec,
         seed,
+        threads,
     )
 }
 
@@ -114,6 +226,28 @@ mod tests {
         let sat = saturation_rate(&points);
         assert!(sat.is_some());
         assert!(sat.unwrap() >= 0.02);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_exactly() {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let rates = [0.02, 0.1, 0.3, 0.6, 1.0, 1.5, 2.0];
+        let sweep = |threads| {
+            preset_sweep_parallel(
+                NetworkKind::UniformParallelMesh,
+                geom,
+                SimConfig::default(),
+                SchedulingProfile::balanced(),
+                TrafficPattern::Uniform,
+                &rates,
+                RunSpec::smoke(),
+                threads,
+            )
+        };
+        let sequential = sweep(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(sweep(threads), sequential, "threads={threads}");
+        }
     }
 
     #[test]

@@ -98,6 +98,17 @@ impl DelayLine {
         }
     }
 
+    /// Delivers every flit whose time has arrived to `sink`, in order.
+    ///
+    /// Equivalent to looping [`Self::pop_ready`], as a single call site
+    /// for per-hop observability (the engine forwards each delivery to
+    /// its flit-hop probes).
+    pub fn drain_ready(&mut self, now: Cycle, mut sink: impl FnMut(Flit)) {
+        while let Some(flit) = self.pop_ready(now) {
+            sink(flit);
+        }
+    }
+
     /// Flits currently in flight.
     pub fn in_flight(&self) -> usize {
         self.q.len()
@@ -193,8 +204,28 @@ mod tests {
         for s in 0..4 {
             line.try_send(0, flit(s));
         }
-        let seqs: Vec<_> = std::iter::from_fn(|| line.pop_ready(100)).map(|f| f.seq).collect();
+        let seqs: Vec<_> = std::iter::from_fn(|| line.pop_ready(100))
+            .map(|f| f.seq)
+            .collect();
         assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn drain_ready_matches_pop_ready() {
+        let mut a = DelayLine::new(2, 4);
+        let mut b = a.clone();
+        for s in 0..3 {
+            a.try_send(0, flit(s));
+            b.try_send(0, flit(s));
+        }
+        let mut drained = Vec::new();
+        a.drain_ready(2, |f| drained.push(f.seq));
+        let popped: Vec<_> = std::iter::from_fn(|| b.pop_ready(2))
+            .map(|f| f.seq)
+            .collect();
+        assert_eq!(drained, popped);
+        assert_eq!(drained, vec![0, 1, 2]);
+        assert_eq!(a.in_flight(), 0);
     }
 
     #[test]

@@ -288,8 +288,7 @@ impl Router {
                     ov.credits as u32
                 };
                 match best {
-                    Some((b, s))
-                        if (b.tier, u32::MAX - s) <= (c.tier, u32::MAX - score) => {}
+                    Some((b, s)) if (b.tier, u32::MAX - s) <= (c.tier, u32::MAX - score) => {}
                     _ => best = Some((*c, score)),
                 }
             }
@@ -362,7 +361,9 @@ impl Router {
                     break;
                 }
                 let buf = &mut self.in_ports[pi].vcs[vi];
-                let Some(mut flit) = buf.q.pop_front() else { break };
+                let Some(mut flit) = buf.q.pop_front() else {
+                    break;
+                };
                 flit.vc = out_vc;
                 let last = flit.last;
                 env.send(out_port, flit);

@@ -382,7 +382,9 @@ impl HeteroPhyLink {
     pub fn advance(&mut self, now: Cycle) {
         // Bypass queue: early dispatch, parallel PHY only (§4.2).
         while self.parallel.free(now) > 0 {
-            let Some(flit) = self.bypass.pop_front() else { break };
+            let Some(flit) = self.bypass.pop_front() else {
+                break;
+            };
             self.parallel.send(
                 now,
                 Tagged {
@@ -441,8 +443,7 @@ impl HeteroPhyLink {
                     let admit = match pipe.peek_ready(now) {
                         None => false,
                         Some(t) => {
-                            self.rob.len() < self.rob_capacity as usize
-                                || self.rob.would_deliver(t)
+                            self.rob.len() < self.rob_capacity as usize || self.rob.would_deliver(t)
                         }
                     };
                     if !admit {
@@ -544,8 +545,7 @@ mod tests {
 
     #[test]
     fn performance_first_uses_both_phys_and_reorders() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 32);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 32);
         for s in 0..16u16 {
             link.push(0, flit(1, s, 16), OrderClass::InOrder, Priority::Normal);
         }
@@ -563,8 +563,7 @@ mod tests {
 
     #[test]
     fn energy_efficient_never_touches_serial() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::EnergyEfficient, 32);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::EnergyEfficient, 32);
         for s in 0..8u16 {
             link.push(0, flit(1, s, 8), OrderClass::InOrder, Priority::Normal);
         }
@@ -610,14 +609,18 @@ mod tests {
 
     #[test]
     fn bypass_overtakes_queued_in_order_traffic() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::EnergyEfficient, 64);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::EnergyEfficient, 64);
         // Fill the main queue with a long in-order packet...
         for s in 0..32u16 {
             link.push(0, flit(1, s, 32), OrderClass::InOrder, Priority::Normal);
         }
         // ...then a single-flit high-priority packet on its own VC.
-        link.push(0, flit_vc(2, 0, 1, 1), OrderClass::Unordered, Priority::High);
+        link.push(
+            0,
+            flit_vc(2, 0, 1, 1),
+            OrderClass::Unordered,
+            Priority::High,
+        );
         let out = drain_all(&mut link, 100);
         assert_eq!(out.len(), 33);
         let pos_hot = out.iter().position(|(f, _)| f.pid.0 == 2).unwrap();
@@ -626,14 +629,17 @@ mod tests {
             "high-priority flit should bypass the backlog (delivered at {pos_hot})"
         );
         // All flits of packet 1 still in order.
-        let seqs: Vec<u16> = out.iter().filter(|(f, _)| f.pid.0 == 1).map(|(f, _)| f.seq).collect();
+        let seqs: Vec<u16> = out
+            .iter()
+            .filter(|(f, _)| f.pid.0 == 1)
+            .map(|(f, _)| f.seq)
+            .collect();
         assert_eq!(seqs, (0..32).collect::<Vec<_>>());
     }
 
     #[test]
     fn unordered_packets_keep_internal_order() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
         for s in 0..8u16 {
             link.push(0, flit(5, s, 8), OrderClass::Unordered, Priority::Normal);
         }
@@ -644,13 +650,22 @@ mod tests {
 
     #[test]
     fn interleaved_packets_each_keep_order() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
         // Two packets interleaved flit-by-flit on distinct VCs, as a 2-VC
         // crossbar produces.
         for s in 0..8u16 {
-            link.push(0, flit_vc(1, s, 8, 0), OrderClass::InOrder, Priority::Normal);
-            link.push(0, flit_vc(2, s, 8, 1), OrderClass::Unordered, Priority::Normal);
+            link.push(
+                0,
+                flit_vc(1, s, 8, 0),
+                OrderClass::InOrder,
+                Priority::Normal,
+            );
+            link.push(
+                0,
+                flit_vc(2, s, 8, 1),
+                OrderClass::Unordered,
+                Priority::Normal,
+            );
         }
         let out = drain_all(&mut link, 80);
         assert_eq!(out.len(), 16);
@@ -666,8 +681,7 @@ mod tests {
 
     #[test]
     fn space_accounts_both_queues() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 4);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 4);
         assert_eq!(link.space(), 4);
         link.push(0, flit(1, 0, 2), OrderClass::InOrder, Priority::Normal);
         link.push(0, flit(9, 0, 1), OrderClass::Unordered, Priority::High);
@@ -677,8 +691,7 @@ mod tests {
 
     #[test]
     fn throughput_approaches_combined_bandwidth() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
         // Keep the FIFO saturated for 100 cycles.
         let mut pushed = 0u16;
         let mut delivered = 0usize;
@@ -708,8 +721,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn push_past_capacity_panics() {
-        let mut link =
-            HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 1);
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 1);
         link.push(0, flit(1, 0, 2), OrderClass::InOrder, Priority::Normal);
         link.push(0, flit(1, 1, 2), OrderClass::InOrder, Priority::Normal);
     }

@@ -118,8 +118,14 @@ mod tests {
     #[test]
     fn balanced_enables_serial_at_threshold() {
         let pol = PhyPolicy::Balanced { threshold: 8 };
-        assert!(!pol.plan(7, OrderClass::InOrder, Priority::Normal).allow_other);
-        assert!(pol.plan(8, OrderClass::InOrder, Priority::Normal).allow_other);
+        assert!(
+            !pol.plan(7, OrderClass::InOrder, Priority::Normal)
+                .allow_other
+        );
+        assert!(
+            pol.plan(8, OrderClass::InOrder, Priority::Normal)
+                .allow_other
+        );
     }
 
     #[test]
@@ -132,8 +138,14 @@ mod tests {
         let hot = pol.plan(100, OrderClass::Unordered, Priority::High);
         assert!(!hot.prefer_serial && !hot.allow_other);
         // Ordinary in-order traffic behaves like Balanced.
-        assert!(!pol.plan(3, OrderClass::InOrder, Priority::Normal).allow_other);
-        assert!(pol.plan(9, OrderClass::InOrder, Priority::Normal).allow_other);
+        assert!(
+            !pol.plan(3, OrderClass::InOrder, Priority::Normal)
+                .allow_other
+        );
+        assert!(
+            pol.plan(9, OrderClass::InOrder, Priority::Normal)
+                .allow_other
+        );
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // Table 1 is const data; the test documents its shape.
     fn table1_shape() {
         assert_eq!(TABLE1.len(), 4);
         // Serial beats parallel on rate and reach, loses on latency/power.

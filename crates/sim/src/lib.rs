@@ -10,6 +10,10 @@
 //!   every experiment is exactly reproducible.
 //! * [`stats`] — streaming statistics (mean/variance/min/max), histograms
 //!   and windowed rate meters used to report latency and throughput.
+//! * [`probe`] — the [`probe::Probe`] observer trait and ready-made probes
+//!   (progress snapshots, link-utilization timelines, CSV/JSONL sinks).
+//! * [`active`] — the [`active::ActiveSet`] bitset behind the engine's
+//!   skip-idle-components scheduler.
 //!
 //! # Examples
 //!
@@ -27,9 +31,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod active;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 
+pub use active::ActiveSet;
+pub use probe::{CycleStats, DeliveryEvent, Phase, Probe};
 pub use rng::SimRng;
 pub use stats::{Histogram, Running, Windowed};
 

@@ -1,0 +1,408 @@
+//! Simulation observability: the [`Probe`] trait and ready-made probes.
+//!
+//! A probe is a passive observer attached to a simulation run. The engine
+//! calls it at well-defined points — once per cycle, on every packet
+//! delivery, on every flit crossing a link, and on phase transitions — and
+//! the probe accumulates or streams whatever view it wants. Probes never
+//! feed back into the simulation, so attaching any combination of them
+//! leaves the simulated behavior (and therefore the results) bit-identical.
+//!
+//! This module is deliberately dependency-light: events carry only
+//! primitive fields (cycles, link indices, pJ sums) so the trait can live
+//! below the NoC and network layers and be implemented by both.
+
+use crate::Cycle;
+use std::io::Write;
+
+/// The phase of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Warm-up: traffic flows but packets are excluded from statistics.
+    Warmup,
+    /// Measurement window: delivered packets count toward the results.
+    Measure,
+    /// Drain: no (or trailing) traffic, in-flight packets complete.
+    Drain,
+}
+
+/// Everything known about one delivered packet, reported at the cycle its
+/// tail flit ejects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveryEvent {
+    /// Delivery cycle (tail ejection).
+    pub now: Cycle,
+    /// Cycle the packet was created (entered its source queue).
+    pub created: Cycle,
+    /// Cycle its head flit entered the network.
+    pub injected: Cycle,
+    /// Head-flit hop count.
+    pub hops: u32,
+    /// Packet length in flits.
+    pub len: u16,
+    /// Whether the packet was high-priority.
+    pub high_priority: bool,
+    /// Whether it fell back to the baseline (escape) subnetwork.
+    pub baseline_locked: bool,
+    /// Whether it was created inside the measurement window.
+    pub measured: bool,
+    /// On-chip traversal energy, pJ.
+    pub onchip_pj: f64,
+    /// Parallel-interface traversal energy, pJ.
+    pub parallel_pj: f64,
+    /// Serial-interface traversal energy, pJ.
+    pub serial_pj: f64,
+}
+
+impl DeliveryEvent {
+    /// Creation → delivery latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.now - self.created
+    }
+
+    /// Injection → delivery latency in cycles.
+    pub fn net_latency(&self) -> Cycle {
+        self.now - self.injected
+    }
+
+    /// Total traversal energy, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.onchip_pj + self.parallel_pj + self.serial_pj
+    }
+}
+
+/// A per-cycle snapshot of aggregate simulation state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Packets alive anywhere (queued or in flight).
+    pub live_packets: u64,
+    /// Packets waiting in source queues.
+    pub queued_packets: u64,
+    /// Packets delivered so far (measured or not).
+    pub delivered_packets: u64,
+    /// Flits delivered so far.
+    pub delivered_flits: u64,
+}
+
+/// A passive observer of a simulation run.
+///
+/// All methods default to no-ops so a probe implements only what it needs.
+/// The engine guarantees probes cannot perturb the simulation: they see
+/// events after the fact and have no handle back into the network.
+pub trait Probe {
+    /// Called when the run transitions into `phase`.
+    fn on_phase_change(&mut self, _now: Cycle, _phase: Phase) {}
+
+    /// Called once at the end of every simulated cycle.
+    fn on_cycle(&mut self, _now: Cycle, _stats: &CycleStats) {}
+
+    /// Called when a packet's tail flit ejects at its destination.
+    fn on_packet_delivered(&mut self, _ev: &DeliveryEvent) {}
+
+    /// Called for every flit delivered over a directed link.
+    ///
+    /// `link` is the directed link index ([`LinkId`] in the topology
+    /// crate); `is_head` marks the packet's head flit (one per hop).
+    fn on_flit_hop(&mut self, _now: Cycle, _link: u32, _is_head: bool) {}
+}
+
+/// Records periodic progress snapshots: live/queued/delivered counts and
+/// the delivered-flit throughput of each sampling interval.
+#[derive(Debug)]
+pub struct ProgressProbe {
+    every: Cycle,
+    snapshots: Vec<(Cycle, CycleStats)>,
+}
+
+impl ProgressProbe {
+    /// Samples every `every` cycles (clamped to at least 1).
+    pub fn new(every: Cycle) -> Self {
+        Self {
+            every: every.max(1),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The recorded `(cycle, stats)` snapshots, in time order.
+    pub fn snapshots(&self) -> &[(Cycle, CycleStats)] {
+        &self.snapshots
+    }
+
+    /// Human-readable progress table, one line per snapshot, with the
+    /// delivered-flit rate over each interval.
+    pub fn report(&self) -> Vec<String> {
+        let mut out = vec![format!(
+            "{:>10} {:>10} {:>10} {:>12} {:>12}",
+            "cycle", "live", "queued", "delivered", "flits/cycle"
+        )];
+        let mut prev: Option<(Cycle, u64)> = None;
+        for &(now, s) in &self.snapshots {
+            let rate = match prev {
+                Some((t0, f0)) if now > t0 => (s.delivered_flits - f0) as f64 / (now - t0) as f64,
+                _ => 0.0,
+            };
+            out.push(format!(
+                "{:>10} {:>10} {:>10} {:>12} {:>12.3}",
+                now, s.live_packets, s.queued_packets, s.delivered_packets, rate
+            ));
+            prev = Some((now, s.delivered_flits));
+        }
+        out
+    }
+}
+
+impl Probe for ProgressProbe {
+    fn on_cycle(&mut self, now: Cycle, stats: &CycleStats) {
+        if now.is_multiple_of(self.every) {
+            self.snapshots.push((now, *stats));
+        }
+    }
+}
+
+/// Accumulates a per-link flit-count timeline: total flits per directed
+/// link, plus a binned activity series across all links.
+#[derive(Debug)]
+pub struct LinkUtilProbe {
+    bin: Cycle,
+    totals: Vec<u64>,
+    bins: Vec<u64>,
+}
+
+impl LinkUtilProbe {
+    /// Tracks `links` directed links, binning activity every `bin` cycles.
+    pub fn new(links: usize, bin: Cycle) -> Self {
+        Self {
+            bin: bin.max(1),
+            totals: vec![0; links],
+            bins: Vec::new(),
+        }
+    }
+
+    /// Total flits delivered per directed link.
+    pub fn totals(&self) -> &[u64] {
+        &self.totals
+    }
+
+    /// Flits delivered (all links) per time bin.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The bin width in cycles.
+    pub fn bin_width(&self) -> Cycle {
+        self.bin
+    }
+
+    /// The `k` busiest links as `(link, flits)`, busiest first.
+    pub fn busiest(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .totals
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(i, &f)| (i as u32, f))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+impl Probe for LinkUtilProbe {
+    fn on_flit_hop(&mut self, now: Cycle, link: u32, _is_head: bool) {
+        if let Some(t) = self.totals.get_mut(link as usize) {
+            *t += 1;
+        }
+        let b = (now / self.bin) as usize;
+        if b >= self.bins.len() {
+            self.bins.resize(b + 1, 0);
+        }
+        self.bins[b] += 1;
+    }
+}
+
+/// Streams one CSV row per delivered packet to a writer.
+#[derive(Debug)]
+pub struct CsvDeliverySink<W: Write> {
+    w: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> CsvDeliverySink<W> {
+    /// Wraps `w`; the header row is written before the first record.
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            wrote_header: false,
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.w.flush();
+        self.w
+    }
+}
+
+impl<W: Write> Probe for CsvDeliverySink<W> {
+    fn on_packet_delivered(&mut self, ev: &DeliveryEvent) {
+        if !self.wrote_header {
+            let _ = writeln!(
+                self.w,
+                "cycle,latency,net_latency,hops,len,high_priority,locked,measured,energy_pj"
+            );
+            self.wrote_header = true;
+        }
+        let _ = writeln!(
+            self.w,
+            "{},{},{},{},{},{},{},{},{:.2}",
+            ev.now,
+            ev.latency(),
+            ev.net_latency(),
+            ev.hops,
+            ev.len,
+            ev.high_priority,
+            ev.baseline_locked,
+            ev.measured,
+            ev.total_pj()
+        );
+    }
+}
+
+/// Streams one JSON object per delivered packet to a writer (JSON Lines).
+#[derive(Debug)]
+pub struct JsonlDeliverySink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlDeliverySink<W> {
+    /// Wraps `w`.
+    pub fn new(w: W) -> Self {
+        Self { w }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.w.flush();
+        self.w
+    }
+}
+
+impl<W: Write> Probe for JsonlDeliverySink<W> {
+    fn on_packet_delivered(&mut self, ev: &DeliveryEvent) {
+        let _ = writeln!(
+            self.w,
+            "{{\"cycle\":{},\"latency\":{},\"net_latency\":{},\"hops\":{},\"len\":{},\
+             \"high_priority\":{},\"locked\":{},\"measured\":{},\"energy_pj\":{:.2}}}",
+            ev.now,
+            ev.latency(),
+            ev.net_latency(),
+            ev.hops,
+            ev.len,
+            ev.high_priority,
+            ev.baseline_locked,
+            ev.measured,
+            ev.total_pj()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(now: Cycle) -> DeliveryEvent {
+        DeliveryEvent {
+            now,
+            created: now.saturating_sub(40),
+            injected: now.saturating_sub(30),
+            hops: 5,
+            len: 16,
+            high_priority: false,
+            baseline_locked: false,
+            measured: true,
+            onchip_pj: 10.0,
+            parallel_pj: 20.0,
+            serial_pj: 0.0,
+        }
+    }
+
+    #[test]
+    fn delivery_event_derived_metrics() {
+        let e = ev(100);
+        assert_eq!(e.latency(), 40);
+        assert_eq!(e.net_latency(), 30);
+        assert!((e.total_pj() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_probe_samples_on_interval() {
+        let mut p = ProgressProbe::new(10);
+        for now in 0..35 {
+            let s = CycleStats {
+                delivered_flits: now * 2,
+                ..CycleStats::default()
+            };
+            p.on_cycle(now, &s);
+        }
+        assert_eq!(p.snapshots().len(), 4); // cycles 0, 10, 20, 30
+        let report = p.report();
+        assert_eq!(report.len(), 5); // header + 4 rows
+                                     // Steady 2 flits/cycle shows up in every non-first interval.
+        assert!(report[2].trim_end().ends_with("2.000"));
+    }
+
+    #[test]
+    fn link_probe_accumulates_totals_and_bins() {
+        let mut p = LinkUtilProbe::new(4, 100);
+        for now in 0..250 {
+            p.on_flit_hop(now, (now % 3) as u32, now % 16 == 0);
+        }
+        assert_eq!(p.totals().iter().sum::<u64>(), 250);
+        assert_eq!(p.totals()[3], 0);
+        assert_eq!(p.bins(), &[100, 100, 50]);
+        let busiest = p.busiest(2);
+        assert_eq!(busiest.len(), 2);
+        assert!(busiest[0].1 >= busiest[1].1);
+    }
+
+    #[test]
+    fn link_probe_ignores_out_of_range_links() {
+        let mut p = LinkUtilProbe::new(2, 10);
+        p.on_flit_hop(0, 7, true);
+        assert_eq!(p.totals(), &[0, 0]);
+        assert_eq!(p.bins(), &[1]); // still binned as activity
+    }
+
+    #[test]
+    fn csv_sink_writes_header_then_rows() {
+        let mut sink = CsvDeliverySink::new(Vec::new());
+        sink.on_packet_delivered(&ev(100));
+        sink.on_packet_delivered(&ev(110));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("cycle,latency"));
+        assert!(lines[1].starts_with("100,40,30,5,16"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_event() {
+        let mut sink = JsonlDeliverySink::new(Vec::new());
+        sink.on_packet_delivered(&ev(100));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.starts_with("{\"cycle\":100,"));
+        assert!(text.contains("\"measured\":true"));
+    }
+
+    #[test]
+    fn default_probe_methods_are_noops() {
+        struct Nop;
+        impl Probe for Nop {}
+        let mut n = Nop;
+        n.on_phase_change(0, Phase::Warmup);
+        n.on_cycle(0, &CycleStats::default());
+        n.on_packet_delivered(&ev(50));
+        n.on_flit_hop(0, 0, true);
+    }
+}

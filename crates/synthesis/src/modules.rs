@@ -65,7 +65,9 @@ pub struct Fifo {
 impl Fifo {
     fn storage_area(&self, t: &TechNode) -> f64 {
         let extra_ports = self.ports.saturating_sub(2) as f64;
-        (self.width * self.depth) as f64 * t.flop_bit_area * (1.0 + t.port_area_factor * extra_ports)
+        (self.width * self.depth) as f64
+            * t.flop_bit_area
+            * (1.0 + t.port_area_factor * extra_ports)
     }
 
     fn flops(&self) -> f64 {
@@ -227,8 +229,7 @@ impl RouterModel {
         let alloc_gates = p * p * (self.vcs * self.vcs) as f64 * 10.0 + p * 650.0;
         let area = buffers + crossbar + alloc_gates * t.nand2_area;
         // Critical path: allocator arbitration over ports*vcs requestors.
-        let crit =
-            t.gate_delay_ps * (25.4 + 3.0 * (p * self.vcs as f64).log2()) / 1000.0;
+        let crit = t.gate_delay_ps * (25.4 + 3.0 * (p * self.vcs as f64).log2()) / 1000.0;
         let freq = 1.0 / (crit + TIMING_MARGIN_NS);
         let bits = p * w * self.activity;
         // Each bit is written to a buffer, read, and crosses the crossbar.
@@ -258,7 +259,11 @@ mod tests {
         assert!(close(e.area_um2, 1389.0, 0.25), "area {:.0}", e.area_um2);
         assert!(close(e.power_mw(), 1.14, 0.35), "power {:.2}", e.power_mw());
         assert!(close(e.freq_ghz(), 1.85, 0.15), "freq {:.2}", e.freq_ghz());
-        assert!(close(e.crit_path_ns, 0.36, 0.15), "crit {:.2}", e.crit_path_ns);
+        assert!(
+            close(e.crit_path_ns, 0.36, 0.15),
+            "crit {:.2}",
+            e.crit_path_ns
+        );
     }
 
     #[test]
@@ -266,7 +271,11 @@ mod tests {
         let e = AdapterTx::default().estimate(&TechNode::n12());
         assert!(close(e.area_um2, 1849.0, 0.25), "area {:.0}", e.area_um2);
         assert!(close(e.power_mw(), 0.78, 0.40), "power {:.2}", e.power_mw());
-        assert!(close(e.crit_path_ns, 0.37, 0.15), "crit {:.2}", e.crit_path_ns);
+        assert!(
+            close(e.crit_path_ns, 0.37, 0.15),
+            "crit {:.2}",
+            e.crit_path_ns
+        );
     }
 
     #[test]
@@ -294,14 +303,14 @@ mod tests {
             "power ratio {power_ratio:.2}"
         );
         let freq_drop = reg.freq_ghz() / het.freq_ghz();
-        assert!(
-            (1.0..1.10).contains(&freq_drop),
-            "freq drop {freq_drop:.3}"
-        );
+        assert!((1.0..1.10).contains(&freq_drop), "freq drop {freq_drop:.3}");
         // Power/area stay proportional to throughput (§8.2): per-port power
         // roughly constant.
         let per_port = (het.power_mw() / 8.0) / (reg.power_mw() / 6.0);
-        assert!((0.8..1.2).contains(&per_port), "per-port ratio {per_port:.2}");
+        assert!(
+            (0.8..1.2).contains(&per_port),
+            "per-port ratio {per_port:.2}"
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ pub fn hetero_die_overhead(
     let uni = parallel_interface(m, parallel_gbps_per_if).area_mm2;
     let het = hetero_interface(m, parallel_gbps_per_if, serial_gbps_per_if, 1.0).area_mm2;
     let phy_extra = (het - uni) * interface_nodes as f64;
-    let reg = crate::modules::RouterModel::regular().estimate(tech).area_um2;
+    let reg = crate::modules::RouterModel::regular()
+        .estimate(tech)
+        .area_um2;
     let hetero = crate::modules::RouterModel::heterogeneous()
         .estimate(tech)
         .area_um2;

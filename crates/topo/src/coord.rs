@@ -158,7 +158,10 @@ impl Geometry {
     ///
     /// Panics if the coordinate is outside the grid.
     pub fn node_at(&self, gx: u16, gy: u16) -> NodeId {
-        assert!(gx < self.width() && gy < self.height(), "coordinate out of range");
+        assert!(
+            gx < self.width() && gy < self.height(),
+            "coordinate out of range"
+        );
         NodeId(gy as u32 * self.width() as u32 + gx as u32)
     }
 
@@ -187,7 +190,10 @@ impl Geometry {
     ///
     /// Panics if the coordinate is outside the chiplet grid.
     pub fn chiplet_at(&self, cx: u16, cy: u16) -> ChipletId {
-        assert!(cx < self.chiplets_x && cy < self.chiplets_y, "chiplet out of range");
+        assert!(
+            cx < self.chiplets_x && cy < self.chiplets_y,
+            "chiplet out of range"
+        );
         ChipletId(cy * self.chiplets_x + cx)
     }
 
@@ -203,7 +209,10 @@ impl Geometry {
     ///
     /// Panics if the local coordinate is outside the chiplet.
     pub fn node_in_chiplet(&self, chiplet: ChipletId, lx: u16, ly: u16) -> NodeId {
-        assert!(lx < self.chip_w && ly < self.chip_h, "local coordinate out of range");
+        assert!(
+            lx < self.chip_w && ly < self.chip_h,
+            "local coordinate out of range"
+        );
         let (cx, cy) = self.chiplet_coord(chiplet);
         self.node_at(cx * self.chip_w + lx, cy * self.chip_h + ly)
     }

@@ -135,9 +135,7 @@ pub fn analyze(topo: &SystemTopology, routing: &dyn Routing, relation: Relation)
                             cur = parent[cur] as usize;
                         }
                         path.reverse();
-                        let decode = |i: usize| {
-                            (LinkId((i / vcs_max) as u32), (i % vcs_max) as u8)
-                        };
+                        let decode = |i: usize| (LinkId((i / vcs_max) as u32), (i % vcs_max) as u8);
                         cycle = Some(path.into_iter().map(decode).collect());
                         break 'outer;
                     }
@@ -213,7 +211,10 @@ mod tests {
             rep.cycle
         );
         assert!(rep.channels > 0 && rep.edges > 0);
-        assert!(escape_always_present(&topo, r.as_ref()), "{kind}: escape missing");
+        assert!(
+            escape_always_present(&topo, r.as_ref()),
+            "{kind}: escape missing"
+        );
     }
 
     #[test]

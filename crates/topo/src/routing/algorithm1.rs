@@ -24,9 +24,7 @@
 //! grant locks the packet onto negative-first paths (§6.2's
 //! channel-switching restriction).
 
-use super::{
-    emit_negative_first, nearest_port, productive_dirs, Candidate, RouteState, Routing,
-};
+use super::{emit_negative_first, nearest_port, productive_dirs, Candidate, RouteState, Routing};
 use crate::coord::NodeId;
 use crate::system::SystemTopology;
 
@@ -61,10 +59,7 @@ impl Algorithm1 {
     pub fn with_serial_weight(vcs: u8, serial_weight: f64) -> Self {
         assert!(vcs >= 2, "Algorithm 1 needs >= 2 virtual channels");
         assert!(serial_weight > 0.0, "selection weight must be positive");
-        Self {
-            vcs,
-            serial_weight,
-        }
+        Self { vcs, serial_weight }
     }
 
     /// The subnetwork-selection function of Eq. 5: `true` when the serial
@@ -308,7 +303,10 @@ mod tests {
         r.candidates(&t, port, dst, &RouteState::default(), &mut out);
         let first = out.first().expect("candidates");
         assert_eq!(first.tier, 0);
-        assert!(matches!(t.link(first.link).kind, LinkKind::Hypercube { .. }));
+        assert!(matches!(
+            t.link(first.link).kind,
+            LinkKind::Hypercube { .. }
+        ));
     }
 
     #[test]

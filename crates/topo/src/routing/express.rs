@@ -52,7 +52,9 @@ impl Routing for ExpressMesh {
             // the destination column and the jump saves enough hops to
             // amortize the serial delay.
             for dir in [MeshDir::East, MeshDir::West] {
-                let Some(link) = topo.express_out(cur, dir) else { continue };
+                let Some(link) = topo.express_out(cur, dir) else {
+                    continue;
+                };
                 let exit = g.coord(topo.link(link).dst);
                 let useful = match dir {
                     MeshDir::East => d.x >= exit.x && exit.x > c.x,
@@ -120,9 +122,7 @@ mod tests {
         let bridges = t
             .links()
             .iter()
-            .filter(|l| {
-                l.class == LinkClass::Serial && matches!(l.kind, LinkKind::Mesh { .. })
-            })
+            .filter(|l| l.class == LinkClass::Serial && matches!(l.kind, LinkKind::Mesh { .. }))
             .count();
         assert_eq!(bridges, 2 * 6 * 2);
     }

@@ -135,7 +135,13 @@ mod tests {
         let t = build::parallel_mesh(g);
         let r = NegativeFirstMesh::new(3);
         let mut out = Vec::new();
-        r.candidates(&t, g.node_at(0, 0), g.node_at(3, 0), &RouteState::default(), &mut out);
+        r.candidates(
+            &t,
+            g.node_at(0, 0),
+            g.node_at(3, 0),
+            &RouteState::default(),
+            &mut out,
+        );
         assert_eq!(out.len(), 3); // one dir (east), 3 vcs
         assert!(out.iter().all(|c| c.baseline));
     }

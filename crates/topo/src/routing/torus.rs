@@ -64,8 +64,7 @@ impl Routing for TorusAdaptive {
         let (w, h) = (g.width(), g.height());
         let (c, d) = (g.coord(cur), g.coord(dst));
         if !state.baseline_locked {
-            let cur_dist =
-                ring_dist(c.x, d.x, w) as u32 + ring_dist(c.y, d.y, h) as u32;
+            let cur_dist = ring_dist(c.x, d.x, w) as u32 + ring_dist(c.y, d.y, h) as u32;
             // A serial wraparound hop costs roughly 15 cycles more than a
             // mesh hop (Table 2), i.e. about four on-chip hops — only
             // *prefer* the wrap when the torus route saves at least that
@@ -89,8 +88,7 @@ impl Routing for TorusAdaptive {
             let mesh_productive: Vec<MeshDir> = super::productive_dirs(c, d).collect();
             for dir in MeshDir::ALL {
                 let (nx, ny) = step(c.x, c.y, dir, w, h);
-                let new_dist =
-                    ring_dist(nx, d.x, w) as u32 + ring_dist(ny, d.y, h) as u32;
+                let new_dist = ring_dist(nx, d.x, w) as u32 + ring_dist(ny, d.y, h) as u32;
                 if new_dist >= cur_dist {
                     continue;
                 }
@@ -182,7 +180,10 @@ mod tests {
         r.candidates(&t, g.node_at(5, 0), g.node_at(0, 0), &locked, &mut out);
         // Only west mesh moves (vc1 adaptive-of-baseline + vc0 escape).
         for c in &out {
-            assert!(matches!(t.link(c.link).kind, LinkKind::Mesh { dir: MeshDir::West }));
+            assert!(matches!(
+                t.link(c.link).kind,
+                LinkKind::Mesh { dir: MeshDir::West }
+            ));
         }
         assert!(out.iter().any(|c| c.baseline && c.vc == 0));
         assert!(out.iter().any(|c| !c.baseline && c.vc == 1));

@@ -215,8 +215,22 @@ pub mod build {
                 if gy + 1 < g.height() {
                     let nn = g.node_at(gx, gy + 1);
                     let class = boundary_class(&g, n, nn, iface);
-                    t.add_link(n, nn, class, LinkKind::Mesh { dir: MeshDir::North });
-                    t.add_link(nn, n, class, LinkKind::Mesh { dir: MeshDir::South });
+                    t.add_link(
+                        n,
+                        nn,
+                        class,
+                        LinkKind::Mesh {
+                            dir: MeshDir::North,
+                        },
+                    );
+                    t.add_link(
+                        nn,
+                        n,
+                        class,
+                        LinkKind::Mesh {
+                            dir: MeshDir::South,
+                        },
+                    );
                 }
             }
         }
@@ -230,15 +244,39 @@ pub mod build {
                 if gx + 1 < g.width() {
                     let e = g.node_at(gx + 1, gy);
                     if g.chiplet_of(n) == g.chiplet_of(e) {
-                        t.add_link(n, e, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::East });
-                        t.add_link(e, n, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::West });
+                        t.add_link(
+                            n,
+                            e,
+                            LinkClass::OnChip,
+                            LinkKind::Mesh { dir: MeshDir::East },
+                        );
+                        t.add_link(
+                            e,
+                            n,
+                            LinkClass::OnChip,
+                            LinkKind::Mesh { dir: MeshDir::West },
+                        );
                     }
                 }
                 if gy + 1 < g.height() {
                     let nn = g.node_at(gx, gy + 1);
                     if g.chiplet_of(n) == g.chiplet_of(nn) {
-                        t.add_link(n, nn, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::North });
-                        t.add_link(nn, n, LinkClass::OnChip, LinkKind::Mesh { dir: MeshDir::South });
+                        t.add_link(
+                            n,
+                            nn,
+                            LinkClass::OnChip,
+                            LinkKind::Mesh {
+                                dir: MeshDir::North,
+                            },
+                        );
+                        t.add_link(
+                            nn,
+                            n,
+                            LinkClass::OnChip,
+                            LinkKind::Mesh {
+                                dir: MeshDir::South,
+                            },
+                        );
                     }
                 }
             }
@@ -259,8 +297,22 @@ pub mod build {
             for gx in 0..g.width() {
                 let south = g.node_at(gx, 0);
                 let north = g.node_at(gx, g.height() - 1);
-                t.add_link(south, north, class, LinkKind::Wrap { dir: MeshDir::South });
-                t.add_link(north, south, class, LinkKind::Wrap { dir: MeshDir::North });
+                t.add_link(
+                    south,
+                    north,
+                    class,
+                    LinkKind::Wrap {
+                        dir: MeshDir::South,
+                    },
+                );
+                t.add_link(
+                    north,
+                    south,
+                    class,
+                    LinkKind::Wrap {
+                        dir: MeshDir::North,
+                    },
+                );
             }
         }
     }
@@ -313,13 +365,23 @@ pub mod build {
             for (i, &node) in rim.iter().enumerate() {
                 let dim = (i % dims as usize) as u8;
                 let partner_chiplet = ChipletId(c ^ (1 << dim));
-                if pair_fails(c as u32, partner_chiplet.0 as u32, i as u32, fail_permille, seed)
-                {
+                if pair_fails(
+                    c as u32,
+                    partner_chiplet.0 as u32,
+                    i as u32,
+                    fail_permille,
+                    seed,
+                ) {
                     continue;
                 }
                 let partner_rim = g.perimeter_nodes(partner_chiplet);
                 let partner = partner_rim[i];
-                t.add_link(node, partner, LinkClass::Serial, LinkKind::Hypercube { dim });
+                t.add_link(
+                    node,
+                    partner,
+                    LinkClass::Serial,
+                    LinkKind::Hypercube { dim },
+                );
                 t.hyper_ports[chiplet.index()][dim as usize].push(node);
             }
         }
@@ -448,8 +510,22 @@ pub mod build {
                 if gy + 1 < g.height() {
                     let nn = g.node_at(gx, gy + 1);
                     let class = class_of(n, nn);
-                    t.add_link(n, nn, class, LinkKind::Mesh { dir: MeshDir::North });
-                    t.add_link(nn, n, class, LinkKind::Mesh { dir: MeshDir::South });
+                    t.add_link(
+                        n,
+                        nn,
+                        class,
+                        LinkKind::Mesh {
+                            dir: MeshDir::North,
+                        },
+                    );
+                    t.add_link(
+                        nn,
+                        n,
+                        class,
+                        LinkKind::Mesh {
+                            dir: MeshDir::South,
+                        },
+                    );
                 }
             }
         }
@@ -461,12 +537,18 @@ pub mod build {
                 for gy in 0..g.height() {
                     let west = g.node_at(x0, gy);
                     let east = g.node_at(x1, gy);
-                    t.add_link(west, east, LinkClass::Serial, LinkKind::Express {
-                        dir: MeshDir::East,
-                    });
-                    t.add_link(east, west, LinkClass::Serial, LinkKind::Express {
-                        dir: MeshDir::West,
-                    });
+                    t.add_link(
+                        west,
+                        east,
+                        LinkClass::Serial,
+                        LinkKind::Express { dir: MeshDir::East },
+                    );
+                    t.add_link(
+                        east,
+                        west,
+                        LinkClass::Serial,
+                        LinkKind::Express { dir: MeshDir::West },
+                    );
                 }
             }
         }
@@ -495,8 +577,18 @@ pub mod build {
                 let west = g.node_at(0, gy);
                 let east = g.node_at(g.width() - 1, gy);
                 if !pair_fails(west.0, east.0, 1, fail_permille, seed) {
-                    t.add_link(west, east, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::West });
-                    t.add_link(east, west, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::East });
+                    t.add_link(
+                        west,
+                        east,
+                        LinkClass::Serial,
+                        LinkKind::Wrap { dir: MeshDir::West },
+                    );
+                    t.add_link(
+                        east,
+                        west,
+                        LinkClass::Serial,
+                        LinkKind::Wrap { dir: MeshDir::East },
+                    );
                 }
             }
         }
@@ -505,8 +597,22 @@ pub mod build {
                 let south = g.node_at(gx, 0);
                 let north = g.node_at(gx, g.height() - 1);
                 if !pair_fails(south.0, north.0, 2, fail_permille, seed) {
-                    t.add_link(south, north, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::South });
-                    t.add_link(north, south, LinkClass::Serial, LinkKind::Wrap { dir: MeshDir::North });
+                    t.add_link(
+                        south,
+                        north,
+                        LinkClass::Serial,
+                        LinkKind::Wrap {
+                            dir: MeshDir::South,
+                        },
+                    );
+                    t.add_link(
+                        north,
+                        south,
+                        LinkClass::Serial,
+                        LinkKind::Wrap {
+                            dir: MeshDir::North,
+                        },
+                    );
                 }
             }
         }
@@ -623,7 +729,9 @@ mod tests {
         }
         // Endpoint chiplets differ in exactly the link's dimension.
         for l in &hyper {
-            let LinkKind::Hypercube { dim } = l.kind else { unreachable!() };
+            let LinkKind::Hypercube { dim } = l.kind else {
+                unreachable!()
+            };
             let a = g.chiplet_of(l.src).0;
             let b = g.chiplet_of(l.dst).0;
             assert_eq!(a ^ b, 1 << dim);
@@ -736,9 +844,7 @@ mod tests {
     fn out_links_cover_all_links() {
         let g = Geometry::new(2, 2, 2, 2);
         let t = build::hetero_channel(g);
-        let total: usize = (0..g.nodes())
-            .map(|i| t.out_links(NodeId(i)).len())
-            .sum();
+        let total: usize = (0..g.nodes()).map(|i| t.out_links(NodeId(i)).len()).sum();
         assert_eq!(total, t.links().len());
     }
 }

@@ -208,7 +208,12 @@ pub fn mixed_allreduce_with_barriers(
         events.extend_from_slice(barrier(ranks, 4, b).events());
         b += barrier_period;
     }
-    TraceWorkload::new(events.into_iter().filter(|&(at, _)| at < duration).collect())
+    TraceWorkload::new(
+        events
+            .into_iter()
+            .filter(|&(at, _)| at < duration)
+            .collect(),
+    )
 }
 
 #[cfg(test)]

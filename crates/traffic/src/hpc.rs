@@ -55,11 +55,11 @@ fn grid3(n: usize) -> (usize, usize, usize) {
     let mut best_score = usize::MAX;
     let mut x = 1;
     while x * x * x <= n {
-        if n % x == 0 {
+        if n.is_multiple_of(x) {
             let rem = n / x;
             let mut y = x;
             while y * y <= rem {
-                if rem % y == 0 {
+                if rem.is_multiple_of(y) {
                     let z = rem / y;
                     let score = z - x; // minimize aspect spread
                     if score < best_score {
@@ -188,7 +188,7 @@ fn generate_moc(ranks: &[NodeId], iterations: u32, seed: u64) -> TraceWorkload {
             for (k, &s) in strides.iter().enumerate() {
                 // Alternate sweep direction per iteration, like forward and
                 // backward characteristic sweeps.
-                let p = if (it as usize + k) % 2 == 0 {
+                let p = if (it as usize + k).is_multiple_of(2) {
                     (r + s) % n
                 } else {
                     (r + n - s % n) % n
@@ -268,7 +268,11 @@ mod tests {
     fn moc_packets_mix_header_and_bulk() {
         let t = generate(HpcApp::Moc, &ranks(64), 2, 3);
         let headers = t.events().iter().filter(|&&(_, r)| r.len == 1).count();
-        let bulk = t.events().iter().filter(|&&(_, r)| r.len == DATA_LEN).count();
+        let bulk = t
+            .events()
+            .iter()
+            .filter(|&&(_, r)| r.len == DATA_LEN)
+            .count();
         assert!(headers > 0 && bulk > 0);
         assert_eq!(bulk, headers * MOC_PKTS_PER_MSG as usize);
         assert!(t

@@ -108,7 +108,10 @@ pub fn generate(
     seed: u64,
 ) -> TraceWorkload {
     assert!(cores.len() >= 2, "need at least two cores");
-    assert!(!controllers.is_empty(), "need at least one memory controller");
+    assert!(
+        !controllers.is_empty(),
+        "need at least one memory controller"
+    );
     let (rate, c2c, burst, quiet) = bench.profile();
     let mut root = SimRng::seed(seed ^ 0x5041_5253_4543_0001);
     let mut events: Vec<(Cycle, PacketRequest)> = Vec::new();

@@ -40,7 +40,10 @@ impl TrafficPattern {
     /// Whether the pattern is a deterministic permutation (no RNG needed
     /// for destinations).
     pub fn is_permutation(&self) -> bool {
-        !matches!(self, TrafficPattern::Uniform | TrafficPattern::UniformHotspot)
+        !matches!(
+            self,
+            TrafficPattern::Uniform | TrafficPattern::UniformHotspot
+        )
     }
 
     /// Destination rank for a packet from `src` among `n` ranks.
@@ -80,9 +83,9 @@ impl TrafficPattern {
                 }
                 return None;
             }
-            TrafficPattern::BitShuffle => Self::permute(src, m, |s| {
-                ((s << 1) | (s >> (b - 1))) & (m - 1)
-            }),
+            TrafficPattern::BitShuffle => {
+                Self::permute(src, m, |s| ((s << 1) | (s >> (b - 1))) & (m - 1))
+            }
             TrafficPattern::BitComplement => Self::permute(src, m, |s| !s & (m - 1)),
             TrafficPattern::BitTranspose => Self::permute(src, m, |s| {
                 let h = b / 2;
@@ -108,7 +111,7 @@ impl TrafficPattern {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .rotate_left(17)
             .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        (h >> 32) % 10 == 0
+        (h >> 32).is_multiple_of(10)
     }
 
     fn permute<F: Fn(u64) -> u64>(src: u64, m: u64, f: F) -> u64 {
@@ -166,7 +169,9 @@ mod tests {
         let mut rng = SimRng::seed(2);
         let d = TrafficPattern::BitComplement.dest(0, 64, &mut rng).unwrap();
         assert_eq!(d, 63);
-        let d = TrafficPattern::BitComplement.dest(21, 64, &mut rng).unwrap();
+        let d = TrafficPattern::BitComplement
+            .dest(21, 64, &mut rng)
+            .unwrap();
         assert_eq!(d, 42);
     }
 
@@ -201,18 +206,17 @@ mod tests {
     #[test]
     fn hotspot_is_sparse_and_consistent() {
         let n = 1000u64;
-        let hot: Vec<u64> = (0..n).filter(|&r| TrafficPattern::in_hotspot(r, n)).collect();
+        let hot: Vec<u64> = (0..n)
+            .filter(|&r| TrafficPattern::in_hotspot(r, n))
+            .collect();
         // Roughly 10% of nodes.
         assert!((50..200).contains(&(hot.len() as u64)), "{}", hot.len());
         let mut rng = SimRng::seed(6);
         // Non-hot sources produce no traffic; hot sources target hot nodes.
         for s in 0..n {
-            match TrafficPattern::UniformHotspot.dest(s, n, &mut rng) {
-                Some(d) => {
-                    assert!(TrafficPattern::in_hotspot(s, n));
-                    assert!(TrafficPattern::in_hotspot(d, n));
-                }
-                None => {}
+            if let Some(d) = TrafficPattern::UniformHotspot.dest(s, n, &mut rng) {
+                assert!(TrafficPattern::in_hotspot(s, n));
+                assert!(TrafficPattern::in_hotspot(d, n));
             }
         }
     }

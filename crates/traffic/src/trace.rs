@@ -307,10 +307,9 @@ mod tests {
 
     #[test]
     fn csv_skips_header_and_blank_lines() {
-        let t = TraceWorkload::from_csv(
-            "cycle,src,dst,len,class,priority\n\n5,0,1,2,inorder,normal\n",
-        )
-        .unwrap();
+        let t =
+            TraceWorkload::from_csv("cycle,src,dst,len,class,priority\n\n5,0,1,2,inorder,normal\n")
+                .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.events()[0].0, 5);
     }

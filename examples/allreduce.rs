@@ -45,9 +45,9 @@ fn main() {
         // 64 KiB per rank at 8 B/flit = 8192 flits; ring chunk =
         // 8192 / N per step.
         let chunk = 8192 / geom.nodes();
-        let mut trace: Box<dyn Workload> = Box::new(
-            collectives::mixed_allreduce_with_barriers(&ranks, chunk, 60, 500, 10_000),
-        );
+        let mut trace: Box<dyn Workload> = Box::new(collectives::mixed_allreduce_with_barriers(
+            &ranks, chunk, 60, 500, 10_000,
+        ));
         let out = run(&mut net, trace.as_mut(), spec);
         let r = &out.results;
         println!(

@@ -85,8 +85,8 @@ fn main() {
     let model = CostModel::n12();
     let cmp = compare_reuse(
         &model,
-        100.0, // mm² base die
-        0.15,  // hetero-IF area overhead
+        100.0,                         // mm² base die
+        0.15,                          // hetero-IF area overhead
         &[2_000_000, 300_000, 50_000], // mobile / server / HPC volumes
         &[4, 16, 64],                  // chiplets per package
     );

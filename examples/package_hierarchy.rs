@@ -14,9 +14,9 @@
 //! Run with `cargo run --release --example package_hierarchy`.
 
 use hetero_chiplet::heterosys::network::Network;
+use hetero_chiplet::heterosys::presets::NetworkKind;
 use hetero_chiplet::heterosys::sim::{run, RunSpec};
 use hetero_chiplet::heterosys::{SchedulingProfile, SimConfig};
-use hetero_chiplet::heterosys::presets::NetworkKind;
 use hetero_chiplet::topo::routing::ExpressMesh;
 use hetero_chiplet::topo::{build, Geometry, LinkClass, LinkKind, NodeId};
 use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};

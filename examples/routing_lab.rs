@@ -52,7 +52,11 @@ fn main() {
                 kind,
                 link.src,
                 link.dst,
-                if c.baseline { "[escape C0]" } else { "[adaptive]" }
+                if c.baseline {
+                    "[escape C0]"
+                } else {
+                    "[adaptive]"
+                }
             );
         }
         println!();

@@ -26,7 +26,11 @@ fn drain(net: &mut Network, max_cycles: u64) {
     while net.live_packets() > 0 {
         net.step();
         cycles += 1;
-        assert!(cycles < max_cycles, "drain timeout: {} live", net.live_packets());
+        assert!(
+            cycles < max_cycles,
+            "drain timeout: {} live",
+            net.live_packets()
+        );
         assert!(net.idle_cycles() < 3_000, "deadlock suspected");
     }
 }
@@ -66,8 +70,11 @@ fn mixed_classes_and_priorities_conserve() {
     use hetero_chiplet::noc::{OrderClass, Priority};
     let geom = Geometry::new(2, 2, 3, 3);
     for kind in [NetworkKind::HeteroPhyFull, NetworkKind::HeteroChannelFull] {
-        let mut net =
-            kind.build(geom, SimConfig::default(), SchedulingProfile::application_aware());
+        let mut net = kind.build(
+            geom,
+            SimConfig::default(),
+            SchedulingProfile::application_aware(),
+        );
         let mut rng = SimRng::seed(0xC1);
         let n = geom.nodes() as u64;
         for i in 0..200u32 {

@@ -46,14 +46,18 @@ fn theorem1_holds_on_every_preset_and_scale() {
                 geom.chiplets_y(),
                 rep.cycle
             );
-            assert!(escape_always_present(&topo, r.as_ref()), "{kind}: no escape");
+            assert!(
+                escape_always_present(&topo, r.as_ref()),
+                "{kind}: no escape"
+            );
         }
     }
 }
 
-/// The watchdog inside `run` panics on sustained total inactivity with
-/// live packets, so simply completing these saturating runs demonstrates
-/// forward progress under the worst patterns.
+/// The watchdog inside `run` aborts (with `deadlocked = true`) on
+/// sustained total inactivity with live packets, so these saturating runs
+/// finishing with the flag clear demonstrates forward progress under the
+/// worst patterns.
 #[test]
 fn saturating_adversarial_patterns_make_progress() {
     let spec = RunSpec {
@@ -77,12 +81,19 @@ fn saturating_adversarial_patterns_make_progress() {
             TrafficPattern::BitReverse,
             TrafficPattern::BitTranspose,
         ] {
-            let mut net =
-                kind.build(geom, SimConfig::default(), SchedulingProfile::performance_first());
+            let mut net = kind.build(
+                geom,
+                SimConfig::default(),
+                SchedulingProfile::performance_first(),
+            );
             let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
             // 2.0 flits/cycle/node: far past saturation for all of these.
             let mut w = SyntheticWorkload::new(nodes, pattern, 2.0, 16, 0xDEAD);
             let out = run(&mut net, &mut w, spec);
+            assert!(
+                !out.deadlocked,
+                "{kind}/{pattern}: inactivity watchdog fired under overload"
+            );
             assert!(
                 out.results.packets > 0,
                 "{kind}/{pattern}: nothing delivered under overload"
@@ -115,6 +126,7 @@ fn baseline_lock_engages_under_contention_and_packets_arrive() {
             drain_offers: false,
         },
     );
+    assert!(!out.deadlocked);
     assert!(out.results.packets > 50);
     // Under this much pressure at least some packets must have used the
     // escape path (if none ever locks, the restriction is dead code).

@@ -52,7 +52,10 @@ fn degraded_torus_delivers_and_stays_deadlock_free() {
         let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
         let mut w = SyntheticWorkload::new(nodes, TrafficPattern::BitReverse, 0.08, 16, 9);
         let out = run(&mut net, &mut w, spec());
-        assert!(out.drained && out.results.packets > 20, "{permille}‰ faults");
+        assert!(
+            out.drained && out.results.packets > 20,
+            "{permille}‰ faults"
+        );
     }
 }
 

@@ -35,7 +35,11 @@ fn link_counters_reconcile_with_packet_counters() {
             while d == s {
                 d = (d + 1) % geom.nodes();
             }
-            net.offer(PacketRequest::new(NodeId(s), NodeId(d), [1, 9, 16][i as usize % 3]));
+            net.offer(PacketRequest::new(
+                NodeId(s),
+                NodeId(d),
+                [1, 9, 16][i as usize % 3],
+            ));
             if i % 4 == 0 {
                 net.step();
             }
@@ -85,8 +89,16 @@ fn arbitration_does_not_starve_competing_flows() {
     let mut offered = 0;
     for _ in 0..2_000 {
         if offered < 400 && net.queued_packets() < 40 {
-            net.offer(PacketRequest::new(geom.node_at(0, 0), geom.node_at(3, 0), 16));
-            net.offer(PacketRequest::new(geom.node_at(0, 1), geom.node_at(3, 1), 16));
+            net.offer(PacketRequest::new(
+                geom.node_at(0, 0),
+                geom.node_at(3, 0),
+                16,
+            ));
+            net.offer(PacketRequest::new(
+                geom.node_at(0, 1),
+                geom.node_at(3, 1),
+                16,
+            ));
             offered += 2;
         }
         net.step();

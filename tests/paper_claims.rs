@@ -47,7 +47,10 @@ fn hetero_phy_has_best_low_load_latency() {
     let hhalf = run_uniform(NetworkKind::HeteroPhyHalf, geom, 0.03).avg_latency;
     assert!(hfull < mesh, "hetero {hfull:.1} !< mesh {mesh:.1}");
     assert!(hfull < torus, "hetero {hfull:.1} !< torus {torus:.1}");
-    assert!(hfull <= hhalf + 1.0, "half bandwidth can't beat full at low load");
+    assert!(
+        hfull <= hhalf + 1.0,
+        "half bandwidth can't beat full at low load"
+    );
     assert!(torus > mesh, "serial delay should dominate at this scale");
 }
 
@@ -119,7 +122,10 @@ fn energy_ordering_matches_fig16() {
         0.1,
         SchedulingProfile::energy_efficient(),
     );
-    assert!(torus.avg_energy_pj > mesh.avg_energy_pj, "serial most expensive");
+    assert!(
+        torus.avg_energy_pj > mesh.avg_energy_pj,
+        "serial most expensive"
+    );
     assert!(hetero.avg_energy_pj < torus.avg_energy_pj);
     assert!(hetero.avg_energy_pj < mesh.avg_energy_pj * 1.05);
     assert!(hetero_ee.avg_energy_pj <= hetero.avg_energy_pj * 1.02);
@@ -141,7 +147,11 @@ fn latency_reduction_holds_across_scales() {
         let mesh = run_uniform(NetworkKind::UniformParallelMesh, geom, 0.1).avg_latency;
         let torus = run_uniform(NetworkKind::UniformSerialTorus, geom, 0.1).avg_latency;
         let hetero = run_uniform(NetworkKind::HeteroPhyFull, geom, 0.1).avg_latency;
-        let vs_mesh = if strict { hetero < mesh } else { hetero < mesh * 1.10 };
+        let vs_mesh = if strict {
+            hetero < mesh
+        } else {
+            hetero < mesh * 1.10
+        };
         assert!(
             vs_mesh && hetero < torus,
             "{}x{} chiplets: hetero {hetero:.1} vs mesh {mesh:.1} / torus {torus:.1}",

@@ -138,13 +138,9 @@ fn routing_connects_random_pairs() {
                 SystemKind::HeteroPhyTorus => build::hetero_phy_torus(g),
                 SystemKind::SerialHypercube => build::serial_hypercube(g),
                 SystemKind::HeteroChannel => build::hetero_channel(g),
-                SystemKind::MultiPackageRow => build::multi_package(
-                    g.chiplets_x(),
-                    1,
-                    g.chiplets_y(),
-                    g.chip_w(),
-                    g.chip_h(),
-                ),
+                SystemKind::MultiPackageRow => {
+                    build::multi_package(g.chiplets_x(), 1, g.chiplets_y(), g.chip_w(), g.chip_h())
+                }
             };
             let routing = for_system(kind, 2);
             let n = g.nodes() as u64;

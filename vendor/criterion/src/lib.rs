@@ -90,7 +90,10 @@ impl Criterion {
         };
         f(&mut b);
         let mean = b.elapsed.as_secs_f64() / iters as f64;
-        println!("{name:<40} {:>12}/iter ({iters} iterations)", fmt_time(mean));
+        println!(
+            "{name:<40} {:>12}/iter ({iters} iterations)",
+            fmt_time(mean)
+        );
         self
     }
 }
