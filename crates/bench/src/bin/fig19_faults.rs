@@ -1,0 +1,14 @@
+//! Regenerates the link-integrity artifacts `fig19_latency_vs_ber` and
+//! `fig19_failover` (see hetero-bench crate docs).
+//!
+//! Usage: `cargo run --release -p hetero-bench --bin fig19_faults [--full] [--out DIR | --no-out] [--threads N]`
+
+use hetero_bench::experiments::faults::{fig19_ber, fig19_failover};
+use hetero_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig19_ber(&opts).finish(&opts);
+    println!();
+    fig19_failover(&opts).finish(&opts);
+}

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod energy;
+pub mod faults;
 pub mod patterns;
 pub mod scalability;
 pub mod tables;

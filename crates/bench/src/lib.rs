@@ -22,6 +22,7 @@
 //! | `fig16_energy_uniform` | Fig. 16 — energy under uniform traffic |
 //! | `fig17_energy_hpc` | Fig. 17 — energy under MOC traces |
 //! | `fig18_local_scale` | Fig. 18 — energy vs local-communication scale |
+//! | `fig19_faults` | Fig. 19 (beyond the paper) — latency vs BER, throughput through PHY failover |
 
 #![warn(missing_docs)]
 

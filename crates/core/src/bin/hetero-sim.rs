@@ -42,6 +42,9 @@ struct Args {
     trace: Option<String>,
     threads: usize,
     probe: ProbeKind,
+    ber: f64,
+    retry: bool,
+    fault_script: Option<String>,
 }
 
 fn usage() -> ! {
@@ -67,7 +70,14 @@ fn usage() -> ! {
          \u{20}            progress: periodic live/queued/delivered snapshots\n\
          \u{20}            links: per-link flit counts and utilization\n\
          --trace FILE replay a CSV trace (cycle,src,dst,len,class,priority)\n\
-         \u{20}            instead of synthetic traffic"
+         \u{20}            instead of synthetic traffic\n\
+         --ber B      serial-wire bit error rate (parallel wires scale\n\
+         \u{20}            along at the Table-1 family ratio); arms the\n\
+         \u{20}            CRC/replay retry link layer          (default 0)\n\
+         --retry      arm the retry link layer even at BER 0 (protocol\n\
+         \u{20}            overhead in isolation)\n\
+         --fault-script FILE  scripted hard faults (cycle + phy-down/\n\
+         \u{20}            link-down/burst/degrade lines; see chiplet-fault docs)"
     );
     std::process::exit(2);
 }
@@ -93,6 +103,9 @@ fn parse() -> Args {
         trace: None,
         threads: 1,
         probe: ProbeKind::None,
+        ber: 0.0,
+        retry: false,
+        fault_script: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -143,6 +156,15 @@ fn parse() -> Args {
                 }
             }
             "--half" => a.half = true,
+            "--ber" => {
+                a.ber = val().parse().unwrap_or_else(|_| usage());
+                if !(0.0..1.0).contains(&a.ber) {
+                    eprintln!("--ber must be in [0, 1)");
+                    usage()
+                }
+            }
+            "--retry" => a.retry = true,
+            "--fault-script" => a.fault_script = Some(val()),
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
             "--sweep" => a.sweep = true,
             "--trace" => a.trace = Some(val()),
@@ -208,10 +230,24 @@ fn print_results(r: &SimResults) {
 
 fn print_outcome(outcome: &RunOutcome) {
     print_results(&outcome.results);
+    let r = &outcome.results;
+    if r.corrupted_flits > 0 || r.retransmitted_flits > 0 || r.failovers > 0 {
+        println!(
+            "link integrity      {} flits corrupted, {} retransmitted, {} PHY failovers",
+            r.corrupted_flits, r.retransmitted_flits, r.failovers
+        );
+    }
     if outcome.deadlocked {
         println!(
             "DEADLOCK: no forward progress with live packets; the run was aborted \
              and the results cover only the cycles before the stall"
+        );
+    }
+    if outcome.fault_stalled {
+        println!(
+            "FAULT STALL: traffic wedged on failed hardware (injected faults); \
+             the run was aborted and the results cover only the cycles before \
+             the stall"
         );
     }
 }
@@ -267,6 +303,26 @@ fn main() {
     let geom = Geometry::new(args.chiplets.0, args.chiplets.1, args.chip.0, args.chip.1);
     let mut config = SimConfig::default().with_seed(args.seed);
     config.packet_len = args.packet_len;
+    if args.ber > 0.0 {
+        config = config.with_ber(args.ber);
+    }
+    if args.retry {
+        config = config.with_retry();
+    }
+    let fault_script = args.fault_script.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault script {path}: {e}");
+            std::process::exit(1);
+        });
+        hetero_if::FaultScript::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        })
+    });
+    if args.sweep && fault_script.is_some() {
+        eprintln!("--fault-script applies to single runs, not --sweep");
+        std::process::exit(2);
+    }
     let spec = RunSpec {
         warmup: (args.cycles / 10).max(100),
         measure: args.cycles,
@@ -333,6 +389,9 @@ fn main() {
             trace.horizon()
         );
         let mut net = args.network.build(geom, config, args.policy);
+        if let Some(script) = fault_script.clone() {
+            net.set_fault_script(script);
+        }
         let mut w: Box<dyn Workload> = Box::new(trace);
         let outcome = run_with_probes(&mut net, w.as_mut(), spec.with_drain_offers(), args.probe);
         print_outcome(&outcome);
@@ -341,6 +400,9 @@ fn main() {
         }
     } else {
         let mut net = args.network.build(geom, config, args.policy);
+        if let Some(script) = fault_script.clone() {
+            net.set_fault_script(script);
+        }
         let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
         let mut w =
             SyntheticWorkload::new(nodes, args.pattern, args.rate, args.packet_len, args.seed);

@@ -1,5 +1,6 @@
 //! Simulation configuration (Table 2 of the paper).
 
+use chiplet_fault::FaultConfig;
 use chiplet_phy::{PhyParams, PhyPolicy};
 
 /// Bandwidth/latency of one uniform link class.
@@ -76,6 +77,10 @@ pub struct SimConfig {
     pub adapter_bypass: bool,
     /// RNG seed for workloads built from this config.
     pub seed: u64,
+    /// Fault-model knobs (BER injection and the retry link layer). The
+    /// default is fully off, in which case the network is built — and
+    /// runs — bit-identically to a build without the fault subsystem.
+    pub fault: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -106,6 +111,7 @@ impl Default for SimConfig {
             higher_radix_crossbar: true,
             adapter_bypass: true,
             seed: 0xC41_1BE7,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -138,6 +144,25 @@ impl SimConfig {
     /// Disables the §4.2 parallel-PHY bypass (ablation).
     pub fn without_bypass(mut self) -> Self {
         self.adapter_bypass = false;
+        self
+    }
+
+    /// Replaces the fault-model block.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Sweeps the serial-wire BER (parallel wires scale along at the
+    /// Table-1 family ratio) with the retry layer armed.
+    pub fn with_ber(self, ber: f64) -> Self {
+        self.with_fault(FaultConfig::with_ber(ber))
+    }
+
+    /// Arms the retry link layer at the current error rates (protocol
+    /// overhead is measurable even at BER = 0).
+    pub fn with_retry(mut self) -> Self {
+        self.fault.retry = true;
         self
     }
 
@@ -206,5 +231,15 @@ mod tests {
         let p = c.phy_params();
         assert_eq!(p.total_bw(), 6);
         assert_eq!(c.serial_params_scaled(), c.serial);
+    }
+
+    #[test]
+    fn fault_builders() {
+        assert!(!SimConfig::default().fault.armed());
+        assert!(SimConfig::default().with_retry().fault.armed());
+        let c = SimConfig::default().with_ber(1e-6);
+        assert!(c.fault.armed());
+        assert_eq!(c.fault.ber_serial, 1e-6);
+        assert!(c.fault.ber_parallel < 1e-6);
     }
 }

@@ -31,15 +31,15 @@ use crate::config::SimConfig;
 use crate::energy::{EnergyModel, PacketEnergy};
 use crate::network::Collector;
 use chiplet_noc::{
-    CreditLine, DelayLine, Flit, PacketId, PacketInfo, PacketStore, PortCandidate, Router,
-    RouterEnv,
+    CreditLine, DelayLine, Flit, PacketId, PacketInfo, PacketStore, PortCandidate, RetryLine,
+    Router, RouterEnv,
 };
 use chiplet_phy::{HeteroPhyLink, PhyKind};
 use chiplet_topo::routing::{Candidate, Routing};
 use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
 use chiplet_traffic::PacketRequest;
-use simkit::probe::{DeliveryEvent, Probe};
-use simkit::{ActiveSet, Cycle};
+use simkit::probe::{DeliveryEvent, LinkEvent, Probe};
+use simkit::{ActiveSet, Cycle, SimRng};
 use std::collections::VecDeque;
 
 /// One directed link's physical medium.
@@ -52,6 +52,15 @@ pub(crate) enum Medium {
         /// The link class (for per-class energy accounting).
         class: LinkClass,
     },
+    /// A plain pipeline wrapped in the CRC/replay retry link layer (built
+    /// for interface links when the fault model is armed; error-free it is
+    /// cycle-for-cycle identical to [`Medium::Plain`]).
+    Guarded {
+        /// The retrying flit pipeline.
+        line: RetryLine,
+        /// The link class (for per-class energy accounting).
+        class: LinkClass,
+    },
     /// A hetero-PHY adapter (parallel + serial PHYs with scheduling).
     Hetero(Box<HeteroPhyLink>),
 }
@@ -60,8 +69,90 @@ impl Medium {
     fn in_flight(&self) -> usize {
         match self {
             Medium::Plain { line, .. } => line.in_flight(),
+            Medium::Guarded { line, .. } => line.in_flight(),
             Medium::Hetero(h) => h.in_flight(),
         }
+    }
+}
+
+/// Per-link fault-injection state: one RNG stream and corruption
+/// probability per directed link, plus the mutable fault flags scripted
+/// events toggle (blocked links, error bursts, lane caps).
+///
+/// Links with zero probability never draw from their RNG
+/// ([`SimRng::chance`] short-circuits at `p <= 0`), so an unarmed core is
+/// results-invisible.
+#[derive(Debug)]
+pub(crate) struct FaultCore {
+    links: Vec<LinkFault>,
+}
+
+#[derive(Debug)]
+struct LinkFault {
+    rng: SimRng,
+    /// Base per-flit corruption probability.
+    p: f64,
+    burst_mult: f64,
+    burst_until: Cycle,
+    blocked: bool,
+    lane_cap: Option<u8>,
+}
+
+impl LinkFault {
+    fn draw(&mut self, now: Cycle) -> bool {
+        let p = if now < self.burst_until {
+            (self.p * self.burst_mult).min(1.0)
+        } else {
+            self.p
+        };
+        self.rng.chance(p)
+    }
+}
+
+impl FaultCore {
+    /// Builds the core with per-link corruption probabilities `ps`,
+    /// forking one RNG stream per link from `seed`.
+    pub fn new(ps: &[f64], seed: u64) -> Self {
+        let mut base = SimRng::seed(seed ^ 0xFA_0175);
+        Self {
+            links: ps
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| LinkFault {
+                    rng: base.fork(i as u64),
+                    p,
+                    burst_mult: 1.0,
+                    burst_until: 0,
+                    blocked: false,
+                    lane_cap: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn draw(&mut self, li: usize, now: Cycle) -> bool {
+        self.links[li].draw(now)
+    }
+
+    pub fn blocked(&self, li: usize) -> bool {
+        self.links[li].blocked
+    }
+
+    pub fn set_blocked(&mut self, li: usize, blocked: bool) {
+        self.links[li].blocked = blocked;
+    }
+
+    pub fn set_burst(&mut self, li: usize, mult: f64, until: Cycle) {
+        self.links[li].burst_mult = mult;
+        self.links[li].burst_until = until;
+    }
+
+    pub fn set_lane_cap(&mut self, li: usize, cap: Option<u8>) {
+        self.links[li].lane_cap = cap;
+    }
+
+    fn lane_cap(&self, li: usize) -> Option<u8> {
+        self.links[li].lane_cap
     }
 }
 
@@ -116,6 +207,7 @@ struct NetEnv<'a, 'p> {
     store: &'a mut PacketStore,
     media: &'a mut [Medium],
     credit_lines: &'a mut [CreditLine],
+    faults: &'a mut FaultCore,
     /// out_port (1-based; 0 is ejection) → LinkId, per this node.
     outport_link: &'a [LinkId],
     /// in_port (1-based; 0 is injection) → LinkId, per this node.
@@ -178,9 +270,18 @@ impl<'a, 'p> RouterEnv for NetEnv<'a, 'p> {
             return self.eject_budget;
         }
         let link = self.outport_link[(out_port - 1) as usize];
-        match &mut self.media[link.index()] {
+        let li = link.index();
+        if self.faults.blocked(li) {
+            return 0; // hard-failed link: nothing enters (upstream stalls)
+        }
+        let cap = match &mut self.media[li] {
             Medium::Plain { line, .. } => line.capacity(self.now) as u16,
+            Medium::Guarded { line, .. } => line.capacity(self.now) as u16,
             Medium::Hetero(h) => h.space(),
+        };
+        match self.faults.lane_cap(li) {
+            Some(lanes) => cap.min(lanes as u16),
+            None => cap,
         }
     }
 
@@ -211,6 +312,13 @@ impl<'a, 'p> RouterEnv for NetEnv<'a, 'p> {
             Medium::Plain { line, .. } => {
                 let ok = line.try_send(self.now, flit);
                 debug_assert!(ok, "plain link over capacity");
+            }
+            Medium::Guarded { line, .. } => {
+                // Corruption strikes the wire at transmission time; the
+                // receiver's CRC catches it and the replay buffer recovers.
+                let corrupt = self.faults.draw(link.index(), self.now);
+                let ok = line.try_send(self.now, flit, corrupt);
+                debug_assert!(ok, "guarded link over capacity");
             }
             Medium::Hetero(h) => {
                 let info = self.store.get(flit.pid);
@@ -261,6 +369,7 @@ pub(crate) struct Engine {
     routers: Vec<Router>,
     media: Vec<Medium>,
     credit_lines: Vec<CreditLine>,
+    faults: FaultCore,
     store: PacketStore,
     nics: Vec<Nic>,
     /// Flits delivered over each directed link (utilization analysis).
@@ -287,6 +396,7 @@ impl Engine {
         routers: Vec<Router>,
         media: Vec<Medium>,
         credit_lines: Vec<CreditLine>,
+        faults: FaultCore,
         nodes: usize,
     ) -> Self {
         let links = media.len();
@@ -294,6 +404,7 @@ impl Engine {
             routers,
             media,
             credit_lines,
+            faults,
             store: PacketStore::new(),
             nics: (0..nodes).map(|_| Nic::default()).collect(),
             link_flits: vec![0; links],
@@ -317,6 +428,18 @@ impl Engine {
 
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// Mutable access for scripted fault application (see
+    /// [`crate::network::Network::set_fault_script`]).
+    pub fn fault_parts(&mut self) -> (&mut [Medium], &mut FaultCore, &mut Collector) {
+        (&mut self.media, &mut self.faults, &mut self.collector)
+    }
+
+    /// Re-activates a medium a scripted fault event touched, so its next
+    /// [`Engine::stage_media`] pass runs even if it looked idle.
+    pub fn wake_medium(&mut self, li: usize) {
+        self.active_media.insert(li);
     }
 
     pub fn link_flits(&self) -> &[u64] {
@@ -406,6 +529,8 @@ impl Engine {
             active_routers,
             active_media,
             activity,
+            faults,
+            collector,
             ..
         } = self;
         for &li in &ids {
@@ -434,8 +559,56 @@ impl Engine {
                         *activity = true;
                     });
                 }
+                Medium::Guarded { line, class } => {
+                    {
+                        let lf = &mut faults.links[li];
+                        let mut corrupt = || lf.draw(now);
+                        let mut ev = |e: LinkEvent| {
+                            collector.on_link_event(now, li as u32, e);
+                            for p in probes.iter_mut() {
+                                p.on_link_event(now, li as u32, e);
+                            }
+                            if e == LinkEvent::Retransmit {
+                                // Recovery traffic is forward progress: it
+                                // must hold the deadlock watchdog off.
+                                *activity = true;
+                            }
+                        };
+                        line.advance(now, &mut corrupt, &mut ev);
+                    }
+                    line.drain_delivered(|flit| {
+                        link_flits[li] += 1;
+                        let info = store.get_mut(flit.pid);
+                        match class {
+                            LinkClass::OnChip => info.onchip_flits += 1,
+                            LinkClass::Parallel => info.parallel_flits += 1,
+                            LinkClass::Serial => info.serial_flits += 1,
+                            LinkClass::HeteroPhy => unreachable!(),
+                        }
+                        if flit.is_head() {
+                            info.hops += 1;
+                        }
+                        for p in probes.iter_mut() {
+                            p.on_flit_hop(now, li as u32, flit.is_head());
+                        }
+                        routers[dst].receive(in_port, flit);
+                        active_routers.insert(dst);
+                        *activity = true;
+                    });
+                }
                 Medium::Hetero(h) => {
-                    h.advance(now);
+                    {
+                        let mut ev = |e: LinkEvent| {
+                            collector.on_link_event(now, li as u32, e);
+                            for p in probes.iter_mut() {
+                                p.on_link_event(now, li as u32, e);
+                            }
+                            if e == LinkEvent::Retransmit {
+                                *activity = true;
+                            }
+                        };
+                        h.advance_observed(now, &mut ev);
+                    }
                     while let Some((flit, kind)) = h.pop_delivered() {
                         link_flits[li] += 1;
                         let info = store.get_mut(flit.pid);
@@ -536,6 +709,7 @@ impl Engine {
                 store: &mut self.store,
                 media: &mut self.media,
                 credit_lines: &mut self.credit_lines,
+                faults: &mut self.faults,
                 outport_link: &ctx.outport_links[node],
                 inport_link: &ctx.inport_links[node],
                 vcs: ctx.config.vcs,

@@ -39,6 +39,9 @@
 //!   probe attachment ([`sim::run_probed`]);
 //! * [`sweep`] — injection-rate sweeps (latency–throughput curves),
 //!   sequential or multi-threaded ([`sweep::latency_sweep_parallel`]);
+//! * fault model — [`SimConfig::with_ber`] arms BER-driven corruption and
+//!   the CRC/replay retry layer ([`chiplet_fault`] holds the config and
+//!   scripts; [`Network::set_fault_script`] schedules hard failures);
 //! * [`energy`] — the §8.3 energy model;
 //! * [`economy`] — the §10 chiplet-reuse cost model;
 //! * [`results`] — aggregated metrics.
@@ -57,6 +60,7 @@ pub mod scheduler;
 pub mod sim;
 pub mod sweep;
 
+pub use chiplet_fault::{FaultConfig, FaultScript};
 pub use config::{BandwidthMode, SimConfig};
 pub use energy::EnergyModel;
 pub use network::Network;

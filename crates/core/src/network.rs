@@ -13,15 +13,16 @@
 
 use crate::config::SimConfig;
 use crate::energy::EnergyModel;
-use crate::engine::{Engine, EngineCtx, Medium};
-use chiplet_noc::{CreditLine, DelayLine, PacketId, Router};
-use chiplet_phy::HeteroPhyLink;
+use crate::engine::{Engine, EngineCtx, FaultCore, Medium};
+use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
+use chiplet_noc::{CreditLine, DelayLine, PacketId, RetryLine, Router};
+use chiplet_phy::{HeteroPhyLink, PhyKind};
 use chiplet_topo::routing::Routing;
 use chiplet_topo::{LinkClass, LinkId, SystemTopology};
 use chiplet_traffic::PacketRequest;
-use simkit::probe::{DeliveryEvent, Probe};
+use simkit::probe::{DeliveryEvent, LinkEvent, Probe};
 use simkit::stats::{Histogram, Running};
-use simkit::Cycle;
+use simkit::{Cycle, SimRng};
 
 /// Statistics accumulated over delivered packets.
 ///
@@ -59,9 +60,36 @@ pub struct Collector {
     pub measured_flits: u64,
     /// Measured packets that hit the livelock baseline lock.
     pub locked_packets: u64,
+    /// Flits the link layer detected as corrupted (CRC mismatch at a
+    /// retry receiver, or a hetero-PHY exit).
+    pub corrupted_flits: u64,
+    /// Flits retransmitted by the retry layer or a hetero-PHY adapter.
+    pub retransmitted_flits: u64,
+    /// NAKs sent by retry receivers.
+    pub retry_naks: u64,
+    /// Retry transmitter timeouts (lost-ack recovery).
+    pub retry_timeouts: u64,
+    /// Hetero-PHY links that kept serving through a PHY hard failure.
+    pub failovers: u64,
+    /// Scripted hard faults applied (PHY-down, link-down, lane degrade).
+    pub faults_applied: u64,
 }
 
 impl Probe for Collector {
+    fn on_link_event(&mut self, _now: Cycle, _link: u32, ev: LinkEvent) {
+        match ev {
+            LinkEvent::Corrupt => self.corrupted_flits += 1,
+            LinkEvent::Retransmit => self.retransmitted_flits += 1,
+            LinkEvent::RetryNak => self.retry_naks += 1,
+            LinkEvent::RetryTimeout => self.retry_timeouts += 1,
+            LinkEvent::Failover => self.failovers += 1,
+            LinkEvent::PhyDown | LinkEvent::LinkDown | LinkEvent::Degrade => {
+                self.faults_applied += 1
+            }
+            LinkEvent::PhyUp | LinkEvent::LinkUp => {}
+        }
+    }
+
     fn on_packet_delivered(&mut self, ev: &DeliveryEvent) {
         self.delivered_packets += 1;
         self.delivered_flits += ev.len as u64;
@@ -104,6 +132,10 @@ pub struct Network {
     outport_links: Vec<Vec<LinkId>>,
     /// node → ordered incoming links (in port k+1 = element k).
     inport_links: Vec<Vec<LinkId>>,
+    /// Scheduled fault events, applied as simulated time passes them.
+    script: FaultScript,
+    /// Next unapplied script event.
+    script_pos: usize,
     engine: Engine,
 }
 
@@ -144,6 +176,11 @@ impl Network {
         let mut link_in_port = vec![0u16; topo.links().len()];
         let mut outport_links: Vec<Vec<LinkId>> = vec![Vec::new(); n];
         let mut inport_links: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        // Fault machinery: one RNG stream per hetero-PHY injector, one
+        // per-link corruption probability for retry-guarded links. Both
+        // stay inert (no RNG ever drawn) while every probability is zero.
+        let mut inj_rng = SimRng::seed(config.seed ^ 0xB17_E4404);
+        let mut link_ps = vec![0.0f64; topo.links().len()];
 
         // Port 0 on every router: injection (in) / ejection (out).
         for r in routers.iter_mut() {
@@ -186,12 +223,32 @@ impl Network {
             debug_assert_eq!(out_port as usize, outport_links[link.src.index()].len());
             // The medium. Plain latencies get +1 for the transmission
             // stage; the hetero adapter's dispatch cycle plays that role
-            // for hetero-PHY links.
+            // for hetero-PHY links. With the fault model armed, interface
+            // links get the CRC/replay retry layer (error-free it is
+            // cycle-for-cycle identical to the plain pipeline) and
+            // hetero-PHY links a BER injector; on-chip wires never fault.
             let medium = match link.class {
                 LinkClass::HeteroPhy => {
                     let mut l = HeteroPhyLink::new(phy, config.phy_policy, config.adapter_fifo);
                     l.set_bypass_enabled(config.adapter_bypass);
+                    if config.fault.armed() {
+                        l.set_fault_injection(
+                            inj_rng.fork(link.id.index() as u64),
+                            config.fault.p_flit_parallel(),
+                            config.fault.p_flit_serial(),
+                        );
+                    }
                     Medium::Hetero(Box::new(l))
+                }
+                class if config.fault.armed() && class.is_interface() => {
+                    link_ps[link.id.index()] = match class {
+                        LinkClass::Parallel => config.fault.p_flit_parallel(),
+                        _ => config.fault.p_flit_serial(),
+                    };
+                    Medium::Guarded {
+                        line: RetryLine::new(lat + 1, bw, config.fault.retry_timeout),
+                        class,
+                    }
                 }
                 class => Medium::Plain {
                     line: DelayLine::new(lat + 1, bw),
@@ -207,6 +264,7 @@ impl Network {
             credit_lines.push(CreditLine::new(credit_lat.max(1)));
         }
 
+        let faults = FaultCore::new(&link_ps, config.seed);
         Self {
             routing,
             config,
@@ -215,7 +273,9 @@ impl Network {
             link_in_port,
             outport_links,
             inport_links,
-            engine: Engine::new(routers, media, credit_lines, n),
+            script: FaultScript::default(),
+            script_pos: 0,
+            engine: Engine::new(routers, media, credit_lines, faults, n),
             topo,
         }
     }
@@ -233,6 +293,26 @@ impl Network {
     /// Replaces the energy model (default: [`EnergyModel::default`]).
     pub fn set_energy_model(&mut self, m: EnergyModel) {
         self.energy_model = m;
+    }
+
+    /// Installs a fault script. Events fire as simulated time reaches
+    /// them: each is applied at the start of its cycle, before that cycle
+    /// is simulated. Replaces any previously installed script; events
+    /// already in the past fire on the next step.
+    pub fn set_fault_script(&mut self, script: FaultScript) {
+        self.script = script;
+        self.script_pos = 0;
+    }
+
+    /// Whether this run injects faults: a nonzero error rate or a fault
+    /// script. A watchdog abort under active faults is a fault stall
+    /// (traffic wedged on failed hardware), not a routing deadlock. The
+    /// retry layer alone at BER = 0 does not count — it never perturbs an
+    /// error-free run.
+    pub fn faults_active(&self) -> bool {
+        self.config.fault.ber_serial > 0.0
+            || self.config.fault.ber_parallel > 0.0
+            || !self.script.is_empty()
     }
 
     /// The current cycle.
@@ -293,6 +373,13 @@ impl Network {
     /// Probes are passive: attaching any combination of them leaves the
     /// simulated behavior bit-identical.
     pub fn step_probed(&mut self, probes: &mut [&mut dyn Probe]) {
+        while self.script_pos < self.script.events().len()
+            && self.script.events()[self.script_pos].at <= self.engine.now()
+        {
+            let tf = self.script.events()[self.script_pos];
+            self.script_pos += 1;
+            self.apply_fault(tf, probes);
+        }
         let ctx = EngineCtx {
             topo: &self.topo,
             routing: self.routing.as_ref(),
@@ -305,6 +392,136 @@ impl Network {
         };
         self.engine.step(&ctx, probes);
     }
+
+    /// Resolves one scripted fault's target to concrete links and applies
+    /// it: hetero-PHY adapters fail over / restore / burst in place; plain
+    /// and retry-guarded links are blocked, unblocked, burst or
+    /// lane-capped; hard failures additionally filter the routing tables
+    /// where the topology allows (the mesh escape network must survive).
+    fn apply_fault(&mut self, tf: TimedFault, probes: &mut [&mut dyn Probe]) {
+        let hard = matches!(
+            tf.event,
+            FaultEvent::PhyDown(_)
+                | FaultEvent::PhyUp(_)
+                | FaultEvent::LinkDown
+                | FaultEvent::LinkUp
+        );
+        let mut links: Vec<LinkId> = self
+            .topo
+            .links()
+            .iter()
+            .filter(|l| match tf.target {
+                FaultTarget::All => l.class.is_interface(),
+                FaultTarget::Link(id) => l.id.0 == id,
+                FaultTarget::Class(c) => l.class == c,
+            })
+            .map(|l| l.id)
+            .collect();
+        if hard {
+            // Hard failures are physical and bidirectional: take each
+            // targeted link's reverse pair along.
+            let mut both = links.clone();
+            for &id in &links {
+                if let Some(rev) = self.topo.reverse_of(id) {
+                    if !both.contains(&rev) {
+                        both.push(rev);
+                    }
+                }
+            }
+            both.sort_by_key(|l| l.0);
+            links = both;
+        }
+        let now = self.engine.now();
+        let mut emitted: Vec<(u32, LinkEvent)> = Vec::new();
+        {
+            let (media, faults, _) = self.engine.fault_parts();
+            for &id in &links {
+                let li = id.index();
+                match tf.event {
+                    FaultEvent::PhyDown(kind) => match &mut media[li] {
+                        Medium::Hetero(h) => {
+                            h.fail_phy(kind);
+                            emitted.push((li as u32, LinkEvent::PhyDown));
+                            let other = match kind {
+                                PhyKind::Parallel => PhyKind::Serial,
+                                PhyKind::Serial => PhyKind::Parallel,
+                            };
+                            if !h.phy_down(other) {
+                                // The surviving PHY keeps the link alive.
+                                emitted.push((li as u32, LinkEvent::Failover));
+                            }
+                        }
+                        Medium::Plain { class, .. } | Medium::Guarded { class, .. }
+                            if class_matches(*class, kind) =>
+                        {
+                            faults.set_blocked(li, true);
+                            self.topo.set_pair_down(id, true);
+                            emitted.push((li as u32, LinkEvent::PhyDown));
+                        }
+                        _ => {}
+                    },
+                    FaultEvent::PhyUp(kind) => match &mut media[li] {
+                        Medium::Hetero(h) => {
+                            h.restore_phy(kind);
+                            emitted.push((li as u32, LinkEvent::PhyUp));
+                        }
+                        Medium::Plain { class, .. } | Medium::Guarded { class, .. }
+                            if class_matches(*class, kind) =>
+                        {
+                            faults.set_blocked(li, false);
+                            self.topo.set_pair_down(id, false);
+                            emitted.push((li as u32, LinkEvent::PhyUp));
+                        }
+                        _ => {}
+                    },
+                    FaultEvent::LinkDown => {
+                        faults.set_blocked(li, true);
+                        self.topo.set_pair_down(id, true);
+                        emitted.push((li as u32, LinkEvent::LinkDown));
+                    }
+                    FaultEvent::LinkUp => {
+                        faults.set_blocked(li, false);
+                        self.topo.set_pair_down(id, false);
+                        emitted.push((li as u32, LinkEvent::LinkUp));
+                    }
+                    FaultEvent::Burst { mult, duration } => {
+                        let until = now + duration;
+                        match &mut media[li] {
+                            Medium::Hetero(h) => h.set_burst(mult, until),
+                            _ => faults.set_burst(li, mult, until),
+                        }
+                    }
+                    FaultEvent::Degrade { lanes } => {
+                        faults.set_lane_cap(li, Some(lanes));
+                        emitted.push((li as u32, LinkEvent::Degrade));
+                    }
+                }
+            }
+        }
+        {
+            let (_, _, collector) = self.engine.fault_parts();
+            for &(li, ev) in &emitted {
+                collector.on_link_event(now, li, ev);
+            }
+        }
+        for p in probes.iter_mut() {
+            for &(li, ev) in &emitted {
+                p.on_link_event(now, li, ev);
+            }
+        }
+        for &id in &links {
+            self.engine.wake_medium(id.index());
+        }
+    }
+}
+
+/// Whether a homogeneous link of `class` is carried by PHY family `kind`
+/// (and therefore dies with it).
+fn class_matches(class: LinkClass, kind: PhyKind) -> bool {
+    matches!(
+        (class, kind),
+        (LinkClass::Parallel, PhyKind::Parallel) | (LinkClass::Serial, PhyKind::Serial)
+    )
 }
 
 #[cfg(test)]

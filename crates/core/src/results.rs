@@ -47,6 +47,14 @@ pub struct SimResults {
     /// measurement window — a large backlog relative to `packets`
     /// indicates saturation.
     pub backlog: u64,
+    /// Flits the link layer detected as corrupted over the whole run
+    /// (zero unless fault injection is active).
+    pub corrupted_flits: u64,
+    /// Flits retransmitted by the retry layer or hetero-PHY adapters over
+    /// the whole run.
+    pub retransmitted_flits: u64,
+    /// Hetero-PHY links that kept serving through a PHY hard failure.
+    pub failovers: u64,
 }
 
 impl SimResults {
@@ -81,6 +89,9 @@ impl SimResults {
             avg_serial_pj: c.serial_pj / pkts,
             locked_fraction: c.locked_packets as f64 / pkts,
             backlog,
+            corrupted_flits: c.corrupted_flits,
+            retransmitted_flits: c.retransmitted_flits,
+            failovers: c.failovers,
         }
     }
 

@@ -75,12 +75,19 @@ pub struct RunOutcome {
     pub results: SimResults,
     /// Whether every packet was delivered by the end of the drain phase.
     pub drained: bool,
-    /// Whether the inactivity watchdog aborted the run: live packets made
-    /// no progress for [`RunSpec::watchdog`] consecutive cycles. The
-    /// routing algorithms in this workspace are deadlock-free, so a set
-    /// flag indicates a configuration or simulator bug; results cover
-    /// only the cycles before the abort.
+    /// Whether the inactivity watchdog aborted a fault-free run: live
+    /// packets made no progress for [`RunSpec::watchdog`] consecutive
+    /// cycles with no fault injection active. The routing algorithms in
+    /// this workspace are deadlock-free, so a set flag indicates a
+    /// configuration or simulator bug; results cover only the cycles
+    /// before the abort.
     pub deadlocked: bool,
+    /// Whether the watchdog aborted a run with active fault injection
+    /// (nonzero BER or a fault script): traffic wedged on failed hardware
+    /// — e.g. a homogeneous system that lost its only PHY family — rather
+    /// than a routing bug. Mutually exclusive with
+    /// [`RunOutcome::deadlocked`].
+    pub fault_stalled: bool,
 }
 
 /// Runs `workload` on `net` according to `spec`.
@@ -110,6 +117,7 @@ pub fn run_probed(
 ) -> RunOutcome {
     let mut buf = Vec::new();
     let mut deadlocked = false;
+    let mut fault_stalled = false;
 
     macro_rules! phase_change {
         ($phase:expr) => {
@@ -140,9 +148,15 @@ pub fn run_probed(
                 }
             }
             if watchdog_fired(net, spec.watchdog) {
-                deadlocked = true;
+                // Stalling on failed hardware is expected degradation;
+                // stalling on healthy hardware is a routing deadlock.
+                if net.faults_active() {
+                    fault_stalled = true;
+                } else {
+                    deadlocked = true;
+                }
             }
-            !deadlocked
+            !(deadlocked || fault_stalled)
         }};
     }
 
@@ -155,7 +169,7 @@ pub fn run_probed(
     net.start_measurement();
     phase_change!(Phase::Measure);
     let measure_start = net.now();
-    if !deadlocked {
+    if !(deadlocked || fault_stalled) {
         for _ in 0..spec.measure {
             if !cycle!(true) {
                 break;
@@ -168,7 +182,7 @@ pub fn run_probed(
     let backlog = net.live_packets() as u64;
     let mut drained = net.live_packets() == 0;
     phase_change!(Phase::Drain);
-    if !deadlocked {
+    if !(deadlocked || fault_stalled) {
         for _ in 0..spec.drain {
             if net.live_packets() == 0 && (!spec.drain_offers || workload.done()) {
                 drained = true;
@@ -181,7 +195,7 @@ pub fn run_probed(
             drained = net.live_packets() == 0;
         }
     }
-    if deadlocked {
+    if deadlocked || fault_stalled {
         drained = false;
     }
     let results = SimResults::from_collector(
@@ -194,6 +208,7 @@ pub fn run_probed(
         results,
         drained,
         deadlocked,
+        fault_stalled,
     }
 }
 

@@ -1,0 +1,43 @@
+//! Bit-error-rate arithmetic.
+
+/// The probability that a flit of `bits` independent bits crosses a wire
+/// with bit error rate `ber` and arrives corrupted:
+/// `1 − (1 − ber)^bits`.
+///
+/// Clamped to `[0, 1]`; exactly `0.0` when `ber <= 0`, so an unarmed
+/// injector draws nothing from its RNG (bit-identity at BER = 0).
+pub fn flit_error_probability(ber: f64, bits: u32) -> f64 {
+    if ber <= 0.0 || bits == 0 {
+        return 0.0;
+    }
+    if ber >= 1.0 {
+        return 1.0;
+    }
+    1.0 - (1.0 - ber).powi(bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_rates() {
+        assert_eq!(flit_error_probability(0.0, 128), 0.0);
+        assert_eq!(flit_error_probability(-1.0, 128), 0.0);
+        assert_eq!(flit_error_probability(1.0, 128), 1.0);
+        assert_eq!(flit_error_probability(0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn small_rates_approximate_ber_times_bits() {
+        let p = flit_error_probability(1e-9, 128);
+        let approx = 1e-9 * 128.0;
+        assert!((p - approx).abs() / approx < 1e-3);
+    }
+
+    #[test]
+    fn monotone_in_both_arguments() {
+        assert!(flit_error_probability(1e-6, 128) > flit_error_probability(1e-7, 128));
+        assert!(flit_error_probability(1e-6, 256) > flit_error_probability(1e-6, 128));
+    }
+}

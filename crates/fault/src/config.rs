@@ -1,0 +1,116 @@
+//! The per-run fault-model configuration block.
+
+use crate::ber::flit_error_probability;
+use chiplet_phy::PhyFamily;
+
+/// Fault-model knobs carried inside the simulation config.
+///
+/// Everything defaults to *off*: zero error rates and no retry layer, in
+/// which case the network is built exactly as it would be without this
+/// subsystem (construction and results are bit-identical).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Raw bit error rate of serial-class wires (SerDes lanes, and the
+    /// serial PHY of hetero-PHY links).
+    pub ber_serial: f64,
+    /// Raw bit error rate of parallel-class wires (AIB-style lanes, and
+    /// the parallel PHY of hetero-PHY links).
+    pub ber_parallel: f64,
+    /// Flit size in bits, converting BER to a per-flit error probability.
+    pub flit_bits: u32,
+    /// Arms the CRC/replay retry link layer on interface links even at
+    /// BER = 0 (to measure the protocol's overhead in isolation). Any
+    /// nonzero BER arms it implicitly — corrupted flits must be
+    /// recoverable.
+    pub retry: bool,
+    /// Retry timeout in cycles without transmitter progress (0 = derive
+    /// from each link's round-trip time).
+    pub retry_timeout: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            ber_serial: 0.0,
+            ber_parallel: 0.0,
+            flit_bits: 128,
+            retry: false,
+            retry_timeout: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Table-1 realistic rates: each family's nominal raw BER
+    /// ([`PhyFamily::ber`]), retry armed.
+    pub fn table1() -> Self {
+        Self {
+            ber_serial: PhyFamily::Serial.ber(),
+            ber_parallel: PhyFamily::Parallel.ber(),
+            retry: true,
+            ..Self::default()
+        }
+    }
+
+    /// A swept operating point: serial wires run at `ber`, parallel wires
+    /// at the Table-1 family ratio below it (parallel links are cleaner by
+    /// construction — short unterminated CMOS wires vs. long terminated
+    /// differential pairs), retry armed.
+    pub fn with_ber(ber: f64) -> Self {
+        let ratio = PhyFamily::Parallel.ber() / PhyFamily::Serial.ber();
+        Self {
+            ber_serial: ber,
+            ber_parallel: ber * ratio,
+            retry: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any part of the fault machinery must be built into the
+    /// network (retry media, injectors).
+    pub fn armed(&self) -> bool {
+        self.retry || self.ber_serial > 0.0 || self.ber_parallel > 0.0
+    }
+
+    /// Per-flit error probability on serial-class wires.
+    pub fn p_flit_serial(&self) -> f64 {
+        flit_error_probability(self.ber_serial, self.flit_bits)
+    }
+
+    /// Per-flit error probability on parallel-class wires.
+    pub fn p_flit_parallel(&self) -> f64 {
+        flit_error_probability(self.ber_parallel, self.flit_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unarmed_and_probability_free() {
+        let c = FaultConfig::default();
+        assert!(!c.armed());
+        assert_eq!(c.p_flit_serial(), 0.0);
+        assert_eq!(c.p_flit_parallel(), 0.0);
+    }
+
+    #[test]
+    fn any_knob_arms() {
+        assert!(FaultConfig::table1().armed());
+        assert!(FaultConfig::with_ber(1e-7).armed());
+        let retry_only = FaultConfig {
+            retry: true,
+            ..FaultConfig::default()
+        };
+        assert!(retry_only.armed());
+        assert_eq!(retry_only.p_flit_serial(), 0.0);
+    }
+
+    #[test]
+    fn serial_dominates_parallel_at_every_operating_point() {
+        for c in [FaultConfig::table1(), FaultConfig::with_ber(1e-5)] {
+            assert!(c.p_flit_serial() > c.p_flit_parallel());
+        }
+    }
+}

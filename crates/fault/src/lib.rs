@@ -1,0 +1,33 @@
+//! Link-integrity subsystem: fault configuration and scripted fault events.
+//!
+//! The paper's Table 1 shows serial and parallel die-to-die interfaces at
+//! opposite ends of the reliability/latency trade-off — SerDes links need
+//! FEC to be usable while AIB-style parallel PHYs are essentially clean —
+//! and the hetero-IF premise is that exposing *both* lets a system degrade
+//! gracefully instead of losing a link. This crate holds the pieces that
+//! make that story testable:
+//!
+//! * [`config::FaultConfig`] — the per-run knob block: per-family bit error
+//!   rates (defaults from [`chiplet_phy::PhyFamily::ber`]), the flit size
+//!   converting BER to per-flit error probability, and the retry link
+//!   layer arm/timeout;
+//! * [`ber`] — BER arithmetic ([`ber::flit_error_probability`]);
+//! * [`script`] — scripted fault *events* ([`script::FaultScript`]):
+//!   transient error bursts, lane degrades and hard PHY/link failures,
+//!   timed in cycles and aimed at a link, a link class, or everything.
+//!
+//! The injection and recovery machinery itself lives where the cycles are
+//! spent: CRC/replay in `chiplet_noc::retry`, PHY corruption and failover
+//! in `chiplet_phy::adapter`, routing-table filtering in `chiplet_topo`,
+//! and the wiring in `hetero-if`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ber;
+pub mod config;
+pub mod script;
+
+pub use ber::flit_error_probability;
+pub use config::FaultConfig;
+pub use script::{FaultEvent, FaultScript, FaultTarget, TimedFault};

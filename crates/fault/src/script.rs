@@ -1,0 +1,262 @@
+//! Scripted fault events: what fails, when, and how badly.
+//!
+//! A [`FaultScript`] is an ordered list of [`TimedFault`]s applied by the
+//! network while it runs. The text form is one event per line:
+//!
+//! ```text
+//! # cycle  event      args            target (default: all)
+//! 500      phy-down   parallel
+//! 800      burst      50 200          class:serial
+//! 1200     degrade    1               link:42
+//! 2000     phy-up     parallel
+//! 3000     link-down                  link:17
+//! ```
+
+use chiplet_phy::PhyKind;
+use chiplet_topo::LinkClass;
+use simkit::Cycle;
+
+/// What happens when a fault event fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Hard failure of one PHY family. On hetero-PHY links the named PHY
+    /// dies and dispatch shifts to the survivor; plain links of the
+    /// matching class lose service entirely (their class *is* that PHY).
+    PhyDown(PhyKind),
+    /// Restores a previously failed PHY.
+    PhyUp(PhyKind),
+    /// Hard failure of whole links: removed from the routing tables (where
+    /// the topology allows — the mesh escape must survive) and blocked.
+    LinkDown,
+    /// Restores previously downed links.
+    LinkUp,
+    /// Transient error burst: injected error probabilities are multiplied
+    /// by `mult` for `duration` cycles.
+    Burst {
+        /// Error-probability multiplier while the burst is open.
+        mult: f64,
+        /// Burst length in cycles.
+        duration: Cycle,
+    },
+    /// Lane degrade: link bandwidth drops to `lanes` flits/cycle.
+    Degrade {
+        /// Surviving lane count (must stay ≥ 1; use [`FaultEvent::LinkDown`]
+        /// for total loss).
+        lanes: u8,
+    },
+}
+
+/// Which links a fault event hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every interface link (on-chip wires never fault).
+    All,
+    /// One directed link by id (its reverse pair is taken along for hard
+    /// failures, which are physical and bidirectional).
+    Link(u32),
+    /// Every link of one class.
+    Class(LinkClass),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedFault {
+    /// Cycle the event fires (applied before that cycle is simulated).
+    pub at: Cycle,
+    /// Which links it hits.
+    pub target: FaultTarget,
+    /// What happens.
+    pub event: FaultEvent,
+}
+
+/// A time-sorted fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultScript {
+    events: Vec<TimedFault>,
+}
+
+impl FaultScript {
+    /// Builds a script from `events`, sorting them by firing time (stable,
+    /// so same-cycle events keep their listed order).
+    pub fn new(mut events: Vec<TimedFault>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events }
+    }
+
+    /// The events, in firing order.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    /// Whether the script has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The headline failover scenario: at cycle `at`, every link hard-loses
+    /// its `kind` PHY. Hetero-PHY links shift onto the survivor; a
+    /// homogeneous system of that class loses service.
+    pub fn single_phy_failure(at: Cycle, kind: PhyKind) -> Self {
+        Self::new(vec![TimedFault {
+            at,
+            target: FaultTarget::All,
+            event: FaultEvent::PhyDown(kind),
+        }])
+    }
+
+    /// Parses the text form (see the module docs): one
+    /// `<cycle> <event> [args] [target]` per line, `#` comments, blank
+    /// lines ignored.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("fault script line {}: {msg}: {raw:?}", lineno + 1);
+            let mut words = line.split_whitespace();
+            let at: Cycle = words
+                .next()
+                .ok_or_else(|| err("missing cycle"))?
+                .parse()
+                .map_err(|_| err("bad cycle"))?;
+            let verb = words.next().ok_or_else(|| err("missing event"))?;
+            let mut rest: Vec<&str> = words.collect();
+            let target = match rest.last().and_then(|w| parse_target(w)) {
+                Some(t) => {
+                    rest.pop();
+                    t
+                }
+                None => FaultTarget::All,
+            };
+            let event = match verb {
+                "phy-down" | "phy-up" => {
+                    let kind = match rest.as_slice() {
+                        ["parallel"] => PhyKind::Parallel,
+                        ["serial"] => PhyKind::Serial,
+                        _ => return Err(err("expected `parallel` or `serial`")),
+                    };
+                    if verb == "phy-down" {
+                        FaultEvent::PhyDown(kind)
+                    } else {
+                        FaultEvent::PhyUp(kind)
+                    }
+                }
+                "link-down" | "link-up" => {
+                    if !rest.is_empty() {
+                        return Err(err("unexpected arguments"));
+                    }
+                    if verb == "link-down" {
+                        FaultEvent::LinkDown
+                    } else {
+                        FaultEvent::LinkUp
+                    }
+                }
+                "burst" => match rest.as_slice() {
+                    [mult, duration] => FaultEvent::Burst {
+                        mult: mult.parse().map_err(|_| err("bad burst multiplier"))?,
+                        duration: duration.parse().map_err(|_| err("bad burst duration"))?,
+                    },
+                    _ => return Err(err("expected `burst <mult> <duration>`")),
+                },
+                "degrade" => match rest.as_slice() {
+                    [lanes] => {
+                        let lanes: u8 = lanes.parse().map_err(|_| err("bad lane count"))?;
+                        if lanes == 0 {
+                            return Err(err("degrade to 0 lanes; use link-down"));
+                        }
+                        FaultEvent::Degrade { lanes }
+                    }
+                    _ => return Err(err("expected `degrade <lanes>`")),
+                },
+                _ => return Err(err("unknown event")),
+            };
+            events.push(TimedFault { at, target, event });
+        }
+        Ok(Self::new(events))
+    }
+}
+
+fn parse_target(word: &str) -> Option<FaultTarget> {
+    if word == "all" {
+        return Some(FaultTarget::All);
+    }
+    if let Some(id) = word.strip_prefix("link:") {
+        return id.parse().ok().map(FaultTarget::Link);
+    }
+    if let Some(class) = word.strip_prefix("class:") {
+        let class = match class {
+            "onchip" => LinkClass::OnChip,
+            "parallel" => LinkClass::Parallel,
+            "serial" => LinkClass::Serial,
+            "hetero" => LinkClass::HeteroPhy,
+            _ => return None,
+        };
+        return Some(FaultTarget::Class(class));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_module_example() {
+        let text = "\
+# cycle  event      args            target (default: all)
+500      phy-down   parallel
+800      burst      50 200          class:serial
+1200     degrade    1               link:42
+2000     phy-up     parallel
+3000     link-down                  link:17
+";
+        let s = FaultScript::parse(text).expect("parses");
+        assert_eq!(s.events().len(), 5);
+        assert_eq!(
+            s.events()[0],
+            TimedFault {
+                at: 500,
+                target: FaultTarget::All,
+                event: FaultEvent::PhyDown(PhyKind::Parallel),
+            }
+        );
+        assert_eq!(
+            s.events()[1].event,
+            FaultEvent::Burst {
+                mult: 50.0,
+                duration: 200
+            }
+        );
+        assert_eq!(s.events()[1].target, FaultTarget::Class(LinkClass::Serial));
+        assert_eq!(s.events()[2].target, FaultTarget::Link(42));
+        assert_eq!(s.events()[4].event, FaultEvent::LinkDown);
+    }
+
+    #[test]
+    fn events_are_sorted_stably_by_time() {
+        let s = FaultScript::parse("90 phy-up serial\n10 phy-down serial\n").unwrap();
+        assert_eq!(s.events()[0].at, 10);
+        assert_eq!(s.events()[1].at, 90);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(FaultScript::parse("x phy-down serial").is_err());
+        assert!(FaultScript::parse("10 warp serial").is_err());
+        assert!(FaultScript::parse("10 phy-down sideways").is_err());
+        assert!(FaultScript::parse("10 degrade 0").is_err());
+        assert!(FaultScript::parse("10 burst 5").is_err());
+        let err = FaultScript::parse("ok\n10 degrade 0").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn single_phy_failure_helper() {
+        let s = FaultScript::single_phy_failure(700, PhyKind::Parallel);
+        assert_eq!(s.events().len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.events()[0].event, FaultEvent::PhyDown(PhyKind::Parallel));
+    }
+}

@@ -8,6 +8,9 @@
 //!   ("multiple virtual pipeline registers": latency → pipeline stages,
 //!   bandwidth → lanes) and the matching [`channel::CreditLine`] for
 //!   credit-based flow control with realistic feedback lag;
+//! * [`retry`] — a CRC-protected go-back-N retry layer
+//!   ([`retry::RetryLine`]) wrapping the same channel geometry, so
+//!   link-integrity recovery consumes real bandwidth and latency;
 //! * [`router`] — the canonical virtual-channel router with the classic
 //!   four-stage pipeline (routing computation → VC allocation → switch
 //!   allocation → transmission) and the paper's §4.1 extension: interface
@@ -27,9 +30,11 @@
 pub mod channel;
 pub mod flit;
 pub mod packet;
+pub mod retry;
 pub mod router;
 
 pub use channel::{CreditLine, DelayLine};
 pub use flit::{Flit, OrderClass, Priority};
 pub use packet::{PacketId, PacketInfo, PacketStore};
+pub use retry::RetryLine;
 pub use router::{PortCandidate, Router, RouterEnv};

@@ -1,0 +1,518 @@
+//! A CRC-protected go-back-N retry link layer.
+//!
+//! [`RetryLine`] wraps the behavioral channel model of [`DelayLine`]
+//! (latency → pipeline stages, bandwidth → lanes) with the link-integrity
+//! machinery real die-to-die interfaces ship (UCIe-class CRC + replay):
+//!
+//! * every flit is framed with a link sequence number (`lseq`) and a
+//!   CRC-16/CCITT over its identity, and a copy is retained in a replay
+//!   buffer until cumulatively acknowledged;
+//! * the receiver checks the CRC and the sequence number: corrupted or
+//!   out-of-sequence frames are dropped and a NAK carrying the expected
+//!   `lseq` is returned (rate-limited by a cooldown so one error burst
+//!   produces one replay, not a NAK storm);
+//! * a NAK — or a retry timeout, should the NAK itself be lost to the
+//!   cooldown — rewinds the transmitter to the oldest unacknowledged flit
+//!   and replays from there (go-back-N), with every retransmission
+//!   consuming real lanes, so recovery costs real bandwidth and latency;
+//! * acknowledgements travel on a clean sideband with the same latency
+//!   (control symbols are heavily protected in real link layers, so the
+//!   model corrupts forward data frames only).
+//!
+//! With an error-free wire (`corrupt` always false) the line is
+//! cycle-for-cycle identical to a [`DelayLine`] of the same geometry: the
+//! replay buffer is sized so that steady-state acknowledgements always pop
+//! entries before the buffer can bind, and no NAK or timeout ever fires.
+
+use crate::flit::Flit;
+use simkit::probe::LinkEvent;
+use simkit::Cycle;
+use std::collections::VecDeque;
+
+/// Computes the CRC-16/CCITT-FALSE checksum of `bytes` (poly `0x1021`,
+/// init `0xFFFF`), the classic link-layer frame check.
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in bytes {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// The frame check over one link frame: flit identity plus link sequence.
+fn frame_crc(flit: &Flit, lseq: u64) -> u16 {
+    let mut bytes = [0u8; 16];
+    bytes[..4].copy_from_slice(&flit.pid.0.to_le_bytes());
+    bytes[4..6].copy_from_slice(&flit.seq.to_le_bytes());
+    bytes[6] = flit.vc;
+    bytes[7] = flit.last as u8;
+    bytes[8..].copy_from_slice(&lseq.to_le_bytes());
+    crc16(&bytes)
+}
+
+/// One framed flit on the wire.
+#[derive(Debug, Clone, Copy)]
+struct LinkFlit {
+    flit: Flit,
+    lseq: u64,
+    crc: u16,
+}
+
+/// One acknowledgement symbol on the return sideband.
+#[derive(Debug, Clone, Copy)]
+enum AckMsg {
+    /// Cumulative: every frame with `lseq < upto` arrived intact.
+    Ack(u64),
+    /// Go-back-N request: replay from `from`.
+    Nak(u64),
+}
+
+/// A fixed-latency, bandwidth-limited flit pipeline with CRC detection and
+/// go-back-N replay.
+///
+/// The interface mirrors [`DelayLine`] — [`Self::capacity`],
+/// [`Self::try_send`], per-cycle advancement, delivery draining — with two
+/// differences: `try_send` takes the wire's corruption verdict for this
+/// transmission, and the per-cycle [`Self::advance`] needs a corruption
+/// oracle (for retransmissions) and an event sink.
+///
+/// # Examples
+///
+/// ```
+/// use chiplet_noc::retry::RetryLine;
+/// use chiplet_noc::flit::Flit;
+/// use chiplet_noc::packet::PacketId;
+///
+/// let mut line = RetryLine::new(5, 2, 64);
+/// let f = Flit { pid: PacketId(0), seq: 0, vc: 0, last: true };
+/// assert!(line.try_send(10, f, false));
+/// line.advance(15, &mut || false, &mut |_| {});
+/// let mut got = Vec::new();
+/// line.drain_delivered(|f| got.push(f));
+/// assert_eq!(got, vec![f]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetryLine {
+    latency: u32,
+    bandwidth: u8,
+    retry_timeout: Cycle,
+    nak_cooldown: Cycle,
+    // Transmitter.
+    next_lseq: u64,
+    replay: VecDeque<(u64, Flit)>,
+    replay_cap: usize,
+    rewind: Option<u64>,
+    last_progress: Cycle,
+    sent_cycle: Cycle,
+    sent_count: u8,
+    // Wire.
+    fwd: VecDeque<(Cycle, LinkFlit)>,
+    acks: VecDeque<(Cycle, AckMsg)>,
+    // Receiver.
+    rx_expected: u64,
+    nak_cooldown_until: Cycle,
+    delivered: VecDeque<Flit>,
+    // Counters.
+    retransmits: u64,
+    corrupt_seen: u64,
+}
+
+impl RetryLine {
+    /// Creates a retry line with `latency` cycles of delay, `bandwidth`
+    /// lanes and a replay timeout of `retry_timeout` cycles without
+    /// transmitter progress (clamped up to one ack round-trip plus slack,
+    /// below which it would fire spuriously on an error-free wire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0` or `bandwidth == 0`.
+    pub fn new(latency: u32, bandwidth: u8, retry_timeout: Cycle) -> Self {
+        assert!(latency > 0, "a channel has at least one cycle of latency");
+        assert!(bandwidth > 0, "a channel has at least one lane");
+        let rtt = 2 * latency as Cycle;
+        Self {
+            latency,
+            bandwidth,
+            retry_timeout: retry_timeout.max(rtt + 2),
+            nak_cooldown: rtt + 2,
+            next_lseq: 0,
+            replay: VecDeque::new(),
+            // A frame sent at `t` is cumulatively acked (and popped from
+            // replay) at `t + 2·latency`, before that cycle's new sends, so
+            // steady-state occupancy never exceeds `bandwidth · 2·latency`;
+            // the slack keeps the bound from ever throttling an error-free
+            // wire.
+            replay_cap: bandwidth as usize * (2 * latency as usize + 4),
+            rewind: None,
+            last_progress: 0,
+            sent_cycle: Cycle::MAX,
+            sent_count: 0,
+            fwd: VecDeque::new(),
+            acks: VecDeque::new(),
+            rx_expected: 0,
+            nak_cooldown_until: 0,
+            delivered: VecDeque::new(),
+            retransmits: 0,
+            corrupt_seen: 0,
+        }
+    }
+
+    /// The configured latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// The configured bandwidth in flits/cycle.
+    pub fn bandwidth(&self) -> u8 {
+        self.bandwidth
+    }
+
+    /// Total retransmitted frames so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Total corrupted frames detected by the receiver so far.
+    pub fn corrupt_seen(&self) -> u64 {
+        self.corrupt_seen
+    }
+
+    fn lanes_free(&self, now: Cycle) -> u8 {
+        if self.sent_cycle == now {
+            self.bandwidth - self.sent_count
+        } else {
+            self.bandwidth
+        }
+    }
+
+    fn take_lane(&mut self, now: Cycle) {
+        if self.sent_cycle != now {
+            self.sent_cycle = now;
+            self.sent_count = 0;
+        }
+        self.sent_count += 1;
+    }
+
+    /// How many more new flits can enter at cycle `now`.
+    ///
+    /// Zero while a replay is in progress: go-back-N dedicates the wire to
+    /// retransmissions so frames reach the receiver in `lseq` order.
+    pub fn capacity(&self, now: Cycle) -> u8 {
+        if self.rewind.is_some() {
+            return 0;
+        }
+        let replay_space = (self.replay_cap - self.replay.len()).min(u8::MAX as usize) as u8;
+        self.lanes_free(now).min(replay_space)
+    }
+
+    /// Enqueues `flit` at cycle `now` if a lane and replay space are free;
+    /// `corrupt` is the wire's verdict for this transmission (the frame
+    /// arrives with a broken CRC when true). Returns whether it was
+    /// accepted.
+    pub fn try_send(&mut self, now: Cycle, flit: Flit, corrupt: bool) -> bool {
+        if self.capacity(now) == 0 {
+            return false;
+        }
+        self.take_lane(now);
+        let lseq = self.next_lseq;
+        self.next_lseq += 1;
+        self.replay.push_back((lseq, flit));
+        self.last_progress = now;
+        let crc = frame_crc(&flit, lseq) ^ if corrupt { 0xFFFF } else { 0 };
+        self.fwd
+            .push_back((now + self.latency as Cycle, LinkFlit { flit, lseq, crc }));
+        true
+    }
+
+    fn send_nak(&mut self, now: Cycle, events: &mut dyn FnMut(LinkEvent)) {
+        if now >= self.nak_cooldown_until {
+            self.nak_cooldown_until = now + self.nak_cooldown;
+            self.acks
+                .push_back((now + self.latency as Cycle, AckMsg::Nak(self.rx_expected)));
+            events(LinkEvent::RetryNak);
+        }
+    }
+
+    /// Advances the line to cycle `now`: processes arrived acknowledgement
+    /// symbols, fires the retry timeout, retransmits while rewinding, and
+    /// receives arrived frames (CRC + sequence check) into the delivery
+    /// queue. `corrupt` is drawn once per retransmitted frame; `events`
+    /// observes link-integrity events.
+    ///
+    /// Call once per cycle, then [`Self::drain_delivered`].
+    pub fn advance(
+        &mut self,
+        now: Cycle,
+        corrupt: &mut dyn FnMut() -> bool,
+        events: &mut dyn FnMut(LinkEvent),
+    ) {
+        // 1. Acknowledgement sideband.
+        while let Some(&(at, msg)) = self.acks.front() {
+            if at > now {
+                break;
+            }
+            self.acks.pop_front();
+            match msg {
+                AckMsg::Ack(upto) => {
+                    while self.replay.front().is_some_and(|&(l, _)| l < upto) {
+                        self.replay.pop_front();
+                        self.last_progress = now;
+                    }
+                    if let Some(next) = self.rewind {
+                        if next < upto {
+                            self.rewind = (upto < self.next_lseq).then_some(upto);
+                        }
+                    }
+                }
+                AckMsg::Nak(from) => {
+                    if self.rewind.is_none()
+                        && self.replay.front().is_some_and(|&(l, _)| l <= from)
+                        && from < self.next_lseq
+                    {
+                        self.rewind = Some(from);
+                        self.last_progress = now;
+                    }
+                }
+            }
+        }
+        // 2. Retry timeout: no transmitter progress for too long (a NAK
+        // lost to the cooldown window, or every ack genuinely stalled).
+        if self.rewind.is_none()
+            && !self.replay.is_empty()
+            && now.saturating_sub(self.last_progress) > self.retry_timeout
+        {
+            self.rewind = self.replay.front().map(|&(l, _)| l);
+            self.last_progress = now;
+            events(LinkEvent::RetryTimeout);
+        }
+        // 3. Replay: retransmissions compete for the same lanes as new
+        // sends (capacity() is zero while rewinding, so they get them all).
+        while let Some(next) = self.rewind {
+            if self.lanes_free(now) == 0 {
+                break;
+            }
+            let front = match self.replay.front() {
+                Some(&(l, _)) => l,
+                None => {
+                    self.rewind = None;
+                    break;
+                }
+            };
+            let idx = (next.max(front) - front) as usize;
+            match self.replay.get(idx) {
+                Some(&(lseq, flit)) => {
+                    self.take_lane(now);
+                    let crc = frame_crc(&flit, lseq) ^ if corrupt() { 0xFFFF } else { 0 };
+                    self.fwd
+                        .push_back((now + self.latency as Cycle, LinkFlit { flit, lseq, crc }));
+                    self.retransmits += 1;
+                    self.last_progress = now;
+                    events(LinkEvent::Retransmit);
+                    let after = lseq + 1;
+                    self.rewind = (after < self.next_lseq).then_some(after);
+                }
+                None => {
+                    self.rewind = None;
+                    break;
+                }
+            }
+        }
+        // 4. Receiver: CRC first, then the go-back-N sequence check.
+        while let Some(&(at, lf)) = self.fwd.front() {
+            if at > now {
+                break;
+            }
+            self.fwd.pop_front();
+            if lf.crc != frame_crc(&lf.flit, lf.lseq) {
+                self.corrupt_seen += 1;
+                events(LinkEvent::Corrupt);
+                self.send_nak(now, events);
+            } else if lf.lseq < self.rx_expected {
+                // Duplicate from a rewind that overshot: drop silently.
+            } else if lf.lseq > self.rx_expected {
+                // Gap: an earlier frame was dropped.
+                self.send_nak(now, events);
+            } else {
+                self.delivered.push_back(lf.flit);
+                self.rx_expected += 1;
+                let ack_at = now + self.latency as Cycle;
+                match self.acks.back_mut() {
+                    Some((at, AckMsg::Ack(upto))) if *at == ack_at => *upto = self.rx_expected,
+                    _ => self.acks.push_back((ack_at, AckMsg::Ack(self.rx_expected))),
+                }
+            }
+        }
+    }
+
+    /// Delivers every received-intact flit to `sink`, in link order.
+    pub fn drain_delivered(&mut self, mut sink: impl FnMut(Flit)) {
+        while let Some(flit) = self.delivered.pop_front() {
+            sink(flit);
+        }
+    }
+
+    /// Frames and symbols still owed work: in-flight, awaiting delivery,
+    /// awaiting acknowledgement. The medium is idle only at zero.
+    pub fn in_flight(&self) -> usize {
+        self.fwd.len() + self.delivered.len() + self.replay.len() + self.acks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::DelayLine;
+    use crate::packet::PacketId;
+    use simkit::SimRng;
+
+    fn flit(seq: u16) -> Flit {
+        Flit {
+            pid: PacketId(3),
+            seq,
+            vc: 0,
+            last: false,
+        }
+    }
+
+    /// Run both lines lock-step with no corruption; deliveries must match
+    /// cycle for cycle.
+    #[test]
+    fn error_free_matches_delay_line_cycle_for_cycle() {
+        let mut plain = DelayLine::new(4, 2);
+        let mut retry = RetryLine::new(4, 2, 64);
+        let mut seq = 0u16;
+        for now in 0..200u64 {
+            retry.advance(now, &mut || false, &mut |_| {});
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            plain.drain_ready(now, |f| a.push(f));
+            retry.drain_delivered(|f| b.push(f));
+            assert_eq!(a, b, "cycle {now}");
+            if now % 3 != 2 {
+                let n = plain.capacity(now).min(retry.capacity(now));
+                assert_eq!(plain.capacity(now), retry.capacity(now), "cycle {now}");
+                for _ in 0..n {
+                    assert!(plain.try_send(now, flit(seq)));
+                    assert!(retry.try_send(now, flit(seq), false));
+                    seq += 1;
+                }
+            }
+        }
+        assert_eq!(retry.retransmits(), 0);
+        assert_eq!(retry.corrupt_seen(), 0);
+    }
+
+    #[test]
+    fn single_corruption_is_replayed_in_order() {
+        let mut line = RetryLine::new(3, 1, 64);
+        // First transmission of flit 0 is corrupted on the wire.
+        assert!(line.try_send(0, flit(0), true));
+        assert!(line.try_send(1, flit(1), false));
+        let mut got = Vec::new();
+        let mut naks = 0;
+        for now in 0..40u64 {
+            line.advance(now, &mut || false, &mut |ev| {
+                if ev == LinkEvent::RetryNak {
+                    naks += 1;
+                }
+            });
+            line.drain_delivered(|f| got.push(f.seq));
+        }
+        assert_eq!(got, vec![0, 1]);
+        assert_eq!(line.corrupt_seen(), 1);
+        assert!(line.retransmits() >= 2, "go-back-N replays both frames");
+        assert_eq!(naks, 1, "cooldown limits one burst to one NAK");
+        assert_eq!(line.in_flight(), 0);
+    }
+
+    #[test]
+    fn random_corruption_delivers_exactly_once_in_order() {
+        for seed in [1u64, 7, 42] {
+            let mut rng = SimRng::seed(seed);
+            let mut line = RetryLine::new(5, 2, 64);
+            let mut sent = 0u16;
+            let mut got = Vec::new();
+            let total = 300u16;
+            let mut now = 0u64;
+            while got.len() < total as usize {
+                line.advance(now, &mut || rng.chance(0.05), &mut |_| {});
+                line.drain_delivered(|f| got.push(f.seq));
+                while sent < total && line.capacity(now) > 0 {
+                    let corrupt = rng.chance(0.05);
+                    assert!(line.try_send(now, flit(sent), corrupt));
+                    sent += 1;
+                }
+                now += 1;
+                assert!(now < 100_000, "seed {seed}: no forward progress");
+            }
+            let expect: Vec<u16> = (0..total).collect();
+            assert_eq!(got, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn timeout_recovers_when_nak_is_suppressed() {
+        let mut line = RetryLine::new(2, 1, 16);
+        // Two corrupt frames back to back: the first draws the only NAK of
+        // the cooldown window; make that NAK's replay corrupt too, so only
+        // the timeout can recover.
+        assert!(line.try_send(0, flit(0), true));
+        let mut timeouts = 0;
+        let mut got = Vec::new();
+        let mut first_retx_corrupted = false;
+        for now in 0..200u64 {
+            line.advance(
+                now,
+                &mut || {
+                    if !first_retx_corrupted {
+                        first_retx_corrupted = true;
+                        true
+                    } else {
+                        false
+                    }
+                },
+                &mut |ev| {
+                    if ev == LinkEvent::RetryTimeout {
+                        timeouts += 1;
+                    }
+                },
+            );
+            line.drain_delivered(|f| got.push(f.seq));
+        }
+        assert_eq!(got, vec![0]);
+        assert!(timeouts >= 1, "timeout must fire when NAKs are suppressed");
+        assert_eq!(line.in_flight(), 0);
+    }
+
+    #[test]
+    fn rewind_blocks_new_sends_until_replay_completes() {
+        let mut line = RetryLine::new(2, 2, 64);
+        assert!(line.try_send(0, flit(0), true));
+        assert!(line.try_send(0, flit(1), false));
+        // Corruption detected at cycle 2, NAK arrives at 4, rewind starts.
+        for now in 1..=4u64 {
+            line.advance(now, &mut || false, &mut |_| {});
+        }
+        assert_eq!(line.capacity(4), 0, "replay owns the wire");
+        let mut got = Vec::new();
+        for now in 5..30u64 {
+            line.advance(now, &mut || false, &mut |_| {});
+            line.drain_delivered(|f| got.push(f.seq));
+        }
+        assert_eq!(got, vec![0, 1]);
+        assert!(line.capacity(30) > 0);
+    }
+
+    #[test]
+    fn crc16_matches_reference_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+}

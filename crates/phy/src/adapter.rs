@@ -26,7 +26,8 @@
 
 use crate::policy::PhyPolicy;
 use chiplet_noc::{Flit, OrderClass, Priority};
-use simkit::Cycle;
+use simkit::probe::LinkEvent;
+use simkit::{Cycle, SimRng};
 use std::collections::{HashMap, VecDeque};
 
 /// Which PHY a flit crossed (drives the energy model, §8.3).
@@ -93,6 +94,36 @@ struct Tagged {
     /// Sequence number for in-order flits; `None` for unordered/bypass.
     sn: Option<u64>,
     kind: PhyKind,
+    /// Whether this transmission was corrupted on the wire (detected by
+    /// CRC at the PHY exit; the flit is then retransmitted internally).
+    corrupt: bool,
+}
+
+/// Per-link BER fault injector: each PHY transmission is corrupted with a
+/// per-PHY flit error probability, optionally amplified during a scripted
+/// burst window.
+#[derive(Debug)]
+struct Injector {
+    p_parallel: f64,
+    p_serial: f64,
+    rng: SimRng,
+    burst_mult: f64,
+    burst_until: Cycle,
+}
+
+impl Injector {
+    fn decide(&mut self, kind: PhyKind, now: Cycle) -> bool {
+        let base = match kind {
+            PhyKind::Parallel => self.p_parallel,
+            PhyKind::Serial => self.p_serial,
+        };
+        let p = if now < self.burst_until {
+            (base * self.burst_mult).min(1.0)
+        } else {
+            base
+        };
+        self.rng.chance(p)
+    }
 }
 
 /// A bandwidth-limited pipeline for tagged flits (the PHY itself).
@@ -118,7 +149,9 @@ impl PhyPipe {
 
     fn free(&self, now: Cycle) -> u8 {
         if self.sent_cycle == now {
-            self.bandwidth - self.sent_count
+            // saturating: a lane-degrade event may shrink the bandwidth
+            // mid-cycle, below what was already sent.
+            self.bandwidth.saturating_sub(self.sent_count)
         } else {
             self.bandwidth
         }
@@ -287,6 +320,14 @@ pub struct HeteroPhyLink {
     parallel_flits: u64,
     serial_flits: u64,
     bypass_enabled: bool,
+    injector: Option<Injector>,
+    /// Corrupted transmissions awaiting internal retransmission (the
+    /// adapter holds the copy, so recovery is local to the link).
+    retx: VecDeque<Tagged>,
+    parallel_down: bool,
+    serial_down: bool,
+    corrupt_flits: u64,
+    retx_flits: u64,
 }
 
 impl HeteroPhyLink {
@@ -322,7 +363,98 @@ impl HeteroPhyLink {
             parallel_flits: 0,
             serial_flits: 0,
             bypass_enabled: true,
+            injector: None,
+            retx: VecDeque::new(),
+            parallel_down: false,
+            serial_down: false,
+            corrupt_flits: 0,
+            retx_flits: 0,
         }
+    }
+
+    /// Arms BER fault injection: each transmission over a PHY is corrupted
+    /// with the given per-flit probability, drawn from `rng` (fork one
+    /// stream per link for deterministic runs). Corrupted flits are
+    /// detected at the PHY exit and retransmitted internally — the link
+    /// still delivers exactly once, in order, at the cost of bandwidth and
+    /// latency.
+    pub fn set_fault_injection(&mut self, rng: SimRng, p_parallel: f64, p_serial: f64) {
+        self.injector = Some(Injector {
+            p_parallel,
+            p_serial,
+            rng,
+            burst_mult: 1.0,
+            burst_until: 0,
+        });
+    }
+
+    /// Opens a transient error burst: until cycle `until`, injected error
+    /// probabilities are multiplied by `mult`. No-op unless
+    /// [`Self::set_fault_injection`] armed the injector.
+    pub fn set_burst(&mut self, mult: f64, until: Cycle) {
+        if let Some(inj) = &mut self.injector {
+            inj.burst_mult = mult;
+            inj.burst_until = until;
+        }
+    }
+
+    /// Hard-fails one PHY: flits in flight on it are lost to the wire and
+    /// queued for retransmission, and dispatch shifts onto the surviving
+    /// PHY until [`Self::restore_phy`].
+    pub fn fail_phy(&mut self, kind: PhyKind) {
+        let pipe = match kind {
+            PhyKind::Parallel => {
+                self.parallel_down = true;
+                &mut self.parallel
+            }
+            PhyKind::Serial => {
+                self.serial_down = true;
+                &mut self.serial
+            }
+        };
+        while let Some((_, t)) = pipe.q.pop_front() {
+            self.retx.push_back(t);
+        }
+    }
+
+    /// Brings a previously failed PHY back into service.
+    pub fn restore_phy(&mut self, kind: PhyKind) {
+        match kind {
+            PhyKind::Parallel => self.parallel_down = false,
+            PhyKind::Serial => self.serial_down = false,
+        }
+    }
+
+    /// Whether `kind` is currently hard-failed.
+    pub fn phy_down(&self, kind: PhyKind) -> bool {
+        match kind {
+            PhyKind::Parallel => self.parallel_down,
+            PhyKind::Serial => self.serial_down,
+        }
+    }
+
+    /// Degrades (or restores) the lane count of one PHY, e.g. after a
+    /// scripted lane-failure event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0` (use [`Self::fail_phy`] for total loss).
+    pub fn set_phy_bandwidth(&mut self, kind: PhyKind, bandwidth: u8) {
+        assert!(bandwidth > 0, "degrade to zero lanes is a hard PHY failure");
+        match kind {
+            PhyKind::Parallel => self.parallel.bandwidth = bandwidth,
+            PhyKind::Serial => self.serial.bandwidth = bandwidth,
+        }
+    }
+
+    /// Corrupted transmissions detected so far.
+    pub fn corrupt_flits(&self) -> u64 {
+        self.corrupt_flits
+    }
+
+    /// Internal retransmissions performed so far.
+    pub fn retx_flits(&self) -> u64 {
+        self.retx_flits
     }
 
     /// Overrides the reorder-buffer capacity (ablation; the default is
@@ -380,20 +512,82 @@ impl HeteroPhyLink {
     /// Runs one cycle: dispatch from the TX queues into the PHYs, collect
     /// PHY arrivals into the reorder buffer, release in-order flits.
     pub fn advance(&mut self, now: Cycle) {
-        // Bypass queue: early dispatch, parallel PHY only (§4.2).
-        while self.parallel.free(now) > 0 {
+        self.advance_observed(now, &mut |_| {});
+    }
+
+    fn decide_corrupt(&mut self, kind: PhyKind, now: Cycle) -> bool {
+        match &mut self.injector {
+            Some(inj) => inj.decide(kind, now),
+            None => false,
+        }
+    }
+
+    /// Whether `kind` can accept a flit right now (in service, lane free).
+    fn avail(&self, kind: PhyKind, now: Cycle) -> bool {
+        !self.phy_down(kind) && self.pipe(kind).free(now) > 0
+    }
+
+    fn send_on(&mut self, now: Cycle, kind: PhyKind, mut t: Tagged) {
+        t.kind = kind;
+        t.corrupt = self.decide_corrupt(kind, now);
+        match kind {
+            PhyKind::Parallel => {
+                self.parallel_flits += 1;
+                self.parallel.send(now, t);
+            }
+            PhyKind::Serial => {
+                self.serial_flits += 1;
+                self.serial.send(now, t);
+            }
+        }
+    }
+
+    /// [`Self::advance`] with an observer for link-integrity events
+    /// (corruption detections and internal retransmissions).
+    pub fn advance_observed(&mut self, now: Cycle, events: &mut dyn FnMut(LinkEvent)) {
+        // Retransmissions first: recovery traffic gets lane priority, on
+        // the original PHY when it survives, else on the other one.
+        while let Some(&t) = self.retx.front() {
+            let other = match t.kind {
+                PhyKind::Parallel => PhyKind::Serial,
+                PhyKind::Serial => PhyKind::Parallel,
+            };
+            let kind = if self.avail(t.kind, now) {
+                t.kind
+            } else if self.avail(other, now) {
+                other
+            } else {
+                break;
+            };
+            self.retx.pop_front();
+            self.retx_flits += 1;
+            events(LinkEvent::Retransmit);
+            self.send_on(now, kind, t);
+        }
+        // Bypass queue: early dispatch, parallel PHY only (§4.2) — unless
+        // the parallel PHY is hard-failed, in which case survival trumps
+        // the bypass rule and the serial PHY carries it.
+        loop {
+            let kind = if self.avail(PhyKind::Parallel, now) {
+                PhyKind::Parallel
+            } else if self.parallel_down && self.avail(PhyKind::Serial, now) {
+                PhyKind::Serial
+            } else {
+                break;
+            };
             let Some(flit) = self.bypass.pop_front() else {
                 break;
             };
-            self.parallel.send(
+            self.send_on(
                 now,
+                kind,
                 Tagged {
                     flit,
                     sn: None,
-                    kind: PhyKind::Parallel,
+                    kind,
+                    corrupt: false,
                 },
             );
-            self.parallel_flits += 1;
         }
         // Main queue, FIFO order.
         while let Some(&(flit, class, priority)) = self.main.front() {
@@ -403,10 +597,11 @@ impl HeteroPhyLink {
             } else {
                 (PhyKind::Parallel, PhyKind::Serial)
             };
-            let free = |pipe: &PhyPipe| pipe.free(now) > 0;
-            let kind = if free(self.pipe(first)) {
+            // Survival trumps policy: a down preferred PHY always allows
+            // failing over to the other one.
+            let kind = if self.avail(first, now) {
                 first
-            } else if plan.allow_other && free(self.pipe(second)) {
+            } else if (plan.allow_other || self.phy_down(first)) && self.avail(second, now) {
                 second
             } else {
                 break;
@@ -417,21 +612,24 @@ impl HeteroPhyLink {
                 self.next_sn += 1;
                 sn
             });
-            match kind {
-                PhyKind::Parallel => self.parallel_flits += 1,
-                PhyKind::Serial => self.serial_flits += 1,
-            }
-            let tagged = Tagged { flit, sn, kind };
-            match kind {
-                PhyKind::Parallel => self.parallel.send(now, tagged),
-                PhyKind::Serial => self.serial.send(now, tagged),
-            }
+            self.send_on(
+                now,
+                kind,
+                Tagged {
+                    flit,
+                    sn,
+                    kind,
+                    corrupt: false,
+                },
+            );
         }
         // RX: collect arrivals and release. A full ROB stalls arrivals at
         // the PHY exits *except* for flits that are immediately
         // deliverable — admitting those cannot grow the buffer (they drain
         // in the same cycle) and guarantees the in-order stream can always
         // make progress, so the link never wedges however small the ROB.
+        // Corrupted arrivals never enter the ROB: the CRC check at the PHY
+        // exit diverts them to the retransmission queue.
         loop {
             let mut progressed = false;
             for kind in [PhyKind::Parallel, PhyKind::Serial] {
@@ -443,7 +641,9 @@ impl HeteroPhyLink {
                     let admit = match pipe.peek_ready(now) {
                         None => false,
                         Some(t) => {
-                            self.rob.len() < self.rob_capacity as usize || self.rob.would_deliver(t)
+                            t.corrupt
+                                || self.rob.len() < self.rob_capacity as usize
+                                || self.rob.would_deliver(t)
                         }
                     };
                     if !admit {
@@ -453,8 +653,15 @@ impl HeteroPhyLink {
                         PhyKind::Parallel => &mut self.parallel,
                         PhyKind::Serial => &mut self.serial,
                     };
-                    let t = pipe.pop_ready(now).expect("peeked");
-                    self.rob.insert(t);
+                    let mut t = pipe.pop_ready(now).expect("peeked");
+                    if t.corrupt {
+                        self.corrupt_flits += 1;
+                        events(LinkEvent::Corrupt);
+                        t.corrupt = false;
+                        self.retx.push_back(t);
+                    } else {
+                        self.rob.insert(t);
+                    }
                     progressed = true;
                 }
             }
@@ -488,6 +695,7 @@ impl HeteroPhyLink {
             + self.serial.in_flight()
             + self.rob.len()
             + self.delivered.len()
+            + self.retx.len()
     }
 
     /// Flits dispatched to the parallel PHY so far.
@@ -724,5 +932,112 @@ mod tests {
         let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 1);
         link.push(0, flit(1, 0, 2), OrderClass::InOrder, Priority::Normal);
         link.push(0, flit(1, 1, 2), OrderClass::InOrder, Priority::Normal);
+    }
+
+    #[test]
+    fn injected_corruption_recovers_exactly_once_in_order() {
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
+        link.set_fault_injection(simkit::SimRng::seed(11), 0.2, 0.2);
+        for s in 0..32u16 {
+            link.push(0, flit(1, s, 32), OrderClass::InOrder, Priority::Normal);
+        }
+        let out = drain_all(&mut link, 400);
+        let seqs: Vec<u16> = out.iter().map(|(f, _)| f.seq).collect();
+        assert_eq!(seqs, (0..32).collect::<Vec<_>>());
+        assert!(link.corrupt_flits() > 0, "20% flit error rate must corrupt");
+        assert_eq!(link.corrupt_flits(), link.retx_flits());
+        assert_eq!(link.in_flight(), 0);
+    }
+
+    #[test]
+    fn parallel_phy_failure_fails_over_to_serial() {
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::EnergyEfficient, 64);
+        for s in 0..16u16 {
+            link.push(0, flit(1, s, 16), OrderClass::InOrder, Priority::Normal);
+        }
+        // Let a few flits commit to the parallel wire, then kill it.
+        link.advance(0);
+        let before_serial = link.serial_flits();
+        link.fail_phy(PhyKind::Parallel);
+        let out = drain_all_from(&mut link, 1, 200);
+        let seqs: Vec<u16> = out.iter().map(|(f, _)| f.seq).collect();
+        assert_eq!(seqs, (0..16).collect::<Vec<_>>(), "no loss, no reorder");
+        // Energy-efficient policy never touches serial — the failover did.
+        assert!(link.serial_flits() > before_serial);
+        assert!(link.retx_flits() > 0, "wire-lost flits were retransmitted");
+        assert!(out.iter().skip(4).all(|&(_, k)| k == PhyKind::Serial));
+        assert_eq!(link.in_flight(), 0);
+    }
+
+    #[test]
+    fn bypass_redirects_to_serial_when_parallel_down() {
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
+        link.fail_phy(PhyKind::Parallel);
+        link.push(
+            0,
+            flit_vc(2, 0, 1, 1),
+            OrderClass::Unordered,
+            Priority::High,
+        );
+        let out = drain_all(&mut link, 60);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, PhyKind::Serial);
+    }
+
+    #[test]
+    fn both_phys_down_stalls_without_loss() {
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
+        link.fail_phy(PhyKind::Parallel);
+        link.fail_phy(PhyKind::Serial);
+        for s in 0..4u16 {
+            link.push(0, flit(1, s, 4), OrderClass::InOrder, Priority::Normal);
+        }
+        for now in 0..50 {
+            link.advance(now);
+            assert!(link.pop_delivered().is_none());
+        }
+        assert_eq!(link.in_flight(), 4, "flits wait, nothing is dropped");
+        // Service returns: traffic completes in order.
+        link.restore_phy(PhyKind::Serial);
+        let out = drain_all_from(&mut link, 50, 150);
+        let seqs: Vec<u16> = out.iter().map(|(f, _)| f.seq).collect();
+        assert_eq!(seqs, (0..4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_degrade_throttles_but_delivers() {
+        let mut link = HeteroPhyLink::new(PhyParams::full(), PhyPolicy::PerformanceFirst, 64);
+        link.set_phy_bandwidth(PhyKind::Serial, 1);
+        link.set_phy_bandwidth(PhyKind::Parallel, 1);
+        let mut pushed = 0u16;
+        let mut delivered = 0usize;
+        for now in 0..100 {
+            while link.space() > 0 && pushed < 300 {
+                link.push(
+                    now,
+                    flit(1000 + pushed as u32, 0, 1),
+                    OrderClass::Unordered,
+                    Priority::Normal,
+                );
+                pushed += 1;
+            }
+            link.advance(now);
+            while link.pop_delivered().is_some() {
+                delivered += 1;
+            }
+        }
+        // 2 flits/cycle nominal after the degrade (down from 6).
+        assert!(delivered > 120 && delivered < 220, "delivered {delivered}");
+    }
+
+    fn drain_all_from(link: &mut HeteroPhyLink, from: Cycle, upto: Cycle) -> Vec<(Flit, PhyKind)> {
+        let mut out = Vec::new();
+        for now in from..=upto {
+            link.advance(now);
+            while let Some(d) = link.pop_delivered() {
+                out.push(d);
+            }
+        }
+        out
     }
 }

@@ -26,4 +26,4 @@ pub mod spec;
 pub use adapter::{HeteroPhyLink, PhyKind, PhyParams};
 pub use model::VtModel;
 pub use policy::PhyPolicy;
-pub use spec::InterfaceSpec;
+pub use spec::{InterfaceSpec, PhyFamily};

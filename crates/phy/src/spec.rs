@@ -11,6 +11,26 @@ pub enum PhyFamily {
     Compromised,
 }
 
+impl PhyFamily {
+    /// Default raw (pre-FEC/retry) bit error rate of the family.
+    ///
+    /// Table 1's reliability story in one number per column: SerDes-class
+    /// serial links push 112 Gbps over up to 50 mm of terminated
+    /// differential channel and *require* FEC to be usable — their raw BER
+    /// is in the ~1e-6 range. AIB-class parallel PHYs drive short (≤10 mm)
+    /// unterminated CMOS wires at a tenth the rate and are essentially
+    /// clean (~1e-12); that's why such interfaces ship without FEC at all.
+    /// Compromised designs (BoW, UCIe) sit between — UCIe specifies a raw
+    /// BER floor of 1e-9 per lane, which we adopt for the family.
+    pub fn ber(&self) -> f64 {
+        match self {
+            PhyFamily::Serial => 1e-6,
+            PhyFamily::Parallel => 1e-12,
+            PhyFamily::Compromised => 1e-9,
+        }
+    }
+}
+
 /// One row of Table 1: the headline metrics of a die-to-die interface.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InterfaceSpec {
@@ -77,6 +97,23 @@ impl InterfaceSpec {
     pub fn bits_per_ns(&self) -> f64 {
         self.data_rate_gbps
     }
+
+    /// Raw bit error rate of this interface: the family default scaled by
+    /// how much of the family's rated reach is being driven.
+    ///
+    /// Channel loss — and with it the eye margin eaten at the receiver —
+    /// grows with trace length, so an interface running at its full rated
+    /// reach sees the family's nominal BER while shorter hops are cleaner.
+    /// The scaling is linear in reach against the family's Table 1 rating
+    /// and floored at 1% of nominal so no link is ever modeled as perfect.
+    pub fn ber(&self) -> f64 {
+        let rated = match self.family {
+            PhyFamily::Serial => SERDES.reach_mm,
+            PhyFamily::Parallel => AIB.reach_mm,
+            PhyFamily::Compromised => BOW.reach_mm,
+        };
+        self.family.ber() * (self.reach_mm / rated).clamp(0.01, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +137,24 @@ mod tests {
     #[test]
     fn bits_per_ns_identity() {
         assert_eq!(SERDES.bits_per_ns(), 112.0);
+    }
+
+    #[test]
+    fn family_ber_ordering_serial_dominates_parallel() {
+        // Table 1: SerDes needs FEC (raw BER ~1e-6); AIB-class parallel
+        // links are clean enough to ship without any.
+        assert!(PhyFamily::Serial.ber() / PhyFamily::Compromised.ber() > 999.0);
+        assert!(PhyFamily::Compromised.ber() / PhyFamily::Parallel.ber() > 999.0);
+    }
+
+    #[test]
+    fn spec_ber_scales_with_reach() {
+        // Full rated reach sees the family nominal.
+        assert_eq!(SERDES.ber(), PhyFamily::Serial.ber());
+        assert_eq!(AIB.ber(), PhyFamily::Parallel.ber());
+        // UCIe's 2 mm advanced-package reach is far below BoW's 50 mm
+        // rating, so it is modeled cleaner than BoW, floored at 1%.
+        assert!(UCIE.ber() < BOW.ber());
+        assert!(UCIE.ber() >= 0.01 * PhyFamily::Compromised.ber());
     }
 }

@@ -37,7 +37,7 @@ pub mod rng;
 pub mod stats;
 
 pub use active::ActiveSet;
-pub use probe::{CycleStats, DeliveryEvent, Phase, Probe};
+pub use probe::{CycleStats, DeliveryEvent, LinkEvent, Phase, Probe};
 pub use rng::SimRng;
 pub use stats::{Histogram, Running, Windowed};
 

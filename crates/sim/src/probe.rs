@@ -70,6 +70,36 @@ impl DeliveryEvent {
     }
 }
 
+/// A link-integrity event observed on one directed link.
+///
+/// Emitted by the fault-injection and retry machinery: wire corruption,
+/// go-back-N recovery traffic, and scripted fault transitions. Like every
+/// probe event these are purely observational — the protocol state machines
+/// run identically whether anyone listens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkEvent {
+    /// A flit was corrupted on the wire (detected by the receiver's CRC).
+    Corrupt,
+    /// The receiver requested a go-back-N replay (NAK).
+    RetryNak,
+    /// The transmitter replayed one flit from its replay buffer.
+    Retransmit,
+    /// The transmitter's retry timeout expired and forced a replay.
+    RetryTimeout,
+    /// A scripted hard failure took one PHY of a link down.
+    PhyDown,
+    /// A scripted event restored a previously failed PHY.
+    PhyUp,
+    /// A scripted hard failure took a whole link down.
+    LinkDown,
+    /// A scripted event restored a previously downed link.
+    LinkUp,
+    /// A hetero-PHY adapter shifted traffic onto its surviving PHY.
+    Failover,
+    /// A scripted lane degrade reduced a link's bandwidth.
+    Degrade,
+}
+
 /// A per-cycle snapshot of aggregate simulation state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleStats {
@@ -103,6 +133,10 @@ pub trait Probe {
     /// `link` is the directed link index ([`LinkId`] in the topology
     /// crate); `is_head` marks the packet's head flit (one per hop).
     fn on_flit_hop(&mut self, _now: Cycle, _link: u32, _is_head: bool) {}
+
+    /// Called for every link-integrity event (corruption, retry traffic,
+    /// scripted faults) on a directed link.
+    fn on_link_event(&mut self, _now: Cycle, _link: u32, _ev: LinkEvent) {}
 }
 
 /// Records periodic progress snapshots: live/queued/delivered counts and
@@ -404,5 +438,6 @@ mod tests {
         n.on_cycle(0, &CycleStats::default());
         n.on_packet_delivered(&ev(50));
         n.on_flit_hop(0, 0, true);
+        n.on_link_event(0, 0, LinkEvent::Corrupt);
     }
 }

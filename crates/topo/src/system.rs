@@ -62,6 +62,10 @@ pub struct SystemTopology {
     /// `[chiplet][dim]` → interface nodes carrying that hypercube dimension.
     hyper_ports: Vec<Vec<Vec<NodeId>>>,
     hyper_dims: u8,
+    /// `[link]` → taken down by a runtime fault event. Downed links are
+    /// filtered out of the routing lookup tables so no new packet routes
+    /// onto them; committed traffic drains through the medium untouched.
+    down: Vec<bool>,
 }
 
 fn dir_slot(dir: MeshDir) -> usize {
@@ -87,6 +91,7 @@ impl SystemTopology {
             express_out: vec![None; n * 4],
             hyper_ports: Vec::new(),
             hyper_dims: 0,
+            down: Vec::new(),
         }
     }
 
@@ -100,6 +105,7 @@ impl SystemTopology {
             kind,
         });
         self.out_adj[src.index()].push(id);
+        self.down.push(false);
         match kind {
             LinkKind::Mesh { dir } => {
                 self.mesh_out[src.index() * 4 + dir_slot(dir)] = Some(id);
@@ -186,6 +192,88 @@ impl SystemTopology {
     /// Whether the topology contains wraparound links.
     pub fn has_wraparound(&self) -> bool {
         self.wrap_out.iter().any(Option::is_some)
+    }
+
+    /// The reverse direction of `id` (same kind family, endpoints swapped),
+    /// if the topology has it. All builders add links in symmetric pairs,
+    /// so this only returns `None` on asymmetrically degraded topologies.
+    pub fn reverse_of(&self, id: LinkId) -> Option<LinkId> {
+        let l = *self.link(id);
+        self.out_adj[l.dst.index()].iter().copied().find(|&m| {
+            let ml = self.link(m);
+            ml.dst == l.src && std::mem::discriminant(&ml.kind) == std::mem::discriminant(&l.kind)
+        })
+    }
+
+    /// Whether `id` is currently taken down by a fault event.
+    pub fn is_link_down(&self, id: LinkId) -> bool {
+        self.down[id.index()]
+    }
+
+    /// Takes the bidirectional link pair containing `id` down (or restores
+    /// it): both directions disappear from the routing lookup tables, so no
+    /// new packet routes onto them, while committed traffic drains.
+    ///
+    /// Returns `false` without any change for mesh links: the mesh is the
+    /// escape subnetwork and must survive for routing to stay connected and
+    /// deadlock-free (only the purely adaptive wraparound, express and
+    /// hypercube channels may fail at runtime).
+    pub fn set_pair_down(&mut self, id: LinkId, down: bool) -> bool {
+        let l = *self.link(id);
+        if matches!(l.kind, LinkKind::Mesh { .. }) {
+            return false;
+        }
+        let rev = self.reverse_of(id);
+        self.apply_down(id, down);
+        if let Some(rev) = rev {
+            self.apply_down(rev, down);
+        }
+        if matches!(l.kind, LinkKind::Hypercube { .. }) {
+            let g = self.geometry;
+            let (ca, cb) = (g.chiplet_of(l.src), g.chiplet_of(l.dst));
+            self.rebuild_hyper_ports(ca);
+            if cb != ca {
+                self.rebuild_hyper_ports(cb);
+            }
+        }
+        true
+    }
+
+    fn apply_down(&mut self, id: LinkId, down: bool) {
+        self.down[id.index()] = down;
+        let l = *self.link(id);
+        match l.kind {
+            LinkKind::Mesh { .. } => {}
+            LinkKind::Wrap { dir } => {
+                self.wrap_out[l.src.index() * 4 + dir_slot(dir)] = (!down).then_some(id);
+            }
+            LinkKind::Express { dir } => {
+                self.express_out[l.src.index() * 4 + dir_slot(dir)] = (!down).then_some(id);
+            }
+            LinkKind::Hypercube { dim } => {
+                self.hyper_out[l.src.index()] = (!down).then_some((id, dim));
+            }
+        }
+    }
+
+    /// Recomputes `hyper_ports` for one chiplet from the surviving
+    /// `hyper_out` entries, walking the perimeter rim in its canonical
+    /// order so rebuilt tables are deterministic (and identical to what the
+    /// builder would have produced for the degraded topology).
+    fn rebuild_hyper_ports(&mut self, chiplet: ChipletId) {
+        if self.hyper_dims == 0 {
+            return;
+        }
+        let rim = self.geometry.perimeter_nodes(chiplet);
+        let ports = &mut self.hyper_ports[chiplet.index()];
+        for d in ports.iter_mut() {
+            d.clear();
+        }
+        for &node in &rim {
+            if let Some((_, dim)) = self.hyper_out[node.index()] {
+                ports[dim as usize].push(node);
+            }
+        }
     }
 }
 
@@ -838,6 +926,58 @@ mod tests {
             full.links().len() - wraps(&full),
             degraded.links().len() - wraps(&degraded)
         );
+    }
+
+    #[test]
+    fn set_pair_down_filters_wrap_tables_and_restores() {
+        let g = Geometry::new(2, 2, 2, 2);
+        let mut t = build::serial_torus(g);
+        let n = g.node_at(0, 1);
+        let id = t.wrap_out(n, MeshDir::West).expect("west wrap");
+        let rev = t.reverse_of(id).expect("reverse wrap");
+        assert!(t.set_pair_down(id, true));
+        assert!(t.is_link_down(id) && t.is_link_down(rev));
+        assert!(t.wrap_out(n, MeshDir::West).is_none());
+        assert!(t.wrap_out(t.link(id).dst, MeshDir::East).is_none());
+        // Restore brings both tables back exactly.
+        assert!(t.set_pair_down(id, false));
+        assert_eq!(t.wrap_out(n, MeshDir::West), Some(id));
+        assert_eq!(t.wrap_out(t.link(id).dst, MeshDir::East), Some(rev));
+    }
+
+    #[test]
+    fn set_pair_down_refuses_mesh_escape_links() {
+        let g = Geometry::new(2, 2, 2, 2);
+        let mut t = build::serial_torus(g);
+        let n = g.node_at(1, 1);
+        let id = t.mesh_out(n, MeshDir::East).unwrap();
+        assert!(!t.set_pair_down(id, true));
+        assert!(!t.is_link_down(id));
+        assert_eq!(t.mesh_out(n, MeshDir::East), Some(id));
+    }
+
+    #[test]
+    fn set_pair_down_rebuilds_hyper_ports() {
+        let g = Geometry::new(4, 4, 4, 4);
+        let mut t = build::serial_hypercube(g);
+        let port = t.hyper_ports(ChipletId(0), 0)[0];
+        let (id, dim) = t.hyper_out(port).unwrap();
+        assert_eq!(dim, 0);
+        let before = t.hyper_ports(ChipletId(0), 0).len();
+        assert!(t.set_pair_down(id, true));
+        assert_eq!(t.hyper_ports(ChipletId(0), 0).len(), before - 1);
+        assert!(t.hyper_out(port).is_none());
+        assert!(!t.hyper_ports(ChipletId(0), 0).contains(&port));
+        // The partner chiplet lost the same port position.
+        let partner = g.chiplet_of(t.link(id).dst);
+        assert!(t
+            .hyper_ports(partner, 0)
+            .iter()
+            .all(|&p| t.hyper_out(p).is_some()));
+        // Restore is exact: same ports, same order.
+        assert!(t.set_pair_down(id, false));
+        assert_eq!(t.hyper_ports(ChipletId(0), 0).len(), before);
+        assert_eq!(t.hyper_ports(ChipletId(0), 0)[0], port);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`topo`] — topologies and deadlock-free routing (Algorithm 1).
 //! * [`phy`] — interface models and the hetero-PHY adapter.
 //! * [`traffic`] — patterns and synthetic PARSEC/HPC traces.
+//! * [`fault`] — the link-integrity subsystem: BER fault configuration
+//!   and scripted fault events (`chiplet-fault`).
 //! * [`synthesis`] — the analytical post-synthesis model (Table 4).
 //! * [`heterosys`] — system assembly, simulation driver, experiments
 //!   (`hetero-if`, the paper's core contribution).
@@ -25,6 +27,7 @@
 //! assert_eq!(topo.geometry().nodes(), 16);
 //! ```
 
+pub use chiplet_fault as fault;
 pub use chiplet_noc as noc;
 pub use chiplet_phy as phy;
 pub use chiplet_synthesis as synthesis;
