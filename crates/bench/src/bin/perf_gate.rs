@@ -1,0 +1,210 @@
+//! The simulator's performance gate.
+//!
+//! Times the reference preset — the hetero-PHY torus at the §8.1.1 medium
+//! scale (256 nodes) under uniform traffic at a fixed seed — and reports
+//! the simulation rate in flits-simulated per second, against the
+//! recorded pre-optimization baseline. Emits `BENCH_perf.json` so CI can
+//! archive the number and regressions stay visible.
+//!
+//! ```text
+//! perf_gate [--smoke] [--reps N] [--check-speedup] [--out DIR | --no-out]
+//! ```
+//!
+//! * `--smoke` — run the golden-trace bit-identity check, then a single
+//!   timing rep (the CI configuration: correctness hard-fails, timing is
+//!   recorded but not asserted, since shared runners are noisy);
+//! * `--check-speedup` — additionally fail unless the measured rate
+//!   reaches 1.5× the recorded baseline (for calibrated machines);
+//! * `--reps N` — timing repetitions (default 5; the best rep wins).
+//!
+//! Reps are timed on **process CPU time** (`/proc/self/stat`, falling
+//! back to wall time off Linux): the simulator is single-threaded, so
+//! CPU time measures the same work while staying immune to the
+//! descheduling noise of shared or quota-throttled runners.
+
+use chiplet_topo::NodeId;
+use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use hetero_bench::harness::default_out_dir;
+use hetero_if::golden;
+use hetero_if::presets::medium_system;
+use hetero_if::scheduler::SchedulingProfile;
+use hetero_if::sim::{run, RunSpec};
+use hetero_if::{NetworkKind, SimConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Pre-optimization simulation rate of the reference preset on the
+/// recording machine (flits/sec, best of 3 reps at the settings below),
+/// measured at the commit immediately before the hot-path rework. The
+/// speedup reported in `BENCH_perf.json` is relative to this number; it
+/// is only meaningful on comparable hardware, which is why the gate
+/// asserts it under `--check-speedup` rather than by default.
+const BASELINE_FLITS_PER_SEC: f64 = 480_000.0;
+const SPEEDUP_TARGET: f64 = 1.5;
+
+/// The reference workload: uniform traffic on the hetero-PHY torus.
+const PRESET: NetworkKind = NetworkKind::HeteroPhyFull;
+const RATE: f64 = 0.10;
+const PACKET_LEN: u16 = 16;
+const SEED: u64 = 42;
+
+struct GateOpts {
+    smoke: bool,
+    check_speedup: bool,
+    reps: u32,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> GateOpts {
+    let mut o = GateOpts {
+        smoke: false,
+        check_speedup: false,
+        reps: 5,
+        out_dir: Some(default_out_dir()),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => o.smoke = true,
+            "--check-speedup" => o.check_speedup = true,
+            "--reps" => {
+                o.reps = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps expects a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--no-out" => o.out_dir = None,
+            "--out" => o.out_dir = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: perf_gate [--smoke] [--reps N] [--check-speedup] \
+                     [--out DIR | --no-out]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if o.smoke {
+        o.reps = 1;
+    }
+    o
+}
+
+/// Process CPU time (user + system) in seconds, from `/proc/self/stat`.
+///
+/// Returns `None` off Linux or if the file cannot be parsed; the caller
+/// falls back to wall-clock time. Tick rate is `_SC_CLK_TCK`, which is
+/// 100 on every Linux configuration this runs on; the ~10 ms
+/// quantization is well below rep duration.
+fn cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields after the parenthesized comm (which may itself contain
+    // spaces): utime and stime are the 12th and 13th.
+    let rest = stat.rsplit(')').next()?;
+    let mut fields = rest.split_ascii_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// One timed rep: build the reference network fresh, run it, and return
+/// (elapsed seconds, flits delivered over the whole run).
+fn timed_rep() -> (f64, u64) {
+    let geom = medium_system();
+    let mut net = PRESET.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+    let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, RATE, PACKET_LEN, SEED);
+    let spec = RunSpec::quick();
+    let t0 = Instant::now();
+    let c0 = cpu_seconds();
+    let out = run(&mut net, &mut w, spec);
+    let wall = t0.elapsed().as_secs_f64();
+    let secs = match (c0, cpu_seconds()) {
+        (Some(a), Some(b)) if b > a => b - a,
+        _ => wall,
+    };
+    assert!(
+        !out.deadlocked && !out.fault_stalled,
+        "reference preset must run clean"
+    );
+    (secs, net.collector().delivered_flits)
+}
+
+fn main() {
+    let opts = parse_args();
+
+    if opts.smoke {
+        let dir = golden::default_fixture_dir();
+        print!("perf_gate: golden-trace check ({}) ... ", dir.display());
+        match golden::check_dir(&dir) {
+            Ok(n) => println!("ok ({n} scenarios bit-identical)"),
+            Err(report) => {
+                println!("FAILED");
+                eprintln!("golden traces drifted:\n{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "perf_gate: timing {} at {} nodes, rate {RATE}, seed {SEED}, {} rep(s)",
+        PRESET.label(),
+        medium_system().nodes(),
+        opts.reps
+    );
+    let mut best_secs = f64::INFINITY;
+    let mut flits = 0u64;
+    for rep in 1..=opts.reps {
+        let (secs, f) = timed_rep();
+        println!("  rep {rep}: {secs:.3}s  ({:.0} flits/s)", f as f64 / secs);
+        if secs < best_secs {
+            best_secs = secs;
+            flits = f;
+        }
+    }
+    let flits_per_sec = flits as f64 / best_secs;
+    let speedup = if BASELINE_FLITS_PER_SEC > 0.0 {
+        flits_per_sec / BASELINE_FLITS_PER_SEC
+    } else {
+        0.0
+    };
+    println!(
+        "perf_gate: {flits} flits in {best_secs:.3}s -> {flits_per_sec:.0} flits/s \
+         (baseline {BASELINE_FLITS_PER_SEC:.0}, speedup {speedup:.2}x)"
+    );
+
+    if let Some(dir) = &opts.out_dir {
+        let json = format!(
+            "{{\n  \"preset\": \"{}\",\n  \"nodes\": {},\n  \"rate\": {RATE},\n  \
+             \"packet_len\": {PACKET_LEN},\n  \"seed\": {SEED},\n  \"reps\": {},\n  \
+             \"flits\": {flits},\n  \"best_secs\": {best_secs},\n  \
+             \"flits_per_sec\": {flits_per_sec},\n  \
+             \"baseline_flits_per_sec\": {BASELINE_FLITS_PER_SEC},\n  \
+             \"speedup\": {speedup},\n  \"speedup_target\": {SPEEDUP_TARGET}\n}}\n",
+            PRESET.label(),
+            medium_system().nodes(),
+            opts.reps,
+        );
+        let path = dir.join("BENCH_perf.json");
+        match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, json)) {
+            Ok(()) => println!("perf_gate: wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    if opts.check_speedup && speedup < SPEEDUP_TARGET {
+        eprintln!(
+            "perf_gate: FAILED speedup gate: {speedup:.2}x < {SPEEDUP_TARGET}x \
+             ({flits_per_sec:.0} vs baseline {BASELINE_FLITS_PER_SEC:.0} flits/s)"
+        );
+        std::process::exit(1);
+    }
+}

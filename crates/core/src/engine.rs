@@ -31,11 +31,11 @@ use crate::config::SimConfig;
 use crate::energy::{EnergyModel, PacketEnergy};
 use crate::network::Collector;
 use chiplet_noc::{
-    CreditLine, DelayLine, Flit, PacketId, PacketInfo, PacketStore, PortCandidate, RetryLine,
-    Router, RouterEnv,
+    CreditLine, DelayLine, Flit, FlitArena, FlitRef, PacketId, PacketInfo, PacketStore,
+    PortCandidate, RetryLine, Router, RouterEnv,
 };
 use chiplet_phy::{HeteroPhyLink, PhyKind};
-use chiplet_topo::routing::{Candidate, Routing};
+use chiplet_topo::routing::{RouteTable, Routing};
 use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
 use chiplet_traffic::PacketRequest;
 use simkit::probe::{DeliveryEvent, LinkEvent, Probe};
@@ -47,8 +47,8 @@ use std::collections::VecDeque;
 pub(crate) enum Medium {
     /// A plain fixed-latency pipeline (on-chip, parallel or serial link).
     Plain {
-        /// The flit pipeline.
-        line: DelayLine,
+        /// The flit pipeline (carrying arena handles).
+        line: DelayLine<FlitRef>,
         /// The link class (for per-class energy accounting).
         class: LinkClass,
     },
@@ -217,7 +217,9 @@ struct NetEnv<'a, 'p> {
     collector: &'a mut Collector,
     energy_model: &'a EnergyModel,
     measure_from: Cycle,
-    scratch: &'a mut Vec<Candidate>,
+    route_table: &'a mut RouteTable,
+    /// LinkId → out port on its source router (1-based), global map.
+    link_out_port: &'a [u16],
     activity: &'a mut bool,
     active_media: &'a mut ActiveSet,
     active_credits: &'a mut ActiveSet,
@@ -238,24 +240,24 @@ impl<'a, 'p> RouterEnv for NetEnv<'a, 'p> {
             }
             return;
         }
-        self.scratch.clear();
-        self.routing
-            .candidates(self.topo, self.node, info.dst, &info.route, self.scratch);
+        let cands =
+            self.route_table
+                .lookup(self.routing, self.topo, self.node, info.dst, &info.route);
         debug_assert!(
-            !self.scratch.is_empty(),
+            !cands.is_empty(),
             "no route from {} to {}",
             self.node,
             info.dst
         );
-        for c in self.scratch.iter() {
+        for c in cands {
             // Links leaving this node occupy out ports 1.. in adjacency
-            // order; find the port for this link.
-            let port = self
-                .outport_link
-                .iter()
-                .position(|&l| l == c.link)
-                .expect("candidate link leaves this node") as u16
-                + 1;
+            // order; the network precomputed the link → out-port map.
+            let port = self.link_out_port[c.link.index()];
+            debug_assert_eq!(
+                self.outport_link[(port - 1) as usize],
+                c.link,
+                "candidate link leaves this node"
+            );
             out.push(PortCandidate {
                 out_port: port,
                 vc: c.vc,
@@ -285,12 +287,13 @@ impl<'a, 'p> RouterEnv for NetEnv<'a, 'p> {
         }
     }
 
-    fn send(&mut self, out_port: u16, flit: Flit) {
+    fn send(&mut self, out_port: u16, fref: FlitRef, arena: &mut FlitArena) {
         *self.activity = true;
         if out_port == 0 {
             debug_assert!(self.eject_budget > 0);
             self.eject_budget -= 1;
             let now = self.now;
+            let flit = arena.free(fref);
             let info = self.store.get_mut(flit.pid);
             debug_assert_eq!(info.dst, self.node, "flit ejected at wrong node");
             debug_assert_eq!(info.ejected, flit.seq, "out-of-order ejection");
@@ -310,17 +313,20 @@ impl<'a, 'p> RouterEnv for NetEnv<'a, 'p> {
         self.active_media.insert(link.index());
         match &mut self.media[link.index()] {
             Medium::Plain { line, .. } => {
-                let ok = line.try_send(self.now, flit);
+                let ok = line.try_send(self.now, fref);
                 debug_assert!(ok, "plain link over capacity");
             }
             Medium::Guarded { line, .. } => {
                 // Corruption strikes the wire at transmission time; the
                 // receiver's CRC catches it and the replay buffer recovers.
                 let corrupt = self.faults.draw(link.index(), self.now);
-                let ok = line.try_send(self.now, flit, corrupt);
+                let ok = line.try_send(self.now, fref, arena, corrupt);
                 debug_assert!(ok, "guarded link over capacity");
             }
             Medium::Hetero(h) => {
+                // The adapter owns flits by value; the handle rejoins the
+                // arena when the flit emerges on the far side.
+                let flit = arena.free(fref);
                 let info = self.store.get(flit.pid);
                 h.push(self.now, flit, info.class, info.priority);
             }
@@ -387,8 +393,11 @@ pub(crate) struct Engine {
     active_nics: ActiveSet,
     /// Reused drain buffer for the active sets.
     ids: Vec<usize>,
-    /// Reused routing-candidate buffer.
-    route_scratch: Vec<Candidate>,
+    /// The home of every in-flight flit; queues hold [`FlitRef`] handles.
+    arena: FlitArena,
+    /// Memoized `(node, destination, lock-class) → candidates` table; the
+    /// RC stage hits this instead of re-walking the routing algorithm.
+    route_table: RouteTable,
 }
 
 impl Engine {
@@ -418,8 +427,20 @@ impl Engine {
             active_credits: ActiveSet::new(links),
             active_nics: ActiveSet::new(nodes),
             ids: Vec::new(),
-            route_scratch: Vec::new(),
+            arena: FlitArena::new(),
+            route_table: RouteTable::new(),
         }
+    }
+
+    /// The flit arena (leak checks: a drained network holds zero flits).
+    pub fn arena(&self) -> &FlitArena {
+        &self.arena
+    }
+
+    /// The engine's memoized route table (prefilled at network build time,
+    /// invalidated when a fault event edits the topology's routing view).
+    pub fn route_table(&mut self) -> &mut RouteTable {
+        &mut self.route_table
     }
 
     pub fn now(&self) -> Cycle {
@@ -531,6 +552,7 @@ impl Engine {
             activity,
             faults,
             collector,
+            arena,
             ..
         } = self;
         for &li in &ids {
@@ -539,7 +561,8 @@ impl Engine {
             let dst = link.dst.index();
             match &mut media[li] {
                 Medium::Plain { line, class } => {
-                    line.drain_ready(now, |flit| {
+                    line.drain_ready(now, |fref| {
+                        let flit = arena.get(fref);
                         link_flits[li] += 1;
                         let info = store.get_mut(flit.pid);
                         match class {
@@ -554,7 +577,7 @@ impl Engine {
                         for p in probes.iter_mut() {
                             p.on_flit_hop(now, li as u32, flit.is_head());
                         }
-                        routers[dst].receive(in_port, flit);
+                        routers[dst].receive(in_port, fref, flit.vc);
                         active_routers.insert(dst);
                         *activity = true;
                     });
@@ -574,9 +597,10 @@ impl Engine {
                                 *activity = true;
                             }
                         };
-                        line.advance(now, &mut corrupt, &mut ev);
+                        line.advance(now, arena, &mut corrupt, &mut ev);
                     }
-                    line.drain_delivered(|flit| {
+                    line.drain_delivered(|fref| {
+                        let flit = arena.get(fref);
                         link_flits[li] += 1;
                         let info = store.get_mut(flit.pid);
                         match class {
@@ -591,7 +615,7 @@ impl Engine {
                         for p in probes.iter_mut() {
                             p.on_flit_hop(now, li as u32, flit.is_head());
                         }
-                        routers[dst].receive(in_port, flit);
+                        routers[dst].receive(in_port, fref, flit.vc);
                         active_routers.insert(dst);
                         *activity = true;
                     });
@@ -622,7 +646,9 @@ impl Engine {
                         for p in probes.iter_mut() {
                             p.on_flit_hop(now, li as u32, flit.is_head());
                         }
-                        routers[dst].receive(in_port, flit);
+                        // Back from the adapter's value-world: re-admit.
+                        let fref = arena.alloc(flit);
+                        routers[dst].receive(in_port, fref, flit.vc);
                         active_routers.insert(dst);
                         *activity = true;
                     }
@@ -663,15 +689,13 @@ impl Engine {
                     if st.next_seq == 0 {
                         self.store.get_mut(st.pid).injected = now;
                     }
-                    router.receive(
-                        0,
-                        Flit {
-                            pid: st.pid,
-                            seq: st.next_seq,
-                            vc: st.vc,
-                            last: st.next_seq + 1 == st.len,
-                        },
-                    );
+                    let fref = self.arena.alloc(Flit {
+                        pid: st.pid,
+                        seq: st.next_seq,
+                        vc: st.vc,
+                        last: st.next_seq + 1 == st.len,
+                    });
+                    router.receive(0, fref, st.vc);
                     self.active_routers.insert(node);
                     st.next_seq += 1;
                     budget -= 1;
@@ -696,34 +720,41 @@ impl Engine {
         let mut ids = std::mem::take(&mut self.ids);
         self.active_routers.drain_into(&mut ids);
         let mut routers = std::mem::take(&mut self.routers);
+        // One environment for the whole sweep; only the per-node fields
+        // are rewritten between routers.
+        let mut env = NetEnv {
+            now,
+            node: NodeId(0),
+            topo: ctx.topo,
+            routing: ctx.routing,
+            store: &mut self.store,
+            media: &mut self.media,
+            credit_lines: &mut self.credit_lines,
+            faults: &mut self.faults,
+            outport_link: &[],
+            inport_link: &[],
+            vcs: ctx.config.vcs,
+            eject_budget: 0,
+            collector: &mut self.collector,
+            energy_model: ctx.energy_model,
+            measure_from: self.measure_from,
+            route_table: &mut self.route_table,
+            link_out_port: ctx.link_out_port,
+            activity: &mut self.activity,
+            active_media: &mut self.active_media,
+            active_credits: &mut self.active_credits,
+            probes,
+        };
         for &node in &ids {
             let router = &mut routers[node];
             if router.is_quiescent() {
                 continue;
             }
-            let mut env = NetEnv {
-                now,
-                node: NodeId(node as u32),
-                topo: ctx.topo,
-                routing: ctx.routing,
-                store: &mut self.store,
-                media: &mut self.media,
-                credit_lines: &mut self.credit_lines,
-                faults: &mut self.faults,
-                outport_link: &ctx.outport_links[node],
-                inport_link: &ctx.inport_links[node],
-                vcs: ctx.config.vcs,
-                eject_budget: ctx.config.eject_bandwidth as u16,
-                collector: &mut self.collector,
-                energy_model: ctx.energy_model,
-                measure_from: self.measure_from,
-                scratch: &mut self.route_scratch,
-                activity: &mut self.activity,
-                active_media: &mut self.active_media,
-                active_credits: &mut self.active_credits,
-                probes,
-            };
-            router.step(now, &mut env);
+            env.node = NodeId(node as u32);
+            env.outport_link = &ctx.outport_links[node];
+            env.inport_link = &ctx.inport_links[node];
+            env.eject_budget = ctx.config.eject_bandwidth as u16;
+            router.step(now, &mut env, &mut self.arena);
             if !router.is_quiescent() {
                 self.active_routers.insert(node);
             }

@@ -1,0 +1,327 @@
+//! Golden-trace scenarios: the bit-identity contract of the simulator.
+//!
+//! Every hot-path optimization in this workspace is required to leave
+//! simulation results bit-identical. This module pins that contract down
+//! as a fixed set of [`Scenario`]s — every network preset at several
+//! seeds, plus fault-flavored variants that exercise the retry layer,
+//! PHY failover and link-down rerouting — each digested into a plain
+//! `key=value` text [`Scenario::digest`]. Floating-point fields are
+//! formatted with Rust's shortest round-trip `Display`, so string
+//! equality of digests is exactly bit equality of the underlying `f64`s.
+//!
+//! The digests are committed under `tests/golden/` and checked by the
+//! `golden_traces` integration test and by `perf_gate --smoke`. Any
+//! drift — a changed result bit on any preset — fails with a per-field
+//! diff. Regenerate fixtures with `GOLDEN_BLESS=1 cargo test --test
+//! golden_traces` only when a change is *supposed* to alter results.
+
+use crate::config::SimConfig;
+use crate::presets::NetworkKind;
+use crate::scheduler::SchedulingProfile;
+use crate::sim::{run, RunSpec};
+use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
+use chiplet_phy::PhyKind;
+use chiplet_topo::{Geometry, NodeId};
+use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Every preset in the golden matrix.
+pub const ALL_KINDS: [NetworkKind; 7] = [
+    NetworkKind::UniformParallelMesh,
+    NetworkKind::UniformSerialTorus,
+    NetworkKind::HeteroPhyFull,
+    NetworkKind::HeteroPhyHalf,
+    NetworkKind::UniformSerialHypercube,
+    NetworkKind::HeteroChannelFull,
+    NetworkKind::HeteroChannelHalf,
+];
+
+/// The fixed workload seeds of the golden matrix.
+pub const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Fault flavor of one golden scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Fault machinery fully off.
+    Clean,
+    /// Serial-wire BER with the CRC/go-back-N retry layer armed, so the
+    /// corruption/retransmit/NAK counters are exercised.
+    BerRetry,
+    /// Hard serial-PHY failure mid-warmup: hetero-PHY links fail over to
+    /// the surviving parallel PHY.
+    PhyDown,
+    /// One interface link pair hard-down mid-warmup and back up later,
+    /// exercising runtime rerouting (and route-cache invalidation).
+    LinkDown,
+}
+
+impl Flavor {
+    fn suffix(self) -> &'static str {
+        match self {
+            Flavor::Clean => "",
+            Flavor::BerRetry => "-ber",
+            Flavor::PhyDown => "-phydown",
+            Flavor::LinkDown => "-linkdown",
+        }
+    }
+}
+
+/// One entry of the golden matrix: a preset, a seed and a fault flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// The network preset.
+    pub kind: NetworkKind,
+    /// Workload (and config) seed.
+    pub seed: u64,
+    /// Fault flavor.
+    pub flavor: Flavor,
+}
+
+impl Scenario {
+    /// Fixture file stem, e.g. `hetero-phy-full-ber-s2`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}{}-s{}",
+            self.kind.label(),
+            self.flavor.suffix(),
+            self.seed
+        )
+    }
+
+    /// Runs the scenario and returns its digest text.
+    pub fn digest(&self) -> String {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let mut config = SimConfig::default().with_seed(self.seed);
+        if self.flavor == Flavor::BerRetry {
+            config = config.with_ber(1e-4).with_retry();
+        }
+        let mut net = self.kind.build(geom, config, SchedulingProfile::balanced());
+        match self.flavor {
+            Flavor::Clean | Flavor::BerRetry => {}
+            Flavor::PhyDown => {
+                net.set_fault_script(FaultScript::single_phy_failure(400, PhyKind::Serial));
+            }
+            Flavor::LinkDown => {
+                // The first non-on-chip link (and its reverse pair, taken
+                // along automatically): down during the window, back up
+                // for the drain.
+                let link = net
+                    .topology()
+                    .links()
+                    .iter()
+                    .find(|l| l.class.is_interface())
+                    .map(|l| l.id.0)
+                    .expect("every preset has interface links");
+                net.set_fault_script(FaultScript::new(vec![
+                    TimedFault {
+                        at: 400,
+                        target: FaultTarget::Link(link),
+                        event: FaultEvent::LinkDown,
+                    },
+                    TimedFault {
+                        at: 1100,
+                        target: FaultTarget::Link(link),
+                        event: FaultEvent::LinkUp,
+                    },
+                ]));
+            }
+        }
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        let mut workload =
+            SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.12, 16, self.seed);
+        let out = run(&mut net, &mut workload, RunSpec::smoke());
+        let r = &out.results;
+        let c = net.collector();
+        let mut s = String::new();
+        let mut kv = |k: &str, v: String| {
+            let _ = writeln!(s, "{k}={v}");
+        };
+        kv("drained", out.drained.to_string());
+        kv("deadlocked", out.deadlocked.to_string());
+        kv("fault_stalled", out.fault_stalled.to_string());
+        kv("nodes", r.nodes.to_string());
+        kv("cycles", r.cycles.to_string());
+        kv("packets", r.packets.to_string());
+        kv("avg_latency", r.avg_latency.to_string());
+        kv("latency_std", r.latency_std.to_string());
+        kv("max_latency", r.max_latency.to_string());
+        kv("p50_latency", r.p50_latency.to_string());
+        kv("p99_latency", r.p99_latency.to_string());
+        kv("avg_net_latency", r.avg_net_latency.to_string());
+        kv("avg_high_latency", r.avg_high_latency.to_string());
+        kv("max_high_latency", r.max_high_latency.to_string());
+        kv("avg_hops", r.avg_hops.to_string());
+        kv("throughput", r.throughput.to_string());
+        kv("avg_energy_pj", r.avg_energy_pj.to_string());
+        kv("avg_onchip_pj", r.avg_onchip_pj.to_string());
+        kv("avg_parallel_pj", r.avg_parallel_pj.to_string());
+        kv("avg_serial_pj", r.avg_serial_pj.to_string());
+        kv("locked_fraction", r.locked_fraction.to_string());
+        kv("backlog", r.backlog.to_string());
+        kv("corrupted_flits", r.corrupted_flits.to_string());
+        kv("retransmitted_flits", r.retransmitted_flits.to_string());
+        kv("failovers", r.failovers.to_string());
+        kv("delivered_packets", c.delivered_packets.to_string());
+        kv("delivered_flits", c.delivered_flits.to_string());
+        kv("retry_naks", c.retry_naks.to_string());
+        kv("retry_timeouts", c.retry_timeouts.to_string());
+        kv("faults_applied", c.faults_applied.to_string());
+        s
+    }
+}
+
+/// The full golden matrix: every preset × every seed, clean, plus
+/// fault-flavored variants on the presets whose machinery they exercise.
+pub fn scenarios() -> Vec<Scenario> {
+    let mut v = Vec::new();
+    for kind in ALL_KINDS {
+        for seed in SEEDS {
+            v.push(Scenario {
+                kind,
+                seed,
+                flavor: Flavor::Clean,
+            });
+        }
+    }
+    for seed in SEEDS {
+        v.push(Scenario {
+            kind: NetworkKind::HeteroPhyFull,
+            seed,
+            flavor: Flavor::BerRetry,
+        });
+        v.push(Scenario {
+            kind: NetworkKind::HeteroPhyFull,
+            seed,
+            flavor: Flavor::PhyDown,
+        });
+        v.push(Scenario {
+            kind: NetworkKind::UniformSerialTorus,
+            seed,
+            flavor: Flavor::LinkDown,
+        });
+    }
+    v
+}
+
+/// Compares one freshly computed digest against its fixture text,
+/// returning a readable per-field diff (`None` when identical).
+pub fn diff(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let parse = |text: &str| -> Vec<(String, String)> {
+        text.lines()
+            .filter_map(|l| l.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    };
+    let exp = parse(expected);
+    let act = parse(actual);
+    let mut out = String::new();
+    for (k, ev) in &exp {
+        match act.iter().find(|(ak, _)| ak == k) {
+            Some((_, av)) if av == ev => {}
+            Some((_, av)) => {
+                let _ = writeln!(out, "  {k}: expected {ev}, got {av}");
+            }
+            None => {
+                let _ = writeln!(out, "  {k}: expected {ev}, missing from actual");
+            }
+        }
+    }
+    for (k, av) in &act {
+        if !exp.iter().any(|(ek, _)| ek == k) {
+            let _ = writeln!(out, "  {k}: unexpected field (got {av})");
+        }
+    }
+    if out.is_empty() {
+        // Same fields, different ordering or formatting.
+        out.push_str("  digests differ in formatting/ordering\n");
+    }
+    Some(out)
+}
+
+/// Checks every scenario against the fixtures in `dir`. Returns the
+/// number of scenarios checked, or a readable multi-scenario report of
+/// every mismatch / missing fixture.
+pub fn check_dir(dir: &Path) -> Result<usize, String> {
+    let mut failures = String::new();
+    let all = scenarios();
+    for sc in &all {
+        let name = sc.name();
+        let path = dir.join(format!("{name}.txt"));
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = writeln!(
+                    failures,
+                    "{name}: cannot read fixture {}: {e}\n  (run with GOLDEN_BLESS=1 to create it)",
+                    path.display()
+                );
+                continue;
+            }
+        };
+        let actual = sc.digest();
+        if let Some(d) = diff(&expected, &actual) {
+            let _ = writeln!(failures, "{name}: golden trace drifted:\n{d}");
+        }
+    }
+    if failures.is_empty() {
+        Ok(all.len())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Regenerates every fixture in `dir` from the current code. Returns the
+/// number written.
+pub fn bless_dir(dir: &Path) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let all = scenarios();
+    for sc in &all {
+        std::fs::write(dir.join(format!("{}.txt", sc.name())), sc.digest())?;
+    }
+    Ok(all.len())
+}
+
+/// The committed fixture directory, resolved from this crate's manifest
+/// (`<workspace>/tests/golden`).
+pub fn default_fixture_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("tests/golden")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_reproducible() {
+        let sc = Scenario {
+            kind: NetworkKind::UniformParallelMesh,
+            seed: 1,
+            flavor: Flavor::Clean,
+        };
+        assert_eq!(sc.digest(), sc.digest());
+    }
+
+    #[test]
+    fn diff_reports_the_changed_field() {
+        let a = "x=1\ny=2\n";
+        let b = "x=1\ny=3\n";
+        assert!(diff(a, a).is_none());
+        let d = diff(a, b).expect("differs");
+        assert!(d.contains("y: expected 2, got 3"), "{d}");
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let mut names: Vec<String> = scenarios().iter().map(|s| s.name()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

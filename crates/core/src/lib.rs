@@ -42,6 +42,8 @@
 //! * fault model — [`SimConfig::with_ber`] arms BER-driven corruption and
 //!   the CRC/replay retry layer ([`chiplet_fault`] holds the config and
 //!   scripts; [`Network::set_fault_script`] schedules hard failures);
+//! * [`golden`] — the golden-trace matrix pinning the bit-identity
+//!   contract that hot-path optimizations must preserve;
 //! * [`energy`] — the §8.3 energy model;
 //! * [`economy`] — the §10 chiplet-reuse cost model;
 //! * [`results`] — aggregated metrics.
@@ -53,6 +55,7 @@ pub mod config;
 pub mod economy;
 pub mod energy;
 mod engine;
+pub mod golden;
 pub mod network;
 pub mod presets;
 pub mod results;

@@ -15,7 +15,7 @@ use crate::config::SimConfig;
 use crate::energy::EnergyModel;
 use crate::engine::{Engine, EngineCtx, FaultCore, Medium};
 use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
-use chiplet_noc::{CreditLine, DelayLine, PacketId, RetryLine, Router};
+use chiplet_noc::{CreditLine, DelayLine, FlitArena, PacketId, RetryLine, Router};
 use chiplet_phy::{HeteroPhyLink, PhyKind};
 use chiplet_topo::routing::Routing;
 use chiplet_topo::{LinkClass, LinkId, SystemTopology};
@@ -136,6 +136,11 @@ pub struct Network {
     script: FaultScript,
     /// Next unapplied script event.
     script_pos: usize,
+    /// Pooled scratch for [`Self::apply_fault`]: targeted links and the
+    /// link events they emitted. Kept across calls so fault storms (BER
+    /// scripts fire repeatedly) do not allocate.
+    fault_links: Vec<LinkId>,
+    fault_emitted: Vec<(u32, LinkEvent)>,
     engine: Engine,
 }
 
@@ -265,7 +270,7 @@ impl Network {
         }
 
         let faults = FaultCore::new(&link_ps, config.seed);
-        Self {
+        let mut net = Self {
             routing,
             config,
             energy_model: EnergyModel::default(),
@@ -275,9 +280,18 @@ impl Network {
             inport_links,
             script: FaultScript::default(),
             script_pos: 0,
+            fault_links: Vec::new(),
+            fault_emitted: Vec::new(),
             engine: Engine::new(routers, media, credit_lines, faults, n),
             topo,
-        }
+        };
+        // Precompute the full route table for small systems so the RC
+        // stage never walks a routing algorithm at runtime (prefill
+        // no-ops above its node threshold; those fill lazily).
+        net.engine
+            .route_table()
+            .prefill(net.routing.as_ref(), &net.topo);
+        net
     }
 
     /// The topology this network was built from.
@@ -351,6 +365,13 @@ impl Network {
         self.engine.live_packets()
     }
 
+    /// The flit arena. A drained network (no live packets) must report
+    /// [`FlitArena::in_flight`] of zero — anything else is a leaked
+    /// handle.
+    pub fn flit_arena(&self) -> &FlitArena {
+        self.engine.arena()
+    }
+
     /// Total packets waiting in source queues (not yet fully injected).
     pub fn queued_packets(&self) -> usize {
         self.engine.queued_packets()
@@ -406,33 +427,35 @@ impl Network {
                 | FaultEvent::LinkDown
                 | FaultEvent::LinkUp
         );
-        let mut links: Vec<LinkId> = self
-            .topo
-            .links()
-            .iter()
-            .filter(|l| match tf.target {
+        let mut links = std::mem::take(&mut self.fault_links);
+        links.clear();
+        links.extend(self.topo.links().iter().filter_map(|l| {
+            let hit = match tf.target {
                 FaultTarget::All => l.class.is_interface(),
                 FaultTarget::Link(id) => l.id.0 == id,
                 FaultTarget::Class(c) => l.class == c,
-            })
-            .map(|l| l.id)
-            .collect();
+            };
+            hit.then_some(l.id)
+        }));
         if hard {
             // Hard failures are physical and bidirectional: take each
             // targeted link's reverse pair along.
-            let mut both = links.clone();
-            for &id in &links {
-                if let Some(rev) = self.topo.reverse_of(id) {
-                    if !both.contains(&rev) {
-                        both.push(rev);
+            let direct = links.len();
+            for i in 0..direct {
+                if let Some(rev) = self.topo.reverse_of(links[i]) {
+                    if !links.contains(&rev) {
+                        links.push(rev);
                     }
                 }
             }
-            both.sort_by_key(|l| l.0);
-            links = both;
+            links.sort_by_key(|l| l.0);
         }
         let now = self.engine.now();
-        let mut emitted: Vec<(u32, LinkEvent)> = Vec::new();
+        let mut emitted = std::mem::take(&mut self.fault_emitted);
+        emitted.clear();
+        // Set when a hard event actually edits the topology's routing
+        // lookup tables; cached routes are stale from that point.
+        let mut reroute = false;
         {
             let (media, faults, _) = self.engine.fault_parts();
             for &id in &links {
@@ -455,7 +478,7 @@ impl Network {
                             if class_matches(*class, kind) =>
                         {
                             faults.set_blocked(li, true);
-                            self.topo.set_pair_down(id, true);
+                            reroute |= self.topo.set_pair_down(id, true);
                             emitted.push((li as u32, LinkEvent::PhyDown));
                         }
                         _ => {}
@@ -469,19 +492,19 @@ impl Network {
                             if class_matches(*class, kind) =>
                         {
                             faults.set_blocked(li, false);
-                            self.topo.set_pair_down(id, false);
+                            reroute |= self.topo.set_pair_down(id, false);
                             emitted.push((li as u32, LinkEvent::PhyUp));
                         }
                         _ => {}
                     },
                     FaultEvent::LinkDown => {
                         faults.set_blocked(li, true);
-                        self.topo.set_pair_down(id, true);
+                        reroute |= self.topo.set_pair_down(id, true);
                         emitted.push((li as u32, LinkEvent::LinkDown));
                     }
                     FaultEvent::LinkUp => {
                         faults.set_blocked(li, false);
-                        self.topo.set_pair_down(id, false);
+                        reroute |= self.topo.set_pair_down(id, false);
                         emitted.push((li as u32, LinkEvent::LinkUp));
                     }
                     FaultEvent::Burst { mult, duration } => {
@@ -498,6 +521,15 @@ impl Network {
                 }
             }
         }
+        if reroute {
+            // The routing view changed; drop every cached route and let
+            // the table refill (lazily, or eagerly for small systems —
+            // matching what build time did).
+            self.engine.route_table().invalidate();
+            self.engine
+                .route_table()
+                .prefill(self.routing.as_ref(), &self.topo);
+        }
         {
             let (_, _, collector) = self.engine.fault_parts();
             for &(li, ev) in &emitted {
@@ -512,6 +544,8 @@ impl Network {
         for &id in &links {
             self.engine.wake_medium(id.index());
         }
+        self.fault_links = links;
+        self.fault_emitted = emitted;
     }
 }
 

@@ -16,6 +16,10 @@ use std::collections::VecDeque;
 
 /// A fixed-latency, bandwidth-limited, in-order flit pipeline.
 ///
+/// Generic over the payload so it can carry flit structs directly or the
+/// 4-byte [`crate::arena::FlitRef`] handles the engine's hot path uses;
+/// anything `Copy` works.
+///
 /// # Examples
 ///
 /// ```
@@ -30,15 +34,15 @@ use std::collections::VecDeque;
 /// assert_eq!(line.pop_ready(15), Some(f));
 /// ```
 #[derive(Debug, Clone)]
-pub struct DelayLine {
+pub struct DelayLine<T: Copy = Flit> {
     latency: u32,
     bandwidth: u8,
-    q: VecDeque<(Cycle, Flit)>,
+    q: VecDeque<(Cycle, T)>,
     sent_cycle: Cycle,
     sent_count: u8,
 }
 
-impl DelayLine {
+impl<T: Copy> DelayLine<T> {
     /// Creates a line with `latency` cycles of delay and `bandwidth` lanes.
     ///
     /// # Panics
@@ -77,7 +81,7 @@ impl DelayLine {
 
     /// Enqueues `flit` at cycle `now` if a lane is free; returns whether it
     /// was accepted.
-    pub fn try_send(&mut self, now: Cycle, flit: Flit) -> bool {
+    pub fn try_send(&mut self, now: Cycle, flit: T) -> bool {
         if self.sent_cycle != now {
             self.sent_cycle = now;
             self.sent_count = 0;
@@ -91,7 +95,8 @@ impl DelayLine {
     }
 
     /// Pops the next flit whose delivery time has arrived, if any.
-    pub fn pop_ready(&mut self, now: Cycle) -> Option<Flit> {
+    #[inline]
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
         match self.q.front() {
             Some(&(at, _)) if at <= now => self.q.pop_front().map(|(_, f)| f),
             _ => None,
@@ -103,13 +108,14 @@ impl DelayLine {
     /// Equivalent to looping [`Self::pop_ready`], as a single call site
     /// for per-hop observability (the engine forwards each delivery to
     /// its flit-hop probes).
-    pub fn drain_ready(&mut self, now: Cycle, mut sink: impl FnMut(Flit)) {
+    pub fn drain_ready(&mut self, now: Cycle, mut sink: impl FnMut(T)) {
         while let Some(flit) = self.pop_ready(now) {
             sink(flit);
         }
     }
 
     /// Flits currently in flight.
+    #[inline]
     pub fn in_flight(&self) -> usize {
         self.q.len()
     }
@@ -139,11 +145,13 @@ impl CreditLine {
     }
 
     /// Sends one credit for `vc` at cycle `now` (credits are never dropped).
+    #[inline]
     pub fn send(&mut self, now: Cycle, vc: u8) {
         self.q.push_back((now + self.latency as Cycle, vc));
     }
 
     /// Pops the next credit whose arrival time has come, if any.
+    #[inline]
     pub fn pop_ready(&mut self, now: Cycle) -> Option<u8> {
         match self.q.front() {
             Some(&(at, _)) if at <= now => self.q.pop_front().map(|(_, vc)| vc),
@@ -152,6 +160,7 @@ impl CreditLine {
     }
 
     /// Credits currently in flight.
+    #[inline]
     pub fn in_flight(&self) -> usize {
         self.q.len()
     }
@@ -242,6 +251,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_latency_rejected() {
-        DelayLine::new(0, 1);
+        DelayLine::<Flit>::new(0, 1);
     }
 }

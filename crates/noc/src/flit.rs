@@ -47,6 +47,7 @@ pub struct Flit {
 
 impl Flit {
     /// Whether this is the head flit.
+    #[inline]
     pub fn is_head(&self) -> bool {
         self.seq == 0
     }

@@ -4,6 +4,10 @@
 //! paper:
 //!
 //! * [`flit`]/[`packet`] — flits, packets and the packet descriptor store;
+//! * [`arena`] — the slab/freelist [`arena::FlitArena`] giving every
+//!   in-flight flit a stable home and a copyable 4-byte handle, so router
+//!   buffers and channel queues move indices instead of structs and the
+//!   steady-state hot path performs no allocation;
 //! * [`channel`] — behavioral channel models: a [`channel::DelayLine`]
 //!   ("multiple virtual pipeline registers": latency → pipeline stages,
 //!   bandwidth → lanes) and the matching [`channel::CreditLine`] for
@@ -27,12 +31,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod channel;
 pub mod flit;
 pub mod packet;
 pub mod retry;
 pub mod router;
 
+pub use arena::{FlitArena, FlitRef, Slab};
 pub use channel::{CreditLine, DelayLine};
 pub use flit::{Flit, OrderClass, Priority};
 pub use packet::{PacketId, PacketInfo, PacketStore};

@@ -5,6 +5,7 @@
 //! aggregates. Descriptor slots are recycled after the tail flit is
 //! ejected, so long simulations run in bounded memory.
 
+use crate::arena::Slab;
 use crate::flit::{Flit, OrderClass, Priority};
 use chiplet_topo::{NodeId, RouteState};
 use simkit::Cycle;
@@ -15,6 +16,7 @@ pub struct PacketId(pub u32);
 
 impl PacketId {
     /// The raw slot index.
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -103,10 +105,7 @@ impl PacketInfo {
 /// ```
 #[derive(Debug, Default)]
 pub struct PacketStore {
-    slots: Vec<PacketInfo>,
-    free: Vec<u32>,
-    live: usize,
-    created_total: u64,
+    slab: Slab<PacketInfo>,
 }
 
 impl PacketStore {
@@ -116,16 +115,9 @@ impl PacketStore {
     }
 
     /// Allocates a slot for `info`, recycling a freed one when available.
+    #[inline]
     pub fn alloc(&mut self, info: PacketInfo) -> PacketId {
-        self.live += 1;
-        self.created_total += 1;
-        if let Some(i) = self.free.pop() {
-            self.slots[i as usize] = info;
-            PacketId(i)
-        } else {
-            self.slots.push(info);
-            PacketId((self.slots.len() - 1) as u32)
-        }
+        PacketId(self.slab.alloc(info))
     }
 
     /// The descriptor of `pid`.
@@ -133,8 +125,9 @@ impl PacketStore {
     /// # Panics
     ///
     /// Panics if the slot is out of range.
+    #[inline]
     pub fn get(&self, pid: PacketId) -> &PacketInfo {
-        &self.slots[pid.index()]
+        self.slab.get(pid.0)
     }
 
     /// Mutable descriptor of `pid`.
@@ -142,26 +135,27 @@ impl PacketStore {
     /// # Panics
     ///
     /// Panics if the slot is out of range.
+    #[inline]
     pub fn get_mut(&mut self, pid: PacketId) -> &mut PacketInfo {
-        &mut self.slots[pid.index()]
+        self.slab.get_mut(pid.0)
     }
 
     /// Releases a slot for reuse. The caller must ensure no flits of the
     /// packet remain in flight.
+    #[inline]
     pub fn free(&mut self, pid: PacketId) {
-        debug_assert!(!self.free.contains(&pid.0), "double free of {pid:?}");
-        self.free.push(pid.0);
-        self.live -= 1;
+        self.slab.free(pid.0);
     }
 
     /// Packets currently alive (allocated and not freed).
+    #[inline]
     pub fn live(&self) -> usize {
-        self.live
+        self.slab.live()
     }
 
     /// Total packets ever allocated.
     pub fn created_total(&self) -> u64 {
-        self.created_total
+        self.slab.allocated_total()
     }
 
     /// Builds the flit sequence of packet `pid` (used by injection).

@@ -24,6 +24,7 @@
 //! replay buffer is sized so that steady-state acknowledgements always pop
 //! entries before the buffer can bind, and no NAK or timeout ever fires.
 
+use crate::arena::{FlitArena, FlitRef};
 use crate::flit::Flit;
 use simkit::probe::LinkEvent;
 use simkit::Cycle;
@@ -57,10 +58,11 @@ fn frame_crc(flit: &Flit, lseq: u64) -> u16 {
     crc16(&bytes)
 }
 
-/// One framed flit on the wire.
+/// One framed flit on the wire. Carries the arena handle; the flit's
+/// fields stay in the [`FlitArena`] while the frame is in flight.
 #[derive(Debug, Clone, Copy)]
 struct LinkFlit {
-    flit: Flit,
+    fref: FlitRef,
     lseq: u64,
     crc: u16,
 }
@@ -83,19 +85,28 @@ enum AckMsg {
 /// transmission, and the per-cycle [`Self::advance`] needs a corruption
 /// oracle (for retransmissions) and an event sink.
 ///
+/// Flits travel as [`FlitRef`] arena handles. The replay buffer keeps
+/// flit *values* (its copies outlive the original handle, which may
+/// already be ejected downstream by the time a replay fires), so a
+/// retransmission admits a fresh handle and the receiver retires the
+/// handles of corrupted, duplicate and out-of-sequence frames.
+///
 /// # Examples
 ///
 /// ```
+/// use chiplet_noc::arena::FlitArena;
 /// use chiplet_noc::retry::RetryLine;
 /// use chiplet_noc::flit::Flit;
 /// use chiplet_noc::packet::PacketId;
 ///
+/// let mut arena = FlitArena::new();
 /// let mut line = RetryLine::new(5, 2, 64);
 /// let f = Flit { pid: PacketId(0), seq: 0, vc: 0, last: true };
-/// assert!(line.try_send(10, f, false));
-/// line.advance(15, &mut || false, &mut |_| {});
+/// let fref = arena.alloc(f);
+/// assert!(line.try_send(10, fref, &arena, false));
+/// line.advance(15, &mut arena, &mut || false, &mut |_| {});
 /// let mut got = Vec::new();
-/// line.drain_delivered(|f| got.push(f));
+/// line.drain_delivered(|r| got.push(arena.free(r)));
 /// assert_eq!(got, vec![f]);
 /// ```
 #[derive(Debug, Clone)]
@@ -118,7 +129,7 @@ pub struct RetryLine {
     // Receiver.
     rx_expected: u64,
     nak_cooldown_until: Cycle,
-    delivered: VecDeque<Flit>,
+    delivered: VecDeque<FlitRef>,
     // Counters.
     retransmits: u64,
     corrupt_seen: u64,
@@ -212,22 +223,30 @@ impl RetryLine {
         self.lanes_free(now).min(replay_space)
     }
 
-    /// Enqueues `flit` at cycle `now` if a lane and replay space are free;
-    /// `corrupt` is the wire's verdict for this transmission (the frame
-    /// arrives with a broken CRC when true). Returns whether it was
-    /// accepted.
-    pub fn try_send(&mut self, now: Cycle, flit: Flit, corrupt: bool) -> bool {
+    /// Enqueues the flit behind `fref` at cycle `now` if a lane and replay
+    /// space are free; `corrupt` is the wire's verdict for this
+    /// transmission (the frame arrives with a broken CRC when true).
+    /// Returns whether it was accepted — on `false` the handle stays with
+    /// the caller.
+    pub fn try_send(
+        &mut self,
+        now: Cycle,
+        fref: FlitRef,
+        arena: &FlitArena,
+        corrupt: bool,
+    ) -> bool {
         if self.capacity(now) == 0 {
             return false;
         }
         self.take_lane(now);
+        let flit = arena.get(fref);
         let lseq = self.next_lseq;
         self.next_lseq += 1;
         self.replay.push_back((lseq, flit));
         self.last_progress = now;
         let crc = frame_crc(&flit, lseq) ^ if corrupt { 0xFFFF } else { 0 };
         self.fwd
-            .push_back((now + self.latency as Cycle, LinkFlit { flit, lseq, crc }));
+            .push_back((now + self.latency as Cycle, LinkFlit { fref, lseq, crc }));
         true
     }
 
@@ -250,6 +269,7 @@ impl RetryLine {
     pub fn advance(
         &mut self,
         now: Cycle,
+        arena: &mut FlitArena,
         corrupt: &mut dyn FnMut() -> bool,
         events: &mut dyn FnMut(LinkEvent),
     ) {
@@ -310,8 +330,11 @@ impl RetryLine {
                 Some(&(lseq, flit)) => {
                     self.take_lane(now);
                     let crc = frame_crc(&flit, lseq) ^ if corrupt() { 0xFFFF } else { 0 };
+                    // A replay is a fresh transmission: the original handle
+                    // may already be retired downstream, so admit a new one.
+                    let fref = arena.alloc(flit);
                     self.fwd
-                        .push_back((now + self.latency as Cycle, LinkFlit { flit, lseq, crc }));
+                        .push_back((now + self.latency as Cycle, LinkFlit { fref, lseq, crc }));
                     self.retransmits += 1;
                     self.last_progress = now;
                     events(LinkEvent::Retransmit);
@@ -325,22 +348,28 @@ impl RetryLine {
             }
         }
         // 4. Receiver: CRC first, then the go-back-N sequence check.
+        // Dropped frames retire their handles — the replay buffer holds
+        // the surviving copy of the flit.
         while let Some(&(at, lf)) = self.fwd.front() {
             if at > now {
                 break;
             }
             self.fwd.pop_front();
-            if lf.crc != frame_crc(&lf.flit, lf.lseq) {
+            let flit = arena.get(lf.fref);
+            if lf.crc != frame_crc(&flit, lf.lseq) {
+                arena.free(lf.fref);
                 self.corrupt_seen += 1;
                 events(LinkEvent::Corrupt);
                 self.send_nak(now, events);
             } else if lf.lseq < self.rx_expected {
                 // Duplicate from a rewind that overshot: drop silently.
+                arena.free(lf.fref);
             } else if lf.lseq > self.rx_expected {
                 // Gap: an earlier frame was dropped.
+                arena.free(lf.fref);
                 self.send_nak(now, events);
             } else {
-                self.delivered.push_back(lf.flit);
+                self.delivered.push_back(lf.fref);
                 self.rx_expected += 1;
                 let ack_at = now + self.latency as Cycle;
                 match self.acks.back_mut() {
@@ -352,9 +381,9 @@ impl RetryLine {
     }
 
     /// Delivers every received-intact flit to `sink`, in link order.
-    pub fn drain_delivered(&mut self, mut sink: impl FnMut(Flit)) {
-        while let Some(flit) = self.delivered.pop_front() {
-            sink(flit);
+    pub fn drain_delivered(&mut self, mut sink: impl FnMut(FlitRef)) {
+        while let Some(fref) = self.delivered.pop_front() {
+            sink(fref);
         }
     }
 
@@ -372,6 +401,12 @@ mod tests {
     use crate::packet::PacketId;
     use simkit::SimRng;
 
+    /// Admits a flit and sends it; panics if the line refuses.
+    fn send(line: &mut RetryLine, arena: &mut FlitArena, now: Cycle, f: Flit, corrupt: bool) {
+        let fref = arena.alloc(f);
+        assert!(line.try_send(now, fref, arena, corrupt));
+    }
+
     fn flit(seq: u16) -> Flit {
         Flit {
             pid: PacketId(3),
@@ -385,22 +420,23 @@ mod tests {
     /// cycle for cycle.
     #[test]
     fn error_free_matches_delay_line_cycle_for_cycle() {
+        let mut arena = FlitArena::new();
         let mut plain = DelayLine::new(4, 2);
         let mut retry = RetryLine::new(4, 2, 64);
         let mut seq = 0u16;
         for now in 0..200u64 {
-            retry.advance(now, &mut || false, &mut |_| {});
+            retry.advance(now, &mut arena, &mut || false, &mut |_| {});
             let mut a = Vec::new();
             let mut b = Vec::new();
             plain.drain_ready(now, |f| a.push(f));
-            retry.drain_delivered(|f| b.push(f));
+            retry.drain_delivered(|r| b.push(arena.free(r)));
             assert_eq!(a, b, "cycle {now}");
             if now % 3 != 2 {
                 let n = plain.capacity(now).min(retry.capacity(now));
                 assert_eq!(plain.capacity(now), retry.capacity(now), "cycle {now}");
                 for _ in 0..n {
                     assert!(plain.try_send(now, flit(seq)));
-                    assert!(retry.try_send(now, flit(seq), false));
+                    send(&mut retry, &mut arena, now, flit(seq), false);
                     seq += 1;
                 }
             }
@@ -411,30 +447,33 @@ mod tests {
 
     #[test]
     fn single_corruption_is_replayed_in_order() {
+        let mut arena = FlitArena::new();
         let mut line = RetryLine::new(3, 1, 64);
         // First transmission of flit 0 is corrupted on the wire.
-        assert!(line.try_send(0, flit(0), true));
-        assert!(line.try_send(1, flit(1), false));
+        send(&mut line, &mut arena, 0, flit(0), true);
+        send(&mut line, &mut arena, 1, flit(1), false);
         let mut got = Vec::new();
         let mut naks = 0;
         for now in 0..40u64 {
-            line.advance(now, &mut || false, &mut |ev| {
+            line.advance(now, &mut arena, &mut || false, &mut |ev| {
                 if ev == LinkEvent::RetryNak {
                     naks += 1;
                 }
             });
-            line.drain_delivered(|f| got.push(f.seq));
+            line.drain_delivered(|r| got.push(arena.free(r).seq));
         }
         assert_eq!(got, vec![0, 1]);
         assert_eq!(line.corrupt_seen(), 1);
         assert!(line.retransmits() >= 2, "go-back-N replays both frames");
         assert_eq!(naks, 1, "cooldown limits one burst to one NAK");
         assert_eq!(line.in_flight(), 0);
+        assert_eq!(arena.in_flight(), 0, "every dropped frame retired");
     }
 
     #[test]
     fn random_corruption_delivers_exactly_once_in_order() {
         for seed in [1u64, 7, 42] {
+            let mut arena = FlitArena::new();
             let mut rng = SimRng::seed(seed);
             let mut line = RetryLine::new(5, 2, 64);
             let mut sent = 0u16;
@@ -442,11 +481,11 @@ mod tests {
             let total = 300u16;
             let mut now = 0u64;
             while got.len() < total as usize {
-                line.advance(now, &mut || rng.chance(0.05), &mut |_| {});
-                line.drain_delivered(|f| got.push(f.seq));
+                line.advance(now, &mut arena, &mut || rng.chance(0.05), &mut |_| {});
+                line.drain_delivered(|r| got.push(arena.free(r).seq));
                 while sent < total && line.capacity(now) > 0 {
                     let corrupt = rng.chance(0.05);
-                    assert!(line.try_send(now, flit(sent), corrupt));
+                    send(&mut line, &mut arena, now, flit(sent), corrupt);
                     sent += 1;
                 }
                 now += 1;
@@ -459,17 +498,19 @@ mod tests {
 
     #[test]
     fn timeout_recovers_when_nak_is_suppressed() {
+        let mut arena = FlitArena::new();
         let mut line = RetryLine::new(2, 1, 16);
         // Two corrupt frames back to back: the first draws the only NAK of
         // the cooldown window; make that NAK's replay corrupt too, so only
         // the timeout can recover.
-        assert!(line.try_send(0, flit(0), true));
+        send(&mut line, &mut arena, 0, flit(0), true);
         let mut timeouts = 0;
         let mut got = Vec::new();
         let mut first_retx_corrupted = false;
         for now in 0..200u64 {
             line.advance(
                 now,
+                &mut arena,
                 &mut || {
                     if !first_retx_corrupted {
                         first_retx_corrupted = true;
@@ -484,27 +525,29 @@ mod tests {
                     }
                 },
             );
-            line.drain_delivered(|f| got.push(f.seq));
+            line.drain_delivered(|r| got.push(arena.free(r).seq));
         }
         assert_eq!(got, vec![0]);
         assert!(timeouts >= 1, "timeout must fire when NAKs are suppressed");
         assert_eq!(line.in_flight(), 0);
+        assert_eq!(arena.in_flight(), 0);
     }
 
     #[test]
     fn rewind_blocks_new_sends_until_replay_completes() {
+        let mut arena = FlitArena::new();
         let mut line = RetryLine::new(2, 2, 64);
-        assert!(line.try_send(0, flit(0), true));
-        assert!(line.try_send(0, flit(1), false));
+        send(&mut line, &mut arena, 0, flit(0), true);
+        send(&mut line, &mut arena, 0, flit(1), false);
         // Corruption detected at cycle 2, NAK arrives at 4, rewind starts.
         for now in 1..=4u64 {
-            line.advance(now, &mut || false, &mut |_| {});
+            line.advance(now, &mut arena, &mut || false, &mut |_| {});
         }
         assert_eq!(line.capacity(4), 0, "replay owns the wire");
         let mut got = Vec::new();
         for now in 5..30u64 {
-            line.advance(now, &mut || false, &mut |_| {});
-            line.drain_delivered(|f| got.push(f.seq));
+            line.advance(now, &mut arena, &mut || false, &mut |_| {});
+            line.drain_delivered(|r| got.push(arena.free(r).seq));
         }
         assert_eq!(got, vec![0, 1]);
         assert!(line.capacity(30) > 0);

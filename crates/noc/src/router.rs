@@ -17,7 +17,7 @@
 //! output-port indices), accepts transmitted flits, and returns credits
 //! upstream.
 
-use crate::flit::Flit;
+use crate::arena::{FlitArena, FlitRef};
 use crate::packet::PacketId;
 use simkit::Cycle;
 use std::collections::VecDeque;
@@ -49,8 +49,10 @@ pub trait RouterEnv {
     fn out_capacity(&mut self, out_port: u16) -> u16;
 
     /// Hands a flit to the medium behind `out_port` (counts toward the next
-    /// [`Self::out_capacity`] call).
-    fn send(&mut self, out_port: u16, flit: Flit);
+    /// [`Self::out_capacity`] call). The router lends the arena through the
+    /// call so the environment can read the flit, retire its handle at
+    /// ejection, or re-home it across an adapter boundary.
+    fn send(&mut self, out_port: u16, fref: FlitRef, arena: &mut FlitArena);
 
     /// Returns one credit to the upstream side of `in_port`.
     fn credit(&mut self, in_port: u16, vc: u8);
@@ -61,11 +63,10 @@ pub trait RouterEnv {
     fn note_baseline_lock(&mut self, pid: PacketId);
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum VcState {
     Idle,
     Routed {
-        cands: Vec<PortCandidate>,
         at: Cycle,
     },
     Active {
@@ -77,14 +78,11 @@ enum VcState {
 
 #[derive(Debug, Clone)]
 struct VcBuf {
-    q: VecDeque<Flit>,
-    state: VcState,
-}
-
-#[derive(Debug, Clone)]
-struct InPort {
-    depth: u16,
-    vcs: Vec<VcBuf>,
+    q: VecDeque<FlitRef>,
+    /// Routing candidates computed at RC. Valid only while the VC's state
+    /// is `Routed` or `Active`; cleared and refilled in place on the next
+    /// RC so the steady state allocates nothing.
+    cands: Vec<PortCandidate>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -109,11 +107,26 @@ struct OutPort {
 #[derive(Debug)]
 pub struct Router {
     vcs: u8,
-    in_ports: Vec<InPort>,
+    /// VC pipeline states, flat over (in port, vc): index `p * vcs + v`.
+    /// Kept dense and separate from the queues so the VA/SA round-robin
+    /// scans stream through contiguous 16-byte entries instead of
+    /// chasing into each buffer.
+    states: Vec<VcState>,
+    /// Queues and routing candidates, parallel to `states`.
+    bufs: Vec<VcBuf>,
+    /// Per-input-port VC buffer depth.
+    depths: Vec<u16>,
     out_ports: Vec<OutPort>,
     va_rr: usize,
     sa_rr: usize,
-    scratch: Vec<PortCandidate>,
+    // O(1) occupancy counters so the per-cycle pipeline stages and the
+    // engine's quiescence checks never rescan every VC buffer. Invariants:
+    // `buffered` = total queued flits; `routed_vcs` / `active_vcs` = VCs in
+    // the matching state; `idle_with_flits` = idle VCs with a waiting head.
+    buffered: u32,
+    routed_vcs: u32,
+    active_vcs: u32,
+    idle_with_flits: u32,
 }
 
 impl Router {
@@ -126,11 +139,16 @@ impl Router {
         assert!(vcs > 0, "need at least one virtual channel");
         Self {
             vcs,
-            in_ports: Vec::new(),
+            states: Vec::new(),
+            bufs: Vec::new(),
+            depths: Vec::new(),
             out_ports: Vec::new(),
             va_rr: 0,
             sa_rr: 0,
-            scratch: Vec::new(),
+            buffered: 0,
+            routed_vcs: 0,
+            active_vcs: 0,
+            idle_with_flits: 0,
         }
     }
 
@@ -143,16 +161,15 @@ impl Router {
     /// its index.
     pub fn add_in_port(&mut self, depth: u16) -> u16 {
         assert!(depth > 0, "VC buffers hold at least one flit");
-        self.in_ports.push(InPort {
-            depth,
-            vcs: (0..self.vcs)
-                .map(|_| VcBuf {
-                    q: VecDeque::new(),
-                    state: VcState::Idle,
-                })
-                .collect(),
-        });
-        (self.in_ports.len() - 1) as u16
+        for _ in 0..self.vcs {
+            self.states.push(VcState::Idle);
+            self.bufs.push(VcBuf {
+                q: VecDeque::new(),
+                cands: Vec::new(),
+            });
+        }
+        self.depths.push(depth);
+        (self.depths.len() - 1) as u16
     }
 
     /// Adds an output port with per-cycle crossbar capacity `bandwidth` and
@@ -183,7 +200,7 @@ impl Router {
 
     /// Number of input ports.
     pub fn in_ports(&self) -> u16 {
-        self.in_ports.len() as u16
+        self.depths.len() as u16
     }
 
     /// Number of output ports.
@@ -196,187 +213,233 @@ impl Router {
     /// # Panics
     ///
     /// Panics if the port or VC index is out of range.
+    #[inline]
     pub fn in_space(&self, in_port: u16, vc: u8) -> u16 {
-        let p = &self.in_ports[in_port as usize];
-        p.depth - p.vcs[vc as usize].q.len() as u16
+        let q = &self.bufs[in_port as usize * self.vcs as usize + vc as usize].q;
+        self.depths[in_port as usize] - q.len() as u16
     }
 
     /// Whether input VC (`in_port`, `vc`) currently holds no packet (idle
     /// state and empty buffer) — used by injection to claim a VC.
+    #[inline]
     pub fn in_vc_idle(&self, in_port: u16, vc: u8) -> bool {
-        let b = &self.in_ports[in_port as usize].vcs[vc as usize];
-        matches!(b.state, VcState::Idle) && b.q.is_empty()
+        let i = in_port as usize * self.vcs as usize + vc as usize;
+        matches!(self.states[i], VcState::Idle) && self.bufs[i].q.is_empty()
     }
 
-    /// Accepts a flit into input buffer (`in_port`, `flit.vc`).
+    /// Accepts a flit into input buffer (`in_port`, `vc`). `vc` must be
+    /// the VC field of the flit behind `fref` — callers already hold the
+    /// flit (they just drained it from a channel or built it at
+    /// injection), so the router does not re-read the arena.
     ///
     /// # Panics
     ///
     /// Panics (debug) if the buffer overflows — a flow-control bug.
-    pub fn receive(&mut self, in_port: u16, flit: Flit) {
-        let p = &mut self.in_ports[in_port as usize];
-        let buf = &mut p.vcs[flit.vc as usize];
+    #[inline]
+    pub fn receive(&mut self, in_port: u16, fref: FlitRef, vc: u8) {
+        let i = in_port as usize * self.vcs as usize + vc as usize;
+        let buf = &mut self.bufs[i];
         debug_assert!(
-            buf.q.len() < p.depth as usize,
-            "input buffer overflow at port {in_port} vc {}",
-            flit.vc
+            buf.q.len() < self.depths[in_port as usize] as usize,
+            "input buffer overflow at port {in_port} vc {vc}",
         );
-        buf.q.push_back(flit);
+        if buf.q.is_empty() && matches!(self.states[i], VcState::Idle) {
+            self.idle_with_flits += 1;
+        }
+        buf.q.push_back(fref);
+        self.buffered += 1;
     }
 
     /// Restores one credit to output channel (`out_port`, `vc`).
+    #[inline]
     pub fn add_credit(&mut self, out_port: u16, vc: u8) {
         self.out_ports[out_port as usize].vcs[vc as usize].credits += 1;
     }
 
-    /// Total flits buffered in all input VCs.
+    /// Total flits buffered in all input VCs. O(1).
     pub fn buffered_flits(&self) -> usize {
-        self.in_ports
-            .iter()
-            .flat_map(|p| p.vcs.iter())
-            .map(|b| b.q.len())
-            .sum()
+        self.buffered as usize
     }
 
-    /// Whether every input VC is idle and empty.
+    /// Whether every input VC is idle and empty. O(1).
+    #[inline]
     pub fn is_quiescent(&self) -> bool {
-        self.in_ports
-            .iter()
-            .flat_map(|p| p.vcs.iter())
-            .all(|b| b.q.is_empty() && matches!(b.state, VcState::Idle))
+        self.buffered == 0 && self.routed_vcs == 0 && self.active_vcs == 0
     }
 
     fn flat_len(&self) -> usize {
-        self.in_ports.len() * self.vcs as usize
-    }
-
-    fn flat(&self, i: usize) -> (usize, usize) {
-        (i / self.vcs as usize, i % self.vcs as usize)
+        self.states.len()
     }
 
     /// Runs one cycle of the router pipeline: VA (on candidates computed in
-    /// an earlier cycle), RC (for new heads), then SA/ST.
-    pub fn step(&mut self, now: Cycle, env: &mut dyn RouterEnv) {
+    /// an earlier cycle), RC (for new heads), then SA/ST. The arena is the
+    /// home of every buffered flit's fields; the router reads packet
+    /// identity through it and rewrites the VC tag at switch traversal.
+    pub fn step<E: RouterEnv + ?Sized>(&mut self, now: Cycle, env: &mut E, arena: &mut FlitArena) {
         let n = self.flat_len();
         if n == 0 {
             return;
         }
 
         // --- VC allocation -------------------------------------------------
-        let va_start = self.va_rr % n;
-        for k in 0..n {
-            let (pi, vi) = self.flat((va_start + k) % n);
-            let buf = &self.in_ports[pi].vcs[vi];
-            let VcState::Routed { ref cands, at } = buf.state else {
-                continue;
-            };
-            if at >= now {
-                continue; // RC happened this cycle; VA next cycle.
-            }
-            // Scan tiers in preference order; within the winning tier pick
-            // the allocatable candidate with the most credits.
-            let mut best: Option<(PortCandidate, u32)> = None;
-            for c in cands.iter() {
-                let op = &self.out_ports[c.out_port as usize];
-                let ov = op.vcs[c.vc as usize];
-                if ov.busy || (!op.unlimited_credits && ov.credits == 0) {
+        // The scan order matches a full round-robin sweep; the countdown on
+        // the routed-VC counter only cuts the tail of pure skips, so grants
+        // are bit-identical to the unconditional scan.
+        if self.routed_vcs > 0 {
+            let mut idx = self.va_rr % n;
+            let mut remaining = self.routed_vcs;
+            for _ in 0..n {
+                if remaining == 0 {
+                    break;
+                }
+                let cur = idx;
+                idx += 1;
+                if idx == n {
+                    idx = 0;
+                }
+                let VcState::Routed { at } = self.states[cur] else {
                     continue;
-                }
-                let score = if op.unlimited_credits {
-                    u32::MAX
-                } else {
-                    ov.credits as u32
                 };
-                match best {
-                    Some((b, s)) if (b.tier, u32::MAX - s) <= (c.tier, u32::MAX - score) => {}
-                    _ => best = Some((*c, score)),
+                remaining -= 1;
+                if at >= now {
+                    continue; // RC happened this cycle; VA next cycle.
                 }
-            }
-            if let Some((grant, _)) = best {
-                let had_adaptive = cands.iter().any(|c| !c.baseline);
-                let pid = buf.q.front().expect("routed VC has a head flit").pid;
-                self.out_ports[grant.out_port as usize].vcs[grant.vc as usize].busy = true;
-                self.in_ports[pi].vcs[vi].state = VcState::Active {
-                    out_port: grant.out_port,
-                    out_vc: grant.vc,
-                    granted_at: now,
-                };
-                if grant.baseline && had_adaptive {
-                    env.note_baseline_lock(pid);
+                // Scan tiers in preference order; within the winning tier pick
+                // the allocatable candidate with the most credits.
+                let buf = &self.bufs[cur];
+                let mut best: Option<(PortCandidate, u32)> = None;
+                for c in buf.cands.iter() {
+                    let op = &self.out_ports[c.out_port as usize];
+                    let ov = op.vcs[c.vc as usize];
+                    if ov.busy || (!op.unlimited_credits && ov.credits == 0) {
+                        continue;
+                    }
+                    let score = if op.unlimited_credits {
+                        u32::MAX
+                    } else {
+                        ov.credits as u32
+                    };
+                    match best {
+                        Some((b, s)) if (b.tier, u32::MAX - s) <= (c.tier, u32::MAX - score) => {}
+                        _ => best = Some((*c, score)),
+                    }
+                }
+                if let Some((grant, _)) = best {
+                    let had_adaptive = buf.cands.iter().any(|c| !c.baseline);
+                    let head = *buf.q.front().expect("routed VC has a head flit");
+                    let pid = arena.get(head).pid;
+                    self.out_ports[grant.out_port as usize].vcs[grant.vc as usize].busy = true;
+                    self.states[cur] = VcState::Active {
+                        out_port: grant.out_port,
+                        out_vc: grant.vc,
+                        granted_at: now,
+                    };
+                    self.routed_vcs -= 1;
+                    self.active_vcs += 1;
+                    if grant.baseline && had_adaptive {
+                        env.note_baseline_lock(pid);
+                    }
                 }
             }
         }
         self.va_rr = self.va_rr.wrapping_add(1);
 
         // --- Routing computation -------------------------------------------
-        for pi in 0..self.in_ports.len() {
-            for vi in 0..self.vcs as usize {
-                let buf = &self.in_ports[pi].vcs[vi];
-                if !matches!(buf.state, VcState::Idle) {
+        if self.idle_with_flits > 0 {
+            let mut remaining = self.idle_with_flits;
+            for cur in 0..n {
+                if remaining == 0 {
+                    break;
+                }
+                if !matches!(self.states[cur], VcState::Idle) {
                     continue;
                 }
-                let Some(front) = buf.q.front() else { continue };
-                debug_assert!(front.is_head(), "non-head flit at idle VC front");
-                let pid = front.pid;
-                self.scratch.clear();
-                env.route(pid, &mut self.scratch);
+                let buf = &mut self.bufs[cur];
+                let Some(&front) = buf.q.front() else {
+                    continue;
+                };
+                remaining -= 1;
+                let head = arena.get(front);
+                debug_assert!(head.is_head(), "non-head flit at idle VC front");
+                let pid = head.pid;
+                buf.cands.clear();
+                env.route(pid, &mut buf.cands);
                 debug_assert!(
-                    !self.scratch.is_empty(),
+                    !buf.cands.is_empty(),
                     "routing returned no candidates for {pid:?}"
                 );
-                self.in_ports[pi].vcs[vi].state = VcState::Routed {
-                    cands: self.scratch.clone(),
-                    at: now,
-                };
+                self.states[cur] = VcState::Routed { at: now };
+                self.idle_with_flits -= 1;
+                self.routed_vcs += 1;
             }
         }
 
         // --- Switch allocation + traversal ---------------------------------
-        for op in &mut self.out_ports {
-            op.used_now = 0;
-        }
-        let sa_start = self.sa_rr % n;
-        for k in 0..n {
-            let (pi, vi) = self.flat((sa_start + k) % n);
-            let VcState::Active {
-                out_port,
-                out_vc,
-                granted_at,
-            } = self.in_ports[pi].vcs[vi].state
-            else {
-                continue;
-            };
-            if granted_at >= now {
-                continue; // VA happened this cycle; SA next cycle.
+        if self.active_vcs > 0 {
+            for op in &mut self.out_ports {
+                op.used_now = 0;
             }
-            loop {
-                let op = &self.out_ports[out_port as usize];
-                if op.used_now >= op.bandwidth {
+            let mut idx = self.sa_rr % n;
+            let mut remaining = self.active_vcs;
+            for _ in 0..n {
+                if remaining == 0 {
                     break;
                 }
-                if !op.unlimited_credits && op.vcs[out_vc as usize].credits == 0 {
-                    break;
+                let cur = idx;
+                idx += 1;
+                if idx == n {
+                    idx = 0;
                 }
-                if env.out_capacity(out_port) == 0 {
-                    break;
-                }
-                let buf = &mut self.in_ports[pi].vcs[vi];
-                let Some(mut flit) = buf.q.pop_front() else {
-                    break;
+                let VcState::Active {
+                    out_port,
+                    out_vc,
+                    granted_at,
+                } = self.states[cur]
+                else {
+                    continue;
                 };
-                flit.vc = out_vc;
-                let last = flit.last;
-                env.send(out_port, flit);
-                env.credit(pi as u16, vi as u8);
-                let op = &mut self.out_ports[out_port as usize];
-                op.used_now += 1;
-                if !op.unlimited_credits {
-                    op.vcs[out_vc as usize].credits -= 1;
+                remaining -= 1;
+                if granted_at >= now {
+                    continue; // VA happened this cycle; SA next cycle.
                 }
-                if last {
-                    op.vcs[out_vc as usize].busy = false;
-                    self.in_ports[pi].vcs[vi].state = VcState::Idle;
-                    break;
+                // The in-port/vc pair is only needed on the grant path.
+                let pi = cur / self.vcs as usize;
+                let vi = cur % self.vcs as usize;
+                loop {
+                    let op = &self.out_ports[out_port as usize];
+                    if op.used_now >= op.bandwidth {
+                        break;
+                    }
+                    if !op.unlimited_credits && op.vcs[out_vc as usize].credits == 0 {
+                        break;
+                    }
+                    if env.out_capacity(out_port) == 0 {
+                        break;
+                    }
+                    let buf = &mut self.bufs[cur];
+                    let Some(fref) = buf.q.pop_front() else {
+                        break;
+                    };
+                    self.buffered -= 1;
+                    let flit = arena.get_mut(fref);
+                    flit.vc = out_vc;
+                    let last = flit.last;
+                    env.send(out_port, fref, arena);
+                    env.credit(pi as u16, vi as u8);
+                    let op = &mut self.out_ports[out_port as usize];
+                    op.used_now += 1;
+                    if !op.unlimited_credits {
+                        op.vcs[out_vc as usize].credits -= 1;
+                    }
+                    if last {
+                        op.vcs[out_vc as usize].busy = false;
+                        self.states[cur] = VcState::Idle;
+                        self.active_vcs -= 1;
+                        if !self.bufs[cur].q.is_empty() {
+                            self.idle_with_flits += 1;
+                        }
+                        break;
+                    }
                 }
             }
         }
@@ -387,6 +450,7 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flit::Flit;
     use crate::packet::PacketId;
 
     /// A test environment: one route for everything, capture sends/credits.
@@ -423,10 +487,12 @@ mod tests {
         fn out_capacity(&mut self, out_port: u16) -> u16 {
             self.capacity[out_port as usize]
         }
-        fn send(&mut self, out_port: u16, flit: Flit) {
+        fn send(&mut self, out_port: u16, fref: FlitRef, arena: &mut FlitArena) {
             assert!(self.capacity[out_port as usize] > 0);
             self.capacity[out_port as usize] -= 1;
-            self.sent.push((out_port, flit));
+            // The mock models both media and ejection: the flit leaves the
+            // arena-managed world here.
+            self.sent.push((out_port, arena.free(fref)));
         }
         fn credit(&mut self, in_port: u16, vc: u8) {
             self.credits.push((in_port, vc));
@@ -445,6 +511,12 @@ mod tests {
         }
     }
 
+    /// Admits a flit into the arena and hands it to the router.
+    fn recv(r: &mut Router, arena: &mut FlitArena, in_port: u16, f: Flit) {
+        let fref = arena.alloc(f);
+        r.receive(in_port, fref, f.vc);
+    }
+
     fn one_port_router(bw: u8) -> Router {
         let mut r = Router::new(2);
         r.add_in_port(16);
@@ -454,6 +526,7 @@ mod tests {
 
     #[test]
     fn pipeline_takes_three_cycles_to_first_send() {
+        let mut arena = FlitArena::new();
         let mut r = one_port_router(2);
         let mut env = MockEnv::new(
             vec![PortCandidate {
@@ -466,19 +539,19 @@ mod tests {
             2,
         );
         for s in 0..4u16 {
-            r.receive(0, flit(1, s, 4));
+            recv(&mut r, &mut arena, 0, flit(1, s, 4));
         }
         // Cycle 0: RC. Cycle 1: VA. Cycle 2: SA moves up to bw flits.
-        r.step(0, &mut env);
+        r.step(0, &mut env, &mut arena);
         assert!(env.sent.is_empty());
         env.reset_cycle(2);
-        r.step(1, &mut env);
+        r.step(1, &mut env, &mut arena);
         assert!(env.sent.is_empty());
         env.reset_cycle(2);
-        r.step(2, &mut env);
+        r.step(2, &mut env, &mut arena);
         assert_eq!(env.sent.len(), 2);
         env.reset_cycle(2);
-        r.step(3, &mut env);
+        r.step(3, &mut env, &mut arena);
         assert_eq!(env.sent.len(), 4);
         // Tail sent → VC released, credits returned for all 4 flits.
         assert_eq!(env.credits.len(), 4);
@@ -487,6 +560,7 @@ mod tests {
 
     #[test]
     fn credits_backpressure_switch() {
+        let mut arena = FlitArena::new();
         let mut r = Router::new(2);
         r.add_in_port(16);
         r.add_out_port(2, 2, false); // only 2 downstream slots
@@ -501,22 +575,23 @@ mod tests {
             99,
         );
         for s in 0..4u16 {
-            r.receive(0, flit(1, s, 4));
+            recv(&mut r, &mut arena, 0, flit(1, s, 4));
         }
         for now in 0..6 {
             env.reset_cycle(99);
-            r.step(now, &mut env);
+            r.step(now, &mut env, &mut arena);
         }
         // Only 2 flits could leave (2 credits, never returned).
         assert_eq!(env.sent.len(), 2);
         r.add_credit(0, 0);
         env.reset_cycle(99);
-        r.step(6, &mut env);
+        r.step(6, &mut env, &mut arena);
         assert_eq!(env.sent.len(), 3);
     }
 
     #[test]
     fn out_vc_busy_until_tail_prevents_interleaving() {
+        let mut arena = FlitArena::new();
         let mut r = Router::new(1); // single VC: second packet must wait
         r.add_in_port(16);
         r.add_in_port(16);
@@ -532,14 +607,14 @@ mod tests {
             1,
         );
         for s in 0..3u16 {
-            r.receive(0, flit(1, s, 3));
+            recv(&mut r, &mut arena, 0, flit(1, s, 3));
         }
         for s in 0..3u16 {
-            r.receive(1, flit(2, s, 3));
+            recv(&mut r, &mut arena, 1, flit(2, s, 3));
         }
         for now in 0..20 {
             env.reset_cycle(1);
-            r.step(now, &mut env);
+            r.step(now, &mut env, &mut arena);
         }
         assert_eq!(env.sent.len(), 6);
         // All flits of one packet precede the other's.
@@ -552,6 +627,7 @@ mod tests {
 
     #[test]
     fn higher_radix_port_accepts_two_inputs_same_cycle() {
+        let mut arena = FlitArena::new();
         let mut r = Router::new(2);
         r.add_in_port(16);
         r.add_in_port(16);
@@ -575,12 +651,12 @@ mod tests {
             4,
         );
         for s in 0..2u16 {
-            r.receive(0, flit(1, s, 2));
-            r.receive(1, flit(2, s, 2));
+            recv(&mut r, &mut arena, 0, flit(1, s, 2));
+            recv(&mut r, &mut arena, 1, flit(2, s, 2));
         }
         for now in 0..3 {
             env.reset_cycle(4);
-            r.step(now, &mut env);
+            r.step(now, &mut env, &mut arena);
         }
         // At cycle 2 both packets stream concurrently through the wide port.
         assert_eq!(env.sent.len(), 4);
@@ -591,6 +667,7 @@ mod tests {
 
     #[test]
     fn baseline_grant_with_adaptive_present_sets_lock() {
+        let mut arena = FlitArena::new();
         // Adaptive candidate on port 1 vc1 is blocked (0 credits), so VA
         // falls back to the baseline escape and must set the livelock lock.
         let mut env = MockEnv::new(
@@ -615,14 +692,15 @@ mod tests {
         r.add_in_port(16);
         r.add_out_port(2, 8, false);
         r.add_out_port(2, 0, false); // adaptive port starts with 0 credits
-        r.receive(0, flit(7, 0, 1));
-        r.step(0, &mut env); // RC
-        r.step(1, &mut env); // VA → baseline grant → lock
+        recv(&mut r, &mut arena, 0, flit(7, 0, 1));
+        r.step(0, &mut env, &mut arena); // RC
+        r.step(1, &mut env, &mut arena); // VA → baseline grant → lock
         assert_eq!(env.locks, vec![PacketId(7)]);
     }
 
     #[test]
     fn adaptive_preferred_when_allocatable() {
+        let mut arena = FlitArena::new();
         let mut r = Router::new(2);
         r.add_in_port(16);
         r.add_out_port(2, 8, false);
@@ -645,10 +723,10 @@ mod tests {
             2,
             2,
         );
-        r.receive(0, flit(7, 0, 1));
+        recv(&mut r, &mut arena, 0, flit(7, 0, 1));
         for now in 0..3 {
             env.reset_cycle(2);
-            r.step(now, &mut env);
+            r.step(now, &mut env, &mut arena);
         }
         assert!(env.locks.is_empty());
         assert_eq!(env.sent.len(), 1);
@@ -658,6 +736,7 @@ mod tests {
 
     #[test]
     fn unlimited_ejection_port_never_starves() {
+        let mut arena = FlitArena::new();
         let mut r = Router::new(2);
         r.add_in_port(4);
         r.add_out_port(2, 0, true); // ejection: zero "credits" but unlimited
@@ -672,21 +751,22 @@ mod tests {
             2,
         );
         for s in 0..4u16 {
-            r.receive(0, flit(3, s, 4));
+            recv(&mut r, &mut arena, 0, flit(3, s, 4));
         }
         for now in 0..5 {
             env.reset_cycle(2);
-            r.step(now, &mut env);
+            r.step(now, &mut env, &mut arena);
         }
         assert_eq!(env.sent.len(), 4);
     }
 
     #[test]
     fn in_space_and_receive_accounting() {
+        let mut arena = FlitArena::new();
         let mut r = Router::new(2);
         r.add_in_port(3);
         assert_eq!(r.in_space(0, 0), 3);
-        r.receive(0, flit(1, 0, 2));
+        recv(&mut r, &mut arena, 0, flit(1, 0, 2));
         assert_eq!(r.in_space(0, 0), 2);
         assert_eq!(r.in_space(0, 1), 3);
         assert!(!r.in_vc_idle(0, 0) || r.buffered_flits() == 1);

@@ -29,6 +29,33 @@ use chiplet_noc::{Flit, OrderClass, Priority};
 use simkit::probe::LinkEvent;
 use simkit::{Cycle, SimRng};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for `u32` packet-id keys (the reorder buffer
+/// probes these maps several times per delivered flit; SipHash is
+/// overkill for already-well-distributed slab indices). Lookup-only —
+/// the maps are never iterated, so hash quality cannot affect results.
+#[derive(Debug, Default)]
+struct PidHasher(u64);
+
+impl Hasher for PidHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Which PHY a flit crossed (drives the energy model, §8.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -202,9 +229,9 @@ struct Rob {
     pending: Vec<Tagged>,
     next_sn: u64,
     /// Per-packet delivered-flit counts for unordered/bypass packets.
-    pkt_progress: HashMap<u32, u16>,
-    /// Packet currently open (head delivered, tail not yet) per VC.
-    open: HashMap<u8, u32>,
+    pkt_progress: HashMap<u32, u16, BuildHasherDefault<PidHasher>>,
+    /// Packet currently open (head delivered, tail not yet), VC-indexed.
+    open: Vec<Option<u32>>,
     watermark: usize,
 }
 
@@ -218,8 +245,8 @@ impl Rob {
     /// admission rule: an immediately-deliverable flit never has to wait
     /// for capacity, so a full reorder buffer can never wedge the link).
     fn would_deliver(&self, t: &Tagged) -> bool {
-        let gate_ok = match self.open.get(&t.flit.vc) {
-            Some(&pid) => pid == t.flit.pid.0,
+        let gate_ok = match self.open.get(t.flit.vc as usize).copied().flatten() {
+            Some(pid) => pid == t.flit.pid.0,
             None => t.flit.is_head(),
         };
         let order_ok = match t.sn {
@@ -239,8 +266,8 @@ impl Rob {
             let mut i = 0;
             while i < self.pending.len() {
                 let t = self.pending[i];
-                let gate_ok = match self.open.get(&t.flit.vc) {
-                    Some(&pid) => pid == t.flit.pid.0,
+                let gate_ok = match self.open.get(t.flit.vc as usize).copied().flatten() {
+                    Some(pid) => pid == t.flit.pid.0,
                     None => t.flit.is_head(),
                 };
                 let order_ok = match t.sn {
@@ -260,9 +287,15 @@ impl Rob {
                         *self.pkt_progress.entry(t.flit.pid.0).or_insert(0) += 1;
                     }
                     if t.flit.last {
-                        self.open.remove(&t.flit.vc);
+                        if let Some(slot) = self.open.get_mut(t.flit.vc as usize) {
+                            *slot = None;
+                        }
                     } else if t.flit.is_head() {
-                        self.open.insert(t.flit.vc, t.flit.pid.0);
+                        let vc = t.flit.vc as usize;
+                        if self.open.len() <= vc {
+                            self.open.resize(vc + 1, None);
+                        }
+                        self.open[vc] = Some(t.flit.pid.0);
                     }
                     out.push_back((t.flit, t.kind));
                     self.pending.swap_remove(i);
@@ -711,6 +744,15 @@ impl HeteroPhyLink {
     /// Highest reorder-buffer occupancy observed.
     pub fn rob_watermark(&self) -> usize {
         self.rob.watermark
+    }
+
+    /// Current reorder-buffer occupancy (probe).
+    ///
+    /// Sampled after [`Self::advance`] this counts only flits genuinely
+    /// waiting on reordering — everything releasable has already drained —
+    /// which is the quantity Eq. 1 bounds by `B_p · (D_s − D_p)`.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
     }
 }
 

@@ -42,6 +42,6 @@ pub mod weight;
 
 pub use coord::{ChipletId, Coord, Geometry, NodeId};
 pub use link::{Link, LinkClass, LinkId, LinkKind, MeshDir};
-pub use routing::{Candidate, RouteState, Routing};
+pub use routing::{Candidate, RouteState, RouteTable, Routing};
 pub use system::{build, SystemKind, SystemTopology};
 pub use weight::{CostWeights, LinkMetrics};

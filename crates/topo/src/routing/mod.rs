@@ -24,12 +24,14 @@ mod algorithm1;
 mod express;
 mod hypercube;
 mod negative_first;
+mod table;
 mod torus;
 
 pub use algorithm1::Algorithm1;
 pub use express::ExpressMesh;
 pub use hypercube::HypercubeRouting;
 pub use negative_first::NegativeFirstMesh;
+pub use table::{RouteTable, PREFILL_MAX_NODES};
 pub use torus::TorusAdaptive;
 
 use crate::coord::{Coord, NodeId};

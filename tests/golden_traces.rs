@@ -1,0 +1,30 @@
+//! Golden-trace snapshot suite: every preset × three seeds (plus
+//! fault-flavored variants) digested and compared against the committed
+//! fixtures under `tests/golden/`.
+//!
+//! Any drift in any `SimResults` field — latency, delivered flits,
+//! retry/failover counters — fails with a per-field diff. This is the
+//! enforcement point of the workspace's bit-identity contract: hot-path
+//! optimizations must keep this suite green without re-blessing.
+//!
+//! To regenerate the fixtures after an *intentional* behavior change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_traces
+//! ```
+
+use hetero_chiplet::heterosys::golden;
+
+#[test]
+fn golden_traces_match_fixtures() {
+    let dir = golden::default_fixture_dir();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        let n = golden::bless_dir(&dir).expect("write fixtures");
+        println!("blessed {n} golden fixtures in {}", dir.display());
+        return;
+    }
+    match golden::check_dir(&dir) {
+        Ok(n) => assert!(n >= 30, "expected the full golden matrix, checked only {n}"),
+        Err(report) => panic!("golden traces drifted:\n{report}"),
+    }
+}
