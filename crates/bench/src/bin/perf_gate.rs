@@ -7,7 +7,8 @@
 //! archive the number and regressions stay visible.
 //!
 //! ```text
-//! perf_gate [--smoke] [--reps N] [--check-speedup] [--out DIR | --no-out]
+//! perf_gate [--smoke] [--reps N] [--check-speedup] [--threads LIST]
+//!           [--out DIR | --no-out]
 //! ```
 //!
 //! * `--smoke` — run the golden-trace bit-identity check, then a single
@@ -15,12 +16,25 @@
 //!   recorded but not asserted, since shared runners are noisy);
 //! * `--check-speedup` — additionally fail unless the measured rate
 //!   reaches 1.5× the recorded baseline (for calibrated machines);
-//! * `--reps N` — timing repetitions (default 5; the best rep wins).
+//! * `--reps N` — timing repetitions (default 5; the best rep wins);
+//! * `--threads LIST` — comma-separated shard-thread counts (e.g.
+//!   `1,2,4,8`): after the serial measurement, time the same preset once
+//!   per count on the sharded engine and record wall-clock speedups into
+//!   a `"scaling"` array.
 //!
-//! Reps are timed on **process CPU time** (`/proc/self/stat`, falling
-//! back to wall time off Linux): the simulator is single-threaded, so
-//! CPU time measures the same work while staying immune to the
-//! descheduling noise of shared or quota-throttled runners.
+//! Serial reps are timed on **process CPU time** (`/proc/self/stat`,
+//! falling back to wall time off Linux): CPU time measures the same work
+//! while staying immune to the descheduling noise of shared or
+//! quota-throttled runners. The `--threads` scaling sweep necessarily
+//! times **wall clock** instead — parallel speedup is the thing being
+//! measured, and CPU time would charge the worker pool's spinning as
+//! progress. Scaling numbers are therefore only meaningful on a machine
+//! with at least as many free cores as the largest thread count; the
+//! host's core count is recorded alongside the sweep so a 1-core CI
+//! runner's flat curve is not mistaken for a regression.
+//!
+//! The JSON is also mirrored to `BENCH_perf.json` at the repository root
+//! so the benchmark trajectory is tracked alongside `results/`.
 
 use chiplet_topo::NodeId;
 use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
@@ -52,6 +66,7 @@ struct GateOpts {
     smoke: bool,
     check_speedup: bool,
     reps: u32,
+    threads: Vec<usize>,
     out_dir: Option<PathBuf>,
 }
 
@@ -60,6 +75,7 @@ fn parse_args() -> GateOpts {
         smoke: false,
         check_speedup: false,
         reps: 5,
+        threads: Vec::new(),
         out_dir: Some(default_out_dir()),
     };
     let mut args = std::env::args().skip(1);
@@ -77,12 +93,24 @@ fn parse_args() -> GateOpts {
                         std::process::exit(2);
                     });
             }
+            "--threads" => {
+                let list = args.next().unwrap_or_default();
+                o.threads = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                            eprintln!("--threads expects positive integers, e.g. 1,2,4,8");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
             "--no-out" => o.out_dir = None,
             "--out" => o.out_dir = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: perf_gate [--smoke] [--reps N] [--check-speedup] \
-                     [--out DIR | --no-out]"
+                     [--threads LIST] [--out DIR | --no-out]"
                 );
                 std::process::exit(0);
             }
@@ -115,11 +143,13 @@ fn cpu_seconds() -> Option<f64> {
     Some((utime + stime) as f64 / 100.0)
 }
 
-/// One timed rep: build the reference network fresh, run it, and return
-/// (elapsed seconds, flits delivered over the whole run).
-fn timed_rep() -> (f64, u64) {
+/// One timed rep: build the reference network fresh at the given shard
+/// thread count, run it, and return (CPU seconds, wall seconds, flits
+/// delivered over the whole run).
+fn timed_rep(threads: usize) -> (f64, f64, u64) {
     let geom = medium_system();
-    let mut net = PRESET.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+    let config = SimConfig::default().with_shard_threads(threads);
+    let mut net = PRESET.build(geom, config, SchedulingProfile::balanced());
     let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
     let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, RATE, PACKET_LEN, SEED);
     let spec = RunSpec::quick();
@@ -127,7 +157,7 @@ fn timed_rep() -> (f64, u64) {
     let c0 = cpu_seconds();
     let out = run(&mut net, &mut w, spec);
     let wall = t0.elapsed().as_secs_f64();
-    let secs = match (c0, cpu_seconds()) {
+    let cpu = match (c0, cpu_seconds()) {
         (Some(a), Some(b)) if b > a => b - a,
         _ => wall,
     };
@@ -135,7 +165,14 @@ fn timed_rep() -> (f64, u64) {
         !out.deadlocked && !out.fault_stalled,
         "reference preset must run clean"
     );
-    (secs, net.collector().delivered_flits)
+    (cpu, wall, net.collector().delivered_flits)
+}
+
+/// One scaling-sweep point: best wall-clock over `reps` at `threads`.
+struct ScalePoint {
+    threads: usize,
+    wall_secs: f64,
+    flits: u64,
 }
 
 fn main() {
@@ -163,7 +200,7 @@ fn main() {
     let mut best_secs = f64::INFINITY;
     let mut flits = 0u64;
     for rep in 1..=opts.reps {
-        let (secs, f) = timed_rep();
+        let (secs, _, f) = timed_rep(1);
         println!("  rep {rep}: {secs:.3}s  ({:.0} flits/s)", f as f64 / secs);
         if secs < best_secs {
             best_secs = secs;
@@ -181,22 +218,87 @@ fn main() {
          (baseline {BASELINE_FLITS_PER_SEC:.0}, speedup {speedup:.2}x)"
     );
 
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scaling: Vec<ScalePoint> = Vec::new();
+    if !opts.threads.is_empty() {
+        println!("perf_gate: shard-thread scaling sweep (wall clock, {host_cores} host cores)");
+        for &threads in &opts.threads {
+            let mut best_wall = f64::INFINITY;
+            let mut f_at_best = 0u64;
+            for _ in 1..=opts.reps {
+                let (_, wall, f) = timed_rep(threads);
+                if wall < best_wall {
+                    best_wall = wall;
+                    f_at_best = f;
+                }
+            }
+            scaling.push(ScalePoint {
+                threads,
+                wall_secs: best_wall,
+                flits: f_at_best,
+            });
+        }
+        let base_wall = scaling
+            .iter()
+            .find(|p| p.threads == 1)
+            .map_or(scaling[0].wall_secs, |p| p.wall_secs);
+        for p in &scaling {
+            println!(
+                "  {} thread(s): {:.3}s wall  ({:.0} flits/s, {:.2}x vs 1 thread)",
+                p.threads,
+                p.wall_secs,
+                p.flits as f64 / p.wall_secs,
+                base_wall / p.wall_secs
+            );
+        }
+    }
+
     if let Some(dir) = &opts.out_dir {
+        let base_wall = scaling.iter().find(|p| p.threads == 1).map(|p| p.wall_secs);
+        let scaling_json: Vec<String> = scaling
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"threads\": {}, \"wall_secs\": {}, \"flits\": {}, \
+                     \"flits_per_sec\": {}, \"speedup_vs_1t\": {}}}",
+                    p.threads,
+                    p.wall_secs,
+                    p.flits,
+                    p.flits as f64 / p.wall_secs,
+                    base_wall.unwrap_or(p.wall_secs) / p.wall_secs
+                )
+            })
+            .collect();
+        let scaling_block = if scaling_json.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n  ]", scaling_json.join(",\n"))
+        };
         let json = format!(
             "{{\n  \"preset\": \"{}\",\n  \"nodes\": {},\n  \"rate\": {RATE},\n  \
              \"packet_len\": {PACKET_LEN},\n  \"seed\": {SEED},\n  \"reps\": {},\n  \
              \"flits\": {flits},\n  \"best_secs\": {best_secs},\n  \
              \"flits_per_sec\": {flits_per_sec},\n  \
              \"baseline_flits_per_sec\": {BASELINE_FLITS_PER_SEC},\n  \
-             \"speedup\": {speedup},\n  \"speedup_target\": {SPEEDUP_TARGET}\n}}\n",
+             \"speedup\": {speedup},\n  \"speedup_target\": {SPEEDUP_TARGET},\n  \
+             \"host_cores\": {host_cores},\n  \"scaling\": {scaling_block}\n}}\n",
             PRESET.label(),
             medium_system().nodes(),
             opts.reps,
         );
         let path = dir.join("BENCH_perf.json");
-        match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, json)) {
+        match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, &json)) {
             Ok(()) => println!("perf_gate: wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        // Mirror to the repository root so the benchmark trajectory is
+        // reviewable next to the sources, not only under results/.
+        if let Some(root) = dir.parent() {
+            let mirror = root.join("BENCH_perf.json");
+            match std::fs::write(&mirror, &json) {
+                Ok(()) => println!("perf_gate: wrote {}", mirror.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", mirror.display()),
+            }
         }
     }
 

@@ -41,6 +41,7 @@ struct Args {
     sweep: bool,
     trace: Option<String>,
     threads: usize,
+    shard_threads: Option<usize>,
     probe: ProbeKind,
     ber: f64,
     retry: bool,
@@ -66,6 +67,10 @@ fn usage() -> ! {
          --sweep      sweep injection rates up to saturation instead of one run\n\
          --threads N  worker threads for --sweep           (default 1;\n\
          \u{20}            results are bit-identical for any N)\n\
+         --shard-threads N  shard the cycle loop of a single run across\n\
+         \u{20}            N worker threads (0 = auto from the core count;\n\
+         \u{20}            default $HETERO_SIM_THREADS or 1; results are\n\
+         \u{20}            bit-identical for any N)\n\
          --probe      progress | links | none              (default none)\n\
          \u{20}            progress: periodic live/queued/delivered snapshots\n\
          \u{20}            links: per-link flit counts and utilization\n\
@@ -102,6 +107,7 @@ fn parse() -> Args {
         sweep: false,
         trace: None,
         threads: 1,
+        shard_threads: None,
         probe: ProbeKind::None,
         ber: 0.0,
         retry: false,
@@ -174,6 +180,9 @@ fn parse() -> Args {
                     eprintln!("--threads must be at least 1");
                     usage()
                 }
+            }
+            "--shard-threads" => {
+                a.shard_threads = Some(val().parse().unwrap_or_else(|_| usage()));
             }
             "--probe" => {
                 a.probe = match val().as_str() {
@@ -283,7 +292,8 @@ fn run_with_probes(
                 "link", "route", "flits", "flits/cycle"
             );
             for (li, flits) in util.busiest(10) {
-                let l = net.topology().link(LinkId(li));
+                let topo = net.topology();
+                let l = topo.link(LinkId(li));
                 println!(
                     "  {:>6} {:>7}->{:<7} {:>10} {:>12.4}",
                     li,
@@ -303,6 +313,19 @@ fn main() {
     let geom = Geometry::new(args.chiplets.0, args.chiplets.1, args.chip.0, args.chip.1);
     let mut config = SimConfig::default().with_seed(args.seed);
     config.packet_len = args.packet_len;
+    if let Some(n) = args.shard_threads {
+        config = config.with_shard_threads(n);
+    }
+    {
+        let requested = config.resolved_shard_threads();
+        let chiplets = geom.chiplets() as usize;
+        if requested > chiplets {
+            eprintln!(
+                "warning: {requested} shard threads requested but the {chiplets}-chiplet \
+                 topology only yields {chiplets} shards; extra threads will not be spawned"
+            );
+        }
+    }
     if args.ber > 0.0 {
         config = config.with_ber(args.ber);
     }

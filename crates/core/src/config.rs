@@ -77,6 +77,14 @@ pub struct SimConfig {
     pub adapter_bypass: bool,
     /// RNG seed for workloads built from this config.
     pub seed: u64,
+    /// Shard-thread count for the parallel cycle loop. `1` runs the
+    /// engine serially on the calling thread; `0` resolves to the host's
+    /// available parallelism; `N > 1` partitions the network into up to
+    /// `N` chiplet-group shards driven by a persistent worker pool.
+    /// Results are bit-identical at every value — this knob only trades
+    /// wall-clock time. The default honors the `HETERO_SIM_THREADS`
+    /// environment variable (read once per process) and falls back to 1.
+    pub shard_threads: usize,
     /// Fault-model knobs (BER injection and the retry link layer). The
     /// default is fully off, in which case the network is built — and
     /// runs — bit-identically to a build without the fault subsystem.
@@ -111,9 +119,24 @@ impl Default for SimConfig {
             higher_radix_crossbar: true,
             adapter_bypass: true,
             seed: 0xC41_1BE7,
+            shard_threads: default_shard_threads(),
             fault: FaultConfig::default(),
         }
     }
+}
+
+/// The process-wide default for [`SimConfig::shard_threads`]: the
+/// `HETERO_SIM_THREADS` environment variable when set to a valid count
+/// (`0` = auto), else 1 (serial). Cached so every `SimConfig::default()`
+/// in a run agrees even if the environment is mutated mid-process.
+fn default_shard_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("HETERO_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+    })
 }
 
 impl SimConfig {
@@ -145,6 +168,24 @@ impl SimConfig {
     pub fn without_bypass(mut self) -> Self {
         self.adapter_bypass = false;
         self
+    }
+
+    /// Replaces the shard-thread count (0 = auto from core count).
+    pub fn with_shard_threads(mut self, threads: usize) -> Self {
+        self.shard_threads = threads;
+        self
+    }
+
+    /// [`SimConfig::shard_threads`] with `0` resolved to the host's
+    /// available parallelism.
+    pub fn resolved_shard_threads(&self) -> usize {
+        if self.shard_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.shard_threads
+        }
     }
 
     /// Replaces the fault-model block.
@@ -231,6 +272,15 @@ mod tests {
         let p = c.phy_params();
         assert_eq!(p.total_bw(), 6);
         assert_eq!(c.serial_params_scaled(), c.serial);
+    }
+
+    #[test]
+    fn shard_threads_builder_and_resolution() {
+        let c = SimConfig::default().with_shard_threads(4);
+        assert_eq!(c.shard_threads, 4);
+        assert_eq!(c.resolved_shard_threads(), 4);
+        let auto = SimConfig::default().with_shard_threads(0);
+        assert!(auto.resolved_shard_threads() >= 1, "auto resolves to cores");
     }
 
     #[test]

@@ -58,11 +58,12 @@ impl PacketEnergy {
 impl EnergyModel {
     /// Energy of one delivered packet, from its flit-hop counters.
     pub fn packet(&self, info: &PacketInfo) -> PacketEnergy {
+        use std::sync::atomic::Ordering::Relaxed;
         let bits = self.flit_bits as f64;
         PacketEnergy {
-            onchip_pj: info.onchip_flits as f64 * bits * self.onchip_pj_bit,
-            parallel_pj: info.parallel_flits as f64 * bits * self.parallel_pj_bit,
-            serial_pj: info.serial_flits as f64 * bits * self.serial_pj_bit,
+            onchip_pj: info.onchip_flits.load(Relaxed) as f64 * bits * self.onchip_pj_bit,
+            parallel_pj: info.parallel_flits.load(Relaxed) as f64 * bits * self.parallel_pj_bit,
+            serial_pj: info.serial_flits.load(Relaxed) as f64 * bits * self.serial_pj_bit,
         }
     }
 }
@@ -75,8 +76,9 @@ mod tests {
 
     #[test]
     fn decomposition_matches_counters() {
+        use std::sync::atomic::Ordering::Relaxed;
         let m = EnergyModel::default();
-        let mut info = PacketInfo::new(
+        let info = PacketInfo::new(
             NodeId(0),
             NodeId(1),
             16,
@@ -84,9 +86,9 @@ mod tests {
             Priority::Normal,
             0,
         );
-        info.onchip_flits = 10;
-        info.parallel_flits = 16;
-        info.serial_flits = 4;
+        info.onchip_flits.store(10, Relaxed);
+        info.parallel_flits.store(16, Relaxed);
+        info.serial_flits.store(4, Relaxed);
         let e = m.packet(&info);
         assert!((e.onchip_pj - 10.0 * 64.0 * 0.10).abs() < 1e-9);
         assert!((e.parallel_pj - 16.0 * 64.0).abs() < 1e-9);

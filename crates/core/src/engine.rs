@@ -1,180 +1,47 @@
-//! The staged per-cycle simulation engine.
+//! The sharded per-cycle simulation engine.
 //!
-//! [`Engine`] owns every mutable piece of a running simulation — routers,
-//! media, credit lines, NICs, the packet store, the statistics collector —
-//! and advances them one cycle at a time through four named stages:
+//! [`ShardedEngine`] owns every mutable piece of a running simulation,
+//! split across per-chiplet-group [`Shard`]s (see [`crate::shard`]). Each
+//! cycle advances through the same four named stages the original serial
+//! engine ran — credits → media → inject → route — but grouped into two
+//! phases per shard with a synchronization point between them:
 //!
-//! 1. [`Engine::stage_credits`] — credits that completed their return trip
-//!    are restored to the transmitting router;
-//! 2. [`Engine::stage_media`] — media deliver arrived flits into input
-//!    buffers (hetero-PHY adapters also run their dispatch/reorder
-//!    stages), notifying flit-hop probes;
-//! 3. [`Engine::stage_inject`] — NICs stream queued packets into injection
-//!    ports;
-//! 4. [`Engine::stage_route`] — every active router runs its RC/VA/SA
-//!    pipeline, transmitting flits into the media and returning credits
-//!    upstream; ejected packets are reported to the collector and probes.
+//! 1. **Phase 1** (credits + media): every shard advances its owned
+//!    credit lines and link media. Flits arriving at a router owned by
+//!    another shard are posted to that shard's mailbox.
+//! 2. **Phase 2** (inject + route): every shard drains its inbound flit
+//!    mailbox into its routers, then runs its NICs and router pipelines.
+//!    Credits for other shards' links are posted back through the credit
+//!    mailbox, replayed at the top of the next cycle's phase 1.
+//! 3. **Merge**: the orchestrator folds every shard's buffered
+//!    observations (deliveries, link events, flit hops) into the
+//!    [`Collector`] and attached probes in a canonical order, frees
+//!    delivered packet descriptors, and advances the clock.
 //!
-//! Each component class sits behind an [`ActiveSet`]: a router, medium,
-//! credit line or NIC is stepped only while it has work, and events that
-//! give an idle component work (a send, a credit, a delivery, an offer)
-//! re-activate it. Sets iterate in ascending index order — the same order
-//! as the polling loops they replaced — so skipping idle components is
-//! results-invisible: a run produces bit-identical statistics with the
-//! scheduler on a fully-loaded or a nearly-idle network.
+//! With one shard this degenerates to exactly the serial staged engine.
+//! With many shards the phases can run on a worker pool (see
+//! [`crate::parallel`]); [`ShardedEngine::step_serial`] runs them on the
+//! calling thread. Either way the observable results are bit-identical:
+//! the golden-trace matrix pins SimResults equality across every shard
+//! and thread count.
 //!
 //! The immutable description of the system (topology, routing, port maps,
 //! configuration) stays in [`crate::network::Network`] and is passed into
 //! each stage as an [`EngineCtx`].
 
 use crate::config::SimConfig;
-use crate::energy::{EnergyModel, PacketEnergy};
+use crate::energy::EnergyModel;
 use crate::network::Collector;
-use chiplet_noc::{
-    CreditLine, DelayLine, Flit, FlitArena, FlitRef, PacketId, PacketInfo, PacketStore,
-    PortCandidate, RetryLine, Router, RouterEnv,
-};
-use chiplet_phy::{HeteroPhyLink, PhyKind};
-use chiplet_topo::routing::{RouteTable, Routing};
-use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
+use crate::shard::{Delivery, FaultCore, Mail, Medium, Partition, Shard};
+use chiplet_fault::FaultScript;
+use chiplet_noc::{CreditLine, PacketId, PacketInfo, PacketStore, Router};
+use chiplet_topo::routing::Routing;
+use chiplet_topo::{LinkId, SystemTopology};
 use chiplet_traffic::PacketRequest;
-use simkit::probe::{DeliveryEvent, LinkEvent, Probe};
-use simkit::{ActiveSet, Cycle, SimRng};
-use std::collections::VecDeque;
-
-/// One directed link's physical medium.
-#[derive(Debug)]
-pub(crate) enum Medium {
-    /// A plain fixed-latency pipeline (on-chip, parallel or serial link).
-    Plain {
-        /// The flit pipeline (carrying arena handles).
-        line: DelayLine<FlitRef>,
-        /// The link class (for per-class energy accounting).
-        class: LinkClass,
-    },
-    /// A plain pipeline wrapped in the CRC/replay retry link layer (built
-    /// for interface links when the fault model is armed; error-free it is
-    /// cycle-for-cycle identical to [`Medium::Plain`]).
-    Guarded {
-        /// The retrying flit pipeline.
-        line: RetryLine,
-        /// The link class (for per-class energy accounting).
-        class: LinkClass,
-    },
-    /// A hetero-PHY adapter (parallel + serial PHYs with scheduling).
-    Hetero(Box<HeteroPhyLink>),
-}
-
-impl Medium {
-    fn in_flight(&self) -> usize {
-        match self {
-            Medium::Plain { line, .. } => line.in_flight(),
-            Medium::Guarded { line, .. } => line.in_flight(),
-            Medium::Hetero(h) => h.in_flight(),
-        }
-    }
-}
-
-/// Per-link fault-injection state: one RNG stream and corruption
-/// probability per directed link, plus the mutable fault flags scripted
-/// events toggle (blocked links, error bursts, lane caps).
-///
-/// Links with zero probability never draw from their RNG
-/// ([`SimRng::chance`] short-circuits at `p <= 0`), so an unarmed core is
-/// results-invisible.
-#[derive(Debug)]
-pub(crate) struct FaultCore {
-    links: Vec<LinkFault>,
-}
-
-#[derive(Debug)]
-struct LinkFault {
-    rng: SimRng,
-    /// Base per-flit corruption probability.
-    p: f64,
-    burst_mult: f64,
-    burst_until: Cycle,
-    blocked: bool,
-    lane_cap: Option<u8>,
-}
-
-impl LinkFault {
-    fn draw(&mut self, now: Cycle) -> bool {
-        let p = if now < self.burst_until {
-            (self.p * self.burst_mult).min(1.0)
-        } else {
-            self.p
-        };
-        self.rng.chance(p)
-    }
-}
-
-impl FaultCore {
-    /// Builds the core with per-link corruption probabilities `ps`,
-    /// forking one RNG stream per link from `seed`.
-    pub fn new(ps: &[f64], seed: u64) -> Self {
-        let mut base = SimRng::seed(seed ^ 0xFA_0175);
-        Self {
-            links: ps
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| LinkFault {
-                    rng: base.fork(i as u64),
-                    p,
-                    burst_mult: 1.0,
-                    burst_until: 0,
-                    blocked: false,
-                    lane_cap: None,
-                })
-                .collect(),
-        }
-    }
-
-    fn draw(&mut self, li: usize, now: Cycle) -> bool {
-        self.links[li].draw(now)
-    }
-
-    pub fn blocked(&self, li: usize) -> bool {
-        self.links[li].blocked
-    }
-
-    pub fn set_blocked(&mut self, li: usize, blocked: bool) {
-        self.links[li].blocked = blocked;
-    }
-
-    pub fn set_burst(&mut self, li: usize, mult: f64, until: Cycle) {
-        self.links[li].burst_mult = mult;
-        self.links[li].burst_until = until;
-    }
-
-    pub fn set_lane_cap(&mut self, li: usize, cap: Option<u8>) {
-        self.links[li].lane_cap = cap;
-    }
-
-    fn lane_cap(&self, li: usize) -> Option<u8> {
-        self.links[li].lane_cap
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct InjectState {
-    pid: PacketId,
-    next_seq: u16,
-    vc: u8,
-    len: u16,
-}
-
-#[derive(Debug, Default)]
-struct Nic {
-    queue: VecDeque<PacketId>,
-    cur: Option<InjectState>,
-}
-
-impl Nic {
-    fn has_work(&self) -> bool {
-        !self.queue.is_empty() || self.cur.is_some()
-    }
-}
+use simkit::probe::{LinkEvent, Probe};
+use simkit::Cycle;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, RwLock};
 
 /// The immutable system description a stage executes against, borrowed
 /// from the owning [`crate::network::Network`].
@@ -197,580 +64,367 @@ pub(crate) struct EngineCtx<'a> {
     pub inport_links: &'a [Vec<LinkId>],
 }
 
-/// The router's window onto the rest of the system during
-/// [`Engine::stage_route`].
-struct NetEnv<'a, 'p> {
-    now: Cycle,
-    node: NodeId,
-    topo: &'a SystemTopology,
-    routing: &'a dyn Routing,
-    store: &'a mut PacketStore,
-    media: &'a mut [Medium],
-    credit_lines: &'a mut [CreditLine],
-    faults: &'a mut FaultCore,
-    /// out_port (1-based; 0 is ejection) → LinkId, per this node.
-    outport_link: &'a [LinkId],
-    /// in_port (1-based; 0 is injection) → LinkId, per this node.
-    inport_link: &'a [LinkId],
-    vcs: u8,
-    eject_budget: u16,
-    collector: &'a mut Collector,
-    energy_model: &'a EnergyModel,
-    measure_from: Cycle,
-    route_table: &'a mut RouteTable,
-    /// LinkId → out port on its source router (1-based), global map.
-    link_out_port: &'a [u16],
-    activity: &'a mut bool,
-    active_media: &'a mut ActiveSet,
-    active_credits: &'a mut ActiveSet,
-    probes: &'a mut [&'p mut dyn Probe],
+/// Orchestrator-side mutable state: everything that is only ever touched
+/// while the shards are at rest — the statistics collector, the fault
+/// script cursor, the activity clock and the pooled merge scratch.
+///
+/// Splitting this out of the engine is what lets the parallel driver hand
+/// the [`ShardedEngine`] to the worker pool by shared reference while the
+/// leader keeps exclusive access to the serial bookkeeping.
+#[derive(Debug)]
+pub(crate) struct Hub {
+    /// The built-in statistics collector.
+    pub collector: Collector,
+    /// Last cycle in which any shard reported activity.
+    pub last_activity: Cycle,
+    /// Scheduled fault events, applied as simulated time passes them.
+    pub script: FaultScript,
+    /// Next unapplied script event.
+    pub script_pos: usize,
+    /// Pooled scratch for fault application: targeted links and the link
+    /// events they emitted. Kept across calls so fault storms (BER
+    /// scripts fire repeatedly) do not allocate.
+    pub fault_links: Vec<LinkId>,
+    pub fault_emitted: Vec<(u32, LinkEvent)>,
+    /// Merge scratch: link events as `(link, per-shard seq, event)`.
+    ev_scratch: Vec<(u32, u32, LinkEvent)>,
+    /// Merge scratch: flit hops as `(link, per-shard seq, is_head)`.
+    hop_scratch: Vec<(u32, u32, bool)>,
+    /// Merge scratch: deliveries as `(per-shard seq, delivery)`.
+    del_scratch: Vec<(u32, Delivery)>,
 }
 
-impl<'a, 'p> RouterEnv for NetEnv<'a, 'p> {
-    fn route(&mut self, pid: PacketId, out: &mut Vec<PortCandidate>) {
-        let info = self.store.get(pid);
-        if info.dst == self.node {
-            for vc in 0..self.vcs {
-                out.push(PortCandidate {
-                    out_port: 0,
-                    vc,
-                    baseline: true,
-                    tier: 0,
-                });
-            }
-            return;
+impl Hub {
+    pub fn new() -> Self {
+        Self {
+            collector: Collector::default(),
+            last_activity: 0,
+            script: FaultScript::default(),
+            script_pos: 0,
+            fault_links: Vec::new(),
+            fault_emitted: Vec::new(),
+            ev_scratch: Vec::new(),
+            hop_scratch: Vec::new(),
+            del_scratch: Vec::new(),
         }
-        let cands =
-            self.route_table
-                .lookup(self.routing, self.topo, self.node, info.dst, &info.route);
-        debug_assert!(
-            !cands.is_empty(),
-            "no route from {} to {}",
-            self.node,
-            info.dst
-        );
-        for c in cands {
-            // Links leaving this node occupy out ports 1.. in adjacency
-            // order; the network precomputed the link → out-port map.
-            let port = self.link_out_port[c.link.index()];
-            debug_assert_eq!(
-                self.outport_link[(port - 1) as usize],
-                c.link,
-                "candidate link leaves this node"
-            );
-            out.push(PortCandidate {
-                out_port: port,
-                vc: c.vc,
-                baseline: c.baseline,
-                tier: c.tier,
-            });
-        }
-    }
-
-    fn out_capacity(&mut self, out_port: u16) -> u16 {
-        if out_port == 0 {
-            return self.eject_budget;
-        }
-        let link = self.outport_link[(out_port - 1) as usize];
-        let li = link.index();
-        if self.faults.blocked(li) {
-            return 0; // hard-failed link: nothing enters (upstream stalls)
-        }
-        let cap = match &mut self.media[li] {
-            Medium::Plain { line, .. } => line.capacity(self.now) as u16,
-            Medium::Guarded { line, .. } => line.capacity(self.now) as u16,
-            Medium::Hetero(h) => h.space(),
-        };
-        match self.faults.lane_cap(li) {
-            Some(lanes) => cap.min(lanes as u16),
-            None => cap,
-        }
-    }
-
-    fn send(&mut self, out_port: u16, fref: FlitRef, arena: &mut FlitArena) {
-        *self.activity = true;
-        if out_port == 0 {
-            debug_assert!(self.eject_budget > 0);
-            self.eject_budget -= 1;
-            let now = self.now;
-            let flit = arena.free(fref);
-            let info = self.store.get_mut(flit.pid);
-            debug_assert_eq!(info.dst, self.node, "flit ejected at wrong node");
-            debug_assert_eq!(info.ejected, flit.seq, "out-of-order ejection");
-            info.ejected += 1;
-            if flit.last {
-                debug_assert_eq!(info.ejected, info.len, "flit loss detected");
-                let ev = delivery_event(now, info, self.energy_model, self.measure_from);
-                self.collector.on_packet_delivered(&ev);
-                for p in self.probes.iter_mut() {
-                    p.on_packet_delivered(&ev);
-                }
-                self.store.free(flit.pid);
-            }
-            return;
-        }
-        let link = self.outport_link[(out_port - 1) as usize];
-        self.active_media.insert(link.index());
-        match &mut self.media[link.index()] {
-            Medium::Plain { line, .. } => {
-                let ok = line.try_send(self.now, fref);
-                debug_assert!(ok, "plain link over capacity");
-            }
-            Medium::Guarded { line, .. } => {
-                // Corruption strikes the wire at transmission time; the
-                // receiver's CRC catches it and the replay buffer recovers.
-                let corrupt = self.faults.draw(link.index(), self.now);
-                let ok = line.try_send(self.now, fref, arena, corrupt);
-                debug_assert!(ok, "guarded link over capacity");
-            }
-            Medium::Hetero(h) => {
-                // The adapter owns flits by value; the handle rejoins the
-                // arena when the flit emerges on the far side.
-                let flit = arena.free(fref);
-                let info = self.store.get(flit.pid);
-                h.push(self.now, flit, info.class, info.priority);
-            }
-        }
-    }
-
-    fn credit(&mut self, in_port: u16, vc: u8) {
-        if in_port == 0 {
-            return; // injection port: the NIC reads buffer space directly
-        }
-        let link = self.inport_link[(in_port - 1) as usize];
-        self.credit_lines[link.index()].send(self.now, vc);
-        self.active_credits.insert(link.index());
-    }
-
-    fn note_baseline_lock(&mut self, pid: PacketId) {
-        self.store.get_mut(pid).route.baseline_locked = true;
     }
 }
 
-/// Builds the probe-facing summary of a packet at tail ejection.
-fn delivery_event(
-    now: Cycle,
-    info: &PacketInfo,
-    energy_model: &EnergyModel,
-    measure_from: Cycle,
-) -> DeliveryEvent {
-    let e: PacketEnergy = energy_model.packet(info);
-    DeliveryEvent {
-        now,
-        created: info.created,
-        injected: info.injected,
-        hops: info.hops,
-        len: info.len,
-        high_priority: info.priority == chiplet_noc::Priority::High,
-        baseline_locked: info.route.baseline_locked,
-        measured: info.created >= measure_from,
-        onchip_pj: e.onchip_pj,
-        parallel_pj: e.parallel_pj,
-        serial_pj: e.serial_pj,
-    }
-}
-
-/// All mutable simulation state, advanced in four stages per cycle.
-pub(crate) struct Engine {
-    routers: Vec<Router>,
-    media: Vec<Medium>,
-    credit_lines: Vec<CreditLine>,
-    faults: FaultCore,
-    store: PacketStore,
-    nics: Vec<Nic>,
-    /// Flits delivered over each directed link (utilization analysis).
-    link_flits: Vec<u64>,
-    collector: Collector,
-    now: Cycle,
-    last_activity: Cycle,
+/// All mutable simulation state, partitioned into shards.
+///
+/// Interior mutability is layered for the two drivers: the serial path
+/// (`step_serial`) goes through `Mutex::get_mut`/`RwLock::get_mut` and
+/// pays no synchronization at all; the parallel path hands `&Self` to the
+/// worker pool, where each worker locks exactly its own shard (never
+/// contended — shard ownership is static) and reads the store through the
+/// `RwLock` (writes happen only in the merge, while workers are parked).
+pub(crate) struct ShardedEngine {
+    /// The static shard layout.
+    pub part: Partition,
+    /// One shard per partition slot; `shards[s]` is only ever locked by
+    /// the worker driving shard `s` (or the orchestrator while the pool
+    /// is parked).
+    pub shards: Vec<Mutex<Shard>>,
+    /// Packet descriptors, shared read-mostly across shards during a
+    /// cycle; allocation (offers) and freeing (merge) happen between
+    /// phases under the write lock.
+    pub store: RwLock<PacketStore>,
+    /// Cross-shard flit and credit mailboxes.
+    pub mail: Mail,
+    /// The current cycle.
+    pub now: AtomicU64,
     /// Packets created at or after this cycle count toward the measured
     /// statistics (warm-up exclusion).
-    measure_from: Cycle,
-    activity: bool,
-    active_routers: ActiveSet,
-    active_media: ActiveSet,
-    active_credits: ActiveSet,
-    active_nics: ActiveSet,
-    /// Reused drain buffer for the active sets.
-    ids: Vec<usize>,
-    /// The home of every in-flight flit; queues hold [`FlitRef`] handles.
-    arena: FlitArena,
-    /// Memoized `(node, destination, lock-class) → candidates` table; the
-    /// RC stage hits this instead of re-walking the routing algorithm.
-    route_table: RouteTable,
+    pub measure_from: AtomicU64,
+    /// Whether media stages record per-flit hop observations (only when
+    /// probes are attached; reread by workers every cycle).
+    pub record_hops: AtomicBool,
 }
 
-impl Engine {
+impl ShardedEngine {
+    /// Distributes the assembled components over `part`'s shards.
+    ///
+    /// Every shard gets full-length vectors: routers it does not own are
+    /// replaced by portless stubs (never activated), media and credit
+    /// lines it does not own by `None`. Each shard also builds the *full*
+    /// fault core from the same seed — RNG streams are forked by global
+    /// link id, so every shard derives the identical stream set and only
+    /// the owner of a link ever draws from it. That makes fault draws
+    /// independent of the partition, which the golden bit-identity
+    /// contract requires.
     pub fn new(
         routers: Vec<Router>,
         media: Vec<Medium>,
         credit_lines: Vec<CreditLine>,
-        faults: FaultCore,
-        nodes: usize,
+        link_ps: &[f64],
+        seed: u64,
+        part: Partition,
     ) -> Self {
+        let n = routers.len();
         let links = media.len();
+        let ns = part.nshards as usize;
+        let mut shards: Vec<Shard> = (0..ns)
+            .map(|sid| {
+                Shard::new(
+                    sid as u16,
+                    part.shard_nodes[sid].clone(),
+                    n,
+                    links,
+                    ns,
+                    FaultCore::new(link_ps, seed),
+                )
+            })
+            .collect();
+        for (i, r) in routers.into_iter().enumerate() {
+            shards[part.node_shard[i] as usize].routers[i] = r;
+        }
+        for (li, m) in media.into_iter().enumerate() {
+            shards[part.link_owner[li] as usize].media[li] = Some(m);
+        }
+        for (li, c) in credit_lines.into_iter().enumerate() {
+            shards[part.link_owner[li] as usize].credit_lines[li] = Some(c);
+        }
         Self {
-            routers,
-            media,
-            credit_lines,
-            faults,
-            store: PacketStore::new(),
-            nics: (0..nodes).map(|_| Nic::default()).collect(),
-            link_flits: vec![0; links],
-            collector: Collector::default(),
-            now: 0,
-            last_activity: 0,
-            measure_from: 0,
-            activity: false,
-            active_routers: ActiveSet::new(nodes),
-            active_media: ActiveSet::new(links),
-            active_credits: ActiveSet::new(links),
-            active_nics: ActiveSet::new(nodes),
-            ids: Vec::new(),
-            arena: FlitArena::new(),
-            route_table: RouteTable::new(),
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            store: RwLock::new(PacketStore::new()),
+            mail: Mail::new(ns),
+            now: AtomicU64::new(0),
+            measure_from: AtomicU64::new(0),
+            record_hops: AtomicBool::new(false),
+            part,
         }
     }
 
-    /// The flit arena (leak checks: a drained network holds zero flits).
-    pub fn arena(&self) -> &FlitArena {
-        &self.arena
+    /// Warms every shard's route table for the nodes it owns (scoped
+    /// prefill: a shard only ever looks up routes whose current node is
+    /// one of its routers).
+    pub fn prefill_route_tables(&mut self, routing: &dyn Routing, topo: &SystemTopology) {
+        for s in &mut self.shards {
+            let sh = s.get_mut().expect("shard lock poisoned");
+            sh.route_table.prefill_scoped(routing, topo, &sh.nodes);
+        }
     }
 
-    /// The engine's memoized route table (prefilled at network build time,
-    /// invalidated when a fault event edits the topology's routing view).
-    pub fn route_table(&mut self) -> &mut RouteTable {
-        &mut self.route_table
+    /// The shard count this engine was partitioned into.
+    pub fn nshards(&self) -> usize {
+        self.part.nshards as usize
     }
 
     pub fn now(&self) -> Cycle {
-        self.now
+        self.now.load(Relaxed)
     }
 
-    pub fn collector(&self) -> &Collector {
-        &self.collector
+    pub fn start_measurement(&self) {
+        self.measure_from.store(self.now.load(Relaxed), Relaxed);
     }
 
-    /// Mutable access for scripted fault application (see
-    /// [`crate::network::Network::set_fault_script`]).
-    pub fn fault_parts(&mut self) -> (&mut [Medium], &mut FaultCore, &mut Collector) {
-        (&mut self.media, &mut self.faults, &mut self.collector)
-    }
-
-    /// Re-activates a medium a scripted fault event touched, so its next
-    /// [`Engine::stage_media`] pass runs even if it looked idle.
-    pub fn wake_medium(&mut self, li: usize) {
-        self.active_media.insert(li);
-    }
-
-    pub fn link_flits(&self) -> &[u64] {
-        &self.link_flits
-    }
-
-    pub fn start_measurement(&mut self) {
-        self.measure_from = self.now;
-    }
-
-    pub fn live_packets(&self) -> usize {
-        self.store.live()
-    }
-
-    pub fn queued_packets(&self) -> usize {
-        self.nics
-            .iter()
-            .map(|nic| nic.queue.len() + usize::from(nic.cur.is_some()))
-            .sum()
-    }
-
-    pub fn idle_cycles(&self) -> Cycle {
-        self.now - self.last_activity
-    }
-
-    pub fn offer(&mut self, req: PacketRequest) -> PacketId {
+    /// Queues a packet for injection at its source NIC. Called only
+    /// between cycles (never while a phase is running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or a node id is out of range.
+    pub fn offer(&self, req: PacketRequest) -> PacketId {
         assert_ne!(req.src, req.dst, "self-addressed packet");
-        let pid = self.store.alloc(PacketInfo::new(
-            req.src,
-            req.dst,
-            req.len,
-            req.class,
-            req.priority,
-            self.now,
-        ));
-        self.nics[req.src.index()].queue.push_back(pid);
-        self.active_nics.insert(req.src.index());
+        let now = self.now.load(Relaxed);
+        let pid = self
+            .store
+            .write()
+            .expect("store lock poisoned")
+            .alloc(PacketInfo::new(
+                req.src,
+                req.dst,
+                req.len,
+                req.class,
+                req.priority,
+                now,
+            ));
+        let src = req.src.index();
+        let mut sh = self.shards[self.part.node_shard[src] as usize]
+            .lock()
+            .expect("shard lock poisoned");
+        sh.nics[src].queue.push_back(pid);
+        sh.active_nics.insert(src);
         pid
     }
 
-    /// Runs one simulation cycle: credits → media → inject → route.
-    pub fn step(&mut self, ctx: &EngineCtx<'_>, probes: &mut [&mut dyn Probe]) {
-        let now = self.now;
-        self.activity = false;
-        self.stage_credits(ctx, now);
-        self.stage_media(ctx, now, probes);
-        self.stage_inject(ctx, now);
-        self.stage_route(ctx, now, probes);
-        if self.activity {
-            self.last_activity = now;
-        }
-        self.now += 1;
+    pub fn live_packets(&self) -> usize {
+        self.store.read().expect("store lock poisoned").live()
     }
 
-    /// Stage 1: completed credit returns are restored to the transmitting
-    /// router.
-    fn stage_credits(&mut self, ctx: &EngineCtx<'_>, now: Cycle) {
-        let mut ids = std::mem::take(&mut self.ids);
-        self.active_credits.drain_into(&mut ids);
-        for &li in &ids {
-            let line = &mut self.credit_lines[li];
-            let link = ctx.topo.link(LinkId(li as u32));
-            let port = ctx.link_out_port[li];
-            while let Some(vc) = line.pop_ready(now) {
-                // Credits top up counters only; they cannot give a
-                // quiescent router work, so no router activation here.
-                self.routers[link.src.index()].add_credit(port, vc);
-            }
-            if line.in_flight() > 0 {
-                self.active_credits.insert(li);
-            }
-        }
-        self.ids = ids;
+    /// Total packets waiting in source queues (not yet fully injected).
+    pub fn queued_packets(&self) -> usize {
+        // Unowned NIC slots are empty defaults, so summing every shard's
+        // full vector counts each node exactly once.
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("shard lock poisoned")
+                    .nics
+                    .iter()
+                    .map(|nic| nic.pending())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
-    /// Stage 2: media deliver arrived flits into input buffers; hetero-PHY
-    /// adapters additionally run their dispatch/serialization/reorder
-    /// stages. Every delivery is reported to the flit-hop probes.
-    fn stage_media(&mut self, ctx: &EngineCtx<'_>, now: Cycle, probes: &mut [&mut dyn Probe]) {
-        let mut ids = std::mem::take(&mut self.ids);
-        self.active_media.drain_into(&mut ids);
-        let Engine {
-            routers,
-            media,
-            store,
-            link_flits,
-            active_routers,
-            active_media,
-            activity,
-            faults,
-            collector,
-            arena,
-            ..
-        } = self;
-        for &li in &ids {
-            let link = ctx.topo.link(LinkId(li as u32));
-            let in_port = ctx.link_in_port[li];
-            let dst = link.dst.index();
-            match &mut media[li] {
-                Medium::Plain { line, class } => {
-                    line.drain_ready(now, |fref| {
-                        let flit = arena.get(fref);
-                        link_flits[li] += 1;
-                        let info = store.get_mut(flit.pid);
-                        match class {
-                            LinkClass::OnChip => info.onchip_flits += 1,
-                            LinkClass::Parallel => info.parallel_flits += 1,
-                            LinkClass::Serial => info.serial_flits += 1,
-                            LinkClass::HeteroPhy => unreachable!(),
-                        }
-                        if flit.is_head() {
-                            info.hops += 1;
-                        }
-                        for p in probes.iter_mut() {
-                            p.on_flit_hop(now, li as u32, flit.is_head());
-                        }
-                        routers[dst].receive(in_port, fref, flit.vc);
-                        active_routers.insert(dst);
-                        *activity = true;
-                    });
+    /// Flits delivered over each directed link so far (summed across
+    /// shards; a link's counter only ever grows in its owner).
+    pub fn link_flits(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let sh = s.lock().expect("shard lock poisoned");
+            if out.is_empty() {
+                out = sh.link_flits.clone();
+            } else {
+                for (acc, v) in out.iter_mut().zip(&sh.link_flits) {
+                    *acc += v;
                 }
-                Medium::Guarded { line, class } => {
-                    {
-                        let lf = &mut faults.links[li];
-                        let mut corrupt = || lf.draw(now);
-                        let mut ev = |e: LinkEvent| {
-                            collector.on_link_event(now, li as u32, e);
-                            for p in probes.iter_mut() {
-                                p.on_link_event(now, li as u32, e);
-                            }
-                            if e == LinkEvent::Retransmit {
-                                // Recovery traffic is forward progress: it
-                                // must hold the deadlock watchdog off.
-                                *activity = true;
-                            }
-                        };
-                        line.advance(now, arena, &mut corrupt, &mut ev);
-                    }
-                    line.drain_delivered(|fref| {
-                        let flit = arena.get(fref);
-                        link_flits[li] += 1;
-                        let info = store.get_mut(flit.pid);
-                        match class {
-                            LinkClass::OnChip => info.onchip_flits += 1,
-                            LinkClass::Parallel => info.parallel_flits += 1,
-                            LinkClass::Serial => info.serial_flits += 1,
-                            LinkClass::HeteroPhy => unreachable!(),
-                        }
-                        if flit.is_head() {
-                            info.hops += 1;
-                        }
-                        for p in probes.iter_mut() {
-                            p.on_flit_hop(now, li as u32, flit.is_head());
-                        }
-                        routers[dst].receive(in_port, fref, flit.vc);
-                        active_routers.insert(dst);
-                        *activity = true;
-                    });
-                }
-                Medium::Hetero(h) => {
-                    {
-                        let mut ev = |e: LinkEvent| {
-                            collector.on_link_event(now, li as u32, e);
-                            for p in probes.iter_mut() {
-                                p.on_link_event(now, li as u32, e);
-                            }
-                            if e == LinkEvent::Retransmit {
-                                *activity = true;
-                            }
-                        };
-                        h.advance_observed(now, &mut ev);
-                    }
-                    while let Some((flit, kind)) = h.pop_delivered() {
-                        link_flits[li] += 1;
-                        let info = store.get_mut(flit.pid);
-                        match kind {
-                            PhyKind::Parallel => info.parallel_flits += 1,
-                            PhyKind::Serial => info.serial_flits += 1,
-                        }
-                        if flit.is_head() {
-                            info.hops += 1;
-                        }
-                        for p in probes.iter_mut() {
-                            p.on_flit_hop(now, li as u32, flit.is_head());
-                        }
-                        // Back from the adapter's value-world: re-admit.
-                        let fref = arena.alloc(flit);
-                        routers[dst].receive(in_port, fref, flit.vc);
-                        active_routers.insert(dst);
-                        *activity = true;
-                    }
-                }
-            }
-            if media[li].in_flight() > 0 {
-                active_media.insert(li);
             }
         }
-        self.ids = ids;
+        out
     }
 
-    /// Stage 3: NICs stream queued packets into injection ports.
-    fn stage_inject(&mut self, ctx: &EngineCtx<'_>, now: Cycle) {
-        let mut ids = std::mem::take(&mut self.ids);
-        self.active_nics.drain_into(&mut ids);
-        for &node in &ids {
-            let nic = &mut self.nics[node];
-            let router = &mut self.routers[node];
-            let mut budget = ctx.config.inj_bandwidth;
-            while budget > 0 {
-                if nic.cur.is_none() {
-                    let Some(&pid) = nic.queue.front() else { break };
-                    let Some(vc) = (0..ctx.config.vcs).find(|&v| router.in_vc_idle(0, v)) else {
-                        break;
-                    };
-                    nic.queue.pop_front();
-                    nic.cur = Some(InjectState {
-                        pid,
-                        next_seq: 0,
-                        vc,
-                        len: self.store.get(pid).len,
-                    });
-                }
-                let st = nic.cur.as_mut().expect("just set");
-                let mut moved = false;
-                while budget > 0 && st.next_seq < st.len && router.in_space(0, st.vc) > 0 {
-                    if st.next_seq == 0 {
-                        self.store.get_mut(st.pid).injected = now;
-                    }
-                    let fref = self.arena.alloc(Flit {
-                        pid: st.pid,
-                        seq: st.next_seq,
-                        vc: st.vc,
-                        last: st.next_seq + 1 == st.len,
-                    });
-                    router.receive(0, fref, st.vc);
-                    self.active_routers.insert(node);
-                    st.next_seq += 1;
-                    budget -= 1;
-                    moved = true;
-                    self.activity = true;
-                }
-                if st.next_seq == st.len {
-                    nic.cur = None;
-                } else if !moved {
-                    break;
-                }
-            }
-            if nic.has_work() {
-                self.active_nics.insert(node);
-            }
-        }
-        self.ids = ids;
+    /// In-flight flits across every shard arena (leak checks: a drained
+    /// network holds zero).
+    pub fn flits_in_flight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").arena.in_flight())
+            .sum()
     }
 
-    /// Stage 4: every active router runs its RC/VA/SA pipeline.
-    fn stage_route(&mut self, ctx: &EngineCtx<'_>, now: Cycle, probes: &mut [&mut dyn Probe]) {
-        let mut ids = std::mem::take(&mut self.ids);
-        self.active_routers.drain_into(&mut ids);
-        let mut routers = std::mem::take(&mut self.routers);
-        // One environment for the whole sweep; only the per-node fields
-        // are rewritten between routers.
-        let mut env = NetEnv {
-            now,
-            node: NodeId(0),
-            topo: ctx.topo,
-            routing: ctx.routing,
-            store: &mut self.store,
-            media: &mut self.media,
-            credit_lines: &mut self.credit_lines,
-            faults: &mut self.faults,
-            outport_link: &[],
-            inport_link: &[],
-            vcs: ctx.config.vcs,
-            eject_budget: 0,
-            collector: &mut self.collector,
-            energy_model: ctx.energy_model,
-            measure_from: self.measure_from,
-            route_table: &mut self.route_table,
-            link_out_port: ctx.link_out_port,
-            activity: &mut self.activity,
-            active_media: &mut self.active_media,
-            active_credits: &mut self.active_credits,
-            probes,
-        };
-        for &node in &ids {
-            let router = &mut routers[node];
-            if router.is_quiescent() {
-                continue;
+    /// Total flit handles ever allocated, summed across shard arenas.
+    pub fn flits_allocated_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("shard lock poisoned")
+                    .arena
+                    .allocated_total()
+            })
+            .sum()
+    }
+
+    /// Cycles in which each shard moved something (per-shard activity
+    /// accounting; the deadlock watchdog ORs the same per-cycle flags).
+    pub fn shard_active_cycles(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").active_cycles)
+            .collect()
+    }
+
+    /// Runs one simulation cycle on the calling thread: both phases over
+    /// every shard in order, then the merge. Uses `get_mut` throughout,
+    /// so the serial path pays nothing for the locks.
+    pub fn step_serial(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        hub: &mut Hub,
+        probes: &mut [&mut dyn Probe],
+    ) {
+        let now = self.now.load(Relaxed);
+        let record_hops = !probes.is_empty();
+        let measure_from = self.measure_from.load(Relaxed);
+        let ns = self.part.nshards as usize;
+        {
+            let store = &*self.store.get_mut().expect("store lock poisoned");
+            for sid in 0..ns {
+                let sh = self.shards[sid].get_mut().expect("shard lock poisoned");
+                sh.phase1(ctx, now, store, &self.mail, record_hops, &self.part);
             }
-            env.node = NodeId(node as u32);
-            env.outport_link = &ctx.outport_links[node];
-            env.inport_link = &ctx.inport_links[node];
-            env.eject_budget = ctx.config.eject_bandwidth as u16;
-            router.step(now, &mut env, &mut self.arena);
-            if !router.is_quiescent() {
-                self.active_routers.insert(node);
+            for sid in 0..ns {
+                let sh = self.shards[sid].get_mut().expect("shard lock poisoned");
+                sh.phase2(ctx, now, store, &self.mail, measure_from, &self.part);
             }
         }
-        self.routers = routers;
-        self.ids = ids;
+        if self.merge(hub, now, probes) {
+            hub.last_activity = now;
+        }
+        self.now.store(now + 1, Relaxed);
+    }
+
+    /// Folds every shard's buffered observations into the collector and
+    /// probes, frees delivered descriptors, and clears the buffers.
+    /// Returns whether any shard reported activity this cycle.
+    ///
+    /// Runs with every shard at rest (between cycles). The merge order is
+    /// canonical — ascending link id for link events and hops, ascending
+    /// destination node for deliveries, each tie-broken by the producing
+    /// shard's emission sequence — which is exactly the serial engine's
+    /// emission order, independent of shard count and worker scheduling.
+    /// Freeing descriptors in that same order keeps the store's slot
+    /// freelist (and therefore future [`PacketId`] assignment)
+    /// bit-identical to the serial engine.
+    pub fn merge(&self, hub: &mut Hub, now: Cycle, probes: &mut [&mut dyn Probe]) -> bool {
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned"))
+            .collect();
+        hub.ev_scratch.clear();
+        hub.hop_scratch.clear();
+        hub.del_scratch.clear();
+        for g in guards.iter() {
+            for (seq, &(li, ev)) in g.link_events.iter().enumerate() {
+                hub.ev_scratch.push((li, seq as u32, ev));
+            }
+            for (seq, &(li, head)) in g.flit_hops.iter().enumerate() {
+                hub.hop_scratch.push((li, seq as u32, head));
+            }
+            for (seq, d) in g.deliveries.iter().enumerate() {
+                hub.del_scratch.push((seq as u32, *d));
+            }
+        }
+        hub.ev_scratch
+            .sort_unstable_by_key(|&(li, seq, _)| (li, seq));
+        hub.hop_scratch
+            .sort_unstable_by_key(|&(li, seq, _)| (li, seq));
+        hub.del_scratch
+            .sort_unstable_by_key(|&(seq, d)| (d.node, seq));
+        for &(li, _, ev) in hub.ev_scratch.iter() {
+            hub.collector.on_link_event(now, li, ev);
+            for p in probes.iter_mut() {
+                p.on_link_event(now, li, ev);
+            }
+        }
+        for &(li, _, head) in hub.hop_scratch.iter() {
+            for p in probes.iter_mut() {
+                p.on_flit_hop(now, li, head);
+            }
+        }
+        if !hub.del_scratch.is_empty() {
+            let mut store = self.store.write().expect("store lock poisoned");
+            for &(_, d) in hub.del_scratch.iter() {
+                hub.collector.on_packet_delivered(&d.ev);
+                for p in probes.iter_mut() {
+                    p.on_packet_delivered(&d.ev);
+                }
+                store.free(d.pid);
+            }
+        }
+        let mut any = false;
+        for g in guards.iter_mut() {
+            if g.activity {
+                any = true;
+                g.active_cycles += 1;
+            }
+            g.link_events.clear();
+            g.flit_hops.clear();
+            g.deliveries.clear();
+        }
+        any
     }
 }
 
-impl std::fmt::Debug for Engine {
+impl std::fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Engine")
-            .field("now", &self.now)
-            .field("live_packets", &self.store.live())
-            .field("active_routers", &self.active_routers.len())
-            .field("active_media", &self.active_media.len())
+        f.debug_struct("ShardedEngine")
+            .field("now", &self.now.load(Relaxed))
+            .field("shards", &self.part.nshards)
             .finish()
     }
 }

@@ -91,8 +91,18 @@ impl Scenario {
 
     /// Runs the scenario and returns its digest text.
     pub fn digest(&self) -> String {
+        self.digest_at_threads(SimConfig::default().shard_threads)
+    }
+
+    /// Runs the scenario pinned to `threads` shard threads and returns
+    /// its digest text. The bit-identity contract says this is the same
+    /// string for every thread count — the `golden_traces` thread-matrix
+    /// test checks all fixtures at 1, 2, 4 and 8.
+    pub fn digest_at_threads(&self, threads: usize) -> String {
         let geom = Geometry::new(2, 2, 2, 2);
-        let mut config = SimConfig::default().with_seed(self.seed);
+        let mut config = SimConfig::default()
+            .with_seed(self.seed)
+            .with_shard_threads(threads);
         if self.flavor == Flavor::BerRetry {
             config = config.with_ber(1e-4).with_retry();
         }

@@ -30,9 +30,11 @@
 //!
 //! * [`config`] — Table 2 parameters, full/halved bandwidth modes;
 //! * [`network`] — router/link/NIC assembly and the statistics collector;
-//! * `engine` (internal) — the staged per-cycle engine: credits → media →
-//!   inject → route, with active-set scheduling that skips idle
-//!   components;
+//! * `engine` / `shard` / `parallel` (internal) — the staged per-cycle
+//!   engine: credits → media → inject → route, with active-set
+//!   scheduling that skips idle components, partitioned into
+//!   chiplet-group shards that can run on a worker pool
+//!   ([`SimConfig::shard_threads`]) with bit-identical results;
 //! * [`scheduler`] — the §5.3 scheduling profiles;
 //! * [`presets`] — the evaluated network kinds and system scales;
 //! * [`sim`] — warm-up/measure/drain driver with a deadlock watchdog and
@@ -57,9 +59,11 @@ pub mod energy;
 mod engine;
 pub mod golden;
 pub mod network;
+mod parallel;
 pub mod presets;
 pub mod results;
 pub mod scheduler;
+mod shard;
 pub mod sim;
 pub mod sweep;
 

@@ -4,18 +4,19 @@
 //! [`SystemTopology`], one medium per directed link (a plain
 //! [`DelayLine`](chiplet_noc::DelayLine) for on-chip/parallel/serial
 //! links, a [`HeteroPhyLink`] for hetero-PHY links), the reverse credit
-//! lines, and per-node NICs (injection queues + ejection accounting). The
-//! per-cycle execution lives in [`crate::engine::Engine`], which advances
-//! the assembled state through four named stages (credits → media →
-//! inject → route) and skips idle components via active sets; this module
-//! holds the immutable system description and the statistics
-//! [`Collector`].
+//! lines, and per-node NICs (injection queues + ejection accounting),
+//! then partitions them into chiplet-group shards. The per-cycle
+//! execution lives in [`crate::engine::ShardedEngine`] (staged cycles
+//! over the shards, serial or on a worker pool — see
+//! [`crate::parallel`]); this module holds the immutable system
+//! description and the statistics [`Collector`].
 
 use crate::config::SimConfig;
 use crate::energy::EnergyModel;
-use crate::engine::{Engine, EngineCtx, FaultCore, Medium};
+use crate::engine::{EngineCtx, Hub, ShardedEngine};
+use crate::shard::{Medium, Partition, Shard};
 use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
-use chiplet_noc::{CreditLine, DelayLine, FlitArena, PacketId, RetryLine, Router};
+use chiplet_noc::{CreditLine, DelayLine, PacketId, RetryLine, Router};
 use chiplet_phy::{HeteroPhyLink, PhyKind};
 use chiplet_topo::routing::Routing;
 use chiplet_topo::{LinkClass, LinkId, SystemTopology};
@@ -23,6 +24,7 @@ use chiplet_traffic::PacketRequest;
 use simkit::probe::{DeliveryEvent, LinkEvent, Probe};
 use simkit::stats::{Histogram, Running};
 use simkit::{Cycle, SimRng};
+use std::sync::RwLock;
 
 /// Statistics accumulated over delivered packets.
 ///
@@ -120,35 +122,34 @@ impl Probe for Collector {
 
 /// A fully assembled multi-chiplet network simulation.
 pub struct Network {
-    topo: SystemTopology,
-    routing: Box<dyn Routing>,
-    config: SimConfig,
-    energy_model: EnergyModel,
+    /// Behind a lock so the parallel driver can share it with the worker
+    /// pool; the serial path uses `get_mut` and never locks. Only
+    /// scripted hard faults ever take the write side (to edit routing
+    /// views), and they run while the pool is parked.
+    pub(crate) topo: RwLock<SystemTopology>,
+    pub(crate) routing: Box<dyn Routing>,
+    pub(crate) config: SimConfig,
+    pub(crate) energy_model: EnergyModel,
     /// LinkId → out port on its source router (1-based).
-    link_out_port: Vec<u16>,
+    pub(crate) link_out_port: Vec<u16>,
     /// LinkId → in port on its destination router (1-based).
-    link_in_port: Vec<u16>,
+    pub(crate) link_in_port: Vec<u16>,
     /// node → ordered outgoing links (out port k+1 = element k).
-    outport_links: Vec<Vec<LinkId>>,
+    pub(crate) outport_links: Vec<Vec<LinkId>>,
     /// node → ordered incoming links (in port k+1 = element k).
-    inport_links: Vec<Vec<LinkId>>,
-    /// Scheduled fault events, applied as simulated time passes them.
-    script: FaultScript,
-    /// Next unapplied script event.
-    script_pos: usize,
-    /// Pooled scratch for [`Self::apply_fault`]: targeted links and the
-    /// link events they emitted. Kept across calls so fault storms (BER
-    /// scripts fire repeatedly) do not allocate.
-    fault_links: Vec<LinkId>,
-    fault_emitted: Vec<(u32, LinkEvent)>,
-    engine: Engine,
+    pub(crate) inport_links: Vec<Vec<LinkId>>,
+    pub(crate) engine: ShardedEngine,
+    /// Orchestrator-side state: collector, fault script, merge scratch.
+    pub(crate) hub: Hub,
 }
 
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let topo = self.topo.read().expect("topology lock poisoned");
         f.debug_struct("Network")
-            .field("kind", &self.topo.kind())
-            .field("nodes", &self.topo.geometry().nodes())
+            .field("kind", &topo.kind())
+            .field("nodes", &topo.geometry().nodes())
+            .field("shards", &self.engine.nshards())
             .field("now", &self.engine.now())
             .field("live_packets", &self.engine.live_packets())
             .finish()
@@ -157,6 +158,10 @@ impl std::fmt::Debug for Network {
 
 impl Network {
     /// Assembles a network for `topo` with the given routing algorithm.
+    ///
+    /// The network is partitioned into up to
+    /// [`SimConfig::shard_threads`] chiplet-group shards (capped by the
+    /// chiplet count); results are bit-identical at every shard count.
     ///
     /// # Panics
     ///
@@ -269,8 +274,16 @@ impl Network {
             credit_lines.push(CreditLine::new(credit_lat.max(1)));
         }
 
-        let faults = FaultCore::new(&link_ps, config.seed);
-        let mut net = Self {
+        let part = Partition::new(&topo, config.resolved_shard_threads());
+        let mut engine =
+            ShardedEngine::new(routers, media, credit_lines, &link_ps, config.seed, part);
+        // Precompute route tables for small systems so the RC stage never
+        // walks a routing algorithm at runtime — scoped per shard to the
+        // nodes it owns (prefill no-ops above its node threshold; those
+        // fill lazily).
+        engine.prefill_route_tables(routing.as_ref(), &topo);
+        Self {
+            topo: RwLock::new(topo),
             routing,
             config,
             energy_model: EnergyModel::default(),
@@ -278,30 +291,33 @@ impl Network {
             link_in_port,
             outport_links,
             inport_links,
-            script: FaultScript::default(),
-            script_pos: 0,
-            fault_links: Vec::new(),
-            fault_emitted: Vec::new(),
-            engine: Engine::new(routers, media, credit_lines, faults, n),
-            topo,
-        };
-        // Precompute the full route table for small systems so the RC
-        // stage never walks a routing algorithm at runtime (prefill
-        // no-ops above its node threshold; those fill lazily).
-        net.engine
-            .route_table()
-            .prefill(net.routing.as_ref(), &net.topo);
-        net
+            engine,
+            hub: Hub::new(),
+        }
     }
 
-    /// The topology this network was built from.
-    pub fn topology(&self) -> &SystemTopology {
-        &self.topo
+    /// The topology this network was built from (a read guard; hold it
+    /// only briefly — scripted hard faults take the write side).
+    pub fn topology(&self) -> impl std::ops::Deref<Target = SystemTopology> + '_ {
+        self.topo.read().expect("topology lock poisoned")
     }
 
     /// The configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The number of chiplet-group shards the cycle loop runs over
+    /// (1 = serial; capped by the topology's chiplet count).
+    pub fn num_shards(&self) -> usize {
+        self.engine.nshards()
+    }
+
+    /// Cycles in which each shard moved something. With one shard this is
+    /// the network-wide activity count; with many it shows the per-shard
+    /// load balance.
+    pub fn shard_active_cycles(&self) -> Vec<u64> {
+        self.engine.shard_active_cycles()
     }
 
     /// Replaces the energy model (default: [`EnergyModel::default`]).
@@ -314,8 +330,8 @@ impl Network {
     /// is simulated. Replaces any previously installed script; events
     /// already in the past fire on the next step.
     pub fn set_fault_script(&mut self, script: FaultScript) {
-        self.script = script;
-        self.script_pos = 0;
+        self.hub.script = script;
+        self.hub.script_pos = 0;
     }
 
     /// Whether this run injects faults: a nonzero error rate or a fault
@@ -326,7 +342,7 @@ impl Network {
     pub fn faults_active(&self) -> bool {
         self.config.fault.ber_serial > 0.0
             || self.config.fault.ber_parallel > 0.0
-            || !self.script.is_empty()
+            || !self.hub.script.is_empty()
     }
 
     /// The current cycle.
@@ -336,12 +352,12 @@ impl Network {
 
     /// The statistics collector.
     pub fn collector(&self) -> &Collector {
-        self.engine.collector()
+        &self.hub.collector
     }
 
     /// Flits delivered over each directed link so far (indexed by
     /// [`LinkId`]); divide by `cycles × bandwidth` for utilization.
-    pub fn link_flits(&self) -> &[u64] {
+    pub fn link_flits(&self) -> Vec<u64> {
         self.engine.link_flits()
     }
 
@@ -365,11 +381,15 @@ impl Network {
         self.engine.live_packets()
     }
 
-    /// The flit arena. A drained network (no live packets) must report
-    /// [`FlitArena::in_flight`] of zero — anything else is a leaked
-    /// handle.
-    pub fn flit_arena(&self) -> &FlitArena {
-        self.engine.arena()
+    /// In-flight flits across every shard arena. A drained network (no
+    /// live packets) must report zero — anything else is a leaked handle.
+    pub fn flits_in_flight(&self) -> usize {
+        self.engine.flits_in_flight()
+    }
+
+    /// Total flit handles ever allocated across every shard arena.
+    pub fn flits_allocated_total(&self) -> u64 {
+        self.engine.flits_allocated_total()
     }
 
     /// Total packets waiting in source queues (not yet fully injected).
@@ -380,7 +400,7 @@ impl Network {
     /// Cycles since anything moved — a growing value with live packets
     /// indicates deadlock (used by the simulation watchdog).
     pub fn idle_cycles(&self) -> Cycle {
-        self.engine.idle_cycles()
+        self.engine.now() - self.hub.last_activity
     }
 
     /// Runs one simulation cycle.
@@ -388,21 +408,30 @@ impl Network {
         self.step_probed(&mut []);
     }
 
-    /// Runs one simulation cycle, reporting deliveries and flit hops to
-    /// `probes` (in addition to the built-in [`Collector`]).
+    /// Runs one simulation cycle on the calling thread (both phases over
+    /// every shard in order — any shard count), reporting deliveries and
+    /// flit hops to `probes` (in addition to the built-in [`Collector`]).
     ///
     /// Probes are passive: attaching any combination of them leaves the
     /// simulated behavior bit-identical.
     pub fn step_probed(&mut self, probes: &mut [&mut dyn Probe]) {
-        while self.script_pos < self.script.events().len()
-            && self.script.events()[self.script_pos].at <= self.engine.now()
+        while self.hub.script_pos < self.hub.script.events().len()
+            && self.hub.script.events()[self.hub.script_pos].at <= self.engine.now()
         {
-            let tf = self.script.events()[self.script_pos];
-            self.script_pos += 1;
-            self.apply_fault(tf, probes);
+            let tf = self.hub.script.events()[self.hub.script_pos];
+            self.hub.script_pos += 1;
+            apply_fault(
+                &self.topo,
+                self.routing.as_ref(),
+                &self.engine,
+                &mut self.hub,
+                tf,
+                probes,
+            );
         }
+        let topo = &*self.topo.get_mut().expect("topology lock poisoned");
         let ctx = EngineCtx {
-            topo: &self.topo,
+            topo,
             routing: self.routing.as_ref(),
             config: &self.config,
             energy_model: &self.energy_model,
@@ -411,25 +440,37 @@ impl Network {
             outport_links: &self.outport_links,
             inport_links: &self.inport_links,
         };
-        self.engine.step(&ctx, probes);
+        self.engine.step_serial(&ctx, &mut self.hub, probes);
     }
+}
 
-    /// Resolves one scripted fault's target to concrete links and applies
-    /// it: hetero-PHY adapters fail over / restore / burst in place; plain
-    /// and retry-guarded links are blocked, unblocked, burst or
-    /// lane-capped; hard failures additionally filter the routing tables
-    /// where the topology allows (the mesh escape network must survive).
-    fn apply_fault(&mut self, tf: TimedFault, probes: &mut [&mut dyn Probe]) {
-        let hard = matches!(
-            tf.event,
-            FaultEvent::PhyDown(_)
-                | FaultEvent::PhyUp(_)
-                | FaultEvent::LinkDown
-                | FaultEvent::LinkUp
-        );
-        let mut links = std::mem::take(&mut self.fault_links);
-        links.clear();
-        links.extend(self.topo.links().iter().filter_map(|l| {
+/// Resolves one scripted fault's target to concrete links and applies
+/// it: hetero-PHY adapters fail over / restore / burst in place; plain
+/// and retry-guarded links are blocked, unblocked, burst or lane-capped;
+/// hard failures additionally filter the routing tables where the
+/// topology allows (the mesh escape network must survive).
+///
+/// A free function over the shared pieces so both drivers can call it:
+/// the serial path from [`Network::step_probed`], the parallel path from
+/// the pool leader between cycles (every shard is locked up front, which
+/// is free — the workers are parked whenever this runs).
+pub(crate) fn apply_fault(
+    topo: &RwLock<SystemTopology>,
+    routing: &dyn Routing,
+    engine: &ShardedEngine,
+    hub: &mut Hub,
+    tf: TimedFault,
+    probes: &mut [&mut dyn Probe],
+) {
+    let hard = matches!(
+        tf.event,
+        FaultEvent::PhyDown(_) | FaultEvent::PhyUp(_) | FaultEvent::LinkDown | FaultEvent::LinkUp
+    );
+    let mut links = std::mem::take(&mut hub.fault_links);
+    links.clear();
+    {
+        let t = topo.read().expect("topology lock poisoned");
+        links.extend(t.links().iter().filter_map(|l| {
             let hit = match tf.target {
                 FaultTarget::All => l.class.is_interface(),
                 FaultTarget::Link(id) => l.id.0 == id,
@@ -442,7 +483,7 @@ impl Network {
             // targeted link's reverse pair along.
             let direct = links.len();
             for i in 0..direct {
-                if let Some(rev) = self.topo.reverse_of(links[i]) {
+                if let Some(rev) = t.reverse_of(links[i]) {
                     if !links.contains(&rev) {
                         links.push(rev);
                     }
@@ -450,103 +491,123 @@ impl Network {
             }
             links.sort_by_key(|l| l.0);
         }
-        let now = self.engine.now();
-        let mut emitted = std::mem::take(&mut self.fault_emitted);
-        emitted.clear();
-        // Set when a hard event actually edits the topology's routing
-        // lookup tables; cached routes are stale from that point.
-        let mut reroute = false;
-        {
-            let (media, faults, _) = self.engine.fault_parts();
-            for &id in &links {
-                let li = id.index();
-                match tf.event {
-                    FaultEvent::PhyDown(kind) => match &mut media[li] {
-                        Medium::Hetero(h) => {
-                            h.fail_phy(kind);
-                            emitted.push((li as u32, LinkEvent::PhyDown));
-                            let other = match kind {
-                                PhyKind::Parallel => PhyKind::Serial,
-                                PhyKind::Serial => PhyKind::Parallel,
-                            };
-                            if !h.phy_down(other) {
-                                // The surviving PHY keeps the link alive.
-                                emitted.push((li as u32, LinkEvent::Failover));
-                            }
-                        }
-                        Medium::Plain { class, .. } | Medium::Guarded { class, .. }
-                            if class_matches(*class, kind) =>
-                        {
-                            faults.set_blocked(li, true);
-                            reroute |= self.topo.set_pair_down(id, true);
-                            emitted.push((li as u32, LinkEvent::PhyDown));
-                        }
-                        _ => {}
-                    },
-                    FaultEvent::PhyUp(kind) => match &mut media[li] {
-                        Medium::Hetero(h) => {
-                            h.restore_phy(kind);
-                            emitted.push((li as u32, LinkEvent::PhyUp));
-                        }
-                        Medium::Plain { class, .. } | Medium::Guarded { class, .. }
-                            if class_matches(*class, kind) =>
-                        {
-                            faults.set_blocked(li, false);
-                            reroute |= self.topo.set_pair_down(id, false);
-                            emitted.push((li as u32, LinkEvent::PhyUp));
-                        }
-                        _ => {}
-                    },
-                    FaultEvent::LinkDown => {
-                        faults.set_blocked(li, true);
-                        reroute |= self.topo.set_pair_down(id, true);
-                        emitted.push((li as u32, LinkEvent::LinkDown));
-                    }
-                    FaultEvent::LinkUp => {
-                        faults.set_blocked(li, false);
-                        reroute |= self.topo.set_pair_down(id, false);
-                        emitted.push((li as u32, LinkEvent::LinkUp));
-                    }
-                    FaultEvent::Burst { mult, duration } => {
-                        let until = now + duration;
-                        match &mut media[li] {
-                            Medium::Hetero(h) => h.set_burst(mult, until),
-                            _ => faults.set_burst(li, mult, until),
+    }
+    let now = engine.now();
+    let mut emitted = std::mem::take(&mut hub.fault_emitted);
+    emitted.clear();
+    // Set when a hard event actually edits the topology's routing
+    // lookup tables; cached routes are stale from that point.
+    let mut reroute = false;
+    {
+        let mut guards: Vec<_> = engine
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned"))
+            .collect();
+        for &id in &links {
+            let li = id.index();
+            let sh: &mut Shard = &mut guards[engine.part.link_owner[li] as usize];
+            match tf.event {
+                FaultEvent::PhyDown(kind) => match sh.media[li].as_mut().expect("owner") {
+                    Medium::Hetero(h) => {
+                        h.fail_phy(kind);
+                        emitted.push((li as u32, LinkEvent::PhyDown));
+                        let other = match kind {
+                            PhyKind::Parallel => PhyKind::Serial,
+                            PhyKind::Serial => PhyKind::Parallel,
+                        };
+                        if !h.phy_down(other) {
+                            // The surviving PHY keeps the link alive.
+                            emitted.push((li as u32, LinkEvent::Failover));
                         }
                     }
-                    FaultEvent::Degrade { lanes } => {
-                        faults.set_lane_cap(li, Some(lanes));
-                        emitted.push((li as u32, LinkEvent::Degrade));
+                    Medium::Plain { class, .. } | Medium::Guarded { class, .. }
+                        if class_matches(*class, kind) =>
+                    {
+                        sh.faults.set_blocked(li, true);
+                        reroute |= topo
+                            .write()
+                            .expect("topology lock poisoned")
+                            .set_pair_down(id, true);
+                        emitted.push((li as u32, LinkEvent::PhyDown));
                     }
+                    _ => {}
+                },
+                FaultEvent::PhyUp(kind) => match sh.media[li].as_mut().expect("owner") {
+                    Medium::Hetero(h) => {
+                        h.restore_phy(kind);
+                        emitted.push((li as u32, LinkEvent::PhyUp));
+                    }
+                    Medium::Plain { class, .. } | Medium::Guarded { class, .. }
+                        if class_matches(*class, kind) =>
+                    {
+                        sh.faults.set_blocked(li, false);
+                        reroute |= topo
+                            .write()
+                            .expect("topology lock poisoned")
+                            .set_pair_down(id, false);
+                        emitted.push((li as u32, LinkEvent::PhyUp));
+                    }
+                    _ => {}
+                },
+                FaultEvent::LinkDown => {
+                    sh.faults.set_blocked(li, true);
+                    reroute |= topo
+                        .write()
+                        .expect("topology lock poisoned")
+                        .set_pair_down(id, true);
+                    emitted.push((li as u32, LinkEvent::LinkDown));
+                }
+                FaultEvent::LinkUp => {
+                    sh.faults.set_blocked(li, false);
+                    reroute |= topo
+                        .write()
+                        .expect("topology lock poisoned")
+                        .set_pair_down(id, false);
+                    emitted.push((li as u32, LinkEvent::LinkUp));
+                }
+                FaultEvent::Burst { mult, duration } => {
+                    let until = now + duration;
+                    match sh.media[li].as_mut().expect("owner") {
+                        Medium::Hetero(h) => h.set_burst(mult, until),
+                        _ => sh.faults.set_burst(li, mult, until),
+                    }
+                }
+                FaultEvent::Degrade { lanes } => {
+                    sh.faults.set_lane_cap(li, Some(lanes));
+                    emitted.push((li as u32, LinkEvent::Degrade));
                 }
             }
         }
         if reroute {
-            // The routing view changed; drop every cached route and let
-            // the table refill (lazily, or eagerly for small systems —
+            // The routing view changed; drop every cached route in every
+            // shard and refill (lazily, or eagerly for small systems —
             // matching what build time did).
-            self.engine.route_table().invalidate();
-            self.engine
-                .route_table()
-                .prefill(self.routing.as_ref(), &self.topo);
-        }
-        {
-            let (_, _, collector) = self.engine.fault_parts();
-            for &(li, ev) in &emitted {
-                collector.on_link_event(now, li, ev);
+            let t = topo.read().expect("topology lock poisoned");
+            for g in guards.iter_mut() {
+                let sh: &mut Shard = g;
+                sh.route_table.invalidate();
+                sh.route_table.prefill_scoped(routing, &t, &sh.nodes);
             }
         }
-        for p in probes.iter_mut() {
-            for &(li, ev) in &emitted {
-                p.on_link_event(now, li, ev);
-            }
-        }
+        // Re-activate every touched medium (via its owner) so the next
+        // media pass runs even if the link looked idle.
         for &id in &links {
-            self.engine.wake_medium(id.index());
+            guards[engine.part.link_owner[id.index()] as usize]
+                .active_media
+                .insert(id.index());
         }
-        self.fault_links = links;
-        self.fault_emitted = emitted;
     }
+    for &(li, ev) in &emitted {
+        hub.collector.on_link_event(now, li, ev);
+    }
+    for p in probes.iter_mut() {
+        for &(li, ev) in &emitted {
+            p.on_link_event(now, li, ev);
+        }
+    }
+    hub.fault_links = links;
+    hub.fault_emitted = emitted;
 }
 
 /// Whether a homogeneous link of `class` is carried by PHY family `kind`
@@ -750,6 +811,41 @@ mod tests {
         // ProgressProbe::on_cycle is driven by the run loop, not step();
         // here we only check it stayed silent without on_cycle calls.
         assert!(progress.snapshots().is_empty());
+    }
+
+    #[test]
+    fn multi_shard_serial_step_matches_single_shard() {
+        // The same traffic through a 1-shard and a 4-shard build of the
+        // same system must produce identical statistics — the partition
+        // is results-invisible by construction.
+        let run = |threads: usize| {
+            let geom = Geometry::new(2, 2, 2, 2);
+            let topo = build::hetero_phy_torus(geom);
+            let r = routing::for_system(SystemKind::HeteroPhyTorus, 2);
+            let mut net = Network::new(topo, r, SimConfig::default().with_shard_threads(threads));
+            let mut rng = SimRng::seed(7);
+            let n = geom.nodes() as u64;
+            for _ in 0..40 {
+                let s = rng.below(n) as u32;
+                let mut d = rng.below(n) as u32;
+                while d == s {
+                    d = rng.below(n) as u32;
+                }
+                net.offer(PacketRequest::new(NodeId(s), NodeId(d), 16));
+            }
+            run_until_drained(&mut net, 20_000);
+            (
+                net.now(),
+                net.collector().delivered_packets,
+                net.collector().latency.mean(),
+                net.collector().hops.mean(),
+                net.link_flits(),
+            )
+        };
+        let serial = run(1);
+        let sharded = run(4);
+        assert!(serial.0 > 0);
+        assert_eq!(serial, sharded);
     }
 
     #[test]

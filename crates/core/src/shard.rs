@@ -1,0 +1,936 @@
+//! One shard of the partitioned network: state, phases, router window.
+//!
+//! The network is partitioned into chiplet-group **shards**. Every shard
+//! owns the routers of its nodes and the media + credit lines of the
+//! links *leaving* those nodes (link owner = shard of `link.src`), plus
+//! private copies of everything a cycle touches: a [`FlitArena`], a
+//! route table, active sets, per-link fault streams and NICs. A cycle
+//! runs in two phases per shard:
+//!
+//! * [`Shard::phase1`] — replay inbound cross-shard credits, then the
+//!   credit and media stages. Flits arriving over an owned link whose
+//!   destination router lives in another shard are *not* delivered
+//!   locally: their stat counters are charged here (the owner is the
+//!   serial engine's accounting site) and the flit value is posted to
+//!   the destination shard's mailbox.
+//! * [`Shard::phase2`] — drain inbound cross-shard flits into the local
+//!   routers (exactly where the serial engine's media stage would have
+//!   put them, before any router steps), then the inject and route
+//!   stages. Credits for flits forwarded out of non-owned in-links are
+//!   posted to the owning shard's mailbox, to be replayed next cycle.
+//!
+//! A barrier between the phases guarantees each mailbox slot is written
+//! in one phase and read in the other. Determinism rests on three rules:
+//! RNG streams are forked per *global* link id at build time (every
+//! shard derives the identical stream set; only the owner ever draws),
+//! mailboxes drain in ascending producer-shard order, and all
+//! order-sensitive observations (deliveries, link events) are buffered
+//! here and merged by the orchestrator in a scheduling-independent
+//! order.
+
+use crate::energy::EnergyModel;
+use crate::engine::EngineCtx;
+use chiplet_noc::{
+    CreditLine, DelayLine, Flit, FlitArena, FlitRef, PacketId, PacketInfo, PacketStore,
+    PortCandidate, RetryLine, Router, RouterEnv, ShardMailbox,
+};
+use chiplet_phy::{HeteroPhyLink, PhyKind};
+use chiplet_topo::routing::{RouteTable, Routing};
+use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
+use simkit::probe::{DeliveryEvent, LinkEvent};
+use simkit::{ActiveSet, Cycle, SimRng};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// One directed link's physical medium.
+#[derive(Debug)]
+pub(crate) enum Medium {
+    /// A plain fixed-latency pipeline (on-chip, parallel or serial link).
+    Plain {
+        /// The flit pipeline (carrying arena handles).
+        line: DelayLine<FlitRef>,
+        /// The link class (for per-class energy accounting).
+        class: LinkClass,
+    },
+    /// A plain pipeline wrapped in the CRC/replay retry link layer (built
+    /// for interface links when the fault model is armed; error-free it is
+    /// cycle-for-cycle identical to [`Medium::Plain`]).
+    Guarded {
+        /// The retrying flit pipeline.
+        line: RetryLine,
+        /// The link class (for per-class energy accounting).
+        class: LinkClass,
+    },
+    /// A hetero-PHY adapter (parallel + serial PHYs with scheduling).
+    Hetero(Box<HeteroPhyLink>),
+}
+
+impl Medium {
+    fn in_flight(&self) -> usize {
+        match self {
+            Medium::Plain { line, .. } => line.in_flight(),
+            Medium::Guarded { line, .. } => line.in_flight(),
+            Medium::Hetero(h) => h.in_flight(),
+        }
+    }
+}
+
+/// Per-link fault-injection state: one RNG stream and corruption
+/// probability per directed link, plus the mutable fault flags scripted
+/// events toggle (blocked links, error bursts, lane caps).
+///
+/// Links with zero probability never draw from their RNG
+/// ([`SimRng::chance`] short-circuits at `p <= 0`), so an unarmed core is
+/// results-invisible. Every shard builds the full core from the same
+/// `(seed, global link id)` forks — the streams are static, so the owner
+/// shard's draws are identical whatever the partition.
+#[derive(Debug)]
+pub(crate) struct FaultCore {
+    links: Vec<LinkFault>,
+}
+
+#[derive(Debug)]
+struct LinkFault {
+    rng: SimRng,
+    /// Base per-flit corruption probability.
+    p: f64,
+    burst_mult: f64,
+    burst_until: Cycle,
+    blocked: bool,
+    lane_cap: Option<u8>,
+}
+
+impl LinkFault {
+    fn draw(&mut self, now: Cycle) -> bool {
+        let p = if now < self.burst_until {
+            (self.p * self.burst_mult).min(1.0)
+        } else {
+            self.p
+        };
+        self.rng.chance(p)
+    }
+}
+
+impl FaultCore {
+    /// Builds the core with per-link corruption probabilities `ps`,
+    /// forking one RNG stream per link from `seed`.
+    pub fn new(ps: &[f64], seed: u64) -> Self {
+        let mut base = SimRng::seed(seed ^ 0xFA_0175);
+        Self {
+            links: ps
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| LinkFault {
+                    rng: base.fork(i as u64),
+                    p,
+                    burst_mult: 1.0,
+                    burst_until: 0,
+                    blocked: false,
+                    lane_cap: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn draw(&mut self, li: usize, now: Cycle) -> bool {
+        self.links[li].draw(now)
+    }
+
+    pub fn blocked(&self, li: usize) -> bool {
+        self.links[li].blocked
+    }
+
+    pub fn set_blocked(&mut self, li: usize, blocked: bool) {
+        self.links[li].blocked = blocked;
+    }
+
+    pub fn set_burst(&mut self, li: usize, mult: f64, until: Cycle) {
+        self.links[li].burst_mult = mult;
+        self.links[li].burst_until = until;
+    }
+
+    pub fn set_lane_cap(&mut self, li: usize, cap: Option<u8>) {
+        self.links[li].lane_cap = cap;
+    }
+
+    fn lane_cap(&self, li: usize) -> Option<u8> {
+        self.links[li].lane_cap
+    }
+}
+
+/// The static shard layout: which shard owns each node and link.
+///
+/// Nodes are grouped by chiplet (contiguous chiplet-id ranges), so every
+/// cross-shard link is an interface link and intra-chiplet traffic never
+/// leaves its shard. A link is owned by the shard of its *source* node:
+/// the owner advances the medium (phase 1) and replays returned credits
+/// into the source router (credit stage).
+#[derive(Debug)]
+pub(crate) struct Partition {
+    /// Shard count (`min(threads, chiplets)`, at least 1).
+    pub nshards: u16,
+    /// node index → owning shard.
+    pub node_shard: Vec<u16>,
+    /// link index → owning shard (= shard of the link's source node).
+    pub link_owner: Vec<u16>,
+    /// shard → its nodes, ascending.
+    pub shard_nodes: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Splits `topo` into up to `threads` chiplet-group shards.
+    pub fn new(topo: &SystemTopology, threads: usize) -> Self {
+        let geom = topo.geometry();
+        let chiplets = (geom.chiplets() as usize).max(1);
+        let nshards = threads.clamp(1, chiplets) as u16;
+        let nodes = geom.nodes() as usize;
+        let mut node_shard = vec![0u16; nodes];
+        let mut shard_nodes = vec![Vec::new(); nshards as usize];
+        for (i, slot) in node_shard.iter_mut().enumerate() {
+            let c = geom.chiplet_of(NodeId(i as u32)).index();
+            let s = ((c * nshards as usize) / chiplets) as u16;
+            *slot = s;
+            shard_nodes[s as usize].push(NodeId(i as u32));
+        }
+        let link_owner = topo
+            .links()
+            .iter()
+            .map(|l| node_shard[l.src.index()])
+            .collect();
+        Self {
+            nshards,
+            node_shard,
+            link_owner,
+            shard_nodes,
+        }
+    }
+}
+
+/// A flit crossing a shard boundary, by value (the producer freed its
+/// arena handle; the consumer re-admits into its own arena).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitMsg {
+    /// Global index of the link the flit arrived over.
+    pub li: u32,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+/// A credit issued by a non-owner shard for a link's input buffer,
+/// replayed into the owner's credit line next cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CreditMsg {
+    /// Global index of the credited link.
+    pub li: u32,
+    /// The freed virtual channel.
+    pub vc: u8,
+}
+
+/// The cross-shard mailbox pair: boundary flits (flushed in phase 1,
+/// drained in phase 2) and boundary credits (flushed in phase 2, drained
+/// in the next cycle's phase 1).
+#[derive(Debug)]
+pub(crate) struct Mail {
+    pub flits: ShardMailbox<FlitMsg>,
+    pub credits: ShardMailbox<CreditMsg>,
+}
+
+impl Mail {
+    pub fn new(nshards: usize) -> Self {
+        Self {
+            flits: ShardMailbox::new(nshards),
+            credits: ShardMailbox::new(nshards),
+        }
+    }
+}
+
+/// A buffered packet delivery, merged (and its descriptor slot freed) by
+/// the orchestrator in ascending-node order — the serial route-stage
+/// order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Delivery {
+    /// Destination node (the merge sort key).
+    pub node: u32,
+    /// The delivered packet (freed at merge).
+    pub pid: PacketId,
+    /// The probe-facing event.
+    pub ev: DeliveryEvent,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InjectState {
+    pid: PacketId,
+    next_seq: u16,
+    vc: u8,
+    len: u16,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Nic {
+    pub queue: VecDeque<PacketId>,
+    cur: Option<InjectState>,
+}
+
+impl Nic {
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() || self.cur.is_some()
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.len() + usize::from(self.cur.is_some())
+    }
+}
+
+/// One shard's mutable simulation state.
+///
+/// Vectors are full-length (indexed by global node/link id) with only the
+/// owned entries populated — unowned routers are portless stubs that are
+/// never activated, unowned media/credit slots are `None`. This keeps
+/// every stage's indexing identical to the serial engine at the cost of
+/// `O(nshards)` stub storage.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub id: u16,
+    /// Owned nodes, ascending (scoped route-table prefill, stat sums).
+    pub nodes: Vec<NodeId>,
+    pub routers: Vec<Router>,
+    pub media: Vec<Option<Medium>>,
+    pub credit_lines: Vec<Option<CreditLine>>,
+    pub faults: FaultCore,
+    pub nics: Vec<Nic>,
+    /// Flits delivered over each owned directed link.
+    pub link_flits: Vec<u64>,
+    /// The home of every in-flight flit this shard holds.
+    pub arena: FlitArena,
+    /// Memoized routes for packets currently at an owned node.
+    pub route_table: RouteTable,
+    pub active_routers: ActiveSet,
+    pub active_media: ActiveSet,
+    pub active_credits: ActiveSet,
+    pub active_nics: ActiveSet,
+    /// Reused drain buffer for the active sets.
+    ids: Vec<usize>,
+    /// Per-consumer out-buffers, flushed to the mailboxes once per phase.
+    out_flits: Vec<Vec<FlitMsg>>,
+    out_credits: Vec<Vec<CreditMsg>>,
+    /// Order-sensitive observations, merged by the orchestrator.
+    pub deliveries: Vec<Delivery>,
+    pub link_events: Vec<(u32, LinkEvent)>,
+    pub flit_hops: Vec<(u32, bool)>,
+    /// Whether anything moved this cycle (deadlock-watchdog input).
+    pub activity: bool,
+    /// Cycles in which this shard had activity (per-shard quiescence
+    /// accounting; the watchdog ORs `activity` across shards).
+    pub active_cycles: u64,
+}
+
+impl Shard {
+    pub fn new(
+        id: u16,
+        nodes: Vec<NodeId>,
+        node_count: usize,
+        link_count: usize,
+        nshards: usize,
+        faults: FaultCore,
+    ) -> Self {
+        Self {
+            id,
+            nodes,
+            routers: (0..node_count).map(|_| Router::new(1)).collect(),
+            media: (0..link_count).map(|_| None).collect(),
+            credit_lines: (0..link_count).map(|_| None).collect(),
+            faults,
+            nics: (0..node_count).map(|_| Nic::default()).collect(),
+            link_flits: vec![0; link_count],
+            arena: FlitArena::new(),
+            route_table: RouteTable::new(),
+            active_routers: ActiveSet::new(node_count),
+            active_media: ActiveSet::new(link_count),
+            active_credits: ActiveSet::new(link_count),
+            active_nics: ActiveSet::new(node_count),
+            ids: Vec::new(),
+            out_flits: (0..nshards).map(|_| Vec::new()).collect(),
+            out_credits: (0..nshards).map(|_| Vec::new()).collect(),
+            deliveries: Vec::new(),
+            link_events: Vec::new(),
+            flit_hops: Vec::new(),
+            activity: false,
+            active_cycles: 0,
+        }
+    }
+
+    /// Phase 1 of a cycle: inbound credit replay → credit stage → media
+    /// stage → boundary-flit flush.
+    pub fn phase1(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        now: Cycle,
+        store: &PacketStore,
+        mail: &Mail,
+        record_hops: bool,
+        part: &Partition,
+    ) {
+        self.activity = false;
+        let sid = self.id as usize;
+        {
+            // Replay credits the consumer shards issued in last cycle's
+            // phase 2. `send(now - 1, vc)` reproduces the serial engine's
+            // call at the original cycle exactly — a credit line buffers
+            // `(t + latency, vc)` and latency ≥ 1, so nothing was due
+            // before this cycle. (No message can exist at cycle 0.)
+            let Shard {
+                credit_lines,
+                active_credits,
+                ..
+            } = self;
+            mail.credits.drain(sid, |_, m: CreditMsg| {
+                let li = m.li as usize;
+                credit_lines[li]
+                    .as_mut()
+                    .expect("credit routed to non-owner")
+                    .send(now - 1, m.vc);
+                active_credits.insert(li);
+            });
+        }
+        self.stage_credits(ctx, now);
+        self.stage_media(ctx, now, store, record_hops, part);
+        for consumer in 0..part.nshards as usize {
+            mail.flits
+                .append(sid, consumer, &mut self.out_flits[consumer]);
+        }
+    }
+
+    /// Phase 2 of a cycle: inbound flit delivery → inject stage → route
+    /// stage → boundary-credit flush.
+    pub fn phase2(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        now: Cycle,
+        store: &PacketStore,
+        mail: &Mail,
+        measure_from: Cycle,
+        part: &Partition,
+    ) {
+        let sid = self.id as usize;
+        {
+            // Boundary flits land in the destination router before it
+            // routes this cycle — the same point in the cycle the serial
+            // media stage would have delivered them.
+            let Shard {
+                routers,
+                arena,
+                active_routers,
+                activity,
+                ..
+            } = self;
+            mail.flits.drain(sid, |_, m: FlitMsg| {
+                let link = ctx.topo.link(LinkId(m.li));
+                let dst = link.dst.index();
+                let fref = arena.alloc(m.flit);
+                routers[dst].receive(ctx.link_in_port[m.li as usize], fref, m.flit.vc);
+                active_routers.insert(dst);
+                *activity = true;
+            });
+        }
+        self.stage_inject(ctx, now, store);
+        self.stage_route(ctx, now, store, measure_from, part);
+        for consumer in 0..part.nshards as usize {
+            mail.credits
+                .append(sid, consumer, &mut self.out_credits[consumer]);
+        }
+    }
+
+    /// Completed credit returns are restored to the transmitting router.
+    fn stage_credits(&mut self, ctx: &EngineCtx<'_>, now: Cycle) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_credits.drain_into(&mut ids);
+        for &li in &ids {
+            let line = self.credit_lines[li].as_mut().expect("unowned credit line");
+            let link = ctx.topo.link(LinkId(li as u32));
+            let port = ctx.link_out_port[li];
+            while let Some(vc) = line.pop_ready(now) {
+                // Credits top up counters only; they cannot give a
+                // quiescent router work, so no router activation here.
+                self.routers[link.src.index()].add_credit(port, vc);
+            }
+            if line.in_flight() > 0 {
+                self.active_credits.insert(li);
+            }
+        }
+        self.ids = ids;
+    }
+
+    /// Media deliver arrived flits: into the local input buffers when the
+    /// destination router is owned, into the destination shard's mailbox
+    /// otherwise. All per-link/per-packet accounting happens here, at the
+    /// owner — the serial engine's accounting site.
+    fn stage_media(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        now: Cycle,
+        store: &PacketStore,
+        record_hops: bool,
+        part: &Partition,
+    ) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_media.drain_into(&mut ids);
+        let sid = self.id;
+        let Shard {
+            routers,
+            media,
+            link_flits,
+            active_routers,
+            active_media,
+            activity,
+            faults,
+            arena,
+            out_flits,
+            link_events,
+            flit_hops,
+            ..
+        } = self;
+        for &li in &ids {
+            let link = ctx.topo.link(LinkId(li as u32));
+            let in_port = ctx.link_in_port[li];
+            let dst = link.dst.index();
+            let dst_shard = part.node_shard[dst];
+            let local = dst_shard == sid;
+            match media[li].as_mut().expect("stepping unowned medium") {
+                Medium::Plain { line, class } => {
+                    line.drain_ready(now, |fref| {
+                        let flit = arena.get(fref);
+                        link_flits[li] += 1;
+                        let info = store.get(flit.pid);
+                        match class {
+                            LinkClass::OnChip => {
+                                info.onchip_flits.fetch_add(1, Relaxed);
+                            }
+                            LinkClass::Parallel => {
+                                info.parallel_flits.fetch_add(1, Relaxed);
+                            }
+                            LinkClass::Serial => {
+                                info.serial_flits.fetch_add(1, Relaxed);
+                            }
+                            LinkClass::HeteroPhy => unreachable!(),
+                        }
+                        if flit.is_head() {
+                            info.hops.fetch_add(1, Relaxed);
+                        }
+                        if record_hops {
+                            flit_hops.push((li as u32, flit.is_head()));
+                        }
+                        if local {
+                            routers[dst].receive(in_port, fref, flit.vc);
+                            active_routers.insert(dst);
+                        } else {
+                            let flit = arena.free(fref);
+                            out_flits[dst_shard as usize].push(FlitMsg {
+                                li: li as u32,
+                                flit,
+                            });
+                        }
+                        *activity = true;
+                    });
+                }
+                Medium::Guarded { line, class } => {
+                    {
+                        let lf = &mut faults.links[li];
+                        let mut corrupt = || lf.draw(now);
+                        let mut ev = |e: LinkEvent| {
+                            link_events.push((li as u32, e));
+                            if e == LinkEvent::Retransmit {
+                                // Recovery traffic is forward progress: it
+                                // must hold the deadlock watchdog off.
+                                *activity = true;
+                            }
+                        };
+                        line.advance(now, arena, &mut corrupt, &mut ev);
+                    }
+                    line.drain_delivered(|fref| {
+                        let flit = arena.get(fref);
+                        link_flits[li] += 1;
+                        let info = store.get(flit.pid);
+                        match class {
+                            LinkClass::OnChip => {
+                                info.onchip_flits.fetch_add(1, Relaxed);
+                            }
+                            LinkClass::Parallel => {
+                                info.parallel_flits.fetch_add(1, Relaxed);
+                            }
+                            LinkClass::Serial => {
+                                info.serial_flits.fetch_add(1, Relaxed);
+                            }
+                            LinkClass::HeteroPhy => unreachable!(),
+                        }
+                        if flit.is_head() {
+                            info.hops.fetch_add(1, Relaxed);
+                        }
+                        if record_hops {
+                            flit_hops.push((li as u32, flit.is_head()));
+                        }
+                        if local {
+                            routers[dst].receive(in_port, fref, flit.vc);
+                            active_routers.insert(dst);
+                        } else {
+                            let flit = arena.free(fref);
+                            out_flits[dst_shard as usize].push(FlitMsg {
+                                li: li as u32,
+                                flit,
+                            });
+                        }
+                        *activity = true;
+                    });
+                }
+                Medium::Hetero(h) => {
+                    {
+                        let mut ev = |e: LinkEvent| {
+                            link_events.push((li as u32, e));
+                            if e == LinkEvent::Retransmit {
+                                *activity = true;
+                            }
+                        };
+                        h.advance_observed(now, &mut ev);
+                    }
+                    while let Some((flit, kind)) = h.pop_delivered() {
+                        link_flits[li] += 1;
+                        let info = store.get(flit.pid);
+                        match kind {
+                            PhyKind::Parallel => {
+                                info.parallel_flits.fetch_add(1, Relaxed);
+                            }
+                            PhyKind::Serial => {
+                                info.serial_flits.fetch_add(1, Relaxed);
+                            }
+                        }
+                        if flit.is_head() {
+                            info.hops.fetch_add(1, Relaxed);
+                        }
+                        if record_hops {
+                            flit_hops.push((li as u32, flit.is_head()));
+                        }
+                        if local {
+                            // Back from the adapter's value-world: re-admit.
+                            let fref = arena.alloc(flit);
+                            routers[dst].receive(in_port, fref, flit.vc);
+                            active_routers.insert(dst);
+                        } else {
+                            out_flits[dst_shard as usize].push(FlitMsg {
+                                li: li as u32,
+                                flit,
+                            });
+                        }
+                        *activity = true;
+                    }
+                }
+            }
+            if media[li].as_ref().expect("unowned medium").in_flight() > 0 {
+                active_media.insert(li);
+            }
+        }
+        self.ids = ids;
+    }
+
+    /// NICs stream queued packets into injection ports.
+    fn stage_inject(&mut self, ctx: &EngineCtx<'_>, now: Cycle, store: &PacketStore) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_nics.drain_into(&mut ids);
+        for &node in &ids {
+            let nic = &mut self.nics[node];
+            let router = &mut self.routers[node];
+            let mut budget = ctx.config.inj_bandwidth;
+            while budget > 0 {
+                if nic.cur.is_none() {
+                    let Some(&pid) = nic.queue.front() else { break };
+                    let Some(vc) = (0..ctx.config.vcs).find(|&v| router.in_vc_idle(0, v)) else {
+                        break;
+                    };
+                    nic.queue.pop_front();
+                    nic.cur = Some(InjectState {
+                        pid,
+                        next_seq: 0,
+                        vc,
+                        len: store.get(pid).len,
+                    });
+                }
+                let st = nic.cur.as_mut().expect("just set");
+                let mut moved = false;
+                while budget > 0 && st.next_seq < st.len && router.in_space(0, st.vc) > 0 {
+                    if st.next_seq == 0 {
+                        store.get(st.pid).injected.store(now, Relaxed);
+                    }
+                    let fref = self.arena.alloc(Flit {
+                        pid: st.pid,
+                        seq: st.next_seq,
+                        vc: st.vc,
+                        last: st.next_seq + 1 == st.len,
+                    });
+                    router.receive(0, fref, st.vc);
+                    self.active_routers.insert(node);
+                    st.next_seq += 1;
+                    budget -= 1;
+                    moved = true;
+                    self.activity = true;
+                }
+                if st.next_seq == st.len {
+                    nic.cur = None;
+                } else if !moved {
+                    break;
+                }
+            }
+            if nic.has_work() {
+                self.active_nics.insert(node);
+            }
+        }
+        self.ids = ids;
+    }
+
+    /// Every active owned router runs its RC/VA/SA pipeline.
+    fn stage_route(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        now: Cycle,
+        store: &PacketStore,
+        measure_from: Cycle,
+        part: &Partition,
+    ) {
+        let mut ids = std::mem::take(&mut self.ids);
+        self.active_routers.drain_into(&mut ids);
+        let mut routers = std::mem::take(&mut self.routers);
+        // One environment for the whole sweep; only the per-node fields
+        // are rewritten between routers.
+        let mut env = ShardEnv {
+            now,
+            node: NodeId(0),
+            topo: ctx.topo,
+            routing: ctx.routing,
+            store,
+            media: &mut self.media,
+            credit_lines: &mut self.credit_lines,
+            faults: &mut self.faults,
+            outport_link: &[],
+            inport_link: &[],
+            vcs: ctx.config.vcs,
+            eject_budget: 0,
+            energy_model: ctx.energy_model,
+            measure_from,
+            route_table: &mut self.route_table,
+            link_out_port: ctx.link_out_port,
+            link_owner: &part.link_owner,
+            sid: self.id,
+            activity: &mut self.activity,
+            active_media: &mut self.active_media,
+            active_credits: &mut self.active_credits,
+            deliveries: &mut self.deliveries,
+            out_credits: &mut self.out_credits,
+        };
+        for &node in &ids {
+            let router = &mut routers[node];
+            if router.is_quiescent() {
+                continue;
+            }
+            env.node = NodeId(node as u32);
+            env.outport_link = &ctx.outport_links[node];
+            env.inport_link = &ctx.inport_links[node];
+            env.eject_budget = ctx.config.eject_bandwidth as u16;
+            router.step(now, &mut env, &mut self.arena);
+            if !router.is_quiescent() {
+                self.active_routers.insert(node);
+            }
+        }
+        self.routers = routers;
+        self.ids = ids;
+    }
+}
+
+/// The router's window onto its shard during [`Shard::stage_route`].
+struct ShardEnv<'a> {
+    now: Cycle,
+    node: NodeId,
+    topo: &'a SystemTopology,
+    routing: &'a dyn Routing,
+    store: &'a PacketStore,
+    media: &'a mut [Option<Medium>],
+    credit_lines: &'a mut [Option<CreditLine>],
+    faults: &'a mut FaultCore,
+    /// out_port (1-based; 0 is ejection) → LinkId, per this node.
+    outport_link: &'a [LinkId],
+    /// in_port (1-based; 0 is injection) → LinkId, per this node.
+    inport_link: &'a [LinkId],
+    vcs: u8,
+    eject_budget: u16,
+    energy_model: &'a EnergyModel,
+    measure_from: Cycle,
+    route_table: &'a mut RouteTable,
+    /// LinkId → out port on its source router (1-based), global map.
+    link_out_port: &'a [u16],
+    /// LinkId → owning shard, global map.
+    link_owner: &'a [u16],
+    sid: u16,
+    activity: &'a mut bool,
+    active_media: &'a mut ActiveSet,
+    active_credits: &'a mut ActiveSet,
+    deliveries: &'a mut Vec<Delivery>,
+    out_credits: &'a mut [Vec<CreditMsg>],
+}
+
+impl RouterEnv for ShardEnv<'_> {
+    fn route(&mut self, pid: PacketId, out: &mut Vec<PortCandidate>) {
+        let info = self.store.get(pid);
+        if info.dst == self.node {
+            for vc in 0..self.vcs {
+                out.push(PortCandidate {
+                    out_port: 0,
+                    vc,
+                    baseline: true,
+                    tier: 0,
+                });
+            }
+            return;
+        }
+        let state = info.route_state();
+        let cands = self
+            .route_table
+            .lookup(self.routing, self.topo, self.node, info.dst, &state);
+        debug_assert!(
+            !cands.is_empty(),
+            "no route from {} to {}",
+            self.node,
+            info.dst
+        );
+        for c in cands {
+            // Links leaving this node occupy out ports 1.. in adjacency
+            // order; the network precomputed the link → out-port map.
+            let port = self.link_out_port[c.link.index()];
+            debug_assert_eq!(
+                self.outport_link[(port - 1) as usize],
+                c.link,
+                "candidate link leaves this node"
+            );
+            out.push(PortCandidate {
+                out_port: port,
+                vc: c.vc,
+                baseline: c.baseline,
+                tier: c.tier,
+            });
+        }
+    }
+
+    fn out_capacity(&mut self, out_port: u16) -> u16 {
+        if out_port == 0 {
+            return self.eject_budget;
+        }
+        let link = self.outport_link[(out_port - 1) as usize];
+        let li = link.index();
+        if self.faults.blocked(li) {
+            return 0; // hard-failed link: nothing enters (upstream stalls)
+        }
+        let cap = match self.media[li].as_mut().expect("out over unowned link") {
+            Medium::Plain { line, .. } => line.capacity(self.now) as u16,
+            Medium::Guarded { line, .. } => line.capacity(self.now) as u16,
+            Medium::Hetero(h) => h.space(),
+        };
+        match self.faults.lane_cap(li) {
+            Some(lanes) => cap.min(lanes as u16),
+            None => cap,
+        }
+    }
+
+    fn send(&mut self, out_port: u16, fref: FlitRef, arena: &mut FlitArena) {
+        *self.activity = true;
+        if out_port == 0 {
+            debug_assert!(self.eject_budget > 0);
+            self.eject_budget -= 1;
+            let now = self.now;
+            let flit = arena.free(fref);
+            let info = self.store.get(flit.pid);
+            debug_assert_eq!(info.dst, self.node, "flit ejected at wrong node");
+            let prev = info.ejected.fetch_add(1, Relaxed);
+            debug_assert_eq!(prev, flit.seq, "out-of-order ejection");
+            if flit.last {
+                debug_assert_eq!(prev + 1, info.len, "flit loss detected");
+                let ev = delivery_event(now, info, self.energy_model, self.measure_from);
+                // The descriptor slot is freed at merge, in ascending-node
+                // order across shards — the serial free order, keeping
+                // PacketId recycling bit-identical.
+                self.deliveries.push(Delivery {
+                    node: self.node.0,
+                    pid: flit.pid,
+                    ev,
+                });
+            }
+            return;
+        }
+        let link = self.outport_link[(out_port - 1) as usize];
+        self.active_media.insert(link.index());
+        match self.media[link.index()]
+            .as_mut()
+            .expect("send over unowned link")
+        {
+            Medium::Plain { line, .. } => {
+                let ok = line.try_send(self.now, fref);
+                debug_assert!(ok, "plain link over capacity");
+            }
+            Medium::Guarded { line, .. } => {
+                // Corruption strikes the wire at transmission time; the
+                // receiver's CRC catches it and the replay buffer recovers.
+                let corrupt = self.faults.draw(link.index(), self.now);
+                let ok = line.try_send(self.now, fref, arena, corrupt);
+                debug_assert!(ok, "guarded link over capacity");
+            }
+            Medium::Hetero(h) => {
+                // The adapter owns flits by value; the handle rejoins the
+                // arena when the flit emerges on the far side.
+                let flit = arena.free(fref);
+                let info = self.store.get(flit.pid);
+                h.push(self.now, flit, info.class, info.priority);
+            }
+        }
+    }
+
+    fn credit(&mut self, in_port: u16, vc: u8) {
+        if in_port == 0 {
+            return; // injection port: the NIC reads buffer space directly
+        }
+        let link = self.inport_link[(in_port - 1) as usize];
+        let li = link.index();
+        let owner = self.link_owner[li];
+        if owner == self.sid {
+            self.credit_lines[li]
+                .as_mut()
+                .expect("owner holds the credit line")
+                .send(self.now, vc);
+            self.active_credits.insert(li);
+        } else {
+            // The credit line lives with the link's source shard; post the
+            // credit for replay at the top of the next cycle.
+            self.out_credits[owner as usize].push(CreditMsg { li: li as u32, vc });
+        }
+    }
+
+    fn note_baseline_lock(&mut self, pid: PacketId) {
+        self.store.get(pid).baseline_locked.store(true, Relaxed);
+    }
+}
+
+/// Builds the probe-facing summary of a packet at tail ejection.
+fn delivery_event(
+    now: Cycle,
+    info: &PacketInfo,
+    energy_model: &EnergyModel,
+    measure_from: Cycle,
+) -> DeliveryEvent {
+    let e = energy_model.packet(info);
+    DeliveryEvent {
+        now,
+        created: info.created,
+        injected: info.injected.load(Relaxed),
+        hops: info.hops.load(Relaxed),
+        len: info.len,
+        high_priority: info.priority == chiplet_noc::Priority::High,
+        baseline_locked: info.baseline_locked.load(Relaxed),
+        measured: info.created >= measure_from,
+        onchip_pj: e.onchip_pj,
+        parallel_pj: e.parallel_pj,
+        serial_pj: e.serial_pj,
+    }
+}

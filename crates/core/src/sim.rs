@@ -1,8 +1,8 @@
 //! The simulation driver: warm-up, measurement, drain, deadlock watchdog.
 
-use crate::network::Network;
+use crate::network::{Collector, Network};
 use crate::results::SimResults;
-use chiplet_traffic::Workload;
+use chiplet_traffic::{PacketRequest, Workload};
 use simkit::probe::{CycleStats, Phase, Probe};
 use simkit::Cycle;
 
@@ -109,8 +109,79 @@ pub fn run(net: &mut Network, workload: &mut dyn Workload, spec: RunSpec) -> Run
 /// every packet delivery and every flit hop. They are passive: for any
 /// fixed network, workload and spec, the returned [`RunOutcome`] is
 /// bit-identical whatever probes are attached.
+///
+/// Networks built with [`crate::SimConfig::shard_threads`] > 1 run their
+/// cycle loop on a persistent worker pool (one thread per shard); the
+/// workload and probes stay on the calling thread, and the outcome is
+/// bit-identical to the serial engine's.
 pub fn run_probed(
     net: &mut Network,
+    workload: &mut dyn Workload,
+    spec: RunSpec,
+    probes: &mut [&mut dyn Probe],
+) -> RunOutcome {
+    if net.num_shards() > 1 {
+        crate::parallel::run_parallel(net, workload, spec, probes)
+    } else {
+        drive(net, workload, spec, probes)
+    }
+}
+
+/// One cycle-loop endpoint the driver can run: the serial [`Network`]
+/// itself, or the parallel pool leader ([`crate::parallel`]). Both expose
+/// the same observable surface, so the warm-up/measure/drain schedule,
+/// the watchdog and the probe protocol live in exactly one place —
+/// [`drive`] — whatever the execution backend.
+pub(crate) trait CycleDriver {
+    fn now(&self) -> Cycle;
+    fn offer(&mut self, req: PacketRequest);
+    fn step_probed(&mut self, probes: &mut [&mut dyn Probe]);
+    fn live_packets(&self) -> usize;
+    fn queued_packets(&self) -> usize;
+    fn collector(&self) -> &Collector;
+    fn idle_cycles(&self) -> Cycle;
+    fn faults_active(&self) -> bool;
+    fn start_measurement(&mut self);
+    /// Node count (for per-node result normalization).
+    fn nodes(&self) -> u32;
+}
+
+impl CycleDriver for Network {
+    fn now(&self) -> Cycle {
+        Network::now(self)
+    }
+    fn offer(&mut self, req: PacketRequest) {
+        Network::offer(self, req);
+    }
+    fn step_probed(&mut self, probes: &mut [&mut dyn Probe]) {
+        Network::step_probed(self, probes);
+    }
+    fn live_packets(&self) -> usize {
+        Network::live_packets(self)
+    }
+    fn queued_packets(&self) -> usize {
+        Network::queued_packets(self)
+    }
+    fn collector(&self) -> &Collector {
+        Network::collector(self)
+    }
+    fn idle_cycles(&self) -> Cycle {
+        Network::idle_cycles(self)
+    }
+    fn faults_active(&self) -> bool {
+        Network::faults_active(self)
+    }
+    fn start_measurement(&mut self) {
+        Network::start_measurement(self)
+    }
+    fn nodes(&self) -> u32 {
+        self.topology().geometry().nodes()
+    }
+}
+
+/// The warm-up → measure → drain schedule over any [`CycleDriver`].
+pub(crate) fn drive<D: CycleDriver>(
+    net: &mut D,
     workload: &mut dyn Workload,
     spec: RunSpec,
     probes: &mut [&mut dyn Probe],
@@ -147,7 +218,7 @@ pub fn run_probed(
                     p.on_cycle(net.now() - 1, &stats);
                 }
             }
-            if watchdog_fired(net, spec.watchdog) {
+            if net.live_packets() > 0 && net.idle_cycles() > spec.watchdog {
                 // Stalling on failed hardware is expected degradation;
                 // stalling on healthy hardware is a routing deadlock.
                 if net.faults_active() {
@@ -198,22 +269,13 @@ pub fn run_probed(
     if deadlocked || fault_stalled {
         drained = false;
     }
-    let results = SimResults::from_collector(
-        net.collector(),
-        net.topology().geometry().nodes(),
-        cycles,
-        backlog,
-    );
+    let results = SimResults::from_collector(net.collector(), net.nodes(), cycles, backlog);
     RunOutcome {
         results,
         drained,
         deadlocked,
         fault_stalled,
     }
-}
-
-fn watchdog_fired(net: &Network, threshold: Cycle) -> bool {
-    net.live_packets() > 0 && net.idle_cycles() > threshold
 }
 
 #[cfg(test)]

@@ -12,6 +12,9 @@
 //!   ("multiple virtual pipeline registers": latency → pipeline stages,
 //!   bandwidth → lanes) and the matching [`channel::CreditLine`] for
 //!   credit-based flow control with realistic feedback lag;
+//! * [`mailbox`] — the double-buffered [`mailbox::ShardMailbox`] carrying
+//!   flit and credit values across shard boundaries in the parallel
+//!   engine, with a drain order fixed by shard id rather than scheduling;
 //! * [`retry`] — a CRC-protected go-back-N retry layer
 //!   ([`retry::RetryLine`]) wrapping the same channel geometry, so
 //!   link-integrity recovery consumes real bandwidth and latency;
@@ -34,6 +37,7 @@
 pub mod arena;
 pub mod channel;
 pub mod flit;
+pub mod mailbox;
 pub mod packet;
 pub mod retry;
 pub mod router;
@@ -41,6 +45,7 @@ pub mod router;
 pub use arena::{FlitArena, FlitRef, Slab};
 pub use channel::{CreditLine, DelayLine};
 pub use flit::{Flit, OrderClass, Priority};
+pub use mailbox::ShardMailbox;
 pub use packet::{PacketId, PacketInfo, PacketStore};
 pub use retry::RetryLine;
 pub use router::{PortCandidate, Router, RouterEnv};

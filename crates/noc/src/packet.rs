@@ -4,11 +4,22 @@
 //! timestamps and the per-class flit-hop counters the energy model (§8.3)
 //! aggregates. Descriptor slots are recycled after the tail flit is
 //! ejected, so long simulations run in bounded memory.
+//!
+//! Identity fields (`src`, `dst`, `len`, `class`, `priority`, `created`)
+//! are plain — they are fixed at allocation. Everything mutated while the
+//! packet is in flight is atomic, so the sharded engine's workers can
+//! update descriptors through a shared `&PacketStore`: the counters are
+//! commutative (`fetch_add`), and the single-writer fields (`injected`
+//! by the source shard, `ejected` by the destination shard,
+//! `baseline_locked` monotonic) never race by construction. Relaxed
+//! ordering suffices because every cross-shard read is separated from
+//! the writes by a cycle barrier.
 
 use crate::arena::Slab;
 use crate::flit::{Flit, OrderClass, Priority};
 use chiplet_topo::{NodeId, RouteState};
 use simkit::Cycle;
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, Ordering};
 
 /// Identifier of a live packet; an index into the [`PacketStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,7 +34,7 @@ impl PacketId {
 }
 
 /// Everything the network needs to know about one packet.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PacketInfo {
     /// Source node.
     pub src: NodeId,
@@ -37,20 +48,22 @@ pub struct PacketInfo {
     pub priority: Priority,
     /// Cycle the workload created the packet (queueing included in latency).
     pub created: Cycle,
-    /// Cycle the head flit entered the source router.
-    pub injected: Cycle,
-    /// Livelock/deadlock routing state (Algorithm 1's baseline lock).
-    pub route: RouteState,
+    /// Cycle the head flit entered the source router (written once by the
+    /// source shard at injection).
+    pub injected: AtomicU64,
+    /// Algorithm 1's baseline lock (monotonic false→true).
+    pub baseline_locked: AtomicBool,
     /// Hops taken by the head flit.
-    pub hops: u32,
+    pub hops: AtomicU32,
     /// Flit-traversals over on-chip links.
-    pub onchip_flits: u32,
+    pub onchip_flits: AtomicU32,
     /// Flit-traversals over parallel interface PHYs.
-    pub parallel_flits: u32,
+    pub parallel_flits: AtomicU32,
     /// Flit-traversals over serial interface PHYs.
-    pub serial_flits: u32,
-    /// Flits ejected at the destination so far.
-    pub ejected: u16,
+    pub serial_flits: AtomicU32,
+    /// Flits ejected at the destination so far (written only by the
+    /// destination shard).
+    pub ejected: AtomicU16,
 }
 
 impl PacketInfo {
@@ -75,13 +88,42 @@ impl PacketInfo {
             class,
             priority,
             created,
-            injected: 0,
-            route: RouteState::default(),
-            hops: 0,
-            onchip_flits: 0,
-            parallel_flits: 0,
-            serial_flits: 0,
-            ejected: 0,
+            injected: AtomicU64::new(0),
+            baseline_locked: AtomicBool::new(false),
+            hops: AtomicU32::new(0),
+            onchip_flits: AtomicU32::new(0),
+            parallel_flits: AtomicU32::new(0),
+            serial_flits: AtomicU32::new(0),
+            ejected: AtomicU16::new(0),
+        }
+    }
+
+    /// The livelock/deadlock routing state (Algorithm 1's baseline lock)
+    /// as the value type the routing layer consumes.
+    #[inline]
+    pub fn route_state(&self) -> RouteState {
+        RouteState {
+            baseline_locked: self.baseline_locked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for PacketInfo {
+    fn clone(&self) -> Self {
+        Self {
+            src: self.src,
+            dst: self.dst,
+            len: self.len,
+            class: self.class,
+            priority: self.priority,
+            created: self.created,
+            injected: AtomicU64::new(self.injected.load(Ordering::Relaxed)),
+            baseline_locked: AtomicBool::new(self.baseline_locked.load(Ordering::Relaxed)),
+            hops: AtomicU32::new(self.hops.load(Ordering::Relaxed)),
+            onchip_flits: AtomicU32::new(self.onchip_flits.load(Ordering::Relaxed)),
+            parallel_flits: AtomicU32::new(self.parallel_flits.load(Ordering::Relaxed)),
+            serial_flits: AtomicU32::new(self.serial_flits.load(Ordering::Relaxed)),
+            ejected: AtomicU16::new(self.ejected.load(Ordering::Relaxed)),
         }
     }
 }
@@ -218,6 +260,17 @@ mod tests {
         let flits: Vec<_> = s.flits(p).collect();
         assert_eq!(flits.len(), 1);
         assert!(flits[0].is_head() && flits[0].last);
+    }
+
+    #[test]
+    fn route_state_tracks_the_lock() {
+        let p = info(1);
+        assert!(!p.route_state().baseline_locked);
+        p.baseline_locked.store(true, Ordering::Relaxed);
+        assert!(p.route_state().baseline_locked);
+        let copy = p.clone();
+        assert!(copy.route_state().baseline_locked);
+        assert_eq!(copy.len, p.len);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   (progress snapshots, link-utilization timelines, CSV/JSONL sinks).
 //! * [`active`] — the [`active::ActiveSet`] bitset behind the engine's
 //!   skip-idle-components scheduler.
+//! * [`par`] — the leader-observable barrier ([`par::Gate`]) behind the
+//!   sharded parallel cycle loop.
 //!
 //! # Examples
 //!
@@ -32,11 +34,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod active;
+pub mod par;
 pub mod probe;
 pub mod rng;
 pub mod stats;
 
 pub use active::ActiveSet;
+pub use par::Gate;
 pub use probe::{CycleStats, DeliveryEvent, LinkEvent, Phase, Probe};
 pub use rng::SimRng;
 pub use stats::{Histogram, Running, Windowed};

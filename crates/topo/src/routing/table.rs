@@ -130,6 +130,37 @@ impl RouteTable {
         }
     }
 
+    /// Eagerly computes entries for packets *currently at* one of `nodes`
+    /// (every destination × both lock classes); no-op above the
+    /// [`PREFILL_MAX_NODES`] threshold. This is [`RouteTable::prefill`]
+    /// restricted to the nodes a shard owns — each shard's table only
+    /// ever serves lookups whose `cur` is a shard-local router, so the
+    /// scoped fill gives the same warm-cache behavior at 1/N the cost.
+    pub fn prefill_scoped(
+        &mut self,
+        routing: &dyn Routing,
+        topo: &SystemTopology,
+        nodes: &[NodeId],
+    ) {
+        let n = topo.geometry().nodes();
+        if n > PREFILL_MAX_NODES {
+            return;
+        }
+        for &cur in nodes {
+            for dst in 0..n {
+                if cur.0 == dst {
+                    continue;
+                }
+                for locked in [false, true] {
+                    let state = RouteState {
+                        baseline_locked: locked,
+                    };
+                    self.lookup(routing, topo, cur, NodeId(dst), &state);
+                }
+            }
+        }
+    }
+
     /// Drops every cached entry. Call when the topology's routing view
     /// changes (hard fault events editing the lookup tables).
     pub fn invalidate(&mut self) {

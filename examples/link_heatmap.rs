@@ -25,7 +25,8 @@ fn analyze(kind: NetworkKind, geom: Geometry) {
     let mut class_flits: Vec<(LinkClass, u64, u64)> = Vec::new(); // class, flits, links
     let mut peak = (0u64, None);
     for (i, &flits) in net.link_flits().iter().enumerate() {
-        let link = net.topology().link(hetero_chiplet::topo::LinkId(i as u32));
+        let topo = net.topology();
+        let link = topo.link(hetero_chiplet::topo::LinkId(i as u32));
         match class_flits.iter_mut().find(|(c, _, _)| *c == link.class) {
             Some(e) => {
                 e.1 += flits;

@@ -113,8 +113,8 @@ fn arbitration_does_not_starve_competing_flows() {
         .iter()
         .enumerate()
         .filter(|(i, _)| {
-            let l = net.topology().link(LinkId(*i as u32));
-            l.dst == geom.node_at(3, 0)
+            let topo = net.topology();
+            topo.link(LinkId(*i as u32)).dst == geom.node_at(3, 0)
         })
         .map(|(_, &f)| f)
         .sum();
@@ -123,8 +123,8 @@ fn arbitration_does_not_starve_competing_flows() {
         .iter()
         .enumerate()
         .filter(|(i, _)| {
-            let l = net.topology().link(LinkId(*i as u32));
-            l.dst == geom.node_at(3, 1)
+            let topo = net.topology();
+            topo.link(LinkId(*i as u32)).dst == geom.node_at(3, 1)
         })
         .map(|(_, &f)| f)
         .sum();

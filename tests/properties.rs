@@ -513,13 +513,13 @@ fn arena_drains_clean_across_presets_and_faults() {
         // nothing leaked, nothing double-freed.
         assert_eq!(net.live_packets(), 0, "{label}: live packets after drain");
         assert_eq!(
-            net.flit_arena().in_flight(),
+            net.flits_in_flight(),
             0,
             "{label}: arena leaked flit handles"
         );
         let delivered = net.collector().delivered_flits;
         assert!(
-            net.flit_arena().allocated_total() >= delivered,
+            net.flits_allocated_total() >= delivered,
             "{label}: fewer handles allocated than flits delivered"
         );
     }
@@ -597,5 +597,49 @@ fn rob_occupancy_stays_within_eq1_bound() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn shard_partition_never_changes_results() {
+    use hetero_chiplet::heterosys::sim::{run, RunSpec};
+    use hetero_chiplet::heterosys::{NetworkKind, SchedulingProfile, SimConfig};
+    use hetero_chiplet::traffic::SyntheticWorkload;
+
+    // Randomized geometries, presets, rates and seeds: the serial
+    // (1-shard) engine and the sharded engine at an arbitrary thread
+    // count must produce equal `SimResults` — the partition is an
+    // execution detail, never an observable.
+    let kinds = [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::UniformSerialTorus,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::HeteroChannelFull,
+    ];
+    let mut rng = SimRng::seed(0x5AAD);
+    for case in 0..12 {
+        // Power-of-two chiplet counts keep every preset buildable
+        // (hypercube-linked systems require them).
+        let cx = 2 * (1 + rng.below(2) as u16);
+        let cy = 2 * (1 + rng.below(2) as u16);
+        let geom = Geometry::new(cx, cy, 2, 2);
+        let kind = kinds[rng.below(kinds.len() as u64) as usize];
+        let rate = 0.05 + rng.below(10) as f64 * 0.01;
+        let seed = 1000 + rng.below(1 << 20);
+        let threads = 2 + rng.below(7) as usize; // 2..=8
+        let mut results = Vec::new();
+        for t in [1usize, threads] {
+            let config = SimConfig::default().with_seed(seed).with_shard_threads(t);
+            let mut net = kind.build(geom, config, SchedulingProfile::balanced());
+            let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+            let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, rate, 16, seed);
+            let out = run(&mut net, &mut w, RunSpec::smoke());
+            results.push((out.drained, out.deadlocked, out.results));
+        }
+        assert_eq!(
+            results[0], results[1],
+            "case {case}: 1 shard vs {threads} threads diverged \
+             ({kind:?}, {cx}x{cy} chiplets, rate {rate}, seed {seed})"
+        );
     }
 }
