@@ -44,6 +44,7 @@ use hetero_if::presets::medium_system;
 use hetero_if::scheduler::SchedulingProfile;
 use hetero_if::sim::{run, RunSpec};
 use hetero_if::{NetworkKind, SimConfig};
+use simkit::TraceFilter;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -56,6 +57,11 @@ use std::time::Instant;
 const BASELINE_FLITS_PER_SEC: f64 = 480_000.0;
 const SPEEDUP_TARGET: f64 = 1.5;
 
+/// Ceiling on the metrics-registry overhead (`--check-overhead`): the
+/// observability layer's budget is < 3% with the registry armed, and the
+/// disabled path must stay at its enum-dispatch cost of ~0%.
+const OVERHEAD_TARGET_PCT: f64 = 3.0;
+
 /// The reference workload: uniform traffic on the hetero-PHY torus.
 const PRESET: NetworkKind = NetworkKind::HeteroPhyFull;
 const RATE: f64 = 0.10;
@@ -65,6 +71,7 @@ const SEED: u64 = 42;
 struct GateOpts {
     smoke: bool,
     check_speedup: bool,
+    check_overhead: bool,
     reps: u32,
     threads: Vec<usize>,
     out_dir: Option<PathBuf>,
@@ -74,6 +81,7 @@ fn parse_args() -> GateOpts {
     let mut o = GateOpts {
         smoke: false,
         check_speedup: false,
+        check_overhead: false,
         reps: 5,
         threads: Vec::new(),
         out_dir: Some(default_out_dir()),
@@ -83,6 +91,7 @@ fn parse_args() -> GateOpts {
         match a.as_str() {
             "--smoke" => o.smoke = true,
             "--check-speedup" => o.check_speedup = true,
+            "--check-overhead" => o.check_overhead = true,
             "--reps" => {
                 o.reps = args
                     .next()
@@ -110,7 +119,7 @@ fn parse_args() -> GateOpts {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: perf_gate [--smoke] [--reps N] [--check-speedup] \
-                     [--threads LIST] [--out DIR | --no-out]"
+                     [--check-overhead] [--threads LIST] [--out DIR | --no-out]"
                 );
                 std::process::exit(0);
             }
@@ -143,13 +152,35 @@ fn cpu_seconds() -> Option<f64> {
     Some((utime + stime) as f64 / 100.0)
 }
 
+/// What the observability layer contributes to a timed rep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Instrument {
+    /// Nothing armed: the disabled path (one enum-discriminant check).
+    Off,
+    /// Metrics registry armed — the configuration the <3% gate covers.
+    Metrics,
+    /// Metrics plus a full unfiltered trace ring (informational; tracing
+    /// has a real per-event cost and carries no overhead budget).
+    Full,
+}
+
 /// One timed rep: build the reference network fresh at the given shard
 /// thread count, run it, and return (CPU seconds, wall seconds, flits
-/// delivered over the whole run).
-fn timed_rep(threads: usize) -> (f64, f64, u64) {
+/// delivered over the whole run). `base` is the one `SimConfig` captured
+/// at startup, so every rep sees the same resolved thread default even
+/// if the environment mutates mid-run.
+fn timed_rep(base: SimConfig, threads: usize, instrument: Instrument) -> (f64, f64, u64) {
     let geom = medium_system();
-    let config = SimConfig::default().with_shard_threads(threads);
+    let config = base.with_shard_threads(threads);
     let mut net = PRESET.build(geom, config, SchedulingProfile::balanced());
+    match instrument {
+        Instrument::Off => {}
+        Instrument::Metrics => net.enable_metrics(),
+        Instrument::Full => {
+            net.enable_metrics();
+            net.enable_trace(1 << 16, TraceFilter::all());
+        }
+    }
     let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
     let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, RATE, PACKET_LEN, SEED);
     let spec = RunSpec::quick();
@@ -177,6 +208,9 @@ struct ScalePoint {
 
 fn main() {
     let opts = parse_args();
+    // Resolve the config (including the HETERO_SIM_THREADS default) once,
+    // up front: reps must not re-read the environment.
+    let base_config = SimConfig::default();
 
     if opts.smoke {
         let dir = golden::default_fixture_dir();
@@ -200,7 +234,7 @@ fn main() {
     let mut best_secs = f64::INFINITY;
     let mut flits = 0u64;
     for rep in 1..=opts.reps {
-        let (secs, _, f) = timed_rep(1);
+        let (secs, _, f) = timed_rep(base_config, 1, Instrument::Off);
         println!("  rep {rep}: {secs:.3}s  ({:.0} flits/s)", f as f64 / secs);
         if secs < best_secs {
             best_secs = secs;
@@ -218,6 +252,25 @@ fn main() {
          (baseline {BASELINE_FLITS_PER_SEC:.0}, speedup {speedup:.2}x)"
     );
 
+    // Observability overhead: the same serial rep with the metrics
+    // registry armed (gated < 3% under --check-overhead), and with
+    // full tracing on top (informational only).
+    let mut metrics_secs = f64::INFINITY;
+    let mut trace_secs = f64::INFINITY;
+    for _ in 1..=opts.reps {
+        let (secs, _, _) = timed_rep(base_config, 1, Instrument::Metrics);
+        metrics_secs = metrics_secs.min(secs);
+        let (secs, _, _) = timed_rep(base_config, 1, Instrument::Full);
+        trace_secs = trace_secs.min(secs);
+    }
+    let overhead_pct = (metrics_secs / best_secs - 1.0) * 100.0;
+    let trace_overhead_pct = (trace_secs / best_secs - 1.0) * 100.0;
+    println!(
+        "perf_gate: observability overhead: metrics {overhead_pct:+.2}% \
+         ({metrics_secs:.3}s), metrics+trace {trace_overhead_pct:+.2}% \
+         ({trace_secs:.3}s) vs disabled {best_secs:.3}s"
+    );
+
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut scaling: Vec<ScalePoint> = Vec::new();
     if !opts.threads.is_empty() {
@@ -226,7 +279,7 @@ fn main() {
             let mut best_wall = f64::INFINITY;
             let mut f_at_best = 0u64;
             for _ in 1..=opts.reps {
-                let (_, wall, f) = timed_rep(threads);
+                let (_, wall, f) = timed_rep(base_config, threads, Instrument::Off);
                 if wall < best_wall {
                     best_wall = wall;
                     f_at_best = f;
@@ -281,6 +334,11 @@ fn main() {
              \"flits_per_sec\": {flits_per_sec},\n  \
              \"baseline_flits_per_sec\": {BASELINE_FLITS_PER_SEC},\n  \
              \"speedup\": {speedup},\n  \"speedup_target\": {SPEEDUP_TARGET},\n  \
+             \"metrics_secs\": {metrics_secs},\n  \
+             \"metrics_overhead_pct\": {overhead_pct},\n  \
+             \"trace_secs\": {trace_secs},\n  \
+             \"trace_overhead_pct\": {trace_overhead_pct},\n  \
+             \"overhead_target_pct\": {OVERHEAD_TARGET_PCT},\n  \
              \"host_cores\": {host_cores},\n  \"scaling\": {scaling_block}\n}}\n",
             PRESET.label(),
             medium_system().nodes(),
@@ -306,6 +364,14 @@ fn main() {
         eprintln!(
             "perf_gate: FAILED speedup gate: {speedup:.2}x < {SPEEDUP_TARGET}x \
              ({flits_per_sec:.0} vs baseline {BASELINE_FLITS_PER_SEC:.0} flits/s)"
+        );
+        std::process::exit(1);
+    }
+    if opts.check_overhead && overhead_pct >= OVERHEAD_TARGET_PCT {
+        eprintln!(
+            "perf_gate: FAILED overhead gate: metrics registry costs \
+             {overhead_pct:.2}% >= {OVERHEAD_TARGET_PCT}% \
+             ({metrics_secs:.3}s vs {best_secs:.3}s disabled)"
         );
         std::process::exit(1);
     }

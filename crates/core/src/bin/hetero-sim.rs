@@ -18,6 +18,7 @@ use hetero_if::sim::{run_probed, RunOutcome, RunSpec};
 use hetero_if::sweep::preset_sweep_parallel;
 use hetero_if::{Network, SchedulingProfile, SimConfig, SimResults};
 use simkit::probe::{LinkUtilProbe, ProgressProbe};
+use simkit::TraceFilter;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProbeKind {
@@ -39,7 +40,10 @@ struct Args {
     half: bool,
     seed: u64,
     sweep: bool,
+    replay: Option<String>,
+    metrics: Option<String>,
     trace: Option<String>,
+    trace_filter: TraceFilter,
     threads: usize,
     shard_threads: Option<usize>,
     probe: ProbeKind,
@@ -74,8 +78,16 @@ fn usage() -> ! {
          --probe      progress | links | none              (default none)\n\
          \u{20}            progress: periodic live/queued/delivered snapshots\n\
          \u{20}            links: per-link flit counts and utilization\n\
-         --trace FILE replay a CSV trace (cycle,src,dst,len,class,priority)\n\
+         --replay FILE  replay a CSV trace (cycle,src,dst,len,class,priority)\n\
          \u{20}            instead of synthetic traffic\n\
+         --metrics FILE write the metrics snapshot after the run\n\
+         \u{20}            (.jsonl -> JSON lines, anything else -> Prometheus text)\n\
+         --trace FILE   record cycle-attributed trace events to FILE\n\
+         \u{20}            (.json -> Chrome trace_event JSON for Perfetto/\n\
+         \u{20}            chrome://tracing, anything else -> JSON lines)\n\
+         --trace-filter K  which event kinds to record (default all):\n\
+         \u{20}            all | flit | phy | link | fault | barrier | phase,\n\
+         \u{20}            or kind names (inject, eject, hop, ...), comma-joined\n\
          --ber B      serial-wire bit error rate (parallel wires scale\n\
          \u{20}            along at the Table-1 family ratio); arms the\n\
          \u{20}            CRC/replay retry link layer          (default 0)\n\
@@ -105,7 +117,10 @@ fn parse() -> Args {
         half: false,
         seed: 1,
         sweep: false,
+        replay: None,
+        metrics: None,
         trace: None,
+        trace_filter: TraceFilter::all(),
         threads: 1,
         shard_threads: None,
         probe: ProbeKind::None,
@@ -173,7 +188,16 @@ fn parse() -> Args {
             "--fault-script" => a.fault_script = Some(val()),
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
             "--sweep" => a.sweep = true,
+            "--replay" => a.replay = Some(val()),
+            "--metrics" => a.metrics = Some(val()),
             "--trace" => a.trace = Some(val()),
+            "--trace-filter" => {
+                let spec = val();
+                a.trace_filter = TraceFilter::parse(&spec).unwrap_or_else(|| {
+                    eprintln!("unknown trace filter: {spec}");
+                    usage()
+                });
+            }
             "--threads" => {
                 a.threads = val().parse().unwrap_or_else(|_| usage());
                 if a.threads == 0 {
@@ -346,6 +370,10 @@ fn main() {
         eprintln!("--fault-script applies to single runs, not --sweep");
         std::process::exit(2);
     }
+    if args.sweep && (args.metrics.is_some() || args.trace.is_some()) {
+        eprintln!("--metrics/--trace apply to single runs, not --sweep");
+        std::process::exit(2);
+    }
     let spec = RunSpec {
         warmup: (args.cycles / 10).max(100),
         measure: args.cycles,
@@ -398,7 +426,7 @@ fn main() {
                 }
             );
         }
-    } else if let Some(path) = &args.trace {
+    } else if let Some(path) = &args.replay {
         let trace = match TraceWorkload::load(path) {
             Ok(t) => t,
             Err(e) => {
@@ -415,21 +443,82 @@ fn main() {
         if let Some(script) = fault_script.clone() {
             net.set_fault_script(script);
         }
+        enable_observability(&mut net, &args);
         let mut w: Box<dyn Workload> = Box::new(trace);
         let outcome = run_with_probes(&mut net, w.as_mut(), spec.with_drain_offers(), args.probe);
         print_outcome(&outcome);
         if !outcome.drained && !outcome.deadlocked {
             println!("NOTE: the trace did not finish within the configured cycles");
         }
+        export_observability(&net, &args);
     } else {
         let mut net = args.network.build(geom, config, args.policy);
         if let Some(script) = fault_script.clone() {
             net.set_fault_script(script);
         }
+        enable_observability(&mut net, &args);
         let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
         let mut w =
             SyntheticWorkload::new(nodes, args.pattern, args.rate, args.packet_len, args.seed);
         let outcome = run_with_probes(&mut net, &mut w, spec, args.probe);
         print_outcome(&outcome);
+        export_observability(&net, &args);
+    }
+}
+
+/// Trace ring capacity for CLI runs: large enough for tens of thousands
+/// of cycles of filtered events; oldest events are evicted past this
+/// (the export reports how many).
+const TRACE_RING_CAP: usize = 1 << 20;
+
+/// Arms the metrics registry and/or trace ring per the `--metrics` /
+/// `--trace` flags, before the run starts.
+fn enable_observability(net: &mut Network, args: &Args) {
+    if args.metrics.is_some() {
+        net.enable_metrics();
+    }
+    if args.trace.is_some() {
+        net.enable_trace(TRACE_RING_CAP, args.trace_filter);
+    }
+}
+
+/// Writes the post-run metrics snapshot and trace ring to the paths given
+/// by `--metrics` / `--trace`, picking the format from the extension.
+fn export_observability(net: &Network, args: &Args) {
+    let die = |path: &str, e: std::io::Error| -> ! {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    };
+    if let Some(path) = &args.metrics {
+        let snap = net.metrics_snapshot();
+        let mut buf: Vec<u8> = Vec::new();
+        let res = if path.ends_with(".jsonl") {
+            snap.to_jsonl(&mut buf)
+        } else {
+            snap.to_prometheus(&mut buf)
+        };
+        res.unwrap_or_else(|e| die(path, e));
+        std::fs::write(path, &buf).unwrap_or_else(|e| die(path, e));
+        println!("wrote {} metrics to {path}", snap.entries().len());
+    }
+    if let Some(path) = &args.trace {
+        let ring = net.trace().expect("tracing was enabled before the run");
+        let mut buf: Vec<u8> = Vec::new();
+        let res = if path.ends_with(".json") {
+            ring.to_chrome_trace(&mut buf)
+        } else {
+            ring.to_jsonl(&mut buf)
+        };
+        res.unwrap_or_else(|e| die(path, e));
+        std::fs::write(path, &buf).unwrap_or_else(|e| die(path, e));
+        if ring.dropped() > 0 {
+            println!(
+                "wrote {} trace events to {path} ({} older events evicted)",
+                ring.len(),
+                ring.dropped()
+            );
+        } else {
+            println!("wrote {} trace events to {path}", ring.len());
+        }
     }
 }

@@ -32,13 +32,15 @@
 use crate::config::SimConfig;
 use crate::energy::EnergyModel;
 use crate::network::Collector;
-use crate::shard::{Delivery, FaultCore, Mail, Medium, Partition, Shard};
+use crate::shard::{Delivery, FaultCore, Mail, Medium, MetricIds, Partition, Shard, ShardMetrics};
 use chiplet_fault::FaultScript;
 use chiplet_noc::{CreditLine, PacketId, PacketInfo, PacketStore, Router};
 use chiplet_topo::routing::Routing;
 use chiplet_topo::{LinkId, SystemTopology};
 use chiplet_traffic::PacketRequest;
+use simkit::metrics::{MetricsRegistry, MetricsSnapshot};
 use simkit::probe::{LinkEvent, Probe};
+use simkit::trace::{TraceBuf, TraceEvent, TraceFilter, TraceRing, Tracer};
 use simkit::Cycle;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Mutex, RwLock};
@@ -92,6 +94,24 @@ pub(crate) struct Hub {
     hop_scratch: Vec<(u32, u32, bool)>,
     /// Merge scratch: deliveries as `(per-shard seq, delivery)`.
     del_scratch: Vec<(u32, Delivery)>,
+    /// The bounded trace store (`None` unless tracing is enabled).
+    /// Shard buffers are folded in here every merge in canonical
+    /// `(key, seq)` order; hub-side events (faults, phase changes,
+    /// barrier waits) are pushed directly.
+    pub trace: Option<TraceRing>,
+    /// Merge scratch: trace events as `(merge key, per-shard seq, event)`.
+    trace_scratch: Vec<(u64, u32, TraceEvent)>,
+    /// The metrics catalog (`None` unless metrics are enabled). The
+    /// per-shard cell slices live inside the shards; snapshots fold them
+    /// through this registry.
+    pub metrics: Option<MetricsRegistry>,
+    /// Leader wall-time spent parked at the phase barriers, nanoseconds,
+    /// summed over the run. Wall-clock and thread-count dependent, hence
+    /// exported as a volatile metric only.
+    pub barrier_wait_ns: u64,
+    /// Whether the parallel leader samples barrier wait times (set when
+    /// metrics or barrier tracing are on; the serial path ignores it).
+    pub observe_barriers: bool,
 }
 
 impl Hub {
@@ -106,6 +126,11 @@ impl Hub {
             ev_scratch: Vec::new(),
             hop_scratch: Vec::new(),
             del_scratch: Vec::new(),
+            trace: None,
+            trace_scratch: Vec::new(),
+            metrics: None,
+            barrier_wait_ns: 0,
+            observe_barriers: false,
         }
     }
 }
@@ -406,6 +431,23 @@ impl ShardedEngine {
                 store.free(d.pid);
             }
         }
+        if let Some(ring) = hub.trace.as_mut() {
+            hub.trace_scratch.clear();
+            for g in guards.iter() {
+                if let Tracer::On(buf) = &g.tracer {
+                    hub.trace_scratch.extend_from_slice(&buf.events);
+                }
+            }
+            // (key, seq) reproduces the serial emission order: the key's
+            // lane bit puts phase-1 (link) events before phase-2 (node)
+            // events, and per key all events come from the one owning
+            // shard, so its sequence numbers are program order.
+            hub.trace_scratch
+                .sort_unstable_by_key(|&(key, seq, _)| (key, seq));
+            for &(_, _, ev) in hub.trace_scratch.iter() {
+                ring.push(ev);
+            }
+        }
         let mut any = false;
         for g in guards.iter_mut() {
             if g.activity {
@@ -415,8 +457,45 @@ impl ShardedEngine {
             g.link_events.clear();
             g.flit_hops.clear();
             g.deliveries.clear();
+            g.tracer.clear();
         }
         any
+    }
+
+    /// Turns tracing on in every shard: each gets a fresh buffer bound to
+    /// `filter`. Call between runs, never mid-cycle.
+    pub fn set_tracing(&mut self, filter: TraceFilter) {
+        for s in &mut self.shards {
+            let sh = s.get_mut().expect("shard lock poisoned");
+            sh.tracer = Tracer::On(TraceBuf::new(filter));
+        }
+    }
+
+    /// Installs hot-path metric cells in every shard: a shared id map and
+    /// a private zeroed slice from `reg`.
+    pub fn set_metrics(&mut self, ids: &MetricIds, reg: &MetricsRegistry) {
+        for s in &mut self.shards {
+            let sh = s.get_mut().expect("shard lock poisoned");
+            sh.metrics = Some(ShardMetrics {
+                ids: ids.clone(),
+                slice: reg.slice(),
+            });
+        }
+    }
+
+    /// Folds every shard's metric slice (ascending shard order) through
+    /// `reg` into a snapshot. Shards without metrics contribute nothing.
+    pub fn fold_shard_metrics(&self, reg: &MetricsRegistry) -> MetricsSnapshot {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned"))
+            .collect();
+        reg.fold(
+            guards
+                .iter()
+                .filter_map(|g| g.metrics.as_ref().map(|m| &m.slice)),
+        )
     }
 }
 

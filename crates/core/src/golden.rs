@@ -99,6 +99,20 @@ impl Scenario {
     /// string for every thread count — the `golden_traces` thread-matrix
     /// test checks all fixtures at 1, 2, 4 and 8.
     pub fn digest_at_threads(&self, threads: usize) -> String {
+        self.digest_inner(threads, false)
+    }
+
+    /// Like [`Scenario::digest_at_threads`], but with the full
+    /// observability layer armed — metrics registry and an unfiltered
+    /// trace ring — before the run. The zero-cost contract says the
+    /// digest is *still* the same string: observation must never feed
+    /// back into simulation. The `golden_traces` instrumented matrix
+    /// checks every fixture this way at 1 and 4 threads.
+    pub fn digest_instrumented_at_threads(&self, threads: usize) -> String {
+        self.digest_inner(threads, true)
+    }
+
+    fn digest_inner(&self, threads: usize, instrument: bool) -> String {
         let geom = Geometry::new(2, 2, 2, 2);
         let mut config = SimConfig::default()
             .with_seed(self.seed)
@@ -136,6 +150,10 @@ impl Scenario {
                     },
                 ]));
             }
+        }
+        if instrument {
+            net.enable_metrics();
+            net.enable_trace(4096, simkit::TraceFilter::all());
         }
         let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
         let mut workload =

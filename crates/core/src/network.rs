@@ -14,15 +14,17 @@
 use crate::config::SimConfig;
 use crate::energy::EnergyModel;
 use crate::engine::{EngineCtx, Hub, ShardedEngine};
-use crate::shard::{Medium, Partition, Shard};
+use crate::shard::{Medium, MetricIds, Partition, Shard};
 use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
 use chiplet_noc::{CreditLine, DelayLine, PacketId, RetryLine, Router};
 use chiplet_phy::{HeteroPhyLink, PhyKind};
 use chiplet_topo::routing::Routing;
 use chiplet_topo::{LinkClass, LinkId, SystemTopology};
 use chiplet_traffic::PacketRequest;
+use simkit::metrics::{MetricKind, MetricsRegistry, MetricsSnapshot};
 use simkit::probe::{DeliveryEvent, LinkEvent, Probe};
 use simkit::stats::{Histogram, Running};
+use simkit::trace::{link_event_code, TraceEvent, TraceFilter, TraceKind, TraceRing, NO_PID};
 use simkit::{Cycle, SimRng};
 use std::sync::RwLock;
 
@@ -365,6 +367,191 @@ impl Network {
     /// recorded in the measured statistics.
     pub fn start_measurement(&mut self) {
         self.engine.start_measurement();
+        if let Some(ring) = self.hub.trace.as_mut() {
+            ring.push(TraceEvent {
+                cycle: self.engine.now(),
+                kind: TraceKind::Phase,
+                pid: NO_PID,
+                a: 1, // warm-up → measure
+                b: 0,
+            });
+        }
+    }
+
+    /// Turns the metrics layer on: registers the hot-path metrics (per-
+    /// hetero-link ROB occupancy gauges, per-PHY dispatch counters) and
+    /// installs a private cell slice in every shard. Until this is
+    /// called, no shard holds a slice and every sampling site is a
+    /// single `is_some` check. Idempotent; metrics are purely
+    /// observational, so results stay bit-identical either way.
+    pub fn enable_metrics(&mut self) {
+        if self.hub.metrics.is_some() {
+            return;
+        }
+        let mut reg = MetricsRegistry::new();
+        let rob_gauge = {
+            let topo = self.topo.get_mut().expect("topology lock poisoned");
+            let mut v = vec![None; topo.links().len()];
+            for link in topo.links() {
+                if link.class == LinkClass::HeteroPhy {
+                    let label = link.id.index().to_string();
+                    v[link.id.index()] = Some(reg.gauge("rob_occupancy_max", &[("link", &label)]));
+                }
+            }
+            v
+        };
+        let phy_dispatch = [
+            reg.counter("phy_dispatch_total", &[("phy", "parallel")]),
+            reg.counter("phy_dispatch_total", &[("phy", "serial")]),
+        ];
+        let ids = MetricIds {
+            rob_gauge,
+            phy_dispatch,
+        };
+        self.engine.set_metrics(&ids, &reg);
+        self.hub.metrics = Some(reg);
+        self.hub.observe_barriers = true;
+    }
+
+    /// Turns structured tracing on: every shard gets an accumulation
+    /// buffer and the hub a bounded ring holding the most recent `cap`
+    /// events of the kinds in `filter`. Tracing is purely observational —
+    /// the golden instrumented matrix pins results bit-identical with it
+    /// on or off, at every thread count.
+    pub fn enable_trace(&mut self, cap: usize, filter: TraceFilter) {
+        self.engine.set_tracing(filter);
+        self.hub.trace = Some(TraceRing::new(cap, filter));
+        if filter.accepts(TraceKind::Barrier) {
+            self.hub.observe_barriers = true;
+        }
+    }
+
+    /// The trace ring, when tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.hub.trace.as_ref()
+    }
+
+    /// Builds a complete metrics snapshot: the hot-path cells folded over
+    /// every shard (ascending shard order), plus every quantity the
+    /// engine and collector already maintain (per-link flit counters,
+    /// delivery totals, the latency histogram) copied in at zero hot-path
+    /// cost. Wall-clock and thread-count-dependent values (per-shard
+    /// activity, barrier waits) are marked volatile so
+    /// [`MetricsSnapshot::deterministic_lines`] excludes them.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = match &self.hub.metrics {
+            Some(reg) => self.engine.fold_shard_metrics(reg),
+            None => MetricsSnapshot::default(),
+        };
+        let c = &self.hub.collector;
+        let counter = MetricKind::Counter;
+        snap.push_scalar("cycles_total", &[], counter, false, self.engine.now());
+        snap.push_scalar(
+            "packets_delivered_total",
+            &[],
+            counter,
+            false,
+            c.delivered_packets,
+        );
+        snap.push_scalar(
+            "flits_delivered_total",
+            &[],
+            counter,
+            false,
+            c.delivered_flits,
+        );
+        snap.push_scalar(
+            "packets_measured_total",
+            &[],
+            counter,
+            false,
+            c.measured_packets,
+        );
+        snap.push_scalar(
+            "flits_measured_total",
+            &[],
+            counter,
+            false,
+            c.measured_flits,
+        );
+        snap.push_scalar(
+            "packets_baseline_locked_total",
+            &[],
+            counter,
+            false,
+            c.locked_packets,
+        );
+        snap.push_scalar(
+            "flits_corrupted_total",
+            &[],
+            counter,
+            false,
+            c.corrupted_flits,
+        );
+        snap.push_scalar(
+            "flits_retransmitted_total",
+            &[],
+            counter,
+            false,
+            c.retransmitted_flits,
+        );
+        snap.push_scalar("retry_naks_total", &[], counter, false, c.retry_naks);
+        snap.push_scalar(
+            "retry_timeouts_total",
+            &[],
+            counter,
+            false,
+            c.retry_timeouts,
+        );
+        snap.push_scalar("failovers_total", &[], counter, false, c.failovers);
+        snap.push_scalar(
+            "faults_applied_total",
+            &[],
+            counter,
+            false,
+            c.faults_applied,
+        );
+        for (li, n) in self.engine.link_flits().iter().enumerate() {
+            let label = li.to_string();
+            snap.push_scalar(
+                "link_flits_forwarded_total",
+                &[("link", &label)],
+                counter,
+                false,
+                *n,
+            );
+        }
+        if let Some(h) = &c.latency_hist {
+            // Bucket geometry fixed by the collector: 4-cycle buckets.
+            snap.push_histogram(
+                "packet_latency_cycles",
+                &[],
+                4.0,
+                (0..h.buckets()).map(|i| h.bucket_count(i)).collect(),
+                h.overflow(),
+            );
+        }
+        for (sid, n) in self.engine.shard_active_cycles().iter().enumerate() {
+            let label = sid.to_string();
+            snap.push_scalar(
+                "shard_active_cycles",
+                &[("shard", &label)],
+                counter,
+                true,
+                *n,
+            );
+        }
+        snap.push_scalar(
+            "barrier_wait_ns_total",
+            &[],
+            counter,
+            true,
+            self.hub.barrier_wait_ns,
+        );
+        if let Some(ring) = &self.hub.trace {
+            snap.push_scalar("trace_dropped_total", &[], counter, true, ring.dropped());
+        }
+        snap
     }
 
     /// Queues a packet for injection at its source NIC.
@@ -604,6 +791,31 @@ pub(crate) fn apply_fault(
     for p in probes.iter_mut() {
         for &(li, ev) in &emitted {
             p.on_link_event(now, li, ev);
+        }
+    }
+    if let Some(ring) = hub.trace.as_mut() {
+        // One event for the scripted fault itself, then one per link
+        // transition it caused — both hub-side, so they land in the ring
+        // in application order regardless of thread count.
+        let target = match tf.target {
+            FaultTarget::Link(id) => id,
+            _ => u32::MAX,
+        };
+        ring.push(TraceEvent {
+            cycle: now,
+            kind: TraceKind::Fault,
+            pid: NO_PID,
+            a: target,
+            b: tf.event.code(),
+        });
+        for &(li, ev) in &emitted {
+            ring.push(TraceEvent {
+                cycle: now,
+                kind: TraceKind::Link,
+                pid: NO_PID,
+                a: li,
+                b: link_event_code(ev),
+            });
         }
     }
     hub.fault_links = links;

@@ -41,6 +41,7 @@ use chiplet_topo::SystemTopology;
 use chiplet_traffic::{PacketRequest, Workload};
 use simkit::par::{Gate, PanicSignal};
 use simkit::probe::Probe;
+use simkit::trace::{TraceEvent, TraceKind, NO_PID};
 use simkit::Cycle;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::RwLock;
@@ -208,6 +209,35 @@ impl Leader<'_> {
             panic!("a shard worker panicked; aborting the parallel run");
         }
     }
+
+    /// Like [`Leader::sync`], but samples how long the leader waited and
+    /// records it as a volatile metric and (optionally) a `barrier` trace
+    /// event. Only taken when the observability layer asked for it —
+    /// the default path never reads the clock. `which` is 0 for the
+    /// phase-1→2 gate (B) and 1 for the end-of-cycle gate (A).
+    fn sync_observed(&mut self, which: u32, now: Cycle) {
+        let gate = if which == 0 {
+            &self.gates.b
+        } else {
+            &self.gates.a
+        };
+        if !self.hub.observe_barriers {
+            return self.sync(gate);
+        }
+        let t0 = std::time::Instant::now();
+        self.sync(gate);
+        let dt = t0.elapsed();
+        self.hub.barrier_wait_ns += dt.as_nanos() as u64;
+        if let Some(ring) = self.hub.trace.as_mut() {
+            ring.push(TraceEvent {
+                cycle: now,
+                kind: TraceKind::Barrier,
+                pid: NO_PID,
+                a: which,
+                b: dt.as_micros().min(u32::MAX as u128) as u32,
+            });
+        }
+    }
 }
 
 impl CycleDriver for Leader<'_> {
@@ -260,7 +290,7 @@ impl CycleDriver for Leader<'_> {
                     &self.engine.part,
                 );
             }
-            self.sync(&self.gates.b);
+            self.sync_observed(0, now);
             self.gates.b.release();
             {
                 let store = self.engine.store.read().expect("store lock poisoned");
@@ -274,7 +304,7 @@ impl CycleDriver for Leader<'_> {
                     &self.engine.part,
                 );
             }
-            self.sync(&self.gates.a);
+            self.sync_observed(1, now);
         }
         // Serial window again: fold per-shard observations in canonical
         // order and advance the clock.
@@ -308,6 +338,15 @@ impl CycleDriver for Leader<'_> {
 
     fn start_measurement(&mut self) {
         self.engine.start_measurement();
+        if let Some(ring) = self.hub.trace.as_mut() {
+            ring.push(TraceEvent {
+                cycle: self.engine.now(),
+                kind: TraceKind::Phase,
+                pid: NO_PID,
+                a: 1, // warm-up → measure
+                b: 0,
+            });
+        }
     }
 
     fn nodes(&self) -> u32 {

@@ -30,6 +30,7 @@
 
 use crate::energy::EnergyModel;
 use crate::engine::EngineCtx;
+use chiplet_noc::router::PipelineStage;
 use chiplet_noc::{
     CreditLine, DelayLine, Flit, FlitArena, FlitRef, PacketId, PacketInfo, PacketStore,
     PortCandidate, RetryLine, Router, RouterEnv, ShardMailbox,
@@ -37,7 +38,9 @@ use chiplet_noc::{
 use chiplet_phy::{HeteroPhyLink, PhyKind};
 use chiplet_topo::routing::{RouteTable, Routing};
 use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
+use simkit::metrics::{MetricId, MetricsSlice};
 use simkit::probe::{DeliveryEvent, LinkEvent};
+use simkit::trace::{link_event_code, link_key, node_key, TraceKind, Tracer, NO_PID};
 use simkit::{ActiveSet, Cycle, SimRng};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering::Relaxed;
@@ -257,6 +260,26 @@ pub(crate) struct Delivery {
     pub ev: DeliveryEvent,
 }
 
+/// The hot-path metric handles every shard shares: which registry cell a
+/// given observation lands in. Built once at enable time by the network;
+/// cloned into each shard next to its private [`MetricsSlice`].
+#[derive(Debug, Clone)]
+pub(crate) struct MetricIds {
+    /// Per-link ROB-occupancy high-water gauge (hetero-PHY links only).
+    pub rob_gauge: Vec<Option<MetricId>>,
+    /// Per-PHY dispatch counters, indexed `[parallel, serial]`.
+    pub phy_dispatch: [MetricId; 2],
+}
+
+/// One shard's metrics state: the shared id map plus its private slice.
+/// Wrapped in `Option` on the shard so the disabled path costs one
+/// `is_some` check at each (already rare) sampling site.
+#[derive(Debug)]
+pub(crate) struct ShardMetrics {
+    pub ids: MetricIds,
+    pub slice: MetricsSlice,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InjectState {
     pid: PacketId,
@@ -317,6 +340,11 @@ pub(crate) struct Shard {
     pub deliveries: Vec<Delivery>,
     pub link_events: Vec<(u32, LinkEvent)>,
     pub flit_hops: Vec<(u32, bool)>,
+    /// Structured trace events for this cycle ([`Tracer::Off`] unless the
+    /// network enabled tracing; folded into the hub ring at merge).
+    pub tracer: Tracer,
+    /// Hot-path metric cells (`None` unless the network enabled metrics).
+    pub metrics: Option<ShardMetrics>,
     /// Whether anything moved this cycle (deadlock-watchdog input).
     pub activity: bool,
     /// Cycles in which this shard had activity (per-shard quiescence
@@ -354,6 +382,8 @@ impl Shard {
             deliveries: Vec::new(),
             link_events: Vec::new(),
             flit_hops: Vec::new(),
+            tracer: Tracer::Off,
+            metrics: None,
             activity: false,
             active_cycles: 0,
         }
@@ -487,6 +517,8 @@ impl Shard {
             out_flits,
             link_events,
             flit_hops,
+            tracer,
+            metrics,
             ..
         } = self;
         for &li in &ids {
@@ -519,6 +551,14 @@ impl Shard {
                         if record_hops {
                             flit_hops.push((li as u32, flit.is_head()));
                         }
+                        tracer.emit(
+                            link_key(li as u32),
+                            now,
+                            TraceKind::Hop,
+                            flit.pid.0,
+                            li as u32,
+                            flit.is_head() as u32,
+                        );
                         if local {
                             routers[dst].receive(in_port, fref, flit.vc);
                             active_routers.insert(dst);
@@ -538,6 +578,14 @@ impl Shard {
                         let mut corrupt = || lf.draw(now);
                         let mut ev = |e: LinkEvent| {
                             link_events.push((li as u32, e));
+                            tracer.emit(
+                                link_key(li as u32),
+                                now,
+                                TraceKind::Link,
+                                NO_PID,
+                                li as u32,
+                                link_event_code(e),
+                            );
                             if e == LinkEvent::Retransmit {
                                 // Recovery traffic is forward progress: it
                                 // must hold the deadlock watchdog off.
@@ -568,6 +616,14 @@ impl Shard {
                         if record_hops {
                             flit_hops.push((li as u32, flit.is_head()));
                         }
+                        tracer.emit(
+                            link_key(li as u32),
+                            now,
+                            TraceKind::Hop,
+                            flit.pid.0,
+                            li as u32,
+                            flit.is_head() as u32,
+                        );
                         if local {
                             routers[dst].receive(in_port, fref, flit.vc);
                             active_routers.insert(dst);
@@ -585,6 +641,14 @@ impl Shard {
                     {
                         let mut ev = |e: LinkEvent| {
                             link_events.push((li as u32, e));
+                            tracer.emit(
+                                link_key(li as u32),
+                                now,
+                                TraceKind::Link,
+                                NO_PID,
+                                li as u32,
+                                link_event_code(e),
+                            );
                             if e == LinkEvent::Retransmit {
                                 *activity = true;
                             }
@@ -594,6 +658,10 @@ impl Shard {
                     while let Some((flit, kind)) = h.pop_delivered() {
                         link_flits[li] += 1;
                         let info = store.get(flit.pid);
+                        let lane = match kind {
+                            PhyKind::Parallel => 0usize,
+                            PhyKind::Serial => 1usize,
+                        };
                         match kind {
                             PhyKind::Parallel => {
                                 info.parallel_flits.fetch_add(1, Relaxed);
@@ -608,6 +676,17 @@ impl Shard {
                         if record_hops {
                             flit_hops.push((li as u32, flit.is_head()));
                         }
+                        tracer.emit(
+                            link_key(li as u32),
+                            now,
+                            TraceKind::PhyDispatch,
+                            flit.pid.0,
+                            li as u32,
+                            lane as u32,
+                        );
+                        if let Some(m) = metrics.as_mut() {
+                            m.slice.add(m.ids.phy_dispatch[lane], 1);
+                        }
                         if local {
                             // Back from the adapter's value-world: re-admit.
                             let fref = arena.alloc(flit);
@@ -620,6 +699,14 @@ impl Shard {
                             });
                         }
                         *activity = true;
+                    }
+                    if let Some(m) = metrics.as_mut() {
+                        if let Some(id) = m.ids.rob_gauge[li] {
+                            // Sampled after `advance_observed`, matching the
+                            // occupancy definition the Eq. 1 bound is
+                            // checked against.
+                            m.slice.raise(id, h.rob_occupancy() as u64);
+                        }
                     }
                 }
             }
@@ -656,7 +743,16 @@ impl Shard {
                 let mut moved = false;
                 while budget > 0 && st.next_seq < st.len && router.in_space(0, st.vc) > 0 {
                     if st.next_seq == 0 {
-                        store.get(st.pid).injected.store(now, Relaxed);
+                        let info = store.get(st.pid);
+                        info.injected.store(now, Relaxed);
+                        self.tracer.emit(
+                            node_key(node as u32),
+                            now,
+                            TraceKind::Inject,
+                            st.pid.0,
+                            node as u32,
+                            info.dst.index() as u32,
+                        );
                     }
                     let fref = self.arena.alloc(Flit {
                         pid: st.pid,
@@ -722,6 +818,7 @@ impl Shard {
             active_credits: &mut self.active_credits,
             deliveries: &mut self.deliveries,
             out_credits: &mut self.out_credits,
+            tracer: &mut self.tracer,
         };
         for &node in &ids {
             let router = &mut routers[node];
@@ -771,6 +868,7 @@ struct ShardEnv<'a> {
     active_credits: &'a mut ActiveSet,
     deliveries: &'a mut Vec<Delivery>,
     out_credits: &'a mut [Vec<CreditMsg>],
+    tracer: &'a mut Tracer,
 }
 
 impl RouterEnv for ShardEnv<'_> {
@@ -849,6 +947,14 @@ impl RouterEnv for ShardEnv<'_> {
             if flit.last {
                 debug_assert_eq!(prev + 1, info.len, "flit loss detected");
                 let ev = delivery_event(now, info, self.energy_model, self.measure_from);
+                self.tracer.emit(
+                    node_key(self.node.0),
+                    now,
+                    TraceKind::Eject,
+                    flit.pid.0,
+                    self.node.0,
+                    ev.hops,
+                );
                 // The descriptor slot is freed at merge, in ascending-node
                 // order across shards — the serial free order, keeping
                 // PacketId recycling bit-identical.
@@ -909,6 +1015,23 @@ impl RouterEnv for ShardEnv<'_> {
 
     fn note_baseline_lock(&mut self, pid: PacketId) {
         self.store.get(pid).baseline_locked.store(true, Relaxed);
+    }
+
+    #[inline]
+    fn on_pipeline(&mut self, stage: PipelineStage, pid: PacketId, info: u32) {
+        let kind = match stage {
+            PipelineStage::RouteCompute => TraceKind::RouteCompute,
+            PipelineStage::VcAlloc => TraceKind::VcAlloc,
+            PipelineStage::SwitchTraverse => TraceKind::SwitchTraverse,
+        };
+        self.tracer.emit(
+            node_key(self.node.0),
+            self.now,
+            kind,
+            pid.0,
+            self.node.0,
+            info,
+        );
     }
 }
 

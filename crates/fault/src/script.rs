@@ -46,6 +46,38 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// Stable numeric code for trace records (the `b` field of a
+    /// `fault` trace event). Codes are append-only: new variants get new
+    /// numbers so recorded traces stay decodable.
+    pub fn code(&self) -> u32 {
+        match self {
+            FaultEvent::PhyDown(PhyKind::Parallel) => 0,
+            FaultEvent::PhyDown(PhyKind::Serial) => 1,
+            FaultEvent::PhyUp(PhyKind::Parallel) => 2,
+            FaultEvent::PhyUp(PhyKind::Serial) => 3,
+            FaultEvent::LinkDown => 4,
+            FaultEvent::LinkUp => 5,
+            FaultEvent::Burst { .. } => 6,
+            FaultEvent::Degrade { .. } => 7,
+        }
+    }
+
+    /// Stable name matching [`FaultEvent::code`], for exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::PhyDown(PhyKind::Parallel) => "phy_down_parallel",
+            FaultEvent::PhyDown(PhyKind::Serial) => "phy_down_serial",
+            FaultEvent::PhyUp(PhyKind::Parallel) => "phy_up_parallel",
+            FaultEvent::PhyUp(PhyKind::Serial) => "phy_up_serial",
+            FaultEvent::LinkDown => "link_down",
+            FaultEvent::LinkUp => "link_up",
+            FaultEvent::Burst { .. } => "burst",
+            FaultEvent::Degrade { .. } => "degrade",
+        }
+    }
+}
+
 /// Which links a fault event hits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultTarget {

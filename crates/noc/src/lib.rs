@@ -48,4 +48,4 @@ pub use flit::{Flit, OrderClass, Priority};
 pub use mailbox::ShardMailbox;
 pub use packet::{PacketId, PacketInfo, PacketStore};
 pub use retry::RetryLine;
-pub use router::{PortCandidate, Router, RouterEnv};
+pub use router::{PipelineStage, PortCandidate, Router, RouterEnv};

@@ -38,6 +38,22 @@ pub struct PortCandidate {
     pub tier: u8,
 }
 
+/// A stage of the router pipeline, reported through
+/// [`RouterEnv::on_pipeline`] so an embedding system can trace per-packet
+/// progress without the router knowing anything about tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Routing computation produced candidates (`info` = candidate count).
+    RouteCompute,
+    /// VC allocation granted an output channel (`info` = 1 if the grant
+    /// fell back to the baseline escape subnetwork while adaptive
+    /// candidates existed, else 0).
+    VcAlloc,
+    /// Switch allocation + traversal moved a head flit out of the router
+    /// (`info` = output port index).
+    SwitchTraverse,
+}
+
 /// The router's window onto the rest of the system.
 pub trait RouterEnv {
     /// Computes routing candidates for packet `pid` standing at this router
@@ -61,6 +77,14 @@ pub trait RouterEnv {
     /// candidates existed (congestion fallback): sets the packet's
     /// livelock lock (§6.2 channel-switching restriction).
     fn note_baseline_lock(&mut self, pid: PacketId);
+
+    /// Observation hook: packet `pid` passed pipeline stage `stage` this
+    /// cycle (`info` is stage-specific, see [`PipelineStage`]). Defaults
+    /// to a no-op, so environments that don't trace pay nothing — the
+    /// empty body is monomorphized into [`Router::step`] and the calls
+    /// vanish.
+    #[inline]
+    fn on_pipeline(&mut self, _stage: PipelineStage, _pid: PacketId, _info: u32) {}
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -336,9 +360,11 @@ impl Router {
                     };
                     self.routed_vcs -= 1;
                     self.active_vcs += 1;
-                    if grant.baseline && had_adaptive {
+                    let fallback = grant.baseline && had_adaptive;
+                    if fallback {
                         env.note_baseline_lock(pid);
                     }
+                    env.on_pipeline(PipelineStage::VcAlloc, pid, fallback as u32);
                 }
             }
         }
@@ -368,6 +394,7 @@ impl Router {
                     !buf.cands.is_empty(),
                     "routing returned no candidates for {pid:?}"
                 );
+                env.on_pipeline(PipelineStage::RouteCompute, pid, buf.cands.len() as u32);
                 self.states[cur] = VcState::Routed { at: now };
                 self.idle_with_flits -= 1;
                 self.routed_vcs += 1;
@@ -424,6 +451,13 @@ impl Router {
                     let flit = arena.get_mut(fref);
                     flit.vc = out_vc;
                     let last = flit.last;
+                    let pid = flit.pid;
+                    let head = flit.is_head();
+                    if head {
+                        // Before `send`, so a local ejection recorded inside
+                        // `send` traces after its switch traversal.
+                        env.on_pipeline(PipelineStage::SwitchTraverse, pid, out_port as u32);
+                    }
                     env.send(out_port, fref, arena);
                     env.credit(pi as u16, vi as u8);
                     let op = &mut self.out_ports[out_port as usize];

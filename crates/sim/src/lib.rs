@@ -16,6 +16,12 @@
 //!   skip-idle-components scheduler.
 //! * [`par`] — the leader-observable barrier ([`par::Gate`]) behind the
 //!   sharded parallel cycle loop.
+//! * [`metrics`] — the typed metrics registry: per-shard lock-free
+//!   slices folded deterministically at snapshot time, with Prometheus
+//!   and JSONL exporters.
+//! * [`trace`] — cycle-attributed structured tracing: a zero-cost-when-
+//!   disabled [`trace::Tracer`], a bounded [`trace::TraceRing`], and
+//!   JSONL / Chrome `trace_event` exporters.
 //!
 //! # Examples
 //!
@@ -34,16 +40,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod active;
+pub mod metrics;
 pub mod par;
 pub mod probe;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use active::ActiveSet;
+pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSlice, MetricsSnapshot};
 pub use par::Gate;
 pub use probe::{CycleStats, DeliveryEvent, LinkEvent, Phase, Probe};
 pub use rng::SimRng;
 pub use stats::{Histogram, Running, Windowed};
+pub use trace::{TraceEvent, TraceFilter, TraceKind, TraceRing, Tracer};
 
 /// A simulated clock cycle count.
 ///

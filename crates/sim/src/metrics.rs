@@ -1,0 +1,572 @@
+//! Typed metrics: registry, per-shard slices, deterministic fold and
+//! exporters.
+//!
+//! The design splits a metric's *identity* from its *storage*:
+//!
+//! * A [`MetricsRegistry`] holds the specs — name, label set, kind
+//!   ([`MetricKind`]), and a `volatile` flag for values that legitimately
+//!   depend on thread count or wall-clock (barrier waits, per-shard
+//!   activity). Registering returns a dense [`MetricId`] handle.
+//! * Each shard owns a [`MetricsSlice`]: one plain `u64` cell per spec,
+//!   written lock-free because nobody else touches that slice during a
+//!   cycle. There is no per-cycle merge — the hot path is a single
+//!   indexed add or max.
+//! * At snapshot time the hub folds slices in ascending shard order
+//!   ([`MetricsRegistry::fold`]): counters sum, gauges take the max.
+//!   Both folds are order-independent, so merged values are identical at
+//!   any thread count — the differential fuzz suite enforces this.
+//!
+//! Most reported values never touch the hot path at all: the engine
+//! already maintains the quantities (per-link flit counts, collector
+//! histograms, delivery totals), and the snapshot step copies them into
+//! a [`MetricsSnapshot`] via [`MetricsSnapshot::push_scalar`] /
+//! [`MetricsSnapshot::push_histogram`]. Only quantities invisible to the
+//! existing counters (ROB occupancy high-water marks, per-PHY dispatch
+//! counts) pay a slice write, and only when metrics are enabled — the
+//! shard holds an `Option<...>` around its slice, so the disabled path
+//! is one `is_some` check.
+//!
+//! Exporters: [`MetricsSnapshot::to_prometheus`] (text exposition
+//! format), [`MetricsSnapshot::to_jsonl`] (one JSON object per metric),
+//! and [`MetricsSnapshot::deterministic_lines`] (sorted `name{labels}
+//! value` lines with volatile metrics removed — the comparison form used
+//! by the differential tests).
+
+use std::io::{self, Write};
+
+/// What kind of quantity a metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count; shards fold by summation.
+    Counter,
+    /// A sampled level; shards fold by maximum (high-water mark).
+    Gauge,
+    /// A bucketed distribution (snapshot-derived, never a hot-path cell).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` keyword.
+    fn prom_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Dense handle to a registered metric: an index into every
+/// [`MetricsSlice`] created from the same registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The cell index this id addresses.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The identity of one registered metric.
+#[derive(Debug, Clone)]
+pub struct MetricSpec {
+    /// Metric name, e.g. `hetero_phy_dispatch_total`.
+    pub name: String,
+    /// Label pairs, e.g. `[("phy", "serial")]`.
+    pub labels: Vec<(String, String)>,
+    /// Fold behavior and export type.
+    pub kind: MetricKind,
+    /// Whether the value legitimately varies with thread count or
+    /// wall-clock; volatile metrics are excluded from
+    /// [`MetricsSnapshot::deterministic_lines`].
+    pub volatile: bool,
+}
+
+impl MetricSpec {
+    /// Renders the label set as `{k="v",...}`, or `""` when unlabeled.
+    pub fn label_str(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", k, v))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+/// The metric catalog: every spec registered for a run, in registration
+/// order. Registration happens once at enable time; the hot path only
+/// ever sees [`MetricId`]s and slices.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    specs: Vec<MetricSpec>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter (shards fold by sum).
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(name, labels, MetricKind::Counter, false)
+    }
+
+    /// Registers a gauge (shards fold by max — a high-water mark).
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(name, labels, MetricKind::Gauge, false)
+    }
+
+    /// Registers a metric with full control over kind and volatility.
+    pub fn register(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        volatile: bool,
+    ) -> MetricId {
+        let id = MetricId(self.specs.len() as u32);
+        self.specs.push(MetricSpec {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind,
+            volatile,
+        });
+        id
+    }
+
+    /// Number of registered specs (= cells in every slice).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The registered specs, in registration order.
+    pub fn specs(&self) -> &[MetricSpec] {
+        &self.specs
+    }
+
+    /// A zeroed per-shard slice sized to this registry.
+    pub fn slice(&self) -> MetricsSlice {
+        MetricsSlice {
+            cells: vec![0; self.specs.len()],
+        }
+    }
+
+    /// Folds per-shard slices (visited in ascending shard order) into a
+    /// snapshot: counters sum, gauges max. Histogram specs fold like
+    /// counters (their cells are unused scalar placeholders).
+    pub fn fold<'a, I>(&self, slices: I) -> MetricsSnapshot
+    where
+        I: IntoIterator<Item = &'a MetricsSlice>,
+    {
+        let mut merged = vec![0u64; self.specs.len()];
+        for slice in slices {
+            assert_eq!(
+                slice.cells.len(),
+                merged.len(),
+                "metrics slice does not match registry"
+            );
+            for (i, spec) in self.specs.iter().enumerate() {
+                match spec.kind {
+                    MetricKind::Gauge => merged[i] = merged[i].max(slice.cells[i]),
+                    _ => merged[i] += slice.cells[i],
+                }
+            }
+        }
+        let mut snap = MetricsSnapshot::default();
+        for (spec, value) in self.specs.iter().zip(merged) {
+            snap.entries.push(MetricEntry {
+                spec: spec.clone(),
+                value: MetricValue::Scalar(value),
+            });
+        }
+        snap
+    }
+}
+
+/// One shard's metric storage: a flat array of `u64` cells addressed by
+/// [`MetricId`]. Writes are plain (non-atomic) because a slice has
+/// exactly one writer — its shard — and is only read in the leader's
+/// serial snapshot window.
+#[derive(Debug, Clone)]
+pub struct MetricsSlice {
+    cells: Vec<u64>,
+}
+
+impl MetricsSlice {
+    /// Adds `v` to a counter cell.
+    #[inline]
+    pub fn add(&mut self, id: MetricId, v: u64) {
+        self.cells[id.index()] += v;
+    }
+
+    /// Raises a gauge cell to at least `v` (high-water mark).
+    #[inline]
+    pub fn raise(&mut self, id: MetricId, v: u64) {
+        let c = &mut self.cells[id.index()];
+        if v > *c {
+            *c = v;
+        }
+    }
+
+    /// Reads one cell (tests and snapshot assertions).
+    pub fn get(&self, id: MetricId) -> u64 {
+        self.cells[id.index()]
+    }
+
+    /// Zeroes every cell.
+    pub fn reset(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// A metric's folded value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter or gauge value.
+    Scalar(u64),
+    /// Histogram contents: uniform bucket width, per-bucket counts and
+    /// the overflow count (samples past the last bucket).
+    Hist {
+        /// Uniform bucket width in the metric's unit (e.g. cycles).
+        width: f64,
+        /// Per-bucket sample counts.
+        counts: Vec<u64>,
+        /// Samples larger than `width * counts.len()`.
+        overflow: u64,
+    },
+}
+
+/// One metric in a snapshot: its spec plus its folded value.
+#[derive(Debug, Clone)]
+pub struct MetricEntry {
+    /// The metric's identity.
+    pub spec: MetricSpec,
+    /// The folded value.
+    pub value: MetricValue,
+}
+
+/// A complete, self-describing point-in-time export of every metric.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// All entries, in registration/push order.
+    pub fn entries(&self) -> &[MetricEntry] {
+        &self.entries
+    }
+
+    /// Appends a snapshot-derived scalar (a value the engine already
+    /// maintained; no hot-path cell involved).
+    pub fn push_scalar(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        volatile: bool,
+        value: u64,
+    ) {
+        self.entries.push(MetricEntry {
+            spec: MetricSpec {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                kind,
+                volatile,
+            },
+            value: MetricValue::Scalar(value),
+        });
+    }
+
+    /// Appends a snapshot-derived histogram (e.g. the collector's
+    /// latency histogram, copied bucket-for-bucket).
+    pub fn push_histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        width: f64,
+        counts: Vec<u64>,
+        overflow: u64,
+    ) {
+        self.entries.push(MetricEntry {
+            spec: MetricSpec {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                kind: MetricKind::Histogram,
+                volatile: false,
+            },
+            value: MetricValue::Hist {
+                width,
+                counts,
+                overflow,
+            },
+        });
+    }
+
+    /// Looks up the scalar value of the first entry matching `name` and
+    /// the full label set.
+    pub fn scalar(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.entries.iter().find_map(|e| {
+            if e.spec.name != name {
+                return None;
+            }
+            let want: Vec<(String, String)> = labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            if e.spec.labels != want {
+                return None;
+            }
+            match e.value {
+                MetricValue::Scalar(v) => Some(v),
+                _ => None,
+            }
+        })
+    }
+
+    /// Sums the scalar values of every entry named `name` regardless of
+    /// labels (e.g. total `flits_forwarded` over all links).
+    pub fn scalar_sum(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.spec.name == name)
+            .map(|e| match &e.value {
+                MetricValue::Scalar(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Writes the snapshot in Prometheus text exposition format.
+    ///
+    /// Histograms use cumulative `_bucket{le=...}` series plus `_count`,
+    /// as the format requires.
+    pub fn to_prometheus(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut typed: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if !typed.contains(&e.spec.name.as_str()) {
+                writeln!(w, "# TYPE {} {}", e.spec.name, e.spec.kind.prom_type())?;
+                typed.push(&e.spec.name);
+            }
+            match &e.value {
+                MetricValue::Scalar(v) => {
+                    writeln!(w, "{}{} {}", e.spec.name, e.spec.label_str(), v)?;
+                }
+                MetricValue::Hist {
+                    width,
+                    counts,
+                    overflow,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum += c;
+                        if *c == 0 {
+                            continue;
+                        }
+                        writeln!(
+                            w,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            e.spec.name,
+                            width * (i as f64 + 1.0),
+                            cum
+                        )?;
+                    }
+                    cum += overflow;
+                    writeln!(w, "{}_bucket{{le=\"+Inf\"}} {}", e.spec.name, cum)?;
+                    writeln!(w, "{}_count {}", e.spec.name, cum)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the snapshot as JSON Lines: one object per metric with
+    /// `name`, `kind`, `labels`, `volatile` and the value.
+    pub fn to_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
+        for e in &self.entries {
+            write!(
+                w,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"volatile\":{},\"labels\":{{",
+                e.spec.name,
+                e.spec.kind.prom_type(),
+                e.spec.volatile
+            )?;
+            for (i, (k, v)) in e.spec.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(w, "\"{}\":\"{}\"", k, v)?;
+            }
+            write!(w, "}}")?;
+            match &e.value {
+                MetricValue::Scalar(v) => writeln!(w, ",\"value\":{}}}", v)?,
+                MetricValue::Hist {
+                    width,
+                    counts,
+                    overflow,
+                } => {
+                    write!(
+                        w,
+                        ",\"width\":{},\"overflow\":{},\"counts\":[",
+                        width, overflow
+                    )?;
+                    // Trailing zero buckets carry no information; trim them
+                    // so a 2048-bucket histogram exports compactly.
+                    let last = counts.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+                    for (i, c) in counts[..last].iter().enumerate() {
+                        if i > 0 {
+                            write!(w, ",")?;
+                        }
+                        write!(w, "{}", c)?;
+                    }
+                    writeln!(w, "]}}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The deterministic comparison form: one `name{labels} value` line
+    /// per non-volatile metric, sorted, with histograms rendered as
+    /// their trimmed bucket vector. Two runs that should agree (serial
+    /// vs sharded, metrics-on at different thread counts) must produce
+    /// identical line sets.
+    pub fn deterministic_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|e| !e.spec.volatile)
+            .map(|e| match &e.value {
+                MetricValue::Scalar(v) => {
+                    format!("{}{} {}", e.spec.name, e.spec.label_str(), v)
+                }
+                MetricValue::Hist {
+                    width,
+                    counts,
+                    overflow,
+                } => {
+                    let last = counts.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+                    format!(
+                        "{}{} w={} of={} {:?}",
+                        e.spec.name,
+                        e.spec.label_str(),
+                        width,
+                        overflow,
+                        &counts[..last]
+                    )
+                }
+            })
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_sums_counters_and_maxes_gauges() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("flits", &[("link", "0")]);
+        let g = reg.gauge("rob", &[("link", "0")]);
+        let mut s0 = reg.slice();
+        let mut s1 = reg.slice();
+        s0.add(c, 5);
+        s1.add(c, 7);
+        s0.raise(g, 3);
+        s1.raise(g, 9);
+        s1.raise(g, 2);
+        let snap = reg.fold([&s0, &s1]);
+        assert_eq!(snap.scalar("flits", &[("link", "0")]), Some(12));
+        assert_eq!(snap.scalar("rob", &[("link", "0")]), Some(9));
+    }
+
+    #[test]
+    fn fold_is_thread_partition_invariant() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("n", &[]);
+        let g = reg.gauge("m", &[]);
+        // One shard holding everything vs the same work split in three.
+        let mut whole = reg.slice();
+        whole.add(c, 10);
+        whole.raise(g, 6);
+        let mut parts = [reg.slice(), reg.slice(), reg.slice()];
+        parts[0].add(c, 3);
+        parts[1].add(c, 3);
+        parts[2].add(c, 4);
+        parts[0].raise(g, 6);
+        parts[2].raise(g, 5);
+        let a = reg.fold([&whole]).deterministic_lines();
+        let b = reg.fold(parts.iter()).deterministic_lines();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn volatile_metrics_leave_no_deterministic_trace() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push_scalar("stable", &[], MetricKind::Counter, false, 1);
+        snap.push_scalar("wallclock", &[], MetricKind::Gauge, true, 12345);
+        let lines = snap.deterministic_lines();
+        assert_eq!(lines, vec!["stable 1".to_string()]);
+    }
+
+    #[test]
+    fn scalar_sum_crosses_label_sets() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push_scalar("flits", &[("link", "0")], MetricKind::Counter, false, 4);
+        snap.push_scalar("flits", &[("link", "1")], MetricKind::Counter, false, 6);
+        snap.push_scalar("other", &[], MetricKind::Counter, false, 99);
+        assert_eq!(snap.scalar_sum("flits"), 10);
+    }
+
+    #[test]
+    fn prometheus_export_shapes() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push_scalar("hits", &[("k", "v")], MetricKind::Counter, false, 3);
+        snap.push_histogram("lat", &[], 4.0, vec![2, 0, 1], 1);
+        let mut out = Vec::new();
+        snap.to_prometheus(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("# TYPE hits counter"));
+        assert!(s.contains("hits{k=\"v\"} 3"));
+        assert!(s.contains("lat_bucket{le=\"4\"} 2"));
+        assert!(s.contains("lat_bucket{le=\"12\"} 3"));
+        assert!(s.contains("lat_bucket{le=\"+Inf\"} 4"));
+        assert!(s.contains("lat_count 4"));
+    }
+
+    #[test]
+    fn jsonl_export_one_object_per_metric() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push_scalar("a", &[], MetricKind::Gauge, false, 1);
+        snap.push_histogram("h", &[("x", "y")], 2.0, vec![0, 5, 0, 0], 0);
+        let mut out = Vec::new();
+        snap.to_jsonl(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("\"counts\":[0,5]"));
+    }
+}

@@ -107,6 +107,73 @@ fn mixed_classes_and_priorities_conserve() {
     }
 }
 
+/// The metrics registry's per-link forward counters and PHY dispatch
+/// counters reconcile exactly with the engine's conservation totals:
+/// Σ `link_flits_forwarded_total{link}` equals the engine's link-flit
+/// tally, Σ `phy_dispatch_total{phy}` equals the flits carried by
+/// hetero-PHY links, and the snapshot's delivery counters match the
+/// collector flit-for-flit.
+#[test]
+fn metrics_reconcile_with_conservation_totals() {
+    use hetero_chiplet::topo::{LinkClass, LinkId};
+    let geom = Geometry::new(2, 2, 3, 3);
+    for kind in [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::HeteroChannelFull,
+    ] {
+        let mut net = kind.build(geom, SimConfig::default(), SchedulingProfile::balanced());
+        net.enable_metrics();
+        let mut rng = SimRng::seed(0xC2);
+        let n = geom.nodes() as u64;
+        let mut offered_flits = 0u64;
+        for i in 0..150usize {
+            let s = rng.below(n) as u32;
+            let mut d = rng.below(n) as u32;
+            while d == s {
+                d = rng.below(n) as u32;
+            }
+            let len = [1u16, 9, 16][i % 3];
+            offered_flits += len as u64;
+            net.offer(PacketRequest::new(NodeId(s), NodeId(d), len));
+            if i % 5 == 0 {
+                net.step();
+            }
+        }
+        drain(&mut net, 60_000);
+        let snap = net.metrics_snapshot();
+        let link_flits = net.link_flits();
+        assert_eq!(
+            snap.scalar_sum("link_flits_forwarded_total"),
+            link_flits.iter().sum::<u64>(),
+            "{kind}: per-link metric sum diverges from the engine tally"
+        );
+        let hetero_flits: u64 = link_flits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| net.topology().link(LinkId(*i as u32)).class == LinkClass::HeteroPhy)
+            .map(|(_, &f)| f)
+            .sum();
+        assert_eq!(
+            snap.scalar_sum("phy_dispatch_total"),
+            hetero_flits,
+            "{kind}: PHY dispatch counters diverge from hetero-link flits"
+        );
+        let c = net.collector();
+        assert_eq!(
+            snap.scalar("flits_delivered_total", &[]),
+            Some(c.delivered_flits),
+            "{kind}"
+        );
+        assert_eq!(c.delivered_flits, offered_flits, "{kind}: flit loss");
+        assert_eq!(
+            snap.scalar("packets_delivered_total", &[]),
+            Some(c.delivered_packets),
+            "{kind}"
+        );
+    }
+}
+
 #[test]
 fn hop_counts_are_at_least_minimal() {
     // On the pure mesh, measured hops must equal the manhattan distance +

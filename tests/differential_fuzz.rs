@@ -1,0 +1,143 @@
+//! Differential fuzz over random simulator configurations.
+//!
+//! Each case draws a random geometry, preset, traffic pattern, BER
+//! setting and shard-thread count from the workspace's deterministic
+//! [`SimRng`], then runs the identical scenario four ways:
+//!
+//! * serial (1 shard) vs sharded (2..=8 threads), and
+//! * observability off vs metrics registry + trace ring armed,
+//!
+//! and requires bit-identical `SimResults` across all four, plus
+//! identical merged metric values (the non-volatile
+//! `deterministic_lines`) between the serial and sharded instrumented
+//! runs. Every case's seed is printed and embedded in the failure
+//! message, so a red run reproduces exactly.
+//!
+//! The case budget is fixed (CI-friendly); `DIFF_FUZZ_CASES` raises it
+//! for a longer local soak.
+
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::sim::{run, RunOutcome, RunSpec};
+use hetero_chiplet::heterosys::{Network, SchedulingProfile, SimConfig};
+use hetero_chiplet::sim::{SimRng, TraceFilter};
+use hetero_chiplet::topo::{Geometry, NodeId};
+use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
+
+/// One drawn configuration, fully determined by the outer RNG.
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    kind: NetworkKind,
+    geom: Geometry,
+    pattern: TrafficPattern,
+    rate: f64,
+    ber: bool,
+    seed: u64,
+    threads: usize,
+}
+
+fn draw_case(rng: &mut SimRng) -> Case {
+    let kinds = [
+        NetworkKind::UniformParallelMesh,
+        NetworkKind::UniformSerialTorus,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::HeteroPhyHalf,
+        NetworkKind::HeteroChannelFull,
+    ];
+    // Power-of-two chiplet counts keep every preset buildable.
+    let cx = 2 * (1 + rng.below(2) as u16);
+    let cy = 2 * (1 + rng.below(2) as u16);
+    let patterns = [
+        TrafficPattern::Uniform,
+        TrafficPattern::UniformHotspot,
+        TrafficPattern::BitComplement,
+        TrafficPattern::BitShuffle,
+    ];
+    Case {
+        kind: kinds[rng.index(kinds.len())],
+        geom: Geometry::new(cx, cy, 2, 2),
+        pattern: patterns[rng.index(patterns.len())],
+        rate: 0.04 + rng.below(10) as f64 * 0.01,
+        ber: rng.chance(0.3),
+        seed: 0xF022 + rng.below(1 << 24),
+        threads: 2 + rng.below(7) as usize, // 2..=8
+    }
+}
+
+fn build_net(c: &Case, threads: usize) -> Network {
+    let mut config = SimConfig::default()
+        .with_seed(c.seed)
+        .with_shard_threads(threads);
+    if c.ber {
+        config = config.with_ber(1e-4).with_retry();
+    }
+    c.kind.build(c.geom, config, SchedulingProfile::balanced())
+}
+
+/// Runs one flavor of the case and returns the outcome plus (for
+/// instrumented runs) the deterministic metric lines.
+fn run_flavor(c: &Case, threads: usize, instrument: bool) -> (RunOutcome, Vec<String>) {
+    let mut net = build_net(c, threads);
+    if instrument {
+        net.enable_metrics();
+        net.enable_trace(1 << 16, TraceFilter::all());
+    }
+    let nodes: Vec<NodeId> = (0..c.geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, c.pattern, c.rate, 16, c.seed);
+    let out = run(&mut net, &mut w, RunSpec::smoke());
+    let lines = if instrument {
+        net.metrics_snapshot().deterministic_lines()
+    } else {
+        Vec::new()
+    };
+    (out, lines)
+}
+
+#[test]
+fn random_configs_are_shard_and_instrumentation_invariant() {
+    let cases: usize = std::env::var("DIFF_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let mut rng = SimRng::seed(0xD1FF);
+    for i in 0..cases {
+        let c = draw_case(&mut rng);
+        println!(
+            "case {i}: {:?} {}x{} chiplets, {:?}, rate {:.2}, ber {}, \
+             seed {}, {} threads",
+            c.kind,
+            c.geom.chiplets_x(),
+            c.geom.chiplets_y(),
+            c.pattern,
+            c.rate,
+            c.ber,
+            c.seed,
+            c.threads
+        );
+        let ctx = format!("case {i} (seed {}, {:?})", c.seed, c);
+        let (base, _) = run_flavor(&c, 1, false);
+        let (serial_inst, serial_lines) = run_flavor(&c, 1, true);
+        let (sharded, _) = run_flavor(&c, c.threads, false);
+        let (sharded_inst, sharded_lines) = run_flavor(&c, c.threads, true);
+        let key = |o: &RunOutcome| (o.drained, o.deadlocked, o.fault_stalled, o.results.clone());
+        assert_eq!(
+            key(&base),
+            key(&serial_inst),
+            "{ctx}: metrics+tracing changed serial results"
+        );
+        assert_eq!(key(&base), key(&sharded), "{ctx}: sharding changed results");
+        assert_eq!(
+            key(&base),
+            key(&sharded_inst),
+            "{ctx}: instrumented sharded run diverged"
+        );
+        assert_eq!(
+            serial_lines, sharded_lines,
+            "{ctx}: merged metric values differ between 1 and {} threads",
+            c.threads
+        );
+        assert!(
+            !serial_lines.is_empty(),
+            "{ctx}: instrumented run exported no metrics"
+        );
+    }
+}

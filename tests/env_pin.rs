@@ -1,0 +1,38 @@
+//! `HETERO_SIM_THREADS` is resolved once per process, then pinned.
+//!
+//! The shard-thread default feeds every `SimConfig::default()` — sweep
+//! workers, perf_gate reps, golden digests. If it were re-read from the
+//! environment on every call, a mid-run mutation (a test harness, a
+//! wrapper script exporting per-step values) could make rep N of a
+//! benchmark silently run at a different thread count than rep 1. The
+//! first read wins; later mutations are ignored for the process
+//! lifetime.
+//!
+//! This lives in its own test binary: it mutates the process
+//! environment, and the pin must be established by *this* process's
+//! first `SimConfig::default()` call — sharing a binary with other
+//! tests would race on both.
+
+use hetero_chiplet::heterosys::SimConfig;
+
+#[test]
+fn shard_thread_default_is_pinned_at_first_read() {
+    std::env::set_var("HETERO_SIM_THREADS", "3");
+    let first = SimConfig::default().shard_threads;
+    assert_eq!(
+        first, 3,
+        "the first resolution must honor HETERO_SIM_THREADS"
+    );
+    std::env::set_var("HETERO_SIM_THREADS", "7");
+    assert_eq!(
+        SimConfig::default().shard_threads,
+        3,
+        "a mid-process environment change must not move the default"
+    );
+    std::env::remove_var("HETERO_SIM_THREADS");
+    assert_eq!(
+        SimConfig::default().shard_threads,
+        3,
+        "unsetting the variable must not move the default either"
+    );
+}

@@ -1,0 +1,175 @@
+//! Structural invariants of the cycle-attributed trace stream.
+//!
+//! On a drained run with a ring large enough that nothing was evicted:
+//!
+//! * every `inject` opens a packet span that a matching `eject` closes
+//!   (this simulator never drops packets — the retry layer redelivers
+//!   corrupted flits — so a drained run retires every injection);
+//! * within a span, event cycles never decrease (pipeline stages and
+//!   hops are causally ordered), and the span starts at its `inject`;
+//! * per-hop cycle deltas are non-negative;
+//! * the merged stream is identical at any shard-thread count — the
+//!   trace, like the results, is partition-invariant.
+//!
+//! Packet ids are recycled after ejection, so per-pid streams are
+//! segmented at `inject` boundaries rather than grouped wholesale.
+
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::sim::{run, RunSpec};
+use hetero_chiplet::heterosys::{Network, SchedulingProfile, SimConfig};
+use hetero_chiplet::sim::{TraceFilter, TraceKind};
+use hetero_chiplet::topo::{Geometry, NodeId};
+use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
+use std::collections::HashMap;
+
+const RING_CAP: usize = 1 << 22;
+
+fn traced_net(kind: NetworkKind, geom: Geometry, ber: bool, threads: usize) -> Network {
+    let mut config = SimConfig::default()
+        .with_seed(11)
+        .with_shard_threads(threads);
+    if ber {
+        config = config.with_ber(1e-4).with_retry();
+    }
+    let mut net = kind.build(geom, config, SchedulingProfile::balanced());
+    net.enable_trace(
+        RING_CAP,
+        TraceFilter::parse("flit,phy").expect("valid filter"),
+    );
+    net
+}
+
+fn run_traced(net: &mut Network, geom: Geometry) {
+    let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.10, 16, 11);
+    let out = run(net, &mut w, RunSpec::smoke());
+    assert!(out.drained, "run must drain for span accounting");
+}
+
+#[test]
+fn every_inject_is_matched_and_spans_are_causally_ordered() {
+    let geom = Geometry::new(2, 2, 2, 2);
+    for (kind, ber) in [
+        (NetworkKind::HeteroPhyFull, false),
+        (NetworkKind::HeteroPhyFull, true),
+        (NetworkKind::UniformSerialTorus, false),
+    ] {
+        let mut net = traced_net(kind, geom, ber, 1);
+        run_traced(&mut net, geom);
+        let ring = net.trace().expect("tracing enabled");
+        assert_eq!(
+            ring.dropped(),
+            0,
+            "{kind}: ring evicted events; span accounting needs the full stream"
+        );
+
+        // Per-pid open span: (inject cycle, last event cycle, event count).
+        let mut open: HashMap<u32, (u64, u64, usize)> = HashMap::new();
+        let mut injects = 0u64;
+        let mut ejects = 0u64;
+        for ev in ring.iter() {
+            match ev.kind {
+                TraceKind::Inject => {
+                    injects += 1;
+                    // Pid recycling: a new inject may only reuse a pid
+                    // whose previous span was closed by an eject.
+                    let prev = open.insert(ev.pid, (ev.cycle, ev.cycle, 1));
+                    assert!(
+                        prev.is_none(),
+                        "{kind}: pid {} re-injected at cycle {} with a span \
+                         still open since cycle {}",
+                        ev.pid,
+                        ev.cycle,
+                        prev.unwrap().0
+                    );
+                }
+                TraceKind::RouteCompute
+                | TraceKind::VcAlloc
+                | TraceKind::SwitchTraverse
+                | TraceKind::Hop
+                | TraceKind::PhyDispatch => {
+                    let span = open.get_mut(&ev.pid).unwrap_or_else(|| {
+                        panic!(
+                            "{kind}: {} for pid {} at cycle {} outside any span",
+                            ev.kind.name(),
+                            ev.pid,
+                            ev.cycle
+                        )
+                    });
+                    // Non-negative per-stage / per-hop cycle delta.
+                    assert!(
+                        ev.cycle >= span.1,
+                        "{kind}: pid {} {} at cycle {} precedes prior event \
+                         at cycle {}",
+                        ev.pid,
+                        ev.kind.name(),
+                        ev.cycle,
+                        span.1
+                    );
+                    span.1 = ev.cycle;
+                    span.2 += 1;
+                }
+                TraceKind::Eject => {
+                    ejects += 1;
+                    let span = open.remove(&ev.pid).unwrap_or_else(|| {
+                        panic!(
+                            "{kind}: eject for pid {} at cycle {} without an inject",
+                            ev.pid, ev.cycle
+                        )
+                    });
+                    assert!(
+                        ev.cycle >= span.1,
+                        "{kind}: pid {} ejected at cycle {} before its last \
+                         event at cycle {}",
+                        ev.pid,
+                        ev.cycle,
+                        span.1
+                    );
+                    // A span has at least route-compute work between its
+                    // endpoints (even a one-hop packet traverses a router).
+                    assert!(span.2 >= 1, "{kind}: empty span for pid {}", ev.pid);
+                }
+                other => panic!(
+                    "{kind}: unexpected kind {} under flit,phy filter",
+                    other.name()
+                ),
+            }
+        }
+        assert!(
+            open.is_empty(),
+            "{kind}: {} spans never ejected on a drained run: pids {:?}",
+            open.len(),
+            open.keys().take(8).collect::<Vec<_>>()
+        );
+        assert_eq!(injects, ejects, "{kind}: inject/eject count mismatch");
+        assert_eq!(
+            ejects,
+            net.collector().delivered_packets,
+            "{kind}: trace ejects diverge from the delivery counter"
+        );
+        assert!(injects > 0, "{kind}: trace recorded no traffic");
+    }
+}
+
+/// The merged trace stream is thread-count invariant: per (lane, id) key
+/// all events come from one owner shard, and the leader's canonical
+/// (key, seq) merge reproduces the serial emission order exactly.
+#[test]
+fn merged_trace_is_thread_count_invariant() {
+    let geom = Geometry::new(2, 2, 2, 2);
+    let mut streams = Vec::new();
+    for threads in [1usize, 4] {
+        let mut net = traced_net(NetworkKind::HeteroPhyFull, geom, true, threads);
+        run_traced(&mut net, geom);
+        let ring = net.trace().expect("tracing enabled");
+        assert_eq!(ring.dropped(), 0);
+        let mut buf: Vec<u8> = Vec::new();
+        ring.to_jsonl(&mut buf).expect("export");
+        streams.push(String::from_utf8(buf).expect("utf8"));
+    }
+    assert!(
+        streams[0] == streams[1],
+        "trace streams diverge between 1 and 4 shard threads"
+    );
+    assert!(!streams[0].is_empty());
+}
