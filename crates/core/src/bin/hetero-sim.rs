@@ -14,11 +14,12 @@
 use chiplet_topo::{Geometry, LinkId, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TraceWorkload, TrafficPattern, Workload};
 use hetero_if::presets::NetworkKind;
-use hetero_if::sim::{run_probed, RunOutcome, RunSpec};
-use hetero_if::sweep::preset_sweep_parallel;
+use hetero_if::sim::{run_probed, run_until, RunOutcome, RunSpec};
+use hetero_if::sweep::{latency_sweep_warm_start, preset_sweep_parallel, SweepPoint};
 use hetero_if::{Network, SchedulingProfile, SimConfig, SimResults};
+use simkit::codec::{ByteReader, ByteWriter, LoadState, SaveState};
 use simkit::probe::{LinkUtilProbe, ProgressProbe};
-use simkit::TraceFilter;
+use simkit::{Cycle, TraceFilter};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProbeKind {
@@ -50,6 +51,10 @@ struct Args {
     ber: f64,
     retry: bool,
     fault_script: Option<String>,
+    checkpoint_out: Option<String>,
+    checkpoint_in: Option<String>,
+    checkpoint_every: Option<Cycle>,
+    warm_start: bool,
 }
 
 fn usage() -> ! {
@@ -94,7 +99,17 @@ fn usage() -> ! {
          --retry      arm the retry link layer even at BER 0 (protocol\n\
          \u{20}            overhead in isolation)\n\
          --fault-script FILE  scripted hard faults (cycle + phy-down/\n\
-         \u{20}            link-down/burst/degrade lines; see chiplet-fault docs)"
+         \u{20}            link-down/burst/degrade lines; see chiplet-fault docs)\n\
+         --checkpoint-out FILE  snapshot the run at the warm-up boundary\n\
+         \u{20}            to FILE and continue (synthetic traffic only)\n\
+         --checkpoint-every N  with --checkpoint-out: snapshot every N\n\
+         \u{20}            cycles instead, each to FILE.<cycle>\n\
+         --checkpoint-in FILE  restore FILE into the (identically\n\
+         \u{20}            configured) network and resume mid-schedule;\n\
+         \u{20}            --shard-threads may differ from the saving run\n\
+         --warm-start  with --sweep: pay the warm-up once, checkpoint it\n\
+         \u{20}            and start every point from the warm state\n\
+         \u{20}            (approximate; reports warm-up cycles saved)"
     );
     std::process::exit(2);
 }
@@ -127,6 +142,10 @@ fn parse() -> Args {
         ber: 0.0,
         retry: false,
         fault_script: None,
+        checkpoint_out: None,
+        checkpoint_in: None,
+        checkpoint_every: None,
+        warm_start: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -219,6 +238,16 @@ fn parse() -> Args {
                     }
                 }
             }
+            "--checkpoint-out" => a.checkpoint_out = Some(val()),
+            "--checkpoint-in" => a.checkpoint_in = Some(val()),
+            "--checkpoint-every" => {
+                a.checkpoint_every = Some(val().parse().unwrap_or_else(|_| usage()));
+                if a.checkpoint_every == Some(0) {
+                    eprintln!("--checkpoint-every must be at least 1");
+                    usage()
+                }
+            }
+            "--warm-start" => a.warm_start = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -374,6 +403,24 @@ fn main() {
         eprintln!("--metrics/--trace apply to single runs, not --sweep");
         std::process::exit(2);
     }
+    if (args.checkpoint_out.is_some() || args.checkpoint_in.is_some())
+        && (args.sweep || args.replay.is_some())
+    {
+        eprintln!("--checkpoint-out/--checkpoint-in apply to single synthetic runs");
+        std::process::exit(2);
+    }
+    if args.checkpoint_every.is_some() && args.checkpoint_out.is_none() {
+        eprintln!("--checkpoint-every requires --checkpoint-out");
+        std::process::exit(2);
+    }
+    if args.checkpoint_out.is_some() && args.probe != ProbeKind::None {
+        eprintln!("--checkpoint-out segments the run; probes are not supported alongside it");
+        std::process::exit(2);
+    }
+    if args.warm_start && !args.sweep {
+        eprintln!("--warm-start requires --sweep");
+        std::process::exit(2);
+    }
     let spec = RunSpec {
         warmup: (args.cycles / 10).max(100),
         measure: args.cycles,
@@ -399,16 +446,30 @@ fn main() {
             rates.push(r);
             r *= 1.5;
         }
-        let points = preset_sweep_parallel(
-            args.network,
-            geom,
-            config,
-            args.policy,
-            args.pattern,
-            &rates,
-            spec,
-            args.threads,
-        );
+        let (points, saved): (Vec<SweepPoint>, Cycle) = if args.warm_start {
+            let warm = latency_sweep_warm_start(
+                || args.network.build(geom, config, args.policy),
+                args.pattern,
+                &rates,
+                config.packet_len,
+                spec,
+                config.seed,
+                args.threads,
+            );
+            (warm.points, warm.warmup_cycles_saved)
+        } else {
+            let points = preset_sweep_parallel(
+                args.network,
+                geom,
+                config,
+                args.policy,
+                args.pattern,
+                &rates,
+                spec,
+                args.threads,
+            );
+            (points, 0)
+        };
         println!(
             "{:>8} {:>12} {:>12} {:>10}",
             "rate", "latency(cy)", "throughput", "status"
@@ -424,6 +485,13 @@ fn main() {
                 } else {
                     "ok"
                 }
+            );
+        }
+        if args.warm_start {
+            println!(
+                "\nwarm-start: {saved} warm-up cycles saved \
+                 (one {}-cycle warm-up shared by every point)",
+                spec.warmup
             );
         }
     } else if let Some(path) = &args.replay {
@@ -460,10 +528,98 @@ fn main() {
         let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
         let mut w =
             SyntheticWorkload::new(nodes, args.pattern, args.rate, args.packet_len, args.seed);
-        let outcome = run_with_probes(&mut net, &mut w, spec, args.probe);
+        if let Some(path) = &args.checkpoint_in {
+            read_checkpoint(path, &mut net, &mut w);
+        }
+        let outcome = if let Some(path) = &args.checkpoint_out {
+            run_checkpointed(&mut net, &mut w, spec, path, args.checkpoint_every)
+        } else {
+            run_with_probes(&mut net, &mut w, spec, args.probe)
+        };
         print_outcome(&outcome);
         export_observability(&net, &args);
     }
+}
+
+/// Runs the schedule, halting at the configured snapshot cycles to write
+/// checkpoint files, then running the rest (drain included) to the end.
+/// With `every == None` a single snapshot is taken at the warm-up
+/// boundary and written to `path`; with `Some(n)` a snapshot is taken
+/// every `n` cycles up to the end of the measurement window, each written
+/// to `path.<cycle>`.
+fn run_checkpointed(
+    net: &mut Network,
+    w: &mut SyntheticWorkload,
+    spec: RunSpec,
+    path: &str,
+    every: Option<Cycle>,
+) -> RunOutcome {
+    let window_end = spec.warmup + spec.measure;
+    let halts: Vec<(Cycle, String)> = match every {
+        None => vec![(spec.warmup, path.to_string())],
+        Some(n) => (1..)
+            .map(|k| k * n)
+            .take_while(|&h| h < window_end)
+            .map(|h| (h, format!("{path}.{h}")))
+            .collect(),
+    };
+    for (halt, file) in halts {
+        if halt < net.now() {
+            continue;
+        }
+        match run_until(net, w, spec, halt) {
+            None => write_checkpoint(&file, net, w),
+            Some(outcome) => return outcome, // stalled before the snapshot
+        }
+    }
+    run_probed(net, w, spec, &mut [])
+}
+
+/// CLI checkpoint file layout: `u64-LE engine-blob length | engine blob
+/// ([`Network::checkpoint`]) | workload blob` (the synthetic workload's
+/// RNG stream position — which is why checkpointing is synthetic-only).
+fn write_checkpoint(path: &str, net: &Network, w: &SyntheticWorkload) {
+    let engine = net.checkpoint();
+    let mut wl = ByteWriter::new();
+    w.save_state(&mut wl);
+    let wl = wl.into_bytes();
+    let mut out = Vec::with_capacity(8 + engine.len() + wl.len());
+    out.extend_from_slice(&(engine.len() as u64).to_le_bytes());
+    out.extend_from_slice(&engine);
+    out.extend_from_slice(&wl);
+    std::fs::write(path, &out).unwrap_or_else(|e| {
+        eprintln!("cannot write checkpoint {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote checkpoint at cycle {} ({} bytes) to {path}",
+        net.now(),
+        out.len()
+    );
+}
+
+/// Restores a [`write_checkpoint`] file into a freshly built network and
+/// workload. The network must be built from the same configuration and
+/// topology as the saving run ([`Network::restore`] verifies this);
+/// `--shard-threads` is free to differ.
+fn read_checkpoint(path: &str, net: &mut Network, w: &mut SyntheticWorkload) {
+    let die = |msg: String| -> ! {
+        eprintln!("cannot restore checkpoint {path}: {msg}");
+        std::process::exit(1);
+    };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| die(e.to_string()));
+    if bytes.len() < 8 {
+        die("file too short for the length header".to_string());
+    }
+    let len = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte slice")) as usize;
+    if bytes.len() - 8 < len {
+        die("engine blob truncated".to_string());
+    }
+    net.restore(&bytes[8..8 + len])
+        .unwrap_or_else(|e| die(e.to_string()));
+    let mut r = ByteReader::new(&bytes[8 + len..]);
+    w.load_state(&mut r).unwrap_or_else(|e| die(e.to_string()));
+    println!("restored checkpoint at cycle {} from {path}", net.now());
 }
 
 /// Trace ring capacity for CLI runs: large enough for tens of thousands

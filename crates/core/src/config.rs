@@ -171,6 +171,13 @@ impl SimConfig {
     }
 
     /// Replaces the shard-thread count (0 = auto from core count).
+    ///
+    /// An explicit override always wins over the `HETERO_SIM_THREADS`
+    /// pin that seeded [`SimConfig::default`] — in particular, a network
+    /// built with this override and then fed a checkpoint
+    /// ([`crate::Network::restore`]) runs at *this* shard count, not the
+    /// saving run's and not the environment's (`tests/env_pin.rs` pins
+    /// this; checkpoints are shard-count-portable by design).
     pub fn with_shard_threads(mut self, threads: usize) -> Self {
         self.shard_threads = threads;
         self

@@ -16,13 +16,16 @@
 //! golden_traces` only when a change is *supposed* to alter results.
 
 use crate::config::SimConfig;
+use crate::network::Network;
 use crate::presets::NetworkKind;
 use crate::scheduler::SchedulingProfile;
-use crate::sim::{run, RunSpec};
+use crate::sim::{run, run_until, RunOutcome, RunSpec};
 use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
 use chiplet_phy::PhyKind;
 use chiplet_topo::{Geometry, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use simkit::codec::{ByteReader, ByteWriter, LoadState, SaveState};
+use simkit::Cycle;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -112,7 +115,10 @@ impl Scenario {
         self.digest_inner(threads, true)
     }
 
-    fn digest_inner(&self, threads: usize, instrument: bool) -> String {
+    /// Builds the scenario's network, pinned to `threads` shard threads,
+    /// with its fault script installed and (optionally) the full
+    /// observability layer armed.
+    pub fn build_net(&self, threads: usize, instrument: bool) -> Network {
         let geom = Geometry::new(2, 2, 2, 2);
         let mut config = SimConfig::default()
             .with_seed(self.seed)
@@ -155,48 +161,100 @@ impl Scenario {
             net.enable_metrics();
             net.enable_trace(4096, simkit::TraceFilter::all());
         }
-        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
-        let mut workload =
-            SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.12, 16, self.seed);
-        let out = run(&mut net, &mut workload, RunSpec::smoke());
-        let r = &out.results;
-        let c = net.collector();
-        let mut s = String::new();
-        let mut kv = |k: &str, v: String| {
-            let _ = writeln!(s, "{k}={v}");
-        };
-        kv("drained", out.drained.to_string());
-        kv("deadlocked", out.deadlocked.to_string());
-        kv("fault_stalled", out.fault_stalled.to_string());
-        kv("nodes", r.nodes.to_string());
-        kv("cycles", r.cycles.to_string());
-        kv("packets", r.packets.to_string());
-        kv("avg_latency", r.avg_latency.to_string());
-        kv("latency_std", r.latency_std.to_string());
-        kv("max_latency", r.max_latency.to_string());
-        kv("p50_latency", r.p50_latency.to_string());
-        kv("p99_latency", r.p99_latency.to_string());
-        kv("avg_net_latency", r.avg_net_latency.to_string());
-        kv("avg_high_latency", r.avg_high_latency.to_string());
-        kv("max_high_latency", r.max_high_latency.to_string());
-        kv("avg_hops", r.avg_hops.to_string());
-        kv("throughput", r.throughput.to_string());
-        kv("avg_energy_pj", r.avg_energy_pj.to_string());
-        kv("avg_onchip_pj", r.avg_onchip_pj.to_string());
-        kv("avg_parallel_pj", r.avg_parallel_pj.to_string());
-        kv("avg_serial_pj", r.avg_serial_pj.to_string());
-        kv("locked_fraction", r.locked_fraction.to_string());
-        kv("backlog", r.backlog.to_string());
-        kv("corrupted_flits", r.corrupted_flits.to_string());
-        kv("retransmitted_flits", r.retransmitted_flits.to_string());
-        kv("failovers", r.failovers.to_string());
-        kv("delivered_packets", c.delivered_packets.to_string());
-        kv("delivered_flits", c.delivered_flits.to_string());
-        kv("retry_naks", c.retry_naks.to_string());
-        kv("retry_timeouts", c.retry_timeouts.to_string());
-        kv("faults_applied", c.faults_applied.to_string());
-        s
+        net
     }
+
+    /// The scenario's fixed workload.
+    pub fn workload(&self) -> SyntheticWorkload {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.12, 16, self.seed)
+    }
+
+    fn digest_inner(&self, threads: usize, instrument: bool) -> String {
+        let mut net = self.build_net(threads, instrument);
+        let mut workload = self.workload();
+        let out = run(&mut net, &mut workload, RunSpec::smoke());
+        render_digest(&out, &net)
+    }
+
+    /// Like [`Scenario::digest_at_threads`], but the run is halted at
+    /// cycle `halt`, checkpointed ([`Network::checkpoint`]), restored
+    /// into a *freshly built* network pinned to `restore_threads` shard
+    /// threads (the workload round-trips through its own save/load), and
+    /// resumed to completion. The checkpoint bit-identity contract says
+    /// this digest is string-equal to the uninterrupted one — the
+    /// `checkpoint_matrix` integration test pins all fixtures this way.
+    pub fn digest_checkpointed(
+        &self,
+        halt: Cycle,
+        save_threads: usize,
+        restore_threads: usize,
+        instrument: bool,
+    ) -> String {
+        let mut net = self.build_net(save_threads, instrument);
+        let mut workload = self.workload();
+        let halted = run_until(&mut net, &mut workload, RunSpec::smoke(), halt);
+        assert!(
+            halted.is_none(),
+            "golden scenarios must reach the halt point at cycle {halt}"
+        );
+        let blob = net.checkpoint();
+        let mut wblob = ByteWriter::new();
+        workload.save_state(&mut wblob);
+        let wblob = wblob.into_bytes();
+
+        let mut net = self.build_net(restore_threads, instrument);
+        let mut workload = self.workload();
+        net.restore(&blob)
+            .expect("a checkpoint restores into an identically-configured network");
+        workload
+            .load_state(&mut ByteReader::new(&wblob))
+            .expect("the workload blob round-trips");
+        let out = run(&mut net, &mut workload, RunSpec::smoke());
+        render_digest(&out, &net)
+    }
+}
+
+/// Formats a completed run into the digest text (see [`Scenario::digest`]).
+fn render_digest(out: &RunOutcome, net: &Network) -> String {
+    let r = &out.results;
+    let c = net.collector();
+    let mut s = String::new();
+    let mut kv = |k: &str, v: String| {
+        let _ = writeln!(s, "{k}={v}");
+    };
+    kv("drained", out.drained.to_string());
+    kv("deadlocked", out.deadlocked.to_string());
+    kv("fault_stalled", out.fault_stalled.to_string());
+    kv("nodes", r.nodes.to_string());
+    kv("cycles", r.cycles.to_string());
+    kv("packets", r.packets.to_string());
+    kv("avg_latency", r.avg_latency.to_string());
+    kv("latency_std", r.latency_std.to_string());
+    kv("max_latency", r.max_latency.to_string());
+    kv("p50_latency", r.p50_latency.to_string());
+    kv("p99_latency", r.p99_latency.to_string());
+    kv("avg_net_latency", r.avg_net_latency.to_string());
+    kv("avg_high_latency", r.avg_high_latency.to_string());
+    kv("max_high_latency", r.max_high_latency.to_string());
+    kv("avg_hops", r.avg_hops.to_string());
+    kv("throughput", r.throughput.to_string());
+    kv("avg_energy_pj", r.avg_energy_pj.to_string());
+    kv("avg_onchip_pj", r.avg_onchip_pj.to_string());
+    kv("avg_parallel_pj", r.avg_parallel_pj.to_string());
+    kv("avg_serial_pj", r.avg_serial_pj.to_string());
+    kv("locked_fraction", r.locked_fraction.to_string());
+    kv("backlog", r.backlog.to_string());
+    kv("corrupted_flits", r.corrupted_flits.to_string());
+    kv("retransmitted_flits", r.retransmitted_flits.to_string());
+    kv("failovers", r.failovers.to_string());
+    kv("delivered_packets", c.delivered_packets.to_string());
+    kv("delivered_flits", c.delivered_flits.to_string());
+    kv("retry_naks", c.retry_naks.to_string());
+    kv("retry_timeouts", c.retry_timeouts.to_string());
+    kv("faults_applied", c.faults_applied.to_string());
+    s
 }
 
 /// The full golden matrix: every preset × every seed, clean, plus

@@ -46,6 +46,9 @@
 //!   scripts; [`Network::set_fault_script`] schedules hard failures);
 //! * [`golden`] — the golden-trace matrix pinning the bit-identity
 //!   contract that hot-path optimizations must preserve;
+//! * [`checkpoint`] — snapshot-exact save/restore of a running network
+//!   ([`Network::checkpoint`] / [`Network::restore`] /
+//!   [`Network::fork_with`]), restorable at a different shard count;
 //! * [`energy`] — the §8.3 energy model;
 //! * [`economy`] — the §10 chiplet-reuse cost model;
 //! * [`results`] — aggregated metrics.
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod economy;
 pub mod energy;
@@ -67,6 +71,7 @@ mod shard;
 pub mod sim;
 pub mod sweep;
 
+pub use checkpoint::CHECKPOINT_VERSION;
 pub use chiplet_fault::{FaultConfig, FaultScript};
 pub use config::{BandwidthMode, SimConfig};
 pub use energy::EnergyModel;

@@ -83,13 +83,16 @@ impl Drop for StopOnDrop<'_> {
 }
 
 /// Runs the schedule with the cycle loop spread over the engine's shards.
-/// The workload and probes never leave the calling thread.
+/// The workload and probes never leave the calling thread. A `halt_at`
+/// boundary (see [`crate::sim::run_until`]) returns `None` with the pool
+/// shut down cleanly and the engine parked at that cycle.
 pub(crate) fn run_parallel(
     net: &mut Network,
     workload: &mut dyn Workload,
     spec: RunSpec,
     probes: &mut [&mut dyn Probe],
-) -> RunOutcome {
+    halt_at: Option<Cycle>,
+) -> Option<RunOutcome> {
     // Split the network into the worker-shared immutable description +
     // engine, and the leader-held mutable hub.
     let Network {
@@ -174,7 +177,7 @@ pub(crate) fn run_parallel(
         // Establish the invariant every step relies on: all workers
         // parked at gate A before the leader's serial window opens.
         leader.sync(&gates.a);
-        drive(&mut leader, workload, spec, probes)
+        drive(&mut leader, workload, spec, probes, halt_at)
         // _stop_guard drops here, waking and terminating the pool; the
         // scope then joins every worker before returning.
     })

@@ -38,6 +38,7 @@ use chiplet_noc::{
 use chiplet_phy::{HeteroPhyLink, PhyKind};
 use chiplet_topo::routing::{RouteTable, Routing};
 use chiplet_topo::{LinkClass, LinkId, NodeId, SystemTopology};
+use simkit::codec::{ByteReader, ByteWriter, CodecError};
 use simkit::metrics::{MetricId, MetricsSlice};
 use simkit::probe::{DeliveryEvent, LinkEvent};
 use simkit::trace::{link_event_code, link_key, node_key, TraceKind, Tracer, NO_PID};
@@ -159,6 +160,80 @@ impl FaultCore {
     fn lane_cap(&self, li: usize) -> Option<u8> {
         self.links[li].lane_cap
     }
+
+    /// Serializes one link's fault state (checkpoint LINK section). The
+    /// RNG stream position matters even when `p == 0` at build time: a
+    /// scripted burst may arm draws later.
+    pub fn save_link(&self, li: usize, w: &mut ByteWriter) {
+        let lf = &self.links[li];
+        for word in lf.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_f64(lf.p);
+        w.put_f64(lf.burst_mult);
+        w.put_u64(lf.burst_until);
+        w.put_bool(lf.blocked);
+        match lf.lane_cap {
+            Some(cap) => {
+                w.put_bool(true);
+                w.put_u8(cap);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Decodes one link's fault state written by [`Self::save_link`].
+    pub fn read_link(r: &mut ByteReader) -> Result<LinkFaultSnap, CodecError> {
+        let mut rng = [0u64; 4];
+        for word in &mut rng {
+            *word = r.get_u64()?;
+        }
+        let p = r.get_f64()?;
+        let burst_mult = r.get_f64()?;
+        let burst_until = r.get_u64()?;
+        let blocked = r.get_bool()?;
+        let lane_cap = if r.get_bool()? {
+            Some(r.get_u8()?)
+        } else {
+            None
+        };
+        Ok(LinkFaultSnap {
+            rng,
+            p,
+            burst_mult,
+            burst_until,
+            blocked,
+            lane_cap,
+        })
+    }
+
+    /// Overlays a decoded link-fault snapshot. Restore applies the same
+    /// snapshot to *every* shard's core (each shard holds the full core;
+    /// only the owner draws, so identical copies keep the partition
+    /// results-invisible).
+    pub fn apply_link(&mut self, li: usize, s: &LinkFaultSnap) {
+        let lf = &mut self.links[li];
+        lf.rng = SimRng::from_state(s.rng);
+        lf.p = s.p;
+        lf.burst_mult = s.burst_mult;
+        lf.burst_until = s.burst_until;
+        lf.blocked = s.blocked;
+        lf.lane_cap = s.lane_cap;
+    }
+}
+
+/// A decoded [`LinkFault`] (checkpoint restore intermediary; read once,
+/// applied to every shard's [`FaultCore`] copy).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkFaultSnap {
+    rng: [u64; 4],
+    p: f64,
+    burst_mult: f64,
+    burst_until: Cycle,
+    /// Whether the link was hard-down at save time (restore replays the
+    /// topology edit and route-table invalidation for these).
+    pub blocked: bool,
+    lane_cap: Option<u8>,
 }
 
 /// The static shard layout: which shard owns each node and link.
@@ -302,6 +377,45 @@ impl Nic {
     pub fn pending(&self) -> usize {
         self.queue.len() + usize::from(self.cur.is_some())
     }
+
+    /// Serializes the NIC's dynamic state: the backlog of queued packet
+    /// ids plus the in-progress injection cursor.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.queue.len());
+        for pid in &self.queue {
+            w.put_u32(pid.0);
+        }
+        match self.cur {
+            Some(st) => {
+                w.put_bool(true);
+                w.put_u32(st.pid.0);
+                w.put_u16(st.next_seq);
+                w.put_u8(st.vc);
+                w.put_u16(st.len);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Overlays state written by [`Self::save_state`].
+    pub fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        let n = r.get_usize()?;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(PacketId(r.get_u32()?));
+        }
+        self.cur = if r.get_bool()? {
+            Some(InjectState {
+                pid: PacketId(r.get_u32()?),
+                next_seq: r.get_u16()?,
+                vc: r.get_u8()?,
+                len: r.get_u16()?,
+            })
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 /// One shard's mutable simulation state.
@@ -387,6 +501,18 @@ impl Shard {
             activity: false,
             active_cycles: 0,
         }
+    }
+
+    /// Whether every per-cycle scratch buffer is empty. True exactly at
+    /// the between-cycles checkpoint boundary: out-buffers are flushed
+    /// within their phase and observation buffers are cleared at merge,
+    /// so none of them carry state a checkpoint would need.
+    pub fn scratch_empty(&self) -> bool {
+        self.out_flits.iter().all(Vec::is_empty)
+            && self.out_credits.iter().all(Vec::is_empty)
+            && self.deliveries.is_empty()
+            && self.link_events.is_empty()
+            && self.flit_hops.is_empty()
     }
 
     /// Phase 1 of a cycle: inbound credit replay → credit stage → media

@@ -120,10 +120,59 @@ pub fn run_probed(
     spec: RunSpec,
     probes: &mut [&mut dyn Probe],
 ) -> RunOutcome {
+    dispatch(net, workload, spec, probes, None).expect("a run without a halt point completes")
+}
+
+/// Like [`run`], but halts at the start of cycle `halt_at` — before that
+/// cycle's workload poll — returning `None` with the network parked at a
+/// between-cycles boundary, ready for [`Network::checkpoint`].
+///
+/// The schedule is *resumable*: running a freshly restored network (one
+/// whose [`Network::now`] already sits mid-schedule) with the same spec
+/// continues exactly where the saved run halted — warm-up cycles already
+/// behind the checkpoint are skipped, and the measurement window closes
+/// at the same absolute cycle. A halted-then-resumed run is bit-identical
+/// to an uninterrupted one (the golden checkpoint matrix pins this).
+///
+/// Returns `Some(outcome)` when the run ends before reaching `halt_at`
+/// (deadlock or fault stall).
+///
+/// # Panics
+///
+/// Panics if `halt_at` is in the past or beyond the end of the
+/// measurement window (`spec.warmup + spec.measure`) — the drain phase
+/// has no well-defined resume point.
+pub fn run_until(
+    net: &mut Network,
+    workload: &mut dyn Workload,
+    spec: RunSpec,
+    halt_at: Cycle,
+) -> Option<RunOutcome> {
+    run_until_probed(net, workload, spec, &mut [], halt_at)
+}
+
+/// [`run_until`] with observability probes attached.
+pub fn run_until_probed(
+    net: &mut Network,
+    workload: &mut dyn Workload,
+    spec: RunSpec,
+    probes: &mut [&mut dyn Probe],
+    halt_at: Cycle,
+) -> Option<RunOutcome> {
+    dispatch(net, workload, spec, probes, Some(halt_at))
+}
+
+fn dispatch(
+    net: &mut Network,
+    workload: &mut dyn Workload,
+    spec: RunSpec,
+    probes: &mut [&mut dyn Probe],
+    halt_at: Option<Cycle>,
+) -> Option<RunOutcome> {
     if net.num_shards() > 1 {
-        crate::parallel::run_parallel(net, workload, spec, probes)
+        crate::parallel::run_parallel(net, workload, spec, probes, halt_at)
     } else {
-        drive(net, workload, spec, probes)
+        drive(net, workload, spec, probes, halt_at)
     }
 }
 
@@ -180,12 +229,33 @@ impl CycleDriver for Network {
 }
 
 /// The warm-up → measure → drain schedule over any [`CycleDriver`].
+///
+/// Phase boundaries are *absolute cycles* (`spec.warmup`,
+/// `spec.warmup + spec.measure`), not counted loops, so a driver whose
+/// clock already sits mid-schedule — a restored checkpoint — resumes in
+/// the right phase and runs the same total cycles as an uninterrupted
+/// run. On a fresh driver (`now == 0`) this is the classic schedule.
+/// `halt_at` stops the run at the start of that cycle (before its
+/// workload poll) and returns `None`; the driver is then parked at a
+/// between-cycles boundary.
 pub(crate) fn drive<D: CycleDriver>(
     net: &mut D,
     workload: &mut dyn Workload,
     spec: RunSpec,
     probes: &mut [&mut dyn Probe],
-) -> RunOutcome {
+    halt_at: Option<Cycle>,
+) -> Option<RunOutcome> {
+    let initial = net.now();
+    if let Some(h) = halt_at {
+        assert!(
+            h >= initial,
+            "halt point {h} is in the past (now = {initial})"
+        );
+        assert!(
+            h <= spec.warmup + spec.measure,
+            "halt point {h} is beyond the measurement window"
+        );
+    }
     let mut buf = Vec::new();
     let mut deadlocked = false;
     let mut fault_stalled = false;
@@ -232,19 +302,44 @@ pub(crate) fn drive<D: CycleDriver>(
     }
 
     phase_change!(Phase::Warmup);
-    for _ in 0..spec.warmup {
-        if !cycle!(true) {
-            break;
-        }
-    }
-    net.start_measurement();
-    phase_change!(Phase::Measure);
-    let measure_start = net.now();
-    if !(deadlocked || fault_stalled) {
-        for _ in 0..spec.measure {
+    if initial <= spec.warmup {
+        while net.now() < spec.warmup {
+            if halt_at == Some(net.now()) {
+                return None;
+            }
             if !cycle!(true) {
                 break;
             }
+        }
+        if !(deadlocked || fault_stalled)
+            && halt_at == Some(spec.warmup)
+            && net.now() == spec.warmup
+        {
+            return None;
+        }
+        // A resume past the warm-up boundary must NOT re-arm measurement:
+        // the restored `measure_from` already marks the original start.
+        net.start_measurement();
+    }
+    phase_change!(Phase::Measure);
+    let measure_start = if initial > spec.warmup {
+        spec.warmup
+    } else {
+        net.now()
+    };
+    let window_end = spec.warmup + spec.measure;
+    if !(deadlocked || fault_stalled) {
+        while net.now() < window_end {
+            if halt_at == Some(net.now()) {
+                return None;
+            }
+            if !cycle!(true) {
+                break;
+            }
+        }
+        if !(deadlocked || fault_stalled) && halt_at == Some(window_end) && net.now() == window_end
+        {
+            return None;
         }
     }
     let cycles = net.now() - measure_start;
@@ -270,12 +365,12 @@ pub(crate) fn drive<D: CycleDriver>(
         drained = false;
     }
     let results = SimResults::from_collector(net.collector(), net.nodes(), cycles, backlog);
-    RunOutcome {
+    Some(RunOutcome {
         results,
         drained,
         deadlocked,
         fault_stalled,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -11,15 +11,20 @@
 //!   re-applies the sequential early-exit rule, and workers skip points
 //!   only when enough earlier points are already known saturated that the
 //!   sequential sweep provably never reaches them.
+//!
+//! [`latency_sweep_warm_start`] additionally amortizes the warm-up: it
+//! pays it once, checkpoints the warmed network and starts every point
+//! from the restored state (an approximation — see its docs).
 
 use crate::config::SimConfig;
 use crate::network::Network;
 use crate::presets::NetworkKind;
 use crate::results::SimResults;
 use crate::scheduler::SchedulingProfile;
-use crate::sim::{run, RunSpec};
+use crate::sim::{run, run_until, RunSpec};
 use chiplet_topo::{Geometry, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use simkit::Cycle;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -98,9 +103,45 @@ pub fn latency_sweep_parallel(
     seed: u64,
     threads: usize,
 ) -> Vec<SweepPoint> {
+    sweep_executor(
+        |rate| {
+            let mut net = build();
+            run_point(&mut net, pattern, rate, packet_len, spec, seed)
+        },
+        rates,
+        threads,
+    )
+    .0
+}
+
+/// The shared sweep machinery behind [`latency_sweep_parallel`] and
+/// [`latency_sweep_warm_start`]: runs `run_at(rate)` for each rate on a
+/// pool of `threads` workers, re-applies the sequential early-exit rule,
+/// and also reports how many points actually executed (the warm-start
+/// savings accounting needs the executed count, not the reported one —
+/// workers may finish points the truncation later drops).
+fn sweep_executor(
+    run_at: impl Fn(f64) -> SweepPoint + Sync,
+    rates: &[f64],
+    threads: usize,
+) -> (Vec<SweepPoint>, usize) {
     let threads = threads.clamp(1, rates.len().max(1));
     if threads <= 1 {
-        return latency_sweep(build, pattern, rates, packet_len, spec, seed);
+        let mut out = Vec::new();
+        let mut past_saturation = 0;
+        for &rate in rates {
+            let point = run_at(rate);
+            let saturated = point.results.is_saturated();
+            out.push(point);
+            if saturated {
+                past_saturation += 1;
+                if past_saturation >= 2 {
+                    break;
+                }
+            }
+        }
+        let executed = out.len();
+        return (out, executed);
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<SweepPoint>>> = rates.iter().map(|_| Mutex::new(None)).collect();
@@ -120,8 +161,7 @@ pub fn latency_sweep_parallel(
                         continue;
                     }
                 }
-                let mut net = build();
-                let point = run_point(&mut net, pattern, rates[i], packet_len, spec, seed);
+                let point = run_at(rates[i]);
                 let is_sat = point.results.is_saturated();
                 *slots[i].lock().expect("sweep slot") = Some(point);
                 if is_sat {
@@ -130,6 +170,10 @@ pub fn latency_sweep_parallel(
             });
         }
     });
+    let executed = slots
+        .iter()
+        .filter(|s| s.lock().expect("sweep slot").is_some())
+        .count();
     // Post-pass: replay the sequential truncation over the computed
     // points so the output is indistinguishable from `latency_sweep`.
     let mut out = Vec::new();
@@ -147,7 +191,79 @@ pub fn latency_sweep_parallel(
             }
         }
     }
-    out
+    (out, executed)
+}
+
+/// A warm-started sweep: the points plus how many warm-up cycles the
+/// shared checkpoint avoided re-simulating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmSweep {
+    /// Sweep points, truncated by the sequential early-exit rule.
+    pub points: Vec<SweepPoint>,
+    /// Warm-up cycles skipped across all executed points thanks to the
+    /// shared warm checkpoint. The first warm-up is paid once to build
+    /// the checkpoint, so `n` executed points save `warmup × (n − 1)`
+    /// cycles over a cold sweep.
+    pub warmup_cycles_saved: Cycle,
+}
+
+/// Warm-start variant of [`latency_sweep_parallel`]: pays the warm-up
+/// once — at the first (lightest) rate — checkpoints the warmed network
+/// ([`Network::checkpoint`]) and starts every sweep point from the
+/// restored state instead of re-simulating its own warm-up.
+///
+/// This is an *approximation mode*: each point resumes the warm state
+/// reached under the first rate with a fresh workload at its own rate, so
+/// results are close to — but not bit-identical with — a cold sweep
+/// (whose every point warms up under its own rate). Use it for dense
+/// sweeps where warm-up dominates the schedule;
+/// [`latency_sweep_parallel`] keeps the exact cold semantics.
+///
+/// Falls back to a cold sweep (`warmup_cycles_saved == 0`) when there is
+/// nothing to save (`warmup == 0`, fewer than two rates) or the warm-up
+/// run itself ends early (deadlock or fault stall).
+#[allow(clippy::too_many_arguments)]
+pub fn latency_sweep_warm_start(
+    build: impl Fn() -> Network + Sync,
+    pattern: TrafficPattern,
+    rates: &[f64],
+    packet_len: u16,
+    spec: RunSpec,
+    seed: u64,
+    threads: usize,
+) -> WarmSweep {
+    let cold = |build: &(dyn Fn() -> Network + Sync)| WarmSweep {
+        points: latency_sweep_parallel(build, pattern, rates, packet_len, spec, seed, threads),
+        warmup_cycles_saved: 0,
+    };
+    if spec.warmup == 0 || rates.len() < 2 {
+        return cold(&build);
+    }
+    let blob = {
+        let mut net = build();
+        let nodes: Vec<NodeId> = (0..net.topology().geometry().nodes()).map(NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, pattern, rates[0], packet_len, seed);
+        if run_until(&mut net, &mut w, spec, spec.warmup).is_some() {
+            // The warm-up aborted (deadlock or fault stall): every cold
+            // point would abort the same way, so warm-starting is moot.
+            return cold(&build);
+        }
+        net.checkpoint()
+    };
+    let (points, executed) = sweep_executor(
+        |rate| {
+            let mut net = build();
+            net.restore(&blob)
+                .expect("the warm checkpoint restores into an identically-built network");
+            run_point(&mut net, pattern, rate, packet_len, spec, seed)
+        },
+        rates,
+        threads,
+    );
+    WarmSweep {
+        points,
+        warmup_cycles_saved: spec.warmup * executed.saturating_sub(1) as Cycle,
+    }
 }
 
 /// Convenience: sweeps one paper preset on `geom`.
@@ -253,5 +369,46 @@ mod tests {
     #[test]
     fn saturation_rate_of_empty_is_none() {
         assert_eq!(saturation_rate(&[]), None);
+    }
+
+    #[test]
+    fn warm_start_sweep_skips_warmup_and_reports_savings() {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let config = SimConfig::default();
+        let rates = [0.02, 0.08, 0.14];
+        let spec = RunSpec::smoke();
+        let warm = latency_sweep_warm_start(
+            || NetworkKind::UniformParallelMesh.build(geom, config, SchedulingProfile::balanced()),
+            TrafficPattern::Uniform,
+            &rates,
+            config.packet_len,
+            spec,
+            config.seed,
+            2,
+        );
+        assert_eq!(warm.points.len(), rates.len());
+        // Three executed points share one paid warm-up: two are saved.
+        assert_eq!(warm.warmup_cycles_saved, spec.warmup * 2);
+        for p in &warm.points {
+            assert!(p.results.packets > 0, "rate {} produced no traffic", p.rate);
+            assert!(p.drained, "light load must drain at rate {}", p.rate);
+        }
+        // The curve still behaves like a latency–injection curve.
+        assert!(
+            warm.points.last().unwrap().results.avg_latency
+                >= warm.points.first().unwrap().results.avg_latency * 0.9
+        );
+        // Warm-starting is deterministic: the same call reproduces the
+        // same points bit-for-bit at any worker count.
+        let again = latency_sweep_warm_start(
+            || NetworkKind::UniformParallelMesh.build(geom, config, SchedulingProfile::balanced()),
+            TrafficPattern::Uniform,
+            &rates,
+            config.packet_len,
+            spec,
+            config.seed,
+            1,
+        );
+        assert_eq!(again.points, warm.points);
     }
 }

@@ -19,6 +19,7 @@
 //! [`FlitArena::in_flight`] of zero.
 
 use crate::flit::Flit;
+use simkit::codec::{ByteReader, ByteWriter, CodecError};
 
 /// A recycling slab: values keep their index for life, freed indices are
 /// reused LIFO.
@@ -103,6 +104,75 @@ impl<T> Slab<T> {
     pub fn allocated_total(&self) -> u64 {
         self.allocated_total
     }
+
+    /// Overwrites the lifetime-allocation counter (checkpoint restore).
+    pub fn set_allocated_total(&mut self, v: u64) {
+        self.allocated_total = v;
+    }
+
+    /// Serializes the slab exactly — slot array length, freelist order,
+    /// lifetime counter and every *live* slot's value (via `f`). Free
+    /// slots hold stale, contractually unreadable values, so they are
+    /// not written.
+    ///
+    /// Exact freelist order matters when slot indices are observable:
+    /// packet ids surface in traces, so `PacketStore` must recycle ids
+    /// in the saved order to stay bit-identical after a restore.
+    pub fn save_state_with(&self, w: &mut ByteWriter, mut f: impl FnMut(&T, &mut ByteWriter)) {
+        w.put_usize(self.slots.len());
+        w.put_usize(self.free.len());
+        for &i in &self.free {
+            w.put_u32(i);
+        }
+        w.put_u64(self.allocated_total);
+        let mut is_free = vec![false; self.slots.len()];
+        for &i in &self.free {
+            is_free[i as usize] = true;
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !is_free[i] {
+                f(slot, w);
+            }
+        }
+    }
+
+    /// Rebuilds the slab from [`Self::save_state_with`] output. Free
+    /// slots are filled with `dummy()` placeholders (never read before
+    /// the next overwrite, by the slab contract).
+    pub fn load_state_with(
+        &mut self,
+        r: &mut ByteReader,
+        mut f: impl FnMut(&mut ByteReader) -> Result<T, CodecError>,
+        dummy: impl Fn() -> T,
+    ) -> Result<(), CodecError> {
+        let slots = r.get_usize()?;
+        let nfree = r.get_usize()?;
+        if nfree > slots {
+            return Err(CodecError::Corrupt("slab freelist length"));
+        }
+        let mut free = Vec::with_capacity(nfree);
+        let mut is_free = vec![false; slots];
+        for _ in 0..nfree {
+            let i = r.get_u32()?;
+            if (i as usize) >= slots || is_free[i as usize] {
+                return Err(CodecError::Corrupt("slab freelist entry"));
+            }
+            is_free[i as usize] = true;
+            free.push(i);
+        }
+        self.allocated_total = r.get_u64()?;
+        self.slots.clear();
+        for freed in &is_free {
+            if *freed {
+                self.slots.push(dummy());
+            } else {
+                self.slots.push(f(r)?);
+            }
+        }
+        self.free = free;
+        self.live = slots - nfree;
+        Ok(())
+    }
 }
 
 /// A copyable handle to a flit living in a [`FlitArena`].
@@ -183,6 +253,18 @@ impl FlitArena {
     #[inline]
     pub fn allocated_total(&self) -> u64 {
         self.slab.allocated_total()
+    }
+
+    /// Overwrites the lifetime-admission counter.
+    ///
+    /// Flit handles are *not* observable (traces and results carry
+    /// packet ids, never `FlitRef` values), so a checkpoint stores
+    /// in-flight flits by value and re-admits them into fresh arenas on
+    /// restore — which is what makes restoring at a different shard
+    /// count possible. Only the global admission total is preserved,
+    /// via this setter.
+    pub fn set_allocated_total(&mut self, v: u64) {
+        self.slab.set_allocated_total(v);
     }
 }
 

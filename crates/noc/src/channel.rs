@@ -11,6 +11,7 @@
 //! buffers.
 
 use crate::flit::Flit;
+use simkit::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use simkit::Cycle;
 use std::collections::VecDeque;
 
@@ -119,6 +120,44 @@ impl<T: Copy> DelayLine<T> {
     pub fn in_flight(&self) -> usize {
         self.q.len()
     }
+
+    /// Iterates the queued payloads in delivery order (checkpoint and
+    /// invariant accounting; does not consume).
+    pub fn iter_in_flight(&self) -> impl Iterator<Item = &T> {
+        self.q.iter().map(|(_, t)| t)
+    }
+
+    /// Serializes the line's dynamic state, writing each queued payload
+    /// via `f`. Latency and bandwidth are static config, rebuilt by the
+    /// restore target, not saved.
+    pub fn save_state_with(&self, w: &mut ByteWriter, mut f: impl FnMut(&T, &mut ByteWriter)) {
+        w.put_u64(self.sent_cycle);
+        w.put_u8(self.sent_count);
+        w.put_usize(self.q.len());
+        for (at, t) in &self.q {
+            w.put_u64(*at);
+            f(t, w);
+        }
+    }
+
+    /// Overlays state written by [`Self::save_state_with`], reading each
+    /// payload via `f`.
+    pub fn load_state_with(
+        &mut self,
+        r: &mut ByteReader,
+        mut f: impl FnMut(&mut ByteReader) -> Result<T, CodecError>,
+    ) -> Result<(), CodecError> {
+        self.sent_cycle = r.get_u64()?;
+        self.sent_count = r.get_u8()?;
+        let n = r.get_usize()?;
+        self.q.clear();
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            let t = f(r)?;
+            self.q.push_back((at, t));
+        }
+        Ok(())
+    }
 }
 
 /// The reverse-direction credit pipeline of a link.
@@ -163,6 +202,34 @@ impl CreditLine {
     #[inline]
     pub fn in_flight(&self) -> usize {
         self.q.len()
+    }
+
+    /// Iterates pending credits as `(arrival cycle, vc)` in order.
+    pub fn iter_pending(&self) -> impl Iterator<Item = &(Cycle, u8)> {
+        self.q.iter()
+    }
+}
+
+impl SaveState for CreditLine {
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.q.len());
+        for &(at, vc) in &self.q {
+            w.put_u64(at);
+            w.put_u8(vc);
+        }
+    }
+}
+
+impl LoadState for CreditLine {
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        let n = r.get_usize()?;
+        self.q.clear();
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            let vc = r.get_u8()?;
+            self.q.push_back((at, vc));
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Flits: the flow-control units packets are segmented into.
 
 use crate::packet::PacketId;
+use simkit::codec::{ByteReader, ByteWriter, CodecError, SaveState};
 
 /// Delivery-ordering class of a packet (§4.2).
 ///
@@ -50,6 +51,25 @@ impl Flit {
     #[inline]
     pub fn is_head(&self) -> bool {
         self.seq == 0
+    }
+
+    /// Decodes a flit written by its [`SaveState`] impl.
+    pub fn read_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(Flit {
+            pid: PacketId(r.get_u32()?),
+            seq: r.get_u16()?,
+            vc: r.get_u8()?,
+            last: r.get_bool()?,
+        })
+    }
+}
+
+impl SaveState for Flit {
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.pid.0);
+        w.put_u16(self.seq);
+        w.put_u8(self.vc);
+        w.put_bool(self.last);
     }
 }
 

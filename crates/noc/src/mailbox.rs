@@ -85,6 +85,41 @@ impl<T> ShardMailbox<T> {
         }
     }
 
+    /// Visits every buffered message without draining it, in ascending
+    /// `(producer, consumer)` slot order, preserving each slot's send
+    /// order. Checkpointing uses this to serialize in-transit messages
+    /// (credits crossing the cycle boundary) non-destructively.
+    pub fn for_each(&self, mut f: impl FnMut(usize, usize, &T)) {
+        for producer in 0..self.n {
+            for consumer in 0..self.n {
+                let slot = self
+                    .slot(producer, consumer)
+                    .lock()
+                    .expect("mailbox slot poisoned");
+                for msg in slot.iter() {
+                    f(producer, consumer, msg);
+                }
+            }
+        }
+    }
+
+    /// Empties every slot (checkpoint restore overlays a fresh message
+    /// population).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            slot.lock().expect("mailbox slot poisoned").clear();
+        }
+    }
+
+    /// Pushes a single message into the `(producer, consumer)` slot
+    /// (restore path; the hot path uses [`Self::append`]).
+    pub fn push(&self, producer: usize, consumer: usize, msg: T) {
+        self.slot(producer, consumer)
+            .lock()
+            .expect("mailbox slot poisoned")
+            .push(msg);
+    }
+
     /// Messages currently buffered across all slots. Between engine
     /// cycles this must be zero (everything flushed in one phase is
     /// drained in the next).

@@ -18,6 +18,7 @@
 use crate::arena::Slab;
 use crate::flit::{Flit, OrderClass, Priority};
 use chiplet_topo::{NodeId, RouteState};
+use simkit::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use simkit::Cycle;
 use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, Ordering};
 
@@ -208,6 +209,84 @@ impl PacketStore {
             seq,
             vc: 0,
             last: seq + 1 == len,
+        })
+    }
+}
+
+fn save_info(info: &PacketInfo, w: &mut ByteWriter) {
+    w.put_u32(info.src.0);
+    w.put_u32(info.dst.0);
+    w.put_u16(info.len);
+    w.put_u8(match info.class {
+        OrderClass::InOrder => 0,
+        OrderClass::Unordered => 1,
+    });
+    w.put_u8(match info.priority {
+        Priority::Normal => 0,
+        Priority::High => 1,
+    });
+    w.put_u64(info.created);
+    // Atomics are saved as plain values: a checkpoint is only ever taken
+    // in the serial merge window, where no shard holds a reference.
+    w.put_u64(info.injected.load(Ordering::Relaxed));
+    w.put_bool(info.baseline_locked.load(Ordering::Relaxed));
+    w.put_u32(info.hops.load(Ordering::Relaxed));
+    w.put_u32(info.onchip_flits.load(Ordering::Relaxed));
+    w.put_u32(info.parallel_flits.load(Ordering::Relaxed));
+    w.put_u32(info.serial_flits.load(Ordering::Relaxed));
+    w.put_u16(info.ejected.load(Ordering::Relaxed));
+}
+
+fn load_info(r: &mut ByteReader) -> Result<PacketInfo, CodecError> {
+    let src = NodeId(r.get_u32()?);
+    let dst = NodeId(r.get_u32()?);
+    let len = r.get_u16()?;
+    if len == 0 {
+        return Err(CodecError::Corrupt("packet length"));
+    }
+    let class = match r.get_u8()? {
+        0 => OrderClass::InOrder,
+        1 => OrderClass::Unordered,
+        _ => return Err(CodecError::Corrupt("order class")),
+    };
+    let priority = match r.get_u8()? {
+        0 => Priority::Normal,
+        1 => Priority::High,
+        _ => return Err(CodecError::Corrupt("priority")),
+    };
+    let created = r.get_u64()?;
+    let info = PacketInfo::new(src, dst, len, class, priority, created);
+    info.injected.store(r.get_u64()?, Ordering::Relaxed);
+    info.baseline_locked.store(r.get_bool()?, Ordering::Relaxed);
+    info.hops.store(r.get_u32()?, Ordering::Relaxed);
+    info.onchip_flits.store(r.get_u32()?, Ordering::Relaxed);
+    info.parallel_flits.store(r.get_u32()?, Ordering::Relaxed);
+    info.serial_flits.store(r.get_u32()?, Ordering::Relaxed);
+    info.ejected.store(r.get_u16()?, Ordering::Relaxed);
+    Ok(info)
+}
+
+impl SaveState for PacketStore {
+    /// Serializes the store *exactly*, including freelist order: packet
+    /// ids are observable (they surface in traces and delivery events),
+    /// so a restored run must recycle ids in the saved order to stay
+    /// bit-identical.
+    fn save_state(&self, w: &mut ByteWriter) {
+        self.slab.save_state_with(w, save_info);
+    }
+}
+
+impl LoadState for PacketStore {
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        self.slab.load_state_with(r, load_info, || {
+            PacketInfo::new(
+                NodeId(0),
+                NodeId(1),
+                1,
+                OrderClass::InOrder,
+                Priority::Normal,
+                0,
+            )
         })
     }
 }

@@ -26,6 +26,7 @@
 
 use crate::arena::{FlitArena, FlitRef};
 use crate::flit::Flit;
+use simkit::codec::{ByteReader, ByteWriter, CodecError, SaveState};
 use simkit::probe::LinkEvent;
 use simkit::Cycle;
 use std::collections::VecDeque;
@@ -391,6 +392,127 @@ impl RetryLine {
     /// awaiting acknowledgement. The medium is idle only at zero.
     pub fn in_flight(&self) -> usize {
         self.fwd.len() + self.delivered.len() + self.replay.len() + self.acks.len()
+    }
+
+    /// Arena handles this line currently holds (forward frames plus the
+    /// undrained delivery queue) — the restore validator's per-shard
+    /// handle accounting uses this.
+    pub fn held_handles(&self) -> usize {
+        self.fwd.len() + self.delivered.len()
+    }
+
+    /// Serializes the full go-back-N window state. Forward frames are
+    /// written as flit *values* plus a corruption bit (the frame CRC is
+    /// a pure function of the flit and `lseq`, so only "was it broken on
+    /// the wire" needs a bit); replay copies are values already.
+    pub fn save_state_with(&self, arena: &FlitArena, w: &mut ByteWriter) {
+        w.put_u64(self.next_lseq);
+        match self.rewind {
+            None => w.put_bool(false),
+            Some(l) => {
+                w.put_bool(true);
+                w.put_u64(l);
+            }
+        }
+        w.put_u64(self.last_progress);
+        w.put_u64(self.sent_cycle);
+        w.put_u8(self.sent_count);
+        w.put_u64(self.rx_expected);
+        w.put_u64(self.nak_cooldown_until);
+        w.put_u64(self.retransmits);
+        w.put_u64(self.corrupt_seen);
+        w.put_usize(self.replay.len());
+        for &(lseq, flit) in &self.replay {
+            w.put_u64(lseq);
+            flit.save_state(w);
+        }
+        w.put_usize(self.fwd.len());
+        for &(at, lf) in &self.fwd {
+            let flit = arena.get(lf.fref);
+            w.put_u64(at);
+            w.put_u64(lf.lseq);
+            flit.save_state(w);
+            w.put_bool(lf.crc != frame_crc(&flit, lf.lseq));
+        }
+        w.put_usize(self.acks.len());
+        for &(at, msg) in &self.acks {
+            w.put_u64(at);
+            match msg {
+                AckMsg::Ack(upto) => {
+                    w.put_u8(0);
+                    w.put_u64(upto);
+                }
+                AckMsg::Nak(from) => {
+                    w.put_u8(1);
+                    w.put_u64(from);
+                }
+            }
+        }
+        w.put_usize(self.delivered.len());
+        for &fref in &self.delivered {
+            arena.get(fref).save_state(w);
+        }
+    }
+
+    /// Overlays state written by [`Self::save_state_with`], re-admitting
+    /// forward-frame and delivered flits into `arena`.
+    pub fn load_state_with(
+        &mut self,
+        arena: &mut FlitArena,
+        r: &mut ByteReader,
+    ) -> Result<(), CodecError> {
+        self.next_lseq = r.get_u64()?;
+        self.rewind = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        self.last_progress = r.get_u64()?;
+        self.sent_cycle = r.get_u64()?;
+        self.sent_count = r.get_u8()?;
+        self.rx_expected = r.get_u64()?;
+        self.nak_cooldown_until = r.get_u64()?;
+        self.retransmits = r.get_u64()?;
+        self.corrupt_seen = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > self.replay_cap {
+            return Err(CodecError::Corrupt("replay buffer length"));
+        }
+        self.replay.clear();
+        for _ in 0..n {
+            let lseq = r.get_u64()?;
+            let flit = Flit::read_from(r)?;
+            self.replay.push_back((lseq, flit));
+        }
+        let n = r.get_usize()?;
+        self.fwd.clear();
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            let lseq = r.get_u64()?;
+            let flit = Flit::read_from(r)?;
+            let broken = r.get_bool()?;
+            let crc = frame_crc(&flit, lseq) ^ if broken { 0xFFFF } else { 0 };
+            let fref = arena.alloc(flit);
+            self.fwd.push_back((at, LinkFlit { fref, lseq, crc }));
+        }
+        let n = r.get_usize()?;
+        self.acks.clear();
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            let msg = match r.get_u8()? {
+                0 => AckMsg::Ack(r.get_u64()?),
+                1 => AckMsg::Nak(r.get_u64()?),
+                _ => return Err(CodecError::Corrupt("ack tag")),
+            };
+            self.acks.push_back((at, msg));
+        }
+        let n = r.get_usize()?;
+        self.delivered.clear();
+        for _ in 0..n {
+            let flit = Flit::read_from(r)?;
+            self.delivered.push_back(arena.alloc(flit));
+        }
+        Ok(())
     }
 }
 

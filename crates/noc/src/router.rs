@@ -18,7 +18,9 @@
 //! upstream.
 
 use crate::arena::{FlitArena, FlitRef};
+use crate::flit::Flit;
 use crate::packet::PacketId;
+use simkit::codec::{ByteReader, ByteWriter, CodecError, SaveState};
 use simkit::Cycle;
 use std::collections::VecDeque;
 
@@ -478,6 +480,210 @@ impl Router {
             }
         }
         self.sa_rr = self.sa_rr.wrapping_add(1);
+    }
+
+    /// Downstream credits currently held by output channel
+    /// (`out_port`, `vc`) — exposed for the restore validator's credit
+    /// conservation check.
+    pub fn out_vc_credits(&self, out_port: u16, vc: u8) -> u16 {
+        self.out_ports[out_port as usize].vcs[vc as usize].credits
+    }
+
+    /// Flits queued in input buffer (`in_port`, `vc`).
+    pub fn in_occupancy(&self, in_port: u16, vc: u8) -> usize {
+        self.bufs[in_port as usize * self.vcs as usize + vc as usize]
+            .q
+            .len()
+    }
+
+    /// Serializes the router's dynamic state. Buffered flits are written
+    /// *by value* (resolved through `arena`): flit handles are
+    /// shard-local and unobservable, so a restore target re-admits the
+    /// values into whatever arena owns this router then — which is what
+    /// lets a checkpoint restore at a different shard count.
+    pub fn save_state_with(&self, arena: &FlitArena, w: &mut ByteWriter) {
+        w.put_usize(self.va_rr);
+        w.put_usize(self.sa_rr);
+        w.put_u32(self.buffered);
+        w.put_u32(self.routed_vcs);
+        w.put_u32(self.active_vcs);
+        w.put_u32(self.idle_with_flits);
+        for (state, buf) in self.states.iter().zip(&self.bufs) {
+            match state {
+                VcState::Idle => w.put_u8(0),
+                VcState::Routed { at } => {
+                    w.put_u8(1);
+                    w.put_u64(*at);
+                }
+                VcState::Active {
+                    out_port,
+                    out_vc,
+                    granted_at,
+                } => {
+                    w.put_u8(2);
+                    w.put_u16(*out_port);
+                    w.put_u8(*out_vc);
+                    w.put_u64(*granted_at);
+                }
+            }
+            w.put_usize(buf.q.len());
+            for &fref in &buf.q {
+                arena.get(fref).save_state(w);
+            }
+            w.put_usize(buf.cands.len());
+            for c in &buf.cands {
+                w.put_u16(c.out_port);
+                w.put_u8(c.vc);
+                w.put_bool(c.baseline);
+                w.put_u8(c.tier);
+            }
+        }
+        for op in &self.out_ports {
+            for ov in &op.vcs {
+                w.put_bool(ov.busy);
+                w.put_u16(ov.credits);
+            }
+        }
+    }
+
+    /// Overlays state written by [`Self::save_state_with`] onto this
+    /// freshly built router, admitting buffered flits into `arena`.
+    pub fn load_state_with(
+        &mut self,
+        arena: &mut FlitArena,
+        r: &mut ByteReader,
+    ) -> Result<(), CodecError> {
+        self.va_rr = r.get_usize()?;
+        self.sa_rr = r.get_usize()?;
+        let buffered = r.get_u32()?;
+        let routed_vcs = r.get_u32()?;
+        let active_vcs = r.get_u32()?;
+        let idle_with_flits = r.get_u32()?;
+        for i in 0..self.flat_len() {
+            self.states[i] = match r.get_u8()? {
+                0 => VcState::Idle,
+                1 => VcState::Routed { at: r.get_u64()? },
+                2 => {
+                    let out_port = r.get_u16()?;
+                    let out_vc = r.get_u8()?;
+                    let granted_at = r.get_u64()?;
+                    if out_port >= self.out_ports.len() as u16 || out_vc >= self.vcs {
+                        return Err(CodecError::Corrupt("active VC target"));
+                    }
+                    VcState::Active {
+                        out_port,
+                        out_vc,
+                        granted_at,
+                    }
+                }
+                _ => return Err(CodecError::Corrupt("VC state tag")),
+            };
+            let buf = &mut self.bufs[i];
+            let qlen = r.get_usize()?;
+            let depth = self.depths[i / self.vcs as usize] as usize;
+            if qlen > depth {
+                return Err(CodecError::Corrupt("VC buffer overflow"));
+            }
+            buf.q.clear();
+            for _ in 0..qlen {
+                let flit = Flit::read_from(r)?;
+                buf.q.push_back(arena.alloc(flit));
+            }
+            let clen = r.get_usize()?;
+            buf.cands.clear();
+            for _ in 0..clen {
+                buf.cands.push(PortCandidate {
+                    out_port: r.get_u16()?,
+                    vc: r.get_u8()?,
+                    baseline: r.get_bool()?,
+                    tier: r.get_u8()?,
+                });
+            }
+        }
+        for op in &mut self.out_ports {
+            op.used_now = 0; // reset at the top of every SA stage
+            for ov in &mut op.vcs {
+                ov.busy = r.get_bool()?;
+                ov.credits = r.get_u16()?;
+            }
+        }
+        self.buffered = buffered;
+        self.routed_vcs = routed_vcs;
+        self.active_vcs = active_vcs;
+        self.idle_with_flits = idle_with_flits;
+        self.check_invariants()
+            .map_err(|_| CodecError::Corrupt("router counters"))
+    }
+
+    /// Recomputes the O(1) occupancy counters and the out-VC busy set
+    /// from the ground-truth states and buffers, and compares them to
+    /// the maintained values — the rhdl-style restored-state validator
+    /// for the router layer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut buffered = 0u32;
+        let mut routed = 0u32;
+        let mut active = 0u32;
+        let mut idle_with_flits = 0u32;
+        let mut busy = vec![false; self.out_ports.len() * self.vcs as usize];
+        for (i, (state, buf)) in self.states.iter().zip(&self.bufs).enumerate() {
+            buffered += buf.q.len() as u32;
+            match state {
+                VcState::Idle => {
+                    if !buf.q.is_empty() {
+                        idle_with_flits += 1;
+                    }
+                }
+                VcState::Routed { .. } => {
+                    routed += 1;
+                    if buf.q.is_empty() {
+                        return Err(format!("routed VC {i} has no head flit"));
+                    }
+                }
+                VcState::Active {
+                    out_port, out_vc, ..
+                } => {
+                    active += 1;
+                    let bi = *out_port as usize * self.vcs as usize + *out_vc as usize;
+                    if busy[bi] {
+                        return Err(format!(
+                            "two active VCs target out port {out_port} vc {out_vc}"
+                        ));
+                    }
+                    busy[bi] = true;
+                }
+            }
+        }
+        for (p, op) in self.out_ports.iter().enumerate() {
+            for (v, ov) in op.vcs.iter().enumerate() {
+                let expect = busy[p * self.vcs as usize + v];
+                if ov.busy != expect {
+                    return Err(format!(
+                        "out port {p} vc {v} busy={} but {} active VC targets it",
+                        ov.busy,
+                        if expect { "an" } else { "no" }
+                    ));
+                }
+            }
+        }
+        if buffered != self.buffered
+            || routed != self.routed_vcs
+            || active != self.active_vcs
+            || idle_with_flits != self.idle_with_flits
+        {
+            return Err(format!(
+                "counter drift: buffered {}/{}, routed {}/{}, active {}/{}, \
+                 idle_with_flits {}/{}",
+                self.buffered,
+                buffered,
+                self.routed_vcs,
+                routed,
+                self.active_vcs,
+                active,
+                self.idle_with_flits,
+                idle_with_flits
+            ));
+        }
+        Ok(())
     }
 }
 

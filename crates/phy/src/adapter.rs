@@ -26,6 +26,7 @@
 
 use crate::policy::PhyPolicy;
 use chiplet_noc::{Flit, OrderClass, Priority};
+use simkit::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use simkit::probe::LinkEvent;
 use simkit::{Cycle, SimRng};
 use std::collections::{HashMap, VecDeque};
@@ -753,6 +754,263 @@ impl HeteroPhyLink {
     /// which is the quantity Eq. 1 bounds by `B_p · (D_s − D_p)`.
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()
+    }
+}
+
+fn save_tagged(t: &Tagged, w: &mut ByteWriter) {
+    t.flit.save_state(w);
+    match t.sn {
+        None => w.put_bool(false),
+        Some(sn) => {
+            w.put_bool(true);
+            w.put_u64(sn);
+        }
+    }
+    w.put_u8(match t.kind {
+        PhyKind::Parallel => 0,
+        PhyKind::Serial => 1,
+    });
+    w.put_bool(t.corrupt);
+}
+
+fn load_tagged(r: &mut ByteReader) -> Result<Tagged, CodecError> {
+    let flit = Flit::read_from(r)?;
+    let sn = if r.get_bool()? {
+        Some(r.get_u64()?)
+    } else {
+        None
+    };
+    let kind = match r.get_u8()? {
+        0 => PhyKind::Parallel,
+        1 => PhyKind::Serial,
+        _ => return Err(CodecError::Corrupt("phy kind")),
+    };
+    let corrupt = r.get_bool()?;
+    Ok(Tagged {
+        flit,
+        sn,
+        kind,
+        corrupt,
+    })
+}
+
+impl PhyPipe {
+    /// Bandwidth is serialized alongside the queue because lane-degrade
+    /// fault events mutate it mid-run; latency stays static config.
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u8(self.bandwidth);
+        w.put_u64(self.sent_cycle);
+        w.put_u8(self.sent_count);
+        w.put_usize(self.q.len());
+        for (at, t) in &self.q {
+            w.put_u64(*at);
+            save_tagged(t, w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        let bw = r.get_u8()?;
+        if bw == 0 {
+            return Err(CodecError::Corrupt("phy bandwidth"));
+        }
+        self.bandwidth = bw;
+        self.sent_cycle = r.get_u64()?;
+        self.sent_count = r.get_u8()?;
+        let n = r.get_usize()?;
+        self.q.clear();
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            let t = load_tagged(r)?;
+            self.q.push_back((at, t));
+        }
+        Ok(())
+    }
+}
+
+impl SaveState for HeteroPhyLink {
+    /// Serializes every dynamic field of the link: TX queues, both PHY
+    /// pipelines (including fault-degraded lane counts), the reorder
+    /// buffer (progress map written in sorted packet-id order so the
+    /// blob is canonical), the retransmission queue, injector RNG/burst
+    /// state, hard-failure flags and counters. Static configuration
+    /// (params, policy, FIFO/ROB capacity, injector error rates) is the
+    /// restore target's job to rebuild.
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.main.len());
+        for (flit, class, priority) in &self.main {
+            flit.save_state(w);
+            w.put_u8(match class {
+                OrderClass::InOrder => 0,
+                OrderClass::Unordered => 1,
+            });
+            w.put_u8(match priority {
+                Priority::Normal => 0,
+                Priority::High => 1,
+            });
+        }
+        w.put_usize(self.bypass.len());
+        for flit in &self.bypass {
+            flit.save_state(w);
+        }
+        w.put_u64(self.next_sn);
+        self.parallel.save_state(w);
+        self.serial.save_state(w);
+        // Reorder buffer.
+        w.put_usize(self.rob.pending.len());
+        for t in &self.rob.pending {
+            save_tagged(t, w);
+        }
+        w.put_u64(self.rob.next_sn);
+        let mut progress: Vec<(u32, u16)> = self
+            .rob
+            .pkt_progress
+            .iter()
+            .map(|(&pid, &done)| (pid, done))
+            .collect();
+        progress.sort_unstable();
+        w.put_usize(progress.len());
+        for (pid, done) in progress {
+            w.put_u32(pid);
+            w.put_u16(done);
+        }
+        w.put_usize(self.rob.open.len());
+        for slot in &self.rob.open {
+            match slot {
+                None => w.put_bool(false),
+                Some(pid) => {
+                    w.put_bool(true);
+                    w.put_u32(*pid);
+                }
+            }
+        }
+        w.put_usize(self.rob.watermark);
+        w.put_usize(self.delivered.len());
+        for (flit, kind) in &self.delivered {
+            flit.save_state(w);
+            w.put_u8(match kind {
+                PhyKind::Parallel => 0,
+                PhyKind::Serial => 1,
+            });
+        }
+        w.put_u64(self.parallel_flits);
+        w.put_u64(self.serial_flits);
+        match &self.injector {
+            None => w.put_bool(false),
+            Some(inj) => {
+                w.put_bool(true);
+                for word in inj.rng.state() {
+                    w.put_u64(word);
+                }
+                w.put_f64(inj.burst_mult);
+                w.put_u64(inj.burst_until);
+            }
+        }
+        w.put_usize(self.retx.len());
+        for t in &self.retx {
+            save_tagged(t, w);
+        }
+        w.put_bool(self.parallel_down);
+        w.put_bool(self.serial_down);
+        w.put_u64(self.corrupt_flits);
+        w.put_u64(self.retx_flits);
+    }
+}
+
+impl LoadState for HeteroPhyLink {
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        let n = r.get_usize()?;
+        self.main.clear();
+        for _ in 0..n {
+            let flit = Flit::read_from(r)?;
+            let class = match r.get_u8()? {
+                0 => OrderClass::InOrder,
+                1 => OrderClass::Unordered,
+                _ => return Err(CodecError::Corrupt("order class")),
+            };
+            let priority = match r.get_u8()? {
+                0 => Priority::Normal,
+                1 => Priority::High,
+                _ => return Err(CodecError::Corrupt("priority")),
+            };
+            self.main.push_back((flit, class, priority));
+        }
+        let n = r.get_usize()?;
+        self.bypass.clear();
+        for _ in 0..n {
+            self.bypass.push_back(Flit::read_from(r)?);
+        }
+        self.next_sn = r.get_u64()?;
+        self.parallel.load_state(r)?;
+        self.serial.load_state(r)?;
+        let n = r.get_usize()?;
+        self.rob.pending.clear();
+        for _ in 0..n {
+            self.rob.pending.push(load_tagged(r)?);
+        }
+        self.rob.next_sn = r.get_u64()?;
+        let n = r.get_usize()?;
+        self.rob.pkt_progress.clear();
+        for _ in 0..n {
+            let pid = r.get_u32()?;
+            let done = r.get_u16()?;
+            self.rob.pkt_progress.insert(pid, done);
+        }
+        let n = r.get_usize()?;
+        self.rob.open.clear();
+        for _ in 0..n {
+            let slot = if r.get_bool()? {
+                Some(r.get_u32()?)
+            } else {
+                None
+            };
+            self.rob.open.push(slot);
+        }
+        self.rob.watermark = r.get_usize()?;
+        let n = r.get_usize()?;
+        self.delivered.clear();
+        for _ in 0..n {
+            let flit = Flit::read_from(r)?;
+            let kind = match r.get_u8()? {
+                0 => PhyKind::Parallel,
+                1 => PhyKind::Serial,
+                _ => return Err(CodecError::Corrupt("phy kind")),
+            };
+            self.delivered.push_back((flit, kind));
+        }
+        self.parallel_flits = r.get_u64()?;
+        self.serial_flits = r.get_u64()?;
+        if r.get_bool()? {
+            let Some(inj) = &mut self.injector else {
+                return Err(CodecError::Mismatch(
+                    "checkpoint carries BER injector state but the restore \
+                     target has no injector armed"
+                        .into(),
+                ));
+            };
+            let mut state = [0u64; 4];
+            for word in &mut state {
+                *word = r.get_u64()?;
+            }
+            inj.rng = SimRng::from_state(state);
+            inj.burst_mult = r.get_f64()?;
+            inj.burst_until = r.get_u64()?;
+        } else if self.injector.is_some() {
+            return Err(CodecError::Mismatch(
+                "restore target has a BER injector armed but the checkpoint \
+                 carries none"
+                    .into(),
+            ));
+        }
+        let n = r.get_usize()?;
+        self.retx.clear();
+        for _ in 0..n {
+            self.retx.push_back(load_tagged(r)?);
+        }
+        self.parallel_down = r.get_bool()?;
+        self.serial_down = r.get_bool()?;
+        self.corrupt_flits = r.get_u64()?;
+        self.retx_flits = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -61,6 +61,33 @@ impl ActiveSet {
             .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
     }
 
+    /// Removes every member, leaving the set empty.
+    ///
+    /// Used when overlaying a checkpoint: the restore path clears the
+    /// freshly built sets and re-inserts the saved membership so the
+    /// next cycle's schedule matches the saved run exactly.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Appends every member to `out` in ascending order without
+    /// modifying the set. `out` is not cleared.
+    ///
+    /// The bitset representation is canonical (membership alone
+    /// determines the words), so this is also the checkpoint encoding
+    /// of the set.
+    pub fn members_into(&self, out: &mut Vec<usize>) {
+        for (wi, word) in self.words.iter().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
     /// Moves every member into `out` in ascending order, leaving the set
     /// empty. `out` is cleared first.
     ///

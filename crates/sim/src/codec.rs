@@ -1,0 +1,358 @@
+//! Hand-rolled, versioned binary codec for engine checkpoints.
+//!
+//! The workspace is intentionally registry-free (no serde, no derive
+//! machinery), so checkpoint blobs are written with an explicit
+//! [`ByteWriter`] / [`ByteReader`] pair over little-endian fixed-width
+//! encodings. Every stateful layer implements [`SaveState`] (append my
+//! dynamic state to the writer) and [`LoadState`] (overlay a previously
+//! saved state onto a freshly built instance of myself). Static
+//! configuration — topology, routing, link latencies — is *not*
+//! serialized: a restore target is always rebuilt from the same
+//! `SimConfig` first, then overlaid.
+//!
+//! Determinism contract: for a given engine state, `save_state` must
+//! produce identical bytes regardless of host, shard count, or
+//! iteration order of any internal hash map (callers sort keys before
+//! writing). That makes blobs diffable and lets CI pin sample blobs.
+//!
+//! Framing helpers ([`ByteWriter::begin_section`] /
+//! [`ByteReader::expect_section`]) wrap each layer in a tagged,
+//! length-prefixed section so a reader can detect misalignment at the
+//! layer boundary instead of decoding garbage downstream.
+
+use std::fmt;
+
+/// Errors raised while decoding a checkpoint blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The blob ended before the requested bytes.
+    Truncated,
+    /// The leading magic bytes did not match.
+    BadMagic,
+    /// The blob's format version is not the one this build writes.
+    BadVersion {
+        /// Version found in the blob header.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The payload checksum did not match (bit corruption).
+    BadChecksum,
+    /// A tagged section boundary did not line up.
+    BadSection {
+        /// Section tag the reader expected.
+        expected: [u8; 4],
+        /// Section tag actually found.
+        found: [u8; 4],
+    },
+    /// The blob is well-formed but does not match the restore target
+    /// (different config, topology, or instrumentation arming).
+    Mismatch(String),
+    /// A decoded value is outside its legal range.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "checkpoint blob truncated"),
+            CodecError::BadMagic => write!(f, "not a checkpoint blob (bad magic)"),
+            CodecError::BadVersion { found, expected } => write!(
+                f,
+                "checkpoint format version {found} (this build reads version {expected})"
+            ),
+            CodecError::BadChecksum => write!(f, "checkpoint payload checksum mismatch"),
+            CodecError::BadSection { expected, found } => write!(
+                f,
+                "checkpoint section misaligned: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            CodecError::Mismatch(why) => {
+                write!(f, "checkpoint does not match restore target: {why}")
+            }
+            CodecError::Corrupt(what) => write!(f, "checkpoint field out of range: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends little-endian fixed-width values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` bit-exactly via its IEEE-754 bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes (caller frames the length).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Opens a tagged, length-prefixed section; returns a token for
+    /// [`Self::end_section`].
+    pub fn begin_section(&mut self, tag: [u8; 4]) -> SectionToken {
+        self.buf.extend_from_slice(&tag);
+        let at = self.buf.len();
+        self.put_u64(0); // patched by end_section
+        SectionToken { at }
+    }
+
+    /// Closes a section opened by [`Self::begin_section`], patching its
+    /// length prefix.
+    pub fn end_section(&mut self, token: SectionToken) {
+        let body = (self.buf.len() - token.at - 8) as u64;
+        self.buf[token.at..token.at + 8].copy_from_slice(&body.to_le_bytes());
+    }
+}
+
+/// Opaque handle returned by [`ByteWriter::begin_section`].
+#[derive(Debug)]
+#[must_use = "sections must be closed with end_section"]
+pub struct SectionToken {
+    at: usize,
+}
+
+/// Reads little-endian fixed-width values from a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any value other than 0 or 1 is corrupt.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt("bool")),
+        }
+    }
+
+    /// Reads a `u16` little-endian.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` little-endian.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (stored as `u64`); fails if it overflows the host.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.get_u64()?).map_err(|_| CodecError::Corrupt("usize"))
+    }
+
+    /// Reads an `f64` bit-exactly from its IEEE-754 bits.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Reads a section header and checks its tag; returns the body
+    /// length. The caller is expected to consume exactly that many
+    /// bytes before the next `expect_section`.
+    pub fn expect_section(&mut self, tag: [u8; 4]) -> Result<u64, CodecError> {
+        let found: [u8; 4] = self.take(4)?.try_into().unwrap();
+        if found != tag {
+            return Err(CodecError::BadSection {
+                expected: tag,
+                found,
+            });
+        }
+        self.get_u64()
+    }
+}
+
+/// A layer that can append its dynamic state to a checkpoint.
+pub trait SaveState {
+    /// Appends this layer's dynamic state to `w`.
+    ///
+    /// Must be deterministic: identical state produces identical bytes
+    /// regardless of shard count or container iteration order.
+    fn save_state(&self, w: &mut ByteWriter);
+}
+
+/// A layer that can overlay a previously saved state onto itself.
+///
+/// `load_state` is always called on a freshly built instance whose
+/// static configuration matches the saved run; it replaces dynamic
+/// state only.
+pub trait LoadState {
+    /// Overlays the saved state from `r` onto this instance.
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError>;
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`.
+///
+/// Used to reject bit-corrupted blobs with a clear error before any
+/// field decoding happens.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f64(-0.15625);
+        w.put_f64(f64::NAN);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64().unwrap(), -0.15625);
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut w = ByteWriter::new();
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..2]);
+        assert_eq!(r.get_u32(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn sections_frame_and_check() {
+        let mut w = ByteWriter::new();
+        let t = w.begin_section(*b"ABCD");
+        w.put_u64(99);
+        w.end_section(t);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.expect_section(*b"ABCD").unwrap(), 8);
+        assert_eq!(r.get_u64().unwrap(), 99);
+
+        let mut r2 = ByteReader::new(&bytes);
+        assert!(matches!(
+            r2.expect_section(*b"XXXX"),
+            Err(CodecError::BadSection { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let bytes = [2u8];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_bool(), Err(CodecError::Corrupt("bool")));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" → 0xCBF43926 is the canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

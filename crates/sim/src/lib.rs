@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod active;
+pub mod codec;
 pub mod metrics;
 pub mod par;
 pub mod probe;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod trace;
 
 pub use active::ActiveSet;
+pub use codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSlice, MetricsSnapshot};
 pub use par::Gate;
 pub use probe::{CycleStats, DeliveryEvent, LinkEvent, Phase, Probe};

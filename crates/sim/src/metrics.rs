@@ -232,6 +232,17 @@ impl MetricsSlice {
     pub fn reset(&mut self) {
         self.cells.iter_mut().for_each(|c| *c = 0);
     }
+
+    /// The raw cells, in registration order (checkpoint encoding).
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// Mutable access to the raw cells (checkpoint restore overlays
+    /// folded values onto a fresh slice).
+    pub fn cells_mut(&mut self) -> &mut [u64] {
+        &mut self.cells
+    }
 }
 
 /// A metric's folded value.

@@ -53,6 +53,20 @@ impl SimRng {
         Self { s }
     }
 
+    /// Returns the raw generator state for checkpointing.
+    ///
+    /// Together with [`Self::from_state`] this round-trips the stream
+    /// position exactly: a restored generator continues the same draw
+    /// sequence bit-for-bit.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`Self::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+
     /// Derives an independent child generator.
     ///
     /// Used to give each node / workload component its own stream so that

@@ -7,6 +7,8 @@
 //! shape; [`Windowed`] tracks a recent-window average used for saturation
 //! detection during injection-rate sweeps.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
+
 /// One-pass mean / variance / min / max accumulator (Welford).
 ///
 /// # Examples
@@ -116,6 +118,27 @@ impl Running {
     }
 }
 
+impl SaveState for Running {
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.count);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+}
+
+impl LoadState for Running {
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        self.count = r.get_u64()?;
+        self.mean = r.get_f64()?;
+        self.m2 = r.get_f64()?;
+        self.min = r.get_f64()?;
+        self.max = r.get_f64()?;
+        Ok(())
+    }
+}
+
 /// Fixed-width bucket histogram over `[0, width * buckets)` with an overflow
 /// bucket.
 ///
@@ -208,6 +231,35 @@ impl Histogram {
             }
         }
         f64::INFINITY
+    }
+}
+
+impl SaveState for Histogram {
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.total);
+        w.put_u64(self.overflow);
+        w.put_usize(self.counts.len());
+        for &c in &self.counts {
+            w.put_u64(c);
+        }
+    }
+}
+
+impl LoadState for Histogram {
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        self.total = r.get_u64()?;
+        self.overflow = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.counts.len() {
+            return Err(CodecError::Mismatch(format!(
+                "histogram has {} buckets, checkpoint has {n}",
+                self.counts.len()
+            )));
+        }
+        for c in &mut self.counts {
+            *c = r.get_u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -29,6 +29,7 @@
 //! owning shard, so the per-key `seq` preserves program order. The merged
 //! stream is therefore identical at any thread count.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use crate::Cycle;
 use std::collections::VecDeque;
 use std::io::{self, Write};
@@ -405,6 +406,12 @@ impl TraceRing {
         self.events.iter()
     }
 
+    /// The raw filter bits, used by the checkpoint codec to verify the
+    /// restore target was armed with the same filter.
+    pub fn filter_bits(&self) -> u16 {
+        self.filter.0
+    }
+
     /// Writes the ring as JSON Lines: one object per event, oldest
     /// first, fields `cycle`/`kind`/`pid`/`a`/`b` (`pid` omitted for
     /// non-packet events).
@@ -467,6 +474,60 @@ impl TraceRing {
             }
         }
         writeln!(w, "\n]")?;
+        Ok(())
+    }
+}
+
+impl SaveState for TraceRing {
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.cap);
+        w.put_u16(self.filter.0);
+        w.put_u64(self.dropped);
+        w.put_usize(self.events.len());
+        for ev in &self.events {
+            w.put_u64(ev.cycle);
+            w.put_u8(ev.kind as u8);
+            w.put_u32(ev.pid);
+            w.put_u32(ev.a);
+            w.put_u32(ev.b);
+        }
+    }
+}
+
+impl LoadState for TraceRing {
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        let cap = r.get_usize()?;
+        let filter = r.get_u16()?;
+        if cap != self.cap || filter != self.filter.0 {
+            return Err(CodecError::Mismatch(format!(
+                "trace ring armed as cap={} filter={:#x}, checkpoint has cap={cap} \
+                 filter={filter:#x}",
+                self.cap, self.filter.0
+            )));
+        }
+        self.dropped = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > cap {
+            return Err(CodecError::Corrupt("trace ring length"));
+        }
+        self.events.clear();
+        for _ in 0..n {
+            let cycle = r.get_u64()?;
+            let kind_raw = r.get_u8()?;
+            let kind = *TraceKind::all()
+                .get(kind_raw as usize)
+                .ok_or(CodecError::Corrupt("trace kind"))?;
+            let pid = r.get_u32()?;
+            let a = r.get_u32()?;
+            let b = r.get_u32()?;
+            self.events.push_back(TraceEvent {
+                cycle,
+                kind,
+                pid,
+                a,
+                b,
+            });
+        }
         Ok(())
     }
 }

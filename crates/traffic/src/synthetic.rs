@@ -4,6 +4,7 @@ use crate::pattern::TrafficPattern;
 use crate::trace::{PacketRequest, Workload};
 use chiplet_noc::{OrderClass, Priority};
 use chiplet_topo::NodeId;
+use simkit::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use simkit::{Cycle, SimRng};
 
 /// Bernoulli-injection synthetic workload over a set of participant nodes.
@@ -82,6 +83,28 @@ impl SyntheticWorkload {
     /// The participant nodes.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
+    }
+}
+
+impl SaveState for SyntheticWorkload {
+    /// Only the RNG stream position is dynamic — everything else (nodes,
+    /// pattern, rate, shape) is configuration the resuming run rebuilds
+    /// from the same arguments.
+    fn save_state(&self, w: &mut ByteWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+    }
+}
+
+impl LoadState for SyntheticWorkload {
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        self.rng = SimRng::from_state(state);
+        Ok(())
     }
 }
 

@@ -17,8 +17,9 @@
 //! for a longer local soak.
 
 use hetero_chiplet::heterosys::presets::NetworkKind;
-use hetero_chiplet::heterosys::sim::{run, RunOutcome, RunSpec};
+use hetero_chiplet::heterosys::sim::{run, run_until, RunOutcome, RunSpec};
 use hetero_chiplet::heterosys::{Network, SchedulingProfile, SimConfig};
+use hetero_chiplet::sim::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use hetero_chiplet::sim::{SimRng, TraceFilter};
 use hetero_chiplet::topo::{Geometry, NodeId};
 use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
@@ -140,4 +141,139 @@ fn random_configs_are_shard_and_instrumentation_invariant() {
             "{ctx}: instrumented run exported no metrics"
         );
     }
+}
+
+/// Like [`run_flavor`], but with a [`Network::checkpoint`]/
+/// [`Network::restore`] round trip at cycle `halt`: the run is halted,
+/// serialized (engine and workload), restored into a freshly built
+/// network at `restore_threads` shard threads and resumed to completion.
+fn run_flavor_checkpointed(
+    c: &Case,
+    save_threads: usize,
+    restore_threads: usize,
+    instrument: bool,
+    halt: u64,
+) -> (RunOutcome, Vec<String>) {
+    let arm = |net: &mut Network| {
+        if instrument {
+            net.enable_metrics();
+            net.enable_trace(1 << 16, TraceFilter::all());
+        }
+    };
+    let nodes: Vec<NodeId> = (0..c.geom.nodes()).map(NodeId).collect();
+    let mut net = build_net(c, save_threads);
+    arm(&mut net);
+    let mut w = SyntheticWorkload::new(nodes.clone(), c.pattern, c.rate, 16, c.seed);
+    if let Some(out) = run_until(&mut net, &mut w, RunSpec::smoke(), halt) {
+        // The run ended (stalled) before the halt point; nothing to resume.
+        let lines = if instrument {
+            net.metrics_snapshot().deterministic_lines()
+        } else {
+            Vec::new()
+        };
+        return (out, lines);
+    }
+    let blob = net.checkpoint();
+    let mut wblob = ByteWriter::new();
+    w.save_state(&mut wblob);
+
+    let mut net = build_net(c, restore_threads);
+    arm(&mut net);
+    net.restore(&blob)
+        .expect("a checkpoint restores into an identically-configured network");
+    let mut w = SyntheticWorkload::new(nodes, c.pattern, c.rate, 16, c.seed);
+    w.load_state(&mut ByteReader::new(&wblob.into_bytes()))
+        .expect("the workload blob round-trips");
+    let out = run(&mut net, &mut w, RunSpec::smoke());
+    let lines = if instrument {
+        net.metrics_snapshot().deterministic_lines()
+    } else {
+        Vec::new()
+    };
+    (out, lines)
+}
+
+/// Checkpoint/restore at a random mid-run cycle reproduces the
+/// uncheckpointed run's bits — across shard counts in both directions
+/// and with the observability layer folded through the blob.
+#[test]
+fn random_checkpoint_round_trips_reproduce_uncheckpointed_bits() {
+    let cases: usize = std::env::var("DIFF_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let mut rng = SimRng::seed(0xC4EC);
+    for i in 0..cases {
+        let c = draw_case(&mut rng);
+        // Anywhere from early warm-up to deep into the measurement window
+        // (the smoke schedule's window ends at cycle 1700).
+        let halt = 100 + rng.below(1500);
+        println!("case {i}: halt {halt}, {c:?}");
+        let ctx = format!("case {i} (halt {halt}, seed {}, {c:?})", c.seed);
+        let key = |o: &RunOutcome| (o.drained, o.deadlocked, o.fault_stalled, o.results.clone());
+        let (base, base_lines) = run_flavor(&c, 1, true);
+        let (plain, _) = run_flavor_checkpointed(&c, 1, c.threads, false, halt);
+        assert_eq!(
+            key(&base),
+            key(&plain),
+            "{ctx}: serial-save/sharded-restore round trip diverged"
+        );
+        let (inst, inst_lines) = run_flavor_checkpointed(&c, c.threads, 1, true, halt);
+        assert_eq!(
+            key(&base),
+            key(&inst),
+            "{ctx}: sharded-save/serial-restore instrumented round trip diverged"
+        );
+        assert_eq!(
+            base_lines, inst_lines,
+            "{ctx}: merged metric values drifted across the checkpoint"
+        );
+    }
+}
+
+/// Damaged blobs are rejected with a typed, readable error — never a
+/// panic, never a silently wrong restore.
+#[test]
+fn corrupted_or_truncated_blobs_are_rejected() {
+    let mut rng = SimRng::seed(0xB10B);
+    let c = draw_case(&mut rng);
+    let mut net = build_net(&c, 1);
+    let nodes: Vec<NodeId> = (0..c.geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, c.pattern, c.rate, 16, c.seed);
+    assert!(run_until(&mut net, &mut w, RunSpec::smoke(), 400).is_none());
+    let blob = net.checkpoint();
+    let fresh = || build_net(&c, 1);
+
+    // Truncation at any point: rejected with a message, never accepted.
+    for _ in 0..16 {
+        let cut = rng.index(blob.len());
+        let err = fresh()
+            .restore(&blob[..cut])
+            .expect_err("a truncated blob must be rejected");
+        assert!(!err.to_string().is_empty(), "error must explain itself");
+    }
+    // A flipped payload bit: caught by the checksum.
+    for _ in 0..8 {
+        let mut bad = blob.clone();
+        let i = 12 + rng.index(bad.len() - 12);
+        bad[i] ^= 1 << rng.below(8);
+        let err = fresh()
+            .restore(&bad)
+            .expect_err("a corrupted blob must be rejected");
+        assert_eq!(
+            err,
+            CodecError::BadChecksum,
+            "payload damage is a checksum failure"
+        );
+    }
+    // Header damage is called out specifically: wrong magic, wrong version.
+    let mut bad = blob.clone();
+    bad[0] ^= 0xFF;
+    assert_eq!(fresh().restore(&bad).unwrap_err(), CodecError::BadMagic);
+    let mut bad = blob.clone();
+    bad[4] ^= 0xFF;
+    assert!(matches!(
+        fresh().restore(&bad).unwrap_err(),
+        CodecError::BadVersion { .. }
+    ));
 }

@@ -13,7 +13,11 @@
 //! first `SimConfig::default()` call — sharing a binary with other
 //! tests would race on both.
 
-use hetero_chiplet::heterosys::SimConfig;
+use hetero_chiplet::heterosys::presets::NetworkKind;
+use hetero_chiplet::heterosys::sim::{run, run_until, RunSpec};
+use hetero_chiplet::heterosys::{SchedulingProfile, SimConfig};
+use hetero_chiplet::topo::{Geometry, NodeId};
+use hetero_chiplet::traffic::{SyntheticWorkload, TrafficPattern};
 
 #[test]
 fn shard_thread_default_is_pinned_at_first_read() {
@@ -35,4 +39,41 @@ fn shard_thread_default_is_pinned_at_first_read() {
         3,
         "unsetting the variable must not move the default either"
     );
+
+    // The pin is a *default*, never a mandate: a restored checkpoint runs
+    // at the shard count its target network was explicitly built with,
+    // not at the pinned environment value the saving run used. (This is
+    // the same process on purpose — the pin above is still live.)
+    let geom = Geometry::new(2, 2, 2, 2);
+    let profile = SchedulingProfile::balanced;
+    let kind = NetworkKind::UniformParallelMesh;
+    let mut source = kind.build(geom, SimConfig::default(), profile());
+    assert_eq!(
+        source.num_shards(),
+        3,
+        "the saving run inherits the pinned default"
+    );
+    let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.1, 16, 11);
+    let halted = run_until(&mut source, &mut w, RunSpec::smoke(), 300);
+    assert!(halted.is_none(), "the run reaches the halt point");
+    let blob = source.checkpoint();
+
+    let config = SimConfig::default().with_shard_threads(2);
+    assert_eq!(
+        config.shard_threads, 2,
+        "an explicit with_shard_threads override must beat the env pin"
+    );
+    let mut target = kind.build(geom, config, profile());
+    target
+        .restore(&blob)
+        .expect("a checkpoint restores across shard counts");
+    assert_eq!(
+        target.num_shards(),
+        2,
+        "restore must keep the target's shard count, not the saving run's"
+    );
+    assert_eq!(target.now(), 300, "the clock resumes at the halt point");
+    let out = run(&mut target, &mut w, RunSpec::smoke());
+    assert!(out.drained, "the resumed run completes normally");
 }
