@@ -214,6 +214,54 @@ impl SimConfig {
         self
     }
 
+    /// A canonical, human-readable key of every behavior-affecting field,
+    /// in a fixed order with normalized values (`shard_threads` is
+    /// excluded — it only trades wall-clock time and never changes
+    /// results). Two configs with equal keys produce bit-identical
+    /// simulations on the same topology; estimation caches and
+    /// calibration reports key on this.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "vcs={};plen={};depth={}/{}/{};inj={};eject={};onchip={}@{};parallel={}@{};\
+             serial={}@{};mode={};policy={:?};fifo={};radix={};bypass={};seed={};\
+             ber={:e}/{:e};retry={};retry_timeout={}",
+            self.vcs,
+            self.packet_len,
+            self.onchip_vc_depth,
+            self.iface_vc_depth,
+            self.inj_vc_depth,
+            self.inj_bandwidth,
+            self.eject_bandwidth,
+            self.onchip.bandwidth,
+            self.onchip.latency,
+            self.parallel.bandwidth,
+            self.parallel.latency,
+            self.serial.bandwidth,
+            self.serial.latency,
+            self.bandwidth_mode,
+            self.phy_policy,
+            self.adapter_fifo,
+            self.higher_radix_crossbar,
+            self.adapter_bypass,
+            self.seed,
+            self.fault.ber_serial,
+            self.fault.ber_parallel,
+            self.fault.retry,
+            self.fault.retry_timeout,
+        )
+    }
+
+    /// A 64-bit FNV-1a fingerprint of [`SimConfig::canonical_key`]: a
+    /// compact config identity for reports and caches.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical_key().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
     /// The hetero-PHY parameters under the current bandwidth mode.
     pub fn phy_params(&self) -> PhyParams {
         match self.bandwidth_mode {
@@ -288,6 +336,27 @@ mod tests {
         assert_eq!(c.resolved_shard_threads(), 4);
         let auto = SimConfig::default().with_shard_threads(0);
         assert!(auto.resolved_shard_threads() >= 1, "auto resolves to cores");
+    }
+
+    #[test]
+    fn canonical_key_separates_behavior_from_scheduling() {
+        let a = SimConfig::default();
+        // shard_threads never affects results, so it is not part of the key.
+        let b = SimConfig::default().with_shard_threads(8);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Every behavior knob perturbs the key.
+        for other in [
+            SimConfig::default().halved(),
+            SimConfig::default().with_seed(7),
+            SimConfig::default().with_ber(1e-9),
+            SimConfig::default().with_retry(),
+            SimConfig::default().without_bypass(),
+            SimConfig::default().without_higher_radix_crossbar(),
+        ] {
+            assert_ne!(a.canonical_key(), other.canonical_key());
+            assert_ne!(a.fingerprint(), other.fingerprint());
+        }
     }
 
     #[test]

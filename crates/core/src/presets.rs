@@ -67,14 +67,12 @@ impl NetworkKind {
         }
     }
 
-    /// Builds the network for this preset on `geom` with `config` and the
-    /// given scheduling profile.
-    ///
-    /// # Panics
-    ///
-    /// Panics for hypercube presets when the chiplet count is not a power
-    /// of two.
-    pub fn build(self, geom: Geometry, config: SimConfig, profile: SchedulingProfile) -> Network {
+    /// The configuration this preset actually simulates with: the profile's
+    /// PHY policy applied, and the bandwidth mode forced to the preset's
+    /// width (uniform baselines always run full-width interfaces; the
+    /// `*Half` presets force pin-constrained halved mode). Exposed so
+    /// model-based estimators key off exactly the config the engine uses.
+    pub fn effective_config(self, config: SimConfig, profile: SchedulingProfile) -> SimConfig {
         let mut config = config.with_policy(profile.phy_policy);
         if !self.is_hetero() {
             // Uniform baselines always run full-width interfaces.
@@ -89,32 +87,53 @@ impl NetworkKind {
             }
             _ => {}
         }
-        let vcs = config.vcs;
-        let (topo, routing): (_, Box<dyn Routing>) = match self {
-            NetworkKind::UniformParallelMesh => (
-                build::parallel_mesh(geom),
-                Box::new(NegativeFirstMesh::new(vcs)),
-            ),
-            NetworkKind::UniformSerialTorus => {
-                (build::serial_torus(geom), Box::new(TorusAdaptive::new(vcs)))
+        config
+    }
+
+    /// The link graph this preset simulates on `geom` (without the engine
+    /// around it — topology-only consumers such as the estimation
+    /// subsystem use this to avoid paying for network assembly).
+    ///
+    /// # Panics
+    ///
+    /// Panics for hypercube presets when the chiplet count is not a power
+    /// of two.
+    pub fn topology(self, geom: Geometry) -> chiplet_topo::SystemTopology {
+        match self {
+            NetworkKind::UniformParallelMesh => build::parallel_mesh(geom),
+            NetworkKind::UniformSerialTorus => build::serial_torus(geom),
+            NetworkKind::HeteroPhyFull | NetworkKind::HeteroPhyHalf => {
+                build::hetero_phy_torus(geom)
             }
-            NetworkKind::HeteroPhyFull | NetworkKind::HeteroPhyHalf => (
-                build::hetero_phy_torus(geom),
-                Box::new(TorusAdaptive::new(vcs)),
-            ),
-            NetworkKind::UniformSerialHypercube => (
-                build::serial_hypercube(geom),
-                Box::new(HypercubeRouting::new(vcs)),
-            ),
-            NetworkKind::HeteroChannelFull | NetworkKind::HeteroChannelHalf => (
-                build::hetero_channel(geom),
-                Box::new(Algorithm1::with_serial_weight(
-                    vcs,
-                    profile.serial_selection_weight,
-                )),
+            NetworkKind::UniformSerialHypercube => build::serial_hypercube(geom),
+            NetworkKind::HeteroChannelFull | NetworkKind::HeteroChannelHalf => {
+                build::hetero_channel(geom)
+            }
+        }
+    }
+
+    /// Builds the network for this preset on `geom` with `config` and the
+    /// given scheduling profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics for hypercube presets when the chiplet count is not a power
+    /// of two.
+    pub fn build(self, geom: Geometry, config: SimConfig, profile: SchedulingProfile) -> Network {
+        let config = self.effective_config(config, profile);
+        let vcs = config.vcs;
+        let routing: Box<dyn Routing> = match self {
+            NetworkKind::UniformParallelMesh => Box::new(NegativeFirstMesh::new(vcs)),
+            NetworkKind::UniformSerialTorus => Box::new(TorusAdaptive::new(vcs)),
+            NetworkKind::HeteroPhyFull | NetworkKind::HeteroPhyHalf => {
+                Box::new(TorusAdaptive::new(vcs))
+            }
+            NetworkKind::UniformSerialHypercube => Box::new(HypercubeRouting::new(vcs)),
+            NetworkKind::HeteroChannelFull | NetworkKind::HeteroChannelHalf => Box::new(
+                Algorithm1::with_serial_weight(vcs, profile.serial_selection_weight),
             ),
         };
-        Network::new(topo, routing, config)
+        Network::new(self.topology(geom), routing, config)
     }
 }
 

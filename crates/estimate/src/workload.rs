@@ -1,0 +1,101 @@
+//! Per-link workload descriptors and the clustering key.
+
+use chiplet_phy::{PhyParams, PhyPolicy};
+use chiplet_topo::LinkClass;
+
+/// Everything a [`crate::LinkSim`] backend needs to estimate one link:
+/// the physical link class with its capacity and propagation delay, and
+/// the traffic offered to it by the decomposed network workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkWorkload {
+    /// The link class being estimated.
+    pub class: LinkClass,
+    /// Offered load on the link, flits/cycle (already includes the
+    /// packet-length expansion of the injection-rate sweep).
+    pub offered: f64,
+    /// Packet length in flits (flits of one packet arrive back-to-back,
+    /// which is what makes the M/D/1 service deterministic).
+    pub packet_len: u16,
+    /// Link capacity, flits/cycle. For hetero-PHY links this is the
+    /// *policy-usable* bandwidth (the energy-efficient policy parks the
+    /// serial PHY, so only the parallel width counts).
+    pub bandwidth: f64,
+    /// Propagation delay in cycles, before the +1 transmission stage.
+    pub base_latency: f64,
+    /// Upstream feed bandwidth, flits/cycle: how fast one packet's flits
+    /// can arrive at the link's TX queue (bounded by the injection port
+    /// and the on-chip links feeding it). Drives the per-packet burst
+    /// dispatch profile of hetero-PHY links.
+    pub feed_bw: f64,
+    /// Hetero-PHY parameters, for links backed by the Eq. 2 adapter.
+    pub phy: Option<PhyParams>,
+    /// Hetero-PHY dispatch policy (ignored for uniform links).
+    pub policy: PhyPolicy,
+}
+
+impl LinkWorkload {
+    /// Utilization `rho` of the link under this workload.
+    pub fn utilization(&self) -> f64 {
+        if self.bandwidth <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.offered / self.bandwidth
+    }
+}
+
+/// The equivalence-class key links are clustered under: links sharing a
+/// key see statistically identical traffic and physics, so one backend
+/// estimate serves the whole class. The offered-load bucket quantizes at
+/// 16 buckets per octave (≈4.4% per step), fine enough that the bucket
+/// representative stands in for every member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassKey {
+    /// Interface family of the link.
+    pub class: LinkClass,
+    /// Structural role of the link in the topology.
+    pub role: crate::decompose::RoutingRole,
+    /// Out-degree of the link's source router (switch radix context).
+    pub degree: u8,
+    /// Quantized offered load: `round(16 * log2(unit_load))`, or
+    /// `i16::MIN` for unloaded links.
+    pub load_bucket: i16,
+}
+
+/// Quantizes a per-unit-rate link load into a [`ClassKey::load_bucket`].
+pub(crate) fn load_bucket(unit_load: f64) -> i16 {
+    if unit_load <= 0.0 {
+        return i16::MIN;
+    }
+    let b = (unit_load.log2() * 16.0).round();
+    b.clamp(i16::MIN as f64 + 1.0, i16::MAX as f64) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_buckets_resolve_four_percent_steps() {
+        assert_eq!(load_bucket(0.0), i16::MIN);
+        assert_eq!(load_bucket(1.0), 0);
+        assert_eq!(load_bucket(2.0), 16);
+        // Loads 4% apart land in adjacent buckets; loads 1% apart share.
+        assert_ne!(load_bucket(1.0), load_bucket(1.05));
+        assert_eq!(load_bucket(1.0), load_bucket(1.01));
+    }
+
+    #[test]
+    fn utilization_tracks_offered_over_capacity() {
+        let w = LinkWorkload {
+            class: LinkClass::Parallel,
+            offered: 1.0,
+            packet_len: 16,
+            bandwidth: 2.0,
+            base_latency: 5.0,
+            feed_bw: 2.0,
+            phy: None,
+            policy: PhyPolicy::Balanced { threshold: 8 },
+        };
+        assert!((w.utilization() - 0.5).abs() < 1e-12);
+    }
+}

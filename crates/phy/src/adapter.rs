@@ -114,6 +114,18 @@ impl PhyParams {
         let gap = self.serial_lat.saturating_sub(self.parallel_lat);
         (self.parallel_bw as u32 * gap).max(1) as u16
     }
+
+    /// The Eq. 2 V–t fold of this interface in flit/cycle units: each PHY
+    /// contributes `V(t) = B · (t − D)` and the hetero interface sums the
+    /// two curves. [`crate::model::HeteroVt::time_for`] then answers "how
+    /// long does a burst of `v` flits take to cross this interface" —
+    /// the steady-state transfer model analytical estimators build on.
+    pub fn vt(&self) -> crate::model::HeteroVt {
+        crate::model::HeteroVt {
+            parallel: crate::model::VtModel::new(self.parallel_bw as f64, self.parallel_lat as f64),
+            serial: crate::model::VtModel::new(self.serial_bw as f64, self.serial_lat as f64),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -1049,6 +1061,19 @@ mod tests {
     fn eq1_rob_capacity() {
         assert_eq!(PhyParams::full().rob_capacity(), 2 * 15);
         assert_eq!(PhyParams::halved().rob_capacity(), 15);
+    }
+
+    #[test]
+    fn eq2_vt_bridge_matches_params() {
+        let vt = PhyParams::full().vt();
+        // Before the parallel delay nothing has arrived.
+        assert_eq!(vt.volume(5.0), 0.0);
+        // Between the delays only the parallel PHY contributes.
+        assert_eq!(vt.volume(10.0), 2.0 * 5.0);
+        // Past both delays the slopes add: 2 + 4 flits/cycle.
+        assert!((vt.volume(30.0) - (2.0 * 25.0 + 4.0 * 10.0)).abs() < 1e-9);
+        // A 16-flit packet crosses faster than the serial PHY alone.
+        assert!(vt.time_for(16.0) < 20.0 + 16.0 / 4.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ impl std::fmt::Display for LinkId {
 ///
 /// The numbers attached to each class live in the simulation configuration
 /// (Table 2 of the paper); the topology layer only records the class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LinkClass {
     /// An on-chip wire between neighboring routers of the same chiplet.
     OnChip,

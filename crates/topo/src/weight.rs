@@ -148,6 +148,101 @@ pub fn path_length(
         .sum()
 }
 
+/// The all-minimal-paths structure from one source node: distances, the
+/// predecessor DAG and Brandes-style minimal-path counts.
+///
+/// Where [`weighted_shortest_path`] returns *one* minimal path, this keeps
+/// *every* minimal predecessor, so analysis passes can split flow evenly
+/// over all minimal routes (the way adaptive routing spreads load over its
+/// productive candidates). Built by [`shortest_path_dag`].
+#[derive(Debug, Clone)]
+pub struct PathDag {
+    /// Minimal Eq. 4 path length from the source, `f64::INFINITY` when
+    /// unreachable.
+    pub dist: Vec<f64>,
+    /// Per node, every incoming link that lies on some minimal path.
+    pub preds: Vec<Vec<crate::link::LinkId>>,
+    /// Number of distinct minimal paths from the source (as `f64`: path
+    /// counts grow combinatorially with system size).
+    pub sigma: Vec<f64>,
+    /// Reachable nodes in non-decreasing distance order (the source
+    /// first) — a topological order of the minimal-path DAG.
+    pub order: Vec<NodeId>,
+}
+
+/// Builds the [`PathDag`] of minimal-cost paths from `src` under a per-link
+/// cost function (Eq. 3/4 when the closure applies [`CostWeights::cost`]).
+///
+/// `cost` returns `None` to exclude a link (subnetwork filtering, e.g. the
+/// Eq. 5 mesh-vs-hypercube split); links currently marked down in `topo`
+/// are always excluded. Ties within `1e-9` relative cost are treated as
+/// equal-length alternatives and all retained.
+pub fn shortest_path_dag(
+    topo: &SystemTopology,
+    src: NodeId,
+    cost: impl Fn(&crate::link::Link) -> Option<f64>,
+) -> PathDag {
+    let n = topo.geometry().nodes() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    let mut preds: Vec<Vec<crate::link::LinkId>> = vec![Vec::new(); n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: src,
+    });
+    let mut order = Vec::with_capacity(n);
+    let mut settled = vec![false; n];
+    while let Some(HeapEntry { cost: c0, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        order.push(node);
+        for &lid in topo.out_links(node) {
+            if topo.is_link_down(lid) {
+                continue;
+            }
+            let link = topo.link(lid);
+            let Some(w) = cost(link) else { continue };
+            let c = c0 + w;
+            let d = &mut dist[link.dst.index()];
+            let tol = 1e-9 * c.max(1.0);
+            if c < *d - tol {
+                *d = c;
+                preds[link.dst.index()].clear();
+                preds[link.dst.index()].push(lid);
+                heap.push(HeapEntry {
+                    cost: c,
+                    node: link.dst,
+                });
+            } else if (c - *d).abs() <= tol && !settled[link.dst.index()] {
+                preds[link.dst.index()].push(lid);
+            }
+        }
+    }
+    // Minimal-path counts in topological (distance) order.
+    let mut sigma = vec![0.0; n];
+    sigma[src.index()] = 1.0;
+    for &v in &order {
+        for &lid in &preds[v.index()] {
+            let u = topo.link(lid).src;
+            if u != v {
+                sigma[v.index()] += sigma[u.index()];
+            }
+        }
+        if v == src {
+            sigma[v.index()] = 1.0;
+        }
+    }
+    PathDag {
+        dist,
+        preds,
+        sigma,
+        order,
+    }
+}
+
 #[derive(PartialEq)]
 struct HeapEntry {
     cost: f64,
@@ -232,6 +327,7 @@ pub fn weighted_shortest_path(
 mod tests {
     use super::*;
     use crate::coord::Geometry;
+    use crate::link::LinkClass;
     use crate::system::build;
 
     #[test]
@@ -333,6 +429,58 @@ mod tests {
         let dst = g.node_at(3, 0);
         let (len, path) = weighted_shortest_path(&t, &table, &w, src, dst).unwrap();
         assert!((path_length(&t, &table, &w, &path) - len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_dag_counts_all_minimal_mesh_routes() {
+        // 2x2 chiplets of 2x2 nodes: from corner to corner of the 4x4 grid
+        // there are C(6,3) = 20 minimal lattice paths when every hop costs
+        // the same.
+        let g = Geometry::new(2, 2, 2, 2);
+        let t = build::parallel_mesh(g);
+        let dag = shortest_path_dag(&t, g.node_at(0, 0), |_| Some(1.0));
+        let far = g.node_at(3, 3);
+        assert_eq!(dag.dist[far.index()], 6.0);
+        assert_eq!(dag.sigma[far.index()], 20.0);
+        // Every node is reachable and the order starts at the source.
+        assert_eq!(dag.order.len(), 16);
+        assert_eq!(dag.order[0], g.node_at(0, 0));
+        // A neighbor one hop out has exactly one minimal path.
+        assert_eq!(dag.sigma[g.node_at(1, 0).index()], 1.0);
+    }
+
+    #[test]
+    fn path_dag_respects_link_filter() {
+        let g = Geometry::new(2, 1, 2, 1);
+        let t = build::parallel_mesh(g);
+        let src = g.node_at(0, 0);
+        // Excluding every interface link cuts the second chiplet off.
+        let dag = shortest_path_dag(&t, src, |l| (l.class == LinkClass::OnChip).then_some(1.0));
+        assert!(dag.dist[g.node_at(1, 0).index()].is_finite());
+        assert!(dag.dist[g.node_at(2, 0).index()].is_infinite());
+        assert!(dag.preds[g.node_at(2, 0).index()].is_empty());
+    }
+
+    #[test]
+    fn path_dag_agrees_with_single_path_dijkstra() {
+        let g = Geometry::new(2, 2, 2, 2);
+        let t = build::serial_torus(g);
+        let table = MetricsTable::default();
+        let w = CostWeights::balanced();
+        let src = g.node_at(0, 0);
+        let dag = shortest_path_dag(&t, src, |l| Some(w.cost(table.of(l.class))));
+        for id in 0..g.nodes() {
+            let dst = NodeId(id);
+            let single = weighted_shortest_path(&t, &table, &w, src, dst)
+                .map(|(len, _)| len)
+                .unwrap();
+            assert!(
+                (dag.dist[dst.index()] - single).abs() < 1e-6,
+                "{dst}: dag {} vs dijkstra {single}",
+                dag.dist[dst.index()]
+            );
+            assert!(dag.sigma[dst.index()] >= 1.0);
+        }
     }
 
     #[test]

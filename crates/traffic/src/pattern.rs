@@ -104,6 +104,69 @@ impl TrafficPattern {
         (d != src && d < n).then_some(d)
     }
 
+    /// Writes the analytic (RNG-free) destination-weight row of `src`:
+    /// after the call, `out[d]` is the probability that one injection
+    /// opportunity at `src` produces a packet for `d`. Rows sum to at most
+    /// 1; the deficit is the chance the opportunity is wasted (a uniform
+    /// draw that lands on `src` twice, a cold hotspot source, a
+    /// permutation fixed point). This is the steady-state demand model the
+    /// estimation subsystem integrates over — it matches what
+    /// [`TrafficPattern::dest`] converges to over many draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `src >= n`, or `out.len() != n`.
+    pub fn dest_weights(&self, src: u64, n: u64, out: &mut [f64]) {
+        assert!(n >= 2, "patterns need at least two ranks");
+        assert!(src < n, "source rank out of range");
+        assert_eq!(out.len(), n as usize, "weight row must have n entries");
+        out.fill(0.0);
+        match self {
+            TrafficPattern::Uniform => {
+                // First draw uniform; a self-hit redraws once, so every
+                // d != src ends with P = 1/n + (1/n)·(1/n).
+                let w = (n as f64 + 1.0) / (n as f64 * n as f64);
+                for d in 0..n {
+                    if d != src {
+                        out[d as usize] = w;
+                    }
+                }
+            }
+            TrafficPattern::UniformHotspot => {
+                if !Self::in_hotspot(src, n) {
+                    return;
+                }
+                let hot: Vec<u64> = (0..n)
+                    .filter(|&d| d != src && Self::in_hotspot(d, n))
+                    .collect();
+                if hot.is_empty() {
+                    return;
+                }
+                // Rejection sampling converges to uniform over the hot
+                // peers (the 64-draw cutoff fails with negligible odds).
+                let w = 1.0 / hot.len() as f64;
+                for d in hot {
+                    out[d as usize] = w;
+                }
+            }
+            _ => {
+                // Deterministic permutations: one destination, weight 1,
+                // unless the pattern maps src to itself or out of range.
+                let mut rng = SimRng::seed(0); // never consulted
+                if let Some(d) = self.dest(src, n, &mut rng) {
+                    out[d as usize] = 1.0;
+                }
+            }
+        }
+    }
+
+    /// Whether `rank` belongs to the deterministic ~10 % hotspot subset of
+    /// [`TrafficPattern::UniformHotspot`] (public so analytic demand
+    /// models agree with the workload about the hot set).
+    pub fn is_hot(rank: u64, n: u64) -> bool {
+        Self::in_hotspot(rank, n)
+    }
+
     /// Deterministic 10% hotspot membership: a rank hash spreads the hot
     /// set over the machine.
     fn in_hotspot(rank: u64, _n: u64) -> bool {
@@ -217,6 +280,70 @@ mod tests {
             if let Some(d) = TrafficPattern::UniformHotspot.dest(s, n, &mut rng) {
                 assert!(TrafficPattern::in_hotspot(s, n));
                 assert!(TrafficPattern::in_hotspot(d, n));
+            }
+        }
+    }
+
+    #[test]
+    fn dest_weights_match_empirical_uniform() {
+        let n = 16u64;
+        let mut row = vec![0.0; n as usize];
+        TrafficPattern::Uniform.dest_weights(3, n, &mut row);
+        assert_eq!(row[3], 0.0);
+        let total: f64 = row.iter().sum();
+        // Row sums to 1 − P(two self draws) = 1 − 1/n².
+        assert!((total - (1.0 - 1.0 / (n as f64 * n as f64))).abs() < 1e-12);
+        // Empirically: many dest() draws approach the analytic row.
+        let mut rng = SimRng::seed(9);
+        let mut counts = vec![0u32; n as usize];
+        let draws = 200_000;
+        for _ in 0..draws {
+            if let Some(d) = TrafficPattern::Uniform.dest(3, n, &mut rng) {
+                counts[d as usize] += 1;
+            }
+        }
+        for d in 0..n as usize {
+            let emp = counts[d] as f64 / draws as f64;
+            assert!((emp - row[d]).abs() < 0.01, "d={d}: {emp} vs {}", row[d]);
+        }
+    }
+
+    #[test]
+    fn dest_weights_match_permutations_and_hotspot() {
+        let n = 64u64;
+        let mut rng = SimRng::seed(10);
+        let mut row = vec![0.0; n as usize];
+        for p in [
+            TrafficPattern::BitShuffle,
+            TrafficPattern::BitComplement,
+            TrafficPattern::BitTranspose,
+            TrafficPattern::BitReverse,
+        ] {
+            for s in 0..n {
+                p.dest_weights(s, n, &mut row);
+                match p.dest(s, n, &mut rng) {
+                    Some(d) => {
+                        assert_eq!(row[d as usize], 1.0, "{p} {s}->{d}");
+                        assert_eq!(row.iter().sum::<f64>(), 1.0);
+                    }
+                    None => assert_eq!(row.iter().sum::<f64>(), 0.0),
+                }
+            }
+        }
+        // Hotspot: cold sources have empty rows; hot sources spread
+        // uniformly over the hot peers.
+        for s in 0..n {
+            TrafficPattern::UniformHotspot.dest_weights(s, n, &mut row);
+            if !TrafficPattern::is_hot(s, n) {
+                assert_eq!(row.iter().sum::<f64>(), 0.0);
+            } else {
+                for (d, &w) in row.iter().enumerate() {
+                    if w > 0.0 {
+                        assert!(TrafficPattern::is_hot(d as u64, n));
+                        assert_ne!(d as u64, s);
+                    }
+                }
+                assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
             }
         }
     }

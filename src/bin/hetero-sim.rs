@@ -9,13 +9,18 @@
 //!            --pattern bit-complement --rate 0.05 --policy energy-efficient
 //! hetero-sim --network serial-torus --chiplets 4x4 --chip 2x2 --sweep --threads 8
 //! hetero-sim --network hetero-phy --rate 0.2 --probe links
+//! hetero-sim --network hetero-phy --chiplets 4x4 --chip 4x4 --sweep --estimate
+//! hetero-sim --calibrate --report calibration.json --threads 8
 //! ```
 
 use chiplet_topo::{Geometry, LinkId, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TraceWorkload, TrafficPattern, Workload};
+use hetero_estimate::{EstimateRequest, Estimator};
 use hetero_if::presets::NetworkKind;
 use hetero_if::sim::{run_probed, run_until, RunOutcome, RunSpec};
-use hetero_if::sweep::{latency_sweep_warm_start, preset_sweep_parallel, SweepPoint};
+use hetero_if::sweep::{
+    default_rate_ladder, latency_sweep_warm_start, preset_sweep_parallel, SweepPoint,
+};
 use hetero_if::{Network, SchedulingProfile, SimConfig, SimResults};
 use simkit::codec::{ByteReader, ByteWriter, LoadState, SaveState};
 use simkit::probe::{LinkUtilProbe, ProgressProbe};
@@ -26,6 +31,12 @@ enum ProbeKind {
     None,
     Progress,
     Links,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EstBackend {
+    Analytical,
+    Cycle,
 }
 
 #[derive(Debug)]
@@ -55,6 +66,10 @@ struct Args {
     checkpoint_in: Option<String>,
     checkpoint_every: Option<Cycle>,
     warm_start: bool,
+    estimate: bool,
+    backend: EstBackend,
+    calibrate: bool,
+    report: Option<String>,
 }
 
 fn usage() -> ! {
@@ -109,7 +124,19 @@ fn usage() -> ! {
          \u{20}            --shard-threads may differ from the saving run\n\
          --warm-start  with --sweep: pay the warm-up once, checkpoint it\n\
          \u{20}            and start every point from the warm state\n\
-         \u{20}            (approximate; reports warm-up cycles saved)"
+         \u{20}            (approximate; reports warm-up cycles saved)\n\
+         --estimate   estimate instead of simulating: the two-tier model\n\
+         \u{20}            walks the sweep ladder (or the single --rate)\n\
+         \u{20}            without building the network\n\
+         --backend    analytical | cycle      (--estimate tier; default\n\
+         \u{20}            analytical: closed-form Eq. 2-5 + M/D/1; cycle:\n\
+         \u{20}            engine micro-runs per link class)\n\
+         --calibrate  run the calibration gate on this geometry: golden\n\
+         \u{20}            engine sweeps vs the analytical tier over every\n\
+         \u{20}            preset; exits non-zero if any preset misses its\n\
+         \u{20}            documented error bound\n\
+         --report FILE  with --estimate: write the curve CSV to FILE;\n\
+         \u{20}            with --calibrate: write the JSON report to FILE"
     );
     std::process::exit(2);
 }
@@ -146,6 +173,10 @@ fn parse() -> Args {
         checkpoint_in: None,
         checkpoint_every: None,
         warm_start: false,
+        estimate: false,
+        backend: EstBackend::Analytical,
+        calibrate: false,
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -248,6 +279,19 @@ fn parse() -> Args {
                 }
             }
             "--warm-start" => a.warm_start = true,
+            "--estimate" => a.estimate = true,
+            "--backend" => {
+                a.backend = match val().as_str() {
+                    "analytical" => EstBackend::Analytical,
+                    "cycle" => EstBackend::Cycle,
+                    other => {
+                        eprintln!("unknown backend: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--calibrate" => a.calibrate = true,
+            "--report" => a.report = Some(val()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -421,6 +465,22 @@ fn main() {
         eprintln!("--warm-start requires --sweep");
         std::process::exit(2);
     }
+    if args.estimate
+        && (args.replay.is_some()
+            || args.metrics.is_some()
+            || args.trace.is_some()
+            || args.checkpoint_out.is_some()
+            || args.checkpoint_in.is_some()
+            || args.warm_start
+            || args.probe != ProbeKind::None)
+    {
+        eprintln!("--estimate computes a model, not a run; engine-only flags do not apply");
+        std::process::exit(2);
+    }
+    if args.report.is_some() && !(args.estimate || args.calibrate) {
+        eprintln!("--report requires --estimate or --calibrate");
+        std::process::exit(2);
+    }
     let spec = RunSpec {
         warmup: (args.cycles / 10).max(100),
         measure: args.cycles,
@@ -428,6 +488,12 @@ fn main() {
         watchdog: 5_000,
         drain_offers: false,
     };
+    if args.calibrate {
+        run_calibration(&args, geom, config, spec);
+    }
+    if args.estimate {
+        run_estimate(&args, geom, config);
+    }
     println!(
         "{} — {} chiplets x ({}x{}) = {} nodes, {} traffic at {} flits/cycle/node, {} policy\n",
         args.network,
@@ -440,12 +506,7 @@ fn main() {
         args.policy.name,
     );
     if args.sweep {
-        let mut rates = Vec::new();
-        let mut r = 0.02f64;
-        while r <= 1.2 {
-            rates.push(r);
-            r *= 1.5;
-        }
+        let rates = default_rate_ladder();
         let (points, saved): (Vec<SweepPoint>, Cycle) = if args.warm_start {
             let warm = latency_sweep_warm_start(
                 || args.network.build(geom, config, args.policy),
@@ -539,6 +600,105 @@ fn main() {
         print_outcome(&outcome);
         export_observability(&net, &args);
     }
+}
+
+/// Builds the `--backend`-selected estimator tier. The cycle-accurate
+/// tier micro-runs the engine per link class under the smoke schedule —
+/// still orders of magnitude less work than simulating the full system.
+fn build_estimator(backend: EstBackend) -> Estimator {
+    match backend {
+        EstBackend::Analytical => Estimator::analytical(),
+        EstBackend::Cycle => Estimator::cycle_accurate(RunSpec::smoke()),
+    }
+}
+
+/// `--estimate`: walk the rate ladder (or the single `--rate`) through
+/// the two-tier model and print a sweep-shaped table without ever
+/// assembling the network.
+fn run_estimate(args: &Args, geom: Geometry, config: SimConfig) -> ! {
+    let rates = if args.sweep {
+        default_rate_ladder()
+    } else {
+        vec![args.rate]
+    };
+    let mut est = build_estimator(args.backend);
+    let req = EstimateRequest {
+        kind: args.network,
+        geom,
+        config,
+        profile: args.policy,
+        pattern: args.pattern,
+    };
+    let t0 = std::time::Instant::now();
+    let curve = est.estimate_sweep(&req, &rates);
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{} — {} chiplets x ({}x{}) = {} nodes, {} traffic, {} policy\n\
+         estimated by the {} tier in {:.3}s: {} link classes over {} links\n",
+        args.network,
+        geom.chiplets(),
+        geom.chip_w(),
+        geom.chip_h(),
+        geom.nodes(),
+        args.pattern,
+        args.policy.name,
+        curve.backend,
+        secs,
+        curve.link_classes,
+        curve.links,
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>10}",
+        "rate", "latency(cy)", "throughput", "max-util", "status"
+    );
+    for p in &curve.points {
+        println!(
+            "{:>8.3} {:>12.1} {:>12.4} {:>9.3} {:>10}",
+            p.rate,
+            p.avg_latency,
+            p.throughput,
+            p.max_utilization,
+            if p.saturated { "saturated" } else { "ok" }
+        );
+    }
+    println!(
+        "\npredicted saturation {:.3} flits/cycle/node",
+        curve.predicted_saturation_rate
+    );
+    if let Some(path) = &args.report {
+        std::fs::write(path, curve.csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {} estimated points to {path}", curve.points.len());
+    }
+    std::process::exit(0);
+}
+
+/// `--calibrate`: golden engine sweeps vs the analytical tier over every
+/// paper preset on this geometry, printing the per-preset error table
+/// and exiting non-zero when any preset misses its documented bound.
+fn run_calibration(args: &Args, geom: Geometry, config: SimConfig, spec: RunSpec) -> ! {
+    let mut est = build_estimator(args.backend);
+    let report = hetero_estimate::calibrate(
+        &mut est,
+        geom,
+        config,
+        args.policy,
+        args.pattern,
+        &default_rate_ladder(),
+        spec,
+        args.threads,
+    );
+    print!("{}", report.render_table());
+    if let Some(path) = &args.report {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote the calibration report to {path}");
+    }
+    std::process::exit(if report.pass { 0 } else { 1 });
 }
 
 /// Runs the schedule, halting at the configured snapshot cycles to write

@@ -16,6 +16,9 @@
 //! * [`synthesis`] — the analytical post-synthesis model (Table 4).
 //! * [`heterosys`] — system assembly, simulation driver, experiments
 //!   (`hetero-if`, the paper's core contribution).
+//! * [`estimate`] — the two-tier estimation subsystem: network
+//!   decomposition, link clustering, the analytical Eq. 2–5 backend and
+//!   its calibration gate (`hetero-estimate`).
 //!
 //! # Examples
 //!
@@ -33,5 +36,6 @@ pub use chiplet_phy as phy;
 pub use chiplet_synthesis as synthesis;
 pub use chiplet_topo as topo;
 pub use chiplet_traffic as traffic;
+pub use hetero_estimate as estimate;
 pub use hetero_if as heterosys;
 pub use simkit as sim;

@@ -1,0 +1,55 @@
+//! The calibration gate: the analytical estimation tier must track
+//! golden cycle-accurate sweeps within the documented per-preset error
+//! bounds ([`hetero_estimate::error_bound_pct`]) and place saturation
+//! within one ladder step, on the canonical 16-node gate geometry.
+//!
+//! CI runs this test and additionally uploads the JSON report emitted by
+//! `hetero-sim --calibrate --report` as a build artifact.
+
+use chiplet_topo::Geometry;
+use chiplet_traffic::TrafficPattern;
+use hetero_chiplet::heterosys::sim::RunSpec;
+use hetero_chiplet::heterosys::sweep::default_rate_ladder;
+use hetero_chiplet::heterosys::{SchedulingProfile, SimConfig};
+use hetero_estimate::{calibrate, Estimator};
+
+fn gate_report() -> hetero_estimate::CalibrationReport {
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    calibrate(
+        &mut Estimator::analytical(),
+        Geometry::new(2, 2, 2, 2),
+        SimConfig::default(),
+        SchedulingProfile::balanced(),
+        TrafficPattern::Uniform,
+        &default_rate_ladder(),
+        RunSpec::smoke(),
+        threads,
+    )
+}
+
+#[test]
+fn analytical_tier_stays_within_documented_bounds() {
+    let report = gate_report();
+    for p in &report.presets {
+        assert!(
+            p.pass,
+            "{}: avg error {:.1}% (bound {:.0}%), max {:.1}%, saturation offset {:?}",
+            p.kind.label(),
+            p.avg_error_pct,
+            p.bound_pct,
+            p.max_error_pct,
+            p.saturation_step_offset,
+        );
+        // The gate's substance, restated independently of the `pass`
+        // plumbing: bounded average error below golden saturation and a
+        // saturation prediction within one ladder step.
+        assert!(p.avg_error_pct <= hetero_estimate::error_bound_pct(p.kind));
+        assert!(matches!(p.saturation_step_offset, Some(o) if o.abs() <= 1));
+    }
+    assert!(report.pass, "the aggregate gate must pass");
+    assert!(
+        report.speedup > 50.0,
+        "estimation must be >=50x faster than simulating ({:.0}x measured)",
+        report.speedup
+    );
+}
