@@ -1,0 +1,75 @@
+//! The checked-in `BENCH_perf.json` must actually parse.
+//!
+//! The report is machine-read (CI archives it; the scaling dashboards
+//! plot it), and a hand-rolled emitter once shipped it with an unquoted
+//! string value — syntactically invalid, silently, for a whole release.
+//! This test parses the real artifact at the repository root with the
+//! same parser CI uses and checks the fields the dashboards key on.
+
+use simkit::json::{parse, Json};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn checked_in_bench_report_is_valid_json() {
+    let path = repo_root().join("BENCH_perf.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must exist and be readable: {e}", path.display()));
+    let doc = parse(&text).unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+
+    // The two fields the original bug corrupted: `nodes` must be a
+    // number and `preset` a non-boolean string.
+    let nodes = doc
+        .get("nodes")
+        .and_then(Json::as_u64)
+        .expect("`nodes` must be a number");
+    assert!(nodes > 0);
+    let preset = doc
+        .get("preset")
+        .and_then(Json::as_str)
+        .expect("`preset` must be a string");
+    assert!(!preset.is_empty());
+    assert_ne!(preset, "false", "`preset` must not hold a stray boolean");
+
+    // Numeric fields the dashboards read.
+    for key in [
+        "rate",
+        "flits",
+        "best_secs",
+        "flits_per_sec",
+        "speedup",
+        "metrics_overhead_pct",
+        "trace_overhead_pct",
+    ] {
+        let v = doc.get(key).and_then(Json::as_f64);
+        assert!(
+            v.is_some(),
+            "`{key}` must be a number, got {:?}",
+            doc.get(key)
+        );
+    }
+    assert!(doc.get("scaling").and_then(Json::as_arr).is_some());
+
+    // The low-rate idle-skip block.
+    let lowrate = doc.get("lowrate").expect("`lowrate` object");
+    let skip_speedup = lowrate
+        .get("skip_speedup")
+        .and_then(Json::as_f64)
+        .expect("`lowrate.skip_speedup` must be a number");
+    assert!(skip_speedup > 0.0);
+    assert!(lowrate
+        .get("tick_wall_secs")
+        .and_then(Json::as_f64)
+        .is_some());
+    assert!(lowrate
+        .get("skip_wall_secs")
+        .and_then(Json::as_f64)
+        .is_some());
+}

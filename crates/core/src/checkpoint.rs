@@ -78,11 +78,15 @@ fn fnv64(bytes: &[u8]) -> u64 {
 }
 
 /// Fingerprint of everything in the config that must match between save
-/// and restore. `shard_threads` is zeroed first: the whole point of the
-/// global-entity blob layout is that the partition may differ.
+/// and restore. `shard_threads` is zeroed and `idle_skip` cleared first:
+/// the whole point of the global-entity blob layout is that the
+/// partition may differ, and the skip loop is an engine-time strategy
+/// that never touches simulation state — a blob saved mid-skip must
+/// restore into a plain ticking engine and vice versa.
 fn config_fingerprint(config: &crate::config::SimConfig) -> u64 {
     let mut c = *config;
     c.shard_threads = 0;
+    c.idle_skip = false;
     fnv64(format!("{c:?}").as_bytes())
 }
 

@@ -85,6 +85,15 @@ pub struct SimConfig {
     /// wall-clock time. The default honors the `HETERO_SIM_THREADS`
     /// environment variable (read once per process) and falls back to 1.
     pub shard_threads: usize,
+    /// Idle-skip: when the whole network is quiescent, the run loop
+    /// elides engine steps up to the computed next-event cycle instead
+    /// of ticking empty routers. A skipped cycle is provably a total
+    /// state no-op, so results are bit-identical either way — this knob
+    /// only trades wall-clock time (like `shard_threads`, it is excluded
+    /// from [`SimConfig::canonical_key`]). The default honors the
+    /// `HETERO_SIM_SKIP` environment variable (read once per process;
+    /// `0` disables) and falls back to enabled.
+    pub idle_skip: bool,
     /// Fault-model knobs (BER injection and the retry link layer). The
     /// default is fully off, in which case the network is built — and
     /// runs — bit-identically to a build without the fault subsystem.
@@ -120,6 +129,7 @@ impl Default for SimConfig {
             adapter_bypass: true,
             seed: 0xC41_1BE7,
             shard_threads: default_shard_threads(),
+            idle_skip: default_idle_skip(),
             fault: FaultConfig::default(),
         }
     }
@@ -136,6 +146,19 @@ fn default_shard_threads() -> usize {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(1)
+    })
+}
+
+/// The process-wide default for [`SimConfig::idle_skip`]: disabled when
+/// the `HETERO_SIM_SKIP` environment variable is set to `0`, else
+/// enabled. Cached once per process like the thread default, so a run's
+/// configs agree even if the environment is mutated mid-process.
+fn default_idle_skip() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("HETERO_SIM_SKIP")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true)
     })
 }
 
@@ -183,6 +206,14 @@ impl SimConfig {
         self
     }
 
+    /// Replaces the idle-skip setting (results are bit-identical either
+    /// way; `false` forces the per-cycle ticking loop — the differential
+    /// fuzz suite uses this to compare the two in one process).
+    pub fn with_idle_skip(mut self, skip: bool) -> Self {
+        self.idle_skip = skip;
+        self
+    }
+
     /// [`SimConfig::shard_threads`] with `0` resolved to the host's
     /// available parallelism.
     pub fn resolved_shard_threads(&self) -> usize {
@@ -215,9 +246,9 @@ impl SimConfig {
     }
 
     /// A canonical, human-readable key of every behavior-affecting field,
-    /// in a fixed order with normalized values (`shard_threads` is
-    /// excluded — it only trades wall-clock time and never changes
-    /// results). Two configs with equal keys produce bit-identical
+    /// in a fixed order with normalized values (`shard_threads` and
+    /// `idle_skip` are excluded — they only trade wall-clock time and
+    /// never change results). Two configs with equal keys produce bit-identical
     /// simulations on the same topology; estimation caches and
     /// calibration reports key on this.
     pub fn canonical_key(&self) -> String {
@@ -341,10 +372,14 @@ mod tests {
     #[test]
     fn canonical_key_separates_behavior_from_scheduling() {
         let a = SimConfig::default();
-        // shard_threads never affects results, so it is not part of the key.
+        // shard_threads and idle_skip never affect results, so neither is
+        // part of the key.
         let b = SimConfig::default().with_shard_threads(8);
         assert_eq!(a.canonical_key(), b.canonical_key());
         assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = SimConfig::default().with_idle_skip(!a.idle_skip);
+        assert_eq!(a.canonical_key(), c.canonical_key());
+        assert_eq!(a.fingerprint(), c.fingerprint());
         // Every behavior knob perturbs the key.
         for other in [
             SimConfig::default().halved(),

@@ -239,6 +239,13 @@ impl ShardedEngine {
         self.now.load(Relaxed)
     }
 
+    /// Advances the clock one cycle without running the phases (idle-skip:
+    /// the caller proved the cycle would be a no-op via
+    /// [`Self::next_event`]). Called only between cycles.
+    pub fn tick_idle(&self) {
+        self.now.fetch_add(1, Relaxed);
+    }
+
     pub fn start_measurement(&self) {
         self.measure_from.store(self.now.load(Relaxed), Relaxed);
     }
@@ -331,6 +338,30 @@ impl ShardedEngine {
                     .allocated_total()
             })
             .sum()
+    }
+
+    /// The earliest cycle ≥ `now` at which any shard can make progress,
+    /// or [`Cycle::MAX`] if the whole engine is drained.
+    ///
+    /// A non-empty mailbox pins the bound to `now`: posted flits are
+    /// delivered at the top of the next phase 2 and posted credits are
+    /// replayed next phase 1, both of which count as work. Otherwise the
+    /// bound is the minimum over the shards' own [`Shard::next_event`]
+    /// bounds. Called only between cycles (shards at rest), like
+    /// [`Self::merge`].
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if !self.mail.flits.is_empty() || !self.mail.credits.is_empty() {
+            return now;
+        }
+        let mut at = Cycle::MAX;
+        for s in &self.shards {
+            let sh = s.lock().expect("shard lock poisoned");
+            at = at.min(sh.next_event(now));
+            if at <= now {
+                return now;
+            }
+        }
+        at
     }
 
     /// Cycles in which each shard moved something (per-shard activity

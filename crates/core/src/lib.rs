@@ -72,7 +72,7 @@ pub mod sim;
 pub mod sweep;
 
 pub use checkpoint::CHECKPOINT_VERSION;
-pub use chiplet_fault::{FaultConfig, FaultScript};
+pub use chiplet_fault::{FaultConfig, FaultEvent, FaultScript, FaultTarget, TimedFault};
 pub use config::{BandwidthMode, SimConfig};
 pub use energy::EnergyModel;
 pub use network::Network;

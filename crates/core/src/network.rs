@@ -590,6 +590,28 @@ impl Network {
         self.engine.now() - self.hub.last_activity
     }
 
+    /// The earliest cycle ≥ [`Self::now`] at which this network can make
+    /// progress, or [`Cycle::MAX`] if nothing is scheduled: the engine's
+    /// own bound (active routers/NICs/mailboxes pin it to now; in-flight
+    /// link and credit traffic contributes its earliest due) combined
+    /// with the next unapplied fault-script event.
+    pub fn next_event(&mut self) -> Cycle {
+        let now = self.engine.now();
+        let mut at = self.engine.next_event(now);
+        if let Some(tf) = self.hub.script.events().get(self.hub.script_pos) {
+            at = at.min(tf.at.max(now));
+        }
+        at
+    }
+
+    /// Advances the clock one cycle without simulating it. Sound only
+    /// while [`Self::next_event`] is in the future — the elided step
+    /// would have been a total no-op except the clock advance. The
+    /// idle-skip loop in [`crate::sim`] is the caller.
+    pub fn tick_idle(&mut self) {
+        self.engine.tick_idle();
+    }
+
     /// Runs one simulation cycle.
     pub fn step(&mut self) {
         self.step_probed(&mut []);

@@ -359,4 +359,27 @@ impl CycleDriver for Leader<'_> {
             .geometry()
             .nodes()
     }
+
+    fn next_event(&mut self) -> Cycle {
+        // Serial window: the pool is parked at gate A, so locking every
+        // shard (inside the engine's bound) is free and race-free.
+        let now = self.engine.now();
+        let mut at = self.engine.next_event(now);
+        if let Some(tf) = self.hub.script.events().get(self.hub.script_pos) {
+            at = at.min(tf.at.max(now));
+        }
+        at
+    }
+
+    fn tick_idle(&mut self) {
+        // Advance the shared clock without releasing the gates: the
+        // workers stay parked through the whole skipped stretch and only
+        // ever read the clock after a release, so they never observe the
+        // intermediate values.
+        self.engine.tick_idle();
+    }
+
+    fn skip_enabled(&self) -> bool {
+        self.config.idle_skip
+    }
 }

@@ -77,6 +77,26 @@ impl Medium {
             Medium::Hetero(h) => h.in_flight(),
         }
     }
+
+    /// The earliest cycle ≥ `now` at which this medium can act (deliver a
+    /// flit, emit an ack/nak, or fire a retry timeout), or [`Cycle::MAX`]
+    /// if it is drained. The hetero-PHY adapter schedules internally every
+    /// cycle while loaded, so it pins the bound to `now` whenever any flit
+    /// is in flight — conservative but exact for the skip loop's purposes
+    /// (a loaded adapter link keeps its shard active anyway).
+    fn next_event_at(&self, now: Cycle) -> Cycle {
+        match self {
+            Medium::Plain { line, .. } => line.next_ready_at(),
+            Medium::Guarded { line, .. } => line.next_event_at(now),
+            Medium::Hetero(h) => {
+                if h.in_flight() > 0 {
+                    now
+                } else {
+                    Cycle::MAX
+                }
+            }
+        }
+    }
 }
 
 /// Per-link fault-injection state: one RNG stream and corruption
@@ -513,6 +533,32 @@ impl Shard {
             && self.deliveries.is_empty()
             && self.link_events.is_empty()
             && self.flit_hops.is_empty()
+    }
+
+    /// The earliest cycle ≥ `now` at which this shard can make progress,
+    /// or [`Cycle::MAX`] if nothing is scheduled.
+    ///
+    /// Active routers and NICs act *every* cycle (pipeline stages and
+    /// injection have no future timestamp), so either being non-empty
+    /// pins the bound to `now`. Active media and credit lines are timed:
+    /// their members stay in the set with future dues, and the minimum of
+    /// those dues bounds the next delivery, ack, or retry timeout. The
+    /// bound is what the idle-skip loop uses — it never needs to be
+    /// tight, only never *late*.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if !self.active_routers.is_empty() || !self.active_nics.is_empty() {
+            return now;
+        }
+        let mut at = Cycle::MAX;
+        for li in self.active_media.iter() {
+            let m = self.media[li].as_ref().expect("unowned active medium");
+            at = at.min(m.next_event_at(now));
+        }
+        for li in self.active_credits.iter() {
+            let line = self.credit_lines[li].as_ref().expect("unowned credit");
+            at = at.min(line.next_ready_at());
+        }
+        at
     }
 
     /// Phase 1 of a cycle: inbound credit replay → credit stage → media

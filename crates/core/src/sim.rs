@@ -193,6 +193,19 @@ pub(crate) trait CycleDriver {
     fn start_measurement(&mut self);
     /// Node count (for per-node result normalization).
     fn nodes(&self) -> u32;
+    /// The earliest cycle ≥ `now` at which the driver can make progress:
+    /// a pending delivery, ack or retry timeout on a link, a non-empty
+    /// mailbox, an active router or NIC (both pin the bound to `now`), or
+    /// the next unapplied fault-script event. [`Cycle::MAX`] when nothing
+    /// is scheduled. The bound need not be tight, only never late.
+    fn next_event(&mut self) -> Cycle;
+    /// Advances the clock one cycle without simulating it. Only sound
+    /// when [`Self::next_event`] is in the future: a step on a fully
+    /// quiescent network is a total no-op except `now += 1`, so eliding
+    /// it is bit-identical to running it.
+    fn tick_idle(&mut self);
+    /// Whether the configuration allows the idle-skip fast path.
+    fn skip_enabled(&self) -> bool;
 }
 
 impl CycleDriver for Network {
@@ -225,6 +238,15 @@ impl CycleDriver for Network {
     }
     fn nodes(&self) -> u32 {
         self.topology().geometry().nodes()
+    }
+    fn next_event(&mut self) -> Cycle {
+        Network::next_event(self)
+    }
+    fn tick_idle(&mut self) {
+        Network::tick_idle(self)
+    }
+    fn skip_enabled(&self) -> bool {
+        self.config().idle_skip
     }
 }
 
@@ -259,6 +281,17 @@ pub(crate) fn drive<D: CycleDriver>(
     let mut buf = Vec::new();
     let mut deadlocked = false;
     let mut fault_stalled = false;
+    // Idle-skip: when the driver is quiescent, eliding a cycle's step is
+    // bit-identical to running it (the step would be a total no-op except
+    // `now += 1`). `skip_until` caches the driver's next-event bound so
+    // a long quiescent stretch computes it once, not every cycle; any
+    // offer or real step invalidates the cache. The workload is still
+    // polled every cycle (its RNG draws are per-cycle) and the halt/
+    // watchdog checks below run unchanged, so phase boundaries, halt
+    // points and watchdog aborts land on the identical cycles. Probes
+    // keep the per-cycle step so `on_cycle` timing stays exact.
+    let skip = net.skip_enabled() && probes.is_empty();
+    let mut skip_until: Cycle = 0;
 
     macro_rules! phase_change {
         ($phase:expr) => {
@@ -272,11 +305,26 @@ pub(crate) fn drive<D: CycleDriver>(
         ($poll:expr) => {{
             if $poll {
                 workload.poll(net.now(), &mut buf);
+                if !buf.is_empty() {
+                    skip_until = 0;
+                }
                 for req in buf.drain(..) {
                     net.offer(req);
                 }
             }
-            net.step_probed(probes);
+            if skip {
+                if net.now() >= skip_until {
+                    skip_until = net.next_event();
+                }
+                if net.now() < skip_until {
+                    net.tick_idle();
+                } else {
+                    net.step_probed(probes);
+                    skip_until = 0;
+                }
+            } else {
+                net.step_probed(probes);
+            }
             if !probes.is_empty() {
                 let stats = CycleStats {
                     live_packets: net.live_packets() as u64,

@@ -121,6 +121,15 @@ impl<T: Copy> DelayLine<T> {
         self.q.len()
     }
 
+    /// The cycle the earliest queued flit becomes deliverable, or
+    /// [`Cycle::MAX`] when the line is empty. The fixed latency makes the
+    /// queue nondecreasing in arrival time, so the front is the minimum —
+    /// this is the line's contribution to the engine's next-event bound.
+    #[inline]
+    pub fn next_ready_at(&self) -> Cycle {
+        self.q.front().map_or(Cycle::MAX, |&(at, _)| at)
+    }
+
     /// Iterates the queued payloads in delivery order (checkpoint and
     /// invariant accounting; does not consume).
     pub fn iter_in_flight(&self) -> impl Iterator<Item = &T> {
@@ -202,6 +211,14 @@ impl CreditLine {
     #[inline]
     pub fn in_flight(&self) -> usize {
         self.q.len()
+    }
+
+    /// The cycle the earliest pending credit arrives, or [`Cycle::MAX`]
+    /// when none is pending (next-event bound; see
+    /// [`DelayLine::next_ready_at`]).
+    #[inline]
+    pub fn next_ready_at(&self) -> Cycle {
+        self.q.front().map_or(Cycle::MAX, |&(at, _)| at)
     }
 
     /// Iterates pending credits as `(arrival cycle, vc)` in order.
@@ -319,5 +336,20 @@ mod tests {
     #[should_panic]
     fn zero_latency_rejected() {
         DelayLine::<Flit>::new(0, 1);
+    }
+
+    #[test]
+    fn next_ready_at_tracks_the_front() {
+        let mut line = DelayLine::new(4, 2);
+        assert_eq!(line.next_ready_at(), Cycle::MAX);
+        line.try_send(10, flit(0));
+        line.try_send(12, flit(1));
+        assert_eq!(line.next_ready_at(), 14);
+        assert_eq!(line.pop_ready(14).unwrap().seq, 0);
+        assert_eq!(line.next_ready_at(), 16);
+        let mut c = CreditLine::new(3);
+        assert_eq!(c.next_ready_at(), Cycle::MAX);
+        c.send(5, 1);
+        assert_eq!(c.next_ready_at(), 8);
     }
 }

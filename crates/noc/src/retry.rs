@@ -394,6 +394,33 @@ impl RetryLine {
         self.fwd.len() + self.delivered.len() + self.replay.len() + self.acks.len()
     }
 
+    /// The earliest cycle ≥ `now` at which [`Self::advance`] would do
+    /// anything, or [`Cycle::MAX`] when the line is fully drained. An
+    /// in-progress rewind or an undrained delivery queue means "now";
+    /// otherwise the bound is the earliest of the forward wire's front,
+    /// the ack sideband's front, and — while unacknowledged frames sit in
+    /// the replay buffer — the retry-timeout deadline
+    /// (`last_progress + retry_timeout + 1`, the first cycle at which
+    /// `now - last_progress > retry_timeout`). This is the line's
+    /// contribution to the engine's idle-skip next-event bound; skipping
+    /// to any earlier cycle leaves the line bit-identical.
+    pub fn next_event_at(&self, now: Cycle) -> Cycle {
+        if self.rewind.is_some() || !self.delivered.is_empty() {
+            return now;
+        }
+        let mut at = Cycle::MAX;
+        if let Some(&(t, _)) = self.fwd.front() {
+            at = at.min(t);
+        }
+        if let Some(&(t, _)) = self.acks.front() {
+            at = at.min(t);
+        }
+        if !self.replay.is_empty() {
+            at = at.min(self.last_progress + self.retry_timeout + 1);
+        }
+        at
+    }
+
     /// Arena handles this line currently holds (forward frames plus the
     /// undrained delivery queue) — the restore validator's per-shard
     /// handle accounting uses this.
@@ -679,5 +706,57 @@ mod tests {
     fn crc16_matches_reference_vector() {
         // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
         assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    /// At every cycle of a lossy run, stepping `advance` at exactly the
+    /// reported next-event cycle does the same thing stepping every cycle
+    /// would — the bound is never later than the first actionable cycle.
+    #[test]
+    fn next_event_bound_is_never_late() {
+        let mut arena = FlitArena::new();
+        let mut rng = SimRng::seed(0x5EED);
+        let mut line = RetryLine::new(4, 2, 32);
+        let mut sent = 0u16;
+        let mut got = Vec::new();
+        let mut now = 0u64;
+        while got.len() < 60 {
+            let bound = line.next_event_at(now);
+            if bound > now {
+                // The line claims nothing happens before `bound`: a probe
+                // advance one cycle early must neither deliver nor emit.
+                let probe_at = (bound - 1).max(now);
+                let mut fired = false;
+                let mut probe = line.clone();
+                probe.advance(probe_at, &mut arena, &mut || false, &mut |_| {
+                    fired = true;
+                });
+                let mut delivered = 0;
+                probe.drain_delivered(|r| {
+                    arena.free(r);
+                    delivered += 1;
+                });
+                assert!(!fired && delivered == 0, "cycle {now}: bound {bound} late");
+            }
+            line.advance(now, &mut arena, &mut || rng.chance(0.08), &mut |_| {});
+            line.drain_delivered(|r| got.push(arena.free(r).seq));
+            while sent < 60 && line.capacity(now) > 0 {
+                let corrupt = rng.chance(0.08);
+                send(&mut line, &mut arena, now, flit(sent), corrupt);
+                sent += 1;
+            }
+            now += 1;
+            assert!(now < 50_000, "no forward progress");
+        }
+        // Run the tail of the ack sideband dry, then the bound must relax
+        // to "never".
+        while line.in_flight() > 0 {
+            line.advance(now, &mut arena, &mut || false, &mut |_| {});
+            line.drain_delivered(|r| {
+                arena.free(r);
+            });
+            now += 1;
+            assert!(now < 50_000, "acks never drained");
+        }
+        assert_eq!(line.next_event_at(now), Cycle::MAX, "drained line is idle");
     }
 }

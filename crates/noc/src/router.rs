@@ -89,18 +89,14 @@ pub trait RouterEnv {
     fn on_pipeline(&mut self, _stage: PipelineStage, _pid: PacketId, _info: u32) {}
 }
 
-#[derive(Debug, Clone, Copy)]
-enum VcState {
-    Idle,
-    Routed {
-        at: Cycle,
-    },
-    Active {
-        out_port: u16,
-        out_vc: u8,
-        granted_at: Cycle,
-    },
-}
+/// VC pipeline stage tags, one byte per (in port, vc). The former
+/// `VcState` enum carried its per-state payload inline (16 bytes per
+/// entry); the payloads now live in parallel columns so the VA/RC/SA
+/// round-robin scans stream through a dense byte array and touch a
+/// payload column only for the (rare at low load) non-idle entries.
+const TAG_IDLE: u8 = 0;
+const TAG_ROUTED: u8 = 1;
+const TAG_ACTIVE: u8 = 2;
 
 #[derive(Debug, Clone)]
 struct VcBuf {
@@ -133,12 +129,19 @@ struct OutPort {
 #[derive(Debug)]
 pub struct Router {
     vcs: u8,
-    /// VC pipeline states, flat over (in port, vc): index `p * vcs + v`.
-    /// Kept dense and separate from the queues so the VA/SA round-robin
-    /// scans stream through contiguous 16-byte entries instead of
-    /// chasing into each buffer.
-    states: Vec<VcState>,
-    /// Queues and routing candidates, parallel to `states`.
+    /// Struct-of-arrays VC pipeline state, flat over (in port, vc):
+    /// index `p * vcs + v`. `tags` is the stage tag each scan filters
+    /// on; the payload columns are read only behind a tag match.
+    tags: Vec<u8>,
+    /// RC/VA cycle stamp: `Routed`'s computed-at or `Active`'s
+    /// granted-at cycle. The two states are mutually exclusive, so one
+    /// column serves both ("did this stage already run this cycle").
+    stamps: Vec<Cycle>,
+    /// Granted output port, valid while the tag is [`TAG_ACTIVE`].
+    grant_port: Vec<u16>,
+    /// Granted output VC, valid while the tag is [`TAG_ACTIVE`].
+    grant_vc: Vec<u8>,
+    /// Queues and routing candidates, parallel to `tags`.
     bufs: Vec<VcBuf>,
     /// Per-input-port VC buffer depth.
     depths: Vec<u16>,
@@ -165,7 +168,10 @@ impl Router {
         assert!(vcs > 0, "need at least one virtual channel");
         Self {
             vcs,
-            states: Vec::new(),
+            tags: Vec::new(),
+            stamps: Vec::new(),
+            grant_port: Vec::new(),
+            grant_vc: Vec::new(),
             bufs: Vec::new(),
             depths: Vec::new(),
             out_ports: Vec::new(),
@@ -188,7 +194,10 @@ impl Router {
     pub fn add_in_port(&mut self, depth: u16) -> u16 {
         assert!(depth > 0, "VC buffers hold at least one flit");
         for _ in 0..self.vcs {
-            self.states.push(VcState::Idle);
+            self.tags.push(TAG_IDLE);
+            self.stamps.push(0);
+            self.grant_port.push(0);
+            self.grant_vc.push(0);
             self.bufs.push(VcBuf {
                 q: VecDeque::new(),
                 cands: Vec::new(),
@@ -250,7 +259,7 @@ impl Router {
     #[inline]
     pub fn in_vc_idle(&self, in_port: u16, vc: u8) -> bool {
         let i = in_port as usize * self.vcs as usize + vc as usize;
-        matches!(self.states[i], VcState::Idle) && self.bufs[i].q.is_empty()
+        self.tags[i] == TAG_IDLE && self.bufs[i].q.is_empty()
     }
 
     /// Accepts a flit into input buffer (`in_port`, `vc`). `vc` must be
@@ -269,7 +278,7 @@ impl Router {
             buf.q.len() < self.depths[in_port as usize] as usize,
             "input buffer overflow at port {in_port} vc {vc}",
         );
-        if buf.q.is_empty() && matches!(self.states[i], VcState::Idle) {
+        if buf.q.is_empty() && self.tags[i] == TAG_IDLE {
             self.idle_with_flits += 1;
         }
         buf.q.push_back(fref);
@@ -294,7 +303,7 @@ impl Router {
     }
 
     fn flat_len(&self) -> usize {
-        self.states.len()
+        self.tags.len()
     }
 
     /// Runs one cycle of the router pipeline: VA (on candidates computed in
@@ -323,11 +332,11 @@ impl Router {
                 if idx == n {
                     idx = 0;
                 }
-                let VcState::Routed { at } = self.states[cur] else {
+                if self.tags[cur] != TAG_ROUTED {
                     continue;
-                };
+                }
                 remaining -= 1;
-                if at >= now {
+                if self.stamps[cur] >= now {
                     continue; // RC happened this cycle; VA next cycle.
                 }
                 // Scan tiers in preference order; within the winning tier pick
@@ -355,11 +364,10 @@ impl Router {
                     let head = *buf.q.front().expect("routed VC has a head flit");
                     let pid = arena.get(head).pid;
                     self.out_ports[grant.out_port as usize].vcs[grant.vc as usize].busy = true;
-                    self.states[cur] = VcState::Active {
-                        out_port: grant.out_port,
-                        out_vc: grant.vc,
-                        granted_at: now,
-                    };
+                    self.tags[cur] = TAG_ACTIVE;
+                    self.stamps[cur] = now;
+                    self.grant_port[cur] = grant.out_port;
+                    self.grant_vc[cur] = grant.vc;
                     self.routed_vcs -= 1;
                     self.active_vcs += 1;
                     let fallback = grant.baseline && had_adaptive;
@@ -379,7 +387,7 @@ impl Router {
                 if remaining == 0 {
                     break;
                 }
-                if !matches!(self.states[cur], VcState::Idle) {
+                if self.tags[cur] != TAG_IDLE {
                     continue;
                 }
                 let buf = &mut self.bufs[cur];
@@ -397,7 +405,8 @@ impl Router {
                     "routing returned no candidates for {pid:?}"
                 );
                 env.on_pipeline(PipelineStage::RouteCompute, pid, buf.cands.len() as u32);
-                self.states[cur] = VcState::Routed { at: now };
+                self.tags[cur] = TAG_ROUTED;
+                self.stamps[cur] = now;
                 self.idle_with_flits -= 1;
                 self.routed_vcs += 1;
             }
@@ -419,18 +428,15 @@ impl Router {
                 if idx == n {
                     idx = 0;
                 }
-                let VcState::Active {
-                    out_port,
-                    out_vc,
-                    granted_at,
-                } = self.states[cur]
-                else {
+                if self.tags[cur] != TAG_ACTIVE {
                     continue;
-                };
+                }
                 remaining -= 1;
-                if granted_at >= now {
+                if self.stamps[cur] >= now {
                     continue; // VA happened this cycle; SA next cycle.
                 }
+                let out_port = self.grant_port[cur];
+                let out_vc = self.grant_vc[cur];
                 // The in-port/vc pair is only needed on the grant path.
                 let pi = cur / self.vcs as usize;
                 let vi = cur % self.vcs as usize;
@@ -469,7 +475,7 @@ impl Router {
                     }
                     if last {
                         op.vcs[out_vc as usize].busy = false;
-                        self.states[cur] = VcState::Idle;
+                        self.tags[cur] = TAG_IDLE;
                         self.active_vcs -= 1;
                         if !self.bufs[cur].q.is_empty() {
                             self.idle_with_flits += 1;
@@ -508,22 +514,21 @@ impl Router {
         w.put_u32(self.routed_vcs);
         w.put_u32(self.active_vcs);
         w.put_u32(self.idle_with_flits);
-        for (state, buf) in self.states.iter().zip(&self.bufs) {
-            match state {
-                VcState::Idle => w.put_u8(0),
-                VcState::Routed { at } => {
+        for (i, buf) in self.bufs.iter().enumerate() {
+            // The tag/payload wire layout predates the SoA columns; a
+            // checkpoint written by the enum-state router restores here
+            // byte-for-byte.
+            match self.tags[i] {
+                TAG_IDLE => w.put_u8(0),
+                TAG_ROUTED => {
                     w.put_u8(1);
-                    w.put_u64(*at);
+                    w.put_u64(self.stamps[i]);
                 }
-                VcState::Active {
-                    out_port,
-                    out_vc,
-                    granted_at,
-                } => {
+                _ => {
                     w.put_u8(2);
-                    w.put_u16(*out_port);
-                    w.put_u8(*out_vc);
-                    w.put_u64(*granted_at);
+                    w.put_u16(self.grant_port[i]);
+                    w.put_u8(self.grant_vc[i]);
+                    w.put_u64(self.stamps[i]);
                 }
             }
             w.put_usize(buf.q.len());
@@ -560,9 +565,15 @@ impl Router {
         let active_vcs = r.get_u32()?;
         let idle_with_flits = r.get_u32()?;
         for i in 0..self.flat_len() {
-            self.states[i] = match r.get_u8()? {
-                0 => VcState::Idle,
-                1 => VcState::Routed { at: r.get_u64()? },
+            match r.get_u8()? {
+                0 => {
+                    self.tags[i] = TAG_IDLE;
+                    self.stamps[i] = 0;
+                }
+                1 => {
+                    self.tags[i] = TAG_ROUTED;
+                    self.stamps[i] = r.get_u64()?;
+                }
                 2 => {
                     let out_port = r.get_u16()?;
                     let out_vc = r.get_u8()?;
@@ -570,11 +581,10 @@ impl Router {
                     if out_port >= self.out_ports.len() as u16 || out_vc >= self.vcs {
                         return Err(CodecError::Corrupt("active VC target"));
                     }
-                    VcState::Active {
-                        out_port,
-                        out_vc,
-                        granted_at,
-                    }
+                    self.tags[i] = TAG_ACTIVE;
+                    self.stamps[i] = granted_at;
+                    self.grant_port[i] = out_port;
+                    self.grant_vc[i] = out_vc;
                 }
                 _ => return Err(CodecError::Corrupt("VC state tag")),
             };
@@ -625,25 +635,24 @@ impl Router {
         let mut active = 0u32;
         let mut idle_with_flits = 0u32;
         let mut busy = vec![false; self.out_ports.len() * self.vcs as usize];
-        for (i, (state, buf)) in self.states.iter().zip(&self.bufs).enumerate() {
+        for (i, buf) in self.bufs.iter().enumerate() {
             buffered += buf.q.len() as u32;
-            match state {
-                VcState::Idle => {
+            match self.tags[i] {
+                TAG_IDLE => {
                     if !buf.q.is_empty() {
                         idle_with_flits += 1;
                     }
                 }
-                VcState::Routed { .. } => {
+                TAG_ROUTED => {
                     routed += 1;
                     if buf.q.is_empty() {
                         return Err(format!("routed VC {i} has no head flit"));
                     }
                 }
-                VcState::Active {
-                    out_port, out_vc, ..
-                } => {
+                TAG_ACTIVE => {
                     active += 1;
-                    let bi = *out_port as usize * self.vcs as usize + *out_vc as usize;
+                    let (out_port, out_vc) = (self.grant_port[i], self.grant_vc[i]);
+                    let bi = out_port as usize * self.vcs as usize + out_vc as usize;
                     if busy[bi] {
                         return Err(format!(
                             "two active VCs target out port {out_port} vc {out_vc}"
@@ -651,6 +660,7 @@ impl Router {
                     }
                     busy[bi] = true;
                 }
+                t => return Err(format!("VC {i} has unknown tag {t}")),
             }
         }
         for (p, op) in self.out_ports.iter().enumerate() {

@@ -71,6 +71,23 @@ impl ActiveSet {
         self.len = 0;
     }
 
+    /// Iterates members in ascending order without modifying the set
+    /// (the engine's next-event bound walks active media this way).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
     /// Appends every member to `out` in ascending order without
     /// modifying the set. `out` is not cleared.
     ///
@@ -150,6 +167,19 @@ mod tests {
         // A second drain yields nothing.
         s.drain_into(&mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn iter_matches_members_into() {
+        let mut s = ActiveSet::new(200);
+        for i in [199, 3, 64, 0, 127, 65] {
+            s.insert(i);
+        }
+        let mut out = Vec::new();
+        s.members_into(&mut out);
+        let via_iter: Vec<usize> = s.iter().collect();
+        assert_eq!(via_iter, out);
+        assert_eq!(s.len(), 6, "iteration does not consume");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`trace`] — cycle-attributed structured tracing: a zero-cost-when-
 //!   disabled [`trace::Tracer`], a bounded [`trace::TraceRing`], and
 //!   JSONL / Chrome `trace_event` exporters.
+//! * [`json`] — a dependency-free JSON tree, writer and parser used by the
+//!   bench harness so machine-read reports are emitted through a codec
+//!   instead of hand-rolled `format!` strings.
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@
 
 pub mod active;
 pub mod codec;
+pub mod json;
 pub mod metrics;
 pub mod par;
 pub mod probe;

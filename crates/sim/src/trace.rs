@@ -274,8 +274,11 @@ pub fn node_key(node: u32) -> u64 {
 #[derive(Debug)]
 pub struct TraceBuf {
     filter: TraceFilter,
-    seq: u32,
     /// `(merge key, per-shard sequence, event)` triples for this cycle.
+    ///
+    /// The sequence number of the next event is always `events.len()` —
+    /// the buffer is cleared every cycle — so no separate counter is kept
+    /// and the armed emit path touches exactly one field.
     pub events: Vec<(u64, u32, TraceEvent)>,
 }
 
@@ -284,7 +287,6 @@ impl TraceBuf {
     pub fn new(filter: TraceFilter) -> Self {
         TraceBuf {
             filter,
-            seq: 0,
             events: Vec::new(),
         }
     }
@@ -310,8 +312,7 @@ impl Tracer {
     pub fn emit(&mut self, key: u64, cycle: Cycle, kind: TraceKind, pid: u32, a: u32, b: u32) {
         if let Tracer::On(buf) = self {
             if buf.filter.accepts(kind) {
-                let seq = buf.seq;
-                buf.seq += 1;
+                let seq = buf.events.len() as u32;
                 buf.events.push((
                     key,
                     seq,
@@ -333,12 +334,12 @@ impl Tracer {
         matches!(self, Tracer::On(_))
     }
 
-    /// Drops this cycle's events and resets the sequence counter. Called
-    /// by the hub after folding the buffer into the ring.
+    /// Drops this cycle's events (which also restarts the implicit
+    /// sequence numbering). Called by the hub after folding the buffer
+    /// into the ring.
     pub fn clear(&mut self) {
         if let Tracer::On(buf) = self {
             buf.events.clear();
-            buf.seq = 0;
         }
     }
 }

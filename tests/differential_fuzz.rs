@@ -74,6 +74,121 @@ fn build_net(c: &Case, threads: usize) -> Network {
     c.kind.build(c.geom, config, SchedulingProfile::balanced())
 }
 
+/// Runs one (threads, idle-skip) flavor of a case with metrics and a
+/// filtered trace ring armed, returning the outcome, the deterministic
+/// metric lines and the trace JSONL. The filter excludes the `barrier`
+/// group — barrier observations carry wall-clock payloads and exist only
+/// on cycles the leader actually steps, so they sit outside every
+/// bit-identity contract — and the `phase` group for the same
+/// cycle-count reason; everything the simulation itself emits (flit,
+/// phy, link, fault) must match exactly.
+fn run_skip_flavor(c: &Case, threads: usize, skip: bool) -> (RunOutcome, Vec<String>, String) {
+    let mut config = SimConfig::default()
+        .with_seed(c.seed)
+        .with_shard_threads(threads)
+        .with_idle_skip(skip);
+    if c.ber {
+        config = config.with_ber(1e-4).with_retry();
+    }
+    let mut net = c.kind.build(c.geom, config, SchedulingProfile::balanced());
+    net.enable_metrics();
+    let filter = TraceFilter::parse("flit,phy,link,fault").expect("filter parses");
+    net.enable_trace(1 << 16, filter);
+    let nodes: Vec<NodeId> = (0..c.geom.nodes()).map(NodeId).collect();
+    let mut w = SyntheticWorkload::new(nodes, c.pattern, c.rate, 16, c.seed);
+    let out = run(&mut net, &mut w, RunSpec::smoke());
+    let lines = net.metrics_snapshot().deterministic_lines();
+    let mut jsonl = Vec::new();
+    net.trace()
+        .expect("trace ring armed")
+        .to_jsonl(&mut jsonl)
+        .expect("writing to a Vec cannot fail");
+    let jsonl = String::from_utf8(jsonl).expect("trace JSONL is UTF-8");
+    (out, lines, jsonl)
+}
+
+/// The idle-skip axis: the event-hybrid fast-forward loop and the plain
+/// cycle-by-cycle loop must be observationally identical — equal
+/// `SimResults`, equal merged metric lines, equal trace JSONL — on both
+/// the serial and the sharded engine. Cases are drawn at low injection
+/// rates so runs actually contain long skippable stretches (at the main
+/// fuzz rates the skip path almost never engages), with the usual
+/// BER/retry and pattern variation on top.
+#[test]
+fn idle_skip_axis_is_bit_identical() {
+    let cases: usize = std::env::var("DIFF_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let mut rng = SimRng::seed(0x5419);
+    for i in 0..cases {
+        let mut c = draw_case(&mut rng);
+        c.rate = 0.002 + rng.below(10) as f64 * 0.002;
+        println!(
+            "case {i}: {:?} {}x{} chiplets, {:?}, rate {:.3}, ber {}, \
+             seed {}, {} threads",
+            c.kind,
+            c.geom.chiplets_x(),
+            c.geom.chiplets_y(),
+            c.pattern,
+            c.rate,
+            c.ber,
+            c.seed,
+            c.threads
+        );
+        let ctx = format!("case {i} (seed {}, {:?})", c.seed, c);
+        let key = |o: &RunOutcome| (o.drained, o.deadlocked, o.fault_stalled, o.results.clone());
+        let (serial_tick, serial_tick_lines, serial_tick_trace) = run_skip_flavor(&c, 1, false);
+        let (serial_skip, serial_skip_lines, serial_skip_trace) = run_skip_flavor(&c, 1, true);
+        let (shard_tick, shard_tick_lines, shard_tick_trace) =
+            run_skip_flavor(&c, c.threads, false);
+        let (shard_skip, shard_skip_lines, shard_skip_trace) = run_skip_flavor(&c, c.threads, true);
+        assert_eq!(
+            key(&serial_tick),
+            key(&serial_skip),
+            "{ctx}: idle-skip changed serial results"
+        );
+        assert_eq!(
+            key(&serial_tick),
+            key(&shard_tick),
+            "{ctx}: sharding changed ticking results"
+        );
+        assert_eq!(
+            key(&serial_tick),
+            key(&shard_skip),
+            "{ctx}: sharded idle-skip run diverged"
+        );
+        assert_eq!(
+            serial_tick_lines, serial_skip_lines,
+            "{ctx}: idle-skip changed serial merged metrics"
+        );
+        assert_eq!(
+            serial_tick_lines, shard_tick_lines,
+            "{ctx}: sharding changed ticking merged metrics"
+        );
+        assert_eq!(
+            serial_tick_lines, shard_skip_lines,
+            "{ctx}: sharded idle-skip merged metrics diverged"
+        );
+        assert_eq!(
+            serial_tick_trace, serial_skip_trace,
+            "{ctx}: idle-skip changed the serial trace stream"
+        );
+        assert_eq!(
+            serial_tick_trace, shard_tick_trace,
+            "{ctx}: sharding changed the ticking trace stream"
+        );
+        assert_eq!(
+            serial_tick_trace, shard_skip_trace,
+            "{ctx}: sharded idle-skip trace stream diverged"
+        );
+        assert!(
+            !serial_tick_trace.is_empty(),
+            "{ctx}: trace stream is empty — the comparison is vacuous"
+        );
+    }
+}
+
 /// Runs one flavor of the case and returns the outcome plus (for
 /// instrumented runs) the deterministic metric lines.
 fn run_flavor(c: &Case, threads: usize, instrument: bool) -> (RunOutcome, Vec<String>) {

@@ -694,3 +694,145 @@ fn shard_partition_never_changes_results() {
         );
     }
 }
+
+/// The idle-skip fast-forward's soundness condition, checked directly:
+/// whenever [`Network::next_event`] returns a bound beyond the current
+/// cycle, stepping the network through the intervening cycles is a total
+/// no-op — no flit moves, nothing is delivered, the activity clock keeps
+/// counting idle. A bound that is ever *late* (something acts before it)
+/// would mean the fast-forward teleports over real work; this drives the
+/// engine cycle by cycle, recomputing the bound after every workload
+/// poll, and fails on the first actionable cycle inside a claimed-quiet
+/// stretch. Cases cover pending injections, go-back-N retry timeouts and
+/// fault-script edges.
+#[test]
+fn next_event_bound_is_never_late() {
+    use hetero_chiplet::heterosys::presets::NetworkKind;
+    use hetero_chiplet::heterosys::{
+        FaultEvent, FaultScript, FaultTarget, SchedulingProfile, SimConfig, TimedFault,
+    };
+    use hetero_chiplet::phy::PhyKind;
+    use hetero_chiplet::traffic::{SyntheticWorkload, Workload};
+
+    let kinds = [
+        NetworkKind::UniformSerialTorus,
+        NetworkKind::HeteroPhyFull,
+        NetworkKind::HeteroChannelFull,
+    ];
+    let mut rng = SimRng::seed(0x5C1B);
+    for case in 0..10 {
+        let geom = Geometry::new(2, 2, 2, 2);
+        let kind = kinds[rng.index(kinds.len())];
+        // Low rates leave long quiescent stretches — the regime where a
+        // late bound would actually be exercised.
+        let rate = 0.002 + rng.below(8) as f64 * 0.002;
+        let seed = 100 + rng.below(1 << 16);
+        let mut config = SimConfig::default().with_seed(seed);
+        if case % 2 == 0 {
+            // Retry path armed with a BER high enough that go-back-N
+            // timeouts land inside otherwise-quiet stretches.
+            config = config.with_ber(1e-3).with_retry();
+        }
+        let mut net = kind.build(geom, config, SchedulingProfile::balanced());
+        if case % 3 == 0 {
+            net.set_fault_script(FaultScript::new(vec![
+                TimedFault {
+                    at: 700,
+                    target: FaultTarget::All,
+                    event: FaultEvent::PhyDown(PhyKind::Serial),
+                },
+                TimedFault {
+                    at: 1400,
+                    target: FaultTarget::All,
+                    event: FaultEvent::PhyUp(PhyKind::Serial),
+                },
+            ]));
+        }
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, rate, 16, seed);
+        let mut buf = Vec::new();
+        for _ in 0..2500u64 {
+            w.poll(net.now(), &mut buf);
+            for req in buf.drain(..) {
+                net.offer(req);
+            }
+            let now = net.now();
+            let bound = net.next_event();
+            assert!(
+                bound >= now,
+                "case {case} ({kind:?}): bound {bound} is in the past at {now}"
+            );
+            let idle_before = net.idle_cycles();
+            let delivered_before = net.collector().delivered_flits;
+            let live_before = net.live_packets();
+            net.step();
+            if bound > now {
+                // Inside a claimed-quiet stretch the step must change
+                // nothing observable: no delivery, no packet state
+                // change, and the idle clock advances by exactly one.
+                assert_eq!(
+                    net.collector().delivered_flits,
+                    delivered_before,
+                    "case {case} ({kind:?}): delivery at {now}, bound said {bound}"
+                );
+                assert_eq!(
+                    net.live_packets(),
+                    live_before,
+                    "case {case} ({kind:?}): packet state changed at {now}, \
+                     bound said {bound}"
+                );
+                assert_eq!(
+                    net.idle_cycles(),
+                    idle_before + 1,
+                    "case {case} ({kind:?}): activity at {now}, bound said {bound}"
+                );
+            }
+        }
+    }
+}
+
+/// Regression fixture for the interaction the next-event bound exists
+/// for: a go-back-N retransmission whose retry timeout expires inside a
+/// stretch the fast-forward would otherwise skip. With a corrupted flit
+/// in the replay window and no other traffic, the network goes quiet
+/// until `last_progress + retry_timeout`; the bound must stop the skip
+/// there so the retransmit fires on its exact cycle. The run is pinned
+/// to actually retransmit, and the skip and tick loops must agree
+/// bit-for-bit on every result field.
+#[test]
+fn retransmit_inside_skipped_stretch_is_bit_identical() {
+    use hetero_chiplet::heterosys::presets::NetworkKind;
+    use hetero_chiplet::heterosys::sim::{run, RunSpec};
+    use hetero_chiplet::heterosys::{SchedulingProfile, SimConfig};
+    use hetero_chiplet::traffic::SyntheticWorkload;
+
+    let geom = Geometry::new(2, 2, 2, 2);
+    for threads in [1usize, 4] {
+        let mut outcomes = Vec::new();
+        for skip in [false, true] {
+            let config = SimConfig::default()
+                .with_seed(0x60BA)
+                .with_ber(5e-3)
+                .with_retry()
+                .with_shard_threads(threads)
+                .with_idle_skip(skip);
+            let mut net =
+                NetworkKind::UniformSerialTorus.build(geom, config, SchedulingProfile::balanced());
+            let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+            // A trickle of traffic: single packets with long quiet gaps,
+            // so every retry timeout sits in a would-be-skipped stretch.
+            let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.004, 16, 0x60BA);
+            let out = run(&mut net, &mut w, RunSpec::quick());
+            assert!(
+                out.results.retransmitted_flits > 0,
+                "fixture lost its trigger: no retransmission occurred \
+                 (threads {threads}, skip {skip})"
+            );
+            outcomes.push((out.drained, out.deadlocked, out.results));
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "skip vs tick diverged on the retransmit fixture at {threads} thread(s)"
+        );
+    }
+}
