@@ -20,9 +20,23 @@
 //!   machines). On a 1-core host either failure is downgraded to a
 //!   recorded warning (`speedup_gate_downgraded` /
 //!   `lowrate.skip_gate_downgraded` in the JSON) — the targets were
-//!   calibrated on multi-core hardware;
+//!   calibrated on multi-core hardware. Also asserts the serve-cache
+//!   gates, which are *not* downgraded on 1-core hosts: a repeated
+//!   identical batch against the `hetero-serve` service must come back
+//!   ≥ 10× faster than the cold batch (pure cache hits), and a
+//!   warm-start sweep on a warmup-heavy schedule must beat the same
+//!   sweep run cold by ≥ 2× at one worker;
 //! * `--check-overhead` — fail if the armed metrics registry costs ≥ 3%
-//!   on either the reference preset or the low-rate preset;
+//!   on either the reference preset or the low-rate preset, or if the
+//!   armed analysis trace (the `link,fault,phase` filter — link state
+//!   changes, fault injections, phase transitions) costs ≥ 3% on the
+//!   reference preset. The *unfiltered* trace — every inject, hop and
+//!   PHY dispatch, ~7M retained events per simulated second — is
+//!   measured and reported (`trace_full_overhead_pct`) but not gated:
+//!   its cost is the per-event emission, merge and retention work, which
+//!   scales with event volume and no ring size makes free; a 3% ceiling
+//!   on it would be a gate against using the firehose at all, not a
+//!   regression guard;
 //! * `--reps N` — timing repetitions (default 5; the best rep wins);
 //! * `--threads LIST` — comma-separated shard-thread counts (e.g.
 //!   `1,2,4,8`): after the serial measurement, time the same preset once
@@ -37,12 +51,20 @@
 //! — parallel speedup (and barrier elision) is the thing being measured,
 //! and CPU time would charge the worker pool's spinning as progress.
 //!
-//! Overhead percentages are computed from **block totals** — the summed
-//! CPU time of all reps per instrumentation level — not from best-of-rep
-//! pairs. `/proc/self/stat` ticks at 10 ms; on a ~0.3 s rep a single
-//! tick is >3% all by itself, which once shipped an 11% "trace overhead"
-//! that was pure quantization. Summing five reps puts ~1.5 s behind each
-//! endpoint and the tick under 1%.
+//! Overhead percentages are computed as **median paired ratios**: each
+//! round times every level once (multi-run blocks in one CPU-clock
+//! interval, disabled blocks bracketing the round, instrumented order
+//! rotating round to round), reduces to one ratio per level against the
+//! round's own bracket mean, and the report takes the median ratio
+//! across rounds. Each piece answers a failure mode this gate has
+//! shipped: `/proc/self/stat` ticks at 10 ms — ~5% of a single ~0.2 s
+//! rep, which once produced a 13.8% "trace overhead" that was mostly
+//! artifact — so samples are blocks of several identical runs;
+//! machine-speed drift on shared hosts runs to double digits over an
+//! experiment, so ratios are taken round-locally against a bracketed
+//! baseline rather than across the whole experiment; and a frequency
+//! step corrupts whole rounds at once, which the cross-round median
+//! discards wholesale where any mean would absorb it.
 //!
 //! The JSON is emitted through [`simkit::json`] — every field set by
 //! name on a tree, rendered by a writer that owns quoting — after a
@@ -52,14 +74,16 @@
 //! trajectory is tracked alongside `results/`.
 
 use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
-use chiplet_topo::NodeId;
+use chiplet_topo::{Geometry, NodeId};
 use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
 use hetero_bench::harness::default_out_dir;
 use hetero_if::golden;
 use hetero_if::presets::{medium_system, parsec_system};
 use hetero_if::scheduler::SchedulingProfile;
 use hetero_if::sim::{run, RunSpec};
-use hetero_if::{NetworkKind, SimConfig};
+use hetero_if::{Network, NetworkKind, SimConfig};
+use hetero_serve::api::{Backend, BatchRequest, JobSpec};
+use hetero_serve::service::SweepService;
 use simkit::json::Json;
 use simkit::TraceFilter;
 use std::path::PathBuf;
@@ -74,10 +98,57 @@ use std::time::Instant;
 const BASELINE_FLITS_PER_SEC: f64 = 480_000.0;
 const SPEEDUP_TARGET: f64 = 1.5;
 
-/// Ceiling on the metrics-registry overhead (`--check-overhead`): the
-/// observability layer's budget is < 3% with the registry armed, and the
-/// disabled path must stay at its enum-dispatch cost of ~0%.
+/// Ceiling on the armed-observability overhead (`--check-overhead`):
+/// the metrics registry alone, and metrics plus the armed analysis
+/// trace ([`TRACE_GATE_FILTER`]), must each stay under 3%; the disabled
+/// path must stay at its enum-dispatch cost of ~0%.
 const OVERHEAD_TARGET_PCT: f64 = 3.0;
+
+/// The gated trace configuration: the link-level analysis kinds — link
+/// state changes (bursts, retransmits, recovery), fault injections and
+/// phase transitions — which is what the paper's fault/recovery
+/// analyses read and what a user leaves armed across a sweep. On the
+/// clean reference preset these kinds fire rarely, so the configuration
+/// prices what armed tracing costs the hot path: one filter branch per
+/// rejected flit event (~1.8M per rep) plus the per-cycle merge fold.
+const TRACE_GATE_FILTER: &str = "link,fault,phase";
+
+/// Ring capacity for both trace configurations — the same 64K-event
+/// window either way, so the gated-vs-full comparison isolates *event
+/// volume* as the cost axis rather than ring footprint. 64K events is
+/// the post-mortem window the old gate used; the CLI export path
+/// (`hetero-sim --trace`) uses a 1M-event ring and pays accordingly.
+const TRACE_RING_CAP: usize = 1 << 16;
+
+/// Floor on the interleaved overhead-comparison rounds, applied even
+/// under `--smoke` (which pins the headline timing to one rep): with a
+/// 10 ms CPU-clock tick and ~0.25 s reps, anything less leaves the
+/// comparison dominated by quantization rather than by the overhead it
+/// claims to measure.
+const OVERHEAD_MIN_REPS: u32 = 5;
+
+/// Identical runs timed per overhead sample (one CPU-clock interval
+/// around the whole block, builds excluded): a ~0.9 s sample is ~90
+/// CPU-clock ticks, cutting per-sample quantization to well under 1%
+/// and breaking the tick-phase aliasing a train of individually-timed
+/// ~0.2 s reps is prone to.
+const OVERHEAD_BLOCK_RUNS: usize = 4;
+
+/// Median of a set of samples (mean of the middle two when even).
+/// The overhead estimator reduces each round to one ratio and takes the
+/// median across rounds: a frequency step or scheduler burst corrupts
+/// the rounds it lands in, and the median discards those wholesale
+/// instead of letting them shift an average.
+fn median(samples: &[f64]) -> f64 {
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
 
 /// The reference workload: uniform traffic on the hetero-PHY torus.
 const PRESET: NetworkKind = NetworkKind::HeteroPhyFull;
@@ -106,6 +177,35 @@ const SKIP_SPEEDUP_TARGET: f64 = 3.0;
 /// the armed registry stays cheap even when most of the run is being
 /// fast-forwarded.
 const LOWRATE_OVERHEAD_TARGET_PCT: f64 = 6.0;
+
+/// Floor on the serve-cache batch speedup under `--check-speedup`: a
+/// repeated identical batch against `hetero-serve`'s [`SweepService`]
+/// must come back at least this much faster than the cold batch that
+/// populated the cache. Unlike the engine-speedup gates this one is
+/// never downgraded on a 1-core host — a cache hit does not simulate
+/// anything, so its latency does not depend on core count.
+const SERVE_BATCH_SPEEDUP_TARGET: f64 = 10.0;
+
+/// Floor on the warm-start sweep speedup under `--check-speedup`: on a
+/// warmup-heavy schedule, a warm-start job (one paid warm-up forked to
+/// every point via checkpoint/restore) must finish at least this much
+/// faster than the same sweep run cold on a fresh service. Measured at
+/// one worker so the comparison is serial-time against serial-time.
+const WARM_SWEEP_SPEEDUP_TARGET: f64 = 2.0;
+
+/// Rates of the serve batch bench (quick schedule, 16-node system):
+/// enough points that the cold batch is real simulation work.
+const SERVE_RATES: [f64; 4] = [0.02, 0.03, 0.04, 0.05];
+
+/// Rates of the warm-start sweep bench: a fine low-rate sweep, the
+/// shape warm-start mode exists for (many points, none saturated, all
+/// sharing one long warm-up).
+const WARM_RATES: [f64; 6] = [0.010, 0.012, 0.014, 0.016, 0.018, 0.020];
+
+/// Warm-up cycles of the warm-start sweep bench's schedule. Paired with
+/// a short measure window so the warm-up dominates each cold point —
+/// the regime where forking one warmed checkpoint pays.
+const WARM_WARMUP: u64 = 8000;
 
 struct GateOpts {
     smoke: bool,
@@ -197,11 +297,38 @@ fn cpu_seconds() -> Option<f64> {
 enum Instrument {
     /// Nothing armed: the disabled path (one enum-discriminant check).
     Off,
-    /// Metrics registry armed — the configuration the <3% gate covers.
+    /// Metrics registry armed — the first configuration the <3% gate
+    /// covers.
     Metrics,
-    /// Metrics plus a full unfiltered trace ring (informational; tracing
-    /// has a real per-event cost and carries no overhead budget).
-    Full,
+    /// Metrics plus the armed analysis trace ([`TRACE_GATE_FILTER`])
+    /// — the second gated configuration. The flit firehose kinds are
+    /// filtered out at emission, so the hot path pays one branch per
+    /// rejected event and retains only the rare link-level ones.
+    Trace,
+    /// Metrics plus a full unfiltered trace into the same ring.
+    /// Informational, never gated: retaining every inject, hop and PHY
+    /// dispatch costs emission + merge + ring-copy work per event
+    /// (~7M events per simulated second on the reference preset), which
+    /// scales with traffic and is the price of the firehose, not a
+    /// regression.
+    TraceFull,
+}
+
+/// Arms a freshly-built reference network at the given level.
+fn arm(net: &mut Network, instrument: Instrument) {
+    match instrument {
+        Instrument::Off => {}
+        Instrument::Metrics => net.enable_metrics(),
+        Instrument::Trace => {
+            net.enable_metrics();
+            let filter = TraceFilter::parse(TRACE_GATE_FILTER).expect("gate filter parses");
+            net.enable_trace(TRACE_RING_CAP, filter);
+        }
+        Instrument::TraceFull => {
+            net.enable_metrics();
+            net.enable_trace(TRACE_RING_CAP, TraceFilter::all());
+        }
+    }
 }
 
 /// One timed rep: build the reference network fresh at the given shard
@@ -213,14 +340,7 @@ fn timed_rep(base: SimConfig, threads: usize, instrument: Instrument) -> (f64, f
     let geom = medium_system();
     let config = base.with_shard_threads(threads);
     let mut net = PRESET.build(geom, config, SchedulingProfile::balanced());
-    match instrument {
-        Instrument::Off => {}
-        Instrument::Metrics => net.enable_metrics(),
-        Instrument::Full => {
-            net.enable_metrics();
-            net.enable_trace(1 << 16, TraceFilter::all());
-        }
-    }
+    arm(&mut net, instrument);
     let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
     let mut w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, RATE, PACKET_LEN, SEED);
     let spec = RunSpec::quick();
@@ -237,6 +357,44 @@ fn timed_rep(base: SimConfig, threads: usize, instrument: Instrument) -> (f64, f
         "reference preset must run clean"
     );
     (cpu, wall, net.collector().delivered_flits)
+}
+
+/// CPU seconds *per run* over a block of `k` identical reference runs
+/// timed inside one CPU-clock interval (every network and workload is
+/// built, untimed, up front). The simulator is deterministic, so each
+/// run in the block does identical work; a block several ticks long
+/// divides the 10 ms quantization error per sample by `k` and breaks
+/// the tick-phase aliasing that a train of individually-timed ~0.2 s
+/// reps is prone to.
+fn timed_block(base: SimConfig, instrument: Instrument, k: usize) -> (f64, u64) {
+    let geom = medium_system();
+    let config = base.with_shard_threads(1);
+    let mut runs: Vec<(Network, SyntheticWorkload)> = (0..k)
+        .map(|_| {
+            let mut net = PRESET.build(geom, config, SchedulingProfile::balanced());
+            arm(&mut net, instrument);
+            let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+            let w = SyntheticWorkload::new(nodes, TrafficPattern::Uniform, RATE, PACKET_LEN, SEED);
+            (net, w)
+        })
+        .collect();
+    let t0 = Instant::now();
+    let c0 = cpu_seconds();
+    let mut flits = 0u64;
+    for (net, w) in &mut runs {
+        let out = run(net, w, RunSpec::quick());
+        assert!(
+            !out.deadlocked && !out.fault_stalled,
+            "reference preset must run clean"
+        );
+        flits = net.collector().delivered_flits;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let cpu = match (c0, cpu_seconds()) {
+        (Some(a), Some(b)) if b > a => b - a,
+        _ => wall,
+    };
+    (cpu / k as f64, flits)
 }
 
 /// One low-rate rep: the 64-node hetero-PHY system at `LOWRATE` on
@@ -275,6 +433,110 @@ fn lowrate_rep(base: SimConfig, skip: bool, instrument: Instrument) -> (f64, u64
     (wall, net.collector().delivered_flits)
 }
 
+/// One serve-bench job: the reference preset at the 16-node geometry.
+fn serve_job(rates: &[f64], spec: RunSpec, warm_start: bool) -> JobSpec {
+    JobSpec {
+        kind: PRESET,
+        geom: Geometry::new(2, 2, 2, 2),
+        profile: SchedulingProfile::balanced(),
+        pattern: TrafficPattern::Uniform,
+        rates: rates.to_vec(),
+        packet_len: PACKET_LEN,
+        spec,
+        seed: SEED,
+        backend: Backend::Engine,
+        warm_start,
+    }
+}
+
+/// What the serve benches measured.
+struct ServeBench {
+    workers: usize,
+    cold_secs: f64,
+    hot_secs: f64,
+    batch_speedup: f64,
+    warm_cold_secs: f64,
+    warm_secs: f64,
+    warm_speedup: f64,
+    warm_cycles_saved: u64,
+}
+
+/// The `hetero-serve` service benches, exercised through the same
+/// [`SweepService`] the binary serves (no sockets: what is being priced
+/// is the cache and the scheduler, not loopback TCP).
+///
+/// * **batch**: run one batch cold on a fresh in-memory service, then
+///   the identical batch again — the repeat must be pure cache hits.
+///   Wall clock both ways; cold is best-of over fresh services, hot is
+///   best-of against the populated one.
+/// * **warm sweep**: the warmup-heavy sweep ([`WARM_RATES`] ×
+///   [`WARM_WARMUP`]) cold on one fresh service vs warm-start mode on
+///   another, one worker each, fresh services per rep so nothing is
+///   served from a previous rep's cache.
+fn serve_bench(reps: u32) -> ServeBench {
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+    let quick_batch = BatchRequest {
+        jobs: vec![serve_job(&SERVE_RATES, RunSpec::quick(), false)],
+    };
+    let reps = reps.clamp(2, 3);
+    let mut cold_secs = f64::INFINITY;
+    let mut hot_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let service = SweepService::new(None, workers).expect("in-memory serve service");
+        let t0 = Instant::now();
+        service.run_batch(&quick_batch);
+        cold_secs = cold_secs.min(t0.elapsed().as_secs_f64());
+        let before = service.stats();
+        let t0 = Instant::now();
+        service.run_batch(&quick_batch);
+        hot_secs = hot_secs.min(t0.elapsed().as_secs_f64());
+        let after = service.stats();
+        assert_eq!(
+            after.hits() - before.hits(),
+            after.points - before.points,
+            "a repeated identical batch must be served entirely from cache"
+        );
+    }
+
+    let heavy = RunSpec {
+        warmup: WARM_WARMUP,
+        measure: 500,
+        drain: 500,
+        ..RunSpec::quick()
+    };
+    let mut warm_cold_secs = f64::INFINITY;
+    let mut warm_secs = f64::INFINITY;
+    let mut warm_cycles_saved = 0;
+    for _ in 0..reps {
+        let cold = SweepService::new(None, 1).expect("in-memory serve service");
+        let batch = BatchRequest {
+            jobs: vec![serve_job(&WARM_RATES, heavy, false)],
+        };
+        let t0 = Instant::now();
+        cold.run_batch(&batch);
+        warm_cold_secs = warm_cold_secs.min(t0.elapsed().as_secs_f64());
+
+        let warm = SweepService::new(None, 1).expect("in-memory serve service");
+        let batch = BatchRequest {
+            jobs: vec![serve_job(&WARM_RATES, heavy, true)],
+        };
+        let t0 = Instant::now();
+        warm.run_batch(&batch);
+        warm_secs = warm_secs.min(t0.elapsed().as_secs_f64());
+        warm_cycles_saved = warm.stats().warm_cycles_saved;
+    }
+    ServeBench {
+        workers,
+        cold_secs,
+        hot_secs,
+        batch_speedup: cold_secs / hot_secs,
+        warm_cold_secs,
+        warm_secs,
+        warm_speedup: warm_cold_secs / warm_secs,
+        warm_cycles_saved,
+    }
+}
+
 /// One scaling-sweep point: best wall-clock over `reps` at `threads`.
 struct ScalePoint {
     threads: usize,
@@ -291,10 +553,13 @@ struct ReportData {
     flits_per_sec: f64,
     speedup: f64,
     speedup_gate_downgraded: bool,
+    overhead_reps: u32,
     metrics_secs: f64,
     metrics_overhead_pct: f64,
     trace_secs: f64,
     trace_overhead_pct: f64,
+    trace_full_secs: f64,
+    trace_full_overhead_pct: f64,
     host_cores: usize,
     scaling: Vec<ScalePoint>,
     lowrate_tick_secs: f64,
@@ -304,6 +569,7 @@ struct ReportData {
     skip_gate_downgraded: bool,
     lowrate_metrics_secs: f64,
     lowrate_overhead_pct: f64,
+    serve: ServeBench,
 }
 
 /// Assembles the `BENCH_perf.json` tree. Every field is set by name —
@@ -323,10 +589,18 @@ fn build_report(r: &ReportData) -> Json {
         .set("baseline_flits_per_sec", Json::from(BASELINE_FLITS_PER_SEC))
         .set("speedup", Json::from(r.speedup))
         .set("speedup_target", Json::from(SPEEDUP_TARGET))
+        .set("overhead_reps", Json::from(u64::from(r.overhead_reps)))
         .set("metrics_secs", Json::from(r.metrics_secs))
         .set("metrics_overhead_pct", Json::from(r.metrics_overhead_pct))
+        .set("trace_ring_cap", Json::from(TRACE_RING_CAP))
+        .set("trace_filter", Json::from(TRACE_GATE_FILTER))
         .set("trace_secs", Json::from(r.trace_secs))
         .set("trace_overhead_pct", Json::from(r.trace_overhead_pct))
+        .set("trace_full_secs", Json::from(r.trace_full_secs))
+        .set(
+            "trace_full_overhead_pct",
+            Json::from(r.trace_full_overhead_pct),
+        )
         .set("overhead_target_pct", Json::from(OVERHEAD_TARGET_PCT))
         .set("host_cores", Json::from(r.host_cores))
         .set(
@@ -376,6 +650,29 @@ fn build_report(r: &ReportData) -> Json {
             Json::from(LOWRATE_OVERHEAD_TARGET_PCT),
         );
     doc.set("lowrate", lowrate);
+
+    let s = &r.serve;
+    let mut serve = Json::obj();
+    serve
+        .set("preset", Json::from(PRESET.label()))
+        .set("nodes", Json::from(Geometry::new(2, 2, 2, 2).nodes()))
+        .set("workers", Json::from(s.workers))
+        .set("batch_rates", Json::from(SERVE_RATES.len()))
+        .set("cold_secs", Json::from(s.cold_secs))
+        .set("hot_secs", Json::from(s.hot_secs))
+        .set("batch_speedup", Json::from(s.batch_speedup))
+        .set(
+            "batch_speedup_target",
+            Json::from(SERVE_BATCH_SPEEDUP_TARGET),
+        )
+        .set("warm_rates", Json::from(WARM_RATES.len()))
+        .set("warm_warmup", Json::from(WARM_WARMUP))
+        .set("warm_cold_secs", Json::from(s.warm_cold_secs))
+        .set("warm_secs", Json::from(s.warm_secs))
+        .set("warm_speedup", Json::from(s.warm_speedup))
+        .set("warm_speedup_target", Json::from(WARM_SWEEP_SPEEDUP_TARGET))
+        .set("warm_cycles_saved", Json::from(s.warm_cycles_saved));
+    doc.set("serve", serve);
     doc
 }
 
@@ -404,32 +701,85 @@ fn main() {
         medium_system().nodes(),
         opts.reps
     );
-    // One round per rep, all three instrumentation levels back to back:
-    // interleaving keeps a slow drift in machine speed (thermal, noisy
-    // neighbours) from landing entirely on one level and reading as
-    // overhead. Block totals per level are compared afterwards.
+    // One round per rep. Each round samples the disabled level at both
+    // ends (bracketing) with the three instrumented levels in between,
+    // rotating the instrumented order from round to round, and reduces
+    // to one ratio per level: level time over the bracket mean. The
+    // reported overhead is the *median* ratio across rounds. Each
+    // defence targets a failure mode this gate has actually shipped:
+    // blocks of `OVERHEAD_BLOCK_RUNS` identical runs per sample beat
+    // the 10 ms CPU-tick quantization (a single-rep comparison once
+    // reported 13.8% that was mostly artifact); bracketing centres
+    // slow machine drift on the baseline; rotation keeps a repeating
+    // intra-round drift pattern from always taxing the same level; and
+    // the median discards the rounds a frequency step or noisy
+    // neighbour lands on wholesale. The rounds are floored at
+    // `OVERHEAD_MIN_REPS` even under `--smoke`.
+    let oh_reps = opts.reps.max(OVERHEAD_MIN_REPS);
     let mut best_secs = f64::INFINITY;
     let mut flits = 0u64;
-    let mut off_block = 0.0;
-    let mut metrics_secs = f64::INFINITY;
-    let mut trace_secs = f64::INFINITY;
-    let mut metrics_block = 0.0;
-    let mut trace_block = 0.0;
-    for rep in 1..=opts.reps {
-        let (secs, _, f) = timed_rep(base_config, 1, Instrument::Off);
-        println!("  rep {rep}: {secs:.3}s  ({:.0} flits/s)", f as f64 / secs);
-        off_block += secs;
-        if secs < best_secs {
-            best_secs = secs;
+    let mut off_reps: Vec<f64> = Vec::new();
+    let mut metrics_reps: Vec<f64> = Vec::new();
+    let mut trace_reps: Vec<f64> = Vec::new();
+    let mut full_reps: Vec<f64> = Vec::new();
+    let mut metrics_ratios: Vec<f64> = Vec::new();
+    let mut trace_ratios: Vec<f64> = Vec::new();
+    let mut full_ratios: Vec<f64> = Vec::new();
+    for rep in 1..=oh_reps {
+        let (off_a, f) = timed_block(base_config, Instrument::Off, OVERHEAD_BLOCK_RUNS);
+        println!(
+            "  round {rep}: {off_a:.4}s/run  ({:.0} flits/s)",
+            f as f64 / off_a
+        );
+        off_reps.push(off_a);
+        if off_a < best_secs {
+            best_secs = off_a;
             flits = f;
         }
-        let (secs, _, _) = timed_rep(base_config, 1, Instrument::Metrics);
-        metrics_block += secs;
-        metrics_secs = metrics_secs.min(secs);
-        let (secs, _, _) = timed_rep(base_config, 1, Instrument::Full);
-        trace_block += secs;
-        trace_secs = trace_secs.min(secs);
+        let order = match rep % 3 {
+            0 => [
+                Instrument::Metrics,
+                Instrument::Trace,
+                Instrument::TraceFull,
+            ],
+            1 => [
+                Instrument::Trace,
+                Instrument::TraceFull,
+                Instrument::Metrics,
+            ],
+            _ => [
+                Instrument::TraceFull,
+                Instrument::Metrics,
+                Instrument::Trace,
+            ],
+        };
+        let mut round = [0.0f64; 3];
+        for inst in order {
+            let (secs, _) = timed_block(base_config, inst, OVERHEAD_BLOCK_RUNS);
+            let slot = match inst {
+                Instrument::Metrics => 0,
+                Instrument::Trace => 1,
+                _ => 2,
+            };
+            round[slot] = secs;
+        }
+        metrics_reps.push(round[0]);
+        trace_reps.push(round[1]);
+        full_reps.push(round[2]);
+        let (off_b, f) = timed_block(base_config, Instrument::Off, OVERHEAD_BLOCK_RUNS);
+        off_reps.push(off_b);
+        if off_b < best_secs {
+            best_secs = off_b;
+            flits = f;
+        }
+        let bracket = (off_a + off_b) / 2.0;
+        metrics_ratios.push(round[0] / bracket);
+        trace_ratios.push(round[1] / bracket);
+        full_ratios.push(round[2] / bracket);
     }
+    let metrics_secs = metrics_reps.iter().copied().fold(f64::INFINITY, f64::min);
+    let trace_secs = trace_reps.iter().copied().fold(f64::INFINITY, f64::min);
+    let trace_full_secs = full_reps.iter().copied().fold(f64::INFINITY, f64::min);
     let flits_per_sec = flits as f64 / best_secs;
     let speedup = if BASELINE_FLITS_PER_SEC > 0.0 {
         flits_per_sec / BASELINE_FLITS_PER_SEC
@@ -441,22 +791,30 @@ fn main() {
          (baseline {BASELINE_FLITS_PER_SEC:.0}, speedup {speedup:.2}x)"
     );
 
-    // Observability overhead: the metrics registry armed (gated < 3%
-    // under --check-overhead), and full tracing on top (informational
-    // only; tracing has a real per-event cost and no overhead budget).
-    // Percentages compare block totals — summed CPU over all reps per
-    // level — because the 10 ms CPU-clock tick is itself ~3% of one rep.
-    // Clamp negative overheads to 0: an instrumented block beating the
-    // disabled block is timing noise (scheduler jitter, cache warmth),
+    // Observability overhead: the metrics registry armed, and the armed
+    // analysis trace on top — both gated < 3% under --check-overhead —
+    // plus the full unfiltered firehose (informational: retaining every
+    // flit event costs per-event emission + merge + copy work that
+    // scales with traffic by construction). Each percentage is the
+    // median across rounds of that level's per-round ratio against the
+    // bracketed disabled baseline (see the round loop above). Clamp
+    // negative overheads to 0: an instrumented level beating the
+    // disabled level is timing noise (scheduler jitter, cache warmth),
     // and a negative percentage in the report reads as a claim that
     // instrumentation speeds the simulator up.
-    let metrics_overhead_pct = ((metrics_block / off_block - 1.0) * 100.0).max(0.0);
-    let trace_overhead_pct = ((trace_block / off_block - 1.0) * 100.0).max(0.0);
+    let off_mean = median(&off_reps);
+    let metrics_mean = median(&metrics_reps);
+    let trace_mean = median(&trace_reps);
+    let full_mean = median(&full_reps);
+    let metrics_overhead_pct = ((median(&metrics_ratios) - 1.0) * 100.0).max(0.0);
+    let trace_overhead_pct = ((median(&trace_ratios) - 1.0) * 100.0).max(0.0);
+    let trace_full_overhead_pct = ((median(&full_ratios) - 1.0) * 100.0).max(0.0);
     println!(
-        "perf_gate: observability overhead (block of {} rep(s)): metrics \
-         {metrics_overhead_pct:+.2}% ({metrics_block:.3}s), metrics+trace \
-         {trace_overhead_pct:+.2}% ({trace_block:.3}s) vs disabled {off_block:.3}s",
-        opts.reps
+        "perf_gate: observability overhead (median paired ratio over {oh_reps} round(s)): \
+         metrics {metrics_overhead_pct:+.2}% ({metrics_mean:.4}s/rep), \
+         metrics+trace[{TRACE_GATE_FILTER}] {trace_overhead_pct:+.2}% ({trace_mean:.4}s/rep), \
+         metrics+trace[all] {trace_full_overhead_pct:+.2}% ({full_mean:.4}s/rep) \
+         vs disabled {off_mean:.4}s/rep"
     );
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -537,6 +895,31 @@ fn main() {
         parsec_system().nodes()
     );
 
+    // Serve-cache benches: the repeated-batch cache speedup and the
+    // warm-start sweep speedup, through the same SweepService the
+    // hetero-serve binary fronts.
+    let serve = serve_bench(opts.reps);
+    println!(
+        "perf_gate: serve batch ({} nodes, {} rates, {} worker(s)): cold {:.4}s, \
+         hot {:.5}s -> {:.1}x (target {SERVE_BATCH_SPEEDUP_TARGET}x, all hits)",
+        Geometry::new(2, 2, 2, 2).nodes(),
+        SERVE_RATES.len(),
+        serve.workers,
+        serve.cold_secs,
+        serve.hot_secs,
+        serve.batch_speedup
+    );
+    println!(
+        "perf_gate: serve warm-start sweep ({} rates, warmup {WARM_WARMUP}, 1 worker): \
+         cold {:.4}s, warm {:.4}s -> {:.2}x (target {WARM_SWEEP_SPEEDUP_TARGET}x, \
+         {} warm-up cycles saved)",
+        WARM_RATES.len(),
+        serve.warm_cold_secs,
+        serve.warm_secs,
+        serve.warm_speedup,
+        serve.warm_cycles_saved
+    );
+
     let speedup_gate_downgraded = host_cores == 1 && opts.check_speedup && speedup < SPEEDUP_TARGET;
     let skip_gate_downgraded =
         host_cores == 1 && opts.check_speedup && skip_speedup < SKIP_SPEEDUP_TARGET;
@@ -547,10 +930,13 @@ fn main() {
         flits_per_sec,
         speedup,
         speedup_gate_downgraded,
+        overhead_reps: oh_reps,
         metrics_secs,
         metrics_overhead_pct,
         trace_secs,
         trace_overhead_pct,
+        trace_full_secs,
+        trace_full_overhead_pct,
         host_cores,
         scaling,
         lowrate_tick_secs,
@@ -560,6 +946,7 @@ fn main() {
         skip_gate_downgraded,
         lowrate_metrics_secs,
         lowrate_overhead_pct,
+        serve,
     };
 
     if let Some(dir) = &opts.out_dir {
@@ -613,11 +1000,39 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The serve gates are never downgraded on a 1-core host: a cache
+    // hit simulates nothing, and the warm-start comparison is pinned to
+    // one worker on both sides, so neither depends on core count.
+    if opts.check_speedup && report.serve.batch_speedup < SERVE_BATCH_SPEEDUP_TARGET {
+        eprintln!(
+            "perf_gate: FAILED serve-cache gate: repeated identical batch came back \
+             {:.1}x faster < {SERVE_BATCH_SPEEDUP_TARGET}x (cold {:.4}s vs hot {:.5}s)",
+            report.serve.batch_speedup, report.serve.cold_secs, report.serve.hot_secs
+        );
+        std::process::exit(1);
+    }
+    if opts.check_speedup && report.serve.warm_speedup < WARM_SWEEP_SPEEDUP_TARGET {
+        eprintln!(
+            "perf_gate: FAILED warm-start gate: warm sweep only {:.2}x faster < \
+             {WARM_SWEEP_SPEEDUP_TARGET}x (cold {:.4}s vs warm {:.4}s)",
+            report.serve.warm_speedup, report.serve.warm_cold_secs, report.serve.warm_secs
+        );
+        std::process::exit(1);
+    }
     if opts.check_overhead && metrics_overhead_pct >= OVERHEAD_TARGET_PCT {
         eprintln!(
             "perf_gate: FAILED overhead gate: metrics registry costs \
              {metrics_overhead_pct:.2}% >= {OVERHEAD_TARGET_PCT}% \
-             ({metrics_block:.3}s vs {off_block:.3}s disabled)"
+             ({metrics_mean:.4}s/rep vs {off_mean:.4}s/rep disabled)"
+        );
+        std::process::exit(1);
+    }
+    if opts.check_overhead && trace_overhead_pct >= OVERHEAD_TARGET_PCT {
+        eprintln!(
+            "perf_gate: FAILED overhead gate: armed analysis trace \
+             ({TRACE_GATE_FILTER}) costs {trace_overhead_pct:.2}% >= \
+             {OVERHEAD_TARGET_PCT}% ({trace_mean:.4}s/rep vs {off_mean:.4}s/rep \
+             disabled)"
         );
         std::process::exit(1);
     }
@@ -644,10 +1059,13 @@ mod tests {
             flits_per_sec: 4_555_966.8,
             speedup: 9.49,
             speedup_gate_downgraded: false,
+            overhead_reps: 5,
             metrics_secs: 0.273,
             metrics_overhead_pct: 0.74,
-            trace_secs: 0.301,
-            trace_overhead_pct: 2.1,
+            trace_secs: 0.277,
+            trace_overhead_pct: 1.4,
+            trace_full_secs: 0.301,
+            trace_full_overhead_pct: 9.8,
             host_cores: 4,
             scaling: vec![
                 ScalePoint {
@@ -668,6 +1086,16 @@ mod tests {
             skip_gate_downgraded: false,
             lowrate_metrics_secs: 0.0150,
             lowrate_overhead_pct: 1.35,
+            serve: ServeBench {
+                workers: 4,
+                cold_secs: 0.062,
+                hot_secs: 0.0011,
+                batch_speedup: 56.4,
+                warm_cold_secs: 0.131,
+                warm_secs: 0.038,
+                warm_speedup: 3.45,
+                warm_cycles_saved: 40_000,
+            },
         }
     }
 
@@ -727,6 +1155,25 @@ mod tests {
         assert_eq!(
             lowrate.get("skip_speedup_target").and_then(Json::as_f64),
             Some(SKIP_SPEEDUP_TARGET)
+        );
+
+        let serve = doc.get("serve").expect("serve object");
+        assert_eq!(serve.get("nodes").and_then(Json::as_u64), Some(16));
+        assert_eq!(
+            serve.get("batch_speedup").and_then(Json::as_f64),
+            Some(56.4)
+        );
+        assert_eq!(
+            serve.get("batch_speedup_target").and_then(Json::as_f64),
+            Some(SERVE_BATCH_SPEEDUP_TARGET)
+        );
+        assert_eq!(
+            serve.get("warm_speedup_target").and_then(Json::as_f64),
+            Some(WARM_SWEEP_SPEEDUP_TARGET)
+        );
+        assert_eq!(
+            serve.get("warm_cycles_saved").and_then(Json::as_u64),
+            Some(40_000)
         );
     }
 

@@ -47,6 +47,7 @@ fn checked_in_bench_report_is_valid_json() {
         "speedup",
         "metrics_overhead_pct",
         "trace_overhead_pct",
+        "trace_full_overhead_pct",
     ] {
         let v = doc.get(key).and_then(Json::as_f64);
         assert!(
@@ -72,4 +73,58 @@ fn checked_in_bench_report_is_valid_json() {
         .get("skip_wall_secs")
         .and_then(Json::as_f64)
         .is_some());
+
+    // The gated trace is the armed analysis filter, not the firehose:
+    // the filter string is recorded so a dashboard (or a reviewer) can
+    // see exactly which event classes the 3% promise covers.
+    let filter = doc
+        .get("trace_filter")
+        .and_then(Json::as_str)
+        .expect("`trace_filter` must be a string");
+    assert!(!filter.is_empty());
+
+    // The serve-layer block: cold/hot batch and warm-start sweep
+    // timings plus the targets the local gate enforces.
+    let serve = doc.get("serve").expect("`serve` object");
+    for key in [
+        "cold_secs",
+        "hot_secs",
+        "batch_speedup",
+        "batch_speedup_target",
+        "warm_cold_secs",
+        "warm_secs",
+        "warm_speedup",
+        "warm_speedup_target",
+        "warm_cycles_saved",
+    ] {
+        let v = serve.get(key).and_then(Json::as_f64);
+        assert!(
+            v.is_some(),
+            "`serve.{key}` must be a number, got {:?}",
+            serve.get(key)
+        );
+    }
+    let batch_target = serve
+        .get("batch_speedup_target")
+        .and_then(Json::as_f64)
+        .expect("checked above");
+    assert!(batch_target >= 10.0, "the batch gate must stay at >=10x");
+}
+
+/// The report is published twice — at the repository root (the
+/// documented artifact) and under `results/` (what CI uploads). They
+/// must be the same bytes: `perf_gate --out results` writes both from
+/// one buffer, and any divergence means one copy went stale.
+#[test]
+fn root_and_results_bench_reports_are_byte_identical() {
+    let root = repo_root();
+    let canonical = std::fs::read(root.join("BENCH_perf.json"))
+        .expect("root BENCH_perf.json must exist and be readable");
+    let mirror = std::fs::read(root.join("results/BENCH_perf.json"))
+        .expect("results/BENCH_perf.json must exist and be readable");
+    assert!(
+        canonical == mirror,
+        "BENCH_perf.json and results/BENCH_perf.json have diverged; \
+         regenerate both with `perf_gate --out results`"
+    );
 }

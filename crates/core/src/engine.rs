@@ -96,11 +96,13 @@ pub(crate) struct Hub {
     del_scratch: Vec<(u32, Delivery)>,
     /// The bounded trace store (`None` unless tracing is enabled).
     /// Shard buffers are folded in here every merge in canonical
-    /// `(key, seq)` order; hub-side events (faults, phase changes,
+    /// stable-by-key order; hub-side events (faults, phase changes,
     /// barrier waits) are pushed directly.
     pub trace: Option<TraceRing>,
-    /// Merge scratch: trace events as `(merge key, per-shard seq, event)`.
-    trace_scratch: Vec<(u64, u32, TraceEvent)>,
+    /// Merge scratch: trace events as `(merge key, event)`, used only
+    /// when more than one shard contributes (the single-shard path sorts
+    /// the shard's own buffer in place).
+    trace_scratch: Vec<(u64, TraceEvent)>,
     /// The metrics catalog (`None` unless metrics are enabled). The
     /// per-shard cell slices live inside the shards; snapshots fold them
     /// through this registry.
@@ -463,20 +465,33 @@ impl ShardedEngine {
             }
         }
         if let Some(ring) = hub.trace.as_mut() {
-            hub.trace_scratch.clear();
-            for g in guards.iter() {
-                if let Tracer::On(buf) = &g.tracer {
-                    hub.trace_scratch.extend_from_slice(&buf.events);
+            // A *stable* sort by key reproduces the serial emission
+            // order: the key's lane bit puts phase-1 (link) events
+            // before phase-2 (node) events, and per key all events come
+            // from the one owning shard, whose buffer holds them in
+            // program order — which stability preserves. The sort is
+            // also the reason this path is affordable with a full
+            // unfiltered ring: the per-cycle stream is a concatenation
+            // of a few ascending runs (each emission loop walks ids in
+            // order), which the stable run-detecting sort merges in
+            // near-linear time where a pattern-defeating unstable sort
+            // pays full n·log n.
+            if let [g] = &mut guards[..] {
+                // Single shard: sort its buffer in place — it is cleared
+                // below anyway — and skip the scratch copy entirely.
+                if let Tracer::On(buf) = &mut g.tracer {
+                    buf.events.sort_by_key(|&(key, _)| key);
+                    ring.extend_prefiltered(&buf.events);
                 }
-            }
-            // (key, seq) reproduces the serial emission order: the key's
-            // lane bit puts phase-1 (link) events before phase-2 (node)
-            // events, and per key all events come from the one owning
-            // shard, so its sequence numbers are program order.
-            hub.trace_scratch
-                .sort_unstable_by_key(|&(key, seq, _)| (key, seq));
-            for &(_, _, ev) in hub.trace_scratch.iter() {
-                ring.push(ev);
+            } else {
+                hub.trace_scratch.clear();
+                for g in guards.iter() {
+                    if let Tracer::On(buf) = &g.tracer {
+                        hub.trace_scratch.extend_from_slice(&buf.events);
+                    }
+                }
+                hub.trace_scratch.sort_by_key(|&(key, _)| key);
+                ring.extend_prefiltered(&hub.trace_scratch);
             }
         }
         let mut any = false;

@@ -46,6 +46,10 @@
 //!   scripts; [`Network::set_fault_script`] schedules hard failures);
 //! * [`golden`] — the golden-trace matrix pinning the bit-identity
 //!   contract that hot-path optimizations must preserve;
+//! * [`cache`] — the content-addressed result cache (SHA-256 over the
+//!   canonical point identity; in-memory LRU over an integrity-checked
+//!   on-disk store) shared by `hetero-serve`, `hetero-sim --cache-dir`
+//!   and the bench harness;
 //! * [`checkpoint`] — snapshot-exact save/restore of a running network
 //!   ([`Network::checkpoint`] / [`Network::restore`] /
 //!   [`Network::fork_with`]), restorable at a different shard count;
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod economy;
@@ -71,6 +76,7 @@ mod shard;
 pub mod sim;
 pub mod sweep;
 
+pub use cache::{CacheKey, CacheSource, CachedPoint, PointDesc, ResultCache};
 pub use checkpoint::CHECKPOINT_VERSION;
 pub use chiplet_fault::{FaultConfig, FaultEvent, FaultScript, FaultTarget, TimedFault};
 pub use config::{BandwidthMode, SimConfig};

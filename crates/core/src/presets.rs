@@ -67,6 +67,21 @@ impl NetworkKind {
         }
     }
 
+    /// The inverse of [`NetworkKind::label`]: parses a preset from its
+    /// table label (the vocabulary the serve API and CLI requests use).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "uni-parallel-mesh" => Some(NetworkKind::UniformParallelMesh),
+            "uni-serial-torus" => Some(NetworkKind::UniformSerialTorus),
+            "hetero-phy-full" => Some(NetworkKind::HeteroPhyFull),
+            "hetero-phy-half" => Some(NetworkKind::HeteroPhyHalf),
+            "uni-serial-hypercube" => Some(NetworkKind::UniformSerialHypercube),
+            "hetero-channel-full" => Some(NetworkKind::HeteroChannelFull),
+            "hetero-channel-half" => Some(NetworkKind::HeteroChannelHalf),
+            _ => None,
+        }
+    }
+
     /// The configuration this preset actually simulates with: the profile's
     /// PHY policy applied, and the bandwidth mode forced to the preset's
     /// width (uniform baselines always run full-width interfaces; the

@@ -1,6 +1,7 @@
 //! Aggregated simulation results.
 
 use crate::network::Collector;
+use simkit::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use simkit::Cycle;
 
 /// The outcome of one simulation run, aggregated over the measurement
@@ -134,6 +135,95 @@ impl SimResults {
             self.locked_fraction,
             self.backlog,
         )
+    }
+}
+
+/// Results persist bit-exactly through the deterministic codec: every
+/// `f64` travels as its raw bits, so a cached result deserializes to the
+/// same bits the engine produced (the result-cache contract; the golden
+/// cache test pins this across all 30 fixtures).
+impl SaveState for SimResults {
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.nodes);
+        w.put_u64(self.cycles);
+        w.put_u64(self.packets);
+        w.put_f64(self.avg_latency);
+        w.put_f64(self.latency_std);
+        w.put_f64(self.max_latency);
+        w.put_f64(self.p50_latency);
+        w.put_f64(self.p99_latency);
+        w.put_f64(self.avg_net_latency);
+        w.put_f64(self.avg_high_latency);
+        w.put_f64(self.max_high_latency);
+        w.put_f64(self.avg_hops);
+        w.put_f64(self.throughput);
+        w.put_f64(self.avg_energy_pj);
+        w.put_f64(self.avg_onchip_pj);
+        w.put_f64(self.avg_parallel_pj);
+        w.put_f64(self.avg_serial_pj);
+        w.put_f64(self.locked_fraction);
+        w.put_u64(self.backlog);
+        w.put_u64(self.corrupted_flits);
+        w.put_u64(self.retransmitted_flits);
+        w.put_u64(self.failovers);
+    }
+}
+
+impl LoadState for SimResults {
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.nodes = r.get_u32()?;
+        self.cycles = r.get_u64()?;
+        self.packets = r.get_u64()?;
+        self.avg_latency = r.get_f64()?;
+        self.latency_std = r.get_f64()?;
+        self.max_latency = r.get_f64()?;
+        self.p50_latency = r.get_f64()?;
+        self.p99_latency = r.get_f64()?;
+        self.avg_net_latency = r.get_f64()?;
+        self.avg_high_latency = r.get_f64()?;
+        self.max_high_latency = r.get_f64()?;
+        self.avg_hops = r.get_f64()?;
+        self.throughput = r.get_f64()?;
+        self.avg_energy_pj = r.get_f64()?;
+        self.avg_onchip_pj = r.get_f64()?;
+        self.avg_parallel_pj = r.get_f64()?;
+        self.avg_serial_pj = r.get_f64()?;
+        self.locked_fraction = r.get_f64()?;
+        self.backlog = r.get_u64()?;
+        self.corrupted_flits = r.get_u64()?;
+        self.retransmitted_flits = r.get_u64()?;
+        self.failovers = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl SimResults {
+    /// An all-zero placeholder for [`LoadState`] deserialization.
+    pub fn zeroed() -> Self {
+        Self {
+            nodes: 0,
+            cycles: 0,
+            packets: 0,
+            avg_latency: 0.0,
+            latency_std: 0.0,
+            max_latency: 0.0,
+            p50_latency: 0.0,
+            p99_latency: 0.0,
+            avg_net_latency: 0.0,
+            avg_high_latency: 0.0,
+            max_high_latency: 0.0,
+            avg_hops: 0.0,
+            throughput: 0.0,
+            avg_energy_pj: 0.0,
+            avg_onchip_pj: 0.0,
+            avg_parallel_pj: 0.0,
+            avg_serial_pj: 0.0,
+            locked_fraction: 0.0,
+            backlog: 0,
+            corrupted_flits: 0,
+            retransmitted_flits: 0,
+            failovers: 0,
+        }
     }
 }
 

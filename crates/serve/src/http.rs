@@ -1,0 +1,284 @@
+//! A minimal, dependency-free HTTP/1.1 front end over [`std::net`].
+//!
+//! The server speaks just enough HTTP for a local job API: one request
+//! per connection (`Connection: close`), bodies sized by
+//! `Content-Length`, JSON in and JSON out. Routes:
+//!
+//! | Method | Path            | Behavior                                      |
+//! |--------|-----------------|-----------------------------------------------|
+//! | POST   | `/v1/batch`     | Run a batch synchronously; body is the result |
+//! | POST   | `/v1/jobs`      | Submit a batch; returns `{"job": <id>}` (202) |
+//! | GET    | `/v1/jobs/<id>` | Poll an async job (`running` / result)        |
+//! | GET    | `/metrics`      | Prometheus text exposition                    |
+//! | GET    | `/healthz`      | Liveness (`ok`)                               |
+//!
+//! Connections are handled on one thread each — request concurrency maps
+//! directly onto the service's dedup table, which is exactly the contract
+//! the "identical in-flight jobs compute once" tests pin down.
+
+use crate::api::BatchRequest;
+use crate::service::SweepService;
+use simkit::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Largest accepted request body (a batch of thousands of points fits in
+/// a fraction of this; anything bigger is a client error, not a job).
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request from the stream. `None` means the client
+/// hung up or sent something unparseable.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some(Request {
+        method,
+        path,
+        body: String::from_utf8(body).ok()?,
+    })
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // A client that hung up mid-response is its own problem.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(msg: &str) -> String {
+    let mut j = Json::obj();
+    j.set("error", Json::from(msg));
+    j.render()
+}
+
+/// Routes one request.
+fn handle(service: &Arc<SweepService>, req: &Request, stream: &mut TcpStream) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond(stream, "200 OK", "text/plain", "ok\n"),
+        ("GET", "/metrics") => respond(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &service.prometheus(),
+        ),
+        ("POST", "/v1/batch") => match BatchRequest::parse(&req.body) {
+            Ok(batch) => {
+                let resp = service.run_batch(&batch);
+                respond(stream, "200 OK", "application/json", &resp.render());
+            }
+            Err(e) => respond(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                &error_body(&e.0),
+            ),
+        },
+        ("POST", "/v1/jobs") => match BatchRequest::parse(&req.body) {
+            Ok(batch) => {
+                let id = service.submit(batch);
+                let mut j = Json::obj();
+                j.set("job", Json::from(id))
+                    .set("poll", Json::from(format!("/v1/jobs/{id}")));
+                respond(stream, "202 Accepted", "application/json", &j.render());
+            }
+            Err(e) => respond(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                &error_body(&e.0),
+            ),
+        },
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let id = path["/v1/jobs/".len()..].parse::<u64>().ok();
+            match id.and_then(|id| service.job_result(id)) {
+                Some(Some(body)) => respond(stream, "200 OK", "application/json", &body),
+                Some(None) => {
+                    let mut j = Json::obj();
+                    j.set("state", Json::from("running"));
+                    respond(stream, "200 OK", "application/json", &j.render());
+                }
+                None => respond(
+                    stream,
+                    "404 Not Found",
+                    "application/json",
+                    &error_body("unknown job id"),
+                ),
+            }
+        }
+        _ => respond(
+            stream,
+            "404 Not Found",
+            "application/json",
+            &error_body("unknown route"),
+        ),
+    }
+}
+
+/// Accepts connections forever, one handler thread per connection.
+pub fn serve(service: Arc<SweepService>, listener: TcpListener) -> ! {
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            continue;
+        };
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            if let Some(req) = read_request(&mut stream) {
+                handle(&service, &req, &mut stream);
+            }
+        });
+    }
+}
+
+/// Binds `addr`, spawns the accept loop on a background thread and
+/// returns the bound address (port 0 resolves to the real port). Used by
+/// the in-process tests; the binary calls [`serve`] directly.
+pub fn spawn(service: Arc<SweepService>, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::spawn(move || serve(service, listener));
+    Ok(local)
+}
+
+/// A tiny blocking HTTP client for tests and the bench harness: sends
+/// one request, returns `(status_code, body)`.
+pub fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> (Arc<SweepService>, std::net::SocketAddr) {
+        let service = Arc::new(SweepService::new(None, 2).expect("service"));
+        let addr = spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        (service, addr)
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let (_service, addr) = test_server();
+        let (status, body) = request(addr, "GET", "/healthz", "").expect("request");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, _) = request(addr, "GET", "/nope", "").expect("request");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn batch_round_trip_and_metrics() {
+        let (_service, addr) = test_server();
+        let body = r#"{"jobs": [{"preset": "uni-parallel-mesh", "rates": [0.02]}]}"#;
+        let (status, resp) = request(addr, "POST", "/v1/batch", body).expect("request");
+        assert_eq!(status, 200, "{resp}");
+        let parsed = simkit::json::parse(&resp).expect("response is JSON");
+        let points = parsed.get("jobs").unwrap().as_arr().unwrap()[0]
+            .get("points")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(
+            points[0].get("source").and_then(Json::as_str),
+            Some("computed")
+        );
+        let (status, metrics) = request(addr, "GET", "/metrics", "").expect("request");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("serve_points_total 1"));
+    }
+
+    #[test]
+    fn malformed_batch_is_a_400() {
+        let (_service, addr) = test_server();
+        let (status, resp) = request(addr, "POST", "/v1/batch", "{}").expect("request");
+        assert_eq!(status, 400);
+        assert!(resp.contains("jobs"));
+    }
+
+    #[test]
+    fn async_job_lifecycle_over_http() {
+        let (_service, addr) = test_server();
+        let body = r#"{"jobs": [{"preset": "uni-parallel-mesh", "rates": [0.02]}]}"#;
+        let (status, resp) = request(addr, "POST", "/v1/jobs", body).expect("submit");
+        assert_eq!(status, 202, "{resp}");
+        let parsed = simkit::json::parse(&resp).expect("submit response is JSON");
+        let poll = parsed
+            .get("poll")
+            .and_then(Json::as_str)
+            .expect("poll path")
+            .to_string();
+        let mut tries = 0;
+        loop {
+            let (status, resp) = request(addr, "GET", &poll, "").expect("poll");
+            assert_eq!(status, 200);
+            let parsed = simkit::json::parse(&resp).expect("poll response is JSON");
+            if parsed.get("state").and_then(Json::as_str) == Some("running") {
+                tries += 1;
+                assert!(tries < 600, "async job never finished");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+            assert!(parsed.get("jobs").is_some(), "{resp}");
+            break;
+        }
+        let (status, _) = request(addr, "GET", "/v1/jobs/424242", "").expect("poll unknown");
+        assert_eq!(status, 404);
+    }
+}

@@ -1,0 +1,34 @@
+//! `hetero-serve`: an async sweep/estimate job server over the engine's
+//! content-addressed result cache.
+//!
+//! The simulator is bit-deterministic, so every point of every sweep is
+//! perfectly cacheable: the first computation of a configuration is the
+//! last. This crate turns that property into a service:
+//!
+//! * [`api`] — the JSON wire format (batched sweep/estimate jobs over
+//!   [`simkit::json`], no serialization dependency);
+//! * [`service`] — [`service::SweepService`]: the two-level
+//!   content-addressed cache front ([`hetero_if::cache`]), in-flight
+//!   dedup (identical concurrent jobs compute once), a bounded worker
+//!   pool, warm-start-aware scheduling (points sharing a warm-up prefix
+//!   fork one checkpoint), optional routing to the analytical estimator
+//!   with its calibration error attached, and serve metrics through the
+//!   existing [`simkit::metrics`] registry/exporters;
+//! * [`http`] — a dependency-free HTTP/1.1 front end on
+//!   [`std::net::TcpListener`]: `POST /v1/batch` (sync),
+//!   `POST /v1/jobs` + `GET /v1/jobs/<id>` (async), `GET /metrics`
+//!   (Prometheus), `GET /healthz`.
+//!
+//! The `hetero-serve` binary wires the three together; `hetero-sim
+//! --cache-dir` shares the same on-disk store, so CLI runs and served
+//! batches hit each other's results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod http;
+pub mod service;
+
+pub use api::{ApiError, Backend, BatchRequest, JobSpec};
+pub use service::{ServiceStats, SweepService};

@@ -1,0 +1,87 @@
+//! The `hetero-serve` binary: bind, print the address, serve forever.
+
+use hetero_serve::http;
+use hetero_serve::service::SweepService;
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    cache_dir: Option<PathBuf>,
+    workers: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hetero-serve [options]\n\
+         \n\
+         --addr HOST:PORT   listen address (default 127.0.0.1:0 = OS-assigned port)\n\
+         --cache-dir DIR    on-disk result store shared with `hetero-sim --cache-dir`\n\
+         --workers N        per-job fan-out threads (default: available parallelism)\n\
+         \n\
+         Routes: POST /v1/batch, POST /v1/jobs, GET /v1/jobs/<id>,\n\
+                 GET /metrics, GET /healthz"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: None,
+        workers: std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => a.addr = val(),
+            "--cache-dir" => a.cache_dir = Some(PathBuf::from(val())),
+            "--workers" => {
+                a.workers = val().parse().unwrap_or_else(|_| usage());
+                if a.workers == 0 {
+                    eprintln!("--workers must be at least 1");
+                    usage()
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let service = match SweepService::new(args.cache_dir.clone(), args.workers) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("hetero-serve: cannot open cache store: {e}");
+            exit(1)
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("hetero-serve: cannot bind {}: {e}", args.addr);
+            exit(1)
+        }
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    // CI and scripts scrape this line for the resolved port; flush so it
+    // is visible before the accept loop blocks.
+    println!("hetero-serve listening on http://{local}");
+    if let Some(dir) = &args.cache_dir {
+        println!("hetero-serve cache dir: {}", dir.display());
+    }
+    std::io::stdout().flush().expect("stdout flush");
+    http::serve(service, listener)
+}

@@ -1,0 +1,798 @@
+//! The sweep service: cache-fronted, dedup-aware, warm-start-scheduling
+//! job execution.
+//!
+//! One [`SweepService`] instance is shared by every connection (and every
+//! test thread). The execution path for an engine point is:
+//!
+//! 1. **Cache** — look the point's [`PointDesc::key`] up in the two-level
+//!    [`ResultCache`] (memory, then disk). A hit is served without
+//!    simulating anything.
+//! 2. **Dedup** — on a miss, claim the key in the in-flight table. If
+//!    another thread is already computing the same key, block on its
+//!    entry and adopt the result when it lands: N concurrent identical
+//!    requests run exactly one simulation.
+//! 3. **Compute** — the claiming thread runs the engine (outside every
+//!    lock), inserts the result into both cache levels, publishes it to
+//!    any waiters and releases the claim.
+//!
+//! Sweep jobs fan their rate points out over a bounded worker pool
+//! ([`SweepService::workers`]). Jobs that opt into warm-start mode pay
+//! the warm-up once per (preset, config, pattern, lowest-rate) group,
+//! checkpoint the warmed network and fork every remaining point from the
+//! restored state — the points are keyed under a distinct
+//! `warm@<rate0>/w<warmup>` variant because warm-started results are an
+//! approximation of, not identical to, cold runs.
+//!
+//! Every cache/dedup/scheduling event increments a counter in a
+//! [`simkit::metrics::MetricsRegistry`] slice; [`SweepService::snapshot`]
+//! folds it and the existing Prometheus/JSONL exporters render it.
+
+use crate::api::{Backend, BatchRequest, JobSpec};
+use chiplet_topo::NodeId;
+use chiplet_traffic::SyntheticWorkload;
+use hetero_estimate::{error_bound_pct, EstimateRequest, Estimator};
+use hetero_if::cache::{engine_point, CacheKey, CacheSource, CachedPoint, PointDesc, ResultCache};
+use hetero_if::sim::{run, run_until};
+use simkit::json::Json;
+use simkit::metrics::{MetricId, MetricsRegistry, MetricsSlice, MetricsSnapshot};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Where a served point came from, in wire vocabulary.
+fn source_label(src: CacheSource) -> &'static str {
+    match src {
+        CacheSource::Memory => "memory",
+        CacheSource::Disk => "disk",
+        CacheSource::Computed => "computed",
+    }
+}
+
+/// One in-flight computation: waiters block on the condvar until the
+/// leader publishes the point.
+#[derive(Debug, Default)]
+struct InFlight {
+    slot: Mutex<Option<CachedPoint>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn publish(&self, point: CachedPoint) {
+        *self.slot.lock().expect("in-flight slot") = Some(point);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> CachedPoint {
+        let mut slot = self.slot.lock().expect("in-flight slot");
+        loop {
+            if let Some(p) = slot.as_ref() {
+                return p.clone();
+            }
+            slot = self.ready.wait(slot).expect("in-flight wait");
+        }
+    }
+}
+
+/// Registered metric handles (all counters).
+#[derive(Debug, Clone, Copy)]
+struct Ids {
+    requests: MetricId,
+    jobs: MetricId,
+    points: MetricId,
+    mem_hits: MetricId,
+    disk_hits: MetricId,
+    computed: MetricId,
+    dedup_joins: MetricId,
+    corrupt_rejected: MetricId,
+    store_errors: MetricId,
+    warm_forks: MetricId,
+    warm_cycles_saved: MetricId,
+    analytical_points: MetricId,
+}
+
+/// A point-in-time copy of the service counters (test assertions and the
+/// per-response cache summary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Batches executed.
+    pub requests: u64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Engine points served (any source).
+    pub points: u64,
+    /// Points served from the in-memory LRU.
+    pub mem_hits: u64,
+    /// Points served from the on-disk store.
+    pub disk_hits: u64,
+    /// Points actually simulated.
+    pub computed: u64,
+    /// Points adopted from another thread's identical in-flight compute.
+    pub dedup_joins: u64,
+    /// On-disk entries rejected by the integrity checks.
+    pub corrupt_rejected: u64,
+    /// Warm-start checkpoint forks (one per warm group computed).
+    pub warm_forks: u64,
+    /// Warm-up cycles the forks avoided re-simulating.
+    pub warm_cycles_saved: u64,
+    /// Points served by the analytical estimator.
+    pub analytical_points: u64,
+}
+
+impl ServiceStats {
+    /// Cache hits, both levels (dedup joins are not cache hits).
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Hit rate over engine points, in [0, 1]; 0 when nothing was served.
+    pub fn hit_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.points as f64
+        }
+    }
+}
+
+/// The shared job-execution engine behind the HTTP front end (and usable
+/// directly, as the tests and the bench harness do).
+#[derive(Debug)]
+pub struct SweepService {
+    cache: Mutex<ResultCache>,
+    inflight: Mutex<HashMap<CacheKey, Arc<InFlight>>>,
+    registry: MetricsRegistry,
+    slice: Mutex<MetricsSlice>,
+    ids: Ids,
+    /// Worker threads a job's points fan out over.
+    workers: usize,
+    /// Async job table: id → rendered result (None while running).
+    jobs: Mutex<HashMap<u64, Option<String>>>,
+    next_job: AtomicU64,
+}
+
+impl SweepService {
+    /// A service over an optional on-disk cache directory, fanning each
+    /// job out over `workers` threads (clamped to at least 1).
+    pub fn new(cache_dir: Option<PathBuf>, workers: usize) -> io::Result<Self> {
+        let cache = match cache_dir {
+            Some(dir) => ResultCache::with_dir(dir)?,
+            None => ResultCache::in_memory(),
+        };
+        let mut registry = MetricsRegistry::new();
+        let ids = Ids {
+            requests: registry.counter("serve_requests_total", &[]),
+            jobs: registry.counter("serve_jobs_total", &[]),
+            points: registry.counter("serve_points_total", &[]),
+            mem_hits: registry.counter("serve_cache_hits_total", &[("level", "memory")]),
+            disk_hits: registry.counter("serve_cache_hits_total", &[("level", "disk")]),
+            computed: registry.counter("serve_points_computed_total", &[]),
+            dedup_joins: registry.counter("serve_dedup_joins_total", &[]),
+            corrupt_rejected: registry.counter("serve_cache_corrupt_rejected_total", &[]),
+            store_errors: registry.counter("serve_cache_store_errors_total", &[]),
+            warm_forks: registry.counter("serve_warm_forks_total", &[]),
+            warm_cycles_saved: registry.counter("serve_warm_cycles_saved_total", &[]),
+            analytical_points: registry.counter("serve_analytical_points_total", &[]),
+        };
+        let slice = registry.slice();
+        Ok(Self {
+            cache: Mutex::new(cache),
+            inflight: Mutex::new(HashMap::new()),
+            registry,
+            slice: Mutex::new(slice),
+            ids,
+            workers: workers.max(1),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+        })
+    }
+
+    /// The configured fan-out width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn count(&self, id: MetricId, v: u64) {
+        self.slice.lock().expect("metrics slice").add(id, v);
+    }
+
+    /// A folded snapshot of every service metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slice = self.slice.lock().expect("metrics slice");
+        self.registry.fold([&*slice])
+    }
+
+    /// The service counters as plain numbers.
+    pub fn stats(&self) -> ServiceStats {
+        let slice = self.slice.lock().expect("metrics slice");
+        ServiceStats {
+            requests: slice.get(self.ids.requests),
+            jobs: slice.get(self.ids.jobs),
+            points: slice.get(self.ids.points),
+            mem_hits: slice.get(self.ids.mem_hits),
+            disk_hits: slice.get(self.ids.disk_hits),
+            computed: slice.get(self.ids.computed),
+            dedup_joins: slice.get(self.ids.dedup_joins),
+            corrupt_rejected: slice.get(self.ids.corrupt_rejected),
+            warm_forks: slice.get(self.ids.warm_forks),
+            warm_cycles_saved: slice.get(self.ids.warm_cycles_saved),
+            analytical_points: slice.get(self.ids.analytical_points),
+        }
+    }
+
+    /// The metrics in Prometheus text exposition format (`GET /metrics`).
+    pub fn prometheus(&self) -> String {
+        let mut out = Vec::new();
+        self.snapshot()
+            .to_prometheus(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("prometheus text is UTF-8")
+    }
+
+    /// The metrics as JSONL, one object per metric.
+    pub fn metrics_jsonl(&self) -> String {
+        let mut out = Vec::new();
+        self.snapshot()
+            .to_jsonl(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("jsonl text is UTF-8")
+    }
+
+    /// Serves one point: cache, then dedup, then `compute`. The label
+    /// names the source (`memory` / `disk` / `computed` / `dedup`).
+    fn cached_point(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> CachedPoint,
+    ) -> (CachedPoint, &'static str) {
+        self.count(self.ids.points, 1);
+        // Fast path: cache hit without touching the in-flight table.
+        if let Some((p, src)) = self.cache.lock().expect("result cache").lookup(&key) {
+            self.count(self.hit_id(src), 1);
+            return (p, source_label(src));
+        }
+        let waiter = {
+            let mut inflight = self.inflight.lock().expect("in-flight table");
+            // Re-check under the in-flight lock: a leader that finished
+            // between our lookup and here already cached the point (its
+            // claim is gone, so without this check we would recompute).
+            if let Some((p, src)) = self.cache.lock().expect("result cache").lookup(&key) {
+                self.count(self.hit_id(src), 1);
+                return (p, source_label(src));
+            }
+            match inflight.get(&key) {
+                Some(entry) => Some(Arc::clone(entry)),
+                None => {
+                    inflight.insert(key, Arc::new(InFlight::default()));
+                    None
+                }
+            }
+        };
+        if let Some(entry) = waiter {
+            let p = entry.wait();
+            self.count(self.ids.dedup_joins, 1);
+            return (p, "dedup");
+        }
+        // We hold the claim: compute outside every lock.
+        let point = compute();
+        {
+            let mut cache = self.cache.lock().expect("result cache");
+            cache.stats.misses += 1;
+            cache.insert(key, &point);
+            let store_errors = cache.stats.store_errors;
+            let corrupt = cache.stats.corrupt_rejected;
+            drop(cache);
+            self.sync_cache_error_counters(store_errors, corrupt);
+        }
+        self.count(self.ids.computed, 1);
+        let entry = self
+            .inflight
+            .lock()
+            .expect("in-flight table")
+            .remove(&key)
+            .expect("the leader's claim is still registered");
+        entry.publish(point.clone());
+        (point, "computed")
+    }
+
+    fn hit_id(&self, src: CacheSource) -> MetricId {
+        match src {
+            CacheSource::Memory => self.ids.mem_hits,
+            _ => self.ids.disk_hits,
+        }
+    }
+
+    /// Mirrors the cache's error counters (absolute values) into the
+    /// monotonic metric cells.
+    fn sync_cache_error_counters(&self, store_errors: u64, corrupt: u64) {
+        let mut slice = self.slice.lock().expect("metrics slice");
+        let have = slice.get(self.ids.store_errors);
+        if store_errors > have {
+            slice.add(self.ids.store_errors, store_errors - have);
+        }
+        let have = slice.get(self.ids.corrupt_rejected);
+        if corrupt > have {
+            slice.add(self.ids.corrupt_rejected, corrupt - have);
+        }
+    }
+
+    /// Serves one cold engine point (the `run_point`-level hook shared
+    /// with `hetero-sim --cache-dir`).
+    pub fn point(&self, desc: &PointDesc) -> (CachedPoint, &'static str) {
+        self.cached_point(desc.key(), || engine_point(desc))
+    }
+
+    /// Runs `f(i)` for every index in `0..n` over the worker pool,
+    /// returning results in index order.
+    fn par_indexed<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let threads = self.workers.min(n.max(1));
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock().expect("par slot") = Some(f(i));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("par slot")
+                    .expect("every index was visited")
+            })
+            .collect()
+    }
+
+    fn point_desc(job: &JobSpec, rate: f64) -> PointDesc {
+        PointDesc::new(
+            job.kind,
+            job.geom,
+            job.config(),
+            job.profile,
+            job.pattern,
+            rate,
+            job.packet_len,
+            job.spec,
+        )
+    }
+
+    /// Runs one engine job cold: every rate is an independent cached
+    /// point, fanned out over the worker pool.
+    fn run_cold_job(&self, job: &JobSpec) -> Vec<(CachedPoint, &'static str)> {
+        self.par_indexed(job.rates.len(), |i| {
+            self.point(&Self::point_desc(job, job.rates[i]))
+        })
+    }
+
+    /// Runs one engine job in warm-start mode: all points share the
+    /// warm-up paid once at the lowest requested rate, forked from one
+    /// checkpoint. Results are approximate relative to cold runs and are
+    /// keyed under a `warm@<rate0>/w<warmup>` variant. Falls back to the
+    /// cold path when there is nothing to amortize or the warm-up run
+    /// aborts (deadlock / fault stall).
+    fn run_warm_job(&self, job: &JobSpec) -> (Vec<(CachedPoint, &'static str)>, bool) {
+        if job.spec.warmup == 0 || job.rates.len() < 2 {
+            return (self.run_cold_job(job), false);
+        }
+        let mut rate0 = job.rates[0];
+        for &r in &job.rates[1..] {
+            rate0 = rate0.min(r);
+        }
+        let variant = format!("warm@{}/w{}", rate0, job.spec.warmup);
+        let descs: Vec<PointDesc> = job
+            .rates
+            .iter()
+            .map(|&r| Self::point_desc(job, r).with_variant(variant.clone()))
+            .collect();
+
+        // The warm checkpoint is built lazily, once, only if some point
+        // actually misses the cache — a fully-hot warm job forks nothing.
+        let config = job.config();
+        let build = || job.kind.build(job.geom, config, job.profile);
+        let blob: Mutex<Option<Option<Vec<u8>>>> = Mutex::new(None);
+        let warm_blob = || -> Option<Vec<u8>> {
+            let mut slot = blob.lock().expect("warm checkpoint slot");
+            if slot.is_none() {
+                let mut net = build();
+                let nodes: Vec<NodeId> = (0..job.geom.nodes()).map(NodeId).collect();
+                let mut w =
+                    SyntheticWorkload::new(nodes, job.pattern, rate0, job.packet_len, config.seed);
+                let aborted = run_until(&mut net, &mut w, job.spec, job.spec.warmup).is_some();
+                *slot = Some(if aborted {
+                    None
+                } else {
+                    self.count(self.ids.warm_forks, 1);
+                    Some(net.checkpoint())
+                });
+            }
+            slot.as_ref().expect("just filled").clone()
+        };
+
+        let mut aborted = false;
+        let mut points = Vec::with_capacity(descs.len());
+        let computed_before = self.stats().computed;
+        for desc in &descs {
+            let (point, src) = self.cached_point(desc.key(), || match warm_blob() {
+                Some(blob) => {
+                    let mut net = build();
+                    net.restore(&blob)
+                        .expect("the warm checkpoint restores into an identically-built network");
+                    let nodes: Vec<NodeId> = (0..job.geom.nodes()).map(NodeId).collect();
+                    let mut w = SyntheticWorkload::new(
+                        nodes,
+                        job.pattern,
+                        desc.rate,
+                        job.packet_len,
+                        config.seed,
+                    );
+                    let out = run(&mut net, &mut w, job.spec);
+                    CachedPoint::from_outcome(desc.rate, &out)
+                }
+                None => engine_point(&Self::point_desc(job, desc.rate)),
+            });
+            aborted |= warm_blob_is_aborted(&blob);
+            points.push((point, src));
+        }
+        if aborted {
+            // The warm-up wedged; the computed points above already fell
+            // back to cold simulations (still keyed under the warm
+            // variant, which is deterministic — an aborted warm-up is a
+            // property of the group, so every process agrees).
+            return (points, false);
+        }
+        let computed_now = self.stats().computed;
+        let saved = job.spec.warmup
+            * computed_now
+                .saturating_sub(computed_before)
+                .saturating_sub(1);
+        if saved > 0 {
+            self.count(self.ids.warm_cycles_saved, saved);
+        }
+        (points, true)
+    }
+
+    fn engine_point_json(point: &CachedPoint, src: &'static str) -> Json {
+        let r = &point.results;
+        let mut j = Json::obj();
+        j.set("rate", Json::from(point.rate))
+            .set("source", Json::from(src))
+            .set("drained", Json::from(point.drained))
+            .set("deadlocked", Json::from(point.deadlocked))
+            .set("fault_stalled", Json::from(point.fault_stalled))
+            .set("packets", Json::from(r.packets))
+            .set("avg_latency", Json::from(r.avg_latency))
+            .set("p99_latency", Json::from(r.p99_latency))
+            .set("avg_hops", Json::from(r.avg_hops))
+            .set("throughput", Json::from(r.throughput))
+            .set("avg_energy_pj", Json::from(r.avg_energy_pj))
+            .set("saturated", Json::from(r.is_saturated()));
+        j
+    }
+
+    /// Runs one job and renders its report.
+    fn run_job(&self, job: &JobSpec) -> Json {
+        self.count(self.ids.jobs, 1);
+        let mut report = Json::obj();
+        report
+            .set("preset", Json::from(job.kind.label()))
+            .set("backend", Json::from(job.backend.label()))
+            .set("profile", Json::from(job.profile.name))
+            .set("pattern", Json::from(job.pattern.to_string()))
+            .set("seed", Json::from(job.seed));
+        match job.backend {
+            Backend::Analytical => {
+                let req = EstimateRequest {
+                    kind: job.kind,
+                    geom: job.geom,
+                    config: job.config(),
+                    profile: job.profile,
+                    pattern: job.pattern,
+                };
+                let curve = Estimator::analytical().estimate_sweep(&req, &job.rates);
+                self.count(self.ids.analytical_points, curve.points.len() as u64);
+                let points: Vec<Json> = curve
+                    .points
+                    .iter()
+                    .map(|p| {
+                        let mut j = Json::obj();
+                        j.set("rate", Json::from(p.rate))
+                            .set("source", Json::from("analytical"))
+                            .set("avg_latency", Json::from(p.avg_latency))
+                            .set("avg_hops", Json::from(p.avg_hops))
+                            .set("throughput", Json::from(p.throughput))
+                            .set("avg_energy_pj", Json::from(p.avg_energy_pj))
+                            .set("saturated", Json::from(p.saturated));
+                        j
+                    })
+                    .collect();
+                report
+                    .set("points", Json::Arr(points))
+                    .set(
+                        "saturation_rate",
+                        curve.saturation_rate.map_or(Json::Null, Json::from),
+                    )
+                    .set(
+                        "predicted_saturation_rate",
+                        Json::from(curve.predicted_saturation_rate),
+                    )
+                    // The analytical tier is a model: attach its
+                    // documented calibration error so clients can judge
+                    // whether the speed/accuracy trade fits their use.
+                    .set("error_bound_pct", Json::from(error_bound_pct(job.kind)));
+            }
+            Backend::Engine => {
+                let (points, warm) = if job.warm_start {
+                    self.run_warm_job(job)
+                } else {
+                    (self.run_cold_job(job), false)
+                };
+                let rendered: Vec<Json> = points
+                    .iter()
+                    .map(|(p, src)| Self::engine_point_json(p, src))
+                    .collect();
+                report
+                    .set("points", Json::Arr(rendered))
+                    .set("warm_start", Json::from(warm));
+            }
+        }
+        report
+    }
+
+    /// Runs a whole batch synchronously and renders the response body.
+    pub fn run_batch(&self, batch: &BatchRequest) -> Json {
+        let started = Instant::now();
+        self.count(self.ids.requests, 1);
+        let before = self.stats();
+        let jobs: Vec<Json> = batch.jobs.iter().map(|j| self.run_job(j)).collect();
+        let after = self.stats();
+        let (d_points, d_hits) = (after.points - before.points, after.hits() - before.hits());
+        let mut cache = Json::obj();
+        cache
+            .set("points", Json::from(d_points))
+            .set("mem_hits", Json::from(after.mem_hits - before.mem_hits))
+            .set("disk_hits", Json::from(after.disk_hits - before.disk_hits))
+            .set("computed", Json::from(after.computed - before.computed))
+            .set(
+                "dedup_joins",
+                Json::from(after.dedup_joins - before.dedup_joins),
+            )
+            .set(
+                "hit_rate",
+                Json::from(if d_points == 0 {
+                    0.0
+                } else {
+                    d_hits as f64 / d_points as f64
+                }),
+            );
+        let mut resp = Json::obj();
+        resp.set("jobs", Json::Arr(jobs))
+            .set("cache", cache)
+            .set(
+                "warm_cycles_saved",
+                Json::from(after.warm_cycles_saved - before.warm_cycles_saved),
+            )
+            .set(
+                "elapsed_ms",
+                Json::from(started.elapsed().as_secs_f64() * 1e3),
+            );
+        resp
+    }
+
+    /// Submits a batch for asynchronous execution; the returned id is
+    /// pollable via [`SweepService::job_result`].
+    pub fn submit(self: &Arc<Self>, batch: BatchRequest) -> u64 {
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        self.jobs.lock().expect("job table").insert(id, None);
+        let service = Arc::clone(self);
+        std::thread::spawn(move || {
+            let rendered = service.run_batch(&batch).render();
+            service
+                .jobs
+                .lock()
+                .expect("job table")
+                .insert(id, Some(rendered));
+        });
+        id
+    }
+
+    /// Polls an async job: `None` = unknown id, `Some(None)` = still
+    /// running, `Some(Some(body))` = finished.
+    pub fn job_result(&self, id: u64) -> Option<Option<String>> {
+        self.jobs.lock().expect("job table").get(&id).cloned()
+    }
+}
+
+/// Whether the lazily-built warm checkpoint was attempted and aborted.
+fn warm_blob_is_aborted(blob: &Mutex<Option<Option<Vec<u8>>>>) -> bool {
+    matches!(*blob.lock().expect("warm checkpoint slot"), Some(None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_if::sim::RunSpec;
+    use hetero_if::{NetworkKind, SchedulingProfile};
+
+    fn smoke_job(rates: &[f64], warm: bool) -> JobSpec {
+        JobSpec {
+            kind: NetworkKind::UniformParallelMesh,
+            geom: chiplet_topo::Geometry::new(2, 2, 2, 2),
+            profile: SchedulingProfile::balanced(),
+            pattern: chiplet_traffic::TrafficPattern::Uniform,
+            rates: rates.to_vec(),
+            packet_len: 16,
+            spec: RunSpec::smoke(),
+            seed: 1,
+            backend: Backend::Engine,
+            warm_start: warm,
+        }
+    }
+
+    #[test]
+    fn repeated_batch_is_all_hits() {
+        let service = SweepService::new(None, 2).expect("service");
+        let batch = BatchRequest {
+            jobs: vec![smoke_job(&[0.02, 0.03], false)],
+        };
+        let cold = service.run_batch(&batch);
+        let cold_cache = cold.get("cache").expect("cache section");
+        assert_eq!(cold_cache.get("computed").and_then(Json::as_u64), Some(2));
+        assert_eq!(cold_cache.get("hit_rate").and_then(Json::as_f64), Some(0.0));
+        let hot = service.run_batch(&batch);
+        let hot_cache = hot.get("cache").expect("cache section");
+        assert_eq!(hot_cache.get("computed").and_then(Json::as_u64), Some(0));
+        assert_eq!(hot_cache.get("mem_hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(hot_cache.get("hit_rate").and_then(Json::as_f64), Some(1.0));
+        // The responses carry identical physics: same points, only the
+        // source labels differ.
+        let point = |resp: &Json, i: usize| -> Vec<(String, Json)> {
+            let Json::Obj(fields) = resp.get("jobs").unwrap().as_arr().unwrap()[0]
+                .get("points")
+                .unwrap()
+                .as_arr()
+                .unwrap()[i]
+                .clone()
+            else {
+                panic!("point is an object")
+            };
+            fields.into_iter().filter(|(k, _)| k != "source").collect()
+        };
+        assert_eq!(point(&cold, 0), point(&hot, 0));
+        assert_eq!(point(&cold, 1), point(&hot, 1));
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compute_exactly_once() {
+        let service = Arc::new(SweepService::new(None, 1).expect("service"));
+        let desc = |rate| {
+            let job = smoke_job(&[rate], false);
+            SweepService::point_desc(&job, rate)
+        };
+        const THREADS: usize = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let service = Arc::clone(&service);
+                scope.spawn(move || service.point(&desc(0.05)));
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.computed, 1, "exactly one simulation ran");
+        assert_eq!(
+            stats.dedup_joins + stats.mem_hits,
+            (THREADS - 1) as u64,
+            "everyone else joined the in-flight compute or hit the cache"
+        );
+        assert_eq!(stats.points, THREADS as u64);
+    }
+
+    #[test]
+    fn warm_job_forks_once_and_caches_under_warm_keys() {
+        let service = SweepService::new(None, 2).expect("service");
+        let job = smoke_job(&[0.02, 0.03, 0.045], true);
+        let batch = BatchRequest {
+            jobs: vec![job.clone()],
+        };
+        let resp = service.run_batch(&batch);
+        let jobs = resp.get("jobs").unwrap().as_arr().unwrap();
+        assert_eq!(
+            jobs[0].get("warm_start").and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = service.stats();
+        assert_eq!(stats.warm_forks, 1, "one checkpoint fork for the group");
+        assert_eq!(stats.computed, 3);
+        assert_eq!(
+            stats.warm_cycles_saved,
+            job.spec.warmup * 2,
+            "three points share one paid warm-up"
+        );
+        // Re-running the warm job is all hits (warm keys are stable)...
+        let again = service.run_batch(&batch);
+        let cache = again.get("cache").unwrap();
+        assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(service.stats().warm_forks, 1, "no new fork for a hot job");
+        // ...and a cold job over the same rates does NOT alias them.
+        let cold = BatchRequest {
+            jobs: vec![smoke_job(&[0.02, 0.03, 0.045], false)],
+        };
+        let cold_resp = service.run_batch(&cold);
+        assert_eq!(
+            cold_resp
+                .get("cache")
+                .unwrap()
+                .get("computed")
+                .and_then(Json::as_u64),
+            Some(3),
+            "cold points are keyed separately from warm points"
+        );
+    }
+
+    #[test]
+    fn analytical_backend_attaches_calibration_error() {
+        let service = SweepService::new(None, 1).expect("service");
+        let mut job = smoke_job(&[0.02, 0.03], false);
+        job.backend = Backend::Analytical;
+        let resp = service.run_batch(&BatchRequest { jobs: vec![job] });
+        let j = &resp.get("jobs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(j.get("backend").and_then(Json::as_str), Some("analytical"));
+        let bound = j
+            .get("error_bound_pct")
+            .and_then(Json::as_f64)
+            .expect("calibration error attached");
+        assert!(bound > 0.0 && bound < 100.0, "bound {bound}");
+        assert!(j.get("points").unwrap().as_arr().unwrap().len() == 2);
+        assert_eq!(service.stats().analytical_points, 2);
+        assert_eq!(service.stats().computed, 0, "no engine run");
+    }
+
+    #[test]
+    fn metrics_export_contains_serve_counters() {
+        let service = SweepService::new(None, 1).expect("service");
+        let batch = BatchRequest {
+            jobs: vec![smoke_job(&[0.02], false)],
+        };
+        service.run_batch(&batch);
+        service.run_batch(&batch);
+        let prom = service.prometheus();
+        assert!(prom.contains("# TYPE serve_points_total counter"));
+        assert!(prom.contains("serve_points_total 2"));
+        assert!(prom.contains("serve_cache_hits_total{level=\"memory\"} 1"));
+        assert!(prom.contains("serve_points_computed_total 1"));
+        let jsonl = service.metrics_jsonl();
+        assert!(jsonl.contains("\"name\":\"serve_requests_total\""));
+    }
+
+    #[test]
+    fn async_submit_completes_and_is_pollable() {
+        let service = Arc::new(SweepService::new(None, 1).expect("service"));
+        let id = service.submit(BatchRequest {
+            jobs: vec![smoke_job(&[0.02], false)],
+        });
+        assert_eq!(service.job_result(999_999), None, "unknown id");
+        let mut tries = 0;
+        let body = loop {
+            match service.job_result(id) {
+                Some(Some(body)) => break body,
+                Some(None) => {
+                    tries += 1;
+                    assert!(tries < 600, "async job never finished");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                None => panic!("submitted job vanished"),
+            }
+        };
+        let parsed = simkit::json::parse(&body).expect("job result is JSON");
+        assert!(parsed.get("jobs").is_some());
+    }
+}

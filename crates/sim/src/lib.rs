@@ -25,6 +25,10 @@
 //! * [`json`] — a dependency-free JSON tree, writer and parser used by the
 //!   bench harness so machine-read reports are emitted through a codec
 //!   instead of hand-rolled `format!` strings.
+//! * [`hash`] — dependency-free SHA-256: the content hash behind the
+//!   persistent result cache's keys (the 64-bit FNV fingerprint stays
+//!   around for compact in-process labels, but a durable store needs
+//!   collision resistance).
 //!
 //! # Examples
 //!
@@ -44,6 +48,7 @@
 
 pub mod active;
 pub mod codec;
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod par;
@@ -54,6 +59,7 @@ pub mod trace;
 
 pub use active::ActiveSet;
 pub use codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
+pub use hash::Sha256;
 pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSlice, MetricsSnapshot};
 pub use par::Gate;
 pub use probe::{CycleStats, DeliveryEvent, LinkEvent, Phase, Probe};

@@ -70,6 +70,7 @@ struct Args {
     backend: EstBackend,
     calibrate: bool,
     report: Option<String>,
+    cache_dir: Option<String>,
 }
 
 fn usage() -> ! {
@@ -136,7 +137,13 @@ fn usage() -> ! {
          \u{20}            preset; exits non-zero if any preset misses its\n\
          \u{20}            documented error bound\n\
          --report FILE  with --estimate: write the curve CSV to FILE;\n\
-         \u{20}            with --calibrate: write the JSON report to FILE"
+         \u{20}            with --calibrate: write the JSON report to FILE\n\
+         --cache-dir DIR  read/write the content-addressed result store\n\
+         \u{20}            shared with hetero-serve: a single synthetic run\n\
+         \u{20}            whose configuration was computed before (by any\n\
+         \u{20}            process) is served from the store bit-identically\n\
+         \u{20}            instead of re-simulated; a miss simulates and\n\
+         \u{20}            stores. Prints a cache hit/miss line."
     );
     std::process::exit(2);
 }
@@ -177,6 +184,7 @@ fn parse() -> Args {
         backend: EstBackend::Analytical,
         calibrate: false,
         report: None,
+        cache_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -292,6 +300,7 @@ fn parse() -> Args {
             }
             "--calibrate" => a.calibrate = true,
             "--report" => a.report = Some(val()),
+            "--cache-dir" => a.cache_dir = Some(val()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -481,6 +490,25 @@ fn main() {
         eprintln!("--report requires --estimate or --calibrate");
         std::process::exit(2);
     }
+    if args.cache_dir.is_some()
+        && (args.sweep
+            || args.replay.is_some()
+            || args.estimate
+            || args.calibrate
+            || fault_script.is_some()
+            || args.checkpoint_out.is_some()
+            || args.checkpoint_in.is_some()
+            || args.metrics.is_some()
+            || args.trace.is_some()
+            || args.probe != ProbeKind::None)
+    {
+        // The cache serves finished results: a hit never builds the
+        // network, so flags that observe or steer the live run (and
+        // fault scripts, which are not part of the cache key) cannot
+        // combine with it.
+        eprintln!("--cache-dir applies to plain single synthetic runs");
+        std::process::exit(2);
+    }
     let spec = RunSpec {
         warmup: (args.cycles / 10).max(100),
         measure: args.cycles,
@@ -580,6 +608,8 @@ fn main() {
             println!("NOTE: the trace did not finish within the configured cycles");
         }
         export_observability(&net, &args);
+    } else if let Some(dir) = &args.cache_dir {
+        run_cached(&args, geom, config, spec, dir);
     } else {
         let mut net = args.network.build(geom, config, args.policy);
         if let Some(script) = fault_script.clone() {
@@ -600,6 +630,47 @@ fn main() {
         print_outcome(&outcome);
         export_observability(&net, &args);
     }
+}
+
+/// `--cache-dir`: serve the run through the content-addressed result
+/// store shared with `hetero-serve`. A hit (by any earlier process —
+/// server batch or CLI run) skips the simulation entirely and reprints
+/// the stored results bit-identically; a miss simulates and stores.
+fn run_cached(args: &Args, geom: Geometry, config: SimConfig, spec: RunSpec, dir: &str) {
+    let mut cache = hetero_if::cache::ResultCache::with_dir(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let desc = hetero_if::cache::PointDesc::new(
+        args.network,
+        geom,
+        config,
+        args.policy,
+        args.pattern,
+        args.rate,
+        args.packet_len,
+        spec,
+    );
+    let t0 = std::time::Instant::now();
+    let (point, source) = cache.point(&desc);
+    let secs = t0.elapsed().as_secs_f64();
+    let key = desc.key().hex();
+    match source {
+        hetero_if::cache::CacheSource::Computed => println!(
+            "cache miss — simulated in {secs:.3}s and stored as {} ({dir})",
+            &key[..16],
+        ),
+        src => println!(
+            "cache hit ({}) — served {} in {secs:.3}s without simulating",
+            if src == hetero_if::cache::CacheSource::Memory {
+                "memory"
+            } else {
+                "disk"
+            },
+            &key[..16],
+        ),
+    }
+    print_outcome(&point.to_outcome());
 }
 
 /// Builds the `--backend`-selected estimator tier. The cycle-accurate
