@@ -446,6 +446,8 @@ fn serve_job(rates: &[f64], spec: RunSpec, warm_start: bool) -> JobSpec {
         seed: SEED,
         backend: Backend::Engine,
         warm_start,
+        workload: None,
+        scales: vec![1.0],
     }
 }
 

@@ -32,7 +32,7 @@ use crate::results::SimResults;
 use crate::scheduler::SchedulingProfile;
 use crate::sim::{run, RunOutcome, RunSpec};
 use chiplet_topo::{Geometry, NodeId};
-use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
+use chiplet_traffic::{PhaseGraph, SyntheticWorkload, TrafficPattern};
 use simkit::codec::{crc32, ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use simkit::hash::{sha256, to_hex};
 use std::collections::HashMap;
@@ -126,6 +126,19 @@ impl PointDesc {
     pub fn with_variant(mut self, variant: impl Into<String>) -> Self {
         self.variant = variant.into();
         self
+    }
+
+    /// Keys this point on a dependency-driven phase workload instead of
+    /// the synthetic pattern: the variant becomes
+    /// `workload@<fingerprint>`, folding the graph's canonical text —
+    /// every phase, dependency, compute window and event — into the
+    /// cache identity. A generated DNN graph and its captured-and-
+    /// replayed trace share a fingerprint and therefore a key; a
+    /// compute-scaled copy gets a new one automatically. The synthetic
+    /// `pattern`/`rate` fields stay in the canonical string but are
+    /// inert for such points — callers should pass fixed values.
+    pub fn with_workload(self, graph: &PhaseGraph) -> Self {
+        self.with_variant(format!("workload@{}", graph.fingerprint()))
     }
 
     /// The canonical, human-readable identity string this point is keyed
@@ -249,6 +262,18 @@ pub fn engine_point(desc: &PointDesc) -> CachedPoint {
         desc.config.seed,
     );
     let out = run(&mut net, &mut w, desc.spec);
+    CachedPoint::from_outcome(desc.rate, &out)
+}
+
+/// Computes a phase-workload point: the same preset build as
+/// [`engine_point`], but driving `graph` (reset to its pristine state
+/// first, so a reused graph never leaks a previous run's release
+/// cursor). Pair with [`PointDesc::with_workload`] so the graph's
+/// fingerprint is part of the key.
+pub fn phase_point(desc: &PointDesc, graph: &mut PhaseGraph) -> CachedPoint {
+    let mut net = desc.kind.build(desc.geom, desc.config, desc.profile);
+    graph.reset();
+    let out = run(&mut net, graph, desc.spec);
     CachedPoint::from_outcome(desc.rate, &out)
 }
 
@@ -682,6 +707,56 @@ mod tests {
             ..a.clone()
         };
         assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn workload_variant_keys_on_the_graph_fingerprint() {
+        use chiplet_topo::NodeId;
+        use chiplet_traffic::DnnSpec;
+        let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let spec = DnnSpec::parse("ranks=4,layers=1").unwrap();
+        let graph = PhaseGraph::dnn(&spec, &nodes);
+        let base = small_desc(0.0);
+        let keyed = base.clone().with_workload(&graph);
+        assert_ne!(keyed.key(), base.key());
+        // A regenerated identical graph keys the same; a compute-scaled
+        // one keys differently.
+        assert_eq!(
+            base.clone()
+                .with_workload(&PhaseGraph::dnn(&spec, &nodes))
+                .key(),
+            keyed.key()
+        );
+        assert_ne!(
+            base.with_workload(&graph.with_compute_scale(2.0)).key(),
+            keyed.key()
+        );
+    }
+
+    #[test]
+    fn phase_point_is_deterministic_and_cacheable() {
+        use chiplet_topo::NodeId;
+        use chiplet_traffic::DnnSpec;
+        let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let spec = DnnSpec::parse("ranks=4,layers=1,grad=32").unwrap();
+        let mut graph = PhaseGraph::dnn(&spec, &nodes);
+        let desc = PointDesc {
+            spec: RunSpec::smoke().with_drain_offers(),
+            ..small_desc(0.0)
+        }
+        .with_workload(&graph);
+        let a = phase_point(&desc, &mut graph);
+        // Reuse the same graph object: phase_point resets it.
+        let b = phase_point(&desc, &mut graph);
+        assert_eq!(a, b, "phase points are bit-deterministic");
+        assert!(a.drained);
+
+        let mut cache = ResultCache::in_memory();
+        let (first, src) = cache.get_or_compute(desc.key(), || phase_point(&desc, &mut graph));
+        assert_eq!(src, CacheSource::Computed);
+        let (second, src) = cache.get_or_compute(desc.key(), || unreachable!("cache hit"));
+        assert_eq!(src, CacheSource::Memory);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -54,7 +54,7 @@ use std::sync::atomic::Ordering::Relaxed;
 /// Checkpoint blob format version. Bump on **any** layout change to the
 /// blob (including section contents), and record the bump in
 /// `CHANGELOG.md` — CI rejects version drift without a changelog entry.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"HCPT";
 const SEC_META: [u8; 4] = *b"META";
@@ -147,6 +147,15 @@ fn save_collector(c: &Collector, w: &mut ByteWriter) {
     ] {
         w.put_u64(v);
     }
+    w.put_usize(c.by_tag.len());
+    for s in &c.by_tag {
+        w.put_u64(s.delivered);
+        w.put_u64(s.packets);
+        w.put_u64(s.flits);
+        w.put_u64(s.latency_cycles);
+        w.put_f64(s.energy_pj);
+        w.put_u64(s.flit_hops);
+    }
 }
 
 fn load_collector(c: &mut Collector, r: &mut ByteReader) -> Result<(), CodecError> {
@@ -180,6 +189,19 @@ fn load_collector(c: &mut Collector, r: &mut ByteReader) -> Result<(), CodecErro
         &mut c.faults_applied,
     ] {
         *v = r.get_u64()?;
+    }
+    let tags = r.get_usize()?;
+    c.by_tag.clear();
+    c.by_tag.reserve(tags);
+    for _ in 0..tags {
+        c.by_tag.push(crate::network::TagStats {
+            delivered: r.get_u64()?,
+            packets: r.get_u64()?,
+            flits: r.get_u64()?,
+            latency_cycles: r.get_u64()?,
+            energy_pj: r.get_f64()?,
+            flit_hops: r.get_u64()?,
+        });
     }
     Ok(())
 }

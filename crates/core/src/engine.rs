@@ -261,18 +261,10 @@ impl ShardedEngine {
     pub fn offer(&self, req: PacketRequest) -> PacketId {
         assert_ne!(req.src, req.dst, "self-addressed packet");
         let now = self.now.load(Relaxed);
-        let pid = self
-            .store
-            .write()
-            .expect("store lock poisoned")
-            .alloc(PacketInfo::new(
-                req.src,
-                req.dst,
-                req.len,
-                req.class,
-                req.priority,
-                now,
-            ));
+        let pid = self.store.write().expect("store lock poisoned").alloc(
+            PacketInfo::new(req.src, req.dst, req.len, req.class, req.priority, now)
+                .with_tag(req.tag),
+        );
         let src = req.src.index();
         let mut sh = self.shards[self.part.node_shard[src] as usize]
             .lock()

@@ -23,8 +23,9 @@ use crate::sim::{run, run_until, RunOutcome, RunSpec};
 use chiplet_fault::{FaultEvent, FaultScript, FaultTarget, TimedFault};
 use chiplet_phy::PhyKind;
 use chiplet_topo::{Geometry, NodeId};
-use chiplet_traffic::{SyntheticWorkload, TrafficPattern};
-use simkit::codec::{ByteReader, ByteWriter, LoadState, SaveState};
+use chiplet_traffic::trace::Workload;
+use chiplet_traffic::{DnnSpec, PacketRequest, PhaseGraph, SyntheticWorkload, TrafficPattern};
+use simkit::codec::{ByteReader, ByteWriter, CodecError, LoadState, SaveState};
 use simkit::Cycle;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -70,7 +71,89 @@ impl Flavor {
     }
 }
 
-/// One entry of the golden matrix: a preset, a seed and a fault flavor.
+/// Workload family of one golden scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Open-loop uniform Bernoulli injection (the classic matrix).
+    Synthetic,
+    /// Dependency-driven DNN training step with a ring all-reduce: a
+    /// linear phase DAG whose injection is released by eject feedback.
+    DnnRing,
+    /// Dependency-driven DNN training step with a tree all-reduce.
+    DnnTree,
+}
+
+impl WorkloadKind {
+    fn suffix(self) -> &'static str {
+        match self {
+            WorkloadKind::Synthetic => "",
+            WorkloadKind::DnnRing => "-dnnring",
+            WorkloadKind::DnnTree => "-dnntree",
+        }
+    }
+
+    /// Whether this is a dependency-driven phase workload (finite DAG,
+    /// needs drain-phase polling to finish injecting).
+    pub fn is_phase(self) -> bool {
+        !matches!(self, WorkloadKind::Synthetic)
+    }
+}
+
+/// A scenario's workload: the classic synthetic generator or a
+/// dependency-driven phase graph, behind one type so the digest paths
+/// (including the checkpoint round trip, which needs the workload's own
+/// save/load) stay monomorphic over the whole matrix.
+#[derive(Debug)]
+pub enum GoldenWorkload {
+    /// Open-loop synthetic traffic.
+    Synthetic(SyntheticWorkload),
+    /// Dependency-driven phase DAG.
+    Phase(PhaseGraph),
+}
+
+impl Workload for GoldenWorkload {
+    fn poll(&mut self, now: Cycle, out: &mut Vec<PacketRequest>) {
+        match self {
+            GoldenWorkload::Synthetic(w) => w.poll(now, out),
+            GoldenWorkload::Phase(w) => w.poll(now, out),
+        }
+    }
+
+    fn done(&self) -> bool {
+        match self {
+            GoldenWorkload::Synthetic(w) => w.done(),
+            GoldenWorkload::Phase(w) => w.done(),
+        }
+    }
+
+    fn observe(&mut self, now: Cycle, delivered_by_tag: &[u64]) {
+        match self {
+            GoldenWorkload::Synthetic(w) => w.observe(now, delivered_by_tag),
+            GoldenWorkload::Phase(w) => w.observe(now, delivered_by_tag),
+        }
+    }
+}
+
+impl SaveState for GoldenWorkload {
+    fn save_state(&self, w: &mut ByteWriter) {
+        match self {
+            GoldenWorkload::Synthetic(s) => s.save_state(w),
+            GoldenWorkload::Phase(s) => s.save_state(w),
+        }
+    }
+}
+
+impl LoadState for GoldenWorkload {
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        match self {
+            GoldenWorkload::Synthetic(s) => s.load_state(r),
+            GoldenWorkload::Phase(s) => s.load_state(r),
+        }
+    }
+}
+
+/// One entry of the golden matrix: a preset, a seed, a fault flavor and
+/// a workload family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scenario {
     /// The network preset.
@@ -79,15 +162,19 @@ pub struct Scenario {
     pub seed: u64,
     /// Fault flavor.
     pub flavor: Flavor,
+    /// Workload family.
+    pub workload: WorkloadKind,
 }
 
 impl Scenario {
-    /// Fixture file stem, e.g. `hetero-phy-full-ber-s2`.
+    /// Fixture file stem, e.g. `hetero-phy-full-ber-s2` or
+    /// `uniform-serial-torus-dnnring-s2`.
     pub fn name(&self) -> String {
         format!(
-            "{}{}-s{}",
+            "{}{}{}-s{}",
             self.kind.label(),
             self.flavor.suffix(),
+            self.workload.suffix(),
             self.seed
         )
     }
@@ -165,16 +252,52 @@ impl Scenario {
     }
 
     /// The scenario's fixed workload.
-    pub fn workload(&self) -> SyntheticWorkload {
+    pub fn workload(&self) -> GoldenWorkload {
         let geom = Geometry::new(2, 2, 2, 2);
         let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
-        SyntheticWorkload::new(nodes, TrafficPattern::Uniform, 0.12, 16, self.seed)
+        match self.workload {
+            WorkloadKind::Synthetic => GoldenWorkload::Synthetic(SyntheticWorkload::new(
+                nodes,
+                TrafficPattern::Uniform,
+                0.12,
+                16,
+                self.seed,
+            )),
+            // The phase workloads are deterministic DAGs — the seed only
+            // feeds the config (fault RNG) — so the specs are fixed:
+            // small enough to drain inside the smoke schedule on the
+            // slowest (serial-torus) preset, long enough to straddle the
+            // checkpoint matrix's halt point at cycle 700.
+            WorkloadKind::DnnRing => {
+                let spec =
+                    DnnSpec::parse("ranks=8,layers=2,fwd=32,grad=128,compute=16,allreduce=ring")
+                        .expect("golden dnn-ring spec parses");
+                GoldenWorkload::Phase(PhaseGraph::dnn(&spec, &nodes))
+            }
+            WorkloadKind::DnnTree => {
+                let spec =
+                    DnnSpec::parse("ranks=8,layers=2,fwd=32,grad=96,compute=24,allreduce=tree")
+                        .expect("golden dnn-tree spec parses");
+                GoldenWorkload::Phase(PhaseGraph::dnn(&spec, &nodes))
+            }
+        }
+    }
+
+    /// The run schedule for this scenario: phase workloads keep offering
+    /// packets during the drain phase (the DAG releases trailing phases
+    /// only after earlier ejections), synthetic ones stop at measure end.
+    pub fn runspec(&self) -> RunSpec {
+        if self.workload.is_phase() {
+            RunSpec::smoke().with_drain_offers()
+        } else {
+            RunSpec::smoke()
+        }
     }
 
     fn digest_inner(&self, threads: usize, instrument: bool) -> String {
         let mut net = self.build_net(threads, instrument);
         let mut workload = self.workload();
-        let out = run(&mut net, &mut workload, RunSpec::smoke());
+        let out = run(&mut net, &mut workload, self.runspec());
         render_digest(&out, &net)
     }
 
@@ -194,7 +317,7 @@ impl Scenario {
     ) -> String {
         let mut net = self.build_net(save_threads, instrument);
         let mut workload = self.workload();
-        let halted = run_until(&mut net, &mut workload, RunSpec::smoke(), halt);
+        let halted = run_until(&mut net, &mut workload, self.runspec(), halt);
         assert!(
             halted.is_none(),
             "golden scenarios must reach the halt point at cycle {halt}"
@@ -211,7 +334,7 @@ impl Scenario {
         workload
             .load_state(&mut ByteReader::new(&wblob))
             .expect("the workload blob round-trips");
-        let out = run(&mut net, &mut workload, RunSpec::smoke());
+        let out = run(&mut net, &mut workload, self.runspec());
         render_digest(&out, &net)
     }
 }
@@ -254,11 +377,28 @@ fn render_digest(out: &RunOutcome, net: &Network) -> String {
     kv("retry_naks", c.retry_naks.to_string());
     kv("retry_timeouts", c.retry_timeouts.to_string());
     kv("faults_applied", c.faults_applied.to_string());
+    // Per-phase attribution, only for tagged (phase-workload) runs, so
+    // the classic fixtures are byte-for-byte what they always were. The
+    // full per-tag vector is pinned: any drift in how a single phase's
+    // latency or energy is attributed fails the fixture.
+    if !c.by_tag.is_empty() {
+        kv("phase_tags", (c.by_tag.len() - 1).to_string());
+        for (tag, t) in c.by_tag.iter().enumerate().skip(1) {
+            kv(
+                &format!("phase{tag}"),
+                format!(
+                    "delivered={} packets={} flits={} latency={} energy={} hops={}",
+                    t.delivered, t.packets, t.flits, t.latency_cycles, t.energy_pj, t.flit_hops
+                ),
+            );
+        }
+    }
     s
 }
 
 /// The full golden matrix: every preset × every seed, clean, plus
-/// fault-flavored variants on the presets whose machinery they exercise.
+/// fault-flavored variants on the presets whose machinery they exercise,
+/// plus dependency-driven phase-workload scenarios.
 pub fn scenarios() -> Vec<Scenario> {
     let mut v = Vec::new();
     for kind in ALL_KINDS {
@@ -267,6 +407,7 @@ pub fn scenarios() -> Vec<Scenario> {
                 kind,
                 seed,
                 flavor: Flavor::Clean,
+                workload: WorkloadKind::Synthetic,
             });
         }
     }
@@ -275,18 +416,45 @@ pub fn scenarios() -> Vec<Scenario> {
             kind: NetworkKind::HeteroPhyFull,
             seed,
             flavor: Flavor::BerRetry,
+            workload: WorkloadKind::Synthetic,
         });
         v.push(Scenario {
             kind: NetworkKind::HeteroPhyFull,
             seed,
             flavor: Flavor::PhyDown,
+            workload: WorkloadKind::Synthetic,
         });
         v.push(Scenario {
             kind: NetworkKind::UniformSerialTorus,
             seed,
             flavor: Flavor::LinkDown,
+            workload: WorkloadKind::Synthetic,
         });
     }
+    // Dependency-driven phase workloads: the chiplet-mapped DNN training
+    // step on contrasting presets (ring and tree all-reduce), plus one
+    // retry-flavored variant so phase release is pinned under BER jitter
+    // too. These ride the same thread/instrumentation/checkpoint
+    // matrices as every other fixture.
+    for (kind, seed, workload) in [
+        (NetworkKind::HeteroPhyFull, 1, WorkloadKind::DnnRing),
+        (NetworkKind::UniformSerialTorus, 2, WorkloadKind::DnnRing),
+        (NetworkKind::HeteroChannelFull, 1, WorkloadKind::DnnTree),
+        (NetworkKind::UniformParallelMesh, 3, WorkloadKind::DnnTree),
+    ] {
+        v.push(Scenario {
+            kind,
+            seed,
+            flavor: Flavor::Clean,
+            workload,
+        });
+    }
+    v.push(Scenario {
+        kind: NetworkKind::HeteroPhyFull,
+        seed: 1,
+        flavor: Flavor::BerRetry,
+        workload: WorkloadKind::DnnRing,
+    });
     v
 }
 
@@ -389,8 +557,26 @@ mod tests {
             kind: NetworkKind::UniformParallelMesh,
             seed: 1,
             flavor: Flavor::Clean,
+            workload: WorkloadKind::Synthetic,
         };
         assert_eq!(sc.digest(), sc.digest());
+    }
+
+    #[test]
+    fn phase_digests_are_reproducible_and_attributed() {
+        let sc = Scenario {
+            kind: NetworkKind::UniformParallelMesh,
+            seed: 1,
+            flavor: Flavor::Clean,
+            workload: WorkloadKind::DnnRing,
+        };
+        let d = sc.digest();
+        assert_eq!(d, sc.digest());
+        assert!(d.contains("drained=true"), "phase run must drain:\n{d}");
+        assert!(
+            d.contains("phase_tags="),
+            "phase digest carries attribution:\n{d}"
+        );
     }
 
     #[test]

@@ -77,6 +77,34 @@ pub struct Collector {
     pub failovers: u64,
     /// Scripted hard faults applied (PHY-down, link-down, lane degrade).
     pub faults_applied: u64,
+    /// Per-workload-phase statistics, indexed by packet tag. Grown on
+    /// demand when a tagged packet (tag ≥ 1) is delivered, so untagged
+    /// runs never allocate; element 0 is a placeholder that stays zero.
+    pub by_tag: Vec<TagStats>,
+}
+
+/// Delivery statistics for one workload phase tag (see
+/// [`chiplet_traffic::PacketRequest::tag`]).
+///
+/// `delivered` counts **every** delivery — it is the dependency-release
+/// signal phase workloads key off, so it must not be gated on the
+/// measurement window. The remaining fields cover measured packets only,
+/// mirroring the collector's aggregate statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TagStats {
+    /// All packets delivered with this tag (measured or not).
+    pub delivered: u64,
+    /// Measured packets delivered.
+    pub packets: u64,
+    /// Measured flits delivered.
+    pub flits: u64,
+    /// Sum of measured (creation → delivery) latencies, cycles.
+    pub latency_cycles: u64,
+    /// Sum of measured per-packet total energy, pJ.
+    pub energy_pj: f64,
+    /// Measured flit-hops (packet length × head-flit hops) — the
+    /// link-occupancy share this phase put on the network.
+    pub flit_hops: u64,
 }
 
 impl Probe for Collector {
@@ -97,6 +125,13 @@ impl Probe for Collector {
     fn on_packet_delivered(&mut self, ev: &DeliveryEvent) {
         self.delivered_packets += 1;
         self.delivered_flits += ev.len as u64;
+        if ev.tag != 0 {
+            let t = ev.tag as usize;
+            if self.by_tag.len() <= t {
+                self.by_tag.resize(t + 1, TagStats::default());
+            }
+            self.by_tag[t].delivered += 1;
+        }
         if !ev.measured {
             return;
         }
@@ -118,6 +153,14 @@ impl Probe for Collector {
         self.serial_pj += ev.serial_pj;
         if ev.baseline_locked {
             self.locked_packets += 1;
+        }
+        if ev.tag != 0 {
+            let s = &mut self.by_tag[ev.tag as usize];
+            s.packets += 1;
+            s.flits += ev.len as u64;
+            s.latency_cycles += ev.latency();
+            s.energy_pj += ev.total_pj();
+            s.flit_hops += ev.len as u64 * ev.hops as u64;
         }
     }
 }
@@ -511,6 +554,51 @@ impl Network {
             false,
             c.faults_applied,
         );
+        // Per-phase attribution: emitted only when tagged traffic ran, so
+        // untagged runs keep their metric lines byte-identical.
+        for (tag, s) in c.by_tag.iter().enumerate() {
+            if tag == 0 {
+                continue;
+            }
+            let label = tag.to_string();
+            let phase = [("phase", label.as_str())];
+            snap.push_scalar(
+                "phase_packets_delivered_total",
+                &phase,
+                counter,
+                false,
+                s.delivered,
+            );
+            snap.push_scalar(
+                "phase_packets_measured_total",
+                &phase,
+                counter,
+                false,
+                s.packets,
+            );
+            snap.push_scalar(
+                "phase_flits_measured_total",
+                &phase,
+                counter,
+                false,
+                s.flits,
+            );
+            snap.push_scalar(
+                "phase_latency_cycles_total",
+                &phase,
+                counter,
+                false,
+                s.latency_cycles,
+            );
+            snap.push_scalar(
+                "phase_energy_pj_total",
+                &phase,
+                counter,
+                false,
+                s.energy_pj.round() as u64,
+            );
+            snap.push_scalar("phase_flit_hops_total", &phase, counter, false, s.flit_hops);
+        }
         for (li, n) in self.engine.link_flits().iter().enumerate() {
             let label = li.to_string();
             snap.push_scalar(
@@ -1016,6 +1104,7 @@ mod tests {
                 } else {
                     Priority::Normal
                 },
+                tag: 0,
             });
         }
         run_until_drained(&mut net, 10_000);

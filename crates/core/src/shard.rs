@@ -1224,6 +1224,7 @@ fn delivery_event(
         high_priority: info.priority == chiplet_noc::Priority::High,
         baseline_locked: info.baseline_locked.load(Relaxed),
         measured: info.created >= measure_from,
+        tag: info.tag,
         onchip_pj: e.onchip_pj,
         parallel_pj: e.parallel_pj,
         serial_pj: e.serial_pj,

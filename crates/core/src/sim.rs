@@ -292,6 +292,13 @@ pub(crate) fn drive<D: CycleDriver>(
     // keep the per-cycle step so `on_cycle` timing stays exact.
     let skip = net.skip_enabled() && probes.is_empty();
     let mut skip_until: Cycle = 0;
+    // Ejection feedback for dependency-driven workloads: cumulative
+    // per-tag delivered counts copied out of the collector once per cycle
+    // (deliveries merge at the end of cycle T, the workload observes them
+    // at the top of T+1, so a dependent phase starts strictly after its
+    // predecessor's last ejection). Stays empty — one `is_empty` check —
+    // for untagged workloads.
+    let mut tag_scratch: Vec<u64> = Vec::new();
 
     macro_rules! phase_change {
         ($phase:expr) => {
@@ -304,6 +311,12 @@ pub(crate) fn drive<D: CycleDriver>(
     macro_rules! cycle {
         ($poll:expr) => {{
             if $poll {
+                let by_tag = &net.collector().by_tag;
+                if !by_tag.is_empty() {
+                    tag_scratch.clear();
+                    tag_scratch.extend(by_tag.iter().map(|s| s.delivered));
+                }
+                workload.observe(net.now(), &tag_scratch);
                 workload.poll(net.now(), &mut buf);
                 if !buf.is_empty() {
                     skip_until = 0;

@@ -52,10 +52,12 @@ pub mod backend;
 pub mod calibrate;
 pub mod decompose;
 pub mod estimator;
+pub mod phases;
 pub mod workload;
 
 pub use backend::{AnalyticalBackend, CycleAccurateBackend, FitConstants, LinkEstimate, LinkSim};
 pub use calibrate::{calibrate, error_bound_pct, CalibrationReport, PresetCalibration};
 pub use decompose::{Decomposition, LinkClassGroup, RoutingRole};
 pub use estimator::{EstimateRequest, EstimatedCurve, EstimatedPoint, Estimator};
+pub use phases::PhaseTrafficSummary;
 pub use workload::{ClassKey, LinkWorkload};

@@ -1,0 +1,187 @@
+//! Aggregate traffic statistics of a dependency-driven phase workload.
+//!
+//! Phase-graph workloads ([`chiplet_traffic::PhaseGraph`]) do not offer a
+//! steady rate, so the rate-ladder front-end of [`crate::Estimator`] does
+//! not apply to them directly. What the analytical tier *can* answer
+//! cheaply is a triage question: roughly how much traffic does this graph
+//! carry, over at least how many cycles, and what steady injection rate
+//! would offer the same flit volume? [`PhaseTrafficSummary`] computes
+//! those aggregates in one pass over the graph, without simulating a
+//! cycle, so callers can pick an estimate rate or decide whether a
+//! workload is even worth a full cycle-accurate run.
+
+use chiplet_noc::OrderClass;
+use chiplet_traffic::PhaseGraph;
+
+/// One-pass aggregates over a [`PhaseGraph`]: traffic volume, ordering
+/// mix, and the dependency-chain lower bound on runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTrafficSummary {
+    /// Number of phases in the graph.
+    pub phases: usize,
+    /// Total packets across all phases.
+    pub packets: u64,
+    /// Total flits across all phases.
+    pub flits: u64,
+    /// Flits of in-order packets (reorder-buffer traffic at hetero-PHY
+    /// receivers).
+    pub in_order_flits: u64,
+    /// Flits of unordered packets (bypass-eligible bulk traffic).
+    pub unordered_flits: u64,
+    /// Longest dependency chain through the graph, counting each phase's
+    /// compute window plus its last injection offset. This is a lower
+    /// bound on the workload's completion cycle: the real run also waits
+    /// for every packet of a phase to *eject* before releasing its
+    /// dependents, so network latency only pushes completion later.
+    pub critical_path_cycles: u64,
+}
+
+impl PhaseTrafficSummary {
+    /// Summarizes `graph` in one pass (no simulation).
+    pub fn of(graph: &PhaseGraph) -> Self {
+        let specs = graph.phases();
+        let mut packets = 0u64;
+        let mut flits = 0u64;
+        let mut in_order = 0u64;
+        let mut unordered = 0u64;
+        // depth[i] = critical-path cost of the chain ending at phase i.
+        let mut depth = vec![0u64; specs.len()];
+        for (i, spec) in specs.iter().enumerate() {
+            let mut last_offset = 0u64;
+            for (at, req) in &spec.events {
+                packets += 1;
+                flits += u64::from(req.len);
+                match req.class {
+                    OrderClass::InOrder => in_order += u64::from(req.len),
+                    OrderClass::Unordered => unordered += u64::from(req.len),
+                }
+                last_offset = last_offset.max(*at);
+            }
+            // A phase occupies at least its compute window, plus the
+            // release-relative offset of its last injection (the +1
+            // makes an event at offset 0 still cost one cycle).
+            let own = spec.compute
+                + if spec.events.is_empty() {
+                    0
+                } else {
+                    last_offset + 1
+                };
+            let dep_depth = spec.deps.iter().map(|&d| depth[d]).max().unwrap_or(0);
+            depth[i] = dep_depth + own;
+        }
+        Self {
+            phases: specs.len(),
+            packets,
+            flits,
+            in_order_flits: in_order,
+            unordered_flits: unordered,
+            critical_path_cycles: depth.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// The steady per-node injection rate (flits/node/cycle) that would
+    /// offer this graph's flit volume over its critical path on a
+    /// network of `nodes` nodes. Because the critical path is a lower
+    /// bound on runtime, this is an *upper* bound on the workload's
+    /// average demand — a network whose estimated saturation rate
+    /// comfortably exceeds it will not be driven into saturation by the
+    /// phase workload's average load (bursts can still queue locally).
+    pub fn equivalent_rate(&self, nodes: usize) -> f64 {
+        if nodes == 0 || self.critical_path_cycles == 0 {
+            return 0.0;
+        }
+        self.flits as f64 / (nodes as f64 * self.critical_path_cycles as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_noc::Priority;
+    use chiplet_topo::NodeId;
+    use chiplet_traffic::{DnnSpec, PacketRequest, PhaseSpec};
+
+    fn req(len: u16, class: OrderClass) -> PacketRequest {
+        PacketRequest {
+            src: NodeId(0),
+            dst: NodeId(1),
+            len,
+            class,
+            priority: Priority::Normal,
+            tag: 0,
+        }
+    }
+
+    /// A hand-built diamond graph pins every aggregate exactly. The
+    /// critical path must take the heavier branch of the diamond, not
+    /// the sum of both branches.
+    #[test]
+    fn hand_built_graph_summarizes_exactly() {
+        let graph = PhaseGraph::new(vec![
+            PhaseSpec {
+                name: "root".into(),
+                deps: vec![],
+                compute: 10,
+                events: vec![(0, req(4, OrderClass::InOrder))],
+            },
+            PhaseSpec {
+                name: "light".into(),
+                deps: vec![0],
+                compute: 5,
+                events: vec![(2, req(8, OrderClass::Unordered))],
+            },
+            PhaseSpec {
+                name: "heavy".into(),
+                deps: vec![0],
+                compute: 40,
+                events: vec![
+                    (0, req(16, OrderClass::InOrder)),
+                    (3, req(16, OrderClass::InOrder)),
+                ],
+            },
+            PhaseSpec {
+                name: "join".into(),
+                deps: vec![1, 2],
+                compute: 0,
+                events: vec![],
+            },
+        ]);
+        let s = PhaseTrafficSummary::of(&graph);
+        assert_eq!(s.phases, 4);
+        assert_eq!(s.packets, 4);
+        assert_eq!(s.flits, 4 + 8 + 16 + 16);
+        assert_eq!(s.in_order_flits, 36);
+        assert_eq!(s.unordered_flits, 8);
+        // root: 10 + (0+1) = 11; heavy branch: 11 + 40 + (3+1) = 55;
+        // light branch: 11 + 5 + (2+1) = 19; join adds nothing.
+        assert_eq!(s.critical_path_cycles, 55);
+        let rate = s.equivalent_rate(4);
+        assert!((rate - 44.0 / (4.0 * 55.0)).abs() < 1e-12);
+        assert_eq!(s.equivalent_rate(0), 0.0);
+    }
+
+    /// The generated DNN graphs are non-degenerate, and scaling the
+    /// compute windows stretches the critical path without changing a
+    /// single flit of traffic.
+    #[test]
+    fn dnn_graph_volume_is_scale_invariant_but_path_is_not() {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let spec = DnnSpec::parse("ranks=8,layers=2,fwd=32,grad=128,compute=16,allreduce=ring")
+            .expect("valid spec");
+        let graph = PhaseGraph::dnn(&spec, &nodes);
+        let base = PhaseTrafficSummary::of(&graph);
+        assert!(base.phases > 0);
+        assert!(base.flits > 0);
+        assert!(base.critical_path_cycles > 0);
+        assert!(base.equivalent_rate(nodes.len()) > 0.0);
+
+        let scaled = PhaseTrafficSummary::of(&graph.clone().with_compute_scale(3.0));
+        assert_eq!(scaled.flits, base.flits, "scaling compute moves no traffic");
+        assert_eq!(scaled.packets, base.packets);
+        assert!(
+            scaled.critical_path_cycles > base.critical_path_cycles,
+            "3x compute windows must lengthen the dependency chain"
+        );
+        assert!(scaled.equivalent_rate(nodes.len()) < base.equivalent_rate(nodes.len()));
+    }
+}

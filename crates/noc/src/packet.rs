@@ -49,6 +49,10 @@ pub struct PacketInfo {
     pub priority: Priority,
     /// Cycle the workload created the packet (queueing included in latency).
     pub created: Cycle,
+    /// Workload phase tag (0 = untagged). Phase-graph workloads stamp
+    /// their packets so deliveries can be attributed back to the emitting
+    /// phase; synthetic and trace traffic leaves it 0.
+    pub tag: u16,
     /// Cycle the head flit entered the source router (written once by the
     /// source shard at injection).
     pub injected: AtomicU64,
@@ -89,6 +93,7 @@ impl PacketInfo {
             class,
             priority,
             created,
+            tag: 0,
             injected: AtomicU64::new(0),
             baseline_locked: AtomicBool::new(false),
             hops: AtomicU32::new(0),
@@ -97,6 +102,12 @@ impl PacketInfo {
             serial_flits: AtomicU32::new(0),
             ejected: AtomicU16::new(0),
         }
+    }
+
+    /// Sets the workload phase tag.
+    pub fn with_tag(mut self, tag: u16) -> Self {
+        self.tag = tag;
+        self
     }
 
     /// The livelock/deadlock routing state (Algorithm 1's baseline lock)
@@ -118,6 +129,7 @@ impl Clone for PacketInfo {
             class: self.class,
             priority: self.priority,
             created: self.created,
+            tag: self.tag,
             injected: AtomicU64::new(self.injected.load(Ordering::Relaxed)),
             baseline_locked: AtomicBool::new(self.baseline_locked.load(Ordering::Relaxed)),
             hops: AtomicU32::new(self.hops.load(Ordering::Relaxed)),
@@ -226,6 +238,7 @@ fn save_info(info: &PacketInfo, w: &mut ByteWriter) {
         Priority::High => 1,
     });
     w.put_u64(info.created);
+    w.put_u16(info.tag);
     // Atomics are saved as plain values: a checkpoint is only ever taken
     // in the serial merge window, where no shard holds a reference.
     w.put_u64(info.injected.load(Ordering::Relaxed));
@@ -255,7 +268,8 @@ fn load_info(r: &mut ByteReader) -> Result<PacketInfo, CodecError> {
         _ => return Err(CodecError::Corrupt("priority")),
     };
     let created = r.get_u64()?;
-    let info = PacketInfo::new(src, dst, len, class, priority, created);
+    let mut info = PacketInfo::new(src, dst, len, class, priority, created);
+    info.tag = r.get_u16()?;
     info.injected.store(r.get_u64()?, Ordering::Relaxed);
     info.baseline_locked.store(r.get_bool()?, Ordering::Relaxed);
     info.hops.store(r.get_u32()?, Ordering::Relaxed);

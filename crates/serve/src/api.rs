@@ -30,9 +30,15 @@
 //! (`{"warmup": ..., "measure": ..., "drain": ..., "watchdog": ...}`),
 //! and `backend: "analytical"` routes the job to the closed-form
 //! estimator instead of the engine.
+//!
+//! A job may instead carry a dependency-driven phase `"workload"` —
+//! `"dnn:layers=2,allreduce=ring"` or inline `#hetero-phase-trace` text
+//! — in which case it sweeps compute-window `"scales"` (default
+//! `[1.0]`) rather than `rates`; each scaled graph is cached under its
+//! own fingerprint key.
 
-use chiplet_topo::Geometry;
-use chiplet_traffic::TrafficPattern;
+use chiplet_topo::{Geometry, NodeId};
+use chiplet_traffic::{DnnSpec, PhaseGraph, TrafficPattern};
 use hetero_if::sim::RunSpec;
 use hetero_if::{NetworkKind, SchedulingProfile, SimConfig};
 use simkit::json::Json;
@@ -81,6 +87,13 @@ pub struct JobSpec {
     /// Whether engine points may share one warmed checkpoint (approximate
     /// warm-start mode; cached under distinct keys).
     pub warm_start: bool,
+    /// Dependency-driven phase workload, when this is a workload job
+    /// (`"workload"`: either `dnn:<spec>` or inline phase-trace text).
+    /// Workload jobs sweep `scales`, not `rates`.
+    pub workload: Option<PhaseGraph>,
+    /// Compute-window scale factors swept by a workload job (each keyed
+    /// by the scaled graph's fingerprint). `[1.0]` when omitted.
+    pub scales: Vec<f64>,
 }
 
 impl JobSpec {
@@ -190,23 +203,49 @@ fn parse_job(v: &Json) -> Result<JobSpec, ApiError> {
         .ok_or_else(|| err("job is missing \"preset\""))?;
     let kind =
         NetworkKind::from_label(preset).ok_or_else(|| err(format!("unknown preset: {preset}")))?;
-    let rates: Vec<f64> = v
-        .get("rates")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| err("job is missing \"rates\""))?
-        .iter()
-        .map(|j| {
-            j.as_f64()
-                .filter(|r| r.is_finite() && *r > 0.0)
-                .ok_or_else(|| err("rates must be positive finite numbers"))
-        })
-        .collect::<Result<_, _>>()?;
-    if rates.is_empty() {
-        return Err(err("rates must not be empty"));
-    }
+    let parse_positive_list = |key: &'static str| -> Result<Option<Vec<f64>>, ApiError> {
+        let Some(j) = v.get(key) else { return Ok(None) };
+        let arr = j
+            .as_arr()
+            .ok_or_else(|| err(format!("{key} must be an array")))?;
+        let list: Vec<f64> = arr
+            .iter()
+            .map(|j| {
+                j.as_f64()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| err(format!("{key} must be positive finite numbers")))
+            })
+            .collect::<Result<_, _>>()?;
+        if list.is_empty() {
+            return Err(err(format!("{key} must not be empty")));
+        }
+        Ok(Some(list))
+    };
+    let has_workload = v.get("workload").is_some();
+    let rates = match parse_positive_list("rates")? {
+        Some(r) if has_workload => {
+            let _ = r;
+            return Err(err("workload jobs sweep \"scales\", not \"rates\""));
+        }
+        Some(r) => r,
+        None if has_workload => Vec::new(),
+        None => return Err(err("job is missing \"rates\"")),
+    };
+    let scales = match parse_positive_list("scales")? {
+        Some(_) if !has_workload => {
+            return Err(err("\"scales\" requires a \"workload\""));
+        }
+        Some(s) => s,
+        None => vec![1.0],
+    };
     let geom = match v.get("geom") {
         Some(g) => parse_geom(g)?,
         None => Geometry::new(2, 2, 2, 2),
+    };
+    let workload = match v.get("workload").map(|w| w.as_str()) {
+        None => None,
+        Some(None) => return Err(err("workload must be a string")),
+        Some(Some(text)) => Some(parse_workload(text, geom)?),
     };
     let profile = match v.get("profile").map(|p| p.as_str()) {
         Some(Some(name)) => parse_profile(name)?,
@@ -241,6 +280,16 @@ fn parse_job(v: &Json) -> Result<JobSpec, ApiError> {
         Some(None) => return Err(err("backend must be a string")),
     };
     let warm_start = v.get("warm_start").and_then(Json::as_bool).unwrap_or(false);
+    if workload.is_some() {
+        if backend == Backend::Analytical {
+            return Err(err("workload jobs run on the engine backend only"));
+        }
+        if warm_start {
+            return Err(err(
+                "warm_start does not apply to workload jobs (phases own their warm-up)",
+            ));
+        }
+    }
     Ok(JobSpec {
         kind,
         geom,
@@ -252,7 +301,28 @@ fn parse_job(v: &Json) -> Result<JobSpec, ApiError> {
         seed,
         backend,
         warm_start,
+        workload,
+        scales,
     })
+}
+
+/// Parses the `"workload"` field: `dnn:<spec>` generates the
+/// chiplet-mapped DNN phase graph over this geometry's nodes; inline
+/// `#hetero-phase-trace` text (as captured by `hetero-sim
+/// --capture-trace`) replays bit-identically. The server never reads
+/// files on the client's behalf.
+fn parse_workload(text: &str, geom: Geometry) -> Result<PhaseGraph, ApiError> {
+    if let Some(rest) = text.strip_prefix("dnn:") {
+        let spec = DnnSpec::parse(rest).map_err(|e| err(format!("bad dnn workload: {e}")))?;
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        Ok(PhaseGraph::dnn(&spec, &nodes))
+    } else if text.starts_with("#hetero-phase-trace") {
+        PhaseGraph::from_text(text).map_err(|e| err(format!("bad phase trace: {e}")))
+    } else {
+        Err(err(
+            "workload must be dnn:<spec> or inline #hetero-phase-trace text",
+        ))
+    }
 }
 
 impl BatchRequest {
@@ -297,6 +367,75 @@ mod tests {
         assert_eq!(job.seed, 1);
         assert_eq!(job.backend, Backend::Engine);
         assert!(!job.warm_start);
+        assert!(job.workload.is_none());
+        assert_eq!(job.scales, vec![1.0]);
+    }
+
+    #[test]
+    fn workload_job_parses_and_sweeps_scales() {
+        let batch = BatchRequest::parse(
+            r#"{"jobs": [{
+                "preset": "hetero-phy-full",
+                "workload": "dnn:layers=1,ranks=4,grad=32",
+                "scales": [1, 2.5]
+            }]}"#,
+        )
+        .expect("workload job parses");
+        let job = &batch.jobs[0];
+        let graph = job.workload.as_ref().expect("graph built");
+        assert!(!graph.phases().is_empty());
+        assert!(job.rates.is_empty());
+        assert_eq!(job.scales, vec![1.0, 2.5]);
+
+        // Inline captured trace text round-trips through the wire field.
+        let text = graph.to_text();
+        let body = format!(
+            r#"{{"jobs": [{{"preset": "hetero-phy-full", "workload": {}}}]}}"#,
+            simkit::json::Json::from(text.as_str()).render(),
+        );
+        let batch2 = BatchRequest::parse(&body).expect("inline trace parses");
+        assert_eq!(
+            batch2.jobs[0].workload.as_ref().unwrap().fingerprint(),
+            graph.fingerprint(),
+            "generated and inline-trace workloads share the fingerprint"
+        );
+    }
+
+    #[test]
+    fn workload_job_rejects_conflicting_fields() {
+        for (body, needle) in [
+            (
+                r#"{"jobs": [{"preset": "hetero-phy-full", "workload": "dnn:", "rates": [0.1]}]}"#,
+                "scales",
+            ),
+            (
+                r#"{"jobs": [{"preset": "hetero-phy-full", "rates": [0.1], "scales": [2]}]}"#,
+                "workload",
+            ),
+            (
+                r#"{"jobs": [{"preset": "hetero-phy-full", "workload": "dnn:layers=0"}]}"#,
+                "dnn",
+            ),
+            (
+                r#"{"jobs": [{"preset": "hetero-phy-full", "workload": "mystery"}]}"#,
+                "workload",
+            ),
+            (
+                r#"{"jobs": [{"preset": "hetero-phy-full", "workload": "dnn:", "backend": "analytical"}]}"#,
+                "engine",
+            ),
+            (
+                r#"{"jobs": [{"preset": "hetero-phy-full", "workload": "dnn:", "warm_start": true}]}"#,
+                "warm_start",
+            ),
+        ] {
+            let e = BatchRequest::parse(body).expect_err(body);
+            assert!(
+                e.0.contains(needle),
+                "error {:?} for {body:?} should mention {needle:?}",
+                e.0
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::api::{Backend, BatchRequest, JobSpec};
 use chiplet_topo::NodeId;
 use chiplet_traffic::SyntheticWorkload;
 use hetero_estimate::{error_bound_pct, EstimateRequest, Estimator};
-use hetero_if::cache::{engine_point, CacheKey, CacheSource, CachedPoint, PointDesc, ResultCache};
+use hetero_if::cache::{
+    engine_point, phase_point, CacheKey, CacheSource, CachedPoint, PointDesc, ResultCache,
+};
 use hetero_if::sim::{run, run_until};
 use simkit::json::Json;
 use simkit::metrics::{MetricId, MetricsRegistry, MetricsSlice, MetricsSnapshot};
@@ -375,6 +377,35 @@ impl SweepService {
         })
     }
 
+    /// Runs one phase-workload job: every compute-window scale is an
+    /// independent cached point, keyed on the scaled graph's fingerprint
+    /// (`variant=workload@<sha256>`), fanned out over the worker pool. A
+    /// scale of 1.0 keys identically to a direct
+    /// `hetero-sim --workload --cache-dir` run of the same graph.
+    fn run_workload_job(
+        &self,
+        job: &JobSpec,
+        graph: &chiplet_traffic::PhaseGraph,
+    ) -> Vec<(f64, CachedPoint, &'static str)> {
+        self.par_indexed(job.scales.len(), |i| {
+            let scale = job.scales[i];
+            let mut scaled = graph.clone().with_compute_scale(scale);
+            let desc = PointDesc::new(
+                job.kind,
+                job.geom,
+                job.config(),
+                job.profile,
+                job.pattern,
+                0.0,
+                job.packet_len,
+                job.spec.with_drain_offers(),
+            )
+            .with_workload(&scaled);
+            let (p, src) = self.cached_point(desc.key(), || phase_point(&desc, &mut scaled));
+            (scale, p, src)
+        })
+    }
+
     /// Runs one engine job in warm-start mode: all points share the
     /// warm-up paid once at the lowest requested rate, forked from one
     /// checkpoint. Results are approximate relative to cold runs and are
@@ -532,6 +563,22 @@ impl SweepService {
                     .set("error_bound_pct", Json::from(error_bound_pct(job.kind)));
             }
             Backend::Engine => {
+                if let Some(graph) = &job.workload {
+                    let points = self.run_workload_job(job, graph);
+                    let rendered: Vec<Json> = points
+                        .iter()
+                        .map(|(scale, p, src)| {
+                            let mut j = Self::engine_point_json(p, src);
+                            j.set("scale", Json::from(*scale));
+                            j
+                        })
+                        .collect();
+                    report
+                        .set("points", Json::Arr(rendered))
+                        .set("workload_fingerprint", Json::from(graph.fingerprint()))
+                        .set("phases", Json::from(graph.phases().len() as u64));
+                    return report;
+                }
                 let (points, warm) = if job.warm_start {
                     self.run_warm_job(job)
                 } else {
@@ -636,7 +683,42 @@ mod tests {
             seed: 1,
             backend: Backend::Engine,
             warm_start: warm,
+            workload: None,
+            scales: vec![1.0],
         }
+    }
+
+    #[test]
+    fn workload_job_caches_per_scale_and_rehits() {
+        use chiplet_topo::NodeId;
+        use chiplet_traffic::{DnnSpec, PhaseGraph};
+        let service = SweepService::new(None, 2).expect("service");
+        let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let spec = DnnSpec::parse("ranks=4,layers=1,grad=32").unwrap();
+        let mut job = smoke_job(&[], false);
+        job.kind = NetworkKind::HeteroPhyFull;
+        job.workload = Some(PhaseGraph::dnn(&spec, &nodes));
+        job.scales = vec![1.0, 2.0];
+        let batch = BatchRequest {
+            jobs: vec![job.clone()],
+        };
+        let cold = service.run_batch(&batch);
+        let jobs = cold.get("jobs").unwrap().as_arr().unwrap();
+        assert!(jobs[0].get("workload_fingerprint").is_some());
+        let points = jobs[0].get("points").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].get("scale").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(points[1].get("scale").and_then(Json::as_f64), Some(2.0));
+        for p in points {
+            assert_eq!(p.get("drained").and_then(Json::as_bool), Some(true));
+        }
+        // computed == 2 proves the two scales keyed distinctly (one
+        // entry could have served both otherwise); a re-run is all hits.
+        assert_eq!(service.stats().computed, 2, "one run per scale");
+        let hot = service.run_batch(&batch);
+        let cache = hot.get("cache").unwrap();
+        assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(service.stats().computed, 2, "nothing recomputed");
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub struct DeliveryEvent {
     pub baseline_locked: bool,
     /// Whether it was created inside the measurement window.
     pub measured: bool,
+    /// Workload phase tag (0 = untagged traffic).
+    pub tag: u16,
     /// On-chip traversal energy, pJ.
     pub onchip_pj: f64,
     /// Parallel-interface traversal energy, pJ.
@@ -354,6 +356,7 @@ mod tests {
             high_priority: false,
             baseline_locked: false,
             measured: true,
+            tag: 0,
             onchip_pj: 10.0,
             parallel_pj: 20.0,
             serial_pj: 0.0,

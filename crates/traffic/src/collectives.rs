@@ -30,29 +30,74 @@ use simkit::Cycle;
 /// Flits per packet for bulk chunks (Table 2's packet size).
 const BULK_PKT: u16 = 16;
 
-fn bulk(src: NodeId, dst: NodeId, len: u16) -> PacketRequest {
+pub(crate) fn bulk(src: NodeId, dst: NodeId, len: u16) -> PacketRequest {
     PacketRequest {
         src,
         dst,
         len,
         class: OrderClass::Unordered,
         priority: Priority::Normal,
+        tag: 0,
     }
 }
 
-fn control(src: NodeId, dst: NodeId) -> PacketRequest {
+pub(crate) fn control(src: NodeId, dst: NodeId) -> PacketRequest {
     PacketRequest {
         src,
         dst,
         len: 1,
         class: OrderClass::InOrder,
         priority: Priority::High,
+        tag: 0,
     }
+}
+
+/// The communication edges (as rank indices) of one ring step: every
+/// rank sends to its ring successor. The same each step; exposed so
+/// phase-graph builders schedule exactly the edges the flat trace
+/// builders emit, in the same order.
+pub(crate) fn ring_step_edges(n: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+/// The edges of binomial-tree round `k`: ranks with bit `k` set (and all
+/// lower bits clear) pair with `rank - 2^k`. `broadcast` reverses the
+/// direction (parent → child).
+pub(crate) fn tree_round_edges(n: usize, k: usize, broadcast: bool) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        if i & (1 << k) != 0 && i & ((1 << k) - 1) == 0 {
+            let partner = i - (1 << k);
+            if broadcast {
+                edges.push((partner, i));
+            } else {
+                edges.push((i, partner));
+            }
+        }
+    }
+    edges
+}
+
+/// The edges of all-to-all round `s` (1 ≤ s < n): rank `i` sends to rank
+/// `(i + s) mod n` — the classic congestion-avoiding shifted schedule.
+pub(crate) fn all_to_all_round_edges(n: usize, s: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + s) % n)).collect()
+}
+
+/// The edges of dissemination-barrier round `k`: rank `i` notifies rank
+/// `(i + 2^k) mod n`.
+pub(crate) fn barrier_round_edges(n: usize, k: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + (1 << k)) % n)).collect()
+}
+
+/// ⌈log₂ n⌉ — the round count of the tree and dissemination collectives.
+pub(crate) fn ceil_log2(n: usize) -> usize {
+    (usize::BITS - (n - 1).leading_zeros()) as usize
 }
 
 /// Emits a bulk transfer of `flits` flits as 16-flit packets (plus a
 /// remainder packet).
-fn push_bulk(
+pub(crate) fn push_bulk(
     events: &mut Vec<(Cycle, PacketRequest)>,
     at: Cycle,
     src: NodeId,
@@ -87,9 +132,8 @@ pub fn ring_all_reduce(
     let mut events = Vec::new();
     for step in 0..(2 * (n - 1)) {
         let t = start + step as Cycle * step_gap;
-        for (i, &r) in ranks.iter().enumerate() {
-            let succ = ranks[(i + 1) % n];
-            push_bulk(&mut events, t, r, succ, chunk_flits);
+        for (i, j) in ring_step_edges(n) {
+            push_bulk(&mut events, t, ranks[i], ranks[j], chunk_flits);
         }
     }
     TraceWorkload::new(events)
@@ -110,28 +154,20 @@ pub fn tree_all_reduce(
     assert!(ranks.len() >= 2, "all-reduce needs at least two ranks");
     assert!(msg_flits > 0, "empty messages");
     let n = ranks.len();
-    let rounds = (usize::BITS - (n - 1).leading_zeros()) as usize; // ceil(log2 n)
+    let rounds = ceil_log2(n);
     let mut events = Vec::new();
     // Reduce: in round k, ranks with bit k set send to rank - 2^k.
     for k in 0..rounds {
         let t = start + k as Cycle * round_gap;
-        for i in 0..n {
-            if i & (1 << k) != 0 && i & ((1 << k) - 1) == 0 {
-                let partner = i - (1 << k);
-                events.push((t, bulk(ranks[i], ranks[partner], msg_flits)));
-            }
+        for (i, j) in tree_round_edges(n, k, false) {
+            events.push((t, bulk(ranks[i], ranks[j], msg_flits)));
         }
     }
     // Broadcast: mirror order.
     for k in (0..rounds).rev() {
         let t = start + (2 * rounds - 1 - k) as Cycle * round_gap;
-        for i in 0..n {
-            if i & (1 << k) != 0 && i & ((1 << k) - 1) == 0 {
-                let partner = i - (1 << k);
-                if i < n {
-                    events.push((t, bulk(ranks[partner], ranks[i], msg_flits)));
-                }
-            }
+        for (i, j) in tree_round_edges(n, k, true) {
+            events.push((t, bulk(ranks[i], ranks[j], msg_flits)));
         }
     }
     TraceWorkload::new(events)
@@ -156,8 +192,7 @@ pub fn all_to_all(
     let mut events = Vec::new();
     for s in 1..n {
         let t = start + (s - 1) as Cycle * round_gap;
-        for i in 0..n {
-            let j = (i + s) % n;
+        for (i, j) in all_to_all_round_edges(n, s) {
             push_bulk(&mut events, t, ranks[i], ranks[j], chunk_flits);
         }
     }
@@ -174,12 +209,11 @@ pub fn all_to_all(
 pub fn barrier(ranks: &[NodeId], round_gap: Cycle, start: Cycle) -> TraceWorkload {
     assert!(ranks.len() >= 2, "a barrier needs at least two ranks");
     let n = ranks.len();
-    let rounds = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let rounds = ceil_log2(n);
     let mut events = Vec::new();
     for k in 0..rounds {
         let t = start + k as Cycle * round_gap;
-        for i in 0..n {
-            let j = (i + (1 << k)) % n;
+        for (i, j) in barrier_round_edges(n, k) {
             events.push((t, control(ranks[i], ranks[j])));
         }
     }

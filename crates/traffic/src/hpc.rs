@@ -108,6 +108,7 @@ fn push_msg(
             len: 1,
             class: OrderClass::InOrder,
             priority: Priority::Normal,
+            tag: 0,
         },
     ));
     for k in 0..pkts {
@@ -119,6 +120,7 @@ fn push_msg(
                 len: DATA_LEN,
                 class: OrderClass::Unordered,
                 priority: Priority::Normal,
+                tag: 0,
             },
         ));
     }

@@ -12,6 +12,10 @@
 //! * [`collectives`] — ring/tree all-reduce, all-to-all and barrier
 //!   schedules: the Motivation-2 traffic the paper contrasts interfaces
 //!   on;
+//! * [`phase`] — dependency-driven phase graphs: DAGs of
+//!   compute/communication phases whose injection is released by eject
+//!   feedback from the engine, plus the chiplet-mapped DNN generator and
+//!   the versioned on-disk phase-trace format;
 //! * [`hpc`] — synthetic HPC traces standing in for the NERSC dumpi traces:
 //!   CNS (compressible Navier-Stokes: 3-D nearest-neighbor halo exchange,
 //!   local-heavy) and MOC (method of characteristics: long-range sweep
@@ -29,9 +33,11 @@ pub mod collectives;
 pub mod hpc;
 pub mod parsec;
 pub mod pattern;
+pub mod phase;
 pub mod synthetic;
 pub mod trace;
 
 pub use pattern::TrafficPattern;
+pub use phase::{AllReduceAlgo, DnnSpec, PhaseGraph, PhaseSpec};
 pub use synthetic::SyntheticWorkload;
 pub use trace::{PacketRequest, TraceWorkload, Workload};

@@ -142,6 +142,7 @@ pub fn generate(
                             len: CTRL_LEN,
                             class: OrderClass::InOrder,
                             priority: Priority::Normal,
+                            tag: 0,
                         },
                     ));
                     let back = t + MC_SERVICE / 2 + rng.below(8);
@@ -154,6 +155,7 @@ pub fn generate(
                                 len: DATA_LEN,
                                 class: OrderClass::InOrder,
                                 priority: Priority::Normal,
+                                tag: 0,
                             },
                         ));
                     }
@@ -177,6 +179,7 @@ pub fn generate(
                             len: CTRL_LEN,
                             class: OrderClass::InOrder,
                             priority: Priority::Normal,
+                            tag: 0,
                         },
                     ));
                     let back = t + MC_SERVICE + rng.below(16);
@@ -189,6 +192,7 @@ pub fn generate(
                                 len: DATA_LEN,
                                 class: OrderClass::InOrder,
                                 priority: Priority::Normal,
+                                tag: 0,
                             },
                         ));
                     }

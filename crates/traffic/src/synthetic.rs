@@ -122,6 +122,7 @@ impl Workload for SyntheticWorkload {
                     len: self.packet_len,
                     class: self.class,
                     priority: self.priority,
+                    tag: 0,
                 });
             }
         }

@@ -17,6 +17,11 @@ pub struct PacketRequest {
     pub class: OrderClass,
     /// Scheduling priority.
     pub priority: Priority,
+    /// Workload phase tag (0 = untagged). Phase-graph workloads stamp
+    /// their packets with the emitting phase's tag so the engine can
+    /// report per-phase delivery counts back through
+    /// [`Workload::observe`] and attribute per-phase statistics.
+    pub tag: u16,
 }
 
 impl PacketRequest {
@@ -28,7 +33,14 @@ impl PacketRequest {
             len,
             class: OrderClass::InOrder,
             priority: Priority::Normal,
+            tag: 0,
         }
+    }
+
+    /// Stamps the request with a workload phase tag.
+    pub fn with_tag(mut self, tag: u16) -> Self {
+        self.tag = tag;
+        self
     }
 }
 
@@ -43,6 +55,18 @@ pub trait Workload: std::fmt::Debug {
     fn done(&self) -> bool {
         false
     }
+
+    /// Eject feedback from the engine, delivered once per cycle *before*
+    /// [`Workload::poll`]: `delivered_by_tag[tag]` is the cumulative
+    /// number of packets with that [`PacketRequest::tag`] whose tail flit
+    /// has ejected (index 0 is the untagged slot and stays 0 — untagged
+    /// deliveries are not tracked per tag). The slice only grows as
+    /// higher tags are first delivered, so it may be shorter than the
+    /// highest tag a workload has emitted. Open-loop workloads
+    /// ignore this; dependency-driven workloads use it to release
+    /// successor phases strictly after their predecessors' packets have
+    /// all left the network.
+    fn observe(&mut self, _now: Cycle, _delivered_by_tag: &[u64]) {}
 }
 
 /// A pre-materialized, time-sorted trace.
@@ -97,14 +121,29 @@ impl TraceWorkload {
     /// Rescales event times by `factor` (e.g. 0.5 halves all gaps — the
     /// "injection scale" axis of Figs. 13/15).
     ///
+    /// The scaling is computed in 32.32 fixed point (`factor` is snapped
+    /// to the nearest 1/2³² before applying), so the mapping is a single
+    /// exact integer multiply per event: monotone in `t`, free of the
+    /// accumulated f64 drift that used to let near-tied events land in
+    /// different orders on different platforms, and exact for cycle
+    /// values beyond 2⁵³ where `t as f64` itself loses precision. Events
+    /// that collapse onto the same cycle keep their relative order, so a
+    /// rescaled trace survives a CSV save/load round trip bit-identically.
+    ///
     /// # Panics
     ///
     /// Panics if `factor <= 0`.
     pub fn rescaled(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "time scale factor must be positive");
+        // Snap the factor to 32.32 fixed point once; each event time is
+        // then an exact u128 multiply with round-half-up.
+        let scale = (factor * (1u64 << 32) as f64).round() as u128;
         for (t, _) in &mut self.events {
-            *t = (*t as f64 * factor).round() as Cycle;
+            let scaled = (*t as u128 * scale + (1u128 << 31)) >> 32;
+            *t = scaled.min(Cycle::MAX as u128) as Cycle;
         }
+        // A monotone mapping of a sorted list stays sorted; the stable
+        // sort is a no-op that only documents the invariant.
         self.events.sort_by_key(|&(t, _)| t);
         self.next = 0;
         self
@@ -140,12 +179,26 @@ impl TraceWorkload {
 
     /// Parses a trace from the CSV format of [`TraceWorkload::to_csv`].
     ///
+    /// Rows may arrive unsorted (they are stably sorted by cycle), with
+    /// one exception: a file that is *both* out of order *and* contains a
+    /// duplicated cycle value is rejected. Equal-cycle events inject in
+    /// row order, so in a sorted file (what [`TraceWorkload::to_csv`]
+    /// writes) that order is the producer's intent — but once rows are
+    /// shuffled, the relative order of equal-cycle events is a
+    /// file-position accident and silently sorting would pick an
+    /// arbitrary injection order. The error names the first out-of-order
+    /// line so the producer can re-sort deliberately.
+    ///
     /// # Errors
     ///
     /// Returns [`ParseTraceError`] naming the offending line when a row is
-    /// malformed.
+    /// malformed or the ordering is ambiguous as described above.
     pub fn from_csv(s: &str) -> Result<Self, ParseTraceError> {
         let mut events = Vec::new();
+        let mut cycles_seen: std::collections::HashSet<Cycle> = std::collections::HashSet::new();
+        let mut prev_cycle: Option<Cycle> = None;
+        let mut out_of_order: Option<(usize, Cycle)> = None; // (line, cycle)
+        let mut duplicate: Option<Cycle> = None;
         for (lineno, line) in s.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || (lineno == 0 && line.starts_with("cycle")) {
@@ -176,6 +229,13 @@ impl TraceWorkload {
                 "high" => Priority::High,
                 _ => return Err(err("bad priority")),
             };
+            if !cycles_seen.insert(t) && duplicate.is_none() {
+                duplicate = Some(t);
+            }
+            if prev_cycle.is_some_and(|p| t < p) && out_of_order.is_none() {
+                out_of_order = Some((lineno + 1, t));
+            }
+            prev_cycle = Some(t);
             events.push((
                 t,
                 PacketRequest {
@@ -184,8 +244,18 @@ impl TraceWorkload {
                     len,
                     class,
                     priority,
+                    tag: 0,
                 },
             ));
+        }
+        if let (Some((line, t)), Some(dup)) = (out_of_order, duplicate) {
+            return Err(ParseTraceError {
+                line,
+                reason: format!(
+                    "cycle {t} is out of order and the trace duplicates cycle {dup}: \
+                     the injection order of equal-cycle rows is ambiguous; sort the trace"
+                ),
+            });
         }
         Ok(Self::new(events))
     }
@@ -272,6 +342,64 @@ mod tests {
     }
 
     #[test]
+    fn rescale_then_csv_roundtrip_reproduces_event_cycles() {
+        // The old f64 multiply accumulated drift that could land
+        // near-tied events on different cycles (or in different orders)
+        // per platform; the fixed-point mapping is exact, monotone and
+        // survives the save/load round trip bit-identically.
+        let events: Vec<_> = (0..200u64)
+            .map(|i| (i * 7 + 3, PacketRequest::new(NodeId(0), NodeId(1), 1)))
+            .collect();
+        let t = TraceWorkload::new(events).rescaled(1.0 / 3.0);
+        for w in t.events().windows(2) {
+            assert!(w[0].0 <= w[1].0, "rescale must stay monotone");
+        }
+        let back = TraceWorkload::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(t.events(), back.events());
+    }
+
+    #[test]
+    fn rescale_power_of_two_factors_are_exact_beyond_f64_precision() {
+        // 2^60 is not representable exactly once multiplied by an f64
+        // factor in the naive scheme; the 32.32 fixed-point path is.
+        let big = 1u64 << 60;
+        let t = TraceWorkload::new(vec![
+            (big, PacketRequest::new(NodeId(0), NodeId(1), 1)),
+            (big + 4, PacketRequest::new(NodeId(1), NodeId(0), 1)),
+        ])
+        .rescaled(0.25);
+        assert_eq!(t.events()[0].0, big >> 2);
+        assert_eq!(t.events()[1].0, (big + 4) >> 2);
+    }
+
+    #[test]
+    fn csv_rejects_out_of_order_rows_with_duplicate_cycles() {
+        let csv = "cycle,src,dst,len,class,priority\n\
+                   5,0,1,1,inorder,normal\n\
+                   3,1,2,1,inorder,normal\n\
+                   5,2,3,1,inorder,normal\n";
+        let e = TraceWorkload::from_csv(csv).unwrap_err();
+        assert_eq!(e.line, 3, "error names the first out-of-order line");
+        assert!(e.reason.contains("ambiguous"), "{e}");
+    }
+
+    #[test]
+    fn csv_accepts_unsorted_unique_and_sorted_duplicate_cycles() {
+        // Unsorted without duplicates: the sort is unambiguous.
+        let t =
+            TraceWorkload::from_csv("5,0,1,1,inorder,normal\n3,1,2,1,inorder,normal\n").unwrap();
+        assert_eq!(t.events()[0].0, 3);
+        // Sorted with duplicates: row order is the producer's intent.
+        let t = TraceWorkload::from_csv(
+            "3,0,1,1,inorder,normal\n3,1,2,1,inorder,normal\n5,2,3,1,inorder,normal\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].1.src, NodeId(0));
+        assert_eq!(t.events()[1].1.src, NodeId(1));
+    }
+
+    #[test]
     fn csv_roundtrip_preserves_everything() {
         let t = TraceWorkload::new(vec![
             (
@@ -282,6 +410,7 @@ mod tests {
                     len: 16,
                     class: OrderClass::Unordered,
                     priority: Priority::High,
+                    tag: 0,
                 },
             ),
             (7, PacketRequest::new(NodeId(4), NodeId(5), 1)),

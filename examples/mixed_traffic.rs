@@ -43,6 +43,7 @@ impl Workload for MixedWorkload {
                     len: 1,
                     class: OrderClass::InOrder,
                     priority: Priority::High,
+                    tag: 0,
                 });
             }
             if self.rng.chance(self.bulk_rate) {
@@ -54,6 +55,7 @@ impl Workload for MixedWorkload {
                     len: 16,
                     class: OrderClass::Unordered,
                     priority: Priority::Normal,
+                    tag: 0,
                 });
             }
         }

@@ -14,7 +14,9 @@
 //! ```
 
 use chiplet_topo::{Geometry, LinkId, NodeId};
-use chiplet_traffic::{SyntheticWorkload, TraceWorkload, TrafficPattern, Workload};
+use chiplet_traffic::{
+    DnnSpec, PhaseGraph, SyntheticWorkload, TraceWorkload, TrafficPattern, Workload,
+};
 use hetero_estimate::{EstimateRequest, Estimator};
 use hetero_if::presets::NetworkKind;
 use hetero_if::sim::{run_probed, run_until, RunOutcome, RunSpec};
@@ -52,6 +54,9 @@ struct Args {
     half: bool,
     seed: u64,
     sweep: bool,
+    workload: Option<String>,
+    workload_trace: Option<String>,
+    capture_trace: Option<String>,
     replay: Option<String>,
     metrics: Option<String>,
     trace: Option<String>,
@@ -90,6 +95,17 @@ fn usage() -> ! {
          --half       pin-constrained (halved) hetero interfaces\n\
          --seed       RNG seed                             (default 1)\n\
          --sweep      sweep injection rates up to saturation instead of one run\n\
+         --workload dnn:SPEC  drive a dependency-released phase workload\n\
+         \u{20}            instead of synthetic traffic: the chiplet-mapped DNN\n\
+         \u{20}            training step. SPEC is key=value pairs (layers, fwd,\n\
+         \u{20}            grad, allreduce=ring|tree, compute, ranks), e.g.\n\
+         \u{20}            dnn:layers=4,allreduce=ring. Phases release only\n\
+         \u{20}            after their dependencies' packets have all ejected\n\
+         --workload-trace FILE  replay a captured phase trace (the versioned\n\
+         \u{20}            #hetero-phase-trace format) bit-identically\n\
+         --capture-trace FILE  after a --workload/--workload-trace run,\n\
+         \u{20}            write the phase trace (with observed release\n\
+         \u{20}            cycles as comments) to FILE for later replay\n\
          --threads N  worker threads for --sweep           (default 1;\n\
          \u{20}            results are bit-identical for any N)\n\
          --shard-threads N  shard the cycle loop of a single run across\n\
@@ -166,6 +182,9 @@ fn parse() -> Args {
         half: false,
         seed: 1,
         sweep: false,
+        workload: None,
+        workload_trace: None,
+        capture_trace: None,
         replay: None,
         metrics: None,
         trace: None,
@@ -246,6 +265,9 @@ fn parse() -> Args {
             "--fault-script" => a.fault_script = Some(val()),
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
             "--sweep" => a.sweep = true,
+            "--workload" => a.workload = Some(val()),
+            "--workload-trace" => a.workload_trace = Some(val()),
+            "--capture-trace" => a.capture_trace = Some(val()),
             "--replay" => a.replay = Some(val()),
             "--metrics" => a.metrics = Some(val()),
             "--trace" => a.trace = Some(val()),
@@ -474,6 +496,33 @@ fn main() {
         eprintln!("--warm-start requires --sweep");
         std::process::exit(2);
     }
+    let has_phase_workload = args.workload.is_some() || args.workload_trace.is_some();
+    if args.workload.is_some() && args.workload_trace.is_some() {
+        eprintln!("--workload and --workload-trace are mutually exclusive");
+        std::process::exit(2);
+    }
+    if has_phase_workload
+        && (args.sweep
+            || args.replay.is_some()
+            || args.estimate
+            || args.calibrate
+            || args.warm_start
+            || args.checkpoint_out.is_some()
+            || args.checkpoint_in.is_some())
+    {
+        // Phase workloads are single closed-loop runs; metrics, traces,
+        // probes, fault scripts and --cache-dir all compose with them.
+        eprintln!("--workload/--workload-trace drive a single run");
+        std::process::exit(2);
+    }
+    if args.capture_trace.is_some() && !has_phase_workload {
+        eprintln!("--capture-trace requires --workload or --workload-trace");
+        std::process::exit(2);
+    }
+    if args.capture_trace.is_some() && args.cache_dir.is_some() {
+        eprintln!("--capture-trace needs a live run; a cache hit never simulates");
+        std::process::exit(2);
+    }
     if args.estimate
         && (args.replay.is_some()
             || args.metrics.is_some()
@@ -506,7 +555,7 @@ fn main() {
         // network, so flags that observe or steer the live run (and
         // fault scripts, which are not part of the cache key) cannot
         // combine with it.
-        eprintln!("--cache-dir applies to plain single synthetic runs");
+        eprintln!("--cache-dir applies to plain single synthetic or phase-workload runs");
         std::process::exit(2);
     }
     let spec = RunSpec {
@@ -608,6 +657,13 @@ fn main() {
             println!("NOTE: the trace did not finish within the configured cycles");
         }
         export_observability(&net, &args);
+    } else if args.workload.is_some() || args.workload_trace.is_some() {
+        let graph = build_phase_graph(&args, geom);
+        if let Some(dir) = &args.cache_dir {
+            run_cached_workload(&args, geom, config, spec, dir, graph);
+        } else {
+            run_phase_workload(&args, geom, config, spec, fault_script.clone(), graph);
+        }
     } else if let Some(dir) = &args.cache_dir {
         run_cached(&args, geom, config, spec, dir);
     } else {
@@ -658,6 +714,146 @@ fn run_cached(args: &Args, geom: Geometry, config: SimConfig, spec: RunSpec, dir
     match source {
         hetero_if::cache::CacheSource::Computed => println!(
             "cache miss — simulated in {secs:.3}s and stored as {} ({dir})",
+            &key[..16],
+        ),
+        src => println!(
+            "cache hit ({}) — served {} in {secs:.3}s without simulating",
+            if src == hetero_if::cache::CacheSource::Memory {
+                "memory"
+            } else {
+                "disk"
+            },
+            &key[..16],
+        ),
+    }
+    print_outcome(&point.to_outcome());
+}
+
+/// Materializes the phase graph selected by `--workload dnn:SPEC` or
+/// `--workload-trace FILE`.
+fn build_phase_graph(args: &Args, geom: Geometry) -> PhaseGraph {
+    if let Some(spec) = &args.workload {
+        let Some(rest) = spec
+            .strip_prefix("dnn:")
+            .or(if spec == "dnn" { Some("") } else { None })
+        else {
+            eprintln!("unknown --workload family in '{spec}' (expected dnn:key=value,...)");
+            std::process::exit(2);
+        };
+        let dnn = DnnSpec::parse(rest).unwrap_or_else(|e| {
+            eprintln!("bad --workload spec '{spec}': {e}");
+            std::process::exit(2);
+        });
+        let nodes: Vec<NodeId> = (0..geom.nodes()).map(NodeId).collect();
+        PhaseGraph::dnn(&dnn, &nodes)
+    } else {
+        let path = args.workload_trace.as_ref().expect("one source is set");
+        PhaseGraph::load(path).unwrap_or_else(|e| {
+            eprintln!("cannot load phase trace {path}: {e}");
+            std::process::exit(1);
+        })
+    }
+}
+
+/// `--workload`/`--workload-trace`: drive the dependency-released phase
+/// graph through a single closed-loop run, print per-phase attribution,
+/// and optionally capture the timed trace for bit-identical replay.
+fn run_phase_workload(
+    args: &Args,
+    geom: Geometry,
+    config: SimConfig,
+    spec: RunSpec,
+    fault_script: Option<hetero_if::FaultScript>,
+    mut graph: PhaseGraph,
+) {
+    println!(
+        "phase workload: {} phases, fingerprint {}",
+        graph.phases().len(),
+        &graph.fingerprint()[..16],
+    );
+    let mut net = args.network.build(geom, config, args.policy);
+    if let Some(script) = fault_script {
+        net.set_fault_script(script);
+    }
+    enable_observability(&mut net, args);
+    let outcome = run_with_probes(&mut net, &mut graph, spec.with_drain_offers(), args.probe);
+    print_outcome(&outcome);
+    if !graph.all_complete() {
+        println!("NOTE: the phase graph did not complete within the configured cycles");
+    }
+    let by_tag = &net.collector().by_tag;
+    println!(
+        "\n{:>4} {:>12} {:>9} {:>9} {:>12} {:>12}",
+        "rel", "phase", "packets", "flits", "avg-lat(cy)", "energy(pJ)"
+    );
+    for (idx, p) in graph.phases().iter().enumerate() {
+        let Some(t) = by_tag.get(idx + 1) else { break };
+        let rel = graph
+            .released_at(idx)
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{rel:>4} {:>12} {:>9} {:>9} {:>12.1} {:>12.0}",
+            p.name,
+            t.packets,
+            t.flits,
+            if t.packets > 0 {
+                t.latency_cycles as f64 / t.packets as f64
+            } else {
+                0.0
+            },
+            t.energy_pj,
+        );
+    }
+    if let Some(path) = &args.capture_trace {
+        graph.save(path).unwrap_or_else(|e| {
+            eprintln!("cannot write phase trace {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "\ncaptured the phase trace ({} phases, fingerprint {}) to {path}",
+            graph.phases().len(),
+            &graph.fingerprint()[..16],
+        );
+    }
+    export_observability(&net, args);
+}
+
+/// `--cache-dir` with a phase workload: the point is keyed on the
+/// graph's fingerprint (`variant=workload@<sha256>`), so a generated
+/// spec and its captured replay hit the same entry.
+fn run_cached_workload(
+    args: &Args,
+    geom: Geometry,
+    config: SimConfig,
+    spec: RunSpec,
+    dir: &str,
+    mut graph: PhaseGraph,
+) {
+    let mut cache = hetero_if::cache::ResultCache::with_dir(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let desc = hetero_if::cache::PointDesc::new(
+        args.network,
+        geom,
+        config,
+        args.policy,
+        args.pattern,
+        0.0,
+        args.packet_len,
+        spec.with_drain_offers(),
+    )
+    .with_workload(&graph);
+    let t0 = std::time::Instant::now();
+    let (point, source) = cache.get_or_compute(desc.key(), || {
+        hetero_if::cache::phase_point(&desc, &mut graph)
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let key = desc.key().hex();
+    match source {
+        hetero_if::cache::CacheSource::Computed => println!(
+            "cache miss — simulated the phase workload in {secs:.3}s and stored as {} ({dir})",
             &key[..16],
         ),
         src => println!(

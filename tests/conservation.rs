@@ -97,6 +97,7 @@ fn mixed_classes_and_priorities_conserve() {
                 } else {
                     Priority::Normal
                 },
+                tag: 0,
             });
             if i % 3 == 0 {
                 net.step();

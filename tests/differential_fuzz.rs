@@ -392,3 +392,167 @@ fn corrupted_or_truncated_blobs_are_rejected() {
         CodecError::BadVersion { .. }
     ));
 }
+
+/// Draws a random dependency DAG of phases: 2–5 phases, each depending
+/// on a random subset of earlier ones, with a random compute window and
+/// up to 8 packet events at sorted release-relative offsets.
+fn draw_phase_graph(rng: &mut SimRng, nodes: usize) -> hetero_chiplet::traffic::PhaseGraph {
+    use hetero_chiplet::noc::{OrderClass, Priority};
+    use hetero_chiplet::traffic::{PacketRequest, PhaseGraph, PhaseSpec};
+
+    let nphases = 2 + rng.below(4) as usize;
+    let mut phases = Vec::new();
+    for i in 0..nphases {
+        let mut deps: Vec<usize> = (0..i).filter(|_| rng.chance(0.4)).collect();
+        if deps.is_empty() && i > 0 && rng.chance(0.7) {
+            deps.push(i - 1); // bias toward chains so releases actually gate
+        }
+        let mut events = Vec::new();
+        for _ in 0..rng.below(9) {
+            let src = rng.index(nodes);
+            let mut dst = rng.index(nodes);
+            if dst == src {
+                dst = (dst + 1) % nodes;
+            }
+            events.push((
+                rng.below(20),
+                PacketRequest {
+                    src: NodeId(src as u32),
+                    dst: NodeId(dst as u32),
+                    len: 1 + rng.below(31) as u16,
+                    class: if rng.chance(0.5) {
+                        OrderClass::InOrder
+                    } else {
+                        OrderClass::Unordered
+                    },
+                    priority: if rng.chance(0.2) {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    },
+                    tag: 0,
+                },
+            ));
+        }
+        events.sort_by_key(|&(at, _)| at);
+        phases.push(PhaseSpec {
+            name: format!("p{i}"),
+            deps,
+            compute: rng.below(50),
+            events,
+        });
+    }
+    PhaseGraph::new(phases)
+}
+
+/// Runs one execution-path flavor of a random phase graph with metrics
+/// and the bit-identity trace groups armed, returning the outcome, the
+/// release cycle of every phase, the deterministic metric lines (which
+/// include the `phase_*` per-tag series) and the trace JSONL.
+#[allow(clippy::type_complexity)]
+fn run_phase_flavor(
+    c: &Case,
+    graph: &hetero_chiplet::traffic::PhaseGraph,
+    threads: usize,
+    skip: bool,
+    instrument: bool,
+) -> (RunOutcome, Vec<Option<u64>>, Vec<String>, String) {
+    let mut config = SimConfig::default()
+        .with_seed(c.seed)
+        .with_shard_threads(threads)
+        .with_idle_skip(skip);
+    if c.ber {
+        config = config.with_ber(1e-4).with_retry();
+    }
+    let mut net = c.kind.build(c.geom, config, SchedulingProfile::balanced());
+    if instrument {
+        net.enable_metrics();
+        let filter = TraceFilter::parse("flit,phy,link,fault").expect("filter parses");
+        net.enable_trace(1 << 16, filter);
+    }
+    let mut g = graph.clone();
+    let out = run(&mut net, &mut g, RunSpec::smoke().with_drain_offers());
+    let releases = (0..g.phases().len()).map(|i| g.released_at(i)).collect();
+    let (lines, jsonl) = if instrument {
+        let mut buf = Vec::new();
+        net.trace()
+            .expect("trace ring armed")
+            .to_jsonl(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        (
+            net.metrics_snapshot().deterministic_lines(),
+            String::from_utf8(buf).expect("trace JSONL is UTF-8"),
+        )
+    } else {
+        (Vec::new(), String::new())
+    };
+    (out, releases, lines, jsonl)
+}
+
+/// The workload axis: random dependency-driven `PhaseGraph`s through
+/// {serial, sharded} × {idle-skip, tick} × {instrumented, not} must
+/// agree bit for bit — equal `SimResults`, equal phase release cycles,
+/// equal merged metric lines (including the phase-attributed `phase_*`
+/// series) and equal trace JSONL. Phase release depends on *observed
+/// ejection*, so any path-dependent delivery timing would cascade into
+/// different injection schedules and loud divergence here.
+#[test]
+fn random_phase_graphs_are_execution_path_invariant() {
+    let cases: usize = std::env::var("DIFF_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let mut rng = SimRng::seed(0xFA5E);
+    for i in 0..cases {
+        let c = draw_case(&mut rng);
+        let graph = draw_phase_graph(&mut rng, c.geom.nodes() as usize);
+        println!(
+            "case {i}: {:?} {}x{} chiplets, ber {}, seed {}, {} threads, {} phases",
+            c.kind,
+            c.geom.chiplets_x(),
+            c.geom.chiplets_y(),
+            c.ber,
+            c.seed,
+            c.threads,
+            graph.phases().len()
+        );
+        let ctx = format!("case {i} (seed {}, {:?})", c.seed, c);
+        let key = |o: &RunOutcome| (o.drained, o.deadlocked, o.fault_stalled, o.results.clone());
+
+        let mut flavors = Vec::new();
+        for threads in [1, c.threads] {
+            for skip in [false, true] {
+                for instrument in [false, true] {
+                    let label = format!("threads {threads} skip {skip} inst {instrument}");
+                    flavors.push((
+                        run_phase_flavor(&c, &graph, threads, skip, instrument),
+                        label,
+                    ));
+                }
+            }
+        }
+        let ((base, base_rel, _, _), _) = &flavors[0];
+        assert!(base.drained, "{ctx}: the base phase run must drain");
+        for ((out, releases, _, _), label) in &flavors {
+            assert_eq!(key(base), key(out), "{ctx}: {label} diverged on results");
+            assert_eq!(
+                releases, base_rel,
+                "{ctx}: {label} diverged on release cycles"
+            );
+        }
+        let instrumented: Vec<_> = flavors
+            .iter()
+            .filter(|((_, _, lines, _), _)| !lines.is_empty())
+            .collect();
+        assert_eq!(instrumented.len(), 4, "{ctx}: four instrumented flavors");
+        let ((_, _, base_lines, base_trace), _) = instrumented[0];
+        assert!(
+            base_lines.iter().any(|l| l.starts_with("phase_")),
+            "{ctx}: metric lines carry no phase attribution — vacuous"
+        );
+        for ((_, _, lines, trace), label) in &instrumented[1..] {
+            assert_eq!(lines, base_lines, "{ctx}: {label} diverged on metric lines");
+            assert_eq!(trace, base_trace, "{ctx}: {label} diverged on trace JSONL");
+        }
+    }
+}

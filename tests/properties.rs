@@ -836,3 +836,153 @@ fn retransmit_inside_skipped_stretch_is_bit_identical() {
         );
     }
 }
+
+/// Collective builders (the phase-workload substrate): the ring and
+/// binomial-tree all-reduce of the same logical gradient move identical
+/// total flit volume — `2(N−1)·grad` — and the ring schedule loads
+/// every rank identically (each rank both sends and receives exactly
+/// `2(N−1)·grad/N` flits). Randomized over rank count and gradient
+/// size; any asymmetry here would silently bias the Eq. 5 / §5.3
+/// scheduling comparisons built on these workloads.
+#[test]
+fn ring_and_tree_all_reduce_move_identical_totals_and_ring_is_per_rank_uniform() {
+    use hetero_chiplet::traffic::collectives::{ring_all_reduce, tree_all_reduce};
+
+    let mut rng = SimRng::seed(0xC011);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(15) as usize;
+        // Keep the gradient divisible by N so ring chunks carry the
+        // whole tensor with no rounding remainder.
+        let grad = (1 + rng.below(64) as u32) * n as u32;
+        let ranks: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+
+        let ring = ring_all_reduce(&ranks, grad / n as u32, 100, 0);
+        let tree = tree_all_reduce(&ranks, u16::try_from(grad).expect("grad fits u16"), 100, 0);
+
+        let volume = |t: &hetero_chiplet::traffic::TraceWorkload| -> u64 {
+            t.events().iter().map(|&(_, r)| u64::from(r.len)).sum()
+        };
+        let expected = 2 * (n as u64 - 1) * u64::from(grad);
+        assert_eq!(volume(&ring), expected, "ring volume (n={n}, grad={grad})");
+        assert_eq!(volume(&tree), expected, "tree volume (n={n}, grad={grad})");
+
+        // Ring symmetry: identical totals per rank, sent and received.
+        let mut sent = vec![0u64; n];
+        let mut recv = vec![0u64; n];
+        for &(_, r) in ring.events() {
+            sent[r.src.0 as usize] += u64::from(r.len);
+            recv[r.dst.0 as usize] += u64::from(r.len);
+        }
+        let per_rank = expected / n as u64;
+        assert!(
+            sent.iter().chain(&recv).all(|&f| f == per_rank),
+            "ring must load every rank with exactly {per_rank} flits each way (n={n})"
+        );
+    }
+}
+
+/// Every round of the shifted all-to-all schedule is a permutation of
+/// the ranks: each rank sends exactly once and receives exactly once,
+/// never to itself. A round that double-targets a rank would create
+/// artificial endpoint contention the algorithm is designed to avoid.
+#[test]
+fn all_to_all_rounds_are_permutations() {
+    use hetero_chiplet::traffic::collectives::all_to_all;
+    use std::collections::BTreeMap;
+
+    let mut rng = SimRng::seed(0xA2A);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(15) as usize;
+        let chunk = 1 + rng.below(40) as u32;
+        let gap = 1 + rng.below(30);
+        let ranks: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let t = all_to_all(&ranks, chunk, gap, 0);
+
+        // The shift identifies the round: round s sends i → (i+s) mod n,
+        // so s is recoverable from every packet's (src, dst). Chunking
+        // may emit several packets per pair (spilling past short gaps),
+        // but each round's *pair set* must be a fixed-point-free
+        // permutation scheduled at the round's start cycle.
+        let mut rounds: BTreeMap<usize, Vec<(u32, u32, u64)>> = BTreeMap::new();
+        for &(at, r) in t.events() {
+            assert_ne!(r.src, r.dst, "self-send at {at}");
+            let s = (r.dst.0 as usize + n - r.src.0 as usize) % n;
+            rounds.entry(s).or_default().push((r.src.0, r.dst.0, at));
+        }
+        assert_eq!(rounds.len(), n - 1, "n-1 rounds (n={n}, gap={gap})");
+        for (s, pairs) in rounds {
+            let mut src_seen = vec![false; n];
+            let mut dst_seen = vec![false; n];
+            let start = (s as u64 - 1) * gap;
+            for &(src, dst, at) in &pairs {
+                src_seen[src as usize] = true;
+                dst_seen[dst as usize] = true;
+                assert!(at >= start, "round {s} packet before its start cycle");
+            }
+            assert!(
+                src_seen.iter().all(|&b| b) && dst_seen.iter().all(|&b| b),
+                "round {s} is not a permutation (n={n})"
+            );
+        }
+    }
+}
+
+/// Barrier rounds are dependency-ordered in the phase-graph form: the
+/// DNN builder's `sync<k>` phases form a chain (round k+1 depends on
+/// round k), each round's notification jumps by exactly 2^k ranks, and
+/// after ⌈log₂N⌉ rounds every rank has transitively heard from every
+/// other — the dissemination property that makes it a barrier at all.
+#[test]
+fn barrier_rounds_are_dependency_ordered_and_disseminate() {
+    use hetero_chiplet::traffic::{DnnSpec, PhaseGraph};
+
+    let mut rng = SimRng::seed(0xBA44);
+    for _ in 0..CASES / 4 {
+        let n = 2 + rng.below(15) as usize;
+        let spec = DnnSpec::parse(&format!(
+            "ranks={n},layers=1,fwd=8,grad={},compute=4,allreduce=ring",
+            8 * n
+        ))
+        .expect("valid spec");
+        let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let graph = PhaseGraph::dnn(&spec, &nodes);
+
+        let sync: Vec<(usize, &hetero_chiplet::traffic::PhaseSpec)> = graph
+            .phases()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.name.starts_with("sync"))
+            .collect();
+        let rounds = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        assert_eq!(sync.len(), rounds, "⌈log₂{n}⌉ barrier rounds");
+
+        // reached[i][j]: rank i's arrival is known transitively at rank j.
+        let mut reached: Vec<Vec<bool>> =
+            (0..n).map(|i| (0..n).map(|j| j == i).collect()).collect();
+        for (k, (idx, phase)) in sync.iter().enumerate() {
+            // Chain dependency: each round waits on the phase before it,
+            // which for k>0 is the previous sync round.
+            assert_eq!(
+                phase.deps,
+                vec![idx - 1],
+                "sync{k} must depend on its predecessor"
+            );
+            for (at, req) in &phase.events {
+                assert_eq!(*at, 0, "barrier notifications fire at release");
+                assert_eq!(req.len, 1);
+                let (s, d) = (req.src.0 as usize, req.dst.0 as usize);
+                assert_eq!(d, (s + (1 << k)) % n, "round {k} jumps 2^{k}");
+                // The notification carries everything s has heard so far.
+                let known: Vec<usize> = (0..n).filter(|&i| reached[i][s]).collect();
+                for i in known {
+                    reached[i][d] = true;
+                }
+            }
+        }
+        assert!(
+            reached.iter().all(|row| row.iter().all(|&b| b)),
+            "after {rounds} dependency-ordered rounds every rank must have \
+             heard from every other (n={n})"
+        );
+    }
+}

@@ -146,6 +146,8 @@ fn concurrent_identical_requests_compute_exactly_once() {
         seed: 1,
         backend: Backend::Engine,
         warm_start: false,
+        workload: None,
+        scales: vec![1.0],
     };
     const THREADS: usize = 8;
     std::thread::scope(|scope| {
@@ -177,8 +179,19 @@ fn concurrent_identical_requests_compute_exactly_once() {
 #[test]
 fn cached_results_bit_identical_to_direct_runs_across_golden_matrix() {
     let dir = tmp_dir("golden");
-    let scenarios = golden::scenarios();
-    assert_eq!(scenarios.len(), 30, "the golden matrix is 30 scenarios");
+    // The phase-workload scenarios are keyed by workload fingerprint,
+    // not by (pattern, rate); the capture/replay cache-key contract for
+    // them lives in `phase_workload.rs`. This test pins the classic
+    // synthetic surface.
+    let scenarios: Vec<_> = golden::scenarios()
+        .into_iter()
+        .filter(|s| s.workload == golden::WorkloadKind::Synthetic)
+        .collect();
+    assert_eq!(
+        scenarios.len(),
+        30,
+        "the synthetic golden matrix is 30 scenarios"
+    );
 
     // The matrix repeats (kind, seed) pairs across fault flavors; the
     // scenario name as the key variant keeps all 30 points distinct
